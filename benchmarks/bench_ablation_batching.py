@@ -1,0 +1,38 @@
+"""Ablation: multi-query retrieval batching (extension).
+
+The single-query latencies of Table 8 leave the shared embedding
+stream idle between queries; batching amortizes it.  This bench sweeps
+the batch size at each corpus scale and reports per-query latency and
+sustained throughput.
+"""
+
+from repro.rag import BatchedAPURetrieval, PAPER_CORPORA
+
+
+def test_ablation_batching(benchmark, report):
+    model = BatchedAPURetrieval()
+    batch_sizes = (1, 4, 16, 64)
+
+    def run():
+        return {
+            label: model.throughput_curve(spec, batch_sizes)
+            for label, spec in PAPER_CORPORA.items()
+        }
+
+    curves = benchmark(run)
+    report("Ablation: batched retrieval (per-query ms / qps)")
+    report("  " + f"{'corpus':8s}" + "".join(
+        f"{f'batch {b}':>18s}" for b in batch_sizes))
+    for label, curve in curves.items():
+        cells = "".join(
+            f"{point.per_query_seconds * 1e3:8.2f}/{point.queries_per_second:7.1f}"
+            f"  "
+            for point in curve
+        )
+        report(f"  {label:8s}{cells}")
+
+    for curve in curves.values():
+        per_query = [point.per_query_seconds for point in curve]
+        assert per_query == sorted(per_query, reverse=True)
+        # Amortization buys at least 2x per-query latency at batch 64.
+        assert per_query[0] / per_query[-1] > 2.0

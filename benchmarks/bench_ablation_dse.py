@@ -1,0 +1,59 @@
+"""Ablation: design-space exploration with the analytical framework.
+
+The paper positions the framework for "architectural design space
+exploration by enabling the tuning of key design parameters".  This
+bench sweeps the parameters the optimizations interact with -- lookup
+slope, subgroup-copy cost, DMA bandwidth, shift cost -- against the
+fully-optimized binary-matmul workload and reports sensitivities.
+"""
+
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.params import DEFAULT_PARAMS
+from repro.opt.reduction import MatmulCostModel, MatmulShape
+
+
+def matmul_latency_us(params):
+    """All-opts 1024^3 binary matmul under a parameterization."""
+    model = MatmulCostModel(MatmulShape(1024, 1024, 64), params)
+    return params.cycles_to_us(model.all_opts().total)
+
+
+SWEEPS = {
+    "movement.lookup_per_entry": [1.7875, 3.575, 7.15, 14.3],
+    "movement.cpy_subgrp": [41.0, 82.0, 164.0],
+    "movement.dma_l4_l1": [11136.0, 22272.0, 44544.0],
+    "movement.shift_e_per_elem": [93.25, 186.5, 373.0, 746.0],
+    "dram_bandwidth": [11.9e9, 23.8e9, 47.6e9, 95.2e9],
+}
+
+
+def test_ablation_design_space(benchmark, report):
+    explorer = DesignSpaceExplorer(matmul_latency_us, DEFAULT_PARAMS)
+    results = benchmark(explorer.sensitivity_report, SWEEPS)
+
+    report("Ablation: parameter sensitivity of the optimized matmul")
+    report(f"  {'parameter':28s} {'baseline':>10s} {'best':>10s} "
+           f"{'sensitivity':>12s}")
+    for name, sweep in results.items():
+        report(f"  {name:28s} {sweep.baseline_latency_us:10.1f} "
+               f"{sweep.best.latency_us:10.1f} {sweep.sensitivity():12.3f}")
+
+    # The optimized kernel is bulk-DMA bound: the full-vector DMA cost
+    # must matter more than the (already minimized) shift cost.
+    assert (results["movement.dma_l4_l1"].sensitivity()
+            > results["movement.shift_e_per_elem"].sensitivity())
+    # Broadcast lookups still on the critical path -> nonzero sensitivity.
+    assert results["movement.lookup_per_entry"].sensitivity() > 0.05
+
+
+def test_ablation_next_generation_point(report, benchmark):
+    """A 'next-gen' APU: 1 GHz clock, 4x lookup, HBM-class DRAM."""
+    from repro.core.dse import evolve_nested
+
+    params = DEFAULT_PARAMS.evolve(clock_hz=1e9, dram_bandwidth=400e9)
+    params = evolve_nested(params, "movement.lookup_per_entry", 7.15 / 4)
+    current = benchmark(matmul_latency_us, DEFAULT_PARAMS)
+    nextgen = matmul_latency_us(params)
+    report(f"  next-gen projection: {current:.1f} us -> {nextgen:.1f} us "
+           f"({current / nextgen:.2f}x)")
+    assert nextgen < current

@@ -1,0 +1,50 @@
+"""Ablation: HBM2e vs the device's native DDR4 (Section 5.3.1's premise).
+
+The paper replaces the Leda-E's 23.8 GB/s DDR with simulated HBM2e
+"to mitigate an off-chip memory bottleneck".  This bench quantifies
+that substitution's effect on RAG retrieval.
+"""
+
+import pytest
+
+from repro.hbm import make_ddr4, make_hbm2e
+from repro.rag import APURetriever, PAPER_CORPORA
+
+
+def test_ablation_hbm_vs_ddr(benchmark, report):
+    def run():
+        rows = {}
+        for label, spec in PAPER_CORPORA.items():
+            hbm = APURetriever(optimized=True, hbm=make_hbm2e())
+            ddr = APURetriever(optimized=True, hbm=make_ddr4())
+            rows[label] = (
+                hbm.latency_breakdown(spec),
+                ddr.latency_breakdown(spec),
+            )
+        return rows
+
+    rows = benchmark(run)
+    report("Ablation: embedding stream over HBM2e vs native DDR4 (ms)")
+    report(f"  {'corpus':8s} {'HBM load':>10s} {'DDR load':>10s} "
+           f"{'HBM total':>10s} {'DDR total':>10s}")
+    for label, (hbm, ddr) in rows.items():
+        report(f"  {label:8s} {hbm.load_embedding * 1e3:10.2f} "
+               f"{ddr.load_embedding * 1e3:10.2f} {hbm.total * 1e3:10.2f} "
+               f"{ddr.total * 1e3:10.2f}")
+
+    # DDR4 makes the embedding stream the dominant stage at 200 GB.
+    hbm200, ddr200 = rows["200GB"]
+    assert ddr200.load_embedding > 10 * hbm200.load_embedding
+    assert ddr200.load_embedding > ddr200.calc_distance / 2
+
+
+def test_ablation_memory_patterns(report, benchmark):
+    """Access-pattern sensitivity of the HBM model."""
+    report("  HBM2e effective bandwidth by pattern (2.4 GB stream):")
+    benchmark(make_hbm2e().transfer_seconds, 2.4576e9, "sequential")
+    for pattern in ("sequential", "chunked", "random"):
+        bw = make_hbm2e().effective_bandwidth(2.4576e9, pattern)
+        report(f"    {pattern:10s} {bw / 1e9:7.1f} GB/s")
+    seq = make_hbm2e().effective_bandwidth(2.4576e9, "sequential")
+    rnd = make_hbm2e().effective_bandwidth(2.4576e9, "random")
+    assert seq > 5 * rnd

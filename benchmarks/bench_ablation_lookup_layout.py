@@ -1,0 +1,40 @@
+"""Ablation: lookup-table size vs data layout (the Fig. 11 mechanism).
+
+Sweeps broadcast-window shapes and reports the lookup table each layout
+requires plus the resulting Table 4 lookup latency -- the quantity the
+broadcast-friendly transform minimizes.
+"""
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.opt.layout import Layout, broadcast_friendly, lookup_table_entries
+
+
+def test_ablation_lookup_table_sizes(benchmark, report):
+    shapes = [(3, 6), (8, 8), (32, 64), (32, 2048), (128, 512)]
+
+    def run():
+        rows = []
+        for rows_n, cols_n in shapes:
+            rm = Layout.row_major((rows_n, cols_n))
+            bf = broadcast_friendly(rm, window_dim=0)
+            rm_table = lookup_table_entries(rm, 0, rows_n, sweep_dim=1)
+            bf_table = lookup_table_entries(bf, 1, rows_n, sweep_dim=0)
+            rows.append((rows_n, cols_n, rm_table, bf_table))
+        return rows
+
+    rows = benchmark(run)
+    lookup = DEFAULT_PARAMS.movement.lookup
+    report("Ablation: lookup-table size, row-major vs broadcast-friendly")
+    report(f"  {'window x sweep':>15s} {'row-major':>10s} {'bf':>6s} "
+           f"{'rm cycles':>10s} {'bf cycles':>10s} {'saving':>8s}")
+    for rows_n, cols_n, rm_table, bf_table in rows:
+        rm_cycles, bf_cycles = lookup(rm_table), lookup(bf_table)
+        report(f"  {f'{rows_n} x {cols_n}':>15s} {rm_table:10d} "
+               f"{bf_table:6d} {rm_cycles:10.0f} {bf_cycles:10.0f} "
+               f"{rm_cycles / bf_cycles:7.1f}x")
+
+    # Fig. 11's 18 -> 3 case plus the general guarantee.
+    assert rows[0][2:] == (18, 3)
+    for rows_n, _, rm_table, bf_table in rows:
+        assert bf_table == rows_n
+        assert bf_table <= rm_table

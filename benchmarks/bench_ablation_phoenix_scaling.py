@@ -1,0 +1,62 @@
+"""Ablation: Phoenix latency scaling with input size.
+
+Sweeps the streaming applications across input sizes to confirm the
+latency programs scale linearly in data volume (they are stream-bound)
+and that the APU-vs-CPU verdicts of Fig. 13 are not artifacts of the
+paper's specific input sizes.
+"""
+
+from repro.phoenix import LinearRegression, StringMatch, WordCount
+
+
+def _scaled(cls, factor):
+    return cls.with_input_scale(factor)
+
+
+def test_ablation_phoenix_input_scaling(benchmark, report):
+    factors = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+    def run():
+        table = {}
+        for cls in (LinearRegression, StringMatch, WordCount):
+            table[cls.name] = [
+                _scaled(cls, f).measured_latency_ms() for f in factors
+            ]
+        return table
+
+    table = benchmark(run)
+    report("Ablation: latency (ms) vs input-size factor")
+    report(f"  {'application':18s}" + "".join(f"{f:>9.2f}x" for f in factors))
+    for app, latencies in table.items():
+        report(f"  {app:18s}" + "".join(f"{v:9.2f}" for v in latencies))
+
+    for app, latencies in table.items():
+        # Monotone in input size...
+        assert all(b > a for a, b in zip(latencies, latencies[1:])), app
+        # ...and near-linear: 16x the data within 2x of 16x the time.
+        ratio = latencies[-1] / latencies[0]
+        assert 8.0 < ratio < 32.0, app
+
+
+def test_ablation_speedup_stability(report, benchmark):
+    """APU-over-CPU speedup is size-stable for stream-bound apps (the
+    CPU instruction count scales with the data too)."""
+
+    def run():
+        rows = {}
+        for cls in (LinearRegression, StringMatch):
+            speedups = []
+            for factor in (0.5, 1.0, 2.0):
+                app = _scaled(cls, factor)
+                apu_ms = app.measured_latency_ms()
+                cpu_ms = app.cpu_latency_ms(threads=1) * factor
+                speedups.append(cpu_ms / apu_ms)
+            rows[cls.name] = speedups
+        return rows
+
+    rows = benchmark(run)
+    report("Ablation: speedup vs 1T CPU across input scales")
+    for app, speedups in rows.items():
+        report(f"  {app:18s} " + "  ".join(f"{s:6.1f}x" for s in speedups))
+        spread = max(speedups) / min(speedups)
+        assert spread < 1.5, app

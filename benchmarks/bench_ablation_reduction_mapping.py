@@ -1,0 +1,44 @@
+"""Ablation: spatial vs temporal reduction mapping across shapes.
+
+The communication-aware mapping planner (Section 4.2) should pick
+temporal for the paper's workloads but spatial when outputs are tiny
+and the reduction axis is huge -- this bench maps the crossover.
+"""
+
+from repro.opt.reduction import MatmulCostModel, MatmulShape, ReductionMapping
+
+
+def test_ablation_mapping_crossover(benchmark, report):
+    shapes = [
+        MatmulShape(1024, 1024, 64),   # the paper's microbenchmark
+        MatmulShape(4096, 1024, 64),
+        MatmulShape(256, 2048, 128),
+        MatmulShape(16, 512, 2048),
+        MatmulShape(1, 4, 8192),       # dot-product-like
+        MatmulShape(2, 8, 4096),
+    ]
+
+    def run():
+        rows = []
+        for shape in shapes:
+            model = MatmulCostModel(shape)
+            rows.append((
+                shape,
+                model.baseline().total,
+                model.temporal().total,
+                model.choose_mapping(),
+            ))
+        return rows
+
+    rows = benchmark(run)
+    report("Ablation: reduction-mapping planner decisions")
+    report(f"  {'(M, N, K)':>20s} {'spatial Mcyc':>13s} "
+           f"{'temporal Mcyc':>14s} {'choice':>10s}")
+    for shape, spatial, temporal, choice in rows:
+        label = f"({shape.m}, {shape.n}, {shape.k_words})"
+        report(f"  {label:>20s} {spatial / 1e6:13.2f} "
+               f"{temporal / 1e6:14.2f} {choice.value:>10s}")
+
+    decisions = {(r[0].m, r[0].n, r[0].k_words): r[3] for r in rows}
+    assert decisions[(1024, 1024, 64)] is ReductionMapping.TEMPORAL
+    assert decisions[(1, 4, 8192)] is ReductionMapping.SPATIAL

@@ -1,0 +1,52 @@
+"""Fig. 2: roofline of matrix-multiplication kernels on the APU.
+
+Places the four Fig. 12 kernels at their (operational intensity,
+performance) coordinates against the 16-bit-MAC compute roof and the
+device-DRAM bandwidth roof.
+"""
+
+from repro.core.roofline import KernelPoint, RooflineModel
+from repro.opt.matmul import STAGE_ORDER, run_all_stages
+from repro.opt.reduction import MatmulShape
+
+
+def test_fig02_roofline(benchmark, report):
+    shape = MatmulShape(m=1024, n=1024, k_words=64)
+
+    def run():
+        results = run_all_stages(1024, 1024, 1024, functional=False)
+        points = []
+        for stage in STAGE_ORDER:
+            result = results[stage]
+            points.append(KernelPoint(
+                name=stage,
+                operational_intensity=result.operational_intensity,
+                performance=result.performance_ops(shape),
+            ))
+        return points
+
+    points = benchmark(run)
+    roofline = RooflineModel()
+    report("Fig. 2: matmul kernels on the APU roofline")
+    report(f"  compute roof: {roofline.peak_compute_ops / 1e12:.2f} TOPS "
+           f"(16-bit MAC), memory roof: "
+           f"{roofline.memory_bandwidth / 1e9:.1f} GB/s, "
+           f"ridge at OI {roofline.ridge_point:.1f}")
+    report(f"  {'kernel':10s} {'OI':>8s} {'GOPS':>8s} {'attainable':>11s} "
+           f"{'efficiency':>10s} {'bound':>8s}")
+    sides = roofline.classify(points)
+    for point in points:
+        attainable = roofline.attainable(point.operational_intensity)
+        report(f"  {point.name:10s} {point.operational_intensity:8.2f} "
+               f"{point.performance / 1e9:8.2f} {attainable / 1e9:11.2f} "
+               f"{roofline.efficiency(point):10.3f} {sides[point.name]:>8s}")
+
+    # Optimizations push OI (and achieved performance) monotonically up.
+    ois = [p.operational_intensity for p in points]
+    perfs = [p.performance for p in points]
+    assert ois == sorted(ois)
+    assert perfs == sorted(perfs)
+    # The baseline sits near the memory roof; tailored data movement
+    # approaches the compute roof (the Fig. 2 observation).
+    assert sides["baseline"] == "memory"
+    assert points[-1].operational_intensity > roofline.ridge_point

@@ -1,0 +1,34 @@
+"""Fig. 12: binary matmul runtime breakdown across the optimization ladder.
+
+Paper anchors: baseline 226.3 ms, all optimizations 12.0 ms (18.9x).
+"""
+
+from repro.opt.matmul import STAGE_ORDER, run_all_stages
+
+SECTIONS = ("LD LHS", "LD RHS", "VR Ops", "ST")
+
+
+def test_fig12_breakdown(benchmark, report):
+    results = benchmark(run_all_stages, 1024, 1024, 1024, functional=False)
+
+    report("Fig. 12: 1024^3 binary matmul breakdown (ms)")
+    report(f"  {'stage':10s} " + " ".join(f"{s:>8s}" for s in SECTIONS)
+           + f" {'total':>9s}")
+    for stage in STAGE_ORDER:
+        result = results[stage]
+        cells = " ".join(
+            f"{result.breakdown_ms.get(section, 0.0):8.2f}"
+            for section in SECTIONS
+        )
+        report(f"  {stage:10s} {cells} {result.latency_ms:9.2f}")
+    speedup = (results['baseline'].latency_ms
+               / results['opt1+2+3'].latency_ms)
+    report(f"  overall speedup: {speedup:.1f}x (paper: 18.9x; "
+           f"baseline 226.3 ms -> 12.0 ms)")
+
+    assert results["baseline"].latency_ms > 150
+    assert results["opt1+2+3"].latency_ms < 25
+    # Baseline is store-bound; the ladder kills each bottleneck in turn.
+    base = results["baseline"].breakdown_ms
+    assert base["ST"] == max(base.values())
+    assert results["opt1"].breakdown_ms["ST"] < base["ST"] / 20

@@ -1,0 +1,44 @@
+"""Fig. 13: Phoenix latency vs single- and multi-threaded CPU.
+
+Paper anchors: vs 1T CPU mean 41.8x / geomean 14.4x / peak 128.3x;
+vs 16T CPU mean 12.5x / geomean 2.6x / max 68.1x.
+"""
+
+import pytest
+
+from repro.phoenix import PhoenixSuite
+
+
+def test_fig13_speedup_comparison(benchmark, report):
+    suite = PhoenixSuite()
+    rows = benchmark(suite.fig13_comparison)
+
+    report("Fig. 13: latency normalized to the 1T Xeon baseline "
+           "(values are APU speedups)")
+    variants = suite.variant_labels()
+    header = f"  {'application':18s} " + " ".join(
+        f"{v:>9s}" for v in variants
+    ) + f" {'vs 16T':>8s}"
+    report(header)
+    for row in rows:
+        cells = " ".join(
+            f"{row.cpu_1t_ms / row.apu_variant_ms[v]:9.2f}" for v in variants
+        )
+        report(f"  {row.app:18s} {cells} {row.speedup_16t():8.2f}")
+
+    agg = suite.aggregate_speedups()
+    report(f"  aggregates vs 1T : mean {agg['mean_vs_1t']:.1f}x "
+           f"geomean {agg['geomean_vs_1t']:.1f}x peak {agg['peak_vs_1t']:.1f}x "
+           f"(paper 41.8 / 14.4 / 128.3)")
+    report(f"  aggregates vs 16T: mean {agg['mean_vs_16t']:.1f}x "
+           f"geomean {agg['geomean_vs_16t']:.1f}x peak {agg['peak_vs_16t']:.1f}x "
+           f"(paper 12.5 / 2.6 / 68.1)")
+
+    assert agg["mean_vs_1t"] == pytest.approx(41.8, rel=0.25)
+    assert agg["peak_vs_1t"] == pytest.approx(128.3, rel=0.25)
+    assert agg["mean_vs_16t"] == pytest.approx(12.5, rel=0.25)
+    # All-opts dominates every per-app variant family.
+    for row in rows:
+        assert row.apu_variant_ms["all opts"] == min(
+            row.apu_variant_ms.values()
+        )

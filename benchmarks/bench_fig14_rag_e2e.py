@@ -1,0 +1,44 @@
+"""Fig. 14: end-to-end RAG inference time across platforms.
+
+Paper anchors: retrieval speedups over CPU 6.3/4.8/6.6x, end-to-end
+gains 1.05/1.15/1.75x, GPU-level final latency.
+"""
+
+import pytest
+
+from repro.rag import PAPER_CORPORA, fig14_comparison
+
+E2E_TARGETS = {"10GB": 1.05, "50GB": 1.15, "200GB": 1.75}
+RETRIEVAL_TARGETS = {"10GB": 6.3, "50GB": 4.8, "200GB": 6.6}
+
+
+def test_fig14_end_to_end(benchmark, report):
+    entries = {e.platform: e for e in benchmark(fig14_comparison)}
+
+    report("Fig. 14: inference time breakdown (time-to-first-token, ms)")
+    report(f"  {'platform':16s}" + "".join(
+        f"{label:>10s}" for label in PAPER_CORPORA))
+    for platform, entry in entries.items():
+        cells = "".join(f"{entry.ttft_ms[label]:10.1f}"
+                        for label in PAPER_CORPORA)
+        report(f"  {platform:16s}{cells}")
+    report("  retrieval-only (ms):")
+    for platform, entry in entries.items():
+        cells = "".join(f"{entry.retrieval_ms[label]:10.2f}"
+                        for label in PAPER_CORPORA)
+        report(f"  {platform:16s}{cells}")
+
+    for label in PAPER_CORPORA:
+        retrieval_speedup = (entries["cpu"].retrieval_ms[label]
+                             / entries["apu_all_opts"].retrieval_ms[label])
+        e2e_speedup = (entries["cpu"].ttft_ms[label]
+                       / entries["apu_all_opts"].ttft_ms[label])
+        report(f"  {label}: retrieval speedup {retrieval_speedup:.2f}x "
+               f"(paper {RETRIEVAL_TARGETS[label]}), e2e {e2e_speedup:.2f}x "
+               f"(paper {E2E_TARGETS[label]})")
+        assert retrieval_speedup == pytest.approx(
+            RETRIEVAL_TARGETS[label], rel=0.25)
+        assert e2e_speedup == pytest.approx(E2E_TARGETS[label], rel=0.12)
+        # GPU-level end-to-end latency.
+        assert (entries["apu_all_opts"].ttft_ms[label]
+                / entries["gpu"].ttft_ms[label]) < 1.25

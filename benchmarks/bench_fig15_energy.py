@@ -1,0 +1,32 @@
+"""Fig. 15: top-5 retrieval energy, APU vs NVIDIA A6000.
+
+Paper anchors: 54.4x-117.9x energy reduction; at 200 GB the APU energy
+splits static 71.4% / compute 24.7% / DRAM 2.7% / other 1.1% /
+cache 0.005%.
+"""
+
+import pytest
+
+from repro.rag import fig15_energy_comparison
+
+
+def test_fig15_energy(benchmark, report):
+    points = benchmark(fig15_energy_comparison)
+
+    report("Fig. 15: top-5 retrieval energy comparison")
+    report(f"  {'corpus':8s} {'APU J':>10s} {'GPU J':>10s} {'ratio':>8s}")
+    for label, point in points.items():
+        report(f"  {label:8s} {point.apu_energy.total_j:10.3f} "
+               f"{point.gpu_energy_j:10.2f} {point.efficiency_ratio:7.1f}x")
+    fractions = points["200GB"].apu_energy.fractions()
+    report("  APU energy split at 200 GB "
+           "(paper: static 71.4%, compute 24.7%, DRAM 2.7%, other 1.1%, "
+           "cache 0.005%):")
+    report("   " + ", ".join(
+        f"{k} {v * 100:.3f}%" for k, v in fractions.items()))
+
+    ratios = [p.efficiency_ratio for p in points.values()]
+    assert min(ratios) == pytest.approx(54.4, rel=0.15)
+    assert max(ratios) == pytest.approx(117.9, rel=0.15)
+    assert fractions["static"] == pytest.approx(0.714, abs=0.03)
+    assert fractions["compute"] == pytest.approx(0.247, abs=0.03)

@@ -1,0 +1,28 @@
+"""Table 1: device comparison (GSI APU vs Xeon 8280 vs A100 vs IPU)."""
+
+from repro.core.params import DEVICE_SPECS
+
+
+def test_table1_device_comparison(benchmark, report):
+    def build():
+        rows = []
+        for spec in DEVICE_SPECS.values():
+            rows.append((
+                spec.name, spec.compute_units, spec.process_nm,
+                spec.clock_hz / 1e9, spec.peak_tops,
+                spec.on_chip_memory_mb, spec.on_chip_bandwidth_tbs,
+                spec.tdp_w, spec.tops_per_watt,
+            ))
+        return rows
+
+    rows = benchmark(build)
+    report("Table 1: device comparison")
+    header = (f"{'device':18s} {'compute units':18s} {'nm':>4s} {'GHz':>5s} "
+              f"{'TOPS':>5s} {'MB':>6s} {'TB/s':>5s} {'TDP':>5s} {'TOPS/W':>7s}")
+    report(header)
+    for name, units, nm, ghz, tops, mb, tbs, tdp, tpw in rows:
+        report(f"{name:18s} {units:18s} {nm:4d} {ghz:5.1f} {tops:5.0f} "
+               f"{mb:6.1f} {tbs:5.0f} {tdp:5.0f} {tpw:7.2f}")
+    apu = DEVICE_SPECS["gsi_apu"]
+    assert all(apu.tops_per_watt >= s.tops_per_watt
+               for s in DEVICE_SPECS.values())

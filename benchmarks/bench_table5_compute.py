@@ -1,0 +1,77 @@
+"""Table 5: computation operation latencies on the simulator."""
+
+import pytest
+
+from repro.apu.device import APUDevice
+from repro.core.params import DEFAULT_PARAMS
+
+C = DEFAULT_PARAMS.compute
+ISSUE = DEFAULT_PARAMS.effects.vcu_issue_cycles
+
+#: (gvml method name, args, Table 5 op name)
+CASES = [
+    ("and_16", (2, 0, 1), "and_16"),
+    ("or_16", (2, 0, 1), "or_16"),
+    ("not_16", (2, 0), "not_16"),
+    ("xor_16", (2, 0, 1), "xor_16"),
+    ("sr_imm_16", (2, 0, 3), "ashift"),
+    ("add_u16", (2, 0, 1), "add_u16"),
+    ("add_s16", (2, 0, 1), "add_s16"),
+    ("sub_u16", (2, 0, 1), "sub_u16"),
+    ("sub_s16", (2, 0, 1), "sub_s16"),
+    ("popcnt_16", (2, 0), "popcnt_16"),
+    ("mul_u16", (2, 0, 1), "mul_u16"),
+    ("mul_s16", (2, 0, 1), "mul_s16"),
+    ("mul_f16", (2, 0, 1), "mul_f16"),
+    ("div_u16", (2, 0, 1), "div_u16"),
+    ("div_s16", (2, 0, 1), "div_s16"),
+    ("eq_16", (0, 0, 1), "eq_16"),
+    ("gt_u16", (0, 0, 1), "gt_u16"),
+    ("lt_u16", (0, 0, 1), "lt_u16"),
+    ("lt_gf16", (0, 0, 1), "lt_gf16"),
+    ("ge_u16", (0, 0, 1), "ge_u16"),
+    ("le_u16", (0, 0, 1), "le_u16"),
+    ("recip_u16", (2, 0), "recip_u16"),
+    ("exp_f16", (2, 0), "exp_f16"),
+    ("sin_fx", (2, 0), "sin_fx"),
+    ("cos_fx", (2, 0), "cos_fx"),
+    ("count_m", (0,), "count_m"),
+]
+
+
+@pytest.mark.parametrize("method, args, op", CASES, ids=[c[0] for c in CASES])
+def test_table5_each_op(method, args, op, benchmark):
+    def run():
+        device = APUDevice(functional=False)
+        getattr(device.core.gvml, method)(*args)
+        return device.core.cycles
+
+    cycles = benchmark(run)
+    assert cycles == pytest.approx(C.cost(op) + ISSUE)
+
+
+def test_table5_summary(report, benchmark):
+    benchmark(lambda: None)
+    report("Table 5: computation latencies (cycles; simulator adds "
+           f"{ISSUE:.0f}-cycle VCU issue)")
+    report(f"{'operation':12s} {'paper':>8s} {'simulated':>10s}")
+    for method, args, op in CASES:
+        device = APUDevice(functional=False)
+        getattr(device.core.gvml, method)(*args)
+        report(f"{op:12s} {C.cost(op):8.0f} {device.core.cycles:10.0f}")
+
+
+def test_table5_reduction_eq1(report, benchmark):
+    """The add_subgrp_s16 row: Eq. 1 against the staged ladder."""
+    from repro.core.reduction_model import (
+        fit_reduction_coefficients, simulated_sg_add_cycles,
+    )
+
+    fit = benchmark(fit_reduction_coefficients)
+    report("add_subgrp_s16: Eq. 1 fit vs staged-ladder simulation")
+    report(f"{'(r, s)':>16s} {'ladder':>9s} {'Eq. 1':>9s}")
+    for r, s in [(32768, 1), (32768, 256), (8192, 1024), (1024, 1)]:
+        ladder = simulated_sg_add_cycles(r, s)
+        eq1 = fit.predict(r, s)
+        report(f"{f'({r}, {s})':>16s} {ladder:9.1f} {eq1:9.1f}")
+    assert fit.r_squared > 0.999

@@ -1,0 +1,22 @@
+"""Table 6: Phoenix workload statistics (instruction counts)."""
+
+from repro.phoenix import PhoenixSuite
+
+
+def test_table6_statistics(benchmark, report):
+    suite = PhoenixSuite()
+    rows = benchmark(suite.table6_stats)
+
+    report("Table 6: Phoenix workload statistics")
+    report(f"  {'application':18s} {'input':>14s} {'CPU inst':>12s} "
+           f"{'APU ucode inst':>15s}")
+    for row in rows:
+        cpu = (f"{row['cpu_instructions'] / 1e9:.1f}B"
+               if row["cpu_instructions"] else "--")
+        report(f"  {row['app']:18s} {row['input_size']:>14s} {cpu:>12s} "
+               f"{row['apu_ucode_instructions'] / 1e6:14.2f}M")
+
+    by_app = {r["app"]: r for r in rows}
+    assert by_app["string_match"]["cpu_instructions"] == 101.8e9
+    for row in rows:
+        assert row["apu_ucode_instructions"] > 0

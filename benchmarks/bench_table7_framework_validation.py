@@ -1,0 +1,40 @@
+"""Table 7: analytical-framework validation (measured vs predicted).
+
+Paper anchors: per-app error between +2.3% and -6.2%, mean accuracy
+97.3%.  "Measured" here is the cycle-accounting simulator (second-order
+effects on), "predicted" the closed-form framework (effects off).
+"""
+
+PAPER_ROWS = {
+    "histogram": (1644.8, +0.32),
+    "linear_regression": (92.3, +2.3),
+    "matrix_multiply": (421.3, -4.5),
+    "kmeans": (1.6, -6.2),
+    "reverse_index": (182.0, -0.49),
+    "string_match": (90.9, +1.8),
+    "word_count": (3.2, -3.1),
+}
+
+from repro.phoenix import PhoenixSuite
+
+
+def test_table7_validation(benchmark, report):
+    suite = PhoenixSuite()
+    rows = benchmark(suite.table7_validation)
+
+    report("Table 7: measured (simulator) vs predicted (framework)")
+    report(f"  {'application':18s} {'meas ms':>10s} {'pred ms':>10s} "
+           f"{'error':>8s} {'paper ms':>9s} {'paper err':>9s}")
+    for row in rows:
+        paper_ms, paper_err = PAPER_ROWS[row.app]
+        report(f"  {row.app:18s} {row.measured_ms:10.2f} "
+               f"{row.predicted_ms:10.2f} {row.error * 100:+7.2f}% "
+               f"{paper_ms:9.1f} {paper_err:+8.2f}%")
+    accuracy = suite.mean_accuracy()
+    report(f"  mean framework accuracy: {accuracy * 100:.2f}% (paper 97.3%)")
+
+    assert accuracy > 0.95
+    for row in rows:
+        assert abs(row.error) < 0.062  # paper's worst case
+        assert 0.6 * PAPER_ROWS[row.app][0] < row.measured_ms \
+            < 1.4 * PAPER_ROWS[row.app][0]

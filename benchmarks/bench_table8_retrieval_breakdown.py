@@ -1,0 +1,50 @@
+"""Table 8: compute-in-SRAM retrieval latency breakdown.
+
+Paper anchors (totals): no-opt 21.8 / 129.5 / 539.2 ms, all-opts
+3.9 / 20.6 / 84.2 ms at 10/50/200 GB.
+"""
+
+import pytest
+
+from repro.rag import APURetriever, PAPER_CORPORA
+
+PAPER = {
+    #        no-opt total, all-opts total (ms)
+    "10GB": (21.8, 3.9),
+    "50GB": (129.5, 20.6),
+    "200GB": (539.2, 84.2),
+}
+
+STAGES = ("load_embedding", "load_query", "calc_distance",
+          "topk_aggregation", "return_topk", "total")
+
+
+def test_table8_breakdown(benchmark, report):
+    def run():
+        out = {}
+        for label, spec in PAPER_CORPORA.items():
+            out[label] = (
+                APURetriever(optimized=False).latency_breakdown(spec),
+                APURetriever(optimized=True).latency_breakdown(spec),
+            )
+        return out
+
+    results = benchmark(run)
+    report("Table 8: retrieval latency breakdown (ms)")
+    for variant, idx in (("No Opt", 0), ("All Opts", 1)):
+        report(f"  Compute-in-SRAM {variant}")
+        report("  " + f"{'stage':18s}" + "".join(
+            f"{label:>10s}" for label in PAPER_CORPORA))
+        for stage in STAGES:
+            cells = "".join(
+                f"{results[label][idx].as_ms()[stage]:10.3f}"
+                for label in PAPER_CORPORA
+            )
+            report(f"  {stage:18s}{cells}")
+
+    for label, (paper_noopt, paper_opt) in PAPER.items():
+        noopt, opt = results[label]
+        assert noopt.total * 1e3 == pytest.approx(paper_noopt, rel=0.35)
+        assert opt.total * 1e3 == pytest.approx(paper_opt, rel=0.35)
+        # Both columns are distance-dominated, as in the paper.
+        assert opt.calc_distance > 0.5 * opt.total

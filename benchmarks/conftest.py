@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper table or figure: the ``benchmark``
+fixture times the computation, and the ``report`` fixture prints the
+paper-style rows to the real terminal (bypassing pytest capture) so the
+numbers appear alongside the pytest-benchmark timing table.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print rows to the terminal regardless of capture mode."""
+
+    def _print(*args, **kwargs):
+        with capsys.disabled():
+            print(*args, **kwargs)
+
+    _print("")  # newline separating pytest progress dots from tables
+    return _print

@@ -1,0 +1,68 @@
+"""Architectural design-space exploration with the analytical framework.
+
+Uses the framework the way Section 3 advertises: sweep key design
+parameters against real workload models (the optimized binary matmul
+and the RAG distance sweep) and rank them by sensitivity -- guidance
+for a next-generation compute-in-SRAM part.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core import DesignSpaceExplorer, LatencyEstimator
+from repro.core import api
+from repro.core.params import DEFAULT_PARAMS
+from repro.opt.reduction import MatmulCostModel, MatmulShape
+
+
+def matmul_workload(params):
+    """All-opts 1024^3 binary matmul latency (us)."""
+    model = MatmulCostModel(MatmulShape(1024, 1024, 64), params)
+    return params.cycles_to_us(model.all_opts().total)
+
+
+def rag_distance_workload(params):
+    """The RAG distance sweep expressed through the Fig. 6 API (us)."""
+    est = LatencyEstimator(params)
+    with est.ctx():
+        blocks, dims = 100, 384  # 3.3M chunks, 384 dims
+        api.gvml_load_16(count=blocks * dims)
+        api.gvml_cpy_imm_16(count=blocks * dims)
+        api.gvml_mul_f16(count=blocks * dims)
+        api.gvml_add_s16(count=blocks * dims)
+        api.gvml_add_subgrp_s16(32768, 1, count=blocks)  # top-k ladders
+    return est.report_latency()
+
+
+SWEEPS = {
+    "movement.lookup_per_entry": [1.7875, 3.575, 7.15, 14.3],
+    "movement.dma_l4_l1": [5568.0, 11136.0, 22272.0, 44544.0],
+    "movement.cpy_subgrp": [20.5, 41.0, 82.0, 164.0],
+    "compute.mul_f16": [38.5, 77.0, 154.0],
+    "clock_hz": [250e6, 500e6, 1e9, 2e9],
+    "dram_bandwidth": [23.8e9, 100e9, 400e9],
+}
+
+
+def main():
+    for name, workload in (("binary matmul (all opts)", matmul_workload),
+                           ("RAG distance sweep", rag_distance_workload)):
+        explorer = DesignSpaceExplorer(workload, DEFAULT_PARAMS)
+        print(f"workload: {name}")
+        print(f"  baseline latency: {workload(DEFAULT_PARAMS):.1f} us")
+        report = explorer.sensitivity_report(SWEEPS)
+        ranked = sorted(report.items(), key=lambda kv: -kv[1].sensitivity())
+        for parameter, sweep in ranked:
+            print(f"  {parameter:28s} sensitivity {sweep.sensitivity():6.3f}  "
+                  f"best {sweep.best.latency_us:9.1f} us at "
+                  f"{sweep.best.value:g}")
+        print()
+
+    print("interpretation: parameters with sensitivity near 1 bound the")
+    print("workload; near 0 they are off the critical path.  The clock")
+    print("dominates both workloads because on-chip movement and compute")
+    print("scale with it, matching the paper's observation that the")
+    print("optimized kernels are no longer off-chip-bandwidth bound.")
+
+
+if __name__ == "__main__":
+    main()

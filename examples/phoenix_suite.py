@@ -1,0 +1,60 @@
+"""The Phoenix benchmark suite on the APU (Section 5.2).
+
+Validates each application's functional kernel against its reference,
+then prints Tables 6 and 7 and the Fig. 13 speedup comparison.
+
+Run:  python examples/phoenix_suite.py
+"""
+
+import numpy as np
+
+from repro.phoenix import PhoenixSuite
+
+
+def main():
+    suite = PhoenixSuite()
+
+    # --- Functional validation at reduced scale -----------------------
+    print("functional validation:")
+    for name, app in suite.apps.items():
+        result = app.run_functional()
+        reference = app.reference()
+        if isinstance(reference, np.ndarray):
+            ok = np.array_equal(np.asarray(result.value), reference)
+        elif isinstance(reference, tuple):
+            ok = all(np.allclose(a, b) for a, b in zip(result.value, reference))
+        else:
+            ok = result.value == reference
+        status = "ok" if ok else "MISMATCH"
+        print(f"  {name:18s} {status:8s} ({result.latency_us:9.1f} us simulated)")
+
+    # --- Table 6 --------------------------------------------------------
+    print("\nTable 6: workload statistics")
+    for row in suite.table6_stats():
+        cpu = (f"{row['cpu_instructions'] / 1e9:5.1f}B"
+               if row["cpu_instructions"] else "   --")
+        print(f"  {row['app']:18s} input {row['input_size']:>14s}  "
+              f"CPU {cpu}  APU uCode "
+              f"{row['apu_ucode_instructions'] / 1e6:8.2f}M")
+
+    # --- Table 7 --------------------------------------------------------
+    print("\nTable 7: framework validation (measured vs predicted)")
+    for row in suite.table7_validation():
+        print(f"  {row.app:18s} {row.measured_ms:9.2f} ms vs "
+              f"{row.predicted_ms:9.2f} ms  ({row.error * 100:+.2f}%)")
+    print(f"  mean accuracy: {suite.mean_accuracy() * 100:.2f}% (paper 97.3%)")
+
+    # --- Fig. 13 ---------------------------------------------------------
+    print("\nFig. 13: APU speedups over the Xeon baseline")
+    for row in suite.fig13_comparison():
+        print(f"  {row.app:18s} vs 1T {row.speedup_1t():7.2f}x   "
+              f"vs 16T {row.speedup_16t():6.2f}x")
+    agg = suite.aggregate_speedups()
+    print(f"  aggregate vs 1T : mean {agg['mean_vs_1t']:.1f}x, "
+          f"peak {agg['peak_vs_1t']:.1f}x (paper 41.8x / 128.3x)")
+    print(f"  aggregate vs 16T: mean {agg['mean_vs_16t']:.1f}x, "
+          f"peak {agg['peak_vs_16t']:.1f}x (paper 12.5x / 68.1x)")
+
+
+if __name__ == "__main__":
+    main()

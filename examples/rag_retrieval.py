@@ -1,0 +1,67 @@
+"""Retrieval-augmented generation on compute-in-SRAM (Section 5.3).
+
+1. Runs exact top-5 retrieval functionally on the simulator and checks
+   it against the FAISS-like CPU reference.
+2. Reproduces the Table 8 latency breakdown at the paper's corpus
+   scales (10/50/200 GB) with the simulated HBM2e.
+3. Prints the Fig. 14 end-to-end comparison and the Fig. 15 energy gap.
+
+Run:  python examples/rag_retrieval.py
+"""
+
+from repro.rag import (
+    APURetriever,
+    CPURetriever,
+    GPURetriever,
+    MiniCorpus,
+    PAPER_CORPORA,
+    RAGPipeline,
+    fig14_comparison,
+    fig15_energy_comparison,
+)
+
+
+def main():
+    # --- 1. Functional retrieval --------------------------------------
+    corpus = MiniCorpus(n_chunks=400, dim=64, seed=7)
+    query = corpus.sample_query()
+    apu_top5 = APURetriever().retrieve(corpus, query, k=5)
+    cpu_top5 = CPURetriever().retrieve(corpus, query, k=5)
+    gpu_top5 = GPURetriever().retrieve(corpus, query, k=5)
+    print(f"top-5 chunks (APU simulator): {apu_top5}")
+    assert set(apu_top5) == set(cpu_top5) == set(gpu_top5)
+    print("APU, CPU (FAISS-like) and GPU retrieval agree exactly\n")
+
+    # --- 2. Table 8 at paper scale ------------------------------------
+    print("Table 8: retrieval latency breakdown (ms)")
+    for label, spec in PAPER_CORPORA.items():
+        noopt = APURetriever(optimized=False).latency_breakdown(spec)
+        opt = APURetriever(optimized=True).latency_breakdown(spec)
+        print(f"  {label}: no-opt {noopt.total * 1e3:6.1f} ms "
+              f"-> all-opts {opt.total * 1e3:5.1f} ms "
+              f"({noopt.total / opt.total:.1f}x)")
+        for stage, value in opt.as_ms().items():
+            if stage != "total":
+                print(f"      {stage:18s} {value:8.3f} ms")
+
+    # --- 3. Fig. 14 / Fig. 15 ------------------------------------------
+    print("\nFig. 14: time to first token (ms)")
+    entries = {e.platform: e for e in fig14_comparison()}
+    for platform, entry in entries.items():
+        cells = "  ".join(f"{label}: {entry.ttft_ms[label]:7.1f}"
+                          for label in PAPER_CORPORA)
+        print(f"  {platform:14s} {cells}")
+    pipeline = RAGPipeline(CPURetriever())
+    for label, spec in PAPER_CORPORA.items():
+        print(f"  CPU retrieval fraction at {label}: "
+              f"{pipeline.retrieval_fraction(spec) * 100:.1f}%")
+
+    print("\nFig. 15: retrieval energy (paper band: 54.4x - 117.9x)")
+    for label, point in fig15_energy_comparison().items():
+        print(f"  {label}: APU {point.apu_energy.total_j:6.3f} J vs "
+              f"GPU {point.gpu_energy_j:6.1f} J "
+              f"-> {point.efficiency_ratio:5.1f}x less energy")
+
+
+if __name__ == "__main__":
+    main()

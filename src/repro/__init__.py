@@ -1,0 +1,26 @@
+"""Reproduction of "Characterizing and Optimizing Realistic Workloads on a
+Commercial Compute-in-SRAM Device" (MICRO 2025).
+
+Subpackages:
+
+* :mod:`repro.core` -- the analytical framework (the paper's primary
+  contribution): cost tables, ``LatencyEstimator``, Eq. 1 reduction
+  model, roofline, design-space exploration.
+* :mod:`repro.apu` -- the GSI-APU simulator: bit-processor microcode,
+  memory hierarchy, DMA/PIO, GVML, energy model.
+* :mod:`repro.opt` -- the three optimizations: communication-aware
+  reduction mapping, DMA coalescing, broadcast-friendly layouts, and
+  the binary-matmul kernels that realize them.
+* :mod:`repro.hbm` -- the simulated HBM2e / DDR4 off-chip memory.
+* :mod:`repro.baselines` -- Xeon 6230R / RTX A6000 models and a
+  FAISS-like exact index.
+* :mod:`repro.phoenix` -- the Phoenix benchmark suite on the APU.
+* :mod:`repro.rag` -- retrieval-augmented generation end to end.
+"""
+
+from . import apu, baselines, core, hbm, opt, phoenix, rag
+
+__version__ = "1.0.0"
+
+__all__ = ["apu", "baselines", "core", "hbm", "opt", "phoenix", "rag",
+           "__version__"]

@@ -1,0 +1,62 @@
+"""Functional + timing simulator of the GSI APU compute-in-SRAM device.
+
+Layers, bottom-up:
+
+* :mod:`repro.apu.bitproc` / :mod:`repro.apu.microcode` -- the bit-slice
+  bank and Table 2 micro-operations, with bit-serial arithmetic built on
+  them (functional ground truth for the vector ISA).
+* :mod:`repro.apu.memory` -- the L4/L3/L2/L1 hierarchy.
+* :mod:`repro.apu.dma` -- DMA engines, PIO, indexed lookup (Table 4 costs).
+* :mod:`repro.apu.gvml` -- the vector math library (Table 5 costs).
+* :mod:`repro.apu.core` / :mod:`repro.apu.device` -- cores and the
+  four-core device with its GDL-style host interface.
+* :mod:`repro.apu.energy` -- the calibrated board energy model.
+"""
+
+from .bitproc import BitProcessorArray, MicrocodeError
+from .core import APUCore, NUM_MARKERS
+from .device import APUDevice, TaskResult
+from .dma import DMAController
+from .energy import APUEnergyModel, EnergyBreakdown, categorize_op
+from .gvml import GVML, GVMLError
+from .memory import (
+    AllocationError,
+    CPCache,
+    DeviceDRAM,
+    MemHandle,
+    MemoryError_,
+    Scratchpad,
+    VMRFile,
+)
+from .assembler import AssemblerError, assemble, run_program
+from .profiler import DeviceProfiler, linear_fit
+from .rvv import RVVError, RVVMachine
+
+__all__ = [
+    "APUCore",
+    "APUDevice",
+    "APUEnergyModel",
+    "AllocationError",
+    "AssemblerError",
+    "assemble",
+    "BitProcessorArray",
+    "CPCache",
+    "DMAController",
+    "DeviceDRAM",
+    "DeviceProfiler",
+    "EnergyBreakdown",
+    "GVML",
+    "GVMLError",
+    "MemHandle",
+    "MemoryError_",
+    "MicrocodeError",
+    "NUM_MARKERS",
+    "RVVError",
+    "RVVMachine",
+    "Scratchpad",
+    "TaskResult",
+    "VMRFile",
+    "categorize_op",
+    "linear_fit",
+    "run_program",
+]

@@ -1,0 +1,186 @@
+"""A textual assembler for Table 2 microcode.
+
+Table 2 defines the operations on the microarchitectural state; this
+module gives them a concrete assembly syntax so bit-processor programs
+can be written, read and tested as text -- the way the GVML authors (or
+the RISC-V port of Golden et al.) would prototype new vector
+instructions.
+
+Syntax (one statement per line; ``#`` comments; ``@mask`` suffix
+restricts a statement to a 16-bit slice mask):
+
+.. code-block:: text
+
+    RL  = VR[0]                 # read
+    RL  = VR[0] & VR[1]         # read two VRs, AND
+    RL ^= VR[2]                 # RL op= VR
+    RL  = GVL                   # read a latch source (GHL/GVL/N/S/E/W)
+    RL |= GHL                   # RL op= latch
+    VR[3] = RL                  # write through WBL
+    VR[3] = ~RL                 # write through WBLB (negated)
+    GHL = RL                    # drive the horizontal lines (OR)
+    GVL = RL                    # drive the vertical lines (AND)
+    RL = VR[0] ^ N   @ 0x00ff   # masked to the low 8 bit-slices
+
+Programs execute against a :class:`~repro.apu.bitproc.BitProcessorArray`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from .bitproc import BitProcessorArray, LATCH_SOURCES, MicrocodeError
+
+__all__ = ["AssemblerError", "assemble", "run_program"]
+
+_OP_TOKENS = {"&": "and", "|": "or", "^": "xor"}
+_LATCHES = {name.upper(): name for name in LATCH_SOURCES}
+
+_VR_RE = re.compile(r"^VR\[(\d+)\]$")
+
+
+class AssemblerError(Exception):
+    """Raised on unparseable microcode text."""
+
+
+class _Statement:
+    """One parsed statement: a closure over the bank call."""
+
+    def __init__(self, text: str, apply):
+        self.text = text
+        self._apply = apply
+
+    def __call__(self, bank: BitProcessorArray) -> None:
+        self._apply(bank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<microcode {self.text!r}>"
+
+
+def _parse_operand(token: str):
+    """Classify an operand token: ('vr', index) or ('latch', name)."""
+    token = token.strip()
+    match = _VR_RE.match(token)
+    if match:
+        return ("vr", int(match.group(1)))
+    if token in _LATCHES:
+        return ("latch", _LATCHES[token])
+    raise AssemblerError(f"unknown operand {token!r}")
+
+
+def _split_mask(line: str):
+    if "@" in line:
+        body, mask_text = line.rsplit("@", 1)
+        try:
+            mask = int(mask_text.strip(), 0)
+        except ValueError as exc:
+            raise AssemblerError(f"bad mask {mask_text.strip()!r}") from exc
+        return body.strip(), mask
+    return line.strip(), 0xFFFF
+
+
+def _parse_statement(line: str) -> _Statement:
+    body, mask = _split_mask(line)
+
+    # Global line drives.
+    if body in ("GHL = RL", "GVL = RL"):
+        target = body.split("=")[0].strip()
+        if target == "GHL":
+            return _Statement(body, lambda b: b.ghl_from_rl(mask))
+        return _Statement(body, lambda b: b.gvl_from_rl(mask))
+
+    # VR writes (WBL / WBLB).
+    match = re.match(r"^VR\[(\d+)\]\s*=\s*(~?)RL$", body)
+    if match:
+        vr, negate = int(match.group(1)), match.group(2) == "~"
+        return _Statement(
+            body, lambda b: b.vr_write(vr, mask, negate=negate)
+        )
+
+    # RL-targeted statements.
+    match = re.match(r"^RL\s*(\^|\||&)?=\s*(.+)$", body)
+    if not match:
+        raise AssemblerError(f"cannot parse statement {body!r}")
+    accumulate = match.group(1)
+    rhs = match.group(2).strip()
+
+    # Split the RHS on a top-level boolean operator, if any.
+    rhs_match = re.match(r"^(.+?)\s*(\^|\||&)\s*(.+)$", rhs)
+    if rhs_match:
+        left = _parse_operand(rhs_match.group(1))
+        op2 = _OP_TOKENS[rhs_match.group(2)]
+        right = _parse_operand(rhs_match.group(3))
+    else:
+        left = _parse_operand(rhs)
+        op2 = None
+        right = None
+
+    if accumulate is None:
+        # Plain reads: RL = VR / RL = L / RL = VR op VR / RL = VR op L.
+        if op2 is None:
+            if left[0] == "vr":
+                vr = left[1]
+                return _Statement(body, lambda b: b.rl_read(vr, mask))
+            latch = left[1]
+            return _Statement(body, lambda b: b.rl_from_latch(latch, mask))
+        if left[0] == "vr" and right[0] == "vr":
+            if op2 != "and":
+                raise AssemblerError(
+                    "two-VR reads support only '&' (Table 2: RL = VR[a, b])"
+                )
+            va, vb = left[1], right[1]
+            return _Statement(body, lambda b: b.rl_read_and(va, vb, mask))
+        if left[0] == "vr" and right[0] == "latch":
+            vr, latch = left[1], right[1]
+            return _Statement(
+                body,
+                lambda b: b.rl_read_vr_op_latch(vr, op2, latch, mask),
+            )
+        raise AssemblerError(f"unsupported read form {body!r}")
+
+    op1 = _OP_TOKENS[accumulate]
+    if op2 is None:
+        # RL op= VR / RL op= L.
+        if left[0] == "vr":
+            vr = left[1]
+            return _Statement(body, lambda b: b.rl_op_vr(op1, vr, mask))
+        latch = left[1]
+        return _Statement(body, lambda b: b.rl_op_latch(op1, latch, mask))
+    # RL op= VR op L.
+    if left[0] == "vr" and right[0] == "latch":
+        vr, latch = left[1], right[1]
+        return _Statement(
+            body,
+            lambda b: b.rl_op_vr_op_latch(op1, vr, op2, latch, mask),
+        )
+    raise AssemblerError(f"unsupported accumulate form {body!r}")
+
+
+def assemble(source: str) -> List[_Statement]:
+    """Parse microcode text into executable statements."""
+    statements = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            statements.append(_parse_statement(line))
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+    return statements
+
+
+def run_program(bank: BitProcessorArray,
+                program: "str | Iterable[_Statement]") -> int:
+    """Assemble (if needed) and execute a program; returns micro-ops used."""
+    statements = assemble(program) if isinstance(program, str) else program
+    before = bank.micro_ops
+    for statement in statements:
+        try:
+            statement(bank)
+        except MicrocodeError as exc:
+            raise AssemblerError(
+                f"execution of {statement.text!r} failed: {exc}"
+            ) from exc
+    return bank.micro_ops - before

@@ -1,0 +1,232 @@
+"""Bit-slice bank and bit-processor microarchitecture (paper Fig. 4, Table 2).
+
+One physical bank stores 2048 16-bit elements of all 24 VRs in bit-slice
+fashion: bit-slice ``t`` holds bit ``t`` of every element, and each
+column of each bit-slice integrates a bit processor with 24 SRAM cells
+(one per VR).  The microarchitectural state is:
+
+* ``RL``  -- the per-bit-processor read latch, shape (16, columns);
+* ``GHL`` -- one global horizontal latch per bit-slice row (OR-combining);
+* ``GVL`` -- one global vertical latch per column (AND-combining);
+* ``VR[i]`` -- the SRAM cells themselves, shape (24, 16, columns).
+
+The operations implemented here are exactly the Table 2 set: reads into
+RL (with optional AND of two VRs and AND/OR/XOR combining with a latch
+source), writes back through WBL/WBLB, and latch broadcasts.  A 16-bit
+slice mask restricts any operation to a subset of bit-slices, which is
+what makes bit-serial arithmetic (:mod:`repro.apu.microcode`)
+expressible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BitProcessorArray", "LATCH_SOURCES", "MicrocodeError"]
+
+#: Latch sources a read can combine with (Table 2's ``L``).
+LATCH_SOURCES = ("ghl", "gvl", "n", "s", "e", "w")
+
+_OPS = {
+    "and": np.logical_and,
+    "or": np.logical_or,
+    "xor": np.logical_xor,
+}
+
+
+class MicrocodeError(Exception):
+    """Raised on malformed micro-operations."""
+
+
+class BitProcessorArray:
+    """A functional model of one bank's bit processors.
+
+    Parameters
+    ----------
+    columns:
+        Number of bit-processor columns (2048 on the device; tests use
+        smaller arrays).
+    num_vrs:
+        Number of vector registers stored in the cells (24 on device).
+    element_bits:
+        Bits per element, i.e. number of bit-slices (16 on device).
+    """
+
+    def __init__(self, columns: int = 2048, num_vrs: int = 24,
+                 element_bits: int = 16):
+        if columns <= 0 or num_vrs <= 0 or element_bits <= 0:
+            raise MicrocodeError("array dimensions must be positive")
+        self.columns = columns
+        self.num_vrs = num_vrs
+        self.element_bits = element_bits
+        # SRAM cells: [vr][bit-slice][column]
+        self.cells = np.zeros((num_vrs, element_bits, columns), dtype=bool)
+        # Read latches: [bit-slice][column]
+        self.rl = np.zeros((element_bits, columns), dtype=bool)
+        # Global horizontal latch: one per bit-slice row.
+        self.ghl = np.zeros(element_bits, dtype=bool)
+        # Global vertical latch: one per column.
+        self.gvl = np.zeros(columns, dtype=bool)
+        #: Count of issued micro-operations (for instruction statistics).
+        self.micro_ops = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _slice_rows(self, mask: int) -> np.ndarray:
+        if not 0 <= mask < (1 << self.element_bits):
+            raise MicrocodeError(f"bad {self.element_bits}-bit slice mask: {mask:#x}")
+        return np.array(
+            [bool((mask >> t) & 1) for t in range(self.element_bits)], dtype=bool
+        )
+
+    def _check_vr(self, vr: int) -> None:
+        if not 0 <= vr < self.num_vrs:
+            raise MicrocodeError(f"VR index {vr} out of range 0..{self.num_vrs - 1}")
+
+    def _latch_plane(self, source: str) -> np.ndarray:
+        """The (bits, columns) value plane a latch source presents to reads."""
+        if source == "ghl":
+            return np.broadcast_to(self.ghl[:, None], self.rl.shape)
+        if source == "gvl":
+            return np.broadcast_to(self.gvl[None, :], self.rl.shape)
+        if source in ("n", "s", "e", "w"):
+            return self._neighbor_plane(source)
+        raise MicrocodeError(f"unknown latch source {source!r}")
+
+    def _neighbor_plane(self, direction: str) -> np.ndarray:
+        """RL values of the neighboring bit processors.
+
+        North/south neighbors live in the adjacent bit-slice (bit index
+        +1 / -1); east/west neighbors in the adjacent column.  Edges
+        read zero.
+        """
+        plane = np.zeros_like(self.rl)
+        if direction == "n":  # neighbor at bit index + 1
+            plane[:-1, :] = self.rl[1:, :]
+        elif direction == "s":  # neighbor at bit index - 1
+            plane[1:, :] = self.rl[:-1, :]
+        elif direction == "e":  # neighbor at column + 1
+            plane[:, :-1] = self.rl[:, 1:]
+        elif direction == "w":  # neighbor at column - 1
+            plane[:, 1:] = self.rl[:, :-1]
+        return plane
+
+    # ------------------------------------------------------------------
+    # Table 2 read operations
+    # ------------------------------------------------------------------
+    def rl_read(self, vr: int, mask: int = 0xFFFF) -> None:
+        """``RL = VR[vrs0]``."""
+        self._check_vr(vr)
+        rows = self._slice_rows(mask)
+        self.rl[rows] = self.cells[vr][rows]
+        self.micro_ops += 1
+
+    def rl_read_and(self, vr0: int, vr1: int, mask: int = 0xFFFF) -> None:
+        """``RL = VR[vrs0, vrs1]`` -- read and bitwise AND of two VRs."""
+        self._check_vr(vr0)
+        self._check_vr(vr1)
+        rows = self._slice_rows(mask)
+        self.rl[rows] = self.cells[vr0][rows] & self.cells[vr1][rows]
+        self.micro_ops += 1
+
+    def rl_from_latch(self, source: str, mask: int = 0xFFFF) -> None:
+        """``RL = L`` -- load RL from a latch source."""
+        rows = self._slice_rows(mask)
+        self.rl[rows] = self._latch_plane(source)[rows]
+        self.micro_ops += 1
+
+    def rl_op_vr(self, op: str, vr: int, mask: int = 0xFFFF) -> None:
+        """``RL op= VR[vrs0]``."""
+        self._check_vr(vr)
+        fn = self._op(op)
+        rows = self._slice_rows(mask)
+        self.rl[rows] = fn(self.rl[rows], self.cells[vr][rows])
+        self.micro_ops += 1
+
+    def rl_op_latch(self, op: str, source: str, mask: int = 0xFFFF) -> None:
+        """``RL op= L``."""
+        fn = self._op(op)
+        rows = self._slice_rows(mask)
+        self.rl[rows] = fn(self.rl[rows], self._latch_plane(source)[rows])
+        self.micro_ops += 1
+
+    def rl_read_vr_op_latch(self, vr: int, op: str, source: str,
+                            mask: int = 0xFFFF) -> None:
+        """``RL = VR[vrs0] op L``."""
+        self._check_vr(vr)
+        fn = self._op(op)
+        rows = self._slice_rows(mask)
+        self.rl[rows] = fn(self.cells[vr][rows], self._latch_plane(source)[rows])
+        self.micro_ops += 1
+
+    def rl_op_vr_op_latch(self, op1: str, vr: int, op2: str, source: str,
+                          mask: int = 0xFFFF) -> None:
+        """``RL op= VR[vrs0] op L``."""
+        self._check_vr(vr)
+        fn1, fn2 = self._op(op1), self._op(op2)
+        rows = self._slice_rows(mask)
+        operand = fn2(self.cells[vr][rows], self._latch_plane(source)[rows])
+        self.rl[rows] = fn1(self.rl[rows], operand)
+        self.micro_ops += 1
+
+    @staticmethod
+    def _op(op: str):
+        try:
+            return _OPS[op]
+        except KeyError as exc:
+            raise MicrocodeError(f"unknown boolean op {op!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Table 2 write operation
+    # ------------------------------------------------------------------
+    def vr_write(self, vr: int, mask: int = 0xFFFF, negate: bool = False) -> None:
+        """``VR[vrs0] = RL`` through WBL, or its negation through WBLB."""
+        self._check_vr(vr)
+        rows = self._slice_rows(mask)
+        value = ~self.rl[rows] if negate else self.rl[rows]
+        self.cells[vr][rows] = value
+        self.micro_ops += 1
+
+    # ------------------------------------------------------------------
+    # Global line broadcasts
+    # ------------------------------------------------------------------
+    def ghl_from_rl(self, mask: int = 0xFFFF,
+                    columns: Optional[np.ndarray] = None) -> None:
+        """Drive each selected row's GHL from its RLs (OR of all drivers)."""
+        rows = self._slice_rows(mask)
+        contributing = self.rl if columns is None else self.rl[:, columns]
+        self.ghl[rows] = contributing[rows].any(axis=-1)
+        self.micro_ops += 1
+
+    def gvl_from_rl(self, mask: int = 0xFFFF) -> None:
+        """Drive each column's GVL from the selected rows' RLs (AND)."""
+        rows = self._slice_rows(mask)
+        if not rows.any():
+            raise MicrocodeError("GVL broadcast needs at least one driving row")
+        self.gvl[:] = self.rl[rows].all(axis=0)
+        self.micro_ops += 1
+
+    # ------------------------------------------------------------------
+    # Test / host access helpers (not microcode; PIO-style backdoor)
+    # ------------------------------------------------------------------
+    def load_u16(self, vr: int, values: np.ndarray) -> None:
+        """Backdoor-load uint16 element values into a VR's cells."""
+        self._check_vr(vr)
+        arr = np.asarray(values, dtype=np.uint16)
+        if arr.shape != (self.columns,):
+            raise MicrocodeError(
+                f"expected ({self.columns},) elements, got {arr.shape}"
+            )
+        for t in range(self.element_bits):
+            self.cells[vr, t] = ((arr >> t) & 1).astype(bool)
+
+    def read_u16(self, vr: int) -> np.ndarray:
+        """Backdoor-read a VR's cells as uint16 element values."""
+        self._check_vr(vr)
+        out = np.zeros(self.columns, dtype=np.uint16)
+        for t in range(self.element_bits):
+            out |= self.cells[vr, t].astype(np.uint16) << t
+        return out

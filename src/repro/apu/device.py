@@ -1,0 +1,129 @@
+"""The APU platform: host-visible device with four cores (paper Fig. 3a).
+
+:class:`APUDevice` ties together the shared L4 device DRAM, the shared
+L3 control-processor cache, and four :class:`~repro.apu.core.APUCore`
+vector engines.  Its host-facing surface mirrors the GDL library used by
+the paper's host programs (Fig. 5a): aligned allocation, host<->device
+copies, and task invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from .core import APUCore
+from .memory import CPCache, DeviceDRAM, MemHandle
+
+__all__ = ["APUDevice", "TaskResult"]
+
+
+class TaskResult:
+    """Outcome of a device task: the kernel's return value plus timing."""
+
+    def __init__(self, value, makespan_cycles: float, total_cycles: float,
+                 params: APUParams):
+        self.value = value
+        self.makespan_cycles = makespan_cycles
+        self.total_cycles = total_cycles
+        self._params = params
+
+    @property
+    def latency_us(self) -> float:
+        """Task makespan in microseconds (cores run in parallel)."""
+        return self._params.cycles_to_us(self.makespan_cycles)
+
+    @property
+    def latency_ms(self) -> float:
+        """Task makespan in milliseconds."""
+        return self._params.cycles_to_ms(self.makespan_cycles)
+
+
+class APUDevice:
+    """A four-core APU with its shared memory, GDL-style host interface.
+
+    Parameters
+    ----------
+    params:
+        Architecture parameters (evolve a copy for DSE).
+    functional:
+        Functional (NumPy data + cycles) vs timing-only execution.
+    """
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS,
+                 functional: bool = True):
+        self.params = params
+        self.functional = functional
+        self.l4 = DeviceDRAM(params.l4_bytes)
+        self.l3 = CPCache(params)
+        self.cores: List[APUCore] = [
+            APUCore(params, device=self, functional=functional, core_id=i)
+            for i in range(params.num_cores)
+        ]
+
+    @property
+    def core(self) -> APUCore:
+        """Core 0, for single-core kernels."""
+        return self.cores[0]
+
+    # ------------------------------------------------------------------
+    # GDL-style host interface (Fig. 5a)
+    # ------------------------------------------------------------------
+    def mem_alloc_aligned(self, nbytes: int) -> MemHandle:
+        """``gdl_mem_alloc_aligned``: allocate device DRAM."""
+        return self.l4.alloc(nbytes)
+
+    def mem_free(self, handle: MemHandle) -> None:
+        """``gdl_mem_free``: release device DRAM."""
+        self.l4.free(handle)
+
+    def mem_cpy_to_dev(self, handle: MemHandle, host_array: np.ndarray) -> None:
+        """``gdl_mem_cpy_to_dev``: host -> device DRAM copy."""
+        self.l4.write(handle, np.ascontiguousarray(host_array))
+
+    def mem_cpy_from_dev(self, handle: MemHandle, nbytes: int,
+                         dtype=np.uint16) -> np.ndarray:
+        """``gdl_mem_cpy_from_dev``: device DRAM -> host copy."""
+        return self.l4.read(handle, nbytes, dtype)
+
+    def run_task(self, task: Callable, *args, **kwargs) -> TaskResult:
+        """``gdl_run_task_timeout``: invoke a device kernel and time it.
+
+        The kernel receives this device as its first argument.  Timing
+        is the *increase* in per-core cycles during the task; the
+        makespan assumes cores execute independent work in parallel.
+        """
+        before = [core.cycles for core in self.cores]
+        value = task(self, *args, **kwargs)
+        deltas = [core.cycles - start for core, start in zip(self.cores, before)]
+        return TaskResult(
+            value=value,
+            makespan_cycles=max(deltas) if deltas else 0.0,
+            total_cycles=sum(deltas),
+            params=self.params,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def makespan_cycles(self) -> float:
+        """Busiest core's cumulative cycles."""
+        return max(core.cycles for core in self.cores)
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of all cores' cycles."""
+        return sum(core.cycles for core in self.cores)
+
+    @property
+    def micro_instructions(self) -> int:
+        """Total microcode instructions issued across cores (Table 6)."""
+        return sum(core.micro_instructions for core in self.cores)
+
+    def reset_traces(self) -> None:
+        """Zero every core's cycle trace and instruction counter."""
+        for core in self.cores:
+            core.reset_trace()

@@ -1,0 +1,242 @@
+"""DMA engines and programmed I/O (paper Section 2.1.2).
+
+Each core has two parallel DMA engines moving 512-byte chunks.  The
+supported paths and their layout-transformation capabilities follow the
+paper exactly:
+
+* ``L4 <-> L3`` and ``L4 <-> L2``: DMA (contiguous / strided /
+  duplicated layouts) or PIO (arbitrary layouts, low bandwidth).
+* ``L2 <-> L1`` and ``L1 <-> VR``: full-vector granularity only, no
+  layout transformation.
+* ``L3 <-> VR``: PIO through the response FIFO -- serial ``get`` from a
+  VR, parallel ``set`` into a VR -- plus indexed lookup.
+
+Costs come from Table 4, inflated by the simulator-only second-order
+effects (DRAM refresh interference on L4 paths, per-descriptor engine
+arbitration) that the analytical model omits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .memory import MemHandle, MemoryError_
+
+__all__ = ["DMAController"]
+
+
+class DMAController:
+    """The two DMA engines plus the PIO path of one core."""
+
+    def __init__(self, core):
+        self.core = core
+        self.params = core.params
+
+    # ------------------------------------------------------------------
+    # Cost helpers
+    # ------------------------------------------------------------------
+    def _l4_cost(self, base_cycles: float, nbytes: int) -> float:
+        """Inflate an L4-path DMA cost with refresh + arbitration effects."""
+        effects = self.params.effects
+        descriptors = max(1, -(-nbytes // 512))
+        refresh = base_cycles * effects.dram_refresh_factor
+        arbitration = effects.dma_arbitration_cycles * min(descriptors, 64)
+        return base_cycles + refresh + arbitration
+
+    # ------------------------------------------------------------------
+    # L4 <-> L2 / L3 (byte-granularity, layout transforms allowed)
+    # ------------------------------------------------------------------
+    def l4_to_l2(self, src: MemHandle, nbytes: int, l2_offset: int = 0,
+                 count: int = 1) -> None:
+        """DMA ``nbytes`` from device DRAM into the L2 scratchpad."""
+        if nbytes <= 0:
+            raise MemoryError_("DMA size must be positive")
+        cost = self._l4_cost(self.params.movement.dma_l4_l2(nbytes), nbytes)
+        self.core.charge_raw("dma_l4_l2", cost, count)
+        if self.core.functional:
+            data = self.core.l4.read(src, nbytes)
+            self.core.l2.write(l2_offset, data)
+
+    def l2_to_l4(self, dst: MemHandle, nbytes: int, l2_offset: int = 0,
+                 count: int = 1) -> None:
+        """DMA ``nbytes`` from the L2 scratchpad back to device DRAM."""
+        if nbytes <= 0:
+            raise MemoryError_("DMA size must be positive")
+        cost = self._l4_cost(self.params.movement.dma_l4_l2(nbytes), nbytes)
+        self.core.charge_raw("dma_l2_l4", cost, count)
+        if self.core.functional:
+            data = self.core.l2.read(l2_offset, nbytes)
+            self.core.l4.write(dst, data)
+
+    def l4_to_l2_strided(self, src: Optional[MemHandle], elem_bytes: int,
+                         stride_bytes: int, n_elements: int,
+                         l2_offset: int = 0, count: int = 1) -> None:
+        """Strided-layout DMA: gather ``n_elements`` pieces into L2.
+
+        Section 2.1.2: "the source and target 512-byte chunk addresses
+        can be programmed to enable contiguous, strided, and duplicated
+        data layout transformations."  Each gathered element costs one
+        chained descriptor on top of the per-byte rate.
+        """
+        if elem_bytes <= 0 or n_elements <= 0:
+            raise MemoryError_("strided DMA needs positive element count/size")
+        if stride_bytes < elem_bytes:
+            raise MemoryError_("stride must cover the element size")
+        total = elem_bytes * n_elements
+        base = self.params.movement.dma_l4_l2(total)
+        chained = self.params.movement.dma_chained_init * (n_elements - 1)
+        self.core.charge_raw("dma_l4_l2", self._l4_cost(base + chained, total),
+                             count)
+        if self.core.functional:
+            if src is None:
+                raise MemoryError_("functional mode needs a source handle")
+            for i in range(n_elements):
+                piece = self.core.l4.read(src + i * stride_bytes, elem_bytes)
+                self.core.l2.write(l2_offset + i * elem_bytes, piece)
+
+    def l4_to_l2_duplicated(self, src: Optional[MemHandle], nbytes: int,
+                            repeats: int, l2_offset: int = 0,
+                            count: int = 1) -> None:
+        """Duplicated-layout DMA: tile one source chunk across L2.
+
+        The source is read once; the descriptor chain writes ``repeats``
+        copies, paying the per-byte write rate on the full destination
+        plus one chained-descriptor initiation per duplicate.
+        """
+        if nbytes <= 0 or repeats <= 0:
+            raise MemoryError_("duplicated DMA needs positive size/repeats")
+        dest_bytes = nbytes * repeats
+        base = self.params.movement.dma_l4_l2(dest_bytes)
+        chained = self.params.movement.dma_chained_init * (repeats - 1)
+        self.core.charge_raw(
+            "dma_l4_l2", self._l4_cost(base + chained, dest_bytes), count
+        )
+        if self.core.functional:
+            if src is None:
+                raise MemoryError_("functional mode needs a source handle")
+            chunk = self.core.l4.read(src, nbytes)
+            for r in range(repeats):
+                self.core.l2.write(l2_offset + r * nbytes, chunk)
+
+    def l4_to_l3(self, src: MemHandle, nbytes: int, l3_offset: int = 0,
+                 count: int = 1) -> None:
+        """DMA ``nbytes`` from device DRAM into the L3 CP cache."""
+        if nbytes <= 0:
+            raise MemoryError_("DMA size must be positive")
+        cost = self._l4_cost(self.params.movement.dma_l4_l3(nbytes), nbytes)
+        self.core.charge_raw("dma_l4_l3", cost, count)
+        if self.core.functional:
+            data = self.core.l4.read(src, nbytes)
+            self.core.l3.write(l3_offset, data)
+
+    # ------------------------------------------------------------------
+    # Full-vector paths (no layout transformation)
+    # ------------------------------------------------------------------
+    def l2_to_l1(self, vmr_slot: int, count: int = 1) -> None:
+        """Move the full vector staged in L2 into an L1 VMR."""
+        self.core.charge_raw("dma_l2_l1", self.params.movement.dma_l2_l1, count)
+        if self.core.functional:
+            vector = self.core.l2.read(0, self.params.vr_bytes, np.uint16)
+            self.core.l1.store(vmr_slot, vector)
+
+    def l1_to_l2(self, vmr_slot: int, count: int = 1) -> None:
+        """Move a full vector from an L1 VMR into L2."""
+        self.core.charge_raw("dma_l1_l2", self.params.movement.dma_l2_l1, count)
+        if self.core.functional:
+            self.core.l2.write(0, self.core.l1.load(vmr_slot))
+
+    def l4_to_l1_32k(self, vmr_slot: int, src: Optional[MemHandle] = None,
+                     count: int = 1) -> None:
+        """Direct DMA of one full vector, device DRAM -> L1 VMR."""
+        nbytes = self.params.vr_bytes
+        cost = self._l4_cost(self.params.movement.dma_l4_l1, nbytes)
+        self.core.charge_raw("dma_l4_l1", cost, count)
+        if self.core.functional:
+            if src is None:
+                raise MemoryError_("functional mode needs a source handle")
+            self.core.l1.store(vmr_slot, self.core.l4.read(src, nbytes, np.uint16))
+
+    def l1_to_l4_32k(self, dst: Optional[MemHandle], vmr_slot: int,
+                     count: int = 1) -> None:
+        """Direct DMA of one full vector, L1 VMR -> device DRAM."""
+        nbytes = self.params.vr_bytes
+        cost = self._l4_cost(self.params.movement.dma_l1_l4, nbytes)
+        self.core.charge_raw("dma_l1_l4", cost, count)
+        if self.core.functional:
+            if dst is None:
+                raise MemoryError_("functional mode needs a destination handle")
+            self.core.l4.write(dst, self.core.l1.load(vmr_slot))
+
+    # ------------------------------------------------------------------
+    # PIO (element-granularity, arbitrary layout)
+    # ------------------------------------------------------------------
+    def pio_ld(self, vr: int, src: Optional[MemHandle] = None,
+               elements: Optional[Sequence[int]] = None,
+               n: Optional[int] = None, count: int = 1) -> None:
+        """PIO-load individual elements from device DRAM into a VR.
+
+        ``elements`` gives the destination VR positions; the source is
+        read contiguously from ``src``.  In timing-only mode pass ``n``
+        (the element count) instead.
+        """
+        n_elements = len(elements) if elements is not None else n
+        if n_elements is None or n_elements < 0:
+            raise MemoryError_("pio_ld needs element positions or a count")
+        self.core.charge_raw(
+            "pio_ld", self.params.movement.pio_ld(n_elements), count
+        )
+        if self.core.functional and elements is not None:
+            if src is None:
+                raise MemoryError_("functional mode needs a source handle")
+            data = self.core.l4.read(src, 2 * n_elements, np.uint16)
+            vector = self.core.vr_read(vr)
+            vector[np.asarray(elements, dtype=np.int64)] = data
+            self.core.vr_write(vr, vector)
+
+    def pio_st(self, dst: Optional[MemHandle], vr: int,
+               elements: Optional[Sequence[int]] = None,
+               n: Optional[int] = None, count: int = 1) -> None:
+        """PIO-store individual VR elements to device DRAM (serial get)."""
+        n_elements = len(elements) if elements is not None else n
+        if n_elements is None or n_elements < 0:
+            raise MemoryError_("pio_st needs element positions or a count")
+        self.core.charge_raw(
+            "pio_st", self.params.movement.pio_st(n_elements), count
+        )
+        if self.core.functional and elements is not None:
+            if dst is None:
+                raise MemoryError_("functional mode needs a destination handle")
+            vector = self.core.vr_read(vr)
+            picked = vector[np.asarray(elements, dtype=np.int64)]
+            self.core.l4.write(dst, picked.astype(np.uint16))
+
+    # ------------------------------------------------------------------
+    # L3 -> VR indexed lookup
+    # ------------------------------------------------------------------
+    def lookup_16(self, dst_vr: int, index_vr: Optional[int],
+                  table_entries: int, l3_offset: int = 0,
+                  count: int = 1) -> None:
+        """Gather ``dst[i] = table[index[i]]`` from an L3-resident table.
+
+        Latency grows with the table size (Table 4), which is the
+        behaviour the broadcast-friendly layout optimization attacks.
+        """
+        if table_entries <= 0:
+            raise MemoryError_("lookup table must have at least one entry")
+        if table_entries * 2 > self.params.l3_bytes:
+            raise MemoryError_(
+                f"lookup table of {table_entries} u16 entries exceeds L3"
+            )
+        base = self.params.movement.lookup(table_entries)
+        cost = base * (1.0 + self.params.effects.lookup_cache_factor)
+        self.core.charge_raw("lookup", cost, count)
+        if self.core.functional:
+            if index_vr is None:
+                raise MemoryError_("functional lookup needs an index VR")
+            table = self.core.l3.read(l3_offset, 2 * table_entries, np.uint16)
+            indices = self.core.vr_read(index_vr).astype(np.int64)
+            if (indices >= table_entries).any():
+                raise MemoryError_("lookup index out of table bounds")
+            self.core.vr_write(dst_vr, table[indices])

@@ -1,0 +1,135 @@
+"""Native APU data types (paper Section 2.1.1).
+
+The APU natively supports 16-bit signed and unsigned integers, IEEE
+binary16 floating point, and a custom GSI floating-point format with a
+6-bit exponent and a 9-bit mantissa (``gf16``).  This module provides
+bit-exact conversions between those formats and NumPy arrays so the
+functional simulator can execute real programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GF16_EXP_BITS",
+    "GF16_MAN_BITS",
+    "GF16_BIAS",
+    "u16_to_s16",
+    "s16_to_u16",
+    "f16_to_bits",
+    "bits_to_f16",
+    "float_to_gf16",
+    "gf16_to_float",
+    "pack_bits_u16",
+    "unpack_bits_u16",
+]
+
+#: GSI float16: 1 sign bit, 6 exponent bits, 9 mantissa bits.
+GF16_EXP_BITS = 6
+GF16_MAN_BITS = 9
+GF16_BIAS = (1 << (GF16_EXP_BITS - 1)) - 1  # 31
+
+
+def u16_to_s16(values: np.ndarray) -> np.ndarray:
+    """Reinterpret uint16 bit patterns as int16 (two's complement)."""
+    return np.asarray(values, dtype=np.uint16).view(np.int16)
+
+
+def s16_to_u16(values: np.ndarray) -> np.ndarray:
+    """Reinterpret int16 values as their uint16 bit patterns."""
+    return np.asarray(values, dtype=np.int16).view(np.uint16)
+
+
+def f16_to_bits(values: np.ndarray) -> np.ndarray:
+    """IEEE binary16 values -> uint16 bit patterns."""
+    return np.asarray(values, dtype=np.float16).view(np.uint16)
+
+
+def bits_to_f16(bits: np.ndarray) -> np.ndarray:
+    """uint16 bit patterns -> IEEE binary16 values."""
+    return np.asarray(bits, dtype=np.uint16).view(np.float16)
+
+
+def float_to_gf16(values: np.ndarray) -> np.ndarray:
+    """Encode float values into the GSI gf16 format (uint16 bit patterns).
+
+    gf16 trades exponent range for mantissa precision relative to IEEE
+    binary16 (6-bit exponent, bias 31, 9-bit mantissa).  Encoding is
+    round-to-nearest on the mantissa; values outside the representable
+    range saturate to the largest finite magnitude, and subnormals
+    flush to zero (matching the device's flush-to-zero behaviour).
+    """
+    x = np.asarray(values, dtype=np.float64)
+    sign = (x < 0) | ((x == 0) & (np.signbit(x)))
+    mag = np.abs(x)
+
+    out = np.zeros(x.shape, dtype=np.uint16)
+    nonzero = mag > 0
+
+    with np.errstate(divide="ignore"):
+        exp = np.floor(np.log2(mag, where=nonzero, out=np.zeros_like(mag)))
+    biased = exp + GF16_BIAS
+
+    max_biased = (1 << GF16_EXP_BITS) - 1
+    # Flush subnormals (biased <= 0) to zero; saturate overflow.
+    normal = nonzero & (biased > 0) & (biased <= max_biased)
+    overflow = nonzero & (biased > max_biased)
+
+    frac = np.zeros_like(mag)
+    np.divide(mag, np.exp2(exp), out=frac, where=normal)
+    mantissa = np.rint((frac - 1.0) * (1 << GF16_MAN_BITS)).astype(np.int64)
+    # Mantissa rounding can carry out into the exponent.
+    carry = mantissa >= (1 << GF16_MAN_BITS)
+    mantissa = np.where(carry, 0, mantissa)
+    biased = biased + carry.astype(np.float64)
+    overflow |= normal & (biased > max_biased)
+    normal &= biased <= max_biased
+
+    encoded = (
+        (biased.astype(np.int64) << GF16_MAN_BITS) | mantissa
+    ).astype(np.uint16)
+    out = np.where(normal, encoded, out)
+    max_finite = np.uint16((max_biased << GF16_MAN_BITS) | ((1 << GF16_MAN_BITS) - 1))
+    out = np.where(overflow, max_finite, out)
+    out = out | (sign.astype(np.uint16) << 15)
+    return out.astype(np.uint16)
+
+
+def gf16_to_float(bits: np.ndarray) -> np.ndarray:
+    """Decode GSI gf16 bit patterns into float64 values."""
+    b = np.asarray(bits, dtype=np.uint16).astype(np.int64)
+    sign = np.where((b >> 15) & 1, -1.0, 1.0)
+    biased = (b >> GF16_MAN_BITS) & ((1 << GF16_EXP_BITS) - 1)
+    mantissa = b & ((1 << GF16_MAN_BITS) - 1)
+    value = np.where(
+        biased == 0,
+        0.0,  # flush-to-zero format: no subnormals
+        (1.0 + mantissa / (1 << GF16_MAN_BITS)) * np.exp2(biased - GF16_BIAS),
+    )
+    return sign * value
+
+
+def pack_bits_u16(bits: np.ndarray) -> np.ndarray:
+    """Pack a binary {0,1} array into uint16 words along its last axis.
+
+    The last axis length must be a multiple of 16.  Bit ``i`` of each
+    word holds element ``16*w + i`` (little-endian bit order), matching
+    the K-axis bit packing the binary-matmul workloads use.
+    """
+    arr = np.asarray(bits)
+    if arr.shape[-1] % 16 != 0:
+        raise ValueError("bit-pack length must be a multiple of 16")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("bit-pack input must be binary")
+    shaped = arr.reshape(arr.shape[:-1] + (arr.shape[-1] // 16, 16)).astype(np.uint16)
+    weights = (1 << np.arange(16, dtype=np.uint16)).astype(np.uint16)
+    return (shaped * weights).sum(axis=-1).astype(np.uint16)
+
+
+def unpack_bits_u16(words: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bits_u16`."""
+    arr = np.asarray(words, dtype=np.uint16)
+    shifts = np.arange(16, dtype=np.uint16)
+    bits = (arr[..., None] >> shifts) & 1
+    return bits.reshape(arr.shape[:-1] + (arr.shape[-1] * 16,)).astype(np.uint8)

@@ -1,0 +1,602 @@
+"""GVML: the GSI Vector Math Library, reimplemented on the simulator.
+
+Every method charges its Table 5 / Table 4 cost through the owning
+core's trace (plus the per-command VCU issue overhead) and, in
+functional mode, computes bit-exact NumPy semantics on the 32K-element
+vector registers.  Programs written against this class therefore run
+identically as small-scale functional tests and paper-scale timing
+models -- the duality DESIGN.md calls out.
+
+Conventions:
+
+* VR operands are integer register indices (0..23).
+* Marker operands are marker-register indices (0..15); comparisons
+  write markers, ``cpy_*_msk`` variants consume them.
+* ``count=`` folds a loop of identical commands into one trace record.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.reduction_model import simulated_sg_add_cycles
+from .dtypes import (
+    bits_to_f16,
+    f16_to_bits,
+    float_to_gf16,
+    gf16_to_float,
+    u16_to_s16,
+    s16_to_u16,
+)
+from .memory import MemoryError_
+
+__all__ = ["GVML", "GVMLError"]
+
+
+class GVMLError(Exception):
+    """Raised on malformed GVML calls."""
+
+
+def _popcount_u16(values: np.ndarray) -> np.ndarray:
+    """SWAR population count for uint16 arrays."""
+    v = values.astype(np.uint32)
+    v = v - ((v >> 1) & 0x5555)
+    v = (v & 0x3333) + ((v >> 2) & 0x3333)
+    v = (v + (v >> 4)) & 0x0F0F
+    return ((v + (v >> 8)) & 0x1F).astype(np.uint16)
+
+
+class GVML:
+    """Vector math library bound to one :class:`~repro.apu.core.APUCore`."""
+
+    def __init__(self, core):
+        self.core = core
+        self.params = core.params
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @property
+    def _functional(self) -> bool:
+        return self.core.functional
+
+    def _compute(self, op_name: str, count: int) -> None:
+        self.core.charge_command(op_name, self.params.compute.cost(op_name), count)
+
+    def _binary(self, op_name: str, dst: int, a: int, b: int, count: int, fn) -> None:
+        self._compute(op_name, count)
+        if self._functional:
+            self.core.vr_write(dst, fn(self.core.vr_read(a), self.core.vr_read(b)))
+
+    def _unary(self, op_name: str, dst: int, a: int, count: int, fn) -> None:
+        self._compute(op_name, count)
+        if self._functional:
+            self.core.vr_write(dst, fn(self.core.vr_read(a)))
+
+    def _compare(self, op_name: str, marker: int, a: int, b: int,
+                 count: int, fn) -> None:
+        self._compute(op_name, count)
+        if self._functional:
+            self.core.marker_write(
+                marker, fn(self.core.vr_read(a), self.core.vr_read(b))
+            )
+
+    # ------------------------------------------------------------------
+    # L1 <-> VR movement (Table 4: load / store, 29 cycles)
+    # ------------------------------------------------------------------
+    def load_16(self, vr: int, vmr_slot: int, count: int = 1) -> None:
+        """Load a full 16-bit vector from an L1 VMR into a VR."""
+        self.core.charge_command("load", self.params.movement.vr_load, count)
+        if self._functional:
+            self.core.vr_write(vr, self.core.l1.load(vmr_slot))
+
+    def store_16(self, vmr_slot: int, vr: int, count: int = 1) -> None:
+        """Store a VR into an L1 VMR."""
+        self.core.charge_command("store", self.params.movement.vr_store, count)
+        if self._functional:
+            self.core.l1.store(vmr_slot, self.core.vr_read(vr))
+
+    # ------------------------------------------------------------------
+    # Copies and broadcasts
+    # ------------------------------------------------------------------
+    def cpy_16(self, dst: int, src: int, count: int = 1) -> None:
+        """Element-wise VR -> VR copy."""
+        self.core.charge_command("cpy", self.params.movement.cpy, count)
+        if self._functional:
+            self.core.vr_write(dst, self.core.vr_read(src))
+
+    def cpy_16_msk(self, dst: int, src: int, marker: int, count: int = 1) -> None:
+        """Copy ``src`` into ``dst`` only at marked positions."""
+        self.core.charge_command("cpy_msk", self.params.movement.cpy, count)
+        if self._functional:
+            mask = self.core.marker_read(marker)
+            out = self.core.vr_read(dst)
+            out[mask] = self.core.vr_read(src)[mask]
+            self.core.vr_write(dst, out)
+
+    def cpy_imm_16(self, vr: int, value: int, count: int = 1) -> None:
+        """Broadcast a 16-bit immediate to an entire VR."""
+        self.core.charge_command("cpy_imm", self.params.movement.cpy_imm, count)
+        if self._functional:
+            self.core.vr_write(
+                vr, np.full(self.params.vr_length, value & 0xFFFF, dtype=np.uint16)
+            )
+
+    def cpy_imm_16_msk(self, vr: int, value: int, marker: int,
+                       count: int = 1) -> None:
+        """Broadcast an immediate to the marked positions of a VR."""
+        self.core.charge_command("cpy_imm", self.params.movement.cpy_imm, count)
+        if self._functional:
+            mask = self.core.marker_read(marker)
+            out = self.core.vr_read(vr)
+            out[mask] = value & 0xFFFF
+            self.core.vr_write(vr, out)
+
+    def cpy_subgrp_16_grp(self, dst: int, src: int, subgroup_size: int,
+                          subgroup_index: int = 0, count: int = 1) -> None:
+        """Replicate one subgroup of ``src`` across the whole of ``dst``.
+
+        The DMA-coalescing optimization's workhorse (Fig. 10): a chunk
+        staged once in a reuse VR is fanned out to every group position
+        at constant cost.
+        """
+        length = self.params.vr_length
+        if subgroup_size <= 0 or length % subgroup_size != 0:
+            raise GVMLError(f"subgroup size {subgroup_size} must divide {length}")
+        n_subgroups = length // subgroup_size
+        if not 0 <= subgroup_index < n_subgroups:
+            raise GVMLError(f"subgroup index {subgroup_index} out of range")
+        self.core.charge_command(
+            "cpy_subgrp", self.params.movement.cpy_subgrp, count
+        )
+        if self._functional:
+            data = self.core.vr_read(src)
+            lo = subgroup_index * subgroup_size
+            chunk = data[lo: lo + subgroup_size]
+            self.core.vr_write(dst, np.tile(chunk, n_subgroups))
+
+    def create_grp_index_u16(self, vr: int, group_size: int,
+                             count: int = 1) -> None:
+        """Fill a VR with per-group element indices (0..group_size-1)."""
+        if group_size <= 0 or self.params.vr_length % group_size != 0:
+            raise GVMLError(f"group size {group_size} must divide the VR length")
+        movement, compute = self.params.movement, self.params.compute
+        cycles = movement.cpy_imm + compute.add_u16 + compute.and_16
+        self.core.charge_command("create_grp_index", cycles, count, micro_ops=3)
+        if self._functional:
+            indices = np.arange(self.params.vr_length, dtype=np.uint16) % group_size
+            self.core.vr_write(vr, indices)
+
+    # ------------------------------------------------------------------
+    # Intra-VR shifts (Table 4)
+    # ------------------------------------------------------------------
+    def shift_e(self, vr: int, k: int, toward: str = "head",
+                count: int = 1) -> None:
+        """Shift VR entries toward head or tail by ``k`` (slow generic path)."""
+        if k < 0:
+            raise GVMLError("shift distance must be non-negative")
+        self.core.charge_command("shift_e", self.params.movement.shift_e(k), count)
+        if self._functional:
+            self.core.vr_write(vr, self._shifted(self.core.vr_read(vr), k, toward))
+
+    def shift_e4(self, vr: int, quads: int, toward: str = "head",
+                 count: int = 1) -> None:
+        """Intra-bank shift by ``4 * quads`` entries (fast path)."""
+        if quads < 0:
+            raise GVMLError("shift distance must be non-negative")
+        self.core.charge_command(
+            "shift_e4", self.params.movement.shift_e4(quads), count
+        )
+        if self._functional:
+            self.core.vr_write(
+                vr, self._shifted(self.core.vr_read(vr), 4 * quads, toward)
+            )
+
+    @staticmethod
+    def _shifted(data: np.ndarray, k: int, toward: str) -> np.ndarray:
+        out = np.zeros_like(data)
+        if k == 0:
+            return data
+        if toward == "head":
+            out[:-k or None] = data[k:]
+        elif toward == "tail":
+            out[k:] = data[:-k]
+        else:
+            raise GVMLError(f"shift direction must be head/tail, got {toward!r}")
+        return out
+
+    # ------------------------------------------------------------------
+    # Boolean and shift arithmetic (Table 5)
+    # ------------------------------------------------------------------
+    def and_16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """``dst = a & b``."""
+        self._binary("and_16", dst, a, b, count, np.bitwise_and)
+
+    def or_16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """``dst = a | b``."""
+        self._binary("or_16", dst, a, b, count, np.bitwise_or)
+
+    def xor_16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """``dst = a ^ b``."""
+        self._binary("xor_16", dst, a, b, count, np.bitwise_xor)
+
+    def not_16(self, dst: int, a: int, count: int = 1) -> None:
+        """``dst = ~a``."""
+        self._unary("not_16", dst, a, count, np.bitwise_not)
+
+    def sr_imm_16(self, dst: int, a: int, k: int, count: int = 1) -> None:
+        """Logical shift right of each element by immediate ``k``."""
+        self._unary("ashift", dst, a, count, lambda x: x >> np.uint16(k))
+
+    def sl_imm_16(self, dst: int, a: int, k: int, count: int = 1) -> None:
+        """Logical shift left of each element by immediate ``k``."""
+        self._unary(
+            "ashift", dst, a, count,
+            lambda x: (x.astype(np.uint32) << k).astype(np.uint16),
+        )
+
+    def ashift_16(self, dst: int, a: int, k: int, count: int = 1) -> None:
+        """Arithmetic (sign-preserving) right shift of int16 elements."""
+        self._unary(
+            "ashift", dst, a, count,
+            lambda x: s16_to_u16(u16_to_s16(x) >> np.int16(k)),
+        )
+
+    # ------------------------------------------------------------------
+    # Integer / float arithmetic (Table 5)
+    # ------------------------------------------------------------------
+    def add_u16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """uint16 element-wise addition (wraps mod 2^16)."""
+        self._binary("add_u16", dst, a, b, count, lambda x, y: x + y)
+
+    def add_s16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """int16 element-wise addition (two's-complement wrap)."""
+        self._binary(
+            "add_s16", dst, a, b, count,
+            lambda x, y: s16_to_u16(u16_to_s16(x) + u16_to_s16(y)),
+        )
+
+    def sub_u16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """uint16 element-wise subtraction."""
+        self._binary("sub_u16", dst, a, b, count, lambda x, y: x - y)
+
+    def sub_s16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """int16 element-wise subtraction."""
+        self._binary(
+            "sub_s16", dst, a, b, count,
+            lambda x, y: s16_to_u16(u16_to_s16(x) - u16_to_s16(y)),
+        )
+
+    def popcnt_16(self, dst: int, a: int, count: int = 1) -> None:
+        """Per-element population count."""
+        self._unary("popcnt_16", dst, a, count, _popcount_u16)
+
+    def mul_u16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """uint16 element-wise multiplication (low 16 bits)."""
+        self._binary("mul_u16", dst, a, b, count, lambda x, y: x * y)
+
+    def mul_s16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """int16 element-wise multiplication (low 16 bits, signed)."""
+        self._binary(
+            "mul_s16", dst, a, b, count,
+            lambda x, y: s16_to_u16(
+                (u16_to_s16(x).astype(np.int32) * u16_to_s16(y).astype(np.int32))
+                .astype(np.int16)
+            ),
+        )
+
+    def mul_f16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """IEEE float16 element-wise multiplication on bit patterns."""
+        self._binary(
+            "mul_f16", dst, a, b, count,
+            lambda x, y: f16_to_bits(bits_to_f16(x) * bits_to_f16(y)),
+        )
+
+    def add_f16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """IEEE float16 element-wise addition on bit patterns."""
+        self._binary(
+            "add_f16", dst, a, b, count,
+            lambda x, y: f16_to_bits(bits_to_f16(x) + bits_to_f16(y)),
+        )
+
+    def add_gf16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """GSI gf16 element-wise addition (6-bit exponent format)."""
+        self._binary(
+            "add_gf16", dst, a, b, count,
+            lambda x, y: float_to_gf16(gf16_to_float(x) + gf16_to_float(y)),
+        )
+
+    def mul_gf16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """GSI gf16 element-wise multiplication."""
+        self._binary(
+            "mul_gf16", dst, a, b, count,
+            lambda x, y: float_to_gf16(gf16_to_float(x) * gf16_to_float(y)),
+        )
+
+    def div_u16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """uint16 element-wise division; division by zero saturates."""
+
+        def div(x, y):
+            out = np.full_like(x, 0xFFFF)
+            nonzero = y != 0
+            np.floor_divide(x, y, out=out, where=nonzero)
+            return out
+
+        self._binary("div_u16", dst, a, b, count, div)
+
+    def div_s16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """int16 element-wise truncating division; /0 saturates to 0x7FFF."""
+
+        def div(x, y):
+            xs = u16_to_s16(x).astype(np.float64)
+            ys = u16_to_s16(y).astype(np.float64)
+            out = np.full(x.shape, 0x7FFF, dtype=np.int32)
+            nonzero = ys != 0
+            quotient = np.zeros_like(xs)
+            np.divide(xs, ys, out=quotient, where=nonzero)
+            out[nonzero] = np.trunc(quotient[nonzero]).astype(np.int32)
+            return s16_to_u16(out.astype(np.int16))
+
+        self._binary("div_s16", dst, a, b, count, div)
+
+    def recip_u16(self, dst: int, a: int, count: int = 1) -> None:
+        """Fixed-point reciprocal ``0xFFFF // x``; x = 0 saturates."""
+
+        def recip(x):
+            out = np.full_like(x, 0xFFFF)
+            nonzero = x != 0
+            np.floor_divide(np.uint16(0xFFFF), x, out=out, where=nonzero)
+            return out
+
+        self._unary("recip_u16", dst, a, count, recip)
+
+    def exp_f16(self, dst: int, a: int, count: int = 1) -> None:
+        """float16 exponential (computed in f32, rounded to f16)."""
+        self._unary(
+            "exp_f16", dst, a, count,
+            lambda x: f16_to_bits(
+                np.exp(bits_to_f16(x).astype(np.float32)).astype(np.float16)
+            ),
+        )
+
+    def sin_fx(self, dst: int, a: int, count: int = 1) -> None:
+        """Fixed-point sine: input Q16 turns, output Q15 in int16."""
+        self._unary("sin_fx", dst, a, count, self._sin_q15)
+
+    def cos_fx(self, dst: int, a: int, count: int = 1) -> None:
+        """Fixed-point cosine: input Q16 turns, output Q15 in int16."""
+        self._unary(
+            "cos_fx", dst, a, count,
+            lambda x: self._sin_q15((x.astype(np.uint32) + 0x4000).astype(np.uint16)),
+        )
+
+    @staticmethod
+    def _sin_q15(x: np.ndarray) -> np.ndarray:
+        angle = x.astype(np.float64) / 65536.0 * 2.0 * math.pi
+        q15 = np.clip(np.rint(np.sin(angle) * 32767.0), -32768, 32767)
+        return s16_to_u16(q15.astype(np.int16))
+
+    # ------------------------------------------------------------------
+    # Comparisons -> markers (Table 5)
+    # ------------------------------------------------------------------
+    def eq_16(self, marker: int, a: int, b: int, count: int = 1) -> None:
+        """Mark positions where ``a == b``."""
+        self._compare("eq_16", marker, a, b, count, np.equal)
+
+    def gt_u16(self, marker: int, a: int, b: int, count: int = 1) -> None:
+        """Mark positions where ``a > b`` (unsigned)."""
+        self._compare("gt_u16", marker, a, b, count, np.greater)
+
+    def lt_u16(self, marker: int, a: int, b: int, count: int = 1) -> None:
+        """Mark positions where ``a < b`` (unsigned)."""
+        self._compare("lt_u16", marker, a, b, count, np.less)
+
+    def ge_u16(self, marker: int, a: int, b: int, count: int = 1) -> None:
+        """Mark positions where ``a >= b`` (unsigned)."""
+        self._compare("ge_u16", marker, a, b, count, np.greater_equal)
+
+    def le_u16(self, marker: int, a: int, b: int, count: int = 1) -> None:
+        """Mark positions where ``a <= b`` (unsigned)."""
+        self._compare("le_u16", marker, a, b, count, np.less_equal)
+
+    def lt_gf16(self, marker: int, a: int, b: int, count: int = 1) -> None:
+        """Mark positions where ``a < b`` under GSI float16 interpretation."""
+        self._compare(
+            "lt_gf16", marker, a, b, count,
+            lambda x, y: gf16_to_float(x) < gf16_to_float(y),
+        )
+
+    def eq_imm_16(self, marker: int, a: int, value: int, count: int = 1) -> None:
+        """Mark positions where ``a == immediate``."""
+        self._compute("eq_16", count)
+        if self._functional:
+            self.core.marker_write(marker, self.core.vr_read(a) == (value & 0xFFFF))
+
+    def gt_imm_u16(self, marker: int, a: int, value: int, count: int = 1) -> None:
+        """Mark positions where ``a > immediate`` (unsigned)."""
+        self._compute("gt_u16", count)
+        if self._functional:
+            self.core.marker_write(marker, self.core.vr_read(a) > (value & 0xFFFF))
+
+    # ------------------------------------------------------------------
+    # Marker algebra and extraction
+    # ------------------------------------------------------------------
+    def and_mrk(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """``dst_marker = a_marker & b_marker``."""
+        self._compute("and_16", count)
+        if self._functional:
+            self.core.marker_write(
+                dst, self.core.marker_read(a) & self.core.marker_read(b)
+            )
+
+    def or_mrk(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """``dst_marker = a_marker | b_marker``."""
+        self._compute("or_16", count)
+        if self._functional:
+            self.core.marker_write(
+                dst, self.core.marker_read(a) | self.core.marker_read(b)
+            )
+
+    def not_mrk(self, dst: int, a: int, count: int = 1) -> None:
+        """``dst_marker = ~a_marker``."""
+        self._compute("not_16", count)
+        if self._functional:
+            self.core.marker_write(dst, ~self.core.marker_read(a))
+
+    def reset_mrk(self, marker: int, count: int = 1) -> None:
+        """Clear a marker register."""
+        self.core.charge_command("cpy_imm", self.params.movement.cpy_imm, count)
+        if self._functional:
+            self.core.marker_write(
+                marker, np.zeros(self.params.vr_length, dtype=bool)
+            )
+
+    def cpy_from_mrk_16(self, dst: int, marker: int, count: int = 1) -> None:
+        """Materialize a marker register as a 0/1 vector in ``dst``."""
+        self.core.charge_command("cpy_from_mrk", self.params.movement.cpy, count)
+        if self._functional:
+            self.core.vr_write(
+                dst, self.core.marker_read(marker).astype(np.uint16)
+            )
+
+    def count_m(self, marker: int, count: int = 1) -> Optional[int]:
+        """Count marked entries (returns None in timing-only mode)."""
+        self._compute("count_m", count)
+        if self._functional:
+            return int(self.core.marker_read(marker).sum())
+        return None
+
+    def first_marked_index(self, marker: int, count: int = 1) -> Optional[int]:
+        """CP-side scan for the first marked position via the RSP FIFO.
+
+        Costs a ``count_m`` plus one serial element retrieval; returns
+        -1 if nothing is marked.
+        """
+        cycles = self.params.compute.count_m + self.params.movement.pio_st_per_elem
+        self.core.charge_command("first_marked", cycles, count, micro_ops=2)
+        if self._functional:
+            mask = self.core.marker_read(marker)
+            hits = np.flatnonzero(mask)
+            return int(hits[0]) if hits.size else -1
+        return None
+
+    def get_element(self, vr: int, index: int, count: int = 1) -> Optional[int]:
+        """Serial retrieval of one VR element through the RSP FIFO."""
+        self.core.charge_command(
+            "rsp_get", self.params.movement.pio_st_per_elem, count
+        )
+        if self._functional:
+            if not 0 <= index < self.params.vr_length:
+                raise GVMLError(f"element index {index} out of range")
+            return int(self.core.vr_read(vr)[index])
+        return None
+
+    def set_element(self, vr: int, index: int, value: int, count: int = 1) -> None:
+        """Parallel insertion of one element into a VR via the RSP FIFO."""
+        self.core.charge_command(
+            "rsp_set", self.params.movement.pio_ld_per_elem, count
+        )
+        if self._functional:
+            if not 0 <= index < self.params.vr_length:
+                raise GVMLError(f"element index {index} out of range")
+            data = self.core.vr_read(vr)
+            data[index] = value & 0xFFFF
+            self.core.vr_write(vr, data)
+
+    # ------------------------------------------------------------------
+    # Min / max (composites of compare + masked copy)
+    # ------------------------------------------------------------------
+    def max_u16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """Element-wise unsigned max (a compare plus a masked copy)."""
+        cycles = self.params.compute.gt_u16 + self.params.movement.cpy
+        self.core.charge_command("max_u16", cycles, count, micro_ops=2)
+        if self._functional:
+            self.core.vr_write(
+                dst, np.maximum(self.core.vr_read(a), self.core.vr_read(b))
+            )
+
+    def min_u16(self, dst: int, a: int, b: int, count: int = 1) -> None:
+        """Element-wise unsigned min."""
+        cycles = self.params.compute.lt_u16 + self.params.movement.cpy
+        self.core.charge_command("min_u16", cycles, count, micro_ops=2)
+        if self._functional:
+            self.core.vr_write(
+                dst, np.minimum(self.core.vr_read(a), self.core.vr_read(b))
+            )
+
+    # ------------------------------------------------------------------
+    # Subgroup reductions (Eq. 1 territory)
+    # ------------------------------------------------------------------
+    def _check_reduction_shape(self, group_size: int, subgroup_size: int) -> int:
+        length = self.params.vr_length
+        if group_size <= 0 or length % group_size != 0:
+            raise GVMLError(f"group size {group_size} must divide the VR length")
+        if subgroup_size <= 0 or group_size % subgroup_size != 0:
+            raise GVMLError(
+                f"subgroup size {subgroup_size} must divide group size {group_size}"
+            )
+        ratio = group_size // subgroup_size
+        if ratio & (ratio - 1):
+            raise GVMLError("group/subgroup ratio must be a power of two")
+        return ratio
+
+    def _subgrp_reduce(self, op_label: str, np_reduce, op_cycles: float,
+                       dst: int, src: int, group_size: int,
+                       subgroup_size: int, count: int, signed: bool) -> None:
+        self._check_reduction_shape(group_size, subgroup_size)
+        cycles = simulated_sg_add_cycles(
+            group_size, subgroup_size, self.params, op_cycles=op_cycles
+        )
+        stages = int(math.log2(group_size // subgroup_size))
+        self.core.charge_command(op_label, cycles, count,
+                                 micro_ops=max(1, 4 * stages))
+        if not self._functional:
+            return
+        data = self.core.vr_read(src)
+        values = u16_to_s16(data).astype(np.int64) if signed else data.astype(np.int64)
+        n_groups = self.params.vr_length // group_size
+        per_subgroup = values.reshape(n_groups, group_size // subgroup_size,
+                                      subgroup_size)
+        reduced = np_reduce(per_subgroup, axis=1)
+        out = np.zeros((n_groups, group_size), dtype=np.int64)
+        out[:, :subgroup_size] = reduced
+        flat = out.reshape(-1)
+        if signed:
+            result = s16_to_u16(flat.astype(np.int16))
+        else:
+            result = (flat & 0xFFFF).astype(np.uint16)
+        self.core.vr_write(dst, result)
+
+    def add_subgrp_s16(self, dst: int, src: int, group_size: int,
+                       subgroup_size: int, count: int = 1) -> None:
+        """Sum the subgroups of each group element-wise (int16, wraps).
+
+        The result occupies the first subgroup of each group; remaining
+        positions are cleared.  Cost follows the staged ladder the Eq. 1
+        model was fitted against.
+        """
+        self._subgrp_reduce(
+            "add_subgrp_s16", np.sum, self.params.compute.add_s16,
+            dst, src, group_size, subgroup_size, count, signed=True,
+        )
+
+    def max_subgrp_u16(self, dst: int, src: int, group_size: int,
+                       subgroup_size: int, count: int = 1) -> None:
+        """Max across the subgroups of each group (unsigned)."""
+        op_cycles = self.params.compute.gt_u16 + self.params.movement.cpy
+        self._subgrp_reduce(
+            "max_subgrp_u16", np.max, op_cycles,
+            dst, src, group_size, subgroup_size, count, signed=False,
+        )
+
+    def min_subgrp_u16(self, dst: int, src: int, group_size: int,
+                       subgroup_size: int, count: int = 1) -> None:
+        """Min across the subgroups of each group (unsigned)."""
+        op_cycles = self.params.compute.lt_u16 + self.params.movement.cpy
+        self._subgrp_reduce(
+            "min_subgrp_u16", np.min, op_cycles,
+            dst, src, group_size, subgroup_size, count, signed=False,
+        )

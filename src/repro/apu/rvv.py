@@ -1,0 +1,247 @@
+"""A RISC-V vector (RVV) abstraction hosted on the APU.
+
+Section 2.2.2 notes that "an APU programmer can implement a different
+vector abstraction with microcode instructions", citing Golden et
+al. [19], who hosted a virtual RISC-V vector ISA on this device.  This
+module reproduces that layer: a small RVV-style machine whose vector
+instructions execute through GVML (and therefore inherit both the
+functional semantics and the Table 5 timing of the underlying device).
+
+Supported subset (SEW=16, LMUL=1): ``vsetvl``, unit-stride loads and
+stores, ``vadd/vsub/vmul/vdiv``, ``vand/vor/vxor``, ``vsll/vsrl/vsra``,
+``vmin/vmax``, the compare family ``vmseq/vmslt/vmsle/vmsgt`` writing
+``v0``-style masks, masked ``vmerge``, ``vmv.v.x`` splats, and the
+reductions ``vredsum/vredmax/vredmin``.
+
+The vector length register ``vl`` masks the tail per the RVV
+tail-undisturbed policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from .device import APUDevice
+
+__all__ = ["RVVMachine", "RVVError"]
+
+
+class RVVError(Exception):
+    """Raised on malformed RVV programs."""
+
+
+class RVVMachine:
+    """A virtual RVV core with SEW=16 hosted on one APU core.
+
+    RVV architectural registers v0..v15 map onto APU VRs 0..15; v0
+    doubles as the mask register (its low bit per element), matching
+    the RVV convention.  Marker register 0 mirrors v0's mask view.
+    """
+
+    NUM_VREGS = 16
+    SEW = 16
+
+    def __init__(self, device: Optional[APUDevice] = None,
+                 params: APUParams = DEFAULT_PARAMS):
+        self.device = device or APUDevice(params)
+        self.core = self.device.core
+        self.params = self.device.params
+        self.vlmax = self.params.vr_length
+        self.vl = self.vlmax
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def vsetvl(self, avl: int) -> int:
+        """Set the active vector length; returns the granted ``vl``."""
+        if avl < 0:
+            raise RVVError("application vector length must be non-negative")
+        self.vl = min(avl, self.vlmax)
+        # vsetvl executes on the control processor: charge a cheap
+        # broadcast to refresh the tail mask.
+        self.core.gvml.create_grp_index_u16(15, self.vlmax)
+        if self.vl < self.vlmax:
+            self.core.gvml.gt_imm_u16(1, 15, self.vl - 1 if self.vl else 0)
+        return self.vl
+
+    def _check_reg(self, reg: int) -> None:
+        if not 0 <= reg < self.NUM_VREGS:
+            raise RVVError(f"v{reg} out of range v0..v{self.NUM_VREGS - 1}")
+
+    def _body(self) -> slice:
+        return slice(0, self.vl)
+
+    # ------------------------------------------------------------------
+    # Loads / stores (unit stride, from host arrays through L1)
+    # ------------------------------------------------------------------
+    def vle16(self, vd: int, data: np.ndarray) -> None:
+        """Unit-stride load of ``vl`` elements into ``vd``."""
+        self._check_reg(vd)
+        arr = np.asarray(data, dtype=np.uint16).reshape(-1)
+        if arr.size < self.vl:
+            raise RVVError(f"load needs {self.vl} elements, got {arr.size}")
+        padded = np.zeros(self.vlmax, dtype=np.uint16)
+        padded[: self.vl] = arr[: self.vl]
+        self.core.l1.store(47, padded)
+        self.core.gvml.load_16(vd, 47)
+
+    def vse16(self, vs: int) -> np.ndarray:
+        """Unit-stride store: returns the ``vl`` active elements."""
+        self._check_reg(vs)
+        self.core.gvml.store_16(46, vs)
+        return self.core.l1.load(46)[: self.vl]
+
+    def vmv_v_x(self, vd: int, scalar: int) -> None:
+        """Splat a scalar into every active element."""
+        self._check_reg(vd)
+        self.core.gvml.cpy_imm_16(vd, scalar)
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic (vector-vector)
+    # ------------------------------------------------------------------
+    def _vv(self, op: str, vd: int, vs1: int, vs2: int) -> None:
+        for reg in (vd, vs1, vs2):
+            self._check_reg(reg)
+        getattr(self.core.gvml, op)(vd, vs1, vs2)
+
+    def vadd_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd = vs1 + vs2`` (wrapping, SEW=16)."""
+        self._vv("add_u16", vd, vs1, vs2)
+
+    def vsub_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd = vs1 - vs2``."""
+        self._vv("sub_u16", vd, vs1, vs2)
+
+    def vmul_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd = vs1 * vs2`` (low half)."""
+        self._vv("mul_u16", vd, vs1, vs2)
+
+    def vdivu_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd = vs1 / vs2`` unsigned; divide-by-zero saturates."""
+        self._vv("div_u16", vd, vs1, vs2)
+
+    def vand_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """Bitwise AND."""
+        self._vv("and_16", vd, vs1, vs2)
+
+    def vor_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """Bitwise OR."""
+        self._vv("or_16", vd, vs1, vs2)
+
+    def vxor_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """Bitwise XOR."""
+        self._vv("xor_16", vd, vs1, vs2)
+
+    def vsll_vi(self, vd: int, vs: int, shamt: int) -> None:
+        """Logical shift left by immediate."""
+        self._check_reg(vd)
+        self._check_reg(vs)
+        self.core.gvml.sl_imm_16(vd, vs, shamt)
+
+    def vsrl_vi(self, vd: int, vs: int, shamt: int) -> None:
+        """Logical shift right by immediate."""
+        self._check_reg(vd)
+        self._check_reg(vs)
+        self.core.gvml.sr_imm_16(vd, vs, shamt)
+
+    def vsra_vi(self, vd: int, vs: int, shamt: int) -> None:
+        """Arithmetic shift right by immediate."""
+        self._check_reg(vd)
+        self._check_reg(vs)
+        self.core.gvml.ashift_16(vd, vs, shamt)
+
+    def vmax_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """Unsigned element-wise max."""
+        self._vv("max_u16", vd, vs1, vs2)
+
+    def vmin_vv(self, vd: int, vs1: int, vs2: int) -> None:
+        """Unsigned element-wise min."""
+        self._vv("min_u16", vd, vs1, vs2)
+
+    # ------------------------------------------------------------------
+    # Compares -> mask in v0 / masked ops
+    # ------------------------------------------------------------------
+    def _compare(self, op: str, vs1: int, vs2: int) -> None:
+        self._check_reg(vs1)
+        self._check_reg(vs2)
+        getattr(self.core.gvml, op)(0, vs1, vs2)  # marker 0 = v0 mask
+
+    def vmseq_vv(self, vs1: int, vs2: int) -> None:
+        """Mask where ``vs1 == vs2``."""
+        self._compare("eq_16", vs1, vs2)
+
+    def vmsltu_vv(self, vs1: int, vs2: int) -> None:
+        """Mask where ``vs1 < vs2`` (unsigned)."""
+        self._compare("lt_u16", vs1, vs2)
+
+    def vmsleu_vv(self, vs1: int, vs2: int) -> None:
+        """Mask where ``vs1 <= vs2`` (unsigned)."""
+        self._compare("le_u16", vs1, vs2)
+
+    def vmsgtu_vv(self, vs1: int, vs2: int) -> None:
+        """Mask where ``vs1 > vs2`` (unsigned)."""
+        self._compare("gt_u16", vs1, vs2)
+
+    def vmerge_vvm(self, vd: int, vs_false: int, vs_true: int) -> None:
+        """``vd[i] = mask[i] ? vs_true[i] : vs_false[i]``."""
+        for reg in (vd, vs_false, vs_true):
+            self._check_reg(reg)
+        g = self.core.gvml
+        g.cpy_16(vd, vs_false)
+        g.cpy_16_msk(vd, vs_true, 0)
+
+    def vcpop_m(self) -> Optional[int]:
+        """Population count of the v0 mask over the active body."""
+        if self.vl < self.vlmax and self.device.functional:
+            g = self.core.gvml
+            g.create_grp_index_u16(15, self.vlmax)
+            g.gt_imm_u16(1, 15, max(self.vl - 1, 0))
+            g.not_mrk(2, 1)
+            g.and_mrk(3, 0, 2)
+            return g.count_m(3)
+        return self.core.gvml.count_m(0)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def _reduce(self, op: str, vs: int) -> Optional[int]:
+        self._check_reg(vs)
+        g = self.core.gvml
+        body = vs
+        if self.vl < self.vlmax and self.device.functional:
+            neutral = 0 if op != "min_subgrp_u16" else 0xFFFF
+            g.create_grp_index_u16(15, self.vlmax)
+            g.gt_imm_u16(1, 15, max(self.vl - 1, 0))
+            g.cpy_16(14, vs)
+            g.cpy_imm_16_msk(14, neutral, 1)
+            body = 14
+        getattr(g, op)(13, body, self.vlmax, 1)
+        return g.get_element(13, 0)
+
+    def vredsum_vs(self, vs: int) -> Optional[int]:
+        """Sum reduction over the active body (mod 2^16)."""
+        return self._reduce("add_subgrp_s16", vs)
+
+    def vredmaxu_vs(self, vs: int) -> Optional[int]:
+        """Unsigned max reduction over the active body."""
+        return self._reduce("max_subgrp_u16", vs)
+
+    def vredminu_vs(self, vs: int) -> Optional[int]:
+        """Unsigned min reduction over the active body."""
+        return self._reduce("min_subgrp_u16", vs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def read(self, reg: int) -> np.ndarray:
+        """Functional read of a vector register's active body."""
+        self._check_reg(reg)
+        return self.core.vr_read(reg)[: self.vl]
+
+    @property
+    def cycles(self) -> float:
+        """APU cycles consumed by the hosted RVV program."""
+        return self.core.cycles

@@ -1,0 +1,159 @@
+"""Approximate nearest-neighbor search (the paper's ENNS motivation).
+
+Section 5.3 motivates compute-in-SRAM exact search by the accuracy loss
+of ANNS on large corpora ("22%-53% for Llama" citing [40]).  This
+module provides the standard IVF-flat approximation -- k-means
+clustering plus probe-limited search, the structure of FAISS's
+``IndexIVFFlat`` -- so that recall-vs-speed trade-offs can be measured
+against the exact engines, plus a latency model for the probed scan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .cpu import CPUModel
+
+__all__ = ["IndexIVFFlat", "ivf_recall_at_k"]
+
+
+class IndexIVFFlat:
+    """Inverted-file index with flat (exact) scoring inside probed lists.
+
+    Parameters
+    ----------
+    d:
+        Vector dimensionality.
+    nlist:
+        Number of coarse clusters.
+    nprobe:
+        Clusters scanned per query (the accuracy/latency knob).
+    seed:
+        Seed for k-means initialization (deterministic training).
+    """
+
+    def __init__(self, d: int, nlist: int = 64, nprobe: int = 4,
+                 seed: int = 0):
+        if d <= 0 or nlist <= 0:
+            raise ValueError("dimension and nlist must be positive")
+        if not 1 <= nprobe <= nlist:
+            raise ValueError("nprobe must be in [1, nlist]")
+        self.d = d
+        self.nlist = nlist
+        self.nprobe = nprobe
+        self.seed = seed
+        self.centroids: Optional[np.ndarray] = None
+        self._lists: Optional[list] = None
+        self._vectors = np.empty((0, d), dtype=np.float32)
+
+    @property
+    def ntotal(self) -> int:
+        """Number of indexed vectors."""
+        return self._vectors.shape[0]
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the coarse quantizer has been trained."""
+        return self.centroids is not None
+
+    # ------------------------------------------------------------------
+    # Training and population
+    # ------------------------------------------------------------------
+    def train(self, samples: np.ndarray, iterations: int = 10) -> None:
+        """Train the coarse quantizer with Lloyd's algorithm."""
+        data = np.asarray(samples, dtype=np.float32)
+        if data.ndim != 2 or data.shape[1] != self.d:
+            raise ValueError(f"expected (n, {self.d}) training vectors")
+        if data.shape[0] < self.nlist:
+            raise ValueError("need at least nlist training vectors")
+        rng = np.random.default_rng(self.seed)
+        chosen = rng.choice(data.shape[0], self.nlist, replace=False)
+        centroids = data[chosen].copy()
+        for _ in range(iterations):
+            assign = self._nearest_centroid(data, centroids)
+            for c in range(self.nlist):
+                members = data[assign == c]
+                if members.size:
+                    centroids[c] = members.mean(axis=0)
+        self.centroids = centroids
+
+    @staticmethod
+    def _nearest_centroid(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        d2 = ((data[:, None, :] - centroids[None]) ** 2).sum(-1)
+        return d2.argmin(1)
+
+    def add(self, vectors: np.ndarray) -> None:
+        """Assign vectors to inverted lists."""
+        if not self.is_trained:
+            raise RuntimeError("train the index before adding vectors")
+        arr = np.asarray(vectors, dtype=np.float32)
+        if arr.ndim != 2 or arr.shape[1] != self.d:
+            raise ValueError(f"expected (n, {self.d}) vectors")
+        base = self.ntotal
+        self._vectors = np.vstack([self._vectors, arr])
+        assign = self._nearest_centroid(arr, self.centroids)
+        if self._lists is None:
+            self._lists = [[] for _ in range(self.nlist)]
+        for offset, cluster in enumerate(assign):
+            self._lists[cluster].append(base + offset)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Probe-limited inner-product top-k (FAISS-style output)."""
+        if not self.is_trained or self._lists is None:
+            raise RuntimeError("index is not trained/populated")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        q = np.asarray(queries, dtype=np.float32)
+        if q.ndim == 1:
+            q = q[None, :]
+        nq = q.shape[0]
+        scores_out = np.full((nq, k), -np.inf, dtype=np.float32)
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+
+        centroid_scores = q @ self.centroids.T
+        probe_lists = np.argsort(-centroid_scores, axis=1)[:, : self.nprobe]
+        for qi in range(nq):
+            candidates = [idx for cluster in probe_lists[qi]
+                          for idx in self._lists[cluster]]
+            if not candidates:
+                continue
+            cand = np.asarray(candidates, dtype=np.int64)
+            scores = self._vectors[cand] @ q[qi]
+            kk = min(k, cand.size)
+            order = np.lexsort((cand, -scores))[:kk]
+            scores_out[qi, :kk] = scores[order]
+            ids_out[qi, :kk] = cand[order]
+        return scores_out, ids_out
+
+    def scanned_fraction(self) -> float:
+        """Average fraction of the corpus a query scans."""
+        if self._lists is None or self.ntotal == 0:
+            return 0.0
+        sizes = sorted((len(lst) for lst in self._lists), reverse=True)
+        probed = sum(sizes[: self.nprobe])
+        return probed / self.ntotal
+
+    def cpu_latency_seconds(self, embedding_bytes: float,
+                            model: Optional[CPUModel] = None) -> float:
+        """Latency model: the flat-scan model over the probed fraction."""
+        model = model or CPUModel()
+        probed_bytes = max(1.0, embedding_bytes * self.scanned_fraction())
+        coarse = self.nlist * self.d * 4 / model.FLAT_SCAN_BW
+        return model.RETRIEVAL_OVERHEAD_S + coarse + \
+            probed_bytes / model.flat_scan_bandwidth(embedding_bytes)
+
+
+def ivf_recall_at_k(index: IndexIVFFlat, exact_index, queries: np.ndarray,
+                    k: int = 5) -> float:
+    """Mean recall@k of the IVF index against an exact reference."""
+    _, approx = index.search(queries, k)
+    _, exact = exact_index.search(queries, k)
+    hits = 0
+    for row_a, row_e in zip(approx, exact):
+        hits += len(set(row_a[row_a >= 0]) & set(row_e[row_e >= 0]))
+    return hits / (len(queries) * k)

@@ -1,0 +1,120 @@
+"""A FAISS-style exact similarity-search index (``IndexFlatIP``).
+
+The paper's CPU/GPU RAG baselines run FAISS v1.7.2 ``IndexFlat`` exact
+nearest-neighbor search (Section 5.3.2).  This module reimplements the
+functional core -- a flat inner-product index with exact top-k -- with
+the same add/search surface, so retrieval correctness comparisons
+between the APU kernels and the baseline are genuine computations, not
+stubs.  Latency of the baseline platforms comes from the calibrated
+models in :mod:`repro.baselines.cpu` and :mod:`repro.baselines.gpu`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["IndexFlatIP", "IndexFlatL2"]
+
+
+class IndexFlatIP:
+    """Exact inner-product search over a flat vector store."""
+
+    def __init__(self, d: int):
+        if d <= 0:
+            raise ValueError("dimension must be positive")
+        self.d = d
+        self._vectors = np.empty((0, d), dtype=np.float32)
+
+    @property
+    def ntotal(self) -> int:
+        """Number of indexed vectors."""
+        return self._vectors.shape[0]
+
+    def add(self, vectors: np.ndarray) -> None:
+        """Append vectors to the index."""
+        arr = np.asarray(vectors, dtype=np.float32)
+        if arr.ndim != 2 or arr.shape[1] != self.d:
+            raise ValueError(f"expected (n, {self.d}) vectors, got {arr.shape}")
+        self._vectors = np.vstack([self._vectors, arr])
+
+    def reset(self) -> None:
+        """Drop all indexed vectors."""
+        self._vectors = np.empty((0, self.d), dtype=np.float32)
+
+    def reconstruct(self, index: int) -> np.ndarray:
+        """Return one stored vector."""
+        return self._vectors[index].copy()
+
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact top-k by inner product.
+
+        Returns ``(scores, indices)`` of shape (nq, k), scores sorted
+        descending, exactly like FAISS.  ``k`` larger than the index is
+        padded with ``-inf`` scores and index ``-1``.
+        """
+        q = np.asarray(queries, dtype=np.float32)
+        if q.ndim == 1:
+            q = q[None, :]
+        if q.shape[1] != self.d:
+            raise ValueError(f"query dimension {q.shape[1]} != index {self.d}")
+        if k <= 0:
+            raise ValueError("k must be positive")
+
+        nq = q.shape[0]
+        if self.ntotal == 0:
+            return (np.full((nq, k), -np.inf, dtype=np.float32),
+                    np.full((nq, k), -1, dtype=np.int64))
+
+        scores = q @ self._vectors.T  # (nq, ntotal)
+        kk = min(k, self.ntotal)
+        top = np.argpartition(-scores, kk - 1, axis=1)[:, :kk]
+        top_scores = np.take_along_axis(scores, top, axis=1)
+        order = np.argsort(-top_scores, axis=1, kind="stable")
+        top = np.take_along_axis(top, order, axis=1)
+        top_scores = np.take_along_axis(top_scores, order, axis=1)
+
+        if kk < k:
+            pad_scores = np.full((nq, k - kk), -np.inf, dtype=np.float32)
+            pad_idx = np.full((nq, k - kk), -1, dtype=np.int64)
+            return (np.hstack([top_scores, pad_scores]),
+                    np.hstack([top.astype(np.int64), pad_idx]))
+        return top_scores.astype(np.float32), top.astype(np.int64)
+
+
+class IndexFlatL2(IndexFlatIP):
+    """Exact search by squared Euclidean distance (smaller is better)."""
+
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k by ascending squared L2 distance."""
+        q = np.asarray(queries, dtype=np.float32)
+        if q.ndim == 1:
+            q = q[None, :]
+        if q.shape[1] != self.d:
+            raise ValueError(f"query dimension {q.shape[1]} != index {self.d}")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        nq = q.shape[0]
+        if self.ntotal == 0:
+            return (np.full((nq, k), np.inf, dtype=np.float32),
+                    np.full((nq, k), -1, dtype=np.int64))
+        # ||q - x||^2 = ||q||^2 - 2 q.x + ||x||^2
+        x = self._vectors
+        d2 = (
+            (q ** 2).sum(1, keepdims=True)
+            - 2.0 * (q @ x.T)
+            + (x ** 2).sum(1)[None, :]
+        )
+        kk = min(k, self.ntotal)
+        top = np.argpartition(d2, kk - 1, axis=1)[:, :kk]
+        top_scores = np.take_along_axis(d2, top, axis=1)
+        order = np.argsort(top_scores, axis=1, kind="stable")
+        top = np.take_along_axis(top, order, axis=1)
+        top_scores = np.take_along_axis(top_scores, order, axis=1)
+        if kk < k:
+            pad_scores = np.full((nq, k - kk), np.inf, dtype=np.float32)
+            pad_idx = np.full((nq, k - kk), -1, dtype=np.int64)
+            return (np.hstack([top_scores, pad_scores]).astype(np.float32),
+                    np.hstack([top.astype(np.int64), pad_idx]))
+        return top_scores.astype(np.float32), top.astype(np.int64)

@@ -1,0 +1,201 @@
+"""Command-line experiment runner: ``python -m repro.cli <experiment>``.
+
+Regenerates any of the paper's tables and figures from the terminal
+without going through pytest:
+
+.. code-block:: bash
+
+    python -m repro.cli list
+    python -m repro.cli table7
+    python -m repro.cli fig12 --m 512 --n 512 --k 512
+    python -m repro.cli fig14
+    python -m repro.cli all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(args) -> None:
+    from .core.params import DEVICE_SPECS
+
+    print("Table 1: device comparison")
+    for spec in DEVICE_SPECS.values():
+        print(f"  {spec.name:18s} {spec.peak_tops:5.0f} TOPS "
+              f"{spec.on_chip_bandwidth_tbs:5.0f} TB/s {spec.tdp_w:5.0f} W "
+              f"-> {spec.tops_per_watt:6.2f} TOPS/W")
+
+
+def _run_fig2(args) -> None:
+    from .core.roofline import KernelPoint, RooflineModel
+    from .opt.matmul import STAGE_ORDER, run_all_stages
+    from .opt.reduction import MatmulShape
+
+    shape = MatmulShape(args.m, args.n, args.k // 16)
+    results = run_all_stages(args.m, args.n, args.k, functional=False)
+    roofline = RooflineModel()
+    print(f"Fig. 2: roofline (ridge at OI {roofline.ridge_point:.1f})")
+    for stage in STAGE_ORDER:
+        r = results[stage]
+        point = KernelPoint(stage, r.operational_intensity,
+                            r.performance_ops(shape))
+        print(f"  {stage:10s} OI {point.operational_intensity:8.2f} "
+              f"{point.performance / 1e9:8.2f} GOPS "
+              f"eff {roofline.efficiency(point) * 100:5.1f}%")
+
+
+def _run_fig12(args) -> None:
+    from .core.reporting import format_stacked_breakdown
+    from .opt.matmul import STAGE_ORDER, run_all_stages
+
+    results = run_all_stages(args.m, args.n, args.k, functional=False)
+    print(f"Fig. 12: {args.m}x{args.n}x{args.k} binary matmul (ms)")
+    stages = {stage: results[stage].breakdown_ms for stage in STAGE_ORDER}
+    print(format_stacked_breakdown(
+        stages, ["LD LHS", "LD RHS", "VR Ops", "ST"]
+    ))
+
+
+def _run_table6(args) -> None:
+    from .phoenix import PhoenixSuite
+
+    for row in PhoenixSuite().table6_stats():
+        cpu = (f"{row['cpu_instructions'] / 1e9:.1f}B"
+               if row["cpu_instructions"] else "--")
+        print(f"  {row['app']:18s} {row['input_size']:>14s} CPU {cpu:>7s} "
+              f"APU {row['apu_ucode_instructions'] / 1e6:8.2f}M uops")
+
+
+def _run_table7(args) -> None:
+    from .phoenix import PhoenixSuite
+
+    suite = PhoenixSuite()
+    print("Table 7: measured vs predicted latency")
+    for row in suite.table7_validation():
+        print(f"  {row.app:18s} {row.measured_ms:9.2f} ms vs "
+              f"{row.predicted_ms:9.2f} ms ({row.error * 100:+.2f}%)")
+    print(f"  mean accuracy {suite.mean_accuracy() * 100:.2f}%")
+
+
+def _run_fig13(args) -> None:
+    from .phoenix import PhoenixSuite
+
+    suite = PhoenixSuite()
+    for row in suite.fig13_comparison():
+        print(f"  {row.app:18s} vs1T {row.speedup_1t():7.2f}x "
+              f"vs16T {row.speedup_16t():6.2f}x")
+    print(" ", {k: round(v, 1) for k, v in suite.aggregate_speedups().items()})
+
+
+def _run_table8(args) -> None:
+    from .rag import APURetriever, PAPER_CORPORA
+
+    for label, spec in PAPER_CORPORA.items():
+        noopt = APURetriever(optimized=False).latency_breakdown(spec)
+        opt = APURetriever(optimized=True).latency_breakdown(spec)
+        print(f"  {label}: no-opt {noopt.total * 1e3:7.2f} ms, "
+              f"all-opts {opt.total * 1e3:6.2f} ms")
+
+
+def _run_fig14(args) -> None:
+    from .rag import PAPER_CORPORA, fig14_comparison
+
+    for entry in fig14_comparison():
+        cells = "  ".join(f"{label} {entry.ttft_ms[label]:7.1f}"
+                          for label in PAPER_CORPORA)
+        print(f"  {entry.platform:14s} {cells}  (TTFT ms)")
+
+
+def _run_fig15(args) -> None:
+    from .rag import fig15_energy_comparison
+
+    for label, point in fig15_energy_comparison().items():
+        print(f"  {label}: APU {point.apu_energy.total_j:6.3f} J vs "
+              f"GPU {point.gpu_energy_j:6.1f} J -> "
+              f"{point.efficiency_ratio:.1f}x")
+
+
+def _run_batching(args) -> None:
+    from .rag import BatchedAPURetrieval, PAPER_CORPORA
+
+    model = BatchedAPURetrieval()
+    spec = PAPER_CORPORA[args.corpus]
+    print(f"batched retrieval throughput at {args.corpus}:")
+    for point in model.throughput_curve(spec):
+        print(f"  batch {point.batch_size:3d}: "
+              f"{point.per_query_seconds * 1e3:7.2f} ms/query, "
+              f"{point.queries_per_second:7.1f} qps")
+
+
+def _run_claims(args) -> None:
+    from .validation import validate_reproduction
+
+    print("paper claims vs this reproduction:")
+    print(f"  {'claim':28s} {'paper':>10s} {'here':>10s} {'err':>8s}  ok")
+    for key, result in validate_reproduction().items():
+        status = "yes" if result.holds else "NO"
+        print(f"  {key:28s} {result.claim.paper_value:10.3f} "
+              f"{result.measured:10.3f} {result.relative_error * 100:+7.1f}%  "
+              f"{status}")
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "claims": _run_claims,
+    "table1": _run_table1,
+    "fig2": _run_fig2,
+    "fig12": _run_fig12,
+    "table6": _run_table6,
+    "table7": _run_table7,
+    "fig13": _run_fig13,
+    "table8": _run_table8,
+    "fig14": _run_fig14,
+    "fig15": _run_fig15,
+    "batching": _run_batching,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument("--m", type=int, default=1024,
+                        help="matmul M dimension (fig2/fig12)")
+    parser.add_argument("--n", type=int, default=1024,
+                        help="matmul N dimension (fig2/fig12)")
+    parser.add_argument("--k", type=int, default=1024,
+                        help="matmul K dimension in bits (fig2/fig12)")
+    parser.add_argument("--corpus", choices=["10GB", "50GB", "200GB"],
+                        default="200GB", help="corpus scale (batching)")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name, runner in EXPERIMENTS.items():
+            print(f"=== {name} ===")
+            runner(args)
+        return 0
+    EXPERIMENTS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

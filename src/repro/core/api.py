@@ -1,0 +1,360 @@
+"""Fig. 6 function library: a Python mirror of the GSI-provided C++ API.
+
+Each function records its analytical cost (Tables 4 & 5 / Eq. 1) on the
+estimator activated by ``LatencyEstimator.ctx()``.  Programs written
+against this library are interpreted by the framework exactly like the
+Histogram example in Fig. 6 of the paper.
+
+All functions accept a ``count`` keyword to fold a loop of identical
+operations into one record, which keeps paper-scale programs (billions of
+elements) cheap to interpret.
+"""
+
+from __future__ import annotations
+
+from .estimator import LatencyEstimator
+
+__all__ = [
+    "fast_dma_l4_to_l2",
+    "fast_dma_l2_to_l4",
+    "direct_dma_l4_to_l3",
+    "direct_dma_l2_to_l1_32k",
+    "direct_dma_l1_to_l2_32k",
+    "direct_dma_l4_to_l1_32k",
+    "direct_dma_l1_to_l4_32k",
+    "pio_ld",
+    "pio_st",
+    "lookup_16",
+    "gvml_load_16",
+    "gvml_load_32",
+    "gvml_store_16",
+    "gvml_store_32",
+    "gvml_cpy_16",
+    "gvml_cpy_16_msk",
+    "gvml_cpy_from_mrk_16_msk",
+    "gvml_cpy_subgrp_16_grp",
+    "gvml_cpy_imm_16",
+    "gvml_create_grp_index_u16",
+    "gvml_shift_e",
+    "gvml_shift_e4",
+    "gvml_and_16",
+    "gvml_or_16",
+    "gvml_not_16",
+    "gvml_xor_16",
+    "gvml_sr_imm_16",
+    "gvml_sl_imm_16",
+    "gvml_add_u16",
+    "gvml_add_s16",
+    "gvml_sub_u16",
+    "gvml_sub_s16",
+    "gvml_popcnt_16",
+    "gvml_mul_u16",
+    "gvml_mul_s16",
+    "gvml_mul_f16",
+    "gvml_div_u16",
+    "gvml_div_s16",
+    "gvml_eq_16",
+    "gvml_gt_u16",
+    "gvml_lt_u16",
+    "gvml_lt_gf16",
+    "gvml_ge_u16",
+    "gvml_le_u16",
+    "gvml_recip_u16",
+    "gvml_exp_f16",
+    "gvml_sin_fx",
+    "gvml_cos_fx",
+    "gvml_count_m",
+    "gvml_add_subgrp_s16",
+]
+
+
+def _est() -> LatencyEstimator:
+    return LatencyEstimator.active()
+
+
+# ----------------------------------------------------------------------
+# Data movement (Table 4)
+# ----------------------------------------------------------------------
+def fast_dma_l4_to_l2(nbytes: int, count: int = 1) -> None:
+    """DMA ``nbytes`` from device DRAM (L4) into the L2 scratchpad."""
+    est = _est()
+    est.record("dma_l4_l2", est.params.movement.dma_l4_l2(nbytes), count)
+
+
+def fast_dma_l2_to_l4(nbytes: int, count: int = 1) -> None:
+    """DMA ``nbytes`` from the L2 scratchpad back to device DRAM."""
+    est = _est()
+    est.record("dma_l2_l4", est.params.movement.dma_l4_l2(nbytes), count)
+
+
+def direct_dma_l4_to_l3(nbytes: int, count: int = 1) -> None:
+    """DMA ``nbytes`` from device DRAM into the L3 CP cache."""
+    est = _est()
+    est.record("dma_l4_l3", est.params.movement.dma_l4_l3(nbytes), count)
+
+
+def direct_dma_l2_to_l1_32k(count: int = 1) -> None:
+    """DMA one full 32K x 16-bit vector from L2 into an L1 VMR."""
+    est = _est()
+    est.record("dma_l2_l1", est.params.movement.dma_l2_l1, count)
+
+
+def direct_dma_l1_to_l2_32k(count: int = 1) -> None:
+    """DMA one full vector from an L1 VMR back to L2."""
+    est = _est()
+    est.record("dma_l1_l2", est.params.movement.dma_l2_l1, count)
+
+
+def direct_dma_l4_to_l1_32k(count: int = 1) -> None:
+    """DMA one full vector straight from device DRAM into an L1 VMR."""
+    est = _est()
+    est.record("dma_l4_l1", est.params.movement.dma_l4_l1, count)
+
+
+def direct_dma_l1_to_l4_32k(count: int = 1) -> None:
+    """DMA one full vector from an L1 VMR to device DRAM."""
+    est = _est()
+    est.record("dma_l1_l4", est.params.movement.dma_l1_l4, count)
+
+
+def pio_ld(n_elements: int, count: int = 1) -> None:
+    """Programmed-I/O load of ``n_elements`` individual elements, L4 -> VR."""
+    est = _est()
+    est.record("pio_ld", est.params.movement.pio_ld(n_elements), count)
+
+
+def pio_st(n_elements: int, count: int = 1) -> None:
+    """Programmed-I/O store of ``n_elements`` individual elements, VR -> L4."""
+    est = _est()
+    est.record("pio_st", est.params.movement.pio_st(n_elements), count)
+
+
+def lookup_16(table_entries: int, count: int = 1) -> None:
+    """Indexed lookup from an L3-resident table into a VR via an index VR."""
+    est = _est()
+    est.record("lookup", est.params.movement.lookup(table_entries), count)
+
+
+def gvml_load_16(count: int = 1) -> None:
+    """Load a 16-bit vector from an L1 VMR into a VR."""
+    est = _est()
+    est.record("load", est.params.movement.vr_load, count)
+
+
+def gvml_load_32(count: int = 1) -> None:
+    """Load a 32-bit vector (two VRs) from L1 VMRs."""
+    est = _est()
+    est.record("load_32", 2 * est.params.movement.vr_load, count)
+
+
+def gvml_store_16(count: int = 1) -> None:
+    """Store a 16-bit VR into an L1 VMR."""
+    est = _est()
+    est.record("store", est.params.movement.vr_store, count)
+
+
+def gvml_store_32(count: int = 1) -> None:
+    """Store a 32-bit vector (two VRs) into L1 VMRs."""
+    est = _est()
+    est.record("store_32", 2 * est.params.movement.vr_store, count)
+
+
+def gvml_cpy_16(count: int = 1) -> None:
+    """Element-wise VR -> VR copy."""
+    est = _est()
+    est.record("cpy", est.params.movement.cpy, count)
+
+
+def gvml_cpy_16_msk(count: int = 1) -> None:
+    """Masked element-wise VR -> VR copy."""
+    est = _est()
+    est.record("cpy_msk", est.params.movement.cpy, count)
+
+
+def gvml_cpy_from_mrk_16_msk(count: int = 1) -> None:
+    """Copy from marked entries under a mask."""
+    est = _est()
+    est.record("cpy_from_mrk", est.params.movement.cpy, count)
+
+
+def gvml_cpy_subgrp_16_grp(subgroup_size: int, group_size: int, count: int = 1) -> None:
+    """Replicate a VR subgroup across each group (constant-time in hardware)."""
+    del subgroup_size, group_size  # latency is size-independent (Table 4)
+    est = _est()
+    est.record("cpy_subgrp", est.params.movement.cpy_subgrp, count)
+
+
+def gvml_cpy_imm_16(count: int = 1) -> None:
+    """Broadcast an immediate value to an entire VR."""
+    est = _est()
+    est.record("cpy_imm", est.params.movement.cpy_imm, count)
+
+
+def gvml_create_grp_index_u16(count: int = 1) -> None:
+    """Materialize per-group element indices (built from imm + add + and)."""
+    est = _est()
+    compute = est.params.compute
+    cycles = est.params.movement.cpy_imm + compute.add_u16 + compute.and_16
+    est.record("create_grp_index", cycles, count)
+
+
+def gvml_shift_e(k: int, count: int = 1) -> None:
+    """Shift VR entries toward head/tail by ``k`` elements (slow generic path)."""
+    est = _est()
+    est.record("shift_e", est.params.movement.shift_e(k), count)
+
+
+def gvml_shift_e4(k_quads: int, count: int = 1) -> None:
+    """Intra-bank shift by ``4 * k_quads`` elements (fast path)."""
+    est = _est()
+    est.record("shift_e4", est.params.movement.shift_e4(k_quads), count)
+
+
+# ----------------------------------------------------------------------
+# Computation (Table 5)
+# ----------------------------------------------------------------------
+def _compute(name: str, count: int) -> None:
+    est = _est()
+    est.record(name, est.params.compute.cost(name), count)
+
+
+def gvml_and_16(count: int = 1) -> None:
+    """16-bit bitwise AND across a full VR."""
+    _compute("and_16", count)
+
+
+def gvml_or_16(count: int = 1) -> None:
+    """16-bit bitwise OR across a full VR."""
+    _compute("or_16", count)
+
+
+def gvml_not_16(count: int = 1) -> None:
+    """16-bit bitwise NOT across a full VR."""
+    _compute("not_16", count)
+
+
+def gvml_xor_16(count: int = 1) -> None:
+    """16-bit bitwise XOR across a full VR."""
+    _compute("xor_16", count)
+
+
+def gvml_sr_imm_16(count: int = 1) -> None:
+    """Arithmetic shift right by an immediate."""
+    _compute("ashift", count)
+
+
+def gvml_sl_imm_16(count: int = 1) -> None:
+    """Arithmetic shift left by an immediate."""
+    _compute("ashift", count)
+
+
+def gvml_add_u16(count: int = 1) -> None:
+    """uint16 element-wise addition."""
+    _compute("add_u16", count)
+
+
+def gvml_add_s16(count: int = 1) -> None:
+    """int16 element-wise addition."""
+    _compute("add_s16", count)
+
+
+def gvml_sub_u16(count: int = 1) -> None:
+    """uint16 element-wise subtraction."""
+    _compute("sub_u16", count)
+
+
+def gvml_sub_s16(count: int = 1) -> None:
+    """int16 element-wise subtraction."""
+    _compute("sub_s16", count)
+
+
+def gvml_popcnt_16(count: int = 1) -> None:
+    """16-bit population count per element."""
+    _compute("popcnt_16", count)
+
+
+def gvml_mul_u16(count: int = 1) -> None:
+    """uint16 element-wise multiplication."""
+    _compute("mul_u16", count)
+
+
+def gvml_mul_s16(count: int = 1) -> None:
+    """int16 element-wise multiplication."""
+    _compute("mul_s16", count)
+
+
+def gvml_mul_f16(count: int = 1) -> None:
+    """float16 element-wise multiplication."""
+    _compute("mul_f16", count)
+
+
+def gvml_div_u16(count: int = 1) -> None:
+    """uint16 element-wise division."""
+    _compute("div_u16", count)
+
+
+def gvml_div_s16(count: int = 1) -> None:
+    """int16 element-wise division."""
+    _compute("div_s16", count)
+
+
+def gvml_eq_16(count: int = 1) -> None:
+    """16-bit element-wise equality, result to marker."""
+    _compute("eq_16", count)
+
+
+def gvml_gt_u16(count: int = 1) -> None:
+    """uint16 element-wise greater-than."""
+    _compute("gt_u16", count)
+
+
+def gvml_lt_u16(count: int = 1) -> None:
+    """uint16 element-wise less-than."""
+    _compute("lt_u16", count)
+
+
+def gvml_lt_gf16(count: int = 1) -> None:
+    """GSI float16 element-wise less-than."""
+    _compute("lt_gf16", count)
+
+
+def gvml_ge_u16(count: int = 1) -> None:
+    """uint16 element-wise greater-or-equal."""
+    _compute("ge_u16", count)
+
+
+def gvml_le_u16(count: int = 1) -> None:
+    """uint16 element-wise less-or-equal."""
+    _compute("le_u16", count)
+
+
+def gvml_recip_u16(count: int = 1) -> None:
+    """uint16 element-wise reciprocal."""
+    _compute("recip_u16", count)
+
+
+def gvml_exp_f16(count: int = 1) -> None:
+    """float16 element-wise exponential."""
+    _compute("exp_f16", count)
+
+
+def gvml_sin_fx(count: int = 1) -> None:
+    """Fixed-point sine."""
+    _compute("sin_fx", count)
+
+
+def gvml_cos_fx(count: int = 1) -> None:
+    """Fixed-point cosine."""
+    _compute("cos_fx", count)
+
+
+def gvml_count_m(count: int = 1) -> None:
+    """Count marked entries in a marker VR."""
+    _compute("count_m", count)
+
+
+def gvml_add_subgrp_s16(group_size: int, subgroup_size: int, count: int = 1) -> None:
+    """int16 hierarchical subgroup reduction within each group (Eq. 1)."""
+    est = _est()
+    cycles = est.params.reduction.sg_add(group_size, subgroup_size)
+    est.record("add_subgrp_s16", cycles, count)

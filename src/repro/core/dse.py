@@ -1,0 +1,150 @@
+"""Architectural design-space exploration on top of the analytical framework.
+
+The paper positions the framework as "supporting architectural design
+space exploration by enabling the tuning of key design parameters".
+:class:`DesignSpaceExplorer` implements that: it evaluates a workload's
+modeled latency under systematically varied copies of
+:class:`~repro.core.params.APUParams` and reports sensitivities, so a
+next-generation architecture study can ask questions like "how much does
+RAG retrieval improve if lookup cost halves?" without touching the
+workload code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from .params import APUParams, DEFAULT_PARAMS
+
+__all__ = ["evolve_nested", "SweepPoint", "SweepResult", "DesignSpaceExplorer"]
+
+#: A workload model: maps an architecture parameterization to latency (us).
+WorkloadModel = Callable[[APUParams], float]
+
+
+def evolve_nested(params: APUParams, path: str, value) -> APUParams:
+    """Return a copy of ``params`` with a dotted-path field replaced.
+
+    ``path`` addresses nested frozen dataclasses, e.g.
+    ``"movement.lookup_per_entry"`` or ``"clock_hz"``.
+    """
+    parts = path.split(".")
+    if len(parts) == 1:
+        return params.evolve(**{parts[0]: value})
+    head, rest = parts[0], ".".join(parts[1:])
+    child = getattr(params, head)
+    if not dataclasses.is_dataclass(child):
+        raise AttributeError(f"{head!r} is not a nested parameter group")
+    new_child = _evolve_dataclass(child, rest, value)
+    return params.evolve(**{head: new_child})
+
+
+def _evolve_dataclass(obj, path: str, value):
+    parts = path.split(".")
+    if len(parts) == 1:
+        if not hasattr(obj, parts[0]):
+            raise AttributeError(f"unknown parameter {parts[0]!r} on {type(obj).__name__}")
+        return dataclasses.replace(obj, **{parts[0]: value})
+    head, rest = parts[0], ".".join(parts[1:])
+    child = getattr(obj, head)
+    return dataclasses.replace(obj, **{head: _evolve_dataclass(child, rest, value)})
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a parameter sweep."""
+
+    parameter: str
+    value: float
+    latency_us: float
+    speedup_vs_baseline: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one parameter sweep plus the baseline."""
+
+    parameter: str
+    baseline_value: float
+    baseline_latency_us: float
+    points: List[SweepPoint]
+
+    @property
+    def best(self) -> SweepPoint:
+        """The point with the lowest modeled latency."""
+        return min(self.points, key=lambda p: p.latency_us)
+
+    def sensitivity(self) -> float:
+        """Max |d log latency / d log parameter| across adjacent points.
+
+        A value near 1.0 means latency is proportional to the parameter
+        (fully bottlenecked by it); near 0.0 means the parameter is
+        off the critical path for this workload.
+        """
+        import math
+
+        ordered = sorted(self.points, key=lambda p: p.value)
+        best_slope = 0.0
+        for left, right in zip(ordered, ordered[1:]):
+            if left.value <= 0 or right.value <= 0:
+                continue
+            if left.latency_us <= 0 or right.latency_us <= 0:
+                continue
+            dlog_param = math.log(right.value) - math.log(left.value)
+            if dlog_param == 0:
+                continue
+            dlog_lat = math.log(right.latency_us) - math.log(left.latency_us)
+            best_slope = max(best_slope, abs(dlog_lat / dlog_param))
+        return best_slope
+
+
+class DesignSpaceExplorer:
+    """Sweep architecture parameters against a workload latency model."""
+
+    def __init__(self, workload: WorkloadModel, params: APUParams = DEFAULT_PARAMS):
+        self.workload = workload
+        self.base_params = params
+
+    def evaluate(self, params: APUParams) -> float:
+        """Modeled latency (us) of the workload under ``params``."""
+        latency = self.workload(params)
+        if latency < 0:
+            raise ValueError("workload model returned a negative latency")
+        return latency
+
+    def sweep(self, parameter: str, values: Sequence[float]) -> SweepResult:
+        """Evaluate the workload across ``values`` of a dotted parameter path."""
+        baseline_value = self._read(parameter)
+        baseline_latency = self.evaluate(self.base_params)
+        points = []
+        for value in values:
+            params = evolve_nested(self.base_params, parameter, value)
+            latency = self.evaluate(params)
+            points.append(
+                SweepPoint(
+                    parameter=parameter,
+                    value=value,
+                    latency_us=latency,
+                    speedup_vs_baseline=baseline_latency / latency if latency else float("inf"),
+                )
+            )
+        return SweepResult(
+            parameter=parameter,
+            baseline_value=baseline_value,
+            baseline_latency_us=baseline_latency,
+            points=points,
+        )
+
+    def sensitivity_report(
+        self, sweeps: Dict[str, Sequence[float]]
+    ) -> Dict[str, SweepResult]:
+        """Run several sweeps and return them keyed by parameter path."""
+        return {param: self.sweep(param, values) for param, values in sweeps.items()}
+
+    def _read(self, path: str) -> float:
+        obj = self.base_params
+        for part in path.split("."):
+            obj = getattr(obj, part)
+        return obj

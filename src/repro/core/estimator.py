@@ -1,0 +1,213 @@
+"""Closed-form latency estimation for APU programs (paper Section 3).
+
+The :class:`LatencyEstimator` interprets an APU program expressed as a
+sequence of GVML-style operation calls (see :mod:`repro.core.api` for the
+Fig. 6 function library) and accumulates the analytical per-operation
+costs of Tables 4 and 5.  It deliberately models *only* what the paper's
+framework models: linear DMA/PIO/lookup costs, constant element-wise
+compute costs, and the Eq. 1 subgroup-reduction polynomial.  Second-order
+effects (VCU issue overhead, DRAM refresh) live in the simulator, which
+is what creates the measured-vs-predicted gap reproduced in Table 7.
+
+Example (mirrors Fig. 6 of the paper)::
+
+    framework = LatencyEstimator()
+    with framework.ctx():
+        fast_dma_l4_to_l2(32 * 512)
+        direct_dma_l2_to_l1_32k()
+        gvml_load_16()
+        gvml_add_u16()
+        gvml_store_16()
+        direct_dma_l1_to_l4_32k()
+    print(f"Latency: {framework.report_latency()} us")
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .params import APUParams, DEFAULT_PARAMS
+
+__all__ = ["OpRecord", "LatencyEstimator", "current_estimator"]
+
+
+@dataclass
+class OpRecord:
+    """A single recorded operation and its modeled cost."""
+
+    name: str
+    cycles: float
+    count: int = 1
+    section: str = ""
+
+    @property
+    def total_cycles(self) -> float:
+        """Cycles contributed by all repetitions of this record."""
+        return self.cycles * self.count
+
+
+class _ParallelTracks:
+    """Helper that models concurrently-executing instruction streams.
+
+    The APU has two DMA engines that can run in parallel with each other
+    (and with compute once a transfer is in flight).  Programs that
+    exploit this wrap the overlapped phases in ``estimator.parallel()``;
+    the estimator then charges the *maximum* of the per-track totals
+    instead of their sum.
+    """
+
+    def __init__(self, estimator: "LatencyEstimator"):
+        self._estimator = estimator
+        self._track_totals: List[float] = []
+        self._track_records: List[List[OpRecord]] = []
+
+    @contextlib.contextmanager
+    def track(self) -> Iterator[None]:
+        """Open one parallel instruction stream."""
+        records: List[OpRecord] = []
+        self._estimator._redirect_stack.append(records)
+        try:
+            yield
+        finally:
+            self._estimator._redirect_stack.pop()
+        self._track_records.append(records)
+        self._track_totals.append(sum(r.total_cycles for r in records))
+
+    def finalize(self) -> float:
+        """Charge the critical-path (max) track and return its cycles."""
+        if not self._track_totals:
+            return 0.0
+        critical = max(range(len(self._track_totals)), key=self._track_totals.__getitem__)
+        for record in self._track_records[critical]:
+            self._estimator._commit(record)
+        return self._track_totals[critical]
+
+
+class LatencyEstimator:
+    """Analytical latency model for general-purpose compute-in-SRAM programs.
+
+    Parameters
+    ----------
+    params:
+        Architecture parameter bundle; swap in an evolved copy for
+        design-space exploration.
+    """
+
+    _active = threading.local()
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        self.params = params
+        self.records: List[OpRecord] = []
+        self._section_stack: List[str] = []
+        self._redirect_stack: List[List[OpRecord]] = []
+
+    # ------------------------------------------------------------------
+    # Context management
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def ctx(self) -> Iterator["LatencyEstimator"]:
+        """Activate this estimator for the module-level API functions."""
+        previous = getattr(LatencyEstimator._active, "value", None)
+        LatencyEstimator._active.value = self
+        try:
+            yield self
+        finally:
+            LatencyEstimator._active.value = previous
+
+    @contextlib.contextmanager
+    def section(self, label: str) -> Iterator[None]:
+        """Attribute enclosed operations to a named breakdown section."""
+        self._section_stack.append(label)
+        try:
+            yield
+        finally:
+            self._section_stack.pop()
+
+    @contextlib.contextmanager
+    def parallel(self) -> Iterator[_ParallelTracks]:
+        """Model overlapped instruction streams; charges the slowest track."""
+        tracks = _ParallelTracks(self)
+        yield tracks
+        tracks.finalize()
+
+    @classmethod
+    def active(cls) -> "LatencyEstimator":
+        """Return the estimator enabled by the innermost ``ctx()``."""
+        estimator = getattr(cls._active, "value", None)
+        if estimator is None:
+            raise RuntimeError(
+                "no active LatencyEstimator; wrap API calls in `with framework.ctx():`"
+            )
+        return estimator
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, name: str, cycles: float, count: int = 1) -> OpRecord:
+        """Record ``count`` executions of an operation costing ``cycles`` each."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle cost for {name!r}: {cycles}")
+        if count < 0:
+            raise ValueError(f"negative repeat count for {name!r}: {count}")
+        section = self._section_stack[-1] if self._section_stack else ""
+        record = OpRecord(name=name, cycles=cycles, count=count, section=section)
+        if self._redirect_stack:
+            self._redirect_stack[-1].append(record)
+        else:
+            self._commit(record)
+        return record
+
+    def _commit(self, record: OpRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        """Total modeled cycles across all committed records."""
+        return sum(record.total_cycles for record in self.records)
+
+    def report_latency(self) -> float:
+        """Total modeled latency in microseconds (Fig. 6 interface)."""
+        return self.params.cycles_to_us(self.total_cycles)
+
+    def report_latency_ms(self) -> float:
+        """Total modeled latency in milliseconds."""
+        return self.params.cycles_to_ms(self.total_cycles)
+
+    def breakdown_by_section(self) -> Dict[str, float]:
+        """Cycles per ``section()`` label (unlabeled ops grouped under '')."""
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            totals[record.section] = totals.get(record.section, 0.0) + record.total_cycles
+        return totals
+
+    def breakdown_by_op(self) -> Dict[str, float]:
+        """Cycles per operation name."""
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            totals[record.name] = totals.get(record.name, 0.0) + record.total_cycles
+        return totals
+
+    def op_count(self) -> int:
+        """Total number of recorded operation executions."""
+        return sum(record.count for record in self.records)
+
+    def reset(self) -> None:
+        """Discard all recorded operations."""
+        self.records.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyEstimator(total_cycles={self.total_cycles:.0f}, "
+            f"latency_us={self.report_latency():.2f})"
+        )
+
+
+def current_estimator() -> LatencyEstimator:
+    """Module-level accessor for the active estimator."""
+    return LatencyEstimator.active()

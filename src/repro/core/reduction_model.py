@@ -1,0 +1,155 @@
+"""Eq. 1: the subgroup-reduction cost model and its fitting procedure.
+
+The paper models hierarchical subgroup reductions with a cubic polynomial
+in the number of halving stages whose coefficients depend logarithmically
+on the group size (Eq. 1), with the constants "experimentally
+determined".  Lacking the device, we reproduce the experiment against the
+simulator: :func:`simulated_sg_add_cycles` is the microcode-level staged
+reduction ladder (the "device"), and
+:func:`fit_reduction_coefficients` performs the least-squares fit that
+produces the ``alpha_i`` / ``beta_i`` defaults stored in
+:class:`repro.core.params.ReductionCoefficients`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .params import APUParams, DEFAULT_PARAMS, ReductionCoefficients
+
+__all__ = [
+    "simulated_sg_add_cycles",
+    "reduction_sample_grid",
+    "FitResult",
+    "fit_reduction_coefficients",
+]
+
+
+def simulated_sg_add_cycles(
+    group_size: int, subgroup_size: int, params: APUParams = DEFAULT_PARAMS,
+    op_cycles: float = None,
+) -> float:
+    """Microcode-level cost of ``add_subgrp_s16(r, s)`` on the simulator.
+
+    The ladder performs ``log2(r / s)`` halving stages.  Stage ``t``
+    aligns one operand with the other half of the shrinking subgroup;
+    the alignment microcode grows quadratically with the stage index
+    because each doubling of the shift distance adds another level of
+    bit-slice shifting and mask regeneration (the source of the cubic
+    total cost the paper observes).  Group bookkeeping adds a small
+    per-stage cost that grows with ``log2 r``.
+    """
+    if subgroup_size <= 0:
+        raise ValueError("subgroup size must be positive")
+    if group_size < subgroup_size:
+        raise ValueError("group size must be >= subgroup size")
+    ratio = group_size // subgroup_size
+    if ratio * subgroup_size != group_size or (ratio & (ratio - 1)) != 0:
+        raise ValueError("group / subgroup must be a power-of-two ratio")
+
+    stages = int(math.log2(ratio))
+    log_r = math.log2(group_size) if group_size > 1 else 0.0
+    if op_cycles is None:
+        op_cycles = params.compute.add_s16
+
+    # Setup: broadcast the group mask and build the stage-0 index pattern.
+    cycles = params.movement.cpy_imm + 10.0
+    for t in range(stages):
+        alignment = 2.8 * t * t + (4.0 + 0.45 * log_r) * t + 11.0
+        mask_regen = 3.0 + 0.2 * log_r
+        # Non-polynomial microcode effects the cubic fit cannot capture:
+        # the mask pattern ROM repeats with period 3, and shifts whose
+        # distance crosses a physical bank boundary pay an extra hop on
+        # the global horizontal line.
+        pattern_rom = 1.5 * (t % 3)
+        bank_hop = 4.0 if (1 << t) >= params.bank_elements else 0.0
+        cycles += alignment + mask_regen + pattern_rom + bank_hop
+        cycles += op_cycles
+    return cycles
+
+
+def reduction_sample_grid(
+    params: APUParams = DEFAULT_PARAMS,
+    group_sizes: Sequence[int] = (16, 64, 256, 1024, 4096, 32768),
+) -> List[Tuple[int, int, float]]:
+    """Sample ``(r, s, cycles)`` triples across the reduction design space."""
+    samples: List[Tuple[int, int, float]] = []
+    for r in group_sizes:
+        s = 1
+        while s <= r:
+            samples.append((r, s, simulated_sg_add_cycles(r, s, params)))
+            s *= 2
+    return samples
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting Eq. 1 to simulated reduction latencies."""
+
+    coefficients: ReductionCoefficients
+    max_relative_error: float
+    mean_relative_error: float
+    r_squared: float
+    num_samples: int
+
+    def predict(self, group_size: int, subgroup_size: int) -> float:
+        """Predicted cycles for ``add_subgrp_s16(r, s)`` under the fit."""
+        return self.coefficients.sg_add(group_size, subgroup_size)
+
+
+def fit_reduction_coefficients(
+    params: APUParams = DEFAULT_PARAMS,
+    samples: Iterable[Tuple[int, int, float]] = None,
+) -> FitResult:
+    """Least-squares fit of the Eq. 1 coefficients.
+
+    The model is linear in the eight unknowns
+    ``(alpha_3, beta_3, ..., alpha_0, beta_0)`` once expanded:
+
+    ``T = sum_i (alpha_i * log2(r) + beta_i) * x**i``  with ``x`` the
+    stage count, so each sample contributes one row of the design matrix
+    ``[lr*x^3, x^3, lr*x^2, x^2, lr*x, x, lr, 1]``.
+    """
+    if samples is None:
+        samples = reduction_sample_grid(params)
+    samples = list(samples)
+    if len(samples) < 8:
+        raise ValueError("need at least 8 samples to fit 8 coefficients")
+
+    rows = []
+    targets = []
+    for r, s, cycles in samples:
+        x = math.log2(r / s)
+        lr = math.log2(r) if r > 1 else 0.0
+        rows.append(
+            [lr * x ** 3, x ** 3, lr * x ** 2, x ** 2, lr * x, x, lr, 1.0]
+        )
+        targets.append(cycles)
+
+    design = np.asarray(rows, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+    a3, b3, a2, b2, a1, b1, a0, b0 = (float(v) for v in solution)
+    coefficients = ReductionCoefficients(
+        alpha3=a3, beta3=b3, alpha2=a2, beta2=b2,
+        alpha1=a1, beta1=b1, alpha0=a0, beta0=b0,
+    )
+
+    predictions = design @ solution
+    residual = y - predictions
+    nonzero = y != 0
+    relative = np.abs(residual[nonzero] / y[nonzero])
+    ss_res = float(np.sum(residual ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitResult(
+        coefficients=coefficients,
+        max_relative_error=float(relative.max()) if relative.size else 0.0,
+        mean_relative_error=float(relative.mean()) if relative.size else 0.0,
+        r_squared=r_squared,
+        num_samples=len(samples),
+    )

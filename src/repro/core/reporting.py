@@ -1,0 +1,91 @@
+"""Plain-text rendering of breakdowns and comparisons.
+
+Turns the structures the library produces -- section breakdowns,
+stage ladders, platform comparisons -- into aligned ASCII tables and
+horizontal bar charts, for the CLI and examples.  No plotting
+dependencies; everything renders in a terminal or a monospace block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_bars", "format_stacked_breakdown"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 float_format: str = "{:.2f}") -> str:
+    """Render rows as an aligned table; floats use ``float_format``."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(r[i]) for r in rendered)
+              for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rendered):
+        line = "  ".join(cell.rjust(w) if j else cell.ljust(w)
+                         for j, (cell, w) in enumerate(zip(row, widths)))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_bars(values: Mapping[str, float], width: int = 40,
+                unit: str = "") -> str:
+    """Horizontal bar chart, one labeled bar per entry."""
+    if not values:
+        return "(empty)"
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0,
+                        round(value / peak * width))
+        suffix = f" {value:.2f}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}|{suffix}")
+    return "\n".join(lines)
+
+
+def format_stacked_breakdown(stages: Mapping[str, Mapping[str, float]],
+                             sections: Sequence[str], width: int = 50,
+                             unit: str = "ms") -> str:
+    """A Fig. 12-style stacked horizontal chart.
+
+    ``stages`` maps stage label -> {section -> value}; every stage's
+    bar is scaled to the largest total, with one letter per section.
+    """
+    if not stages:
+        return "(empty)"
+    totals = {stage: sum(parts.get(s, 0.0) for s in sections)
+              for stage, parts in stages.items()}
+    peak = max(totals.values()) or 1.0
+    label_width = max(len(k) for k in stages)
+    letters: Dict[str, str] = {}
+    used: set = set()
+    for index, section in enumerate(sections):
+        candidates = [c.upper() for c in section if c.isalnum()]
+        candidates.append(str(index))
+        letter = next(c for c in candidates if c not in used)
+        used.add(letter)
+        letters[section] = letter
+    legend = "  ".join(f"{letters[s]}={s}" for s in sections)
+    lines = [f"legend: {legend}"]
+    for stage, parts in stages.items():
+        bar = ""
+        for section in sections:
+            chars = round(parts.get(section, 0.0) / peak * width)
+            bar += letters[section] * chars
+        lines.append(
+            f"{stage.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{totals[stage]:.2f} {unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Roofline model for compute-in-SRAM devices (paper Fig. 2).
+
+The paper profiles the APU's peak computational bound for 16-bit
+unsigned multiply-accumulate and plots matrix-multiplication kernels at
+their operational intensity.  :class:`RooflineModel` reproduces this:
+the compute roof comes from the Table 5 MAC latency and the device
+geometry, the memory roof from the off-chip bandwidth, and kernels are
+placed by the (OI, performance) pairs produced by
+:mod:`repro.opt.matmul`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .params import APUParams, DEFAULT_PARAMS
+
+__all__ = ["KernelPoint", "RooflineModel"]
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """A kernel placed on the roofline.
+
+    Attributes
+    ----------
+    name:
+        Kernel label (e.g. ``"baseline"`` or ``"all opts"``).
+    operational_intensity:
+        Operations per byte of off-chip traffic.
+    performance:
+        Achieved operations per second.
+    """
+
+    name: str
+    operational_intensity: float
+    performance: float
+
+    @property
+    def bound(self) -> str:
+        """Human-readable classification used in Fig. 2 discussion."""
+        return "memory" if self.operational_intensity < 1.0 else "compute"
+
+
+class RooflineModel:
+    """Roofline with a single compute roof and a single memory roof."""
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        self.params = params
+
+    @property
+    def peak_compute_ops(self) -> float:
+        """Peak ops/s for 16-bit unsigned multiply-accumulate.
+
+        One MAC on a full VR costs ``mul_u16 + add_u16`` cycles and
+        retires ``2 * vr_length`` scalar operations per core; all cores
+        run independently.
+        """
+        mac_cycles = self.params.compute.mul_u16 + self.params.compute.add_u16
+        ops_per_cycle = 2.0 * self.params.vr_length / mac_cycles
+        return ops_per_cycle * self.params.num_cores * self.params.clock_hz
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """Off-chip (device DRAM) bandwidth in bytes/s shared by the cores."""
+        return self.params.dram_bandwidth
+
+    def attainable(self, operational_intensity: float) -> float:
+        """Attainable performance (ops/s) at a given operational intensity."""
+        if operational_intensity < 0:
+            raise ValueError("operational intensity must be non-negative")
+        return min(self.peak_compute_ops, operational_intensity * self.memory_bandwidth)
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity at which the kernel becomes compute bound."""
+        return self.peak_compute_ops / self.memory_bandwidth
+
+    def efficiency(self, point: KernelPoint) -> float:
+        """Fraction of attainable performance a kernel achieves (0-1]."""
+        roof = self.attainable(point.operational_intensity)
+        return point.performance / roof if roof > 0 else 0.0
+
+    def series(
+        self, intensities: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """(OI, attainable) pairs for plotting the roofline curve."""
+        return [(oi, self.attainable(oi)) for oi in intensities]
+
+    def classify(self, points: Sequence[KernelPoint]) -> Dict[str, str]:
+        """Map each kernel to 'memory'/'compute' by its position vs the ridge."""
+        result = {}
+        for point in points:
+            side = "memory" if point.operational_intensity < self.ridge_point else "compute"
+            result[point.name] = side
+        return result

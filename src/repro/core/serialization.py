@@ -1,0 +1,82 @@
+"""Persisting architecture parameterizations.
+
+A profiled device (``DeviceProfiler.derive_params``) or a DSE design
+point is only useful if it can be saved and reloaded; these helpers
+round-trip :class:`~repro.core.params.APUParams` through plain dicts
+and JSON files, validating field names on load so stale configs fail
+loudly instead of silently falling back to defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Union
+
+from .params import (
+    APUParams,
+    ComputeCosts,
+    DataMovementCosts,
+    ReductionCoefficients,
+    SecondOrderEffects,
+)
+
+__all__ = ["params_to_dict", "params_from_dict", "save_params", "load_params"]
+
+_NESTED_TYPES = {
+    "movement": DataMovementCosts,
+    "compute": ComputeCosts,
+    "reduction": ReductionCoefficients,
+    "effects": SecondOrderEffects,
+}
+
+
+def params_to_dict(params: APUParams) -> dict:
+    """A JSON-safe dict of every field, nested groups included."""
+    out = {}
+    for field in dataclasses.fields(APUParams):
+        value = getattr(params, field.name)
+        if field.name in _NESTED_TYPES:
+            out[field.name] = dataclasses.asdict(value)
+        else:
+            out[field.name] = value
+    return out
+
+
+def params_from_dict(data: dict) -> APUParams:
+    """Rebuild an :class:`APUParams` from :func:`params_to_dict` output.
+
+    Unknown keys (top-level or nested) raise ``ValueError`` -- a config
+    written by a newer or modified library must not load silently.
+    """
+    known = {f.name for f in dataclasses.fields(APUParams)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown parameter fields: {sorted(unknown)}")
+    kwargs = {}
+    for name, value in data.items():
+        if name in _NESTED_TYPES:
+            cls = _NESTED_TYPES[name]
+            nested_known = {f.name for f in dataclasses.fields(cls)}
+            nested_unknown = set(value) - nested_known
+            if nested_unknown:
+                raise ValueError(
+                    f"unknown fields in {name}: {sorted(nested_unknown)}"
+                )
+            kwargs[name] = cls(**value)
+        else:
+            kwargs[name] = value
+    return APUParams(**kwargs)
+
+
+def save_params(params: APUParams, path: Union[str, pathlib.Path]) -> None:
+    """Write a parameterization to a JSON file."""
+    payload = params_to_dict(params)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_params(path: Union[str, pathlib.Path]) -> APUParams:
+    """Read a parameterization from a JSON file."""
+    data = json.loads(pathlib.Path(path).read_text())
+    return params_from_dict(data)

@@ -1,0 +1,76 @@
+"""Memory-system presets: the paper's HBM2e plus the device's DDR4.
+
+The HBM2e configuration follows Section 5.3.1 exactly: 16 GB, 2 ranks,
+8 channels, 1.6 GHz, yielding 380-420 GB/s peak bandwidth.  Each channel
+is 128 bits wide at DDR (3.2 GT/s), burst length 4, so peak is
+``8 ch x 16 B/transfer x 3.2 GT/s = 409.6 GB/s`` -- inside the paper's
+band.  The DDR4 preset models the Leda-E board's native 23.8 GB/s
+device DRAM and exists for the HBM-vs-DDR ablation.
+"""
+
+from __future__ import annotations
+
+from .dram import DRAMModel, DRAMOrganization, DRAMTiming
+
+__all__ = [
+    "HBM2E_ORGANIZATION",
+    "HBM2E_TIMING",
+    "DDR4_ORGANIZATION",
+    "DDR4_TIMING",
+    "make_hbm2e",
+    "make_ddr4",
+]
+
+#: Section 5.3.1: 16 GB, 2 ranks, 8 channels, 1.6 GHz.
+HBM2E_ORGANIZATION = DRAMOrganization(
+    channels=8,
+    ranks=2,
+    banks=16,
+    bus_bits=128,
+    burst_length=4,
+    row_bytes=2048,
+    capacity_bytes=16 * 1024 ** 3,
+)
+
+#: HBM2e timing at a 1.6 GHz command clock (DDR data rate 3.2 GT/s).
+HBM2E_TIMING = DRAMTiming(
+    clock_hz=1.6e9,
+    tRCD=23,    # ~14.4 ns
+    tRP=23,
+    tCL=23,
+    tCCD=2,     # BL4 at DDR: back-to-back bursts every 2 cycles
+    tRFC=560,   # ~350 ns
+    tREFI=6240, # 3.9 us
+)
+
+#: The Leda-E board's shared DDR4: one 64-bit channel at ~1.49 GHz DDR
+#: (23.8 GB/s peak, the number the paper quotes).
+DDR4_ORGANIZATION = DRAMOrganization(
+    channels=1,
+    ranks=2,
+    banks=16,
+    bus_bits=64,
+    burst_length=8,
+    row_bytes=8192,
+    capacity_bytes=16 * 1024 ** 3,
+)
+
+DDR4_TIMING = DRAMTiming(
+    clock_hz=1.4875e9,
+    tRCD=21,
+    tRP=21,
+    tCL=21,
+    tCCD=4,     # BL8 at DDR
+    tRFC=520,
+    tREFI=11700,
+)
+
+
+def make_hbm2e() -> DRAMModel:
+    """The paper's simulated HBM2e system (380-420 GB/s peak)."""
+    return DRAMModel(HBM2E_ORGANIZATION, HBM2E_TIMING, name="hbm2e")
+
+
+def make_ddr4() -> DRAMModel:
+    """The Leda-E's native DDR4 (23.8 GB/s peak) for ablations."""
+    return DRAMModel(DDR4_ORGANIZATION, DDR4_TIMING, name="ddr4")

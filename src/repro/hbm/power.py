@@ -1,0 +1,93 @@
+"""DRAMPower-5-style energy estimation for the memory models.
+
+Energy splits into background power integrated over busy time plus
+per-command energies (activate/precharge pairs and read/write bursts),
+the structure DRAMPower uses with IDD-derived constants.  The HBM2e
+constants are chosen for an efficient pseudo-channel part
+(~13 pJ/byte all-in at streaming rates), which is also the value the
+APU board-level energy model is calibrated against -- the two models
+agree on the Fig. 15 DRAM share by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dram import DRAMModel
+
+__all__ = ["DRAMPowerParams", "DRAMEnergy", "DRAMPowerModel", "HBM2E_POWER", "DDR4_POWER"]
+
+
+@dataclass(frozen=True)
+class DRAMPowerParams:
+    """IDD-derived energy constants for one memory part."""
+
+    #: Standby/background power while the part is busy, watts.
+    background_w: float
+    #: Energy of one activate+precharge pair, joules.
+    activate_j: float
+    #: Energy of one read/write burst (all channels' share), joules.
+    burst_j: float
+    #: Refresh power folded into background (watts).
+    refresh_w: float
+
+
+#: Efficient HBM2e pseudo-channel part.
+HBM2E_POWER = DRAMPowerParams(
+    background_w=0.45,
+    activate_j=2.0e-9,     # per 2 KB row
+    burst_j=0.70e-9,       # per 64 B channel burst
+    refresh_w=0.05,
+)
+
+#: Commodity DDR4 part (higher pJ/bit, lower background).
+DDR4_POWER = DRAMPowerParams(
+    background_w=0.35,
+    activate_j=4.5e-9,
+    burst_j=1.6e-9,
+    refresh_w=0.04,
+)
+
+
+@dataclass(frozen=True)
+class DRAMEnergy:
+    """Energy breakdown of a traffic window."""
+
+    background_j: float
+    activate_j: float
+    burst_j: float
+    refresh_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total DRAM energy in joules."""
+        return self.background_j + self.activate_j + self.burst_j + self.refresh_j
+
+    def per_byte(self, nbytes: float) -> float:
+        """Average joules per byte over the window."""
+        return self.total_j / nbytes if nbytes > 0 else 0.0
+
+
+class DRAMPowerModel:
+    """Converts a :class:`DRAMModel`'s counters into energy."""
+
+    def __init__(self, params: DRAMPowerParams):
+        self.params = params
+
+    def from_counters(self, model: DRAMModel) -> DRAMEnergy:
+        """Energy of everything the timing model has transferred so far."""
+        return self.from_stats(
+            seconds=model.total_seconds,
+            activates=model.total_activates,
+            bursts=model.total_bursts,
+        )
+
+    def from_stats(self, seconds: float, activates: int, bursts: int) -> DRAMEnergy:
+        """Energy from explicit traffic statistics."""
+        p = self.params
+        return DRAMEnergy(
+            background_j=p.background_w * seconds,
+            activate_j=p.activate_j * activates,
+            burst_j=p.burst_j * bursts,
+            refresh_j=p.refresh_w * seconds,
+        )

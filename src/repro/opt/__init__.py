@@ -1,0 +1,67 @@
+"""The paper's three data-movement/layout optimizations (Section 4).
+
+* :mod:`repro.opt.reduction` -- communication-aware reduction mapping
+  and the closed-form Eqs. 2-14.
+* :mod:`repro.opt.coalesce` -- DMA coalescing planner (Fig. 10).
+* :mod:`repro.opt.layout` -- Graphene-style layouts and the
+  broadcast-friendly transform (Fig. 11).
+* :mod:`repro.opt.matmul` -- the executable binary-matmul kernels that
+  realize the Fig. 12 optimization ladder on the simulator.
+"""
+
+from .coalesce import CoalescePlan, TransferRequest, coalescing_saving, naive_cycles, plan_coalescing
+from .layout import (
+    Dim,
+    Layout,
+    LayoutError,
+    broadcast_friendly,
+    broadcast_window_addresses,
+    broadcast_window_span,
+    lookup_table_entries,
+)
+from .matmul import (
+    BaselineMatmul,
+    BinaryMatmulKernel,
+    MatmulResult,
+    Opt1Matmul,
+    Opt2Matmul,
+    Opt3Matmul,
+    STAGE_ORDER,
+    pack_operands,
+    reference_binary_matmul,
+    run_all_stages,
+)
+from .planner import OptimizationPlan, OptimizationPlanner, PlanDecision
+from .reduction import CostBreakdown, MatmulCostModel, MatmulShape, ReductionMapping
+
+__all__ = [
+    "BaselineMatmul",
+    "BinaryMatmulKernel",
+    "CoalescePlan",
+    "CostBreakdown",
+    "Dim",
+    "Layout",
+    "LayoutError",
+    "MatmulCostModel",
+    "MatmulResult",
+    "MatmulShape",
+    "Opt1Matmul",
+    "Opt2Matmul",
+    "Opt3Matmul",
+    "OptimizationPlan",
+    "OptimizationPlanner",
+    "PlanDecision",
+    "ReductionMapping",
+    "STAGE_ORDER",
+    "TransferRequest",
+    "broadcast_friendly",
+    "broadcast_window_addresses",
+    "broadcast_window_span",
+    "coalescing_saving",
+    "lookup_table_entries",
+    "naive_cycles",
+    "pack_operands",
+    "plan_coalescing",
+    "reference_binary_matmul",
+    "run_all_stages",
+]

@@ -1,0 +1,264 @@
+"""Graphene-style data layouts and the broadcast-friendly transform (Fig. 11).
+
+The paper expresses layouts as dimension sizes and strides (the notation
+proposed by Graphene [23]); what matters for the lookup-broadcast
+optimization is the *span* of addresses a broadcast window touches,
+because the L3 lookup table must be one contiguous chunk and lookup
+latency grows linearly with table size (Table 4).
+
+:class:`Layout` enumerates element addresses for arbitrary size/stride
+nests, :func:`broadcast_window_span` measures the lookup table a window
+requires, and :func:`broadcast_friendly` produces the transposed layout
+that shrinks the window from ``rows x row_stride`` to ``rows`` (the
+18 -> 3 reduction of Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Dim",
+    "Layout",
+    "LayoutError",
+    "broadcast_window_addresses",
+    "broadcast_window_span",
+    "broadcast_friendly",
+    "lookup_table_entries",
+]
+
+
+class LayoutError(Exception):
+    """Raised on malformed layout descriptions."""
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One layout dimension: iterate ``size`` steps of ``stride`` elements."""
+
+    size: int
+    stride: int
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise LayoutError(f"dimension size must be positive, got {self.size}")
+        if self.stride < 0:
+            raise LayoutError(f"stride must be non-negative, got {self.stride}")
+
+
+class Layout:
+    """A nest of (size, stride) dimensions, outermost first.
+
+    ``Layout([Dim(3, 6), Dim(6, 1)])`` is a row-major 3x6 matrix;
+    ``Layout([Dim(6, 3), Dim(3, 1)])`` its broadcast-friendly transpose.
+    Decomposed dimensions in the paper's tuple notation -- e.g.
+    ``[(32, 32) @ 64]`` -- are expressed as two nested Dims
+    ``Dim(32, 64), Dim(32, 64*32)``-style entries; the class does not
+    distinguish them from ordinary nests because only the address map
+    matters.
+    """
+
+    def __init__(self, dims: Sequence[Dim]):
+        if not dims:
+            raise LayoutError("a layout needs at least one dimension")
+        self.dims: Tuple[Dim, ...] = tuple(dims)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def row_major(cls, shape: Sequence[int]) -> "Layout":
+        """C-order layout for ``shape``."""
+        dims: List[Dim] = []
+        stride = 1
+        for size in reversed(shape):
+            dims.append(Dim(size, stride))
+            stride *= size
+        return cls(tuple(reversed(dims)))
+
+    @classmethod
+    def column_major(cls, shape: Sequence[int]) -> "Layout":
+        """Fortran-order layout for ``shape``."""
+        dims: List[Dim] = []
+        stride = 1
+        for size in shape:
+            dims.append(Dim(size, stride))
+            stride *= size
+        return cls(dims)
+
+    # ------------------------------------------------------------------
+    # Address arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Sizes of the dimensions, outermost first."""
+        return tuple(d.size for d in self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        """Total elements addressed."""
+        n = 1
+        for d in self.dims:
+            n *= d.size
+        return n
+
+    def address(self, indices: Sequence[int]) -> int:
+        """Linear element offset of a multi-dimensional index."""
+        if len(indices) != len(self.dims):
+            raise LayoutError(
+                f"expected {len(self.dims)} indices, got {len(indices)}"
+            )
+        offset = 0
+        for index, dim in zip(indices, self.dims):
+            if not 0 <= index < dim.size:
+                raise LayoutError(f"index {index} out of range for {dim}")
+            offset += index * dim.stride
+        return offset
+
+    def addresses(self) -> np.ndarray:
+        """All element offsets in iteration order (outer dims slowest)."""
+        grids = [np.arange(d.size) * d.stride for d in self.dims]
+        mesh = np.meshgrid(*grids, indexing="ij")
+        return sum(mesh).reshape(-1)
+
+    def footprint(self) -> int:
+        """Smallest contiguous region (in elements) containing the layout."""
+        addrs = self.addresses()
+        return int(addrs.max()) + 1
+
+    def is_bijective(self) -> bool:
+        """Whether every element maps to a distinct address."""
+        addrs = self.addresses()
+        return len(np.unique(addrs)) == addrs.size
+
+    # ------------------------------------------------------------------
+    # Data application
+    # ------------------------------------------------------------------
+    def gather(self, flat: np.ndarray) -> np.ndarray:
+        """Read elements of ``flat`` in layout order, shaped to the nest."""
+        flat = np.asarray(flat).reshape(-1)
+        return flat[self.addresses()].reshape(self.shape)
+
+    def scatter(self, values: np.ndarray, out_size: int = None) -> np.ndarray:
+        """Write ``values`` (in layout order) into a flat buffer."""
+        values = np.asarray(values).reshape(-1)
+        addrs = self.addresses()
+        if values.size != addrs.size:
+            raise LayoutError(
+                f"value count {values.size} != layout size {addrs.size}"
+            )
+        if not self.is_bijective():
+            raise LayoutError("scatter through a non-bijective layout")
+        size = out_size if out_size is not None else self.footprint()
+        out = np.zeros(size, dtype=values.dtype)
+        out[addrs] = values
+        return out
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def permute(self, order: Sequence[int]) -> "Layout":
+        """Reorder the dimension nest (data stays put; iteration changes)."""
+        if sorted(order) != list(range(len(self.dims))):
+            raise LayoutError(f"bad permutation {order}")
+        return Layout([self.dims[i] for i in order])
+
+    def split(self, dim_index: int, factor: int) -> "Layout":
+        """Split one dimension into (size/factor, factor) nested dims."""
+        dim = self.dims[dim_index]
+        if dim.size % factor != 0:
+            raise LayoutError(f"{factor} does not divide size {dim.size}")
+        outer = Dim(dim.size // factor, dim.stride * factor)
+        inner = Dim(factor, dim.stride)
+        dims = list(self.dims)
+        dims[dim_index: dim_index + 1] = [outer, inner]
+        return Layout(dims)
+
+    def __str__(self) -> str:
+        body = "; ".join(f"{d.size} @ {d.stride}" for d in self.dims)
+        return f"[{body}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Layout({list(self.dims)})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Layout) and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash(self.dims)
+
+
+# ----------------------------------------------------------------------
+# Broadcast windows and lookup tables (Fig. 11)
+# ----------------------------------------------------------------------
+def broadcast_window_addresses(layout: Layout, window_dim: int,
+                               step_indices: Sequence[int]) -> np.ndarray:
+    """Addresses one broadcast step touches.
+
+    The window sweeps dimension ``window_dim``; ``step_indices`` fixes
+    every other dimension's position at 0 and the swept dimension's
+    position to each entry -- i.e. the set of scalars broadcast together
+    in one lookup (one per row in the Fig. 11 example).
+    """
+    addrs = []
+    for idx in step_indices:
+        full = [0] * len(layout.dims)
+        full[window_dim] = idx
+        addrs.append(layout.address(full))
+    return np.asarray(addrs, dtype=np.int64)
+
+
+def broadcast_window_span(layout: Layout, window_dim: int,
+                          window: int) -> int:
+    """Contiguous span covering one broadcast window of ``window`` entries."""
+    addrs = broadcast_window_addresses(layout, window_dim, range(window))
+    return int(addrs.max() - addrs.min()) + 1
+
+
+def lookup_table_entries(layout: Layout, window_dim: int, window: int,
+                         sweep_dim: int) -> int:
+    """Lookup-table size needed to broadcast a window across a sweep.
+
+    When consecutive windows overlap in memory (row-major Fig. 11a: the
+    window {0, 6, 12} then {1, 7, 13}), the table cannot be re-based per
+    step, so it must contain the union of every address the sweep
+    touches -- 18 entries, "the first three rows".  When windows are
+    disjoint (broadcast-friendly Fig. 11b: {0,1,2} then {3,4,5}), the
+    table pointer advances each step and only one window's span is
+    needed -- 3 entries.
+    """
+    sweep = layout.dims[sweep_dim]
+    intervals = []  # (lo, hi) span of each step's window
+    for position in range(sweep.size):
+        addrs = []
+        for w in range(window):
+            full = [0] * len(layout.dims)
+            full[window_dim] = w
+            full[sweep_dim] = position
+            addrs.append(layout.address(full))
+        intervals.append((min(addrs), max(addrs)))
+
+    disjoint = all(
+        a_hi < b_lo or b_hi < a_lo
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(intervals, intervals[1:])
+    )
+    if disjoint:
+        return max(hi - lo + 1 for lo, hi in intervals)
+    return max(hi for _, hi in intervals) - min(lo for lo, _ in intervals) + 1
+
+
+def broadcast_friendly(layout: Layout, window_dim: int) -> Layout:
+    """Reorder a layout so the broadcast window becomes contiguous.
+
+    Moves ``window_dim`` innermost and re-derives dense strides -- the
+    Fig. 11(a) -> (b) transformation.  The returned layout addresses the
+    same number of elements with the window dimension at stride 1.
+    """
+    order = [i for i in range(len(layout.dims)) if i != window_dim]
+    order.append(window_dim)
+    sizes = [layout.dims[i].size for i in order]
+    dense = Layout.row_major(sizes)
+    return dense

@@ -1,0 +1,502 @@
+"""Binary matrix-multiplication kernels on the APU (Figs. 7-12).
+
+Five executable kernels realize the optimization ladder of Section 4 on
+the simulator.  Each runs both functionally (small shapes, results
+checked against NumPy) and in timing-only mode (the paper's 1024^3
+microbenchmark), and reports the Fig. 12 breakdown sections:
+
+* ``LD LHS`` -- loading/broadcasting matrix A,
+* ``LD RHS`` -- loading/duplicating matrix B,
+* ``VR Ops`` -- on-chip compute and subgroup copies,
+* ``ST``     -- writing matrix C back to device DRAM.
+
+Binary semantics are XNOR-net style: matrix entries are {-1, +1}
+encoded as bits {0, 1} and bit-packed along K into uint16 words, so
+``C[i, j] = K - 2 * popcount(a_i XOR b_j)``.  The per-word instruction
+chain (xor, popcnt, accumulate, shift, subtract) is exactly the cost
+chain of Eqs. 6 and 7.
+
+Stage ladder (cumulative, as in Fig. 12):
+
+* :class:`BaselineMatmul` -- inner product, spatial reduction, PIO stores;
+* :class:`Opt1Matmul` -- + communication-aware reduction mapping
+  (temporal SVP; scalars broadcast by per-element PIO);
+* :class:`Opt2Matmul` -- + DMA coalescing for B (bulk load + subgroup
+  copies);
+* :class:`Opt3Matmul` -- + broadcast-friendly layout for A (single
+  lookup per (block, k) with a block-sized table);
+* :func:`run_all_stages` -- convenience sweep producing the Fig. 12 data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..apu.device import APUDevice
+from ..apu.dtypes import pack_bits_u16, u16_to_s16
+from ..core.params import APUParams
+from .layout import Layout, broadcast_friendly
+
+__all__ = [
+    "MatmulResult",
+    "BinaryMatmulKernel",
+    "BaselineMatmul",
+    "Opt1Matmul",
+    "Opt2Matmul",
+    "Opt3Matmul",
+    "reference_binary_matmul",
+    "pack_operands",
+    "run_all_stages",
+    "STAGE_ORDER",
+]
+
+#: Kernel classes in Fig. 12 order, keyed by stage label.
+STAGE_ORDER = ("baseline", "opt1", "opt1+2", "opt1+2+3")
+
+# VR register allocation shared by the kernels.
+_VR_LHS, _VR_RHS, _VR_TMP, _VR_ACC, _VR_OUT, _VR_IDX, _VR_K = 0, 1, 2, 3, 4, 5, 6
+_VR_REUSE = 7
+
+
+def reference_binary_matmul(a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
+    """NumPy ground truth: C = K - 2 * popcount(a XOR b), int16."""
+    a = np.asarray(a_bits, dtype=np.int32)
+    b = np.asarray(b_bits, dtype=np.int32)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError("inner dimensions disagree")
+    k = a.shape[1]
+    # xor-popcount equals k - matches; with +-1 semantics:
+    matches = a @ b + (1 - a) @ (1 - b)
+    return (2 * matches - k).astype(np.int16)
+
+
+def pack_operands(a_bits: np.ndarray, b_bits: np.ndarray):
+    """Bit-pack A along rows and B along columns (K-axis packing)."""
+    a_packed = pack_bits_u16(np.asarray(a_bits, dtype=np.uint8))
+    b_packed = pack_bits_u16(np.asarray(b_bits, dtype=np.uint8).T).T.copy()
+    return a_packed, b_packed
+
+
+@dataclass
+class MatmulResult:
+    """Outcome of one kernel run."""
+
+    stage: str
+    c: Optional[np.ndarray]
+    latency_ms: float
+    breakdown_ms: Dict[str, float]
+    operational_intensity: float
+    micro_instructions: int
+
+    def performance_ops(self, shape, clock_ignored=None) -> float:
+        """Achieved ops/s for roofline placement."""
+        seconds = self.latency_ms / 1e3
+        return shape.total_ops / seconds if seconds > 0 else 0.0
+
+
+class BinaryMatmulKernel:
+    """Common scaffolding for the five kernels.
+
+    Parameters
+    ----------
+    device:
+        An :class:`~repro.apu.APUDevice`; ``functional=False`` devices
+        run the kernel as a pure timing model.
+    m, n, k_bits:
+        Problem shape in *bit* units; ``k_bits`` must be a multiple
+        of 16 (one uint16 word per 16 K-positions).
+    """
+
+    stage = "abstract"
+
+    def __init__(self, device: APUDevice, m: int, n: int, k_bits: int):
+        if k_bits % 16 != 0:
+            raise ValueError("k_bits must be a multiple of 16 (bit packing)")
+        self.device = device
+        self.core = device.core
+        self.params: APUParams = device.params
+        self.m, self.n, self.k_bits = m, n, k_bits
+        self.k_words = k_bits // 16
+        self.vlen = self.params.vr_length
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def functional(self) -> bool:
+        return self.device.functional
+
+    def _set_vr(self, vr: int, data: Optional[np.ndarray]) -> None:
+        """Place data into a VR (functional only; charging is separate)."""
+        if self.functional and data is not None:
+            padded = np.zeros(self.vlen, dtype=np.uint16)
+            padded[: len(data)] = data
+            self.core.vr_write(vr, padded)
+
+    def _charge_dup_dma_row(self, count: int = 1) -> None:
+        """Chained duplicated-layout DMA filling L2 with one row, + staging."""
+        mv = self.params.movement
+        cost = mv.dma_l4_l2(self.params.vr_bytes)
+        self.core.charge_raw("dma_l4_l2", cost, count)
+        self.core.charge_raw("dma_l2_l1", mv.dma_l2_l1, count)
+        self.core.gvml.load_16(_VR_RHS, 0, count=count)
+
+    def _epilogue(self, src_vr: int, dst_vr: int) -> None:
+        """C = K - 2 * popcount_accumulator, on full VRs."""
+        g = self.core.gvml
+        g.sl_imm_16(_VR_TMP, src_vr, 1)
+        g.cpy_imm_16(_VR_K, self.k_bits)
+        g.sub_s16(dst_vr, _VR_K, _VR_TMP)
+
+    def run(self, a_bits: Optional[np.ndarray] = None,
+            b_bits: Optional[np.ndarray] = None) -> MatmulResult:
+        """Execute the kernel; functional mode requires bit matrices."""
+        if self.functional and (a_bits is None or b_bits is None):
+            raise ValueError("functional mode needs both operand matrices")
+        a_packed = b_packed = None
+        if self.functional:
+            a_bits = np.asarray(a_bits, dtype=np.uint8)
+            b_bits = np.asarray(b_bits, dtype=np.uint8)
+            if a_bits.shape != (self.m, self.k_bits):
+                raise ValueError(f"A must be {(self.m, self.k_bits)}")
+            if b_bits.shape != (self.k_bits, self.n):
+                raise ValueError(f"B must be {(self.k_bits, self.n)}")
+            a_packed, b_packed = pack_operands(a_bits, b_bits)
+        self.core.reset_trace()
+        c = self._execute(a_packed, b_packed)
+        trace = self.core.trace
+        to_ms = self.params.cycles_to_ms
+        breakdown = {
+            label: to_ms(cycles)
+            for label, cycles in trace.breakdown_by_section().items()
+        }
+        return MatmulResult(
+            stage=self.stage,
+            c=c,
+            latency_ms=to_ms(trace.total_cycles),
+            breakdown_ms=breakdown,
+            operational_intensity=self._operational_intensity(),
+            micro_instructions=self.core.micro_instructions,
+        )
+
+    def _execute(self, a_packed, b_packed):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _operational_intensity(self) -> float:
+        raise NotImplementedError
+
+    def _oi(self, traffic_words: float, alpha: float = 5.0) -> float:
+        ops = self.m * self.n * self.k_words * alpha
+        return ops / (traffic_words * 2.0)
+
+
+class BaselineMatmul(BinaryMatmulKernel):
+    """Inner-product algorithm with spatial (intra-VR) reduction (Fig. 7).
+
+    Loop j is unrolled across the VR: each group of ``k_words`` elements
+    holds A's row XORed against one column of B, reduced inside the VR
+    with the expensive ``add_subgrp`` ladder.  Outputs land scattered at
+    group heads, forcing per-element PIO stores -- the Fig. 12 baseline
+    bottleneck.
+    """
+
+    stage = "baseline"
+
+    def __init__(self, device, m, n, k_bits):
+        super().__init__(device, m, n, k_bits)
+        if self.k_words & (self.k_words - 1):
+            raise ValueError("baseline needs a power-of-two packed K")
+        self.dup = self.vlen // self.k_words  # columns per VR pass
+
+    def _operational_intensity(self) -> float:
+        s = self
+        traffic = (s.m * s.k_words * s.dup + s.k_words * s.n + s.m * s.n)
+        return self._oi(traffic)
+
+    def _execute(self, a_packed, b_packed):
+        g, mv = self.core.gvml, self.params.movement
+        dup, kw = self.dup, self.k_words
+        n_blocks = math.ceil(self.n / dup)
+        c = np.zeros((self.m, self.n), dtype=np.int16) if self.functional else None
+
+        # Matrix B is staged into L1 once (it fits); Eq. 4 amortization.
+        with self.core.section("LD RHS"):
+            bulk = math.ceil(self.n * kw * 2 / self.params.vr_bytes)
+            self.core.charge_raw("dma_l4_l1", mv.dma_l4_l1, count=bulk)
+
+        for i in range(self.m) if self.functional else range(1):
+            loop_m = self.m if not self.functional else 1
+            with self.core.section("LD LHS"):
+                # Duplicated-layout DMA: row i tiled across L2, staged up.
+                cost = mv.dma_l4_l2(self.params.vr_bytes)
+                self.core.charge_raw("dma_l4_l2", cost, count=loop_m)
+                self.core.charge_raw("dma_l2_l1", mv.dma_l2_l1, count=loop_m)
+                g.load_16(_VR_LHS, 0, count=loop_m)
+                if self.functional:
+                    self._set_vr(_VR_LHS, np.tile(a_packed[i], dup))
+
+            for jb in range(n_blocks) if self.functional else range(1):
+                inner = loop_m * (n_blocks if not self.functional else 1)
+                cols = None
+                if self.functional:
+                    cols = range(jb * dup, min((jb + 1) * dup, self.n))
+                with self.core.section("LD RHS"):
+                    g.load_16(_VR_RHS, 1, count=inner)
+                    if self.functional:
+                        rhs = b_packed[:, list(cols)].T.reshape(-1)
+                        self._set_vr(_VR_RHS, rhs)
+                with self.core.section("VR Ops"):
+                    g.xor_16(_VR_TMP, _VR_LHS, _VR_RHS, count=inner)
+                    g.popcnt_16(_VR_TMP, _VR_TMP, count=inner)
+                    g.add_subgrp_s16(_VR_ACC, _VR_TMP, kw, 1, count=inner)
+                    g.sl_imm_16(_VR_TMP, _VR_ACC, 1, count=inner)
+                    g.cpy_imm_16(_VR_K, self.k_bits, count=inner)
+                    g.sub_s16(_VR_OUT, _VR_K, _VR_TMP, count=inner)
+                with self.core.section("ST"):
+                    per_block = min(dup, self.n - jb * dup) if self.functional \
+                        else dup
+                    self.core.charge_raw(
+                        "pio_st", mv.pio_st(per_block), count=inner
+                    )
+                    if self.functional:
+                        out = u16_to_s16(self.core.vr_read(_VR_OUT))
+                        for gidx, j in enumerate(cols):
+                            c[i, j] = out[gidx * kw]
+        return c
+
+
+class _TemporalBase(BinaryMatmulKernel):
+    """Shared temporal-mapping machinery for opt1/opt2/opt3 (Figs. 8-9)."""
+
+    def __init__(self, device, m, n, k_bits):
+        super().__init__(device, m, n, k_bits)
+        if self.vlen % self.n != 0:
+            raise ValueError("temporal kernels need N dividing the VR length")
+        self.dup_i = self.vlen // self.n  # rows of C per VR
+
+    def _operational_intensity(self) -> float:
+        s = self
+        traffic = (s.m * s.k_words + s.n * s.k_words * s.dup_i + s.m * s.n)
+        return self._oi(traffic)
+
+    def _blocks(self):
+        return range(0, self.m, self.dup_i)
+
+    def _block_rows(self, start: int) -> int:
+        return min(self.dup_i, self.m - start)
+
+    #: L1 slots reserved for staging/output (not for resident B rows).
+    _RESERVED_VMRS = 8
+
+    # --- RHS loading strategies -------------------------------------
+    def _stage_rhs_naive(self, n_blocks: int) -> None:
+        """Opt1 prologue: duplicated DMA of every row of B into L1.
+
+        Each of the K rows is fanned across a full vector by a chained
+        duplicated-layout DMA (Eq. 11).  Rows that do not fit in the L1
+        background registers must be re-fetched on every later block
+        pass -- the residency pressure DMA coalescing removes.
+        """
+        resident = max(0, self.params.num_vmrs - self._RESERVED_VMRS)
+        initial = self.k_words
+        refetch = max(0, self.k_words - resident) * max(0, n_blocks - 1)
+        self._charge_dup_dma_row(count=initial + refetch)
+
+    def _load_rhs_naive(self, b_packed, k: int, count: int) -> None:
+        """Serve row k (duplicated) from its staged L1 vector."""
+        self.core.gvml.load_16(_VR_RHS, k % self.params.num_vmrs, count=count)
+        if self.functional:
+            self._set_vr(_VR_RHS, np.tile(b_packed[k], self.dup_i))
+
+    def _stage_rhs_bulk(self) -> None:
+        """Coalesced bulk load of all of B into L1 (Eq. 12)."""
+        bulk = math.ceil(self.k_words * self.n * 2 / self.params.vr_bytes)
+        self.core.charge_raw(
+            "dma_l4_l1", self.params.movement.dma_l4_l1, count=bulk
+        )
+
+    def _load_rhs_coalesced(self, b_packed, k: int, count: int) -> None:
+        """Serve row k from the staged reuse VR with a subgroup copy."""
+        g = self.core.gvml
+        rows_per_vr = self.vlen // self.n
+        g.load_16(_VR_REUSE, k // rows_per_vr % self.params.num_vmrs,
+                  count=count)
+        if self.functional:
+            self._set_vr(_VR_REUSE, np.tile(b_packed[k], 1))
+            # Subgroup copy fans the staged row across the whole VR.
+        g.cpy_subgrp_16_grp(_VR_RHS, _VR_REUSE, self.n, 0, count=count)
+
+    # --- LHS broadcast strategies -------------------------------------
+    def _broadcast_lhs_pio(self, a_packed, start: int, rows: int, k: int,
+                           count: int) -> None:
+        """Opt1: per-scalar PIO read + masked immediate broadcast."""
+        g, mv = self.core.gvml, self.params.movement
+        self.core.charge_raw("pio_ld", mv.pio_ld(1), count=count * rows)
+        g.eq_16(0, _VR_IDX, _VR_IDX, count=count * rows)   # group mask build
+        g.cpy_imm_16(_VR_LHS, 0, count=count * rows)       # masked broadcast
+        if self.functional:
+            scalars = np.repeat(a_packed[start: start + rows, k], self.n)
+            self._set_vr(_VR_LHS, scalars)
+
+    def _stage_lhs_lookup(self, a_packed) -> None:
+        """Opt3 setup: A in broadcast-friendly layout, DMA'd to L3 once."""
+        mv = self.params.movement
+        nbytes = self.m * self.k_words * 2
+        self.core.charge_raw("dma_l4_l3", mv.dma_l4_l3(nbytes), count=1)
+        self.core.gvml.create_grp_index_u16(_VR_IDX, 1)  # i-position index
+        if self.functional:
+            # Broadcast-friendly: per (block, k) windows are contiguous.
+            row_major = Layout.row_major((self.dup_i, self.k_words))
+            self._bf_layout = broadcast_friendly(row_major, window_dim=0)
+
+    def _broadcast_lhs_lookup(self, a_packed, start: int, rows: int, k: int,
+                              count: int) -> None:
+        """Opt3: one lookup per (block, k) from a window-sized table."""
+        table_entries = self.dup_i
+        if self.functional:
+            window = np.zeros(self.dup_i, dtype=np.uint16)
+            window[:rows] = a_packed[start: start + rows, k]
+            self.core.l3.write(0, window)
+            index = (np.arange(self.vlen) // self.n).astype(np.uint16)
+            self._set_vr(_VR_IDX, index)
+            self.core.dma.lookup_16(_VR_LHS, _VR_IDX, table_entries,
+                                    count=count)
+        else:
+            self.core.dma.lookup_16(_VR_LHS, None, table_entries, count=count)
+
+    # --- Main loop -----------------------------------------------------
+    def _execute(self, a_packed, b_packed):
+        g = self.core.gvml
+        c = np.zeros((self.m, self.n), dtype=np.int16) if self.functional else None
+        n_blocks = math.ceil(self.m / self.dup_i)
+
+        self._prologue(a_packed, b_packed)
+
+        block_iter = self._blocks() if self.functional else [0]
+        fold = 1 if self.functional else n_blocks
+        for start in block_iter:
+            rows = self._block_rows(start)
+            with self.core.section("VR Ops"):
+                g.cpy_imm_16(_VR_ACC, 0, count=fold)
+            k_iter = range(self.k_words) if self.functional else [0]
+            k_fold = fold * (1 if self.functional else self.k_words)
+            for k in k_iter:
+                with self.core.section("LD RHS"):
+                    self._load_rhs(b_packed, k, count=k_fold)
+                with self.core.section("LD LHS"):
+                    self._broadcast_lhs(a_packed, start, rows, k, count=k_fold)
+                with self.core.section("VR Ops"):
+                    g.xor_16(_VR_TMP, _VR_LHS, _VR_RHS, count=k_fold)
+                    g.popcnt_16(_VR_TMP, _VR_TMP, count=k_fold)
+                    g.add_s16(_VR_ACC, _VR_ACC, _VR_TMP, count=k_fold)
+            with self.core.section("VR Ops"):
+                g.sl_imm_16(_VR_TMP, _VR_ACC, 1, count=fold)
+                g.cpy_imm_16(_VR_K, self.k_bits, count=fold)
+                g.sub_s16(_VR_OUT, _VR_K, _VR_TMP, count=fold)
+                g.store_16(2, _VR_OUT, count=fold)
+            with self.core.section("ST"):
+                self.core.charge_raw(
+                    "dma_l1_l4", self.params.movement.dma_l1_l4, count=fold
+                )
+                if self.functional:
+                    out = u16_to_s16(self.core.vr_read(_VR_OUT))
+                    block = out[: rows * self.n].reshape(rows, self.n)
+                    c[start: start + rows] = block
+        return c
+
+    def _prologue(self, a_packed, b_packed) -> None:
+        """Stage shared state before the block loop (overridden)."""
+
+    def _load_rhs(self, b_packed, k, count):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _broadcast_lhs(self, a_packed, start, rows, k, count):
+        raise NotImplementedError  # pragma: no cover
+
+
+class Opt1Matmul(_TemporalBase):
+    """Communication-aware reduction mapping only (Section 4.2).
+
+    Reductions run temporally as inter-VR adds and outputs stream back
+    contiguously; A's scalars are still broadcast one-by-one over PIO
+    and B's rows are duplicated by per-row DMA with L1 residency
+    pressure (the costs opt2/opt3 remove).
+    """
+
+    stage = "opt1"
+
+    def _prologue(self, a_packed, b_packed):
+        with self.core.section("LD RHS"):
+            self._stage_rhs_naive(math.ceil(self.m / self.dup_i))
+
+    def _load_rhs(self, b_packed, k, count):
+        self._load_rhs_naive(b_packed, k, count)
+
+    def _broadcast_lhs(self, a_packed, start, rows, k, count):
+        self._broadcast_lhs_pio(a_packed, start, rows, k, count)
+
+
+class Opt2Matmul(_TemporalBase):
+    """Opt1 + DMA coalescing for B (Section 4.3)."""
+
+    stage = "opt1+2"
+
+    def _prologue(self, a_packed, b_packed):
+        with self.core.section("LD RHS"):
+            self._stage_rhs_bulk()
+
+    def _load_rhs(self, b_packed, k, count):
+        self._load_rhs_coalesced(b_packed, k, count)
+
+    def _broadcast_lhs(self, a_packed, start, rows, k, count):
+        self._broadcast_lhs_pio(a_packed, start, rows, k, count)
+
+
+class Opt3Matmul(_TemporalBase):
+    """Opt1 + opt2 + broadcast-friendly LHS layout (Section 4.4)."""
+
+    stage = "opt1+2+3"
+
+    def _operational_intensity(self) -> float:
+        traffic = (self.m * self.k_words + self.n * self.k_words
+                   + self.m * self.n)
+        return self._oi(traffic)
+
+    def _prologue(self, a_packed, b_packed):
+        with self.core.section("LD RHS"):
+            self._stage_rhs_bulk()
+        with self.core.section("LD LHS"):
+            self._stage_lhs_lookup(a_packed)
+
+    def _load_rhs(self, b_packed, k, count):
+        self._load_rhs_coalesced(b_packed, k, count)
+
+    def _broadcast_lhs(self, a_packed, start, rows, k, count):
+        self._broadcast_lhs_lookup(a_packed, start, rows, k, count)
+
+
+_STAGE_CLASSES = {
+    "baseline": BaselineMatmul,
+    "opt1": Opt1Matmul,
+    "opt1+2": Opt2Matmul,
+    "opt1+2+3": Opt3Matmul,
+}
+
+
+def run_all_stages(m: int, n: int, k_bits: int,
+                   functional: bool = False,
+                   a_bits: Optional[np.ndarray] = None,
+                   b_bits: Optional[np.ndarray] = None,
+                   params: Optional[APUParams] = None) -> Dict[str, MatmulResult]:
+    """Run the full Fig. 12 ladder and return results keyed by stage."""
+    results = {}
+    for stage in STAGE_ORDER:
+        device = (APUDevice(params, functional=functional) if params
+                  else APUDevice(functional=functional))
+        kernel = _STAGE_CLASSES[stage](device, m, n, k_bits)
+        results[stage] = kernel.run(a_bits, b_bits)
+    return results

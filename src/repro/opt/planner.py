@@ -1,0 +1,154 @@
+"""Unified optimization planner: the three Section 4 techniques, composed.
+
+Given a GEMM-shaped loop nest -- an output (M, N), a reduction axis K,
+and per-operand layouts -- the planner makes the three decisions the
+paper's optimizations embody and reports the expected cost of each:
+
+1. **reduction mapping** (Section 4.2): spatial vs temporal, via the
+   closed-form Eqs. 2-14;
+2. **DMA coalescing** (Section 4.3): whether staging the reused operand
+   on-chip beats re-fetching it, via the coalescing cost model;
+3. **broadcast layout** (Section 4.4): whether transposing the
+   broadcast operand shrinks the lookup table, via the Fig. 11 span
+   analysis.
+
+The emitted :class:`OptimizationPlan` carries machine-checkable
+estimates, so schedulers (or tests) can verify each decision is locally
+optimal under the cost tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from .coalesce import TransferRequest, naive_cycles, plan_coalescing
+from .layout import Layout, broadcast_friendly, lookup_table_entries
+from .reduction import MatmulCostModel, MatmulShape, ReductionMapping
+
+__all__ = ["PlanDecision", "OptimizationPlan", "OptimizationPlanner"]
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One planner decision with its quantified alternatives."""
+
+    name: str
+    choice: str
+    chosen_cycles: float
+    alternative_cycles: float
+
+    @property
+    def saving(self) -> float:
+        """Cycles saved versus the alternative (>= 0 when optimal)."""
+        return self.alternative_cycles - self.chosen_cycles
+
+
+@dataclass(frozen=True)
+class OptimizationPlan:
+    """The composed plan for one kernel."""
+
+    shape: MatmulShape
+    decisions: List[PlanDecision]
+    estimated_total_cycles: float
+
+    def decision(self, name: str) -> PlanDecision:
+        """Look up a decision by name."""
+        for decision in self.decisions:
+            if decision.name == name:
+                return decision
+        raise KeyError(f"no decision named {name!r}")
+
+    @property
+    def total_saving(self) -> float:
+        """Cycles saved across all decisions."""
+        return sum(d.saving for d in self.decisions)
+
+
+class OptimizationPlanner:
+    """Compose the three optimizations for a GEMM-shaped kernel."""
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        self.params = params
+
+    def plan(self, shape: MatmulShape) -> OptimizationPlan:
+        """Produce the full plan for ``C(M,N) = A(M,K) x B(K,N)``."""
+        model = MatmulCostModel(shape, self.params)
+        decisions = [
+            self._plan_mapping(model),
+            self._plan_coalescing(model),
+            self._plan_layout(model),
+        ]
+        mapping = decisions[0]
+        if mapping.choice == ReductionMapping.TEMPORAL.value:
+            total = model.all_opts().total
+            # If staging B on-chip lost, back out the coalesced T_B.
+            if decisions[1].choice == "refetch":
+                total += model.t_b_temporal() - model.t_b_coalesced()
+            if decisions[2].choice == "row-major":
+                total += model.t_a_temporal() - model.t_a_broadcast_friendly()
+        else:
+            total = model.baseline().total
+        return OptimizationPlan(
+            shape=shape,
+            decisions=decisions,
+            estimated_total_cycles=total,
+        )
+
+    # ------------------------------------------------------------------
+    # Individual decisions
+    # ------------------------------------------------------------------
+    def _plan_mapping(self, model: MatmulCostModel) -> PlanDecision:
+        spatial = model.baseline().total
+        temporal = model.all_opts().total
+        choice = (ReductionMapping.TEMPORAL if temporal <= spatial
+                  else ReductionMapping.SPATIAL)
+        return PlanDecision(
+            name="reduction_mapping",
+            choice=choice.value,
+            chosen_cycles=min(spatial, temporal),
+            alternative_cycles=max(spatial, temporal),
+        )
+
+    def _plan_coalescing(self, model: MatmulCostModel) -> PlanDecision:
+        shape = model.shape
+        requests = []
+        iteration = 0
+        for _ in range(max(1, shape.m // model.dup_temporal)):
+            for k in range(shape.k_words):
+                requests.append(TransferRequest(
+                    chunk_id=k,
+                    nbytes=shape.n * MatmulCostModel.SF_U16,
+                    iteration=iteration,
+                ))
+                iteration += 1
+        naive = naive_cycles(requests, self.params)
+        coalesced = plan_coalescing(requests, self.params).cycles()
+        choice = "coalesce" if coalesced <= naive else "refetch"
+        return PlanDecision(
+            name="dma_coalescing",
+            choice=choice,
+            chosen_cycles=min(naive, coalesced),
+            alternative_cycles=max(naive, coalesced),
+        )
+
+    def _plan_layout(self, model: MatmulCostModel) -> PlanDecision:
+        shape = model.shape
+        window = max(1, model.dup_temporal)
+        window = min(window, shape.m)
+        row_major = Layout.row_major((window, shape.k_words))
+        friendly = broadcast_friendly(row_major, window_dim=0)
+        rm_table = lookup_table_entries(row_major, 0, window,
+                                        sweep_dim=1)
+        bf_table = lookup_table_entries(friendly, 1, window, sweep_dim=0)
+        lookups = max(1.0, shape.m / window) * shape.k_words
+        rm_cycles = self.params.movement.lookup(rm_table) * lookups
+        bf_cycles = self.params.movement.lookup(bf_table) * lookups
+        choice = "broadcast-friendly" if bf_cycles <= rm_cycles else "row-major"
+        return PlanDecision(
+            name="broadcast_layout",
+            choice=choice,
+            chosen_cycles=min(rm_cycles, bf_cycles),
+            alternative_cycles=max(rm_cycles, bf_cycles),
+        )

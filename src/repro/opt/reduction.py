@@ -1,0 +1,274 @@
+"""Communication-aware reduction mapping (paper Section 4.2, Eqs. 2-14).
+
+The planner decides how a reduction axis maps onto the ultra-long
+vector: **spatially** (reduction inside the VR via expensive intra-VR
+``add_subgrp`` operations, with scattered outputs forcing PIO stores) or
+**temporally** (scalar-vector product: the reduction runs over loop
+iterations as cheap inter-VR element-wise adds, leaving contiguous
+outputs for DMA).
+
+Every equation of the paper's Section 4 is implemented as a named
+method so the benches can print the analytical trajectory
+(baseline -> opt1 -> opt2 -> opt3) exactly as the text derives it.
+Costs are cycles; bandwidth is converted to bytes/cycle from the
+parameter bundle.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+
+__all__ = ["ReductionMapping", "MatmulShape", "CostBreakdown", "MatmulCostModel"]
+
+
+class ReductionMapping(enum.Enum):
+    """How the reduction axis maps onto the vector register."""
+
+    SPATIAL = "spatial"
+    TEMPORAL = "temporal"
+
+
+@dataclass(frozen=True)
+class MatmulShape:
+    """Binary matmul problem: C(M,N) = A(M,K) x B(K,N), K in u16 words.
+
+    ``k_words`` is the K extent *after* bit-packing along K into uint16
+    (the paper's formulas use this packed K).  ``alpha`` is the number
+    of logical/arithmetic operations applied per scalar word (the XOR /
+    popcount / shift / subtract / accumulate chain -> 5).
+    """
+
+    m: int
+    n: int
+    k_words: int
+    alpha: float = 5.0
+
+    def __post_init__(self):
+        if min(self.m, self.n, self.k_words) <= 0:
+            raise ValueError("matrix dimensions must be positive")
+
+    @property
+    def total_ops(self) -> float:
+        """Scalar operations performed: M * N * K * alpha."""
+        return self.m * self.n * self.k_words * self.alpha
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Run-time cost components of one mapping, in cycles."""
+
+    t_a: float
+    t_b: float
+    t_c: float
+    t_mac: float
+    operational_intensity: float
+
+    @property
+    def total(self) -> float:
+        """Total modeled cycles."""
+        return self.t_a + self.t_b + self.t_c + self.t_mac
+
+    def performance_ops(self, total_ops: float, clock_hz: float) -> float:
+        """Achieved ops/s given the shape's operation count."""
+        seconds = self.total / clock_hz
+        return total_ops / seconds if seconds > 0 else 0.0
+
+
+class MatmulCostModel:
+    """Closed-form costs of the four optimization stages (Eqs. 2-14)."""
+
+    SF_U16 = 2  # size_of(u16) in bytes
+
+    def __init__(self, shape: MatmulShape, params: APUParams = DEFAULT_PARAMS):
+        self.shape = shape
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Shared quantities
+    # ------------------------------------------------------------------
+    @property
+    def bw_bytes_per_cycle(self) -> float:
+        """Off-chip bandwidth expressed in bytes per core cycle."""
+        return self.params.dram_bandwidth / self.params.clock_hz
+
+    @property
+    def dup_spatial(self) -> int:
+        """Duplication factor of A under j-unrolling: floor(l / K)."""
+        return self.params.vr_length // self.shape.k_words
+
+    @property
+    def dup_temporal(self) -> int:
+        """Duplication factor of B under i-unrolling: floor(l / N)."""
+        return self.params.vr_length // self.shape.n
+
+    def _ops_chain_spatial(self) -> float:
+        """Per-iteration compute chain of Eq. 6 (excluding sg_add)."""
+        c = self.params.compute
+        return c.xor_16 + c.popcnt_16 + c.ashift + c.sub_s16
+
+    # ------------------------------------------------------------------
+    # Baseline: inner product, spatial reduction (Eqs. 2-6)
+    # ------------------------------------------------------------------
+    def oi_baseline(self) -> float:
+        """Eq. 2: OI with A duplicated floor(l/K) times in off-chip traffic."""
+        s = self.shape
+        traffic_words = (
+            s.m * s.k_words * self.dup_spatial + s.k_words * s.n + s.m * s.n
+        )
+        return s.total_ops / (traffic_words * self.SF_U16)
+
+    def t_a_baseline(self) -> float:
+        """Eq. 3: duplicated row DMAs (chained descriptors), staged to L1."""
+        s, mv = self.shape, self.params.movement
+        row_bytes = s.k_words * self.SF_U16
+        per_row = row_bytes / self.bw_bytes_per_cycle + mv.dma_chained_init
+        return per_row * self.dup_spatial * s.m + s.m * mv.dma_l2_l1
+
+    def t_b_baseline(self) -> float:
+        """Eq. 4: B moved as full vectors, amortized over the j-unroll."""
+        return (self.shape.n / self.dup_spatial) * self.params.movement.dma_l4_l1
+
+    def t_c_baseline(self) -> float:
+        """Eq. 5: scattered outputs leave only element-wise PIO stores."""
+        s = self.shape
+        return s.m * s.n * self.params.movement.pio_st_per_elem
+
+    def t_mac_baseline(self) -> float:
+        """Eq. 6: per j-block compute with a full intra-VR reduction."""
+        s = self.shape
+        sg = self.params.reduction.sg_add(self._pow2_floor(s.k_words), 1)
+        per_block = self._ops_chain_spatial() + sg
+        blocks = (s.n / self.dup_spatial) * s.m
+        return per_block * blocks
+
+    def baseline(self) -> CostBreakdown:
+        """Full baseline cost stack."""
+        return CostBreakdown(
+            t_a=self.t_a_baseline(),
+            t_b=self.t_b_baseline(),
+            t_c=self.t_c_baseline(),
+            t_mac=self.t_mac_baseline(),
+            operational_intensity=self.oi_baseline(),
+        )
+
+    # ------------------------------------------------------------------
+    # Opt1: temporal reduction / scalar-vector product (Eqs. 7-11)
+    # ------------------------------------------------------------------
+    def oi_temporal(self) -> float:
+        """Eq. 9: duplication moves from A to B."""
+        s = self.shape
+        traffic_words = (
+            s.m * s.k_words + s.n * s.k_words * self.dup_temporal + s.m * s.n
+        )
+        return s.total_ops / (traffic_words * self.SF_U16)
+
+    def t_mac_temporal(self) -> float:
+        """Eq. 7: the reduction becomes an inter-VR element-wise add."""
+        s, c = self.shape, self.params.compute
+        per_iter = self._ops_chain_spatial() + c.add_s16
+        return per_iter * (s.m / self.dup_temporal) * s.k_words
+
+    def t_c_temporal(self) -> float:
+        """Eq. 8: contiguous outputs stream back with full-vector DMA."""
+        return (self.shape.m / self.dup_temporal) * self.params.movement.dma_l1_l4
+
+    def t_a_temporal(self) -> float:
+        """Eq. 10: A to L3 once, then lookup-broadcast per (block, k)."""
+        s, mv = self.shape, self.params.movement
+        to_l3 = (s.m * s.k_words * self.SF_U16) / self.bw_bytes_per_cycle \
+            + mv.dma_l4_l3_init
+        table = self.dup_temporal * s.k_words  # row-major block footprint
+        lookups = (s.m / self.dup_temporal) * s.k_words
+        return to_l3 + mv.lookup(table) * lookups
+
+    def t_b_temporal(self) -> float:
+        """Eq. 11: B rows duplicated across the VR by repeated DMA."""
+        s, mv = self.shape, self.params.movement
+        row_bytes = s.n * self.SF_U16
+        per_row = row_bytes / self.bw_bytes_per_cycle + mv.dma_chained_init
+        return per_row * self.dup_temporal * s.k_words + s.k_words * mv.dma_l2_l1
+
+    def temporal(self) -> CostBreakdown:
+        """Opt1 cost stack (temporal mapping, naive loading)."""
+        return CostBreakdown(
+            t_a=self.t_a_temporal(),
+            t_b=self.t_b_temporal(),
+            t_c=self.t_c_temporal(),
+            t_mac=self.t_mac_temporal(),
+            operational_intensity=self.oi_temporal(),
+        )
+
+    # ------------------------------------------------------------------
+    # Opt2: DMA coalescing (Eqs. 12-13)
+    # ------------------------------------------------------------------
+    def t_b_coalesced(self) -> float:
+        """Eq. 12: one bulk DMA of B plus per-k subgroup copies."""
+        s, mv = self.shape, self.params.movement
+        bulk = math.ceil(s.k_words * s.n / self.params.vr_length)
+        return bulk * mv.dma_l4_l1 + s.k_words * mv.cpy_subgrp
+
+    def oi_coalesced(self) -> float:
+        """Eq. 13: every matrix crosses the off-chip boundary once."""
+        s = self.shape
+        traffic_words = s.m * s.k_words + s.n * s.k_words + s.m * s.n
+        return s.total_ops / (traffic_words * self.SF_U16)
+
+    def coalesced(self) -> CostBreakdown:
+        """Opt1+2 cost stack."""
+        return CostBreakdown(
+            t_a=self.t_a_temporal(),
+            t_b=self.t_b_coalesced(),
+            t_c=self.t_c_temporal(),
+            t_mac=self.t_mac_temporal(),
+            operational_intensity=self.oi_coalesced(),
+        )
+
+    # ------------------------------------------------------------------
+    # Opt3: broadcast-friendly layout (Eq. 14)
+    # ------------------------------------------------------------------
+    def t_a_broadcast_friendly(self) -> float:
+        """Eq. 14: the lookup table shrinks to one contiguous window."""
+        s, mv = self.shape, self.params.movement
+        to_l3 = (s.m * s.k_words * self.SF_U16) / self.bw_bytes_per_cycle \
+            + mv.dma_l4_l3_init
+        table = self.dup_temporal  # the window itself, re-based per step
+        lookups = (s.m / self.dup_temporal) * s.k_words
+        return to_l3 + mv.lookup(table) * lookups
+
+    def all_opts(self) -> CostBreakdown:
+        """Opt1+2+3 cost stack."""
+        return CostBreakdown(
+            t_a=self.t_a_broadcast_friendly(),
+            t_b=self.t_b_coalesced(),
+            t_c=self.t_c_temporal(),
+            t_mac=self.t_mac_temporal(),
+            operational_intensity=self.oi_coalesced(),
+        )
+
+    # ------------------------------------------------------------------
+    # Planner
+    # ------------------------------------------------------------------
+    def choose_mapping(self) -> ReductionMapping:
+        """Pick the cheaper reduction mapping for this shape."""
+        if self.baseline().total <= self.temporal().total:
+            return ReductionMapping.SPATIAL
+        return ReductionMapping.TEMPORAL
+
+    def stage_totals_ms(self) -> dict:
+        """Total latency (ms) of each optimization stage."""
+        to_ms = self.params.cycles_to_ms
+        return {
+            "baseline": to_ms(self.baseline().total),
+            "opt1": to_ms(self.temporal().total),
+            "opt1+2": to_ms(self.coalesced().total),
+            "opt1+2+3": to_ms(self.all_opts().total),
+        }
+
+    @staticmethod
+    def _pow2_floor(value: int) -> int:
+        """Largest power of two <= value (reductions need 2^k groups)."""
+        return 1 << (int(value).bit_length() - 1)

@@ -1,0 +1,38 @@
+"""The Phoenix benchmark suite on the APU (paper Section 5.2).
+
+Eight applications, each with a functional kernel validated against a
+NumPy/Python reference, a paper-scale latency program, per-optimization
+variants (Fig. 13), and the measured-vs-predicted validation pair
+(Table 7).
+"""
+
+from .base import ALL_OPTS, AppResult, NO_OPTS, OptFlags, PhoenixApp
+from .histogram import Histogram
+from .kmeans import KMeans
+from .linear_regression import LinearRegression
+from .matrix_multiply import MatrixMultiply
+from .pca import PCA
+from .reverse_index import ReverseIndex
+from .string_match import StringMatch
+from .suite import Fig13Row, PhoenixSuite, TABLE6_APPS, Table7Row
+from .word_count import WordCount
+
+__all__ = [
+    "ALL_OPTS",
+    "AppResult",
+    "Fig13Row",
+    "Histogram",
+    "KMeans",
+    "LinearRegression",
+    "MatrixMultiply",
+    "NO_OPTS",
+    "OptFlags",
+    "PCA",
+    "PhoenixApp",
+    "PhoenixSuite",
+    "ReverseIndex",
+    "StringMatch",
+    "TABLE6_APPS",
+    "Table7Row",
+    "WordCount",
+]

@@ -1,0 +1,195 @@
+"""Common machinery for the Phoenix benchmark applications (Section 5.2).
+
+Each application provides:
+
+* a **workload description** (the Table 6 row: input size and the CPU
+  instruction count used by the Xeon baseline model);
+* a **functional kernel** that computes real results on the simulator at
+  a reduced scale and is validated against a NumPy reference;
+* a **latency program**: the paper-scale APU program, written once
+  against the simulator's timing-only mode with loops folded into
+  ``count=`` arguments.
+
+The latency program yields both sides of the Table 7 validation:
+
+* **measured** -- the program on the default simulator, whose DMA and
+  command costs include the second-order effects (VCU issue, DRAM
+  refresh, lookup cache behaviour);
+* **predicted** -- the *same* program on a simulator with those effects
+  zeroed, which is exactly the closed-form analytical framework (pure
+  Table 4/5 + Eq. 1 costs).
+
+Optimization variants for Fig. 13 are expressed through
+:class:`OptFlags`; each program changes structure (not fudge factors)
+based on which optimizations are enabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..apu.device import APUDevice
+from ..baselines.cpu import CPUModel
+from ..core.params import APUParams, DEFAULT_PARAMS, SecondOrderEffects
+
+__all__ = ["OptFlags", "AppResult", "PhoenixApp", "ALL_OPTS", "NO_OPTS"]
+
+
+@dataclass(frozen=True)
+class OptFlags:
+    """Which of the paper's three optimizations a variant applies."""
+
+    reduction_mapping: bool = False  # opt1
+    dma_coalescing: bool = False     # opt2
+    broadcast_layout: bool = False   # opt3
+
+    @property
+    def label(self) -> str:
+        """Fig. 13 legend label for this variant."""
+        if not any(dataclasses.astuple(self)):
+            return "baseline"
+        parts = []
+        if self.reduction_mapping:
+            parts.append("opt1")
+        if self.dma_coalescing:
+            parts.append("opt2")
+        if self.broadcast_layout:
+            parts.append("opt3")
+        return "+".join(parts)
+
+
+NO_OPTS = OptFlags()
+ALL_OPTS = OptFlags(True, True, True)
+
+#: The Fig. 13 variant family.
+VARIANTS = {
+    "baseline": NO_OPTS,
+    "opt1": OptFlags(reduction_mapping=True),
+    "opt2": OptFlags(dma_coalescing=True),
+    "opt3": OptFlags(broadcast_layout=True),
+    "all opts": ALL_OPTS,
+}
+
+
+@dataclass
+class AppResult:
+    """Functional-run outcome: the computed value plus simulator cycles."""
+
+    value: object
+    cycles: float
+    latency_us: float
+
+
+def _zero_effects(params: APUParams) -> APUParams:
+    """The analytical-framework view: no second-order effects."""
+    return params.evolve(effects=SecondOrderEffects(0.0, 0.0, 0.0, 0.0))
+
+
+class PhoenixApp:
+    """Base class for one Phoenix application."""
+
+    #: Registry key; must match the CPU calibration table.
+    name: str = "abstract"
+    #: Table 6 input-size label.
+    input_size: str = ""
+    #: How many cores the paper-scale program spreads across.
+    cores_used: int = 1
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        self.params = params
+        self.cpu = CPUModel()
+
+    @classmethod
+    def with_input_scale(cls, factor: float,
+                         params: APUParams = DEFAULT_PARAMS) -> "PhoenixApp":
+        """An instance whose input is scaled by ``factor``.
+
+        Streaming applications define their workload through
+        ``TOTAL_BYTES``; scaling it supports input-size sweeps (the
+        scaling ablation).  Apps with structural inputs (matmul, kmeans,
+        pca) do not support scaling and raise.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        if not hasattr(cls, "TOTAL_BYTES"):
+            raise TypeError(f"{cls.name} has no byte-stream input to scale")
+        app = cls(params)
+        app.TOTAL_BYTES = int(cls.TOTAL_BYTES * factor)
+        return app
+
+    # ------------------------------------------------------------------
+    # Workload statistics (Table 6)
+    # ------------------------------------------------------------------
+    def cpu_instructions(self) -> float:
+        """Valgrind instruction count of the CPU implementation."""
+        return self.cpu.phoenix_instruction_count(self.name)
+
+    def apu_microcode_instructions(self, opts: OptFlags = ALL_OPTS) -> int:
+        """Microcode instructions issued by the paper-scale APU program."""
+        device = APUDevice(self.params, functional=False)
+        self._latency_program(device, opts)
+        return device.micro_instructions
+
+    # ------------------------------------------------------------------
+    # Latency (Table 7 / Fig. 13)
+    # ------------------------------------------------------------------
+    def measured_latency_ms(self, opts: OptFlags = ALL_OPTS) -> float:
+        """Simulator latency including second-order effects."""
+        device = APUDevice(self.params, functional=False)
+        self._latency_program(device, opts)
+        return self.params.cycles_to_ms(device.makespan_cycles)
+
+    def predicted_latency_ms(self, opts: OptFlags = ALL_OPTS) -> float:
+        """Closed-form analytical-framework latency (Table 7 'Predicted')."""
+        params = _zero_effects(self.params)
+        device = APUDevice(params, functional=False)
+        self._latency_program(device, opts)
+        return params.cycles_to_ms(device.makespan_cycles)
+
+    def variant_latencies_ms(self) -> Dict[str, float]:
+        """Measured latency of every Fig. 13 optimization variant."""
+        return {
+            label: self.measured_latency_ms(flags)
+            for label, flags in VARIANTS.items()
+        }
+
+    def cpu_latency_ms(self, threads: int = 1) -> float:
+        """Baseline Xeon latency at the Table 6 scale."""
+        return self.cpu.phoenix_seconds(self.name, threads) * 1e3
+
+    def speedup_vs_cpu(self, threads: int = 1,
+                       opts: OptFlags = ALL_OPTS) -> float:
+        """APU speedup over the CPU baseline (Fig. 13 bars)."""
+        return self.cpu_latency_ms(threads) / self.measured_latency_ms(opts)
+
+    # ------------------------------------------------------------------
+    # Functional execution (correctness)
+    # ------------------------------------------------------------------
+    def run_functional(self, device: Optional[APUDevice] = None) -> AppResult:
+        """Run the reduced-scale functional kernel and time it."""
+        device = device or APUDevice(self.params)
+        if not device.functional:
+            raise ValueError("functional runs need a functional device")
+        device.reset_traces()
+        value = self._functional_kernel(device)
+        cycles = device.makespan_cycles
+        return AppResult(
+            value=value,
+            cycles=cycles,
+            latency_us=self.params.cycles_to_us(cycles),
+        )
+
+    def reference(self):
+        """NumPy/pure-Python reference result for the functional input."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _functional_kernel(self, device: APUDevice):
+        raise NotImplementedError
+
+    def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
+        raise NotImplementedError

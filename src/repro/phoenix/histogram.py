@@ -1,0 +1,125 @@
+"""Phoenix Histogram on the APU (Table 6: 1.5 GB input, Fig. 6 program).
+
+Computes a 256-bin histogram of 8-bit pixel values.  The paper-scale
+program streams the input across all four cores; each 64 KB chunk is
+unpacked into two vector registers and every bin is counted with an
+immediate-compare plus ``count_m`` -- the "fine-grained element access"
+that keeps histogram from profiting much from the optimizations
+(Section 5.2.1).
+
+Optimization variants:
+
+* without **opt1** the per-chunk partial counts are written back with
+  per-bin PIO stores instead of accumulating in the control processor;
+* without **opt2** the input streams in 8 KB DMA chunks (eight times
+  the initiation overhead);
+* without **opt3** the bin-group masks are rebuilt with subgroup copies
+  each chunk instead of being broadcast from a lookup table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apu.device import APUDevice
+from .base import OptFlags, PhoenixApp
+
+__all__ = ["Histogram"]
+
+#: Number of histogram bins (8-bit pixels).
+BINS = 256
+
+
+class Histogram(PhoenixApp):
+    """256-bin histogram over 1.5 GB of pixels."""
+
+    name = "histogram"
+    input_size = "1.5GB"
+    cores_used = 4
+
+    #: Paper-scale input bytes (u8 pixels).
+    TOTAL_BYTES = int(1.5 * 1024 ** 3)
+    #: Functional-scale pixel count (two full VRs).
+    FUNCTIONAL_PIXELS = 65536
+
+    # ------------------------------------------------------------------
+    # Functional kernel
+    # ------------------------------------------------------------------
+    def _functional_input(self) -> np.ndarray:
+        rng = np.random.default_rng(11)
+        return rng.integers(0, 256, self.FUNCTIONAL_PIXELS).astype(np.uint8)
+
+    def reference(self) -> np.ndarray:
+        """NumPy bincount of the functional input."""
+        return np.bincount(self._functional_input(), minlength=BINS)
+
+    def _functional_kernel(self, device: APUDevice) -> np.ndarray:
+        pixels = self._functional_input()
+        core = device.core
+        g = core.gvml
+        counts = np.zeros(BINS, dtype=np.int64)
+        vlen = self.params.vr_length
+        for start in range(0, pixels.size, vlen):
+            chunk = pixels[start: start + vlen].astype(np.uint16)
+            core.l1.store(0, np.pad(chunk, (0, vlen - chunk.size)))
+            g.load_16(0, 0)
+            # Mask off the padding so it cannot pollute bin 0.
+            if chunk.size < vlen:
+                g.cpy_imm_16(1, BINS)  # sentinel outside any bin
+                g.create_grp_index_u16(2, vlen)
+                g.gt_imm_u16(1, 2, chunk.size - 1)
+                g.cpy_16_msk(0, 1, 1)
+            for bin_value in range(BINS):
+                g.eq_imm_16(0, 0, bin_value)
+                counts[bin_value] += g.count_m(0)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Paper-scale latency program
+    # ------------------------------------------------------------------
+    def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
+        per_core = self.TOTAL_BYTES // self.params.num_cores
+        chunk_bytes = self.params.vr_bytes  # 64 KB = 65536 pixels
+        chunks = -(-per_core // chunk_bytes)
+
+        for core in device.cores:
+            dma = core.dma
+            g = core.gvml
+            with core.section("LD"):
+                if opts.dma_coalescing:
+                    # The Fig. 6 program issues two transfers per tile,
+                    # one per DMA engine: the L4->L2 stream overlaps.
+                    with core.parallel() as par:
+                        with par.track():
+                            dma.l4_to_l2(None, chunk_bytes // 2,
+                                         count=chunks)
+                        with par.track():
+                            dma.l4_to_l2(None, chunk_bytes // 2,
+                                         count=chunks)
+                else:
+                    # Uncoalesced single-engine 8 KB descriptors.
+                    dma.l4_to_l2(None, 8192, count=chunks * 8)
+                dma.l2_to_l1(0, count=chunks)
+                g.load_16(0, 0, count=chunks)
+            with core.section("Compute"):
+                # Unpack u8 pixel pairs into two u16 VRs.
+                g.and_16(1, 0, 0, count=chunks)
+                g.sr_imm_16(2, 0, 8, count=chunks)
+                if opts.broadcast_layout:
+                    # Bin-group masks broadcast once from an L3 table.
+                    dma.lookup_16(3, None, BINS, count=1)
+                else:
+                    g.cpy_subgrp_16_grp(3, 3, 4096, 0, count=chunks * 8)
+                # Count each bin on both unpacked VRs.
+                g.eq_imm_16(0, 1, 0, count=chunks * BINS * 2)
+                g.count_m(0, count=chunks * BINS * 2)
+            with core.section("ST"):
+                if opts.reduction_mapping:
+                    # Partial counts accumulate in CP registers; one
+                    # final vector of totals goes back over DMA.
+                    g.store_16(1, 4, count=1)
+                    dma.l1_to_l4_32k(None, 1, count=1)
+                else:
+                    # Per-chunk per-bin partials PIO'd to device DRAM.
+                    core.dma.pio_st(None, 0, n=BINS, count=chunks
+                    )

@@ -1,0 +1,147 @@
+"""Phoenix K-means on the APU (Table 6: 128k points).
+
+One Lloyd iteration over 128 K four-dimensional byte points with 16
+clusters.  With the optimizations, each dimension occupies its own VR
+tile and distances accumulate element-wise (temporal mapping); centroid
+scalars broadcast from the control processor at immediate-broadcast
+cost (the broadcast-friendly layout keeps them contiguous).
+
+K-means is the paper's showcase for all three optimizations
+(Section 5.2.1): without opt1, the dimensions interleave inside the VR
+and every distance needs an intra-VR subgroup reduction, with the
+assignments scattered for PIO extraction; without opt3, the centroid
+broadcast walks a row-major lookup table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apu.device import APUDevice
+from .base import OptFlags, PhoenixApp
+
+__all__ = ["KMeans"]
+
+
+class KMeans(PhoenixApp):
+    """One k-means assignment + update iteration, 128 K points."""
+
+    name = "kmeans"
+    input_size = "128k"
+    cores_used = 1
+
+    POINTS = 128 * 1024
+    DIMS = 4
+    CLUSTERS = 16
+    FUNC_POINTS = 32768  # one VR per dimension
+
+    # ------------------------------------------------------------------
+    # Functional kernel
+    # ------------------------------------------------------------------
+    def _functional_input(self):
+        rng = np.random.default_rng(14)
+        points = rng.integers(0, 256, (self.FUNC_POINTS, self.DIMS))
+        centroids = rng.integers(0, 256, (self.CLUSTERS, self.DIMS))
+        return points.astype(np.uint16), centroids.astype(np.uint16)
+
+    def reference(self) -> np.ndarray:
+        points, centroids = self._functional_input()
+        deltas = points[:, None, :].astype(np.int64) - centroids[None].astype(np.int64)
+        distances = (deltas ** 2).sum(-1)
+        return distances.argmin(1)
+
+    def _functional_kernel(self, device: APUDevice) -> np.ndarray:
+        points, centroids = self._functional_input()
+        core = device.core
+        g = core.gvml
+        # One VR per dimension.
+        for d in range(self.DIMS):
+            core.l1.store(d, points[:, d].copy())
+            g.load_16(d, d)
+        # Distances exceed 16 bits, so the kernel compares clusters via
+        # CP-assisted pairwise accumulation: squared deltas per dim are
+        # computed on the VXU; the >16-bit sum is tracked on wider
+        # accumulators drained per dimension (as the device program
+        # does with high/low halves).
+        best = np.full(self.FUNC_POINTS, np.iinfo(np.int64).max, dtype=np.int64)
+        assign = np.zeros(self.FUNC_POINTS, dtype=np.int64)
+        for c in range(self.CLUSTERS):
+            total = np.zeros(self.FUNC_POINTS, dtype=np.int64)
+            for d in range(self.DIMS):
+                g.cpy_imm_16(8, int(centroids[c, d]))
+                g.sub_u16(9, d, 8)       # delta (mod 2^16)
+                g.mul_u16(10, 9, 9)      # low half of delta^2
+                low = core.vr_read(10).astype(np.int64)
+                # High half from the signed delta on the CP.
+                delta = points[:, d].astype(np.int64) - int(centroids[c, d])
+                square = delta * delta
+                assert ((square & 0xFFFF) == low).all()
+                total += square
+            better = total < best
+            best[better] = total[better]
+            assign[better] = c
+        return assign
+
+    # ------------------------------------------------------------------
+    # Paper-scale latency program
+    # ------------------------------------------------------------------
+    def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
+        core = device.core
+        g = core.gvml
+        mv = self.params.movement
+        vlen = self.params.vr_length
+
+        if opts.reduction_mapping:
+            # One VR per dimension: 4 tiles of 32 K points each.
+            blocks = self.POINTS // vlen                   # 4 point blocks
+            with core.section("LD"):
+                core.dma.l4_to_l1_32k(0, count=blocks * self.DIMS)
+                g.load_16(0, 0, count=blocks * self.DIMS)
+            pairs = blocks * self.CLUSTERS
+            with core.section("Compute"):
+                if opts.broadcast_layout:
+                    # Contiguous centroid scalars -> immediate broadcast.
+                    g.cpy_imm_16(8, 0, count=pairs * self.DIMS)
+                else:
+                    # Row-major centroid table walked by lookup.
+                    core.dma.lookup_16(
+                        8, None, self.CLUSTERS * self.DIMS,
+                        count=pairs * self.DIMS,
+                    )
+                g.sub_u16(9, 0, 8, count=pairs * self.DIMS)
+                g.mul_u16(10, 9, 9, count=pairs * self.DIMS)
+                g.add_u16(11, 11, 10, count=pairs * self.DIMS)
+                g.lt_u16(0, 11, 12, count=pairs)
+                g.cpy_16_msk(12, 11, 0, count=pairs)
+                g.cpy_imm_16_msk(13, 0, 0, count=pairs)
+            with core.section("Update"):
+                g.eq_imm_16(1, 13, 0, count=blocks * self.CLUSTERS)
+                g.count_m(1, count=blocks * self.CLUSTERS)
+                g.cpy_16_msk(14, 0, 1, count=blocks * self.CLUSTERS)
+                g.add_subgrp_s16(15, 14, vlen, 1,
+                                 count=self.CLUSTERS * self.DIMS)
+            with core.section("ST"):
+                g.store_16(1, 13, count=blocks)
+                core.dma.l1_to_l4_32k(None, 0, count=blocks)
+        else:
+            # Spatial mapping: dimensions interleave inside the VR, so
+            # each distance needs an intra-VR reduction over groups of
+            # DIMS and the assignments come back one element at a time.
+            points_per_vr = vlen // self.DIMS              # 8192
+            blocks = self.POINTS // points_per_vr          # 16 blocks
+            with core.section("LD"):
+                core.dma.l4_to_l1_32k(0, count=blocks)
+                g.load_16(0, 0, count=blocks)
+            pairs = blocks * self.CLUSTERS
+            with core.section("Compute"):
+                core.dma.lookup_16(8, None, self.CLUSTERS * self.DIMS,
+                                   count=pairs)
+                g.sub_u16(9, 0, 8, count=pairs)
+                g.mul_u16(10, 9, 9, count=pairs)
+                g.add_subgrp_s16(11, 10, self.DIMS, 1, count=pairs)
+                g.lt_u16(0, 11, 12, count=pairs)
+                g.cpy_16_msk(12, 11, 0, count=pairs)
+                g.cpy_imm_16_msk(13, 0, 0, count=pairs)
+            with core.section("ST"):
+                core.charge_raw("pio_st", mv.pio_st(points_per_vr),
+                                count=blocks)

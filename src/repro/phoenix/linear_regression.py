@@ -1,0 +1,122 @@
+"""Phoenix Linear Regression on the APU (Table 6: 512 MB input).
+
+Fits ``y = a*x + b`` by accumulating the sums ``Sx, Sy, Sxx, Sxy`` over
+256 M packed (x, y) byte pairs.  With the optimizations applied, the
+sums accumulate temporally as inter-VR adds (opt1), the input streams as
+full-vector DMA bursts split across both engines (opt2), and only one
+final subgroup reduction per core collapses the partial vectors.
+
+Without opt1, every chunk ends in four full intra-VR reductions -- the
+spatial mapping the paper's communication-aware analysis replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apu.device import APUDevice
+from .base import OptFlags, PhoenixApp
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression(PhoenixApp):
+    """Least-squares line fit over 512 MB of (x, y) byte pairs."""
+
+    name = "linear_regression"
+    input_size = "512MB"
+    cores_used = 4
+
+    TOTAL_BYTES = 512 * 1024 ** 2
+    FUNCTIONAL_POINTS = 32768
+
+    # ------------------------------------------------------------------
+    # Functional kernel
+    # ------------------------------------------------------------------
+    def _functional_input(self) -> np.ndarray:
+        rng = np.random.default_rng(12)
+        x = rng.integers(0, 256, self.FUNCTIONAL_POINTS)
+        noise = rng.integers(-8, 9, self.FUNCTIONAL_POINTS)
+        y = np.clip((x * 0.75 + 20 + noise), 0, 255).astype(np.int64)
+        return (x.astype(np.uint16) | (y.astype(np.uint16) << 8))
+
+    def reference(self) -> tuple:
+        """Closed-form least-squares (slope, intercept) on the input."""
+        packed = self._functional_input()
+        x = (packed & 0xFF).astype(np.float64)
+        y = (packed >> 8).astype(np.float64)
+        n = x.size
+        sx, sy = x.sum(), y.sum()
+        sxx, sxy = (x * x).sum(), (x * y).sum()
+        slope = (n * sxy - sx * sy) / (n * sxx - sx * sx)
+        intercept = (sy - slope * sx) / n
+        return slope, intercept
+
+    def _functional_kernel(self, device: APUDevice) -> tuple:
+        packed = self._functional_input()
+        core = device.core
+        g = core.gvml
+        core.l1.store(0, packed.astype(np.uint16))
+        g.load_16(0, 0)
+        # Unpack x (low byte) and y (high byte) on the vector engine.
+        g.cpy_imm_16(1, 0x00FF)
+        g.and_16(2, 0, 1)          # x
+        g.sr_imm_16(3, 0, 8)       # y
+        # Split each product into low/high halves so the 16-bit lanes
+        # never lose bits: lo = (x*y) mod 2^16 on the VXU, hi on the CP
+        # from the byte-sized operands (x, y < 256 so x*y < 2^16 and
+        # the low half is already exact; x*x likewise).
+        g.mul_u16(4, 2, 2)         # xx, exact for byte inputs
+        g.mul_u16(5, 2, 3)         # xy, exact for byte inputs
+        x = core.vr_read(2).astype(np.int64)
+        y = core.vr_read(3).astype(np.int64)
+        xx = core.vr_read(4).astype(np.int64)
+        xy = core.vr_read(5).astype(np.int64)
+        # The wide accumulation happens on the control processor by
+        # draining the partial vectors (RSP FIFO path).
+        n = x.size
+        sx, sy = int(x.sum()), int(y.sum())
+        sxx, sxy = int(xx.sum()), int(xy.sum())
+        slope = (n * sxy - sx * sy) / (n * sxx - sx * sx)
+        intercept = (sy - slope * sx) / n
+        return slope, intercept
+
+    # ------------------------------------------------------------------
+    # Paper-scale latency program
+    # ------------------------------------------------------------------
+    def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
+        per_core = self.TOTAL_BYTES // self.params.num_cores
+        vectors = -(-per_core // self.params.vr_bytes)  # 1953 per core
+        mv = self.params.movement
+
+        for core in device.cores:
+            g = core.gvml
+            with core.section("LD"):
+                if opts.dma_coalescing:
+                    # Coalesced: one direct full-vector DMA per chunk.
+                    core.dma.l4_to_l1_32k(0, count=vectors)
+                else:
+                    # Uncoalesced: 8 KB descriptors staged through L2.
+                    core.dma.l4_to_l2(None, 8192, count=vectors * 8)
+                    core.dma.l2_to_l1(0, count=vectors)
+                g.load_16(0, 0, count=vectors)
+            with core.section("Compute"):
+                # Unpack + four multiply-accumulate chains per vector.
+                g.and_16(2, 0, 1, count=vectors)
+                g.sr_imm_16(3, 0, 8, count=vectors)
+                g.mul_u16(4, 2, 2, count=vectors)
+                g.mul_u16(5, 2, 3, count=vectors)
+                if opts.reduction_mapping:
+                    # Temporal: partial sums stay element-wise per VR.
+                    g.add_u16(6, 6, 2, count=vectors)
+                    g.add_u16(7, 7, 3, count=vectors)
+                    g.add_u16(8, 8, 4, count=vectors)
+                    g.add_u16(9, 9, 5, count=vectors)
+                    # One final intra-VR collapse per accumulator.
+                    g.add_subgrp_s16(10, 6, self.params.vr_length, 1, count=4)
+                else:
+                    # Spatial: every chunk reduces inside the VR.
+                    g.add_subgrp_s16(10, 2, self.params.vr_length, 1,
+                                     count=vectors * 4)
+            with core.section("ST"):
+                core.dma.pio_st(None, 0, n=4, count=1)

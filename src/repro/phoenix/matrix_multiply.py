@@ -1,0 +1,123 @@
+"""Phoenix Matrix Multiply on the APU (Table 6: 1024 x 1024).
+
+Integer (u16, mod 2^16) matrix multiplication implemented as the
+inner-product algorithm: loop j unrolls across the VR so each group of
+K elements reduces spatially with ``add_subgrp``.  As Section 5.2.1
+notes, matmul "still involve[s] frequent intra-VR operations and
+fine-grained element access" even when optimized -- outputs land at
+group heads and return over PIO -- which is why it stays behind the
+multi-threaded CPU in Fig. 13.
+
+Variant structure:
+
+* **opt1** narrows the spatial reduction from the full VR to one
+  K-sized group (fewer halving stages per block);
+* **opt2** stages matrix B in L1 once instead of re-fetching each
+  column block per row;
+* **opt3** prepares the row-duplication index pattern from a lookup
+  table instead of rebuilding it per row (a small win here; its real
+  beneficiary is kmeans).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apu.device import APUDevice
+from .base import OptFlags, PhoenixApp
+
+__all__ = ["MatrixMultiply"]
+
+
+class MatrixMultiply(PhoenixApp):
+    """1024 x 1024 u16 matrix multiply (inner-product mapping)."""
+
+    name = "matrix_multiply"
+    input_size = "1,024 x 1,024"
+    cores_used = 1
+
+    M = N = K = 1024
+    #: Functional scale: 4 x 1024 x 32 (one VR of column blocks).
+    FUNC_M, FUNC_K, FUNC_N = 4, 1024, 32
+
+    # ------------------------------------------------------------------
+    # Functional kernel
+    # ------------------------------------------------------------------
+    def _functional_input(self):
+        rng = np.random.default_rng(13)
+        a = rng.integers(0, 256, (self.FUNC_M, self.FUNC_K)).astype(np.uint16)
+        b = rng.integers(0, 256, (self.FUNC_K, self.FUNC_N)).astype(np.uint16)
+        return a, b
+
+    def reference(self) -> np.ndarray:
+        a, b = self._functional_input()
+        return (a.astype(np.uint32) @ b.astype(np.uint32)).astype(np.uint16)
+
+    def _functional_kernel(self, device: APUDevice) -> np.ndarray:
+        a, b = self._functional_input()
+        core = device.core
+        g = core.gvml
+        vlen = self.params.vr_length
+        dup = vlen // self.FUNC_K  # 32 columns per VR pass
+        c = np.zeros((self.FUNC_M, self.FUNC_N), dtype=np.uint16)
+
+        # RHS: the 32 columns of B laid group-per-column.
+        rhs = b.T.reshape(-1).astype(np.uint16)
+        core.l1.store(0, np.pad(rhs, (0, vlen - rhs.size)))
+        for i in range(self.FUNC_M):
+            lhs = np.tile(a[i], dup)
+            core.l1.store(1, lhs)
+            g.load_16(0, 1)
+            g.load_16(1, 0)
+            g.mul_u16(2, 0, 1)
+            g.add_subgrp_s16(3, 2, self.FUNC_K, 1)
+            out = core.vr_read(3)
+            c[i] = out[:: self.FUNC_K][: self.FUNC_N]
+        return c
+
+    # ------------------------------------------------------------------
+    # Paper-scale latency program
+    # ------------------------------------------------------------------
+    def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
+        core = device.core
+        g = core.gvml
+        mv = self.params.movement
+        dup = self.params.vr_length // self.K        # 32 columns per pass
+        blocks = self.N // dup                       # 32 passes per row
+        pairs = self.M * blocks                      # (i, block) iterations
+
+        with core.section("LD RHS"):
+            if opts.dma_coalescing:
+                bulk = -(-self.K * self.N * 2 // self.params.vr_bytes)
+                core.dma.l4_to_l1_32k(0, count=bulk)
+            else:
+                # Column block re-fetched on every (row, block) pass.
+                core.dma.l4_to_l1_32k(0, count=pairs)
+            g.load_16(1, 0, count=pairs)
+        with core.section("LD LHS"):
+            # Row i duplicated across the VR by a chained DMA.
+            core.charge_raw(
+                "dma_l4_l2", mv.dma_l4_l2(self.params.vr_bytes), count=self.M
+            )
+            core.dma.l2_to_l1(0, count=self.M)
+            g.load_16(0, 1, count=self.M)
+            if opts.broadcast_layout:
+                core.dma.lookup_16(5, None, dup, count=1)
+            else:
+                g.create_grp_index_u16(5, self.K, count=self.M)
+        with core.section("Compute"):
+            # Full-width products: u16 x u16 needs low and high halves
+            # plus carry folding to accumulate without overflow.
+            g.mul_u16(2, 0, 1, count=pairs)   # low half
+            g.mul_u16(3, 0, 1, count=pairs)   # high half (mulh)
+            g.add_u16(4, 4, 2, count=pairs)
+            g.add_u16(5, 5, 3, count=pairs)
+            if opts.reduction_mapping:
+                g.add_subgrp_s16(6, 4, self.K, 1, count=pairs)
+                g.add_subgrp_s16(7, 5, self.K, 1, count=pairs)
+            else:
+                g.add_subgrp_s16(6, 4, self.params.vr_length, 1, count=pairs)
+                g.add_subgrp_s16(7, 5, self.params.vr_length, 1, count=pairs)
+        with core.section("ST"):
+            # Results sit at group heads: PIO extraction (Section 5.2.1).
+            core.dma.pio_st(None, 0, n=dup, count=pairs)

@@ -1,0 +1,111 @@
+"""Phoenix PCA on the APU (the suite's eighth application).
+
+Computes the column means and covariance matrix of a dense matrix --
+the preprocessing half of principal component analysis that the Phoenix
+suite implements.  The covariance rows map naturally onto the temporal
+reduction scheme: each (i, j) accumulation is an element-wise
+multiply-add over row tiles.
+
+The paper's Table 6/7 omit PCA's statistics, so this application
+carries no paper anchor; it completes the suite and exercises the
+framework on a dense-linear-algebra shape distinct from matmul.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apu.device import APUDevice
+from .base import OptFlags, PhoenixApp
+
+__all__ = ["PCA"]
+
+
+class PCA(PhoenixApp):
+    """Column means + covariance of a 4096 x 256 byte matrix."""
+
+    name = "pca"
+    input_size = "4,096 x 256"
+    cores_used = 1
+
+    ROWS, COLS = 4096, 256
+    FUNC_ROWS, FUNC_COLS = 128, 16
+
+    # ------------------------------------------------------------------
+    # Functional kernel
+    # ------------------------------------------------------------------
+    def _functional_input(self) -> np.ndarray:
+        rng = np.random.default_rng(18)
+        return rng.integers(0, 64, (self.FUNC_ROWS, self.FUNC_COLS)).astype(np.uint16)
+
+    def reference(self):
+        data = self._functional_input().astype(np.float64)
+        means = data.mean(axis=0)
+        centered = data - means
+        cov = centered.T @ centered / (data.shape[0] - 1)
+        return means, cov
+
+    def _functional_kernel(self, device: APUDevice):
+        data = self._functional_input()
+        core = device.core
+        g = core.gvml
+        vlen = self.params.vr_length
+        n, d = data.shape
+
+        # Column-major tiles: column j occupies a contiguous run.
+        flat = data.T.reshape(-1)
+        core.l1.store(0, np.pad(flat, (0, vlen - flat.size)))
+        g.load_16(0, 0)
+        # Column sums via one subgroup reduction per column run.
+        g.add_subgrp_s16(1, 0, n, 1)
+        sums = core.vr_read(1)[:: n][:d].astype(np.float64)
+        means = sums / n
+
+        # Covariance: products accumulated on the VXU (exact for 6-bit
+        # inputs), wide sums drained by the CP.
+        cov = np.zeros((d, d))
+        for j in range(d):
+            g.cpy_subgrp_16_grp(2, 0, n, subgroup_index=j)
+            g.mul_u16(3, 0, 2)
+            products = core.vr_read(3)[: n * d].astype(np.float64)
+            sums_ij = products.reshape(d, n).sum(axis=1)
+            cov[:, j] = (sums_ij - n * means * means[j]) / (n - 1)
+        return means, cov
+
+    # ------------------------------------------------------------------
+    # Paper-scale latency program
+    # ------------------------------------------------------------------
+    def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
+        core = device.core
+        g = core.gvml
+        mv = self.params.movement
+        vlen = self.params.vr_length
+        rows_per_vr = vlen // self.ROWS if self.ROWS <= vlen else 1
+        del rows_per_vr
+        tiles = -(-self.ROWS * self.COLS * 2 // self.params.vr_bytes)  # 32
+
+        with core.section("LD"):
+            if opts.dma_coalescing:
+                core.dma.l4_to_l1_32k(0, count=tiles)
+            else:
+                core.dma.l4_to_l2(None, 8192, count=tiles * 8)
+                core.dma.l2_to_l1(0, count=tiles)
+            g.load_16(0, 0, count=tiles)
+        with core.section("Means"):
+            g.add_subgrp_s16(1, 0, 4096, 1, count=tiles)
+            core.dma.pio_st(None, 0, n=8, count=tiles)
+        with core.section("Covariance"):
+            # cov(i, j) accumulations over column tiles.
+            pair_tiles = self.COLS * tiles
+            if opts.broadcast_layout:
+                g.cpy_subgrp_16_grp(2, 0, 4096, 0, count=pair_tiles)
+            else:
+                core.dma.lookup_16(2, None, self.COLS, count=pair_tiles)
+            g.mul_u16(3, 0, 2, count=pair_tiles)
+            if opts.reduction_mapping:
+                g.add_u16(4, 4, 3, count=pair_tiles)
+                g.add_subgrp_s16(5, 4, 4096, 1, count=self.COLS)
+            else:
+                g.add_subgrp_s16(5, 3, 4096, 1, count=pair_tiles)
+        with core.section("ST"):
+            core.dma.pio_st(None, 0, n=self.COLS, count=self.COLS)

@@ -1,0 +1,170 @@
+"""Suite-level aggregation: Tables 6 and 7 and the Fig. 13 comparison.
+
+``PhoenixSuite`` instantiates every application and produces:
+
+* :meth:`table6_stats` -- input size, CPU instructions, APU microcode
+  instructions per app;
+* :meth:`table7_validation` -- measured (simulator) vs predicted
+  (analytical framework) latency with per-app error and mean accuracy;
+* :meth:`fig13_comparison` -- per-variant APU speedups normalized to
+  the single-threaded CPU, plus the aggregate statistics the paper
+  quotes (mean / geometric-mean / peak speedup vs 1T and 16T CPU).
+
+Aggregates follow the paper's scope: the seven applications with
+Table 6 statistics (PCA carries no paper anchor and is excluded from
+the headline numbers, though it is reported alongside).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from .base import ALL_OPTS, PhoenixApp, VARIANTS
+from .histogram import Histogram
+from .kmeans import KMeans
+from .linear_regression import LinearRegression
+from .matrix_multiply import MatrixMultiply
+from .pca import PCA
+from .reverse_index import ReverseIndex
+from .string_match import StringMatch
+from .word_count import WordCount
+
+__all__ = ["PhoenixSuite", "Table7Row", "Fig13Row", "TABLE6_APPS"]
+
+#: Applications with paper-anchored statistics (Table 6 order).
+TABLE6_APPS = (
+    "histogram",
+    "linear_regression",
+    "matrix_multiply",
+    "kmeans",
+    "reverse_index",
+    "string_match",
+    "word_count",
+)
+
+_APP_CLASSES = (
+    Histogram,
+    LinearRegression,
+    MatrixMultiply,
+    KMeans,
+    ReverseIndex,
+    StringMatch,
+    WordCount,
+    PCA,
+)
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    """One row of the framework-validation table."""
+
+    app: str
+    measured_ms: float
+    predicted_ms: float
+
+    @property
+    def error(self) -> float:
+        """Signed relative error of the prediction."""
+        return (self.predicted_ms - self.measured_ms) / self.measured_ms
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """One application's bar group in the Fig. 13 comparison."""
+
+    app: str
+    cpu_1t_ms: float
+    cpu_16t_ms: float
+    apu_variant_ms: Dict[str, float]
+
+    def speedup_1t(self, variant: str = "all opts") -> float:
+        """APU speedup over the single-threaded CPU."""
+        return self.cpu_1t_ms / self.apu_variant_ms[variant]
+
+    def speedup_16t(self, variant: str = "all opts") -> float:
+        """APU speedup over the 16-thread CPU."""
+        return self.cpu_16t_ms / self.apu_variant_ms[variant]
+
+
+class PhoenixSuite:
+    """All eight Phoenix applications under one roof."""
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        self.params = params
+        self.apps: Dict[str, PhoenixApp] = {
+            cls.name: cls(params) for cls in _APP_CLASSES
+        }
+
+    # ------------------------------------------------------------------
+    # Table 6
+    # ------------------------------------------------------------------
+    def table6_stats(self) -> List[dict]:
+        """Per-app workload statistics."""
+        rows = []
+        for name in TABLE6_APPS + ("pca",):
+            app = self.apps[name]
+            rows.append({
+                "app": name,
+                "input_size": app.input_size,
+                "cpu_instructions": (
+                    app.cpu_instructions() if name in TABLE6_APPS else None
+                ),
+                "apu_ucode_instructions": app.apu_microcode_instructions(),
+            })
+        return rows
+
+    # ------------------------------------------------------------------
+    # Table 7
+    # ------------------------------------------------------------------
+    def table7_validation(self) -> List[Table7Row]:
+        """Measured (simulator) vs predicted (analytical) latency."""
+        return [
+            Table7Row(
+                app=name,
+                measured_ms=self.apps[name].measured_latency_ms(ALL_OPTS),
+                predicted_ms=self.apps[name].predicted_latency_ms(ALL_OPTS),
+            )
+            for name in TABLE6_APPS
+        ]
+
+    def mean_accuracy(self) -> float:
+        """The paper's headline 97.3% mean framework accuracy."""
+        rows = self.table7_validation()
+        return 1.0 - sum(abs(r.error) for r in rows) / len(rows)
+
+    # ------------------------------------------------------------------
+    # Fig. 13
+    # ------------------------------------------------------------------
+    def fig13_comparison(self) -> List[Fig13Row]:
+        """Per-app CPU baselines and APU variant latencies."""
+        rows = []
+        for name in TABLE6_APPS:
+            app = self.apps[name]
+            rows.append(Fig13Row(
+                app=name,
+                cpu_1t_ms=app.cpu_latency_ms(threads=1),
+                cpu_16t_ms=app.cpu_latency_ms(threads=16),
+                apu_variant_ms=app.variant_latencies_ms(),
+            ))
+        return rows
+
+    def aggregate_speedups(self) -> Dict[str, float]:
+        """The Section 5.2 headline statistics."""
+        rows = self.fig13_comparison()
+        s1 = [row.speedup_1t() for row in rows]
+        s16 = [row.speedup_16t() for row in rows]
+        return {
+            "mean_vs_1t": sum(s1) / len(s1),
+            "geomean_vs_1t": math.exp(sum(math.log(s) for s in s1) / len(s1)),
+            "peak_vs_1t": max(s1),
+            "mean_vs_16t": sum(s16) / len(s16),
+            "geomean_vs_16t": math.exp(sum(math.log(s) for s in s16) / len(s16)),
+            "peak_vs_16t": max(s16),
+        }
+
+    def variant_labels(self) -> List[str]:
+        """The Fig. 13 legend, in order."""
+        return list(VARIANTS)

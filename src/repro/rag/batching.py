@@ -1,0 +1,101 @@
+"""Multi-query retrieval batching (an extension beyond the paper).
+
+The paper evaluates single-query time-to-interactive.  A serving system
+also cares about throughput, and the APU's structure makes batching
+nearly free on the dominant stage: in the dim-major distance sweep the
+embedding stream is shared across queries, so a batch of B queries pays
+the stream once and only replicates the MAC chain B times.  The CPU and
+GPU scans, by contrast, re-read (CPU) or re-stream (GPU compute) the
+corpus per query unless they block for cache reuse.
+
+:class:`BatchedAPURetrieval` models this: amortized embedding movement,
+per-query compute, per-query top-k.  Functional batching simply loops
+the exact retriever (correctness is per-query identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from .corpus import CorpusSpec, MiniCorpus
+from .retrieval import APURetriever
+from .topk import topk_aggregation_cycles
+
+__all__ = ["BatchThroughput", "BatchedAPURetrieval"]
+
+
+@dataclass(frozen=True)
+class BatchThroughput:
+    """Throughput report for one batch size."""
+
+    batch_size: int
+    batch_seconds: float
+
+    @property
+    def per_query_seconds(self) -> float:
+        """Amortized latency per query."""
+        return self.batch_seconds / self.batch_size
+
+    @property
+    def queries_per_second(self) -> float:
+        """Sustained retrieval throughput."""
+        return self.batch_size / self.batch_seconds
+
+
+class BatchedAPURetrieval:
+    """Batch-aware latency model over the optimized APU retriever."""
+
+    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+        self.params = params
+        self.retriever = APURetriever(optimized=True, params=params)
+
+    def batch_latency(self, corpus: CorpusSpec, batch_size: int,
+                      k: int = 5) -> BatchThroughput:
+        """Latency of serving ``batch_size`` queries together.
+
+        The embedding stream and the per-vector DMA are paid once; the
+        query staging, MAC chain and top-k replicate per query.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        single = self.retriever.latency_breakdown(corpus, k)
+        cyc = 1.0 / self.params.clock_hz
+        comp, mv = self.params.compute, self.params.movement
+        issue = self.params.effects.vcu_issue_cycles
+
+        # Shared: the stream itself (load_embedding) plus the DMA part
+        # of calc_distance.  Per-query: the MAC chain on each resident
+        # vector, the query staging, the aggregation, the return.
+        blocks = -(-corpus.n_chunks // self.params.vr_length)
+        vectors = blocks * corpus.dim
+        per_vector_compute = (mv.cpy_imm + comp.mul_f16 + comp.add_s16
+                              + 3 * issue)
+        shared_distance = single.calc_distance - (
+            -(-vectors // self.params.num_cores) * per_vector_compute * cyc
+        )
+        per_query = (
+            single.load_query
+            + (-(-vectors // self.params.num_cores)
+               * per_vector_compute * cyc)
+            + topk_aggregation_cycles(corpus.n_chunks, k, self.params) * cyc
+            + single.return_topk
+        )
+        total = single.load_embedding + shared_distance \
+            + batch_size * per_query
+        return BatchThroughput(batch_size=batch_size, batch_seconds=total)
+
+    def throughput_curve(self, corpus: CorpusSpec,
+                         batch_sizes=(1, 2, 4, 8, 16, 32),
+                         k: int = 5) -> List[BatchThroughput]:
+        """Throughput across batch sizes."""
+        return [self.batch_latency(corpus, b, k) for b in batch_sizes]
+
+    def retrieve_batch(self, corpus: MiniCorpus,
+                       queries: np.ndarray, k: int = 5) -> List[List[int]]:
+        """Functional batched retrieval (exact, query by query)."""
+        return [self.retriever.retrieve(corpus, query, k)
+                for query in np.atleast_2d(queries)]

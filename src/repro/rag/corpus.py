@@ -1,0 +1,97 @@
+"""RAG corpora: the paper's three scales plus functional mini-corpora.
+
+Section 5.3.1: corpora of 10/50/200 GB are chunked into 16,384-token
+segments, giving 163 K / 819 K / 3.3 M chunks with 120 MB / 600 MB /
+2.4 GB of embeddings.  Those sizes imply 384-dimensional fp16
+embeddings, which is what the specs below encode.
+
+Functional runs use :class:`MiniCorpus`: seeded synthetic embeddings
+small enough to execute on the simulator, quantized to the 4-bit range
+whose dot products fit the APU's 16-bit accumulation (the functional
+demo's precision envelope; the latency models are independent of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["CorpusSpec", "PAPER_CORPORA", "MiniCorpus"]
+
+#: Embedding dimensionality implied by the paper's sizes.
+EMBED_DIM = 384
+#: Tokens per corpus chunk (Section 5.3.1).
+CHUNK_TOKENS = 16384
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """One evaluation corpus scale."""
+
+    label: str
+    corpus_bytes: float
+    n_chunks: int
+    dim: int = EMBED_DIM
+    bytes_per_value: int = 2  # fp16
+
+    @property
+    def embedding_bytes(self) -> float:
+        """Size of the resident embedding matrix."""
+        return self.n_chunks * self.dim * self.bytes_per_value
+
+
+#: The paper's three corpus scales (Section 5.3.1).
+PAPER_CORPORA: Dict[str, CorpusSpec] = {
+    "10GB": CorpusSpec("10GB", 10e9, 163_840),
+    "50GB": CorpusSpec("50GB", 50e9, 819_200),
+    "200GB": CorpusSpec("200GB", 200e9, 3_276_800),
+}
+
+
+class MiniCorpus:
+    """A small synthetic corpus for functional retrieval runs.
+
+    Embeddings are quantized to [0, 15] so that 64-dimensional integer
+    dot products stay below 2^16 and the APU kernel can accumulate them
+    exactly in 16-bit lanes.
+    """
+
+    QUANT_LEVELS = 16
+
+    def __init__(self, n_chunks: int = 512, dim: int = 64, seed: int = 0):
+        if n_chunks <= 0 or dim <= 0:
+            raise ValueError("corpus shape must be positive")
+        if dim * (self.QUANT_LEVELS - 1) ** 2 >= 1 << 16:
+            raise ValueError("dot products would overflow 16-bit lanes")
+        self.n_chunks = n_chunks
+        self.dim = dim
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        raw = rng.normal(size=(n_chunks, dim))
+        raw /= np.linalg.norm(raw, axis=1, keepdims=True)
+        self.embeddings = self._quantize(raw)
+        self._rng = rng
+
+    @classmethod
+    def _quantize(cls, unit_vectors: np.ndarray) -> np.ndarray:
+        """Map unit-norm floats onto the [0, 15] integer grid."""
+        scaled = (unit_vectors + 1.0) / 2.0 * (cls.QUANT_LEVELS - 1)
+        return np.clip(np.rint(scaled), 0, cls.QUANT_LEVELS - 1).astype(np.uint16)
+
+    def sample_query(self) -> np.ndarray:
+        """A quantized query embedding (NQ-style sampled question)."""
+        raw = self._rng.normal(size=self.dim)
+        raw /= np.linalg.norm(raw)
+        return self._quantize(raw[None])[0]
+
+    def exact_topk(self, query: np.ndarray, k: int) -> np.ndarray:
+        """Ground-truth integer inner-product top-k (ascending index ties)."""
+        scores = self.embeddings.astype(np.int64) @ query.astype(np.int64)
+        order = np.lexsort((np.arange(self.n_chunks), -scores))
+        return order[:k]
+
+    def scores(self, query: np.ndarray) -> np.ndarray:
+        """Integer inner products against every chunk."""
+        return self.embeddings.astype(np.int64) @ query.astype(np.int64)

@@ -1,0 +1,185 @@
+"""Tests for the Table 2 bit-processor micro-operations."""
+
+import numpy as np
+import pytest
+
+from repro.apu.bitproc import BitProcessorArray, MicrocodeError
+
+
+@pytest.fixture()
+def bank():
+    return BitProcessorArray(columns=32)
+
+
+def load(bank, vr, values):
+    bank.load_u16(vr, np.asarray(values, dtype=np.uint16))
+
+
+class TestState:
+    def test_device_geometry_defaults(self):
+        bank = BitProcessorArray()
+        assert bank.columns == 2048
+        assert bank.num_vrs == 24
+        assert bank.element_bits == 16
+
+    def test_backdoor_roundtrip(self, bank):
+        values = np.arange(32, dtype=np.uint16) * 999
+        load(bank, 3, values)
+        assert (bank.read_u16(3) == values).all()
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(MicrocodeError):
+            BitProcessorArray(columns=0)
+
+    def test_vr_bounds_checked(self, bank):
+        with pytest.raises(MicrocodeError):
+            bank.rl_read(24)
+
+    def test_bad_mask_rejected(self, bank):
+        with pytest.raises(MicrocodeError):
+            bank.rl_read(0, mask=1 << 16)
+
+
+class TestReads:
+    def test_rl_read_full_mask(self, bank):
+        values = np.arange(32, dtype=np.uint16)
+        load(bank, 0, values)
+        bank.rl_read(0)
+        for t in range(16):
+            assert (bank.rl[t] == ((values >> t) & 1).astype(bool)).all()
+
+    def test_rl_read_masked_slice(self, bank):
+        load(bank, 0, np.full(32, 0xFFFF, dtype=np.uint16))
+        bank.rl[:] = False
+        bank.rl_read(0, mask=0x0004)  # slice 2 only
+        assert bank.rl[2].all()
+        assert not bank.rl[0].any()
+        assert not bank.rl[3].any()
+
+    def test_rl_read_and_two_vrs(self, bank):
+        a = np.array([0b1100] * 32, dtype=np.uint16)
+        b = np.array([0b1010] * 32, dtype=np.uint16)
+        load(bank, 0, a)
+        load(bank, 1, b)
+        bank.rl_read_and(0, 1)
+        assert bank.rl[3].all()  # bit 3: 1&1
+        assert not bank.rl[2].any()  # 1&0
+        assert not bank.rl[1].any()  # 0&1
+
+    def test_rl_op_vr_combines(self, bank):
+        load(bank, 0, np.full(32, 0b01, dtype=np.uint16))
+        load(bank, 1, np.full(32, 0b10, dtype=np.uint16))
+        bank.rl_read(0)
+        bank.rl_op_vr("or", 1)
+        assert bank.rl[0].all() and bank.rl[1].all()
+
+    def test_unknown_op_rejected(self, bank):
+        with pytest.raises(MicrocodeError):
+            bank.rl_op_vr("nand", 0)
+
+
+class TestWrites:
+    def test_write_through_wbl(self, bank):
+        load(bank, 0, np.full(32, 0xAAAA, dtype=np.uint16))
+        bank.rl_read(0)
+        bank.vr_write(5)
+        assert (bank.read_u16(5) == 0xAAAA).all()
+
+    def test_write_negated_through_wblb(self, bank):
+        load(bank, 0, np.full(32, 0xAAAA, dtype=np.uint16))
+        bank.rl_read(0)
+        bank.vr_write(5, negate=True)
+        assert (bank.read_u16(5) == 0x5555).all()
+
+    def test_masked_write_leaves_other_slices(self, bank):
+        load(bank, 5, np.full(32, 0xFFFF, dtype=np.uint16))
+        load(bank, 0, np.zeros(32, dtype=np.uint16))
+        bank.rl_read(0)
+        bank.vr_write(5, mask=0x000F)  # clear low nibble only
+        assert (bank.read_u16(5) == 0xFFF0).all()
+
+
+class TestGlobalLines:
+    def test_ghl_or_semantics(self, bank):
+        # One column drives a 1 on slice 0 -> whole row's GHL reads 1.
+        values = np.zeros(32, dtype=np.uint16)
+        values[7] = 1
+        load(bank, 0, values)
+        bank.rl_read(0)
+        bank.ghl_from_rl()
+        assert bank.ghl[0]
+        assert not bank.ghl[1]
+
+    def test_gvl_and_semantics(self, bank):
+        # GVL is 1 only for columns whose selected slices are all 1.
+        values = np.full(32, 0b11, dtype=np.uint16)
+        values[3] = 0b01  # missing bit 1
+        load(bank, 0, values)
+        bank.rl_read(0)
+        bank.gvl_from_rl(mask=0x0003)
+        expected = np.ones(32, dtype=bool)
+        expected[3] = False
+        assert (bank.gvl == expected).all()
+
+    def test_gvl_requires_driving_rows(self, bank):
+        with pytest.raises(MicrocodeError):
+            bank.gvl_from_rl(mask=0)
+
+    def test_rl_from_ghl_broadcast(self, bank):
+        bank.ghl[:] = False
+        bank.ghl[4] = True
+        bank.rl_from_latch("ghl")
+        assert bank.rl[4].all()
+        assert not bank.rl[3].any()
+
+    def test_rl_from_gvl_broadcast(self, bank):
+        bank.gvl[:] = False
+        bank.gvl[10] = True
+        bank.rl_from_latch("gvl")
+        assert bank.rl[:, 10].all()
+        assert not bank.rl[:, 9].any()
+
+
+class TestNeighborReads:
+    def test_south_neighbor_shifts_toward_msb(self, bank):
+        bank.rl[:] = False
+        bank.rl[3, :] = True
+        bank.rl_from_latch("s")
+        assert bank.rl[4].all()
+        assert not bank.rl[3].any()
+
+    def test_north_neighbor_shifts_toward_lsb(self, bank):
+        bank.rl[:] = False
+        bank.rl[3, :] = True
+        bank.rl_from_latch("n")
+        assert bank.rl[2].all()
+        assert not bank.rl[3].any()
+
+    def test_east_west_column_neighbors(self, bank):
+        bank.rl[:] = False
+        bank.rl[0, 5] = True
+        bank.rl_from_latch("w", mask=0x0001)
+        assert bank.rl[0, 6]
+        bank.rl[:] = False
+        bank.rl[0, 5] = True
+        bank.rl_from_latch("e", mask=0x0001)
+        assert bank.rl[0, 4]
+
+    def test_edges_read_zero(self, bank):
+        bank.rl[:] = True
+        bank.rl_from_latch("s")
+        assert not bank.rl[0].any()
+
+    def test_unknown_latch_source_rejected(self, bank):
+        with pytest.raises(MicrocodeError):
+            bank.rl_from_latch("x")
+
+
+class TestMicroOpCounting:
+    def test_every_operation_counts(self, bank):
+        before = bank.micro_ops
+        bank.rl_read(0)
+        bank.rl_op_vr("and", 1)
+        bank.vr_write(2)
+        bank.ghl_from_rl()
+        assert bank.micro_ops == before + 4

@@ -1,0 +1,99 @@
+"""Tests for strided and duplicated DMA layout transformations."""
+
+import numpy as np
+import pytest
+
+from repro.apu.device import APUDevice
+from repro.apu.memory import MemoryError_
+from repro.core.params import DEFAULT_PARAMS
+
+MV = DEFAULT_PARAMS.movement
+
+
+@pytest.fixture()
+def dev():
+    return APUDevice()
+
+
+class TestStridedDMA:
+    def test_gathers_strided_elements(self, dev):
+        # A 4x8 u16 matrix stored row-major; gather column 0 into L2.
+        matrix = np.arange(32, dtype=np.uint16).reshape(4, 8)
+        handle = dev.mem_alloc_aligned(64)
+        dev.mem_cpy_to_dev(handle, matrix)
+        dev.core.dma.l4_to_l2_strided(
+            handle, elem_bytes=2, stride_bytes=16, n_elements=4
+        )
+        gathered = dev.core.l2.read(0, 8, np.uint16)
+        assert (gathered == matrix[:, 0]).all()
+
+    def test_gathers_row_blocks(self, dev):
+        data = np.arange(64, dtype=np.uint16)
+        handle = dev.mem_alloc_aligned(128)
+        dev.mem_cpy_to_dev(handle, data)
+        # Every other 8-element block.
+        dev.core.dma.l4_to_l2_strided(
+            handle, elem_bytes=16, stride_bytes=32, n_elements=4
+        )
+        gathered = dev.core.l2.read(0, 64, np.uint16)
+        expected = data.reshape(8, 8)[::2].reshape(-1)
+        assert (gathered == expected).all()
+
+    def test_stride_must_cover_element(self, dev):
+        handle = dev.mem_alloc_aligned(512)
+        with pytest.raises(MemoryError_):
+            dev.core.dma.l4_to_l2_strided(handle, 16, 8, 4)
+
+    def test_strided_costs_more_than_contiguous(self):
+        tdev = APUDevice(functional=False)
+        tdev.core.dma.l4_to_l2_strided(None, 512, 4096, 32)
+        strided = tdev.core.cycles
+        tdev2 = APUDevice(functional=False)
+        tdev2.core.dma.l4_to_l2(None, 512 * 32)
+        contiguous = tdev2.core.cycles
+        assert strided > contiguous
+
+
+class TestDuplicatedDMA:
+    def test_tiles_source_chunk(self, dev):
+        row = np.arange(16, dtype=np.uint16)
+        handle = dev.mem_alloc_aligned(512)
+        dev.mem_cpy_to_dev(handle, row)
+        dev.core.dma.l4_to_l2_duplicated(handle, nbytes=32, repeats=8)
+        tiled = dev.core.l2.read(0, 256, np.uint16)
+        assert (tiled.reshape(8, 16) == row).all()
+
+    def test_fills_whole_vector_for_matmul_lhs(self, dev):
+        """The Fig. 7 LHS duplication: one row tiled across a full VR."""
+        row = np.arange(64, dtype=np.uint16)  # one packed matrix row
+        handle = dev.mem_alloc_aligned(512)
+        dev.mem_cpy_to_dev(handle, row)
+        dev.core.dma.l4_to_l2_duplicated(handle, nbytes=128, repeats=512)
+        dev.core.dma.l2_to_l1(0)
+        dev.core.gvml.load_16(0, 0)
+        vector = dev.core.vr_read(0)
+        assert (vector.reshape(512, 64) == row).all()
+
+    def test_cost_matches_matmul_kernel_model(self):
+        """The duplicated fill of a 64 KB destination must cost what the
+        matmul kernels charge for it (one chained descriptor chain)."""
+        tdev = APUDevice(functional=False)
+        tdev.core.dma.l4_to_l2_duplicated(None, nbytes=128, repeats=512)
+        base = MV.dma_l4_l2(DEFAULT_PARAMS.vr_bytes)
+        chained = MV.dma_chained_init * 511
+        assert tdev.core.cycles == pytest.approx(
+            (base + chained) * (1 + DEFAULT_PARAMS.effects.dram_refresh_factor)
+            + DEFAULT_PARAMS.effects.dma_arbitration_cycles * 64,
+            rel=0.01,
+        )
+
+    def test_invalid_args_rejected(self, dev):
+        handle = dev.mem_alloc_aligned(512)
+        with pytest.raises(MemoryError_):
+            dev.core.dma.l4_to_l2_duplicated(handle, 0, 4)
+        with pytest.raises(MemoryError_):
+            dev.core.dma.l4_to_l2_duplicated(handle, 64, 0)
+
+    def test_functional_requires_handle(self, dev):
+        with pytest.raises(MemoryError_):
+            dev.core.dma.l4_to_l2_duplicated(None, 64, 2)

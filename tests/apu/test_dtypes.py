@@ -1,0 +1,129 @@
+"""Tests for native APU data types, including gf16 round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apu.dtypes import (
+    GF16_BIAS,
+    bits_to_f16,
+    f16_to_bits,
+    float_to_gf16,
+    gf16_to_float,
+    pack_bits_u16,
+    s16_to_u16,
+    u16_to_s16,
+    unpack_bits_u16,
+)
+
+
+class TestIntegerViews:
+    def test_u16_s16_roundtrip(self):
+        values = np.array([0, 1, 32767, 32768, 65535], dtype=np.uint16)
+        assert (s16_to_u16(u16_to_s16(values)) == values).all()
+
+    def test_twos_complement_semantics(self):
+        assert u16_to_s16(np.array([65535], dtype=np.uint16))[0] == -1
+        assert u16_to_s16(np.array([32768], dtype=np.uint16))[0] == -32768
+
+    @given(arrays(np.uint16, 32, elements=st.integers(0, 65535)))
+    def test_roundtrip_property(self, values):
+        assert (s16_to_u16(u16_to_s16(values)) == values).all()
+
+
+class TestIEEEFloat16:
+    def test_bits_roundtrip(self):
+        values = np.array([0.0, 1.0, -2.5, 65504.0], dtype=np.float16)
+        assert (bits_to_f16(f16_to_bits(values)) == values).all()
+
+    def test_known_encoding(self):
+        assert f16_to_bits(np.array([1.0], dtype=np.float16))[0] == 0x3C00
+
+
+class TestGF16:
+    def test_bias_is_31(self):
+        assert GF16_BIAS == 31
+
+    def test_zero_encodes_to_zero(self):
+        assert float_to_gf16(np.array([0.0]))[0] == 0
+        assert gf16_to_float(np.array([0], dtype=np.uint16))[0] == 0.0
+
+    def test_one_encodes_exactly(self):
+        bits = float_to_gf16(np.array([1.0]))
+        assert gf16_to_float(bits)[0] == pytest.approx(1.0)
+        # exponent field = bias, mantissa = 0, sign = 0
+        assert bits[0] == GF16_BIAS << 9
+
+    def test_sign_bit(self):
+        pos = float_to_gf16(np.array([2.5]))[0]
+        neg = float_to_gf16(np.array([-2.5]))[0]
+        assert neg == pos | 0x8000
+        assert gf16_to_float(np.array([neg], dtype=np.uint16))[0] == pytest.approx(-2.5)
+
+    def test_mantissa_precision_beats_ieee_f16(self):
+        # 9 mantissa bits vs IEEE's 10: close, but gf16 trades range.
+        # 1 + 1/512 must be representable exactly.
+        value = 1.0 + 1.0 / 512.0
+        bits = float_to_gf16(np.array([value]))
+        assert gf16_to_float(bits)[0] == pytest.approx(value)
+
+    def test_overflow_saturates(self):
+        # Max exponent is 2^(63-31) = 2^32; far beyond saturates.
+        bits = float_to_gf16(np.array([1e30]))
+        decoded = gf16_to_float(bits)[0]
+        assert decoded == pytest.approx(2.0 ** 32 * (2.0 - 1.0 / 512.0), rel=1e-3)
+
+    def test_subnormal_flushes_to_zero(self):
+        tiny = 2.0 ** -40  # below the smallest normal 2^-30
+        assert gf16_to_float(float_to_gf16(np.array([tiny])))[0] == 0.0
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=2.0 ** -28, max_value=2.0 ** 30,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=32,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_relative_error_bounded(self, values):
+        """Round-trip error is bounded by half a mantissa ULP (2^-10)."""
+        x = np.array(values)
+        decoded = gf16_to_float(float_to_gf16(x))
+        rel = np.abs(decoded - x) / np.abs(x)
+        assert (rel <= 2.0 ** -10 + 1e-12).all()
+
+    def test_ordering_preserved_for_positive_values(self):
+        x = np.array([0.001, 0.5, 1.0, 3.14, 100.0, 9999.0])
+        bits = float_to_gf16(x).astype(np.int64)
+        assert (np.diff(bits) > 0).all()
+
+
+class TestBitPacking:
+    def test_pack_unpack_roundtrip(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, (4, 64)).astype(np.uint8)
+        assert (unpack_bits_u16(pack_bits_u16(bits)) == bits).all()
+
+    def test_pack_little_endian_bit_order(self):
+        bits = np.zeros(16, dtype=np.uint8)
+        bits[0] = 1
+        assert pack_bits_u16(bits)[0] == 1
+        bits = np.zeros(16, dtype=np.uint8)
+        bits[15] = 1
+        assert pack_bits_u16(bits)[0] == 0x8000
+
+    def test_pack_requires_multiple_of_16(self):
+        with pytest.raises(ValueError):
+            pack_bits_u16(np.zeros(15, dtype=np.uint8))
+
+    def test_pack_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            pack_bits_u16(np.full(16, 2, dtype=np.uint8))
+
+    @given(arrays(np.uint8, (2, 32), elements=st.integers(0, 1)))
+    def test_roundtrip_property(self, bits):
+        assert (unpack_bits_u16(pack_bits_u16(bits)) == bits).all()

@@ -1,0 +1,90 @@
+"""Tests for the gf16/f16 arithmetic extensions in GVML."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apu.device import APUDevice
+from repro.apu.dtypes import bits_to_f16, f16_to_bits, float_to_gf16, gf16_to_float
+from repro.core.params import DEFAULT_PARAMS
+
+VLEN = DEFAULT_PARAMS.vr_length
+
+
+@pytest.fixture()
+def core():
+    return APUDevice().core
+
+
+def put(core, vr, values):
+    core.l1.store(47, np.asarray(values, dtype=np.uint16))
+    core.gvml.load_16(vr, 47)
+
+
+class TestF16Add:
+    def test_add_f16_matches_numpy(self, core):
+        rng = np.random.default_rng(0)
+        fa = rng.normal(size=VLEN).astype(np.float16)
+        fb = rng.normal(size=VLEN).astype(np.float16)
+        put(core, 0, f16_to_bits(fa))
+        put(core, 1, f16_to_bits(fb))
+        core.gvml.add_f16(2, 0, 1)
+        assert (core.vr_read(2) == f16_to_bits(fa + fb)).all()
+
+    def test_add_f16_cost(self, core):
+        core.reset_trace()
+        core.gvml.add_f16(2, 0, 1)
+        expected = (DEFAULT_PARAMS.compute.add_f16
+                    + DEFAULT_PARAMS.effects.vcu_issue_cycles)
+        assert core.cycles == pytest.approx(expected)
+
+
+class TestGF16Arithmetic:
+    def test_mul_gf16_relative_error_bounded(self, core):
+        rng = np.random.default_rng(1)
+        xa = np.abs(rng.normal(size=VLEN)) + 0.1
+        xb = np.abs(rng.normal(size=VLEN)) + 0.1
+        put(core, 0, float_to_gf16(xa))
+        put(core, 1, float_to_gf16(xb))
+        core.gvml.mul_gf16(2, 0, 1)
+        decoded = gf16_to_float(core.vr_read(2))
+        rel = np.abs(decoded - xa * xb) / (xa * xb)
+        # Two roundings to 9-bit mantissas: < 3 ULP.
+        assert rel.max() < 3 * 2.0 ** -9
+
+    def test_add_gf16_exact_on_equal_exponents(self, core):
+        put(core, 0, float_to_gf16(np.full(VLEN, 1.5)))
+        put(core, 1, float_to_gf16(np.full(VLEN, 1.25)))
+        core.gvml.add_gf16(2, 0, 1)
+        decoded = gf16_to_float(core.vr_read(2))
+        assert decoded[0] == pytest.approx(2.75)
+
+    def test_gf16_cheaper_than_ieee_mul(self):
+        # The native format's narrower mantissa shortens the multiply.
+        assert DEFAULT_PARAMS.compute.mul_gf16 < DEFAULT_PARAMS.compute.mul_f16
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_gf16_dot_product_property(self, seed):
+        """gf16 MAC chains stay within format precision of float64."""
+        core = APUDevice().core
+        rng = np.random.default_rng(seed)
+        xa = np.abs(rng.normal(size=VLEN)) + 0.5
+        xb = np.abs(rng.normal(size=VLEN)) + 0.5
+        put(core, 0, float_to_gf16(xa))
+        put(core, 1, float_to_gf16(xb))
+        core.gvml.mul_gf16(2, 0, 1)
+        products = gf16_to_float(core.vr_read(2))
+        exact = (gf16_to_float(float_to_gf16(xa))
+                 * gf16_to_float(float_to_gf16(xb)))
+        rel = np.abs(products - exact) / np.abs(exact)
+        assert rel.max() < 2.0 ** -9
+
+
+class TestEnergyCategorization:
+    def test_new_ops_count_as_compute(self):
+        from repro.apu.energy import categorize_op
+
+        for op in ("add_f16", "add_gf16", "mul_gf16"):
+            assert categorize_op(op) == "compute"

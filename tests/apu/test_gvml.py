@@ -1,0 +1,357 @@
+"""Tests for the GVML vector math library (functional + timing)."""
+
+import numpy as np
+import pytest
+
+from repro.apu.device import APUDevice
+from repro.apu.dtypes import f16_to_bits, float_to_gf16, s16_to_u16, u16_to_s16
+from repro.apu.gvml import GVMLError
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.reduction_model import simulated_sg_add_cycles
+
+VLEN = DEFAULT_PARAMS.vr_length
+VCU = DEFAULT_PARAMS.effects.vcu_issue_cycles
+
+
+@pytest.fixture()
+def core():
+    return APUDevice().core
+
+
+def put(core, vr, values):
+    """Backdoor-load data into a VR through L1 (slot 47)."""
+    core.l1.store(47, np.asarray(values, dtype=np.uint16))
+    core.gvml.load_16(vr, 47)
+
+
+def rnd(seed, low=0, high=65536, dtype=np.uint16):
+    return np.random.default_rng(seed).integers(low, high, VLEN).astype(dtype)
+
+
+class TestArithmetic:
+    def test_add_u16_wraps(self, core):
+        a, b = rnd(1), rnd(2)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.add_u16(2, 0, 1)
+        assert (core.vr_read(2) == a + b).all()
+
+    def test_add_s16_signed_wrap(self, core):
+        a, b = rnd(3), rnd(4)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.add_s16(2, 0, 1)
+        expected = s16_to_u16(u16_to_s16(a) + u16_to_s16(b))
+        assert (core.vr_read(2) == expected).all()
+
+    def test_sub_u16(self, core):
+        a, b = rnd(5), rnd(6)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.sub_u16(2, 0, 1)
+        assert (core.vr_read(2) == a - b).all()
+
+    def test_mul_u16_low_bits(self, core):
+        a, b = rnd(7), rnd(8)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.mul_u16(2, 0, 1)
+        assert (core.vr_read(2) == a * b).all()
+
+    def test_mul_s16_signed_low_bits(self, core):
+        a, b = rnd(9), rnd(10)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.mul_s16(2, 0, 1)
+        expected = s16_to_u16(
+            (u16_to_s16(a).astype(np.int32) * u16_to_s16(b).astype(np.int32))
+            .astype(np.int16)
+        )
+        assert (core.vr_read(2) == expected).all()
+
+    def test_div_u16_and_zero_saturation(self, core):
+        a = rnd(11)
+        b = rnd(12)
+        b[::100] = 0
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.div_u16(2, 0, 1)
+        out = core.vr_read(2)
+        nz = b != 0
+        assert (out[nz] == a[nz] // b[nz]).all()
+        assert (out[~nz] == 0xFFFF).all()
+
+    def test_div_s16_truncates_toward_zero(self, core):
+        a = np.full(VLEN, s16_to_u16(np.int16(-7)), dtype=np.uint16)
+        b = np.full(VLEN, 2, dtype=np.uint16)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.div_s16(2, 0, 1)
+        assert (u16_to_s16(core.vr_read(2)) == -3).all()
+
+    def test_popcnt(self, core):
+        a = rnd(13)
+        put(core, 0, a)
+        core.gvml.popcnt_16(1, 0)
+        expected = np.array([bin(int(x)).count("1") for x in a[:256]])
+        assert (core.vr_read(1)[:256] == expected).all()
+
+    def test_recip_u16(self, core):
+        a = rnd(14, low=0)
+        put(core, 0, a)
+        core.gvml.recip_u16(1, 0)
+        out = core.vr_read(1)
+        nz = a != 0
+        assert (out[nz] == 0xFFFF // a[nz]).all()
+        assert (out[~nz] == 0xFFFF).all()
+
+    def test_mul_f16(self, core):
+        rng = np.random.default_rng(15)
+        fa = rng.normal(size=VLEN).astype(np.float16)
+        fb = rng.normal(size=VLEN).astype(np.float16)
+        put(core, 0, f16_to_bits(fa))
+        put(core, 1, f16_to_bits(fb))
+        core.gvml.mul_f16(2, 0, 1)
+        assert (core.vr_read(2) == f16_to_bits(fa * fb)).all()
+
+    def test_exp_f16(self, core):
+        fa = np.linspace(-4, 4, VLEN).astype(np.float16)
+        put(core, 0, f16_to_bits(fa))
+        core.gvml.exp_f16(1, 0)
+        expected = f16_to_bits(np.exp(fa.astype(np.float32)).astype(np.float16))
+        assert (core.vr_read(1) == expected).all()
+
+    def test_sin_cos_fx_quarter_turns(self, core):
+        angles = np.zeros(VLEN, dtype=np.uint16)
+        angles[1] = 0x4000  # quarter turn
+        angles[2] = 0x8000  # half turn
+        put(core, 0, angles)
+        core.gvml.sin_fx(1, 0)
+        sins = u16_to_s16(core.vr_read(1))
+        assert sins[0] == 0
+        assert sins[1] == 32767
+        assert abs(int(sins[2])) <= 1
+        core.gvml.cos_fx(2, 0)
+        coss = u16_to_s16(core.vr_read(2))
+        assert coss[0] == 32767
+        assert abs(int(coss[1])) <= 1
+
+    def test_shift_immediates(self, core):
+        a = rnd(16)
+        put(core, 0, a)
+        core.gvml.sr_imm_16(1, 0, 3)
+        assert (core.vr_read(1) == a >> 3).all()
+        core.gvml.sl_imm_16(2, 0, 2)
+        assert (core.vr_read(2) == ((a.astype(np.uint32) << 2) & 0xFFFF)).all()
+        core.gvml.ashift_16(3, 0, 4)
+        assert (u16_to_s16(core.vr_read(3)) == (u16_to_s16(a) >> 4)).all()
+
+
+class TestBoolean:
+    def test_bitwise_ops(self, core):
+        a, b = rnd(17), rnd(18)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.and_16(2, 0, 1)
+        core.gvml.or_16(3, 0, 1)
+        core.gvml.xor_16(4, 0, 1)
+        core.gvml.not_16(5, 0)
+        assert (core.vr_read(2) == (a & b)).all()
+        assert (core.vr_read(3) == (a | b)).all()
+        assert (core.vr_read(4) == (a ^ b)).all()
+        assert (core.vr_read(5) == np.bitwise_not(a)).all()
+
+
+class TestMarkers:
+    def test_comparisons_write_markers(self, core):
+        a, b = rnd(19), rnd(20)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.eq_16(0, 0, 1)
+        core.gvml.gt_u16(1, 0, 1)
+        core.gvml.le_u16(2, 0, 1)
+        assert (core.marker_read(0) == (a == b)).all()
+        assert (core.marker_read(1) == (a > b)).all()
+        assert (core.marker_read(2) == (a <= b)).all()
+
+    def test_lt_gf16_compares_decoded_values(self, core):
+        values_a = np.linspace(0.1, 100, VLEN)
+        values_b = np.linspace(100, 0.1, VLEN)
+        put(core, 0, float_to_gf16(values_a))
+        put(core, 1, float_to_gf16(values_b))
+        core.gvml.lt_gf16(3, 0, 1)
+        # gf16 has limited precision; check away from the crossover.
+        marks = core.marker_read(3)
+        assert marks[: VLEN // 2 - 100].all()
+        assert not marks[VLEN // 2 + 100:].any()
+
+    def test_marker_algebra(self, core):
+        a = rnd(21)
+        put(core, 0, a)
+        core.gvml.gt_imm_u16(0, 0, 1000)
+        core.gvml.eq_imm_16(1, 0, a[0])
+        core.gvml.not_mrk(2, 0)
+        core.gvml.and_mrk(3, 0, 1)
+        core.gvml.or_mrk(4, 0, 1)
+        m0, m1 = core.marker_read(0), core.marker_read(1)
+        assert (core.marker_read(2) == ~m0).all()
+        assert (core.marker_read(3) == (m0 & m1)).all()
+        assert (core.marker_read(4) == (m0 | m1)).all()
+
+    def test_count_and_first_marked(self, core):
+        a = np.zeros(VLEN, dtype=np.uint16)
+        a[100] = 5
+        a[200] = 5
+        put(core, 0, a)
+        core.gvml.eq_imm_16(0, 0, 5)
+        assert core.gvml.count_m(0) == 2
+        assert core.gvml.first_marked_index(0) == 100
+
+    def test_first_marked_empty_returns_minus_one(self, core):
+        core.gvml.reset_mrk(0)
+        assert core.gvml.first_marked_index(0) == -1
+
+    def test_masked_copy(self, core):
+        a, b = rnd(22), rnd(23)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.gt_u16(0, 0, 1)
+        core.gvml.cpy_16(2, 0)
+        core.gvml.cpy_16_msk(2, 1, 0)
+        expected = np.where(a > b, b, a)
+        assert (core.vr_read(2) == expected).all()
+
+    def test_masked_immediate(self, core):
+        a = rnd(24)
+        put(core, 0, a)
+        core.gvml.gt_imm_u16(0, 0, 30000)
+        core.gvml.cpy_imm_16_msk(0, 0, 0)
+        out = core.vr_read(0)
+        assert (out[a > 30000] == 0).all()
+        assert (out[a <= 30000] == a[a <= 30000]).all()
+
+
+class TestDataRearrangement:
+    def test_cpy_subgrp_tiles_selected_subgroup(self, core):
+        a = rnd(25)
+        put(core, 0, a)
+        core.gvml.cpy_subgrp_16_grp(1, 0, 1024, subgroup_index=2)
+        out = core.vr_read(1).reshape(-1, 1024)
+        assert (out == a[2048:3072]).all()
+
+    def test_cpy_subgrp_validates_divisibility(self, core):
+        with pytest.raises(GVMLError):
+            core.gvml.cpy_subgrp_16_grp(1, 0, 1000)
+        with pytest.raises(GVMLError):
+            core.gvml.cpy_subgrp_16_grp(1, 0, 1024, subgroup_index=32)
+
+    def test_create_grp_index(self, core):
+        core.gvml.create_grp_index_u16(0, 256)
+        out = core.vr_read(0)
+        assert (out == np.arange(VLEN) % 256).all()
+
+    def test_shift_e_toward_head_and_tail(self, core):
+        a = rnd(26)
+        put(core, 0, a)
+        core.gvml.shift_e(0, 5, toward="head")
+        out = core.vr_read(0)
+        assert (out[:-5] == a[5:]).all()
+        assert (out[-5:] == 0).all()
+        put(core, 1, a)
+        core.gvml.shift_e4(1, 3, toward="tail")  # 12 elements
+        out = core.vr_read(1)
+        assert (out[12:] == a[:-12]).all()
+        assert (out[:12] == 0).all()
+
+    def test_min_max_elementwise(self, core):
+        a, b = rnd(27), rnd(28)
+        put(core, 0, a)
+        put(core, 1, b)
+        core.gvml.max_u16(2, 0, 1)
+        core.gvml.min_u16(3, 0, 1)
+        assert (core.vr_read(2) == np.maximum(a, b)).all()
+        assert (core.vr_read(3) == np.minimum(a, b)).all()
+
+    def test_rsp_fifo_element_access(self, core):
+        a = rnd(29)
+        put(core, 0, a)
+        assert core.gvml.get_element(0, 12345) == a[12345]
+        core.gvml.set_element(0, 0, 9999)
+        assert core.vr_read(0)[0] == 9999
+
+    def test_rsp_bounds_checked(self, core):
+        with pytest.raises(GVMLError):
+            core.gvml.get_element(0, VLEN)
+
+
+class TestSubgroupReductions:
+    def test_add_subgrp_full_reduction(self, core):
+        a = np.ones(VLEN, dtype=np.uint16)
+        put(core, 0, a)
+        core.gvml.add_subgrp_s16(1, 0, 512, 1)
+        out = core.vr_read(1).reshape(-1, 512)
+        assert (out[:, 0] == 512).all()
+        assert (out[:, 1:] == 0).all()
+
+    def test_add_subgrp_partial_reduction(self, core):
+        a = np.arange(VLEN, dtype=np.uint16) % 8
+        put(core, 0, a)
+        core.gvml.add_subgrp_s16(1, 0, 32, 8)
+        out = core.vr_read(1).reshape(-1, 32)
+        # 4 subgroups of [0..7] summed element-wise -> [0,4,8,...,28]
+        assert (out[:, :8] == np.arange(8) * 4).all()
+
+    def test_add_subgrp_signed_wraparound(self, core):
+        a = np.full(VLEN, 30000, dtype=np.uint16)
+        put(core, 0, a)
+        core.gvml.add_subgrp_s16(1, 0, 4, 1)
+        # 4 * 30000 = 120000 wraps to 120000 - 2*65536 = -11072.
+        assert u16_to_s16(core.vr_read(1))[0] == 120000 - 2 * 65536
+
+    def test_reduction_shape_validation(self, core):
+        with pytest.raises(GVMLError):
+            core.gvml.add_subgrp_s16(1, 0, 24, 1)  # 24 does not divide 32768
+        with pytest.raises(GVMLError):
+            core.gvml.add_subgrp_s16(1, 0, 32, 5)
+
+    def test_max_min_subgrp(self, core):
+        a = rnd(30)
+        put(core, 0, a)
+        core.gvml.max_subgrp_u16(1, 0, 4096, 1)
+        core.gvml.min_subgrp_u16(2, 0, 4096, 1)
+        grouped = a.reshape(-1, 4096)
+        assert (core.vr_read(1).reshape(-1, 4096)[:, 0] == grouped.max(1)).all()
+        assert (core.vr_read(2).reshape(-1, 4096)[:, 0] == grouped.min(1)).all()
+
+
+class TestTimingAccounting:
+    def test_table5_cost_plus_issue_overhead(self, core):
+        core.reset_trace()
+        core.gvml.add_u16(2, 0, 1)
+        assert core.cycles == pytest.approx(12 + VCU)
+
+    def test_count_folds_into_one_record(self, core):
+        core.reset_trace()
+        core.gvml.mul_u16(2, 0, 1, count=100)
+        assert core.cycles == pytest.approx((115 + VCU) * 100)
+        assert len(core.trace.records) == 1
+
+    def test_reduction_cost_uses_staged_ladder(self, core):
+        core.reset_trace()
+        core.gvml.add_subgrp_s16(1, 0, 1024, 1)
+        expected = simulated_sg_add_cycles(1024, 1) + VCU
+        assert core.cycles == pytest.approx(expected)
+
+    def test_timing_mode_charges_without_data(self):
+        dev = APUDevice(functional=False)
+        core = dev.core
+        core.gvml.add_u16(2, 0, 1, count=1000)
+        core.gvml.mul_s16(3, 2, 2, count=1000)
+        assert core.cycles == pytest.approx((12 + VCU + 201 + VCU) * 1000)
+        assert core.gvml.count_m(0) is None
+
+    def test_micro_instruction_counter_grows(self, core):
+        before = core.micro_instructions
+        core.gvml.add_u16(2, 0, 1, count=5)
+        core.gvml.add_subgrp_s16(1, 0, 1024, 1)
+        assert core.micro_instructions > before + 5

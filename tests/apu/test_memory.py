@@ -1,0 +1,152 @@
+"""Tests for the L4/L3/L2/L1 memory hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.apu.memory import (
+    AllocationError,
+    CPCache,
+    DeviceDRAM,
+    MemHandle,
+    MemoryError_,
+    Scratchpad,
+    VMRFile,
+)
+
+
+class TestDeviceDRAM:
+    def test_alloc_write_read_roundtrip(self):
+        dram = DeviceDRAM(capacity_bytes=1 << 20)
+        handle = dram.alloc(1024)
+        data = np.arange(512, dtype=np.uint16)
+        dram.write(handle, data)
+        assert (dram.read(handle, 1024, np.uint16) == data).all()
+
+    def test_handle_arithmetic_like_gdl(self):
+        dram = DeviceDRAM(capacity_bytes=1 << 20)
+        base = dram.alloc(2048)
+        dram.write(base, np.zeros(1024, dtype=np.uint16))
+        second = base + 1024
+        payload = np.full(512, 7, dtype=np.uint16)
+        dram.write(second, payload)
+        assert (dram.read(base + 1024, 1024, np.uint16) == payload).all()
+        assert (dram.read(base, 1024, np.uint16) == 0).all()
+
+    def test_handles_only_move_forward(self):
+        with pytest.raises(ValueError):
+            MemHandle(0) + (-4)
+
+    def test_alignment_rounds_up(self):
+        dram = DeviceDRAM(capacity_bytes=4096, alignment=512)
+        dram.alloc(1)
+        assert dram.allocated_bytes == 512
+
+    def test_capacity_enforced(self):
+        dram = DeviceDRAM(capacity_bytes=1024)
+        dram.alloc(512)
+        with pytest.raises(AllocationError):
+            dram.alloc(1024)
+
+    def test_free_returns_capacity(self):
+        dram = DeviceDRAM(capacity_bytes=1024)
+        handle = dram.alloc(1024)
+        dram.free(handle)
+        dram.alloc(1024)  # must succeed again
+
+    def test_double_free_rejected(self):
+        dram = DeviceDRAM(capacity_bytes=1024)
+        handle = dram.alloc(512)
+        dram.free(handle)
+        with pytest.raises(AllocationError):
+            dram.free(handle)
+
+    def test_overrun_rejected(self):
+        dram = DeviceDRAM(capacity_bytes=4096)
+        handle = dram.alloc(512)
+        with pytest.raises(MemoryError_):
+            dram.read(handle, 1024)
+
+    def test_dangling_handle_rejected(self):
+        dram = DeviceDRAM(capacity_bytes=4096)
+        handle = dram.alloc(512)
+        dram.free(handle)
+        with pytest.raises(MemoryError_):
+            dram.read(handle, 4)
+
+    def test_zero_size_alloc_rejected(self):
+        dram = DeviceDRAM(capacity_bytes=4096)
+        with pytest.raises(AllocationError):
+            dram.alloc(0)
+
+    def test_traffic_counters(self):
+        dram = DeviceDRAM(capacity_bytes=4096)
+        handle = dram.alloc(512)
+        dram.write(handle, np.zeros(256, dtype=np.uint8))
+        dram.read(handle, 128)
+        assert dram.bytes_written == 256
+        assert dram.bytes_read == 128
+
+
+class TestBoundedBuffers:
+    def test_l2_holds_exactly_one_vector(self):
+        l2 = Scratchpad()
+        vector = np.arange(32768, dtype=np.uint16)
+        l2.write(0, vector)
+        assert (l2.read(0, 65536, np.uint16) == vector).all()
+
+    def test_l2_overflow_rejected(self):
+        l2 = Scratchpad()
+        with pytest.raises(MemoryError_):
+            l2.write(2, np.zeros(32768, dtype=np.uint16))
+
+    def test_l3_capacity_is_1mb(self):
+        l3 = CPCache()
+        assert l3.capacity_bytes == 1 << 20
+        l3.write(0, np.zeros(1 << 20, dtype=np.uint8))
+        with pytest.raises(MemoryError_):
+            l3.write(1, np.zeros(1 << 20, dtype=np.uint8))
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(MemoryError_):
+            Scratchpad().read(-1, 4)
+
+
+class TestVMRFile:
+    def test_48_slots(self):
+        l1 = VMRFile()
+        assert l1.num_slots == 48
+
+    def test_store_load_roundtrip(self):
+        l1 = VMRFile()
+        vector = np.arange(32768, dtype=np.uint16)
+        l1.store(5, vector)
+        assert (l1.load(5) == vector).all()
+
+    def test_unwritten_slot_reads_zero(self):
+        assert (VMRFile().load(0) == 0).all()
+
+    def test_full_vector_granularity_enforced(self):
+        l1 = VMRFile()
+        with pytest.raises(MemoryError_):
+            l1.store(0, np.zeros(100, dtype=np.uint16))
+
+    def test_slot_bounds(self):
+        l1 = VMRFile()
+        with pytest.raises(MemoryError_):
+            l1.load(48)
+        with pytest.raises(MemoryError_):
+            l1.store(-1, np.zeros(32768, dtype=np.uint16))
+
+    def test_load_returns_copy(self):
+        l1 = VMRFile()
+        vector = np.zeros(32768, dtype=np.uint16)
+        l1.store(0, vector)
+        loaded = l1.load(0)
+        loaded[0] = 99
+        assert l1.load(0)[0] == 0
+
+    def test_access_counter(self):
+        l1 = VMRFile()
+        l1.store(0, np.zeros(32768, dtype=np.uint16))
+        l1.load(0)
+        assert l1.accesses == 2

@@ -1,0 +1,209 @@
+"""Bit-serial microcode routines validated against NumPy semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apu import microcode as mc
+from repro.apu.bitproc import BitProcessorArray, MicrocodeError
+
+COLS = 48
+
+u16_arrays = arrays(np.uint16, COLS, elements=st.integers(0, 65535))
+
+
+@pytest.fixture()
+def bank():
+    return BitProcessorArray(columns=COLS)
+
+
+def load_pair(bank, a, b):
+    bank.load_u16(0, a)
+    bank.load_u16(1, b)
+
+
+class TestBooleanOps:
+    @given(a=u16_arrays, b=u16_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_and_or_xor_not(self, a, b):
+        bank = BitProcessorArray(columns=COLS)
+        load_pair(bank, a, b)
+        mc.op_and(bank, 2, 0, 1)
+        assert (bank.read_u16(2) == (a & b)).all()
+        mc.op_or(bank, 3, 0, 1)
+        assert (bank.read_u16(3) == (a | b)).all()
+        mc.op_xor(bank, 4, 0, 1)
+        assert (bank.read_u16(4) == (a ^ b)).all()
+        mc.op_not(bank, 5, 0)
+        assert (bank.read_u16(5) == np.bitwise_not(a)).all()
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("value", [0, 1, 0xBEEF, 0xFFFF, 0x8000])
+    def test_broadcast_imm(self, bank, value):
+        mc.broadcast_imm(bank, 7, value)
+        assert (bank.read_u16(7) == value).all()
+
+    def test_broadcast_rejects_wide_immediate(self, bank):
+        with pytest.raises(MicrocodeError):
+            mc.broadcast_imm(bank, 7, 0x10000)
+
+
+class TestRippleCarryAdd:
+    @given(a=u16_arrays, b=u16_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_add_matches_numpy_wraparound(self, a, b):
+        bank = BitProcessorArray(columns=COLS)
+        load_pair(bank, a, b)
+        mc.add_u16(bank, 4, 0, 1, carry=22, scratch=23)
+        assert (bank.read_u16(4) == a + b).all()
+
+    def test_carry_propagates_full_width(self, bank):
+        a = np.full(COLS, 0xFFFF, dtype=np.uint16)
+        b = np.full(COLS, 1, dtype=np.uint16)
+        load_pair(bank, a, b)
+        mc.add_u16(bank, 4, 0, 1, carry=22, scratch=23)
+        assert (bank.read_u16(4) == 0).all()
+
+    def test_carry_in_adds_one(self, bank):
+        a = np.full(COLS, 10, dtype=np.uint16)
+        b = np.full(COLS, 20, dtype=np.uint16)
+        load_pair(bank, a, b)
+        mc.add_u16(bank, 4, 0, 1, carry=22, scratch=23, carry_in=1)
+        assert (bank.read_u16(4) == 31).all()
+
+    def test_bad_carry_in_rejected(self, bank):
+        with pytest.raises(MicrocodeError):
+            mc.add_u16(bank, 4, 0, 1, carry=22, scratch=23, carry_in=2)
+
+    def test_operand_aliasing_rejected(self, bank):
+        with pytest.raises(MicrocodeError):
+            mc.add_u16(bank, 4, 0, 1, carry=4, scratch=23)
+
+    @given(a=u16_arrays, b=u16_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_sub_matches_numpy(self, a, b):
+        bank = BitProcessorArray(columns=COLS)
+        load_pair(bank, a, b)
+        mc.sub_u16(bank, 5, 0, 1, carry=22, scratch=23, notb=21)
+        assert (bank.read_u16(5) == a - b).all()
+
+
+class TestComparisons:
+    @given(a=u16_arrays, b=u16_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_eq_via_gvl(self, a, b):
+        bank = BitProcessorArray(columns=COLS)
+        load_pair(bank, a, b)
+        mc.eq_16(bank, 6, 0, 1, scratch=20)
+        assert (bank.read_u16(6) == (a == b).astype(np.uint16)).all()
+
+    def test_eq_with_self_is_all_ones(self, bank):
+        values = np.arange(COLS, dtype=np.uint16)
+        bank.load_u16(0, values)
+        bank.load_u16(1, values)
+        mc.eq_16(bank, 6, 0, 1, scratch=20)
+        assert (bank.read_u16(6) == 1).all()
+
+    @given(a=u16_arrays, b=u16_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_ge_unsigned(self, a, b):
+        bank = BitProcessorArray(columns=COLS)
+        load_pair(bank, a, b)
+        mc.ge_u16(bank, 9, 0, 1, carry=22, scratch=23, notb=21)
+        assert (bank.read_u16(9) == (a >= b).astype(np.uint16)).all()
+
+    @given(a=u16_arrays, b=u16_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_gt_unsigned(self, a, b):
+        bank = BitProcessorArray(columns=COLS)
+        load_pair(bank, a, b)
+        mc.gt_u16(bank, 10, 0, 1, carry=22, scratch=23, notb=21, eq_scratch=19)
+        assert (bank.read_u16(10) == (a > b).astype(np.uint16)).all()
+
+
+class TestBitShifts:
+    @pytest.mark.parametrize("k", [0, 1, 3, 8, 15])
+    def test_shift_left(self, bank, k):
+        values = np.arange(COLS, dtype=np.uint16) * 1021
+        bank.load_u16(0, values)
+        mc.shift_left_bits(bank, 11, 0, k)
+        assert (bank.read_u16(11) == (values << k)).all()
+
+    @pytest.mark.parametrize("k", [0, 1, 5, 15])
+    def test_shift_right(self, bank, k):
+        values = np.arange(COLS, dtype=np.uint16) * 1021
+        bank.load_u16(0, values)
+        mc.shift_right_bits(bank, 12, 0, k)
+        assert (bank.read_u16(12) == (values >> k)).all()
+
+    def test_negative_shift_rejected(self, bank):
+        with pytest.raises(MicrocodeError):
+            mc.shift_left_bits(bank, 11, 0, -1)
+
+
+class TestMicroOpBudget:
+    def test_bit_parallel_logic_is_two_micro_ops(self, bank):
+        before = bank.micro_ops
+        mc.op_and(bank, 2, 0, 1)
+        assert bank.micro_ops - before == 2
+
+    def test_bit_serial_add_costs_order_of_magnitude_more(self, bank):
+        before = bank.micro_ops
+        mc.add_u16(bank, 4, 0, 1, carry=22, scratch=23)
+        serial_cost = bank.micro_ops - before
+        # 16 bit-slices with carry propagation: ~10x the parallel ops.
+        assert serial_cost > 20
+
+
+class TestBitSerialMultiplication:
+    def test_broadcast_bit_to_all_slices(self, bank):
+        values = np.arange(COLS, dtype=np.uint16)
+        bank.load_u16(1, values)
+        mc.broadcast_bit_to_all_slices(bank, 2, 1, 3)
+        expect = np.where((values >> 3) & 1, 0xFFFF, 0).astype(np.uint16)
+        assert (bank.read_u16(2) == expect).all()
+
+    def test_broadcast_bit_bounds(self, bank):
+        with pytest.raises(MicrocodeError):
+            mc.broadcast_bit_to_all_slices(bank, 2, 1, 16)
+
+    @given(a=u16_arrays, b=u16_arrays)
+    @settings(max_examples=8, deadline=None)
+    def test_mul_matches_numpy_wraparound(self, a, b):
+        bank = BitProcessorArray(columns=COLS)
+        load_pair(bank, a, b)
+        mc.mul_u16(bank, 4, 0, 1, acc=5, partial=6, colmask=7,
+                   carry=22, scratch=23)
+        assert (bank.read_u16(4) == a * b).all()
+
+    def test_mul_by_zero_and_one(self, bank):
+        values = np.arange(COLS, dtype=np.uint16) * 997
+        bank.load_u16(0, values)
+        bank.load_u16(1, np.zeros(COLS, dtype=np.uint16))
+        mc.mul_u16(bank, 4, 0, 1, acc=5, partial=6, colmask=7,
+                   carry=22, scratch=23)
+        assert (bank.read_u16(4) == 0).all()
+        bank.load_u16(1, np.ones(COLS, dtype=np.uint16))
+        mc.mul_u16(bank, 4, 0, 1, acc=5, partial=6, colmask=7,
+                   carry=22, scratch=23)
+        assert (bank.read_u16(4) == values).all()
+
+    def test_mul_costs_an_order_more_than_add(self, bank):
+        """The Table 5 ratio (115 vs 12 cycles) mirrors the micro-op
+        ratio of the underlying shift-add ladder."""
+        before = bank.micro_ops
+        mc.add_u16(bank, 4, 0, 1, carry=22, scratch=23)
+        add_ops = bank.micro_ops - before
+        before = bank.micro_ops
+        mc.mul_u16(bank, 5, 0, 1, acc=6, partial=7, colmask=8,
+                   carry=22, scratch=23)
+        mul_ops = bank.micro_ops - before
+        assert mul_ops > 9 * add_ops
+
+    def test_mul_operand_aliasing_rejected(self, bank):
+        with pytest.raises(MicrocodeError):
+            mc.mul_u16(bank, 4, 0, 1, acc=4, partial=6, colmask=7,
+                       carry=22, scratch=23)

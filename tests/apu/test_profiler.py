@@ -1,0 +1,104 @@
+"""Tests for microbenchmark-driven parameter derivation."""
+
+import pytest
+
+from repro.apu.profiler import DeviceProfiler, linear_fit
+from repro.core.params import DEFAULT_PARAMS
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        xs = [1, 2, 3, 4]
+        ys = [7.0 + 3.0 * x for x in xs]
+        slope, intercept = linear_fit(xs, ys)
+        assert slope == pytest.approx(3.0)
+        assert intercept == pytest.approx(7.0)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [3])
+
+
+class TestProfiledMovement:
+    @pytest.fixture(scope="class")
+    def movement(self):
+        return DeviceProfiler().profile_movement()
+
+    def test_dma_slopes_recovered_within_effects(self, movement):
+        """Profiling folds in refresh/arbitration, so slopes sit a few
+        percent above the clean Table 4 values -- as they would on a
+        device whose refresh the model does not separate out."""
+        ref = DEFAULT_PARAMS.movement
+        assert movement.dma_l4_l2_per_byte == pytest.approx(
+            ref.dma_l4_l2_per_byte, rel=0.05)
+        assert movement.dma_l4_l2_per_byte >= ref.dma_l4_l2_per_byte
+        assert movement.dma_l4_l3_per_byte == pytest.approx(
+            ref.dma_l4_l3_per_byte, rel=0.05)
+
+    def test_pio_rates_exact(self, movement):
+        """PIO has no second-order effects: slopes recover exactly."""
+        ref = DEFAULT_PARAMS.movement
+        assert movement.pio_ld_per_elem == pytest.approx(ref.pio_ld_per_elem)
+        assert movement.pio_st_per_elem == pytest.approx(ref.pio_st_per_elem)
+
+    def test_lookup_scaling_recovered(self, movement):
+        ref = DEFAULT_PARAMS.movement
+        assert movement.lookup_per_entry == pytest.approx(
+            ref.lookup_per_entry, rel=0.05)
+
+    def test_fixed_vector_transfers(self, movement):
+        ref = DEFAULT_PARAMS.movement
+        assert movement.dma_l2_l1 == pytest.approx(ref.dma_l2_l1, rel=0.01)
+        assert movement.dma_l4_l1 == pytest.approx(ref.dma_l4_l1, rel=0.06)
+        assert movement.dma_l1_l4 == pytest.approx(ref.dma_l1_l4, rel=0.06)
+
+    def test_intra_vr_asymmetry_preserved(self, movement):
+        """The derived table keeps the paper's key cost relation."""
+        assert movement.shift_e_per_elem > 10 * movement.cpy
+
+
+class TestProfiledCompute:
+    @pytest.fixture(scope="class")
+    def compute(self):
+        return DeviceProfiler().profile_compute()
+
+    def test_table5_recovered_exactly(self, compute):
+        """Compute ops carry only the issue overhead, which the
+        profiler subtracts: the Table 5 values come back exactly."""
+        ref = DEFAULT_PARAMS.compute
+        for op in ("add_u16", "mul_s16", "div_u16", "popcnt_16",
+                   "exp_f16", "count_m"):
+            assert compute.cost(op) == pytest.approx(ref.cost(op)), op
+
+    def test_cost_ordering_preserved(self, compute):
+        assert compute.or_16 < compute.add_u16 < compute.mul_u16 \
+            < compute.div_u16
+
+
+class TestDerivedParams:
+    def test_derive_params_is_usable_by_the_framework(self):
+        """The profiled bundle drops into the estimator unchanged."""
+        from repro.core import LatencyEstimator, api
+
+        derived = DeviceProfiler().derive_params()
+        est = LatencyEstimator(derived)
+        with est.ctx():
+            api.gvml_mul_u16(count=10)
+            api.fast_dma_l4_to_l2(16384)
+        assert est.total_cycles > 0
+
+    def test_validation_report_small_errors(self):
+        report = DeviceProfiler().validation_report()
+        # Rates/slopes recover within 6% (the framework-accuracy
+        # ballpark); intercepts absorb the sub-linear descriptor
+        # arbitration the linear model cannot express, so they get a
+        # wider 15% budget -- the same structural error a regression
+        # against real hardware shows.
+        offenders = {}
+        for name, error in report.items():
+            budget = 0.15 if name.endswith("_init") else 0.06
+            if abs(error) > budget:
+                offenders[name] = error
+        assert not offenders, offenders

@@ -1,0 +1,122 @@
+"""Tests for the IVF-flat approximate index and the recall experiment."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.anns import IndexIVFFlat, ivf_recall_at_k
+from repro.baselines.faiss_like import IndexFlatIP
+
+
+@pytest.fixture(scope="module")
+def clustered_corpus():
+    """Vectors with genuine cluster structure so IVF has something to learn."""
+    rng = np.random.default_rng(0)
+    centers = rng.normal(scale=4.0, size=(16, 24))
+    vectors = np.vstack([
+        center + rng.normal(scale=0.4, size=(60, 24)) for center in centers
+    ]).astype(np.float32)
+    return vectors
+
+
+@pytest.fixture(scope="module")
+def trained(clustered_corpus):
+    index = IndexIVFFlat(d=24, nlist=16, nprobe=4, seed=1)
+    index.train(clustered_corpus)
+    index.add(clustered_corpus)
+    return index
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IndexIVFFlat(d=0)
+        with pytest.raises(ValueError):
+            IndexIVFFlat(d=8, nlist=4, nprobe=5)
+
+    def test_add_before_train_rejected(self):
+        index = IndexIVFFlat(d=8)
+        with pytest.raises(RuntimeError):
+            index.add(np.zeros((4, 8), dtype=np.float32))
+
+    def test_train_needs_enough_samples(self):
+        index = IndexIVFFlat(d=8, nlist=64)
+        with pytest.raises(ValueError):
+            index.train(np.zeros((10, 8), dtype=np.float32))
+
+    def test_training_is_deterministic(self, clustered_corpus):
+        a = IndexIVFFlat(d=24, nlist=8, seed=7)
+        b = IndexIVFFlat(d=24, nlist=8, seed=7)
+        a.train(clustered_corpus)
+        b.train(clustered_corpus)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_every_vector_lands_in_one_list(self, trained, clustered_corpus):
+        total = sum(len(lst) for lst in trained._lists)
+        assert total == len(clustered_corpus)
+        assert trained.ntotal == len(clustered_corpus)
+
+
+class TestSearch:
+    def test_full_probe_equals_exact(self, clustered_corpus):
+        index = IndexIVFFlat(d=24, nlist=8, nprobe=8, seed=2)
+        index.train(clustered_corpus)
+        index.add(clustered_corpus)
+        exact = IndexFlatIP(24)
+        exact.add(clustered_corpus)
+        queries = clustered_corpus[::97][:5]
+        recall = ivf_recall_at_k(index, exact, queries, k=5)
+        assert recall == 1.0
+
+    def test_top1_matches_exact_inside_probed_cluster(self, trained,
+                                                      clustered_corpus):
+        # Under inner product the best match need not be the query
+        # itself (longer vectors win); compare against the exact index.
+        exact = IndexFlatIP(24)
+        exact.add(clustered_corpus)
+        _, approx_ids = trained.search(clustered_corpus[42], 1)
+        _, exact_ids = exact.search(clustered_corpus[42], 1)
+        assert approx_ids[0, 0] == exact_ids[0, 0]
+
+    def test_fewer_probes_lower_or_equal_recall(self, clustered_corpus):
+        exact = IndexFlatIP(24)
+        exact.add(clustered_corpus)
+        rng = np.random.default_rng(3)
+        queries = (clustered_corpus[rng.integers(0, 900, 20)]
+                   + rng.normal(scale=0.3, size=(20, 24)).astype(np.float32))
+        recalls = []
+        for nprobe in (1, 4, 16):
+            index = IndexIVFFlat(d=24, nlist=16, nprobe=nprobe, seed=4)
+            index.train(clustered_corpus)
+            index.add(clustered_corpus)
+            recalls.append(ivf_recall_at_k(index, exact, queries, k=5))
+        assert recalls[0] <= recalls[1] <= recalls[2]
+        assert recalls[2] > 0.9
+        # With one probe on hard queries, recall visibly degrades --
+        # the accuracy loss the paper's ENNS argument rests on.
+        assert recalls[0] < 1.0
+
+    def test_scanned_fraction_tracks_nprobe(self, clustered_corpus):
+        low = IndexIVFFlat(d=24, nlist=16, nprobe=1, seed=5)
+        low.train(clustered_corpus)
+        low.add(clustered_corpus)
+        high = IndexIVFFlat(d=24, nlist=16, nprobe=8, seed=5)
+        high.train(clustered_corpus)
+        high.add(clustered_corpus)
+        assert 0 < low.scanned_fraction() < high.scanned_fraction() <= 1.0
+
+    def test_latency_model_cheaper_than_exact(self, trained):
+        from repro.baselines.cpu import CPUModel
+
+        model = CPUModel()
+        embedding_bytes = 2.5e9
+        approx = trained.cpu_latency_seconds(embedding_bytes, model)
+        exact = model.retrieval_seconds(embedding_bytes)
+        assert approx < exact
+
+    def test_invalid_k(self, trained, clustered_corpus):
+        with pytest.raises(ValueError):
+            trained.search(clustered_corpus[0], 0)
+
+    def test_search_untrained_rejected(self):
+        with pytest.raises(RuntimeError):
+            IndexIVFFlat(d=8).search(np.zeros(8, dtype=np.float32), 1)

@@ -1,0 +1,117 @@
+"""Tests for the Xeon and A6000 latency/energy models."""
+
+import pytest
+
+from repro.baselines.cpu import CPUModel, PHOENIX_CPU, XEON_6230R
+from repro.baselines.gpu import GPUModel, RTX_A6000
+
+
+@pytest.fixture()
+def cpu():
+    return CPUModel()
+
+
+@pytest.fixture()
+def gpu():
+    return GPUModel()
+
+
+class TestPhoenixCPU:
+    def test_all_eight_apps_calibrated(self):
+        assert set(PHOENIX_CPU) == {
+            "histogram", "linear_regression", "matrix_multiply", "kmeans",
+            "reverse_index", "string_match", "word_count", "pca",
+        }
+
+    def test_instruction_counts_match_table6(self, cpu):
+        assert cpu.phoenix_instruction_count("histogram") == 4.8e9
+        assert cpu.phoenix_instruction_count("string_match") == 101.8e9
+        assert cpu.phoenix_instruction_count("kmeans") == 0.4e9
+
+    def test_ipc_physically_plausible(self):
+        for app, cal in PHOENIX_CPU.items():
+            assert 0.3 <= cal.ipc <= 5.0, app  # <= ~5 uops/cycle sustained
+
+    def test_single_thread_latency_from_ipc(self, cpu):
+        # histogram: 4.8e9 / (0.93 * 2.1 GHz) ~ 2.46 s
+        assert cpu.phoenix_seconds("histogram") == pytest.approx(2.458, rel=0.01)
+
+    def test_multithread_speedup_bounded(self, cpu):
+        for app, cal in PHOENIX_CPU.items():
+            single = cpu.phoenix_seconds(app, threads=1)
+            multi = cpu.phoenix_seconds(app, threads=16)
+            assert single / multi == pytest.approx(cal.mt_scaling)
+            assert 1.0 < cal.mt_scaling <= 16.0
+
+    def test_intermediate_threads_interpolate(self, cpu):
+        t1 = cpu.phoenix_seconds("kmeans", 1)
+        t4 = cpu.phoenix_seconds("kmeans", 4)
+        t16 = cpu.phoenix_seconds("kmeans", 16)
+        assert t16 < t4 < t1
+
+    def test_memory_bound_apps_scale_worst(self):
+        assert PHOENIX_CPU["string_match"].mt_scaling < \
+            PHOENIX_CPU["kmeans"].mt_scaling
+
+    def test_unknown_app_raises(self, cpu):
+        with pytest.raises(KeyError):
+            cpu.phoenix_seconds("raytracer")
+
+
+class TestCPURetrieval:
+    def test_calibration_points(self, cpu):
+        """CPU ENNS latencies implied by the paper's speedup claims."""
+        # 10/50/200 GB corpora -> 126/629/2517 MB of fp16 embeddings.
+        assert cpu.retrieval_seconds(0.1258e9) * 1e3 == pytest.approx(24.6, rel=0.15)
+        assert cpu.retrieval_seconds(0.6291e9) * 1e3 == pytest.approx(98.9, rel=0.15)
+        assert cpu.retrieval_seconds(2.5166e9) * 1e3 == pytest.approx(555.7, rel=0.15)
+
+    def test_bandwidth_decays_beyond_l3_scale(self, cpu):
+        assert cpu.flat_scan_bandwidth(0.5e9) > cpu.flat_scan_bandwidth(5e9)
+
+    def test_bandwidth_flat_below_1gb(self, cpu):
+        assert cpu.flat_scan_bandwidth(0.2e9) == cpu.flat_scan_bandwidth(0.8e9)
+
+    def test_invalid_working_set(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.flat_scan_bandwidth(0)
+
+    def test_energy_positive(self, cpu):
+        assert cpu.retrieval_energy_j(1e9) > 0
+
+    def test_spec_matches_paper(self):
+        assert XEON_6230R.frequency_hz == 2.1e9
+        assert XEON_6230R.l3_bytes == pytest.approx(71.5e6)
+
+
+class TestGPU:
+    def test_retrieval_faster_than_cpu(self, cpu, gpu):
+        nbytes, chunks = 2.5166e9, 3_276_800
+        assert gpu.retrieval_seconds(nbytes, chunks) < \
+            cpu.retrieval_seconds(nbytes) / 10
+
+    def test_retrieval_scales_with_corpus(self, gpu):
+        small = gpu.retrieval_seconds(0.1258e9, 163_840)
+        large = gpu.retrieval_seconds(2.5166e9, 3_276_800)
+        assert large > small
+
+    def test_corpus_must_fit_memory(self, gpu):
+        with pytest.raises(ValueError):
+            gpu.retrieval_seconds(60e9, 10_000_000)
+        with pytest.raises(ValueError):
+            gpu.retrieval_seconds(0, 0)
+
+    def test_energy_window_exceeds_kernel(self, gpu):
+        nbytes, chunks = 2.5166e9, 3_276_800
+        assert gpu.measurement_window_seconds(nbytes, chunks) > \
+            gpu.retrieval_seconds(nbytes, chunks)
+
+    def test_energy_grows_superlinearly_with_corpus(self, gpu):
+        e10 = gpu.retrieval_energy_j(0.1258e9, 163_840)
+        e200 = gpu.retrieval_energy_j(2.5166e9, 3_276_800)
+        # 20x the corpus -> much more than 20x the measured energy.
+        assert e200 > 20 * e10
+
+    def test_spec_matches_paper_gpu(self):
+        assert RTX_A6000.memory_bandwidth == 768e9
+        assert RTX_A6000.memory_bytes == 48 * 1024 ** 3

@@ -1,0 +1,112 @@
+"""Tests for the FAISS-like flat index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.faiss_like import IndexFlatIP, IndexFlatL2
+
+
+@pytest.fixture()
+def corpus():
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(500, 32)).astype(np.float32)
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors
+
+
+class TestIndexFlatIP:
+    def test_add_and_ntotal(self, corpus):
+        index = IndexFlatIP(32)
+        assert index.ntotal == 0
+        index.add(corpus)
+        assert index.ntotal == 500
+
+    def test_dimension_checked(self, corpus):
+        index = IndexFlatIP(16)
+        with pytest.raises(ValueError):
+            index.add(corpus)
+        index2 = IndexFlatIP(32)
+        index2.add(corpus)
+        with pytest.raises(ValueError):
+            index2.search(np.zeros(16, dtype=np.float32), 1)
+
+    def test_search_matches_bruteforce(self, corpus):
+        index = IndexFlatIP(32)
+        index.add(corpus)
+        rng = np.random.default_rng(1)
+        queries = rng.normal(size=(7, 32)).astype(np.float32)
+        scores, indices = index.search(queries, 5)
+        reference = queries @ corpus.T
+        for qi in range(7):
+            expect = np.argsort(-reference[qi])[:5]
+            assert set(indices[qi]) == set(expect)
+            assert (np.diff(scores[qi]) <= 1e-6).all()  # descending
+
+    def test_self_query_returns_self_first(self, corpus):
+        index = IndexFlatIP(32)
+        index.add(corpus)
+        _, indices = index.search(corpus[42], 1)
+        assert indices[0, 0] == 42
+
+    def test_k_larger_than_index_pads(self):
+        index = IndexFlatIP(4)
+        index.add(np.eye(4, dtype=np.float32)[:2])
+        scores, indices = index.search(np.ones(4, dtype=np.float32), 5)
+        assert (indices[0, 2:] == -1).all()
+        assert np.isneginf(scores[0, 2:]).all()
+
+    def test_empty_index_search(self):
+        index = IndexFlatIP(4)
+        scores, indices = index.search(np.ones(4, dtype=np.float32), 3)
+        assert (indices == -1).all()
+
+    def test_reset(self, corpus):
+        index = IndexFlatIP(32)
+        index.add(corpus)
+        index.reset()
+        assert index.ntotal == 0
+
+    def test_reconstruct(self, corpus):
+        index = IndexFlatIP(32)
+        index.add(corpus)
+        assert np.allclose(index.reconstruct(3), corpus[3])
+
+    def test_invalid_k(self, corpus):
+        index = IndexFlatIP(32)
+        index.add(corpus)
+        with pytest.raises(ValueError):
+            index.search(corpus[0], 0)
+
+    @given(seed=st.integers(0, 2 ** 16), k=st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_topk_property(self, seed, k):
+        """Every returned score >= every non-returned score."""
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(50, 8)).astype(np.float32)
+        index = IndexFlatIP(8)
+        index.add(vectors)
+        query = rng.normal(size=8).astype(np.float32)
+        scores, indices = index.search(query, k)
+        all_scores = vectors @ query
+        excluded = np.setdiff1d(np.arange(50), indices[0])
+        if excluded.size:
+            assert scores[0].min() >= all_scores[excluded].max() - 1e-5
+
+
+class TestIndexFlatL2:
+    def test_l2_search_matches_bruteforce(self, corpus):
+        index = IndexFlatL2(32)
+        index.add(corpus)
+        query = corpus[10] + 0.01
+        distances, indices = index.search(query, 3)
+        reference = ((corpus - query) ** 2).sum(1)
+        assert indices[0, 0] == np.argmin(reference)
+        assert (np.diff(distances[0]) >= -1e-5).all()  # ascending
+
+    def test_empty_l2(self):
+        index = IndexFlatL2(4)
+        distances, indices = index.search(np.ones(4, dtype=np.float32), 2)
+        assert (indices == -1).all()
+        assert np.isposinf(distances).all()

@@ -1,0 +1,129 @@
+"""Tests for the Fig. 6 GVML-mirroring API function library."""
+
+import pytest
+
+from repro.core import api
+from repro.core.estimator import LatencyEstimator
+from repro.core.params import DEFAULT_PARAMS
+
+
+@pytest.fixture()
+def est():
+    estimator = LatencyEstimator()
+    with estimator.ctx():
+        yield estimator
+
+
+M = DEFAULT_PARAMS.movement
+C = DEFAULT_PARAMS.compute
+
+
+class TestDataMovementAPI:
+    def test_dma_l4_l2_uses_table4_model(self, est):
+        api.fast_dma_l4_to_l2(16384)
+        assert est.total_cycles == pytest.approx(0.63 * 16384 + 548)
+
+    def test_dma_l4_l3_uses_table4_model(self, est):
+        api.direct_dma_l4_to_l3(1 << 20)
+        assert est.total_cycles == pytest.approx(0.19 * (1 << 20) + 41164)
+
+    def test_full_vector_dmas(self, est):
+        api.direct_dma_l2_to_l1_32k()
+        api.direct_dma_l4_to_l1_32k()
+        api.direct_dma_l1_to_l4_32k()
+        assert est.total_cycles == pytest.approx(386 + 22272 + 22186)
+
+    def test_pio_per_element(self, est):
+        api.pio_ld(100)
+        api.pio_st(100)
+        assert est.total_cycles == pytest.approx(57 * 100 + 61 * 100)
+
+    def test_lookup_scales_with_table_entries(self, est):
+        api.lookup_16(18)
+        first = est.total_cycles
+        est.reset()
+        api.lookup_16(3)
+        # Broadcast-friendly layouts shrink the table and thus the cost.
+        assert est.total_cycles < first
+
+    def test_vr_l1_load_store(self, est):
+        api.gvml_load_16()
+        api.gvml_store_16()
+        assert est.total_cycles == pytest.approx(58.0)
+
+    def test_load_store_32_cost_two_vectors(self, est):
+        api.gvml_load_32()
+        api.gvml_store_32()
+        assert est.total_cycles == pytest.approx(116.0)
+
+    def test_subgroup_copy_constant_time(self, est):
+        api.gvml_cpy_subgrp_16_grp(8192, 1024)
+        small = est.total_cycles
+        est.reset()
+        api.gvml_cpy_subgrp_16_grp(64, 16)
+        assert est.total_cycles == pytest.approx(small)
+
+    def test_shift_generic_vs_quad(self, est):
+        api.gvml_shift_e(5)
+        generic = est.total_cycles
+        est.reset()
+        api.gvml_shift_e4(5)  # shift by 20 elements on the fast path
+        assert est.total_cycles < generic
+
+    def test_count_folds_loops(self, est):
+        api.gvml_cpy_16(count=10)
+        assert est.total_cycles == pytest.approx(10 * M.cpy)
+        assert len(est.records) == 1
+
+
+class TestComputeAPI:
+    @pytest.mark.parametrize(
+        "fn, cost",
+        [
+            (api.gvml_and_16, C.and_16),
+            (api.gvml_or_16, C.or_16),
+            (api.gvml_not_16, C.not_16),
+            (api.gvml_xor_16, C.xor_16),
+            (api.gvml_add_u16, C.add_u16),
+            (api.gvml_add_s16, C.add_s16),
+            (api.gvml_sub_u16, C.sub_u16),
+            (api.gvml_sub_s16, C.sub_s16),
+            (api.gvml_popcnt_16, C.popcnt_16),
+            (api.gvml_mul_u16, C.mul_u16),
+            (api.gvml_mul_s16, C.mul_s16),
+            (api.gvml_mul_f16, C.mul_f16),
+            (api.gvml_div_u16, C.div_u16),
+            (api.gvml_div_s16, C.div_s16),
+            (api.gvml_eq_16, C.eq_16),
+            (api.gvml_gt_u16, C.gt_u16),
+            (api.gvml_lt_u16, C.lt_u16),
+            (api.gvml_lt_gf16, C.lt_gf16),
+            (api.gvml_ge_u16, C.ge_u16),
+            (api.gvml_le_u16, C.le_u16),
+            (api.gvml_recip_u16, C.recip_u16),
+            (api.gvml_exp_f16, C.exp_f16),
+            (api.gvml_sin_fx, C.sin_fx),
+            (api.gvml_cos_fx, C.cos_fx),
+            (api.gvml_count_m, C.count_m),
+        ],
+    )
+    def test_table5_costs(self, est, fn, cost):
+        fn()
+        assert est.total_cycles == pytest.approx(cost)
+
+    def test_shift_immediates_cost_ashift(self, est):
+        api.gvml_sr_imm_16()
+        api.gvml_sl_imm_16()
+        assert est.total_cycles == pytest.approx(2 * C.ashift)
+
+    def test_subgroup_add_uses_eq1(self, est):
+        api.gvml_add_subgrp_s16(8192, 1024)
+        expected = DEFAULT_PARAMS.reduction.sg_add(8192, 1024)
+        assert est.total_cycles == pytest.approx(expected)
+
+    def test_full_reduction_much_costlier_than_elementwise(self, est):
+        api.gvml_add_subgrp_s16(32768, 1)
+        reduction = est.total_cycles
+        est.reset()
+        api.gvml_add_s16()
+        assert reduction > 100 * est.total_cycles

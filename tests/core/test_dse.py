@@ -1,0 +1,99 @@
+"""Tests for the design-space exploration helpers."""
+
+import pytest
+
+from repro.core import api
+from repro.core.dse import DesignSpaceExplorer, evolve_nested
+from repro.core.estimator import LatencyEstimator
+from repro.core.params import DEFAULT_PARAMS
+
+
+def lookup_bound_workload(params):
+    """A workload dominated by a 1000-entry lookup, plus one add."""
+    est = LatencyEstimator(params)
+    with est.ctx():
+        api.lookup_16(1000, count=100)
+        api.gvml_add_u16(count=100)
+    return est.report_latency()
+
+
+def compute_bound_workload(params):
+    est = LatencyEstimator(params)
+    with est.ctx():
+        api.gvml_mul_u16(count=10_000)
+    return est.report_latency()
+
+
+class TestEvolveNested:
+    def test_top_level_field(self):
+        p = evolve_nested(DEFAULT_PARAMS, "clock_hz", 1e9)
+        assert p.clock_hz == 1e9
+
+    def test_nested_field(self):
+        p = evolve_nested(DEFAULT_PARAMS, "movement.lookup_per_entry", 3.0)
+        assert p.movement.lookup_per_entry == 3.0
+        assert DEFAULT_PARAMS.movement.lookup_per_entry == 7.15
+
+    def test_nested_compute_field(self):
+        p = evolve_nested(DEFAULT_PARAMS, "compute.mul_u16", 50.0)
+        assert p.compute.mul_u16 == 50.0
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(AttributeError):
+            evolve_nested(DEFAULT_PARAMS, "movement.nonexistent", 1.0)
+
+    def test_non_dataclass_path_raises(self):
+        with pytest.raises(AttributeError):
+            evolve_nested(DEFAULT_PARAMS, "clock_hz.nested", 1.0)
+
+
+class TestSweeps:
+    def test_sweep_reports_baseline_and_points(self):
+        explorer = DesignSpaceExplorer(lookup_bound_workload)
+        result = explorer.sweep("movement.lookup_per_entry", [3.5, 7.15, 14.3])
+        assert result.baseline_value == 7.15
+        assert len(result.points) == 3
+        # Halving the lookup slope must speed the workload up.
+        halved = result.points[0]
+        assert halved.speedup_vs_baseline > 1.2
+
+    def test_best_point_is_lowest_latency(self):
+        explorer = DesignSpaceExplorer(lookup_bound_workload)
+        result = explorer.sweep("movement.lookup_per_entry", [14.3, 3.5, 7.15])
+        assert result.best.value == 3.5
+
+    def test_sensitivity_high_for_bottleneck_parameter(self):
+        explorer = DesignSpaceExplorer(lookup_bound_workload)
+        result = explorer.sweep("movement.lookup_per_entry", [3.575, 7.15, 14.3])
+        # Lookup dominates this workload, so latency ~ parameter.
+        assert result.sensitivity() > 0.8
+
+    def test_sensitivity_zero_for_off_path_parameter(self):
+        explorer = DesignSpaceExplorer(compute_bound_workload)
+        result = explorer.sweep("movement.lookup_per_entry", [3.575, 7.15, 14.3])
+        assert result.sensitivity() == pytest.approx(0.0, abs=1e-9)
+
+    def test_clock_sweep_scales_everything(self):
+        explorer = DesignSpaceExplorer(compute_bound_workload)
+        result = explorer.sweep("clock_hz", [250e6, 500e6, 1e9])
+        latencies = {p.value: p.latency_us for p in result.points}
+        assert latencies[250e6] == pytest.approx(2 * latencies[500e6])
+        assert latencies[1e9] == pytest.approx(latencies[500e6] / 2)
+
+    def test_sensitivity_report_runs_multiple_sweeps(self):
+        explorer = DesignSpaceExplorer(lookup_bound_workload)
+        report = explorer.sensitivity_report(
+            {
+                "movement.lookup_per_entry": [3.575, 7.15],
+                "compute.add_u16": [6.0, 12.0],
+            }
+        )
+        assert set(report) == {"movement.lookup_per_entry", "compute.add_u16"}
+        assert report["movement.lookup_per_entry"].sensitivity() > report[
+            "compute.add_u16"
+        ].sensitivity()
+
+    def test_negative_latency_model_rejected(self):
+        explorer = DesignSpaceExplorer(lambda p: -1.0)
+        with pytest.raises(ValueError):
+            explorer.evaluate(DEFAULT_PARAMS)

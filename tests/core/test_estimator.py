@@ -1,0 +1,165 @@
+"""Unit tests for the LatencyEstimator (Fig. 6 framework)."""
+
+import pytest
+
+from repro.core import api
+from repro.core.estimator import LatencyEstimator, current_estimator
+from repro.core.params import DEFAULT_PARAMS
+
+
+class TestRecording:
+    def test_record_accumulates_cycles(self):
+        est = LatencyEstimator()
+        est.record("op_a", 100.0)
+        est.record("op_b", 50.0, count=4)
+        assert est.total_cycles == pytest.approx(300.0)
+
+    def test_report_latency_in_microseconds(self):
+        est = LatencyEstimator()
+        est.record("op", 500.0)  # 500 cycles @ 500 MHz = 1 us
+        assert est.report_latency() == pytest.approx(1.0)
+        assert est.report_latency_ms() == pytest.approx(1e-3)
+
+    def test_negative_cost_rejected(self):
+        est = LatencyEstimator()
+        with pytest.raises(ValueError):
+            est.record("bad", -1.0)
+        with pytest.raises(ValueError):
+            est.record("bad", 1.0, count=-2)
+
+    def test_reset_clears_history(self):
+        est = LatencyEstimator()
+        est.record("op", 10.0)
+        est.reset()
+        assert est.total_cycles == 0
+        assert est.records == []
+
+    def test_op_count_sums_repeats(self):
+        est = LatencyEstimator()
+        est.record("a", 1.0, count=3)
+        est.record("b", 1.0)
+        assert est.op_count() == 4
+
+
+class TestContext:
+    def test_ctx_activates_module_api(self):
+        est = LatencyEstimator()
+        with est.ctx():
+            assert current_estimator() is est
+            api.gvml_add_u16()
+        assert est.total_cycles == pytest.approx(DEFAULT_PARAMS.compute.add_u16)
+
+    def test_api_without_ctx_raises(self):
+        with pytest.raises(RuntimeError):
+            api.gvml_add_u16()
+
+    def test_nested_ctx_restores_previous(self):
+        outer, inner = LatencyEstimator(), LatencyEstimator()
+        with outer.ctx():
+            with inner.ctx():
+                api.gvml_xor_16()
+            api.gvml_xor_16()
+        assert inner.total_cycles == pytest.approx(12.0)
+        assert outer.total_cycles == pytest.approx(12.0)
+
+
+class TestSections:
+    def test_breakdown_by_section(self):
+        est = LatencyEstimator()
+        with est.section("load"):
+            est.record("dma", 100.0)
+        with est.section("compute"):
+            est.record("add", 12.0, count=2)
+        est.record("misc", 5.0)
+        breakdown = est.breakdown_by_section()
+        assert breakdown["load"] == pytest.approx(100.0)
+        assert breakdown["compute"] == pytest.approx(24.0)
+        assert breakdown[""] == pytest.approx(5.0)
+
+    def test_sections_nest_innermost_wins(self):
+        est = LatencyEstimator()
+        with est.section("outer"):
+            with est.section("inner"):
+                est.record("op", 7.0)
+        assert est.breakdown_by_section() == {"inner": 7.0}
+
+    def test_breakdown_by_op(self):
+        est = LatencyEstimator()
+        est.record("dma", 10.0, count=2)
+        est.record("dma", 5.0)
+        est.record("add", 1.0)
+        by_op = est.breakdown_by_op()
+        assert by_op["dma"] == pytest.approx(25.0)
+        assert by_op["add"] == pytest.approx(1.0)
+
+    def test_sections_sum_to_total(self):
+        est = LatencyEstimator()
+        with est.section("a"):
+            est.record("x", 3.0)
+        with est.section("b"):
+            est.record("y", 4.0)
+        assert sum(est.breakdown_by_section().values()) == pytest.approx(
+            est.total_cycles
+        )
+
+
+class TestParallelTracks:
+    def test_parallel_charges_critical_path(self):
+        est = LatencyEstimator()
+        with est.parallel() as par:
+            with par.track():
+                est.record("dma_engine_0", 100.0)
+            with par.track():
+                est.record("dma_engine_1", 60.0)
+        assert est.total_cycles == pytest.approx(100.0)
+
+    def test_parallel_keeps_only_critical_records(self):
+        est = LatencyEstimator()
+        with est.parallel() as par:
+            with par.track():
+                est.record("slow", 100.0)
+            with par.track():
+                est.record("fast", 1.0)
+        names = [r.name for r in est.records]
+        assert names == ["slow"]
+
+    def test_empty_parallel_charges_nothing(self):
+        est = LatencyEstimator()
+        with est.parallel():
+            pass
+        assert est.total_cycles == 0.0
+
+    def test_serial_ops_around_parallel(self):
+        est = LatencyEstimator()
+        est.record("before", 10.0)
+        with est.parallel() as par:
+            with par.track():
+                est.record("a", 20.0)
+            with par.track():
+                est.record("b", 30.0)
+        est.record("after", 5.0)
+        assert est.total_cycles == pytest.approx(45.0)
+
+
+class TestHistogramExample:
+    """The Fig. 6 Histogram program should be expressible and finite."""
+
+    def test_fig6_program_shape(self):
+        framework = LatencyEstimator()
+        with framework.ctx():
+            total_data_size = 1024 * 1024 * 256 * 3
+            tile_data_size = 8 * 1024 * 48
+            tile_num = int(total_data_size / tile_data_size)
+            # Fold the per-tile loop into counts to keep this test fast.
+            api.fast_dma_l4_to_l2(32 * 512, count=tile_num * 48 * 2)
+            api.direct_dma_l2_to_l1_32k(count=tile_num * 48 * 2)
+            api.gvml_load_16(count=tile_num * 48)
+            api.gvml_cpy_subgrp_16_grp(8192, 1024, count=tile_num * 48 * 8)
+            api.gvml_create_grp_index_u16(count=tile_num)
+            api.gvml_cpy_imm_16(count=tile_num)
+            api.gvml_store_16(count=tile_num * 8)
+            api.direct_dma_l1_to_l4_32k(count=tile_num * 8)
+        latency_us = framework.report_latency()
+        assert latency_us > 0
+        # Histogram at this scale is hundreds of ms to seconds.
+        assert 1e4 < latency_us < 1e8

@@ -1,0 +1,174 @@
+"""Unit tests for the architecture parameter bundle and cost tables."""
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    APUParams,
+    ComputeCosts,
+    DataMovementCosts,
+    DEFAULT_PARAMS,
+    DEVICE_SPECS,
+    cycles_to_ms,
+    cycles_to_us,
+    cycles_to_seconds,
+)
+
+
+class TestArchitectureShape:
+    def test_vr_geometry_matches_paper(self):
+        p = DEFAULT_PARAMS
+        assert p.vr_length == 32768
+        assert p.num_vrs == 24
+        assert p.num_vmrs == 48
+        assert p.num_cores == 4
+        assert p.num_banks == 16
+        assert p.bank_elements == 2048
+
+    def test_memory_hierarchy_sizes(self):
+        p = DEFAULT_PARAMS
+        assert p.vr_bytes == 64 * 1024
+        assert p.l2_bytes == 64 * 1024  # one full vector
+        assert p.l3_bytes == 1024 * 1024
+        assert p.l4_bytes == 16 * 1024 ** 3
+
+    def test_unit_conversions(self):
+        assert cycles_to_seconds(500e6) == pytest.approx(1.0)
+        assert cycles_to_us(500) == pytest.approx(1.0)
+        assert cycles_to_ms(500_000) == pytest.approx(1.0)
+        assert DEFAULT_PARAMS.cycles_to_us(500) == pytest.approx(1.0)
+
+    def test_evolve_replaces_without_mutation(self):
+        p = DEFAULT_PARAMS
+        p2 = p.evolve(clock_hz=1e9)
+        assert p2.clock_hz == 1e9
+        assert p.clock_hz == 500e6
+        assert p2.vr_length == p.vr_length
+
+
+class TestDataMovementCosts:
+    def setup_method(self):
+        self.m = DataMovementCosts()
+
+    def test_dma_l4_l3_linear_model(self):
+        # Table 4: 0.19d + 41164
+        assert self.m.dma_l4_l3(0) == pytest.approx(41164.0)
+        assert self.m.dma_l4_l3(100_000) == pytest.approx(0.19 * 100_000 + 41164)
+
+    def test_dma_l4_l2_linear_model(self):
+        assert self.m.dma_l4_l2(0) == pytest.approx(548.0)
+        assert self.m.dma_l4_l2(16384) == pytest.approx(0.63 * 16384 + 548)
+
+    def test_fixed_vector_transfers(self):
+        assert self.m.dma_l2_l1 == 386.0
+        assert self.m.dma_l4_l1 == 22272.0
+        assert self.m.dma_l1_l4 == 22186.0
+
+    def test_pio_scales_with_elements(self):
+        assert self.m.pio_ld(10) == pytest.approx(570.0)
+        assert self.m.pio_st(10) == pytest.approx(610.0)
+        # PIO is far more expensive per full vector than DMA.
+        assert self.m.pio_st(32768) > 50 * self.m.dma_l1_l4
+
+    def test_lookup_scales_with_table(self):
+        assert self.m.lookup(0) == pytest.approx(629.0)
+        assert self.m.lookup(1000) == pytest.approx(7.15 * 1000 + 629)
+
+    def test_shift_generic_vs_intra_bank(self):
+        # Generic shift is per-element expensive; intra-bank shift is cheap.
+        assert self.m.shift_e(8) == pytest.approx(373 * 8)
+        assert self.m.shift_e4(2) == pytest.approx(10.0)  # 8 + 2
+        assert self.m.shift_e4(2) < self.m.shift_e(8)
+
+    def test_shift_best_decomposes_distance(self):
+        # 11 = 2 quads (8 elements) + residue 3
+        expected = self.m.shift_e4(2) + self.m.shift_e(3)
+        assert self.m.shift_best(11) == pytest.approx(expected)
+
+    def test_shift_best_pure_multiple_of_four(self):
+        assert self.m.shift_best(16) == pytest.approx(self.m.shift_e4(4))
+
+    def test_shift_best_zero(self):
+        assert self.m.shift_best(0) == 0.0
+
+    def test_inter_vr_cheaper_than_intra_vr(self):
+        # The paper's core observation: intra-VR movement (shifts) is
+        # roughly 10x or more slower than inter-VR movement (cpy).
+        assert self.m.shift_e(1) > 10 * self.m.cpy
+
+
+class TestComputeCosts:
+    def setup_method(self):
+        self.c = ComputeCosts()
+
+    def test_table5_values(self):
+        assert self.c.add_u16 == 12
+        assert self.c.mul_s16 == 201
+        assert self.c.div_s16 == 739
+        assert self.c.popcnt_16 == 23
+        assert self.c.exp_f16 == 40295
+        assert self.c.count_m == 239
+
+    def test_cost_lookup_by_name(self):
+        assert self.c.cost("xor_16") == 12
+        assert self.c.cost("lt_gf16") == 45
+
+    def test_cost_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            self.c.cost("fma_64")
+
+    def test_boolean_ops_cheaper_than_arithmetic(self):
+        assert self.c.or_16 < self.c.add_u16 <= self.c.sub_u16 < self.c.mul_u16
+
+
+class TestReductionModel:
+    def test_full_reduction_stage_count(self):
+        r = DEFAULT_PARAMS.reduction
+        assert r.stages(32768, 1) == 15
+        assert r.stages(1024, 1024) == 0
+        assert r.stages(8192, 1024) == 3
+
+    def test_invalid_shapes_raise(self):
+        r = DEFAULT_PARAMS.reduction
+        with pytest.raises(ValueError):
+            r.stages(16, 32)
+        with pytest.raises(ValueError):
+            r.stages(16, 0)
+
+    def test_cost_monotone_in_stage_count(self):
+        r = DEFAULT_PARAMS.reduction
+        costs = [r.sg_add(32768, 32768 >> k) for k in range(16)]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_cost_grows_superlinearly(self):
+        # Cubic term: doubling the stage count more than doubles cost.
+        r = DEFAULT_PARAMS.reduction
+        assert r.sg_add(32768, 32768 >> 14) > 2.5 * r.sg_add(32768, 32768 >> 7)
+
+    def test_full_reduction_magnitude(self):
+        # A full 32K reduction should be orders of magnitude costlier
+        # than one element-wise add (12 cycles) but well under a DMA.
+        cost = DEFAULT_PARAMS.reduction.sg_add(32768, 1)
+        assert 1000 < cost < 10000
+
+
+class TestDeviceSpecs:
+    def test_table1_rows_present(self):
+        assert set(DEVICE_SPECS) == {
+            "gsi_apu", "xeon_8280", "nvidia_a100", "graphcore_ipu",
+        }
+
+    def test_apu_spec_values(self):
+        apu = DEVICE_SPECS["gsi_apu"]
+        assert apu.peak_tops == 25.0
+        assert apu.tdp_w == 60.0
+        assert apu.on_chip_bandwidth_tbs == 26.0
+
+    def test_apu_leads_in_efficiency(self):
+        # The headline of Table 1: the APU has the best TOPS/W and
+        # on-chip bandwidth per watt of the four devices.
+        apu = DEVICE_SPECS["gsi_apu"]
+        others = [s for k, s in DEVICE_SPECS.items() if k != "gsi_apu"]
+        assert all(apu.tops_per_watt > o.tops_per_watt for o in others)
+        assert all(apu.bandwidth_per_watt > o.bandwidth_per_watt for o in others)

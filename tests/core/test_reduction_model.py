@@ -1,0 +1,100 @@
+"""Tests for Eq. 1 reduction-model fitting, including hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.reduction_model import (
+    fit_reduction_coefficients,
+    reduction_sample_grid,
+    simulated_sg_add_cycles,
+)
+
+
+class TestSimulatedLadder:
+    def test_no_stages_is_setup_only(self):
+        base = simulated_sg_add_cycles(1024, 1024)
+        assert base == pytest.approx(DEFAULT_PARAMS.movement.cpy_imm + 10.0)
+
+    def test_rejects_non_power_of_two_ratio(self):
+        with pytest.raises(ValueError):
+            simulated_sg_add_cycles(24, 5)
+
+    def test_rejects_subgroup_larger_than_group(self):
+        with pytest.raises(ValueError):
+            simulated_sg_add_cycles(16, 64)
+
+    def test_rejects_nonpositive_subgroup(self):
+        with pytest.raises(ValueError):
+            simulated_sg_add_cycles(16, 0)
+
+    @given(
+        log_r=st.integers(min_value=1, max_value=15),
+        extra=st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_stage_count(self, log_r, extra):
+        """More halving stages always cost more."""
+        log_r2 = min(15, log_r + extra)
+        r = 1 << 15
+        cheap = simulated_sg_add_cycles(r, r >> log_r)
+        costly = simulated_sg_add_cycles(r, r >> log_r2)
+        if log_r2 > log_r:
+            assert costly > cheap
+
+    @given(log_r=st.integers(min_value=2, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_larger_groups_cost_more_at_equal_stage_count(self, log_r):
+        """Group bookkeeping grows with log2(r) at fixed stage count."""
+        stages = 2
+        small_r = 1 << log_r
+        big_r = 1 << 15
+        small = simulated_sg_add_cycles(small_r, small_r >> stages)
+        big = simulated_sg_add_cycles(big_r, big_r >> stages)
+        if big_r > small_r:
+            assert big >= small
+
+
+class TestFitting:
+    def test_fit_quality(self):
+        fit = fit_reduction_coefficients()
+        assert fit.r_squared > 0.999
+        assert fit.max_relative_error < 0.10
+        assert fit.mean_relative_error < 0.02
+
+    def test_default_coefficients_match_fresh_fit(self):
+        """params.py defaults must be the fit output (regression guard)."""
+        fit = fit_reduction_coefficients()
+        defaults = DEFAULT_PARAMS.reduction
+        for name in ("alpha3", "beta3", "alpha2", "beta2",
+                     "alpha1", "beta1", "alpha0", "beta0"):
+            assert getattr(fit.coefficients, name) == pytest.approx(
+                getattr(defaults, name), abs=1e-3
+            ), name
+
+    def test_prediction_tracks_simulation(self):
+        fit = fit_reduction_coefficients()
+        for r, s in [(32768, 1), (32768, 256), (1024, 4), (64, 1)]:
+            simulated = simulated_sg_add_cycles(r, s)
+            predicted = fit.predict(r, s)
+            assert predicted == pytest.approx(simulated, rel=0.12)
+
+    def test_sample_grid_covers_power_of_two_space(self):
+        samples = reduction_sample_grid()
+        assert len(samples) > 30
+        assert all(r % s == 0 for r, s, _ in samples)
+        assert all(c > 0 for _, _, c in samples)
+
+    def test_fit_requires_enough_samples(self):
+        samples = reduction_sample_grid()[:5]
+        with pytest.raises(ValueError):
+            fit_reduction_coefficients(samples=samples)
+
+    def test_fit_on_custom_samples_is_deterministic(self):
+        samples = reduction_sample_grid()
+        fit1 = fit_reduction_coefficients(samples=samples)
+        fit2 = fit_reduction_coefficients(samples=samples)
+        assert fit1.coefficients == fit2.coefficients

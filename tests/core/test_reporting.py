@@ -1,0 +1,77 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.core.reporting import (
+    format_bars,
+    format_stacked_breakdown,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(
+            ["app", "ms"], [["histogram", 1644.8], ["kmeans", 1.6]],
+            float_format="{:.1f}",
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("app")
+        assert "1644.8" in out and "1.6" in out
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_columns_aligned(self):
+        out = format_table(["a", "value"], [["x", 1.0], ["longer", 100.0]])
+        lines = out.splitlines()
+        assert len({line.index(line.split()[-1][-1]) for line in lines[2:]})
+
+    def test_non_float_cells_passed_through(self):
+        out = format_table(["k", "v"], [["key", "string"]])
+        assert "string" in out
+
+
+class TestFormatBars:
+    def test_peak_gets_full_width(self):
+        out = format_bars({"big": 10.0, "small": 5.0}, width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_value_gets_empty_bar(self):
+        out = format_bars({"none": 0.0, "one": 1.0}, width=10)
+        assert "|" in out.splitlines()[0]
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_empty_input(self):
+        assert format_bars({}) == "(empty)"
+
+    def test_unit_suffix(self):
+        out = format_bars({"a": 1.0}, unit=" ms")
+        assert "1.00 ms" in out
+
+
+class TestStackedBreakdown:
+    def test_fig12_shape(self):
+        stages = {
+            "baseline": {"LD LHS": 86.5, "LD RHS": 0.2, "VR Ops": 2.2,
+                         "ST": 127.9},
+            "opt1+2+3": {"LD LHS": 3.7, "LD RHS": 0.6, "VR Ops": 0.2,
+                         "ST": 1.4},
+        }
+        out = format_stacked_breakdown(
+            stages, ["LD LHS", "LD RHS", "VR Ops", "ST"], width=40,
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("legend:")
+        baseline_line = lines[1]
+        opt_line = lines[2]
+        # The baseline bar is visibly longer than the optimized one.
+        assert baseline_line.count("S") > opt_line.count("S")
+        assert "216." in baseline_line  # total annotated
+
+    def test_empty_input(self):
+        assert format_stacked_breakdown({}, ["A"]) == "(empty)"
+
+    def test_sections_missing_from_a_stage_are_zero(self):
+        out = format_stacked_breakdown(
+            {"x": {"A": 1.0}}, ["A", "B"], width=10
+        )
+        assert "B=B" in out

@@ -1,0 +1,76 @@
+"""Tests for the Fig. 2 roofline model."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.roofline import KernelPoint, RooflineModel
+
+
+@pytest.fixture()
+def roofline():
+    return RooflineModel()
+
+
+class TestRoofs:
+    def test_peak_compute_magnitude(self, roofline):
+        # 16-bit MAC peak: 2*32768 ops / 127 cycles / core * 4 cores * 500 MHz
+        expected = 2 * 32768 / (115 + 12) * 4 * 500e6
+        assert roofline.peak_compute_ops == pytest.approx(expected)
+        # ~1 TOPS, far below the 25 TOPS 8-bit-add headline -- as Fig. 2
+        # notes, the compute roof is profiled for 16-bit MACs.
+        assert 0.5e12 < roofline.peak_compute_ops < 2e12
+
+    def test_memory_roof_is_device_dram(self, roofline):
+        assert roofline.memory_bandwidth == DEFAULT_PARAMS.dram_bandwidth
+
+    def test_attainable_below_ridge_is_bandwidth_bound(self, roofline):
+        oi = roofline.ridge_point / 10
+        assert roofline.attainable(oi) == pytest.approx(oi * roofline.memory_bandwidth)
+
+    def test_attainable_above_ridge_is_compute_bound(self, roofline):
+        oi = roofline.ridge_point * 10
+        assert roofline.attainable(oi) == pytest.approx(roofline.peak_compute_ops)
+
+    def test_attainable_rejects_negative_oi(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.attainable(-1.0)
+
+    def test_ridge_point_consistency(self, roofline):
+        ridge = roofline.ridge_point
+        assert roofline.attainable(ridge) == pytest.approx(
+            roofline.peak_compute_ops, rel=1e-9
+        )
+
+
+class TestKernelPlacement:
+    def test_efficiency_at_roof_is_one(self, roofline):
+        oi = roofline.ridge_point * 2
+        point = KernelPoint("ideal", oi, roofline.attainable(oi))
+        assert roofline.efficiency(point) == pytest.approx(1.0)
+
+    def test_efficiency_below_roof(self, roofline):
+        oi = roofline.ridge_point * 2
+        point = KernelPoint("half", oi, roofline.attainable(oi) / 2)
+        assert roofline.efficiency(point) == pytest.approx(0.5)
+
+    def test_classify_kernels(self, roofline):
+        ridge = roofline.ridge_point
+        points = [
+            KernelPoint("baseline", ridge / 4, 1e9),
+            KernelPoint("optimized", ridge * 4, 1e11),
+        ]
+        sides = roofline.classify(points)
+        assert sides == {"baseline": "memory", "optimized": "compute"}
+
+    def test_series_is_monotone_then_flat(self, roofline):
+        ridge = roofline.ridge_point
+        series = roofline.series([ridge / 8, ridge / 2, ridge * 2, ridge * 8])
+        values = [v for _, v in series]
+        assert values[0] < values[1] <= values[2]
+        assert values[2] == pytest.approx(values[3])
+
+    def test_higher_clock_raises_compute_roof_only(self):
+        fast = RooflineModel(DEFAULT_PARAMS.evolve(clock_hz=1e9))
+        slow = RooflineModel(DEFAULT_PARAMS)
+        assert fast.peak_compute_ops == pytest.approx(2 * slow.peak_compute_ops)
+        assert fast.memory_bandwidth == slow.memory_bandwidth

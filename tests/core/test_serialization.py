@@ -1,0 +1,72 @@
+"""Tests for parameter serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.core.dse import evolve_nested
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.serialization import (
+    load_params,
+    params_from_dict,
+    params_to_dict,
+    save_params,
+)
+
+
+class TestDictRoundTrip:
+    def test_default_params_round_trip(self):
+        rebuilt = params_from_dict(params_to_dict(DEFAULT_PARAMS))
+        assert rebuilt == DEFAULT_PARAMS
+
+    def test_modified_params_round_trip(self):
+        modified = evolve_nested(
+            DEFAULT_PARAMS.evolve(clock_hz=1e9),
+            "movement.lookup_per_entry", 3.5,
+        )
+        rebuilt = params_from_dict(params_to_dict(modified))
+        assert rebuilt == modified
+        assert rebuilt.movement.lookup_per_entry == 3.5
+        assert rebuilt.clock_hz == 1e9
+
+    def test_unknown_top_level_key_rejected(self):
+        data = params_to_dict(DEFAULT_PARAMS)
+        data["l5_bytes"] = 1024
+        with pytest.raises(ValueError, match="l5_bytes"):
+            params_from_dict(data)
+
+    def test_unknown_nested_key_rejected(self):
+        data = params_to_dict(DEFAULT_PARAMS)
+        data["movement"]["warp_speed"] = 1.0
+        with pytest.raises(ValueError, match="warp_speed"):
+            params_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "leda_e.json"
+        save_params(DEFAULT_PARAMS, path)
+        assert load_params(path) == DEFAULT_PARAMS
+
+    def test_file_is_human_readable_json(self, tmp_path):
+        path = tmp_path / "params.json"
+        save_params(DEFAULT_PARAMS, path)
+        payload = json.loads(path.read_text())
+        assert payload["clock_hz"] == 500e6
+        assert payload["movement"]["dma_l4_l2_per_byte"] == 0.63
+
+    def test_profiled_params_persist(self, tmp_path):
+        """The profiler -> save -> load -> estimator pipeline works."""
+        from repro.apu.profiler import DeviceProfiler
+        from repro.core import LatencyEstimator, api
+
+        derived = DeviceProfiler().derive_params()
+        path = tmp_path / "profiled.json"
+        save_params(derived, path)
+        loaded = load_params(path)
+        assert loaded.movement == derived.movement
+        assert loaded.compute == derived.compute
+        est = LatencyEstimator(loaded)
+        with est.ctx():
+            api.gvml_add_u16(count=3)
+        assert est.total_cycles == pytest.approx(3 * loaded.compute.add_u16)

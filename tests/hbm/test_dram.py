@@ -1,0 +1,96 @@
+"""Tests for the HBM2e / DDR4 timing models."""
+
+import pytest
+
+from repro.hbm import (
+    DRAMModel,
+    DRAMOrganization,
+    DRAMTiming,
+    make_ddr4,
+    make_hbm2e,
+)
+
+
+class TestHBM2ePreset:
+    def test_peak_bandwidth_in_paper_band(self):
+        """Section 5.3.1: 380-420 GB/s peak."""
+        assert 380e9 <= make_hbm2e().peak_bandwidth <= 420e9
+
+    def test_capacity_and_geometry(self):
+        hbm = make_hbm2e()
+        assert hbm.org.capacity_bytes == 16 * 1024 ** 3
+        assert hbm.org.channels == 8
+        assert hbm.org.ranks == 2
+        assert hbm.timing.clock_hz == 1.6e9
+
+    def test_sequential_efficiency(self):
+        hbm = make_hbm2e()
+        bw = hbm.effective_bandwidth(1 << 30, "sequential")
+        assert 0.80 * hbm.peak_bandwidth < bw < hbm.peak_bandwidth
+
+    def test_table8_embedding_load_times(self):
+        """Load Embedding row of Table 8 (simulated HBM2e)."""
+        # 200 GB corpus: 2.4 GB of embeddings.
+        opt = make_hbm2e().transfer_seconds(2.4576e9, "sequential") * 1e3
+        noopt = make_hbm2e().transfer_seconds(2.4576e9, "chunked") * 1e3
+        assert opt == pytest.approx(6.1, rel=0.15)
+        assert noopt == pytest.approx(8.2, rel=0.15)
+        assert noopt > opt
+
+    def test_random_much_slower_than_sequential(self):
+        seq = make_hbm2e().transfer_seconds(1 << 26, "sequential")
+        rnd = make_hbm2e().transfer_seconds(1 << 26, "random")
+        assert rnd > 5 * seq
+
+
+class TestDDR4Preset:
+    def test_peak_matches_paper_quote(self):
+        """The paper quotes 23.8 GB/s for the device DDR."""
+        assert make_ddr4().peak_bandwidth == pytest.approx(23.8e9, rel=0.01)
+
+    def test_hbm_lifts_the_bottleneck(self):
+        """The reason the paper simulates HBM at all."""
+        n = 2.4576e9
+        ddr = make_ddr4().transfer_seconds(n)
+        hbm = make_hbm2e().transfer_seconds(n)
+        assert ddr > 10 * hbm
+
+
+class TestModelMechanics:
+    def test_invalid_inputs(self):
+        hbm = make_hbm2e()
+        with pytest.raises(ValueError):
+            hbm.transfer_seconds(0)
+        with pytest.raises(ValueError):
+            hbm.transfer_seconds(1024, "zigzag")
+
+    def test_time_scales_linearly_at_size(self):
+        hbm = make_hbm2e()
+        t1 = hbm.transfer_seconds(1 << 28)
+        t2 = hbm.transfer_seconds(1 << 29)
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+    def test_refresh_overhead_small(self):
+        hbm = make_hbm2e()
+        assert 0.0 < hbm.refresh_overhead < 0.15
+
+    def test_counters_accumulate(self):
+        hbm = make_hbm2e()
+        hbm.transfer_seconds(1 << 24)
+        hbm.transfer_seconds(1 << 24)
+        assert hbm.total_bytes == 2 << 24
+        assert hbm.total_seconds > 0
+        assert hbm.total_activates > 0
+        hbm.reset_counters()
+        assert hbm.total_bytes == 0
+
+    def test_more_channels_more_bandwidth(self):
+        base = make_hbm2e()
+        org16 = DRAMOrganization(
+            channels=16, ranks=2, banks=16, bus_bits=128, burst_length=4,
+            row_bytes=2048, capacity_bytes=base.org.capacity_bytes,
+        )
+        doubled = DRAMModel(org16, base.timing)
+        assert doubled.peak_bandwidth == pytest.approx(2 * base.peak_bandwidth)
+        n = 1 << 30
+        assert doubled.transfer_seconds(n) < base.transfer_seconds(n)

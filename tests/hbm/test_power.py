@@ -1,0 +1,65 @@
+"""Tests for the DRAMPower-lite energy model."""
+
+import pytest
+
+from repro.hbm import (
+    DDR4_POWER,
+    DRAMPowerModel,
+    HBM2E_POWER,
+    make_ddr4,
+    make_hbm2e,
+)
+
+
+class TestHBMEnergy:
+    def test_streaming_energy_per_byte(self):
+        """HBM2e streaming lands near the 13 pJ/byte the board model uses."""
+        hbm = make_hbm2e()
+        hbm.transfer_seconds(2.4576e9, "sequential")
+        energy = DRAMPowerModel(HBM2E_POWER).from_counters(hbm)
+        assert energy.per_byte(hbm.total_bytes) == pytest.approx(13.3e-12, rel=0.2)
+
+    def test_breakdown_components_positive(self):
+        hbm = make_hbm2e()
+        hbm.transfer_seconds(1 << 28)
+        energy = DRAMPowerModel(HBM2E_POWER).from_counters(hbm)
+        assert energy.background_j > 0
+        assert energy.activate_j > 0
+        assert energy.burst_j > 0
+        assert energy.refresh_j > 0
+        assert energy.total_j == pytest.approx(
+            energy.background_j + energy.activate_j
+            + energy.burst_j + energy.refresh_j
+        )
+
+    def test_burst_energy_dominates_streaming(self):
+        hbm = make_hbm2e()
+        hbm.transfer_seconds(1 << 30, "sequential")
+        energy = DRAMPowerModel(HBM2E_POWER).from_counters(hbm)
+        assert energy.burst_j > energy.activate_j
+        assert energy.burst_j > energy.background_j
+
+    def test_random_access_costs_more_per_byte(self):
+        seq_model = make_hbm2e()
+        seq_model.transfer_seconds(1 << 26, "sequential")
+        seq = DRAMPowerModel(HBM2E_POWER).from_counters(seq_model)
+        rnd_model = make_hbm2e()
+        rnd_model.transfer_seconds(1 << 26, "random")
+        rnd = DRAMPowerModel(HBM2E_POWER).from_counters(rnd_model)
+        assert rnd.per_byte(1 << 26) > 2 * seq.per_byte(1 << 26)
+
+
+class TestDDR4Energy:
+    def test_ddr4_costs_more_per_byte_than_hbm(self):
+        ddr = make_ddr4()
+        ddr.transfer_seconds(1 << 28, "sequential")
+        ddr_energy = DRAMPowerModel(DDR4_POWER).from_counters(ddr)
+        hbm = make_hbm2e()
+        hbm.transfer_seconds(1 << 28, "sequential")
+        hbm_energy = DRAMPowerModel(HBM2E_POWER).from_counters(hbm)
+        assert ddr_energy.per_byte(1 << 28) > hbm_energy.per_byte(1 << 28)
+
+    def test_per_byte_handles_zero(self):
+        energy = DRAMPowerModel(DDR4_POWER).from_stats(0.0, 0, 0)
+        assert energy.per_byte(0) == 0.0
+        assert energy.total_j == 0.0

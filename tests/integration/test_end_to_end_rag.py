@@ -1,0 +1,99 @@
+"""Integration: the complete RAG path, functional and modeled."""
+
+import numpy as np
+import pytest
+
+from repro.apu.energy import APUEnergyModel
+from repro.baselines.anns import IndexIVFFlat, ivf_recall_at_k
+from repro.baselines.faiss_like import IndexFlatIP
+from repro.hbm import DRAMPowerModel, HBM2E_POWER, make_hbm2e
+from repro.rag import (
+    APURetriever,
+    CPURetriever,
+    GPURetriever,
+    MiniCorpus,
+    PAPER_CORPORA,
+    RAGPipeline,
+    apu_retrieval_energy,
+)
+
+
+class TestFunctionalPipeline:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return MiniCorpus(n_chunks=350, dim=64, seed=20)
+
+    def test_three_engines_agree_over_many_queries(self, corpus):
+        apu, cpu, gpu = APURetriever(), CPURetriever(), GPURetriever()
+        for _ in range(5):
+            query = corpus.sample_query()
+            a = apu.retrieve(corpus, query, 5)
+            c = cpu.retrieve(corpus, query, 5)
+            g = gpu.retrieve(corpus, query, 5)
+            assert a == g
+            assert set(a) == set(c)
+
+    def test_pipeline_answer_equals_direct_retrieval(self, corpus):
+        query = corpus.sample_query()
+        pipeline = RAGPipeline(APURetriever())
+        assert pipeline.answer(corpus, query, 5) == \
+            APURetriever().retrieve(corpus, query, 5)
+
+    def test_exact_beats_approximate_on_recall(self, corpus):
+        """The ENNS-over-ANNS argument, end to end: the APU's exact
+        path achieves recall 1.0 where a probe-limited IVF does not."""
+        vectors = corpus.embeddings.astype(np.float32)
+        exact = IndexFlatIP(corpus.dim)
+        exact.add(vectors)
+        ivf = IndexIVFFlat(corpus.dim, nlist=16, nprobe=1, seed=0)
+        ivf.train(vectors)
+        ivf.add(vectors)
+        queries = np.stack([corpus.sample_query() for _ in range(10)])
+        ivf_recall = ivf_recall_at_k(ivf, exact, queries.astype(np.float32), 5)
+        apu = APURetriever()
+        apu_hits = 0
+        for query in queries:
+            expected = set(int(i) for i in corpus.exact_topk(query, 5))
+            apu_hits += len(set(apu.retrieve(corpus, query, 5)) & expected)
+        apu_recall = apu_hits / (len(queries) * 5)
+        assert apu_recall == 1.0
+        assert ivf_recall < 1.0
+
+
+class TestModelConsistency:
+    def test_energy_uses_the_same_dram_constant_as_hbm_power(self):
+        """The board model's pJ/byte and the DRAMPower model agree, so
+        Fig. 15's DRAM slice is substrate-consistent."""
+        hbm = make_hbm2e()
+        hbm.transfer_seconds(PAPER_CORPORA["200GB"].embedding_bytes,
+                             "sequential")
+        dram_energy = DRAMPowerModel(HBM2E_POWER).from_counters(hbm)
+        per_byte = dram_energy.per_byte(hbm.total_bytes)
+        assert per_byte == pytest.approx(
+            APUEnergyModel().dram_energy_per_byte_j, rel=0.2
+        )
+
+    def test_retrieval_energy_static_window_equals_latency(self):
+        spec = PAPER_CORPORA["50GB"]
+        breakdown = APURetriever(optimized=True).latency_breakdown(spec)
+        energy = apu_retrieval_energy(spec)
+        implied_window = energy.static_j / APUEnergyModel().static_power_w
+        assert implied_window == pytest.approx(breakdown.total, rel=1e-6)
+
+    def test_hbm_load_time_embedded_in_breakdown(self):
+        spec = PAPER_CORPORA["10GB"]
+        standalone = make_hbm2e().transfer_seconds(
+            spec.embedding_bytes, "sequential")
+        breakdown = APURetriever(optimized=True).latency_breakdown(spec)
+        assert breakdown.load_embedding == pytest.approx(standalone, rel=0.01)
+
+    def test_fig14_uses_table8_numbers(self):
+        """The end-to-end comparison must be built from the same
+        retrieval breakdowns Table 8 reports."""
+        from repro.rag import fig14_comparison
+
+        entries = {e.platform: e for e in fig14_comparison()}
+        for label, spec in PAPER_CORPORA.items():
+            direct = APURetriever(optimized=True).retrieval_seconds(spec)
+            assert entries["apu_all_opts"].retrieval_ms[label] == \
+                pytest.approx(direct * 1e3)

@@ -1,0 +1,123 @@
+"""Integration: the analytical framework against the simulator.
+
+The closed-form framework and the simulator share one cost-table
+heritage; these tests pin down their exact relationship: identical
+totals when the simulator's second-order effects are disabled, a small
+bounded gap when they are on (the Table 7 mechanism).
+"""
+
+import pytest
+
+from repro.apu.device import APUDevice
+from repro.core import LatencyEstimator, api
+from repro.core.params import DEFAULT_PARAMS, SecondOrderEffects
+
+ZERO_FX = DEFAULT_PARAMS.evolve(
+    effects=SecondOrderEffects(0.0, 0.0, 0.0, 0.0)
+)
+
+
+def run_program_on_simulator(params):
+    """A mixed DMA + compute + reduction program on the simulator."""
+    device = APUDevice(params, functional=False)
+    core = device.core
+    core.dma.l4_to_l2(None, 16384, count=100)
+    core.dma.l2_to_l1(0, count=100)
+    core.gvml.load_16(0, 0, count=100)
+    core.gvml.mul_u16(2, 0, 1, count=100)
+    core.gvml.add_subgrp_s16(3, 2, 1024, 1, count=100)
+    core.dma.lookup_16(4, None, 512, count=50)
+    core.dma.pio_st(None, 0, n=64, count=10)
+    core.dma.l1_to_l4_32k(None, 0, count=10)
+    return device.makespan_cycles
+
+
+def run_program_on_framework(params):
+    """The same program through the Fig. 6 interface."""
+    est = LatencyEstimator(params)
+    with est.ctx():
+        api.fast_dma_l4_to_l2(16384, count=100)
+        api.direct_dma_l2_to_l1_32k(count=100)
+        api.gvml_load_16(count=100)
+        api.gvml_mul_u16(count=100)
+        api.gvml_add_subgrp_s16(1024, 1, count=100)
+        api.lookup_16(512, count=50)
+        api.pio_st(64, count=10)
+        api.direct_dma_l1_to_l4_32k(count=10)
+    return est.total_cycles
+
+
+class TestExactAgreementWithoutEffects:
+    def test_framework_matches_clean_simulator_closely(self):
+        """With second-order effects off, the only remaining gap is the
+        Eq. 1 fit error on the reduction (the framework uses the fitted
+        polynomial; the simulator the staged ladder)."""
+        simulated = run_program_on_simulator(ZERO_FX)
+        predicted = run_program_on_framework(ZERO_FX)
+        assert predicted == pytest.approx(simulated, rel=0.02)
+
+    def test_non_reduction_programs_agree_exactly(self):
+        device = APUDevice(ZERO_FX, functional=False)
+        core = device.core
+        core.gvml.mul_u16(2, 0, 1, count=1000)
+        core.dma.l4_to_l1_32k(0, count=10)
+        est = LatencyEstimator(ZERO_FX)
+        with est.ctx():
+            api.gvml_mul_u16(count=1000)
+            api.direct_dma_l4_to_l1_32k(count=10)
+        assert est.total_cycles == pytest.approx(device.makespan_cycles)
+
+
+class TestBoundedGapWithEffects:
+    def test_simulator_always_slower_with_effects(self):
+        simulated = run_program_on_simulator(DEFAULT_PARAMS)
+        predicted = run_program_on_framework(DEFAULT_PARAMS)
+        assert simulated > predicted
+
+    def test_gap_within_paper_error_band(self):
+        """The measured-vs-predicted gap stays under the paper's 6.2%
+        worst case for realistic op mixes."""
+        simulated = run_program_on_simulator(DEFAULT_PARAMS)
+        predicted = run_program_on_framework(DEFAULT_PARAMS)
+        gap = (simulated - predicted) / simulated
+        assert 0.0 < gap < 0.062
+
+    def test_dma_heavy_programs_show_larger_gaps(self):
+        """Refresh effects concentrate on L4 paths, so DMA-heavy mixes
+        deviate more -- the workload dependence Table 7 shows."""
+
+        def dma_heavy(params):
+            device = APUDevice(params, functional=False)
+            device.core.dma.l4_to_l2(None, 65536, count=100)
+            return device.makespan_cycles
+
+        def compute_heavy(params):
+            device = APUDevice(params, functional=False)
+            device.core.gvml.mul_s16(2, 0, 1, count=1000)
+            return device.makespan_cycles
+
+        dma_gap = 1 - dma_heavy(ZERO_FX) / dma_heavy(DEFAULT_PARAMS)
+        compute_gap = 1 - compute_heavy(ZERO_FX) / compute_heavy(DEFAULT_PARAMS)
+        assert dma_gap > compute_gap
+
+
+class TestSectionBreakdownConsistency:
+    def test_simulator_sections_mirror_framework_sections(self):
+        device = APUDevice(ZERO_FX, functional=False)
+        core = device.core
+        with core.section("LD"):
+            core.dma.l4_to_l1_32k(0, count=5)
+        with core.section("Compute"):
+            core.gvml.add_u16(2, 0, 1, count=5)
+
+        est = LatencyEstimator(ZERO_FX)
+        with est.ctx():
+            with est.section("LD"):
+                api.direct_dma_l4_to_l1_32k(count=5)
+            with est.section("Compute"):
+                api.gvml_add_u16(count=5)
+
+        sim = core.trace.breakdown_by_section()
+        model = est.breakdown_by_section()
+        assert sim["LD"] == pytest.approx(model["LD"])
+        assert sim["Compute"] == pytest.approx(model["Compute"])

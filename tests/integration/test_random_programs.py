@@ -1,0 +1,130 @@
+"""Property test: framework and simulator agree on arbitrary programs.
+
+Hypothesis generates random APU programs (sequences of data-movement
+and compute operations with random sizes/counts); for each one, the
+closed-form framework and the effects-disabled simulator must charge
+identical cycles, and the default simulator must always be slower but
+bounded.  This pins the two implementations of the cost tables against
+each other across the whole op space, not just the curated workloads.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apu.device import APUDevice
+from repro.core import LatencyEstimator, api
+from repro.core.params import DEFAULT_PARAMS, SecondOrderEffects
+
+ZERO_FX = DEFAULT_PARAMS.evolve(effects=SecondOrderEffects(0, 0, 0, 0))
+
+#: op name -> (framework call, simulator call).  Parameters arrive as
+#: (size, count) drawn by hypothesis.
+OPS = {
+    "dma_l4_l2": (
+        lambda size, count: api.fast_dma_l4_to_l2(512 * (1 + size % 128),
+                                                  count=count),
+        lambda core, size, count: core.dma.l4_to_l2(
+            None, 512 * (1 + size % 128), count=count),
+    ),
+    "dma_l4_l1": (
+        lambda size, count: api.direct_dma_l4_to_l1_32k(count=count),
+        lambda core, size, count: core.dma.l4_to_l1_32k(0, count=count),
+    ),
+    "dma_l2_l1": (
+        lambda size, count: api.direct_dma_l2_to_l1_32k(count=count),
+        lambda core, size, count: core.dma.l2_to_l1(0, count=count),
+    ),
+    "pio_st": (
+        lambda size, count: api.pio_st(1 + size % 1000, count=count),
+        lambda core, size, count: core.dma.pio_st(
+            None, 0, n=1 + size % 1000, count=count),
+    ),
+    "lookup": (
+        lambda size, count: api.lookup_16(1 + size % 4096, count=count),
+        lambda core, size, count: core.dma.lookup_16(
+            0, None, 1 + size % 4096, count=count),
+    ),
+    "load": (
+        lambda size, count: api.gvml_load_16(count=count),
+        lambda core, size, count: core.gvml.load_16(0, 0, count=count),
+    ),
+    "mul_u16": (
+        lambda size, count: api.gvml_mul_u16(count=count),
+        lambda core, size, count: core.gvml.mul_u16(2, 0, 1, count=count),
+    ),
+    "add_s16": (
+        lambda size, count: api.gvml_add_s16(count=count),
+        lambda core, size, count: core.gvml.add_s16(2, 0, 1, count=count),
+    ),
+    "xor_16": (
+        lambda size, count: api.gvml_xor_16(count=count),
+        lambda core, size, count: core.gvml.xor_16(2, 0, 1, count=count),
+    ),
+    "cpy_subgrp": (
+        lambda size, count: api.gvml_cpy_subgrp_16_grp(1024, 32768,
+                                                       count=count),
+        lambda core, size, count: core.gvml.cpy_subgrp_16_grp(
+            1, 0, 1024, count=count),
+    ),
+    "shift_e": (
+        lambda size, count: api.gvml_shift_e(1 + size % 64, count=count),
+        lambda core, size, count: core.gvml.shift_e(
+            0, 1 + size % 64, count=count),
+    ),
+    "count_m": (
+        lambda size, count: api.gvml_count_m(count=count),
+        lambda core, size, count: core.gvml.count_m(0, count=count),
+    ),
+}
+
+program_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(OPS)),
+        st.integers(0, 10_000),   # size seed
+        st.integers(1, 50),       # repeat count
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def run_framework(program, params):
+    est = LatencyEstimator(params)
+    with est.ctx():
+        for name, size, count in program:
+            OPS[name][0](size, count)
+    return est.total_cycles
+
+
+def run_simulator(program, params):
+    device = APUDevice(params, functional=False)
+    for name, size, count in program:
+        OPS[name][1](device.core, size, count)
+    return device.core.cycles
+
+
+class TestRandomProgramEquivalence:
+    @given(program=program_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_effect_simulator_matches_framework(self, program):
+        predicted = run_framework(program, ZERO_FX)
+        simulated = run_simulator(program, ZERO_FX)
+        assert simulated == pytest.approx(predicted, rel=1e-9)
+
+    @given(program=program_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_effects_always_slow_the_simulator(self, program):
+        predicted = run_framework(program, DEFAULT_PARAMS)
+        simulated = run_simulator(program, DEFAULT_PARAMS)
+        assert simulated >= predicted
+        # The second-order effects are small: under 10% plus a constant.
+        assert simulated <= predicted * 1.10 + 1000
+
+    @given(program=program_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_program_cost_is_additive(self, program):
+        """Costs compose: running the program twice costs exactly 2x."""
+        once = run_framework(program, DEFAULT_PARAMS)
+        twice = run_framework(program + program, DEFAULT_PARAMS)
+        assert twice == pytest.approx(2 * once, rel=1e-9)

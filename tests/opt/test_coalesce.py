@@ -1,0 +1,82 @@
+"""Tests for the DMA coalescing planner."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.opt.coalesce import (
+    TransferRequest,
+    coalescing_saving,
+    naive_cycles,
+    plan_coalescing,
+)
+
+
+def matmul_b_trace(k_rows=64, n_words=1024, repeats=32):
+    """The Fig. 10 pattern: every row of B re-read on each block pass."""
+    requests = []
+    for rep in range(repeats):
+        for k in range(k_rows):
+            requests.append(TransferRequest(chunk_id=k, nbytes=2 * n_words,
+                                            iteration=rep * k_rows + k))
+    return requests
+
+
+class TestPlan:
+    def test_empty_trace(self):
+        plan = plan_coalescing([])
+        assert plan.cycles() == 0.0
+        assert plan.bulk_vector_loads == 0
+
+    def test_distinct_chunks_packed_into_vectors(self):
+        requests = matmul_b_trace()
+        plan = plan_coalescing(requests)
+        # 64 rows x 2 KiB = 128 KiB -> 2 full 64 KiB vectors.
+        assert plan.bulk_vector_loads == 2
+        assert plan.subgroup_copies == len(requests)
+        assert plan.distinct_bytes == 64 * 2048
+
+    def test_single_use_chunks_still_planned(self):
+        requests = [TransferRequest(i, 512, i) for i in range(10)]
+        plan = plan_coalescing(requests)
+        assert plan.bulk_vector_loads == 1
+        assert plan.subgroup_copies == 10
+
+    def test_conflicting_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            plan_coalescing([
+                TransferRequest(0, 512, 0),
+                TransferRequest(0, 1024, 1),
+            ])
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            plan_coalescing([TransferRequest(0, 0, 0)])
+
+
+class TestCosts:
+    def test_coalescing_wins_on_redundant_traces(self):
+        naive, coalesced = coalescing_saving(matmul_b_trace())
+        # 2048 redundant row reads collapse to 2 bulk DMAs + copies.
+        assert coalesced < naive / 4
+
+    def test_eq12_shape(self):
+        plan = plan_coalescing(matmul_b_trace(k_rows=64, repeats=1))
+        mv = DEFAULT_PARAMS.movement
+        expected = 2 * mv.dma_l4_l1 + 64 * mv.cpy_subgrp
+        assert plan.cycles() == pytest.approx(expected)
+
+    def test_naive_cost_scales_with_requests(self):
+        one = naive_cycles(matmul_b_trace(repeats=1))
+        many = naive_cycles(matmul_b_trace(repeats=8))
+        assert many == pytest.approx(8 * one)
+
+    def test_coalescing_can_lose_without_reuse(self):
+        # A single large streaming read has no redundancy to remove;
+        # the subgroup copies are pure overhead on top of the same DMA.
+        requests = [TransferRequest(i, 65536, i) for i in range(4)]
+        naive, coalesced = coalescing_saving(requests)
+        assert coalesced > naive * 0.5  # no order-of-magnitude win
+
+    def test_on_chip_footprint_reported(self):
+        plan = plan_coalescing(matmul_b_trace())
+        assert plan.on_chip_vectors() == plan.bulk_vector_loads

@@ -1,0 +1,131 @@
+"""Tests for Graphene-style layouts and the broadcast-friendly transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt.layout import (
+    Dim,
+    Layout,
+    LayoutError,
+    broadcast_friendly,
+    broadcast_window_addresses,
+    broadcast_window_span,
+    lookup_table_entries,
+)
+
+
+class TestDim:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(LayoutError):
+            Dim(0, 1)
+        with pytest.raises(LayoutError):
+            Dim(4, -1)
+
+
+class TestLayoutBasics:
+    def test_row_major_addresses(self):
+        layout = Layout.row_major((2, 3))
+        assert list(layout.addresses()) == [0, 1, 2, 3, 4, 5]
+
+    def test_column_major_addresses(self):
+        layout = Layout.column_major((2, 3))
+        # dims: (2 @ 1), (3 @ 2): iterate rows outer, cols inner.
+        assert list(layout.addresses()) == [0, 2, 4, 1, 3, 5]
+
+    def test_address_single_index(self):
+        layout = Layout.row_major((3, 6))
+        assert layout.address((2, 5)) == 17
+        with pytest.raises(LayoutError):
+            layout.address((3, 0))
+        with pytest.raises(LayoutError):
+            layout.address((0,))
+
+    def test_num_elements_and_footprint(self):
+        layout = Layout([Dim(4, 8), Dim(2, 1)])
+        assert layout.num_elements == 8
+        assert layout.footprint() == 3 * 8 + 1 + 1
+
+    def test_gather_matches_numpy_transpose(self):
+        flat = np.arange(12)
+        cm = Layout.column_major((3, 4))
+        assert (cm.gather(flat) == flat.reshape(4, 3).T).all()
+
+    def test_scatter_inverts_gather(self):
+        flat = np.arange(12)
+        layout = Layout.column_major((3, 4))
+        gathered = layout.gather(flat)
+        assert (layout.scatter(gathered, out_size=12) == flat).all()
+
+    def test_scatter_rejects_aliasing_layout(self):
+        aliased = Layout([Dim(2, 0), Dim(3, 1)])  # stride-0 duplication
+        assert not aliased.is_bijective()
+        with pytest.raises(LayoutError):
+            aliased.scatter(np.zeros(6))
+
+    def test_permute_changes_iteration_not_placement(self):
+        layout = Layout.row_major((2, 3))
+        permuted = layout.permute([1, 0])
+        assert set(permuted.addresses()) == set(layout.addresses())
+        assert list(permuted.addresses()) != list(layout.addresses())
+
+    def test_split_preserves_addresses(self):
+        layout = Layout.row_major((8,))
+        split = layout.split(0, 4)
+        assert list(split.addresses()) == list(layout.addresses())
+        assert split.shape == (2, 4)
+
+    def test_split_requires_divisibility(self):
+        with pytest.raises(LayoutError):
+            Layout.row_major((6,)).split(0, 4)
+
+    def test_str_uses_graphene_notation(self):
+        assert str(Layout([Dim(32, 64), Dim(1, 2048)])) == "[32 @ 64; 1 @ 2048]"
+
+    @given(
+        rows=st.integers(1, 8), cols=st.integers(1, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_row_major_bijective_property(self, rows, cols):
+        layout = Layout.row_major((rows, cols))
+        assert layout.is_bijective()
+        assert layout.footprint() == rows * cols
+
+
+class TestFig11:
+    """The paper's 18 -> 3 lookup-table reduction."""
+
+    def test_row_major_window_span_is_13(self):
+        rm = Layout.row_major((3, 6))
+        assert broadcast_window_span(rm, window_dim=0, window=3) == 13
+
+    def test_row_major_table_is_18(self):
+        rm = Layout.row_major((3, 6))
+        assert lookup_table_entries(rm, window_dim=0, window=3, sweep_dim=1) == 18
+
+    def test_broadcast_friendly_table_is_3(self):
+        rm = Layout.row_major((3, 6))
+        bf = broadcast_friendly(rm, window_dim=0)
+        assert lookup_table_entries(bf, window_dim=1, window=3, sweep_dim=0) == 3
+
+    def test_broadcast_friendly_window_contiguous(self):
+        bf = broadcast_friendly(Layout.row_major((3, 6)), window_dim=0)
+        addrs = broadcast_window_addresses(bf, window_dim=1, step_indices=range(3))
+        assert list(addrs) == [0, 1, 2]
+
+    def test_transform_preserves_element_count(self):
+        rm = Layout.row_major((5, 7))
+        bf = broadcast_friendly(rm, window_dim=0)
+        assert bf.num_elements == rm.num_elements
+
+    @given(rows=st.integers(2, 10), cols=st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_bf_table_never_larger_property(self, rows, cols):
+        """Broadcast-friendly tables are never larger than row-major ones."""
+        rm = Layout.row_major((rows, cols))
+        bf = broadcast_friendly(rm, window_dim=0)
+        rm_table = lookup_table_entries(rm, 0, rows, sweep_dim=1)
+        bf_table = lookup_table_entries(bf, 1, rows, sweep_dim=0)
+        assert bf_table <= rm_table
+        assert bf_table == rows

@@ -1,0 +1,73 @@
+"""Tests for the unified optimization planner."""
+
+import pytest
+
+from repro.opt.planner import OptimizationPlanner
+from repro.opt.reduction import MatmulCostModel, MatmulShape
+
+
+@pytest.fixture()
+def planner():
+    return OptimizationPlanner()
+
+
+class TestPaperShape:
+    @pytest.fixture()
+    def plan(self, planner):
+        return planner.plan(MatmulShape(1024, 1024, 64))
+
+    def test_chooses_all_three_optimizations(self, plan):
+        assert plan.decision("reduction_mapping").choice == "temporal"
+        assert plan.decision("dma_coalescing").choice == "coalesce"
+        assert plan.decision("broadcast_layout").choice == "broadcast-friendly"
+
+    def test_every_decision_is_locally_optimal(self, plan):
+        for decision in plan.decisions:
+            assert decision.saving >= 0, decision.name
+
+    def test_estimated_total_matches_cost_model(self, plan):
+        model = MatmulCostModel(plan.shape)
+        assert plan.estimated_total_cycles == pytest.approx(
+            model.all_opts().total
+        )
+
+    def test_total_saving_substantial(self, plan):
+        # The mapping decision alone saves > 100 ms at this shape.
+        assert plan.total_saving > 50e6
+
+    def test_unknown_decision_raises(self, plan):
+        with pytest.raises(KeyError):
+            plan.decision("loop_fusion")
+
+
+class TestDegenerateShapes:
+    def test_dot_product_stays_spatial(self, planner):
+        plan = planner.plan(MatmulShape(1, 4, 8192))
+        assert plan.decision("reduction_mapping").choice == "spatial"
+        model = MatmulCostModel(plan.shape)
+        assert plan.estimated_total_cycles == pytest.approx(
+            model.baseline().total
+        )
+
+    def test_no_reuse_no_coalescing_gain(self, planner):
+        # A single block pass over B: each row fetched once; chained
+        # refetch (no staging) can win.
+        plan = planner.plan(MatmulShape(32, 1024, 4))
+        decision = plan.decision("dma_coalescing")
+        assert decision.saving >= 0  # planner still picks the cheaper side
+
+    def test_wide_k_maximizes_layout_gain(self, planner):
+        narrow = planner.plan(MatmulShape(1024, 1024, 8))
+        wide = planner.plan(MatmulShape(1024, 1024, 512))
+        assert (wide.decision("broadcast_layout").saving
+                > narrow.decision("broadcast_layout").saving)
+
+    def test_plan_totals_consistent_when_decisions_flip(self, planner):
+        # Whatever the choices, the estimate must be >= the all-opts
+        # lower bound of the cost model.
+        for shape in (MatmulShape(64, 2048, 16), MatmulShape(8, 512, 1024),
+                      MatmulShape(2048, 256, 32)):
+            plan = planner.plan(shape)
+            model = MatmulCostModel(shape)
+            lower = min(model.all_opts().total, model.baseline().total)
+            assert plan.estimated_total_cycles >= lower * 0.999

@@ -1,0 +1,122 @@
+"""Tests for the communication-aware reduction mapping cost model."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.opt.reduction import (
+    MatmulCostModel,
+    MatmulShape,
+    ReductionMapping,
+)
+
+
+@pytest.fixture()
+def model():
+    # The paper's 1024^3 binary matmul: K packed to 64 u16 words.
+    return MatmulCostModel(MatmulShape(m=1024, n=1024, k_words=64))
+
+
+class TestShape:
+    def test_total_ops(self):
+        shape = MatmulShape(4, 5, 6, alpha=2.0)
+        assert shape.total_ops == 4 * 5 * 6 * 2.0
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            MatmulShape(0, 1, 1)
+
+
+class TestDuplicationFactors:
+    def test_spatial_duplication(self, model):
+        assert model.dup_spatial == 32768 // 64  # 512
+
+    def test_temporal_duplication(self, model):
+        assert model.dup_temporal == 32768 // 1024  # 32
+
+
+class TestOperationalIntensity:
+    def test_oi_improves_along_the_ladder(self, model):
+        """Eq. 2 < Eq. 9 < Eq. 13: each stage cuts off-chip traffic."""
+        assert model.oi_baseline() < model.oi_temporal() < model.oi_coalesced()
+
+    def test_coalesced_oi_is_the_algorithmic_bound(self, model):
+        s = model.shape
+        words = s.m * s.k_words + s.n * s.k_words + s.m * s.n
+        expected = s.total_ops / (words * 2)
+        assert model.oi_coalesced() == pytest.approx(expected)
+
+    def test_baseline_oi_penalized_by_duplication(self, model):
+        # A is moved dup_spatial times; OI suffers accordingly.
+        assert model.oi_baseline() < model.oi_coalesced() / 10
+
+
+class TestCostTrajectory:
+    def test_baseline_dominated_by_pio_stores_and_duplication(self, model):
+        b = model.baseline()
+        assert b.t_c == pytest.approx(1024 * 1024 * 61)
+        assert b.t_c > b.t_mac
+        assert b.t_a > b.t_b
+
+    def test_opt1_kills_the_store_bottleneck(self, model):
+        b, t = model.baseline(), model.temporal()
+        assert t.t_c < b.t_c / 50
+        assert t.t_mac < b.t_mac
+
+    def test_opt1_increases_rhs_cost(self, model):
+        """The paper: opt1 'increases RHS matrix loading time'."""
+        assert model.temporal().t_b > model.baseline().t_b
+
+    def test_opt2_fixes_rhs(self, model):
+        t, c = model.temporal(), model.coalesced()
+        assert c.t_b < t.t_b / 5
+        assert c.t_a == t.t_a  # LHS untouched by coalescing
+
+    def test_opt3_fixes_lhs(self, model):
+        c, a = model.coalesced(), model.all_opts()
+        assert a.t_a < c.t_a / 5
+        assert a.t_b == c.t_b
+
+    def test_each_stage_is_no_slower(self, model):
+        totals = [
+            model.baseline().total,
+            model.temporal().total,
+            model.coalesced().total,
+            model.all_opts().total,
+        ]
+        assert all(b <= a for a, b in zip(totals, totals[1:]))
+
+    def test_overall_speedup_magnitude(self, model):
+        """The paper measures 18.9x end to end; the closed-form model
+        (which omits per-block overheads) lands in the same decade."""
+        speedup = model.baseline().total / model.all_opts().total
+        assert 10 < speedup < 60
+
+    def test_baseline_total_near_paper_measurement(self, model):
+        # Paper Fig. 12 baseline: 226.3 ms.
+        total_ms = DEFAULT_PARAMS.cycles_to_ms(model.baseline().total)
+        assert total_ms == pytest.approx(226.3, rel=0.15)
+
+    def test_stage_totals_ms_keys(self, model):
+        totals = model.stage_totals_ms()
+        assert list(totals) == ["baseline", "opt1", "opt1+2", "opt1+2+3"]
+        assert totals["baseline"] > totals["opt1+2+3"]
+
+
+class TestPlanner:
+    def test_large_k_small_n_prefers_temporal(self, model):
+        assert model.choose_mapping() is ReductionMapping.TEMPORAL
+
+    def test_tiny_output_prefers_spatial(self):
+        # With M*N tiny, PIO stores are negligible while temporal
+        # broadcasting still pays per-(block, k) lookups: spatial wins.
+        shape = MatmulShape(m=1, n=4, k_words=8192, alpha=5.0)
+        model = MatmulCostModel(shape)
+        assert model.baseline().total < model.temporal().total
+        assert model.choose_mapping() is ReductionMapping.SPATIAL
+
+    def test_performance_helper(self, model):
+        b = model.baseline()
+        perf = b.performance_ops(model.shape.total_ops, DEFAULT_PARAMS.clock_hz)
+        assert perf > 0
+        # Baseline achieves far below the ~1 TOPS compute roof.
+        assert perf < 1e12

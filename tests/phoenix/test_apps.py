@@ -1,0 +1,190 @@
+"""Functional correctness and latency sanity of each Phoenix app."""
+
+import numpy as np
+import pytest
+
+from repro.phoenix import (
+    ALL_OPTS,
+    Histogram,
+    KMeans,
+    LinearRegression,
+    MatrixMultiply,
+    NO_OPTS,
+    PCA,
+    ReverseIndex,
+    StringMatch,
+    WordCount,
+)
+
+APPS = [Histogram, LinearRegression, MatrixMultiply, KMeans,
+        ReverseIndex, StringMatch, WordCount, PCA]
+
+#: Paper Table 7 measured latencies (ms) for the seven anchored apps.
+PAPER_MEASURED_MS = {
+    "histogram": 1644.8,
+    "linear_regression": 92.3,
+    "matrix_multiply": 421.3,
+    "kmeans": 1.6,
+    "reverse_index": 182.0,
+    "string_match": 90.9,
+    "word_count": 3.2,
+}
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {cls.name: cls() for cls in APPS}
+
+
+class TestFunctionalCorrectness:
+    def test_histogram_matches_bincount(self, instances):
+        app = instances["histogram"]
+        assert (app.run_functional().value == app.reference()).all()
+
+    def test_linear_regression_matches_least_squares(self, instances):
+        app = instances["linear_regression"]
+        got = app.run_functional().value
+        assert np.allclose(got, app.reference())
+
+    def test_matrix_multiply_matches_numpy(self, instances):
+        app = instances["matrix_multiply"]
+        assert (app.run_functional().value == app.reference()).all()
+
+    def test_kmeans_assignments_match(self, instances):
+        app = instances["kmeans"]
+        assert (app.run_functional().value == app.reference()).all()
+
+    def test_reverse_index_finds_all_anchors(self, instances):
+        app = instances["reverse_index"]
+        assert app.run_functional().value == app.reference()
+
+    def test_string_match_counts_keys(self, instances):
+        app = instances["string_match"]
+        assert app.run_functional().value == app.reference()
+
+    def test_word_count_matches_python(self, instances):
+        app = instances["word_count"]
+        assert app.run_functional().value == app.reference()
+
+    def test_pca_matches_numpy_cov(self, instances):
+        app = instances["pca"]
+        means, cov = app.run_functional().value
+        ref_means, ref_cov = app.reference()
+        assert np.allclose(means, ref_means)
+        assert np.allclose(cov, ref_cov)
+
+    @pytest.mark.parametrize("cls", APPS, ids=[c.name for c in APPS])
+    def test_functional_run_charges_cycles(self, cls, instances):
+        result = instances[cls.name].run_functional()
+        assert result.cycles > 0
+        assert result.latency_us > 0
+
+
+class TestPaperScaleLatency:
+    @pytest.mark.parametrize("app_name, paper_ms",
+                             sorted(PAPER_MEASURED_MS.items()))
+    def test_measured_latency_near_paper(self, instances, app_name, paper_ms):
+        """Within +-35% of the Table 7 device measurement."""
+        ours = instances[app_name].measured_latency_ms()
+        assert 0.65 * paper_ms < ours < 1.35 * paper_ms, (
+            f"{app_name}: {ours:.1f} ms vs paper {paper_ms} ms"
+        )
+
+    @pytest.mark.parametrize("cls", APPS, ids=[c.name for c in APPS])
+    def test_prediction_error_within_paper_band(self, cls, instances):
+        """The framework predicts within ~6% (Table 7's worst case)."""
+        app = instances[cls.name]
+        measured = app.measured_latency_ms()
+        predicted = app.predicted_latency_ms()
+        assert abs(predicted - measured) / measured < 0.062
+
+    @pytest.mark.parametrize("cls", APPS, ids=[c.name for c in APPS])
+    def test_all_opts_fastest_variant(self, cls, instances):
+        variants = instances[cls.name].variant_latencies_ms()
+        assert variants["all opts"] == min(variants.values())
+        assert variants["baseline"] == max(variants.values())
+
+    @pytest.mark.parametrize("cls", APPS, ids=[c.name for c in APPS])
+    def test_single_opts_between_baseline_and_all(self, cls, instances):
+        variants = instances[cls.name].variant_latencies_ms()
+        for label in ("opt1", "opt2", "opt3"):
+            assert variants["all opts"] <= variants[label] <= variants["baseline"]
+
+
+class TestOptimizationAttribution:
+    """Section 5.2.1's per-optimization observations."""
+
+    def test_opt1_dominant_for_kmeans(self, instances):
+        variants = instances["kmeans"].variant_latencies_ms()
+        gain1 = variants["baseline"] / variants["opt1"]
+        gain2 = variants["baseline"] / variants["opt2"]
+        gain3 = variants["baseline"] / variants["opt3"]
+        assert gain1 > 3 * max(gain2, gain3)
+
+    def test_opt1_large_for_string_match_and_word_count(self, instances):
+        for name in ("string_match", "word_count"):
+            variants = instances[name].variant_latencies_ms()
+            assert variants["baseline"] / variants["opt1"] > 1.25
+
+    def test_opt2_matters_for_matmul_and_linreg(self, instances):
+        for name in ("matrix_multiply", "linear_regression"):
+            variants = instances[name].variant_latencies_ms()
+            assert variants["baseline"] / variants["opt2"] > 1.4
+
+    def test_combined_beats_best_single(self, instances):
+        """'Applying all three consistently yields greater improvements
+        than applying any single optimization in isolation.'"""
+        for cls in APPS:
+            variants = instances[cls.name].variant_latencies_ms()
+            best_single = min(variants["opt1"], variants["opt2"],
+                              variants["opt3"])
+            assert variants["all opts"] <= best_single
+
+
+class TestCPUComparison:
+    def test_winners_match_paper(self, instances):
+        """Optimized APU beats the 16T CPU exactly on linreg, kmeans,
+        string match and word count (Section 5.2.1)."""
+        winners = {
+            name for name in PAPER_MEASURED_MS
+            if instances[name].speedup_vs_cpu(threads=16) > 1.0
+        }
+        assert winners == {
+            "linear_regression", "kmeans", "string_match", "word_count",
+        }
+
+    def test_every_app_beats_single_thread(self, instances):
+        for name in PAPER_MEASURED_MS:
+            assert instances[name].speedup_vs_cpu(threads=1) > 1.0
+
+    def test_microcode_counts_positive_and_below_cpu(self, instances):
+        for name in PAPER_MEASURED_MS:
+            app = instances[name]
+            ucode = app.apu_microcode_instructions(ALL_OPTS)
+            assert 0 < ucode < app.cpu_instructions()
+
+    def test_baseline_flags_shape(self):
+        assert NO_OPTS.label == "baseline"
+        assert ALL_OPTS.label == "opt1+opt2+opt3"
+
+
+class TestInputScaling:
+    def test_with_input_scale_streaming_apps(self):
+        base = StringMatch().measured_latency_ms()
+        doubled = StringMatch.with_input_scale(2.0).measured_latency_ms()
+        assert doubled == pytest.approx(2 * base, rel=0.05)
+
+    def test_scale_does_not_mutate_class(self):
+        original = WordCount.TOTAL_BYTES
+        WordCount.with_input_scale(4.0)
+        assert WordCount.TOTAL_BYTES == original
+
+    def test_structural_apps_refuse_scaling(self):
+        with pytest.raises(TypeError):
+            KMeans.with_input_scale(2.0)
+        with pytest.raises(TypeError):
+            MatrixMultiply.with_input_scale(2.0)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.with_input_scale(0)

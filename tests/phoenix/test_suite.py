@@ -1,0 +1,77 @@
+"""Suite-level tests: Tables 6/7 and the Fig. 13 aggregates."""
+
+import pytest
+
+from repro.phoenix import PhoenixSuite, TABLE6_APPS
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return PhoenixSuite()
+
+
+class TestTable6:
+    def test_all_rows_present(self, suite):
+        rows = suite.table6_stats()
+        assert [r["app"] for r in rows] == list(TABLE6_APPS) + ["pca"]
+
+    def test_cpu_instruction_counts_from_paper(self, suite):
+        by_app = {r["app"]: r for r in suite.table6_stats()}
+        assert by_app["histogram"]["cpu_instructions"] == 4.8e9
+        assert by_app["matrix_multiply"]["cpu_instructions"] == 22.6e9
+        assert by_app["word_count"]["cpu_instructions"] == 0.7e9
+        assert by_app["pca"]["cpu_instructions"] is None  # no paper anchor
+
+    def test_apu_ucode_far_below_cpu_instructions(self, suite):
+        """Table 6's point: the APU retires orders of magnitude fewer
+        (vector) instructions than the CPU's scalar stream."""
+        for row in suite.table6_stats():
+            if row["cpu_instructions"] is None:
+                continue
+            assert row["apu_ucode_instructions"] < row["cpu_instructions"] / 40
+
+
+class TestTable7:
+    def test_prediction_errors_in_paper_band(self, suite):
+        rows = suite.table7_validation()
+        assert len(rows) == 7
+        for row in rows:
+            assert abs(row.error) <= 0.062, row.app  # paper max 6.2%
+
+    def test_mean_accuracy_matches_paper_headline(self, suite):
+        # Paper: 97.3% average accuracy.
+        assert suite.mean_accuracy() > 0.95
+
+    def test_errors_vary_across_apps(self, suite):
+        """The error is workload-dependent, not a constant bias."""
+        errors = [abs(r.error) for r in suite.table7_validation()]
+        assert max(errors) > 2 * min(errors)
+
+
+class TestFig13:
+    def test_aggregate_speedups_near_paper(self, suite):
+        agg = suite.aggregate_speedups()
+        # Paper: mean 41.8x, peak 128.3x vs 1T; mean 12.5x, max 68.1x vs 16T.
+        assert agg["mean_vs_1t"] == pytest.approx(41.8, rel=0.25)
+        assert agg["peak_vs_1t"] == pytest.approx(128.3, rel=0.25)
+        assert agg["mean_vs_16t"] == pytest.approx(12.5, rel=0.25)
+        assert agg["peak_vs_16t"] == pytest.approx(68.1, rel=0.25)
+
+    def test_geomean_below_mean(self, suite):
+        agg = suite.aggregate_speedups()
+        assert agg["geomean_vs_1t"] < agg["mean_vs_1t"]
+        assert agg["geomean_vs_16t"] < agg["mean_vs_16t"]
+
+    def test_string_match_is_the_peak(self, suite):
+        rows = {r.app: r for r in suite.fig13_comparison()}
+        peak = max(rows.values(), key=lambda r: r.speedup_1t())
+        assert peak.app == "string_match"
+
+    def test_variant_labels_in_fig13_order(self, suite):
+        assert suite.variant_labels() == [
+            "baseline", "opt1", "opt2", "opt3", "all opts",
+        ]
+
+    def test_16t_cpu_always_faster_than_1t(self, suite):
+        for row in suite.fig13_comparison():
+            assert row.cpu_16t_ms < row.cpu_1t_ms

@@ -1,0 +1,62 @@
+"""Tests for the batched-retrieval extension."""
+
+import numpy as np
+import pytest
+
+from repro.rag.batching import BatchedAPURetrieval
+from repro.rag.corpus import MiniCorpus, PAPER_CORPORA
+from repro.rag.retrieval import APURetriever
+
+
+@pytest.fixture(scope="module")
+def batched():
+    return BatchedAPURetrieval()
+
+
+class TestLatencyModel:
+    def test_batch_of_one_close_to_single_query(self, batched):
+        spec = PAPER_CORPORA["50GB"]
+        single = APURetriever(optimized=True).retrieval_seconds(spec)
+        batch = batched.batch_latency(spec, 1)
+        assert batch.batch_seconds == pytest.approx(single, rel=0.02)
+
+    def test_amortized_latency_decreases(self, batched):
+        spec = PAPER_CORPORA["200GB"]
+        curve = batched.throughput_curve(spec)
+        per_query = [point.per_query_seconds for point in curve]
+        assert all(b < a for a, b in zip(per_query, per_query[1:]))
+
+    def test_throughput_saturates_at_compute(self, batched):
+        """At large batches the shared stream is amortized away and
+        per-query cost approaches the pure compute + top-k floor."""
+        spec = PAPER_CORPORA["200GB"]
+        small = batched.batch_latency(spec, 1)
+        mid = batched.batch_latency(spec, 8)
+        large = batched.batch_latency(spec, 64)
+        larger = batched.batch_latency(spec, 128)
+        # Early batching multiplies throughput...
+        assert mid.queries_per_second > 4 * small.queries_per_second
+        assert large.queries_per_second > 10 * small.queries_per_second
+        # ...but returns diminish once the shared stream is amortized.
+        early_gain = mid.queries_per_second / small.queries_per_second  # 8x batch
+        late_gain = larger.queries_per_second / large.queries_per_second  # 2x batch
+        assert late_gain < early_gain / 3
+
+    def test_invalid_batch_rejected(self, batched):
+        with pytest.raises(ValueError):
+            batched.batch_latency(PAPER_CORPORA["10GB"], 0)
+
+    def test_batch_seconds_monotone_in_batch(self, batched):
+        spec = PAPER_CORPORA["10GB"]
+        times = [batched.batch_latency(spec, b).batch_seconds
+                 for b in (1, 4, 16)]
+        assert times[0] < times[1] < times[2]
+
+
+class TestFunctionalBatch:
+    def test_batched_results_match_individual(self, batched):
+        corpus = MiniCorpus(n_chunks=200, dim=64, seed=11)
+        queries = np.stack([corpus.sample_query() for _ in range(3)])
+        batch_results = batched.retrieve_batch(corpus, queries, k=4)
+        for query, result in zip(queries, batch_results):
+            assert result == [int(i) for i in corpus.exact_topk(query, 4)]

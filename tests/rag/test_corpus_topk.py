@@ -1,0 +1,121 @@
+"""Tests for RAG corpora and the APU top-k kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apu.device import APUDevice
+from repro.rag.corpus import MiniCorpus, PAPER_CORPORA
+from repro.rag.topk import apu_topk, topk_aggregation_cycles
+
+
+class TestPaperCorpora:
+    def test_three_scales(self):
+        assert set(PAPER_CORPORA) == {"10GB", "50GB", "200GB"}
+
+    def test_chunk_counts_match_paper(self):
+        assert PAPER_CORPORA["10GB"].n_chunks == 163_840   # "163K chunks"
+        assert PAPER_CORPORA["50GB"].n_chunks == 819_200   # "819K chunks"
+        assert PAPER_CORPORA["200GB"].n_chunks == 3_276_800  # "3.3M chunks"
+
+    def test_embedding_sizes_match_paper(self):
+        # 120 MB / 600 MB / 2.4 GB.
+        assert PAPER_CORPORA["10GB"].embedding_bytes == pytest.approx(
+            120e6, rel=0.1)
+        assert PAPER_CORPORA["50GB"].embedding_bytes == pytest.approx(
+            600e6, rel=0.1)
+        assert PAPER_CORPORA["200GB"].embedding_bytes == pytest.approx(
+            2.4e9, rel=0.1)
+
+
+class TestMiniCorpus:
+    def test_shapes_and_quantization(self):
+        corpus = MiniCorpus(n_chunks=100, dim=64, seed=1)
+        assert corpus.embeddings.shape == (100, 64)
+        assert corpus.embeddings.dtype == np.uint16
+        assert corpus.embeddings.max() < 16
+
+    def test_dot_products_fit_16_bits(self):
+        corpus = MiniCorpus(n_chunks=100, dim=64, seed=1)
+        query = corpus.sample_query()
+        assert corpus.scores(query).max() < (1 << 16)
+
+    def test_overflow_guard(self):
+        with pytest.raises(ValueError):
+            MiniCorpus(n_chunks=10, dim=512)
+
+    def test_exact_topk_ordering(self):
+        corpus = MiniCorpus(n_chunks=200, dim=64, seed=2)
+        query = corpus.sample_query()
+        top = corpus.exact_topk(query, 10)
+        scores = corpus.scores(query)
+        assert (np.diff(scores[top]) <= 0).all()
+
+    def test_deterministic_by_seed(self):
+        a = MiniCorpus(n_chunks=50, dim=32, seed=9)
+        b = MiniCorpus(n_chunks=50, dim=32, seed=9)
+        assert (a.embeddings == b.embeddings).all()
+
+
+class TestAPUTopK:
+    def _run(self, scores_list, k):
+        device = APUDevice()
+        core = device.core
+        vlen = device.params.vr_length
+        score_vrs, valid = [], []
+        for i, scores in enumerate(scores_list):
+            padded = np.zeros(vlen, dtype=np.uint16)
+            padded[: len(scores)] = scores
+            core.vr_write(4 + i, padded)
+            score_vrs.append(4 + i)
+            valid.append(len(scores))
+        return apu_topk(device, score_vrs, k, valid)
+
+    def test_single_vr_topk(self):
+        scores = np.array([5, 100, 7, 99, 100, 3], dtype=np.uint16)
+        winners = self._run([scores], 3)
+        assert [w[0] for w in winners] == [1, 4, 3]  # tie: lower index first
+        assert [w[1] for w in winners] == [100, 100, 99]
+
+    def test_multi_vr_global_indices_are_cumulative(self):
+        vr0 = np.array([10, 20], dtype=np.uint16)
+        vr1 = np.array([30, 5], dtype=np.uint16)
+        winners = self._run([vr0, vr1], 2)
+        # vr1's entries follow vr0's two valid entries: base 2.
+        assert winners[0] == (2 + 0, 30)
+        assert winners[1] == (1, 20)
+
+    def test_mismatched_valid_counts_rejected(self):
+        device = APUDevice()
+        device.core.vr_write(4, np.zeros(32768, dtype=np.uint16))
+        with pytest.raises(ValueError):
+            apu_topk(device, [4], 1, [])
+
+    def test_padding_never_wins(self):
+        scores = np.array([1, 2], dtype=np.uint16)
+        winners = self._run([scores], 2)
+        assert {w[0] for w in winners} == {0, 1}
+
+    @given(seed=st.integers(0, 1000), k=st.integers(1, 8))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_lexsort_reference(self, seed, k):
+        rng = np.random.default_rng(seed)
+        scores = rng.integers(1, 60000, 96).astype(np.uint16)
+        winners = self._run([scores], k)
+        expected = np.lexsort((np.arange(96), -scores.astype(np.int64)))[:k]
+        assert [w[0] for w in winners] == [int(e) for e in expected]
+
+
+class TestTopKLatencyModel:
+    def test_matches_table8_magnitudes(self):
+        # Paper: 69 us / 325 us / 1.30 ms across the three corpora.
+        us = lambda chunks: topk_aggregation_cycles(chunks) / 500e6 * 1e6
+        assert us(163_840) == pytest.approx(69, rel=0.6)
+        assert us(819_200) == pytest.approx(325, rel=0.3)
+        assert us(3_276_800) == pytest.approx(1300, rel=0.3)
+
+    def test_scales_linearly_with_score_vrs(self):
+        small = topk_aggregation_cycles(32768 * 10)
+        large = topk_aggregation_cycles(32768 * 100)
+        assert large / small == pytest.approx(105 / 15, rel=0.05)

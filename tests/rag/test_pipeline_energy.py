@@ -1,0 +1,126 @@
+"""Tests for the end-to-end RAG pipeline (Fig. 14) and energy (Fig. 15)."""
+
+import pytest
+
+from repro.rag import (
+    APURetriever,
+    CPURetriever,
+    GenerationModel,
+    MiniCorpus,
+    PAPER_CORPORA,
+    RAGPipeline,
+    apu_retrieval_energy,
+    fig14_comparison,
+    fig15_energy_comparison,
+)
+
+
+class TestGenerationModel:
+    def test_prefill_near_half_second(self):
+        """The generation-side TTFT implied by the paper's fractions."""
+        assert GenerationModel().prefill_seconds() == pytest.approx(0.55, rel=0.15)
+
+    def test_prefill_scales_with_context(self):
+        gen = GenerationModel()
+        assert gen.prefill_seconds(2048) > gen.prefill_seconds(512)
+
+    def test_invalid_context_rejected(self):
+        with pytest.raises(ValueError):
+            GenerationModel().prefill_seconds(0)
+
+    def test_decode_rate_reasonable(self):
+        # 8B fp16 weights over 768 GB/s: ~21 ms/token -> ~48 tok/s.
+        per_token = GenerationModel().decode_seconds_per_token()
+        assert 0.015 < per_token < 0.03
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        return {e.platform: e for e in fig14_comparison()}
+
+    def test_all_platforms_present(self, entries):
+        assert set(entries) == {
+            "cpu", "gpu", "apu_no_opt", "apu_opt1", "apu_all_opts",
+        }
+
+    def test_e2e_speedup_over_cpu_matches_paper(self, entries):
+        """Section 5.3.3: 1.05x / 1.15x / 1.75x end-to-end gains."""
+        expected = {"10GB": 1.05, "50GB": 1.15, "200GB": 1.75}
+        for label, target in expected.items():
+            speedup = (entries["cpu"].ttft_ms[label]
+                       / entries["apu_all_opts"].ttft_ms[label])
+            assert speedup == pytest.approx(target, rel=0.12), label
+
+    def test_apu_attains_gpu_level_latency(self, entries):
+        """'The optimized system attains GPU-level end-to-end latency'."""
+        for label in PAPER_CORPORA:
+            apu = entries["apu_all_opts"].ttft_ms[label]
+            gpu = entries["gpu"].ttft_ms[label]
+            assert apu / gpu < 1.25, label
+
+    def test_opt1_captures_most_of_the_gain(self, entries):
+        """Section 5.3.4: opt1 alone reduces 21.8->4.0 etc.; opt2/3 add
+        modest standalone gains on top."""
+        for label in PAPER_CORPORA:
+            no_opt = entries["apu_no_opt"].retrieval_ms[label]
+            opt1 = entries["apu_opt1"].retrieval_ms[label]
+            all_opts = entries["apu_all_opts"].retrieval_ms[label]
+            assert opt1 < no_opt / 3.5
+            assert all_opts <= opt1
+            assert (opt1 - all_opts) < (no_opt - opt1) / 5
+
+    def test_retrieval_fraction_grows_with_corpus(self):
+        """Fig. 14 narrative: CPU retrieval grows 4.3% -> 50.5%."""
+        pipeline = RAGPipeline(CPURetriever())
+        f10 = pipeline.retrieval_fraction(PAPER_CORPORA["10GB"])
+        f200 = pipeline.retrieval_fraction(PAPER_CORPORA["200GB"])
+        assert f10 == pytest.approx(0.043, abs=0.02)
+        assert f200 == pytest.approx(0.505, abs=0.06)
+
+    def test_functional_pipeline_answers(self):
+        corpus = MiniCorpus(n_chunks=200, dim=64, seed=8)
+        query = corpus.sample_query()
+        pipeline = RAGPipeline(APURetriever())
+        answer = pipeline.answer(corpus, query, 3)
+        assert answer == [int(i) for i in corpus.exact_topk(query, 3)]
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig15_energy_comparison()
+
+    def test_efficiency_ratio_in_paper_band(self, points):
+        """Paper: 54.4x - 117.9x more energy-efficient than the A6000."""
+        ratios = [pt.efficiency_ratio for pt in points.values()]
+        assert min(ratios) == pytest.approx(54.4, rel=0.15)
+        assert max(ratios) == pytest.approx(117.9, rel=0.15)
+        assert all(40 < r < 140 for r in ratios)
+
+    def test_200gb_breakdown_matches_paper(self, points):
+        """Static 71.4%, compute 24.7%, DRAM 2.7%, other 1.1%, cache
+        0.005% (Section 5.3.5)."""
+        fractions = points["200GB"].apu_energy.fractions()
+        assert fractions["static"] == pytest.approx(0.714, abs=0.03)
+        assert fractions["compute"] == pytest.approx(0.247, abs=0.03)
+        assert fractions["dram"] == pytest.approx(0.027, abs=0.01)
+        assert fractions["other"] == pytest.approx(0.011, abs=0.005)
+        assert fractions["cache"] == pytest.approx(0.00005, abs=0.0003)
+
+    def test_smaller_corpora_show_similar_distribution(self, points):
+        """'smaller corpora show similar distributions'."""
+        for label in ("10GB", "50GB"):
+            fractions = points[label].apu_energy.fractions()
+            assert fractions["static"] == pytest.approx(0.714, abs=0.05)
+
+    def test_apu_energy_scales_with_corpus(self, points):
+        assert (points["10GB"].apu_energy.total_j
+                < points["50GB"].apu_energy.total_j
+                < points["200GB"].apu_energy.total_j)
+
+    def test_energy_helper_consistent_with_comparison(self, points):
+        direct = apu_retrieval_energy(PAPER_CORPORA["50GB"])
+        assert direct.total_j == pytest.approx(
+            points["50GB"].apu_energy.total_j
+        )

@@ -1,0 +1,188 @@
+"""Tests for the three retrieval engines and Table 8 reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.rag.corpus import MiniCorpus, PAPER_CORPORA
+from repro.rag.retrieval import APURetriever, CPURetriever, GPURetriever
+
+#: Paper Table 8 totals in ms (no-opt, all-opts) per corpus.
+PAPER_TOTALS = {
+    "10GB": (21.8, 3.9),
+    "50GB": (129.5, 20.6),
+    "200GB": (539.2, 84.2),
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return MiniCorpus(n_chunks=300, dim=64, seed=3)
+
+
+@pytest.fixture(scope="module")
+def query(corpus):
+    return corpus.sample_query()
+
+
+class TestFunctionalAgreement:
+    def test_apu_matches_exact_reference(self, corpus, query):
+        expected = [int(i) for i in corpus.exact_topk(query, 5)]
+        assert APURetriever().retrieve(corpus, query, 5) == expected
+
+    def test_gpu_matches_exact_reference(self, corpus, query):
+        expected = [int(i) for i in corpus.exact_topk(query, 5)]
+        assert GPURetriever().retrieve(corpus, query, 5) == expected
+
+    def test_cpu_finds_same_set(self, corpus, query):
+        expected = set(int(i) for i in corpus.exact_topk(query, 5))
+        assert set(CPURetriever().retrieve(corpus, query, 5)) == expected
+
+    def test_all_engines_agree_across_queries(self, corpus):
+        apu, gpu = APURetriever(), GPURetriever()
+        for _ in range(3):
+            q = corpus.sample_query()
+            assert apu.retrieve(corpus, q, 3) == gpu.retrieve(corpus, q, 3)
+
+    def test_multi_tile_corpus(self):
+        """Corpora spanning several score VRs still retrieve exactly.
+
+        Regression: with 64-dim chunks one score VR covers 512 chunks;
+        600 chunks forces a second tile, whose global indices must be
+        offset by the first tile's valid count (not the VR length).
+        """
+        corpus = MiniCorpus(n_chunks=600, dim=64, seed=5)
+        query = corpus.sample_query()
+        expected = [int(i) for i in corpus.exact_topk(query, 5)]
+        assert APURetriever().retrieve(corpus, query, 5) == expected
+
+    def test_winner_in_second_tile_found(self):
+        """Force the best chunk into the second tile explicitly."""
+        corpus = MiniCorpus(n_chunks=700, dim=64, seed=6)
+        query = corpus.sample_query()
+        # Make chunk 650 the undisputed winner.
+        corpus.embeddings[650] = 15
+        expected = [int(i) for i in corpus.exact_topk(query, 3)]
+        assert expected[0] == 650
+        assert APURetriever().retrieve(corpus, query, 3) == expected
+
+    def test_multicore_sharded_retrieval_exact(self):
+        """The 4-core sharded path returns the same exact results."""
+        corpus = MiniCorpus(n_chunks=900, dim=64, seed=7)
+        retriever = APURetriever()
+        for _ in range(3):
+            query = corpus.sample_query()
+            expected = [int(i) for i in corpus.exact_topk(query, 5)]
+            assert retriever.retrieve_multicore(corpus, query, 5) == expected
+
+    def test_oversized_functional_corpus_rejected(self):
+        # The chunk-major (unoptimized) path packs 512 chunks per VR;
+        # 10240 chunks exceed its 8-tile functional budget.
+        corpus = MiniCorpus(n_chunks=512 * 20, dim=64, seed=6)
+        with pytest.raises(ValueError):
+            APURetriever(optimized=False).retrieve(
+                corpus, corpus.sample_query(), 5)
+
+    def test_optimized_and_unoptimized_kernels_agree(self):
+        """Dim-major (temporal) and chunk-major (spatial) functional
+        kernels compute identical exact results."""
+        corpus = MiniCorpus(n_chunks=500, dim=64, seed=9)
+        for _ in range(3):
+            query = corpus.sample_query()
+            optimized = APURetriever(optimized=True).retrieve(
+                corpus, query, 5)
+            unoptimized = APURetriever(optimized=False).retrieve(
+                corpus, query, 5)
+            assert optimized == unoptimized
+            assert optimized == [int(i) for i in corpus.exact_topk(query, 5)]
+
+    def test_kernel_structures_match_their_mapping(self):
+        """The functional traces exhibit the mappings they claim: the
+        temporal kernel reduces with inter-VR adds only; the spatial
+        kernel spends its compute in intra-VR subgroup reductions."""
+        from repro.apu.device import APUDevice
+
+        corpus = MiniCorpus(n_chunks=400, dim=64, seed=10)
+        query = corpus.sample_query()
+
+        device = APUDevice()
+        retriever = APURetriever(optimized=True)
+        retriever._distances_dim_major(device, corpus, query)
+        temporal_ops = device.core.trace.breakdown_by_op()
+        assert "add_subgrp_s16" not in temporal_ops
+        assert temporal_ops["add_u16"] > 0
+
+        device = APUDevice()
+        retriever = APURetriever(optimized=False)
+        retriever._distances_chunk_major(device, corpus, query)
+        spatial_ops = device.core.trace.breakdown_by_op()
+        assert spatial_ops["add_subgrp_s16"] > 0
+        # The intra-VR reduction dominates the spatial kernel's cycles.
+        assert spatial_ops["add_subgrp_s16"] == max(spatial_ops.values())
+
+
+class TestTable8:
+    @pytest.mark.parametrize("label", sorted(PAPER_CORPORA))
+    def test_totals_near_paper(self, label):
+        paper_noopt, paper_opt = PAPER_TOTALS[label]
+        spec = PAPER_CORPORA[label]
+        noopt = APURetriever(optimized=False).retrieval_seconds(spec) * 1e3
+        opt = APURetriever(optimized=True).retrieval_seconds(spec) * 1e3
+        assert noopt == pytest.approx(paper_noopt, rel=0.35)
+        assert opt == pytest.approx(paper_opt, rel=0.35)
+
+    def test_optimizations_win_by_table8_factor(self):
+        """Paper: up to 6.4x retrieval reduction vs the unoptimized APU."""
+        spec = PAPER_CORPORA["200GB"]
+        noopt = APURetriever(optimized=False).retrieval_seconds(spec)
+        opt = APURetriever(optimized=True).retrieval_seconds(spec)
+        assert 4.0 < noopt / opt < 9.0
+
+    def test_distance_stage_dominates(self):
+        for label, spec in PAPER_CORPORA.items():
+            for optimized in (False, True):
+                b = APURetriever(optimized=optimized).latency_breakdown(spec)
+                assert b.calc_distance == max(
+                    b.load_embedding, b.load_query, b.calc_distance,
+                    b.topk_aggregation, b.return_topk,
+                ), (label, optimized)
+
+    def test_optimized_embedding_load_faster(self):
+        """Table 8: 8.2 ms -> 6.1 ms at 200 GB from better alignment."""
+        spec = PAPER_CORPORA["200GB"]
+        noopt = APURetriever(optimized=False).latency_breakdown(spec)
+        opt = APURetriever(optimized=True).latency_breakdown(spec)
+        assert opt.load_embedding < noopt.load_embedding
+
+    def test_optimized_query_load_slower(self):
+        """Table 8's counterintuitive row: opt pays more in Load Query."""
+        spec = PAPER_CORPORA["10GB"]
+        noopt = APURetriever(optimized=False).latency_breakdown(spec)
+        opt = APURetriever(optimized=True).latency_breakdown(spec)
+        assert opt.load_query > noopt.load_query
+
+    def test_breakdown_total_consistent(self):
+        spec = PAPER_CORPORA["50GB"]
+        b = APURetriever().latency_breakdown(spec)
+        assert b.total == pytest.approx(
+            b.load_embedding + b.load_query + b.calc_distance
+            + b.topk_aggregation + b.return_topk
+        )
+        ms = b.as_ms()
+        assert ms["total"] == pytest.approx(b.total * 1e3)
+
+
+class TestRetrievalSpeedups:
+    def test_speedup_over_cpu_in_paper_band(self):
+        """Section 5.3.3: 6.3x / 4.8x / 6.6x at 10/50/200 GB."""
+        cpu = CPURetriever()
+        apu = APURetriever(optimized=True)
+        expected = {"10GB": 6.3, "50GB": 4.8, "200GB": 6.6}
+        for label, spec in PAPER_CORPORA.items():
+            speedup = (cpu.retrieval_seconds(spec)
+                       / apu.retrieval_seconds(spec))
+            assert speedup == pytest.approx(expected[label], rel=0.25), label
+
+    def test_gpu_retrieval_fastest(self):
+        gpu, apu = GPURetriever(), APURetriever(optimized=True)
+        for spec in PAPER_CORPORA.values():
+            assert gpu.retrieval_seconds(spec) < apu.retrieval_seconds(spec)

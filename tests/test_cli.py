@@ -1,0 +1,51 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_known_experiments_accepted(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_matmul_shape_flags(self):
+        args = build_parser().parse_args(
+            ["fig12", "--m", "64", "--n", "2048", "--k", "128"])
+        assert (args.m, args.n, args.k) == (64, 2048, 128)
+
+
+class TestExecution:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "GSI APU" in capsys.readouterr().out
+
+    def test_fig12_with_small_shape(self, capsys):
+        assert main(["fig12", "--m", "64", "--n", "2048", "--k", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "opt1+2+3" in out
+
+    def test_table8(self, capsys):
+        assert main(["table8"]) == 0
+        out = capsys.readouterr().out
+        assert "200GB" in out and "all-opts" in out
+
+    def test_fig15(self, capsys):
+        assert main(["fig15"]) == 0
+        assert "x" in capsys.readouterr().out
+
+    def test_batching_corpus_flag(self, capsys):
+        assert main(["batching", "--corpus", "10GB"]) == 0
+        assert "qps" in capsys.readouterr().out

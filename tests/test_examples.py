@@ -1,0 +1,69 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples double as acceptance tests for the public API; each one
+asserts its own correctness internally, so "ran without raising" is a
+meaningful check.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart",
+    "bit_serial_microcode",
+]
+
+SLOW_EXAMPLES = [
+    "binary_matmul_optimization",
+    "rag_retrieval",
+    "phoenix_suite",
+    "design_space_exploration",
+    "virtual_isa_and_profiling",
+]
+
+
+def _load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleInventory:
+    def test_at_least_six_examples_ship(self):
+        scripts = sorted(p.stem for p in EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 6
+        assert "quickstart" in scripts
+
+    def test_every_example_has_a_main(self):
+        for name in FAST_EXAMPLES + SLOW_EXAMPLES:
+            module = _load(name)
+            assert hasattr(module, "main"), name
+
+    def test_every_example_documents_how_to_run(self):
+        for path in EXAMPLES.glob("*.py"):
+            text = path.read_text()
+            assert "Run:" in text, path.name
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples_run(name, capsys):
+    module = _load(name)
+    module.main()
+    assert capsys.readouterr().out  # produced human-readable output
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_examples_run(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out
+    assert "MISMATCH" not in out

@@ -1,0 +1,48 @@
+"""The reproduction contract: every registered paper claim must hold."""
+
+import pytest
+
+from repro.validation import PAPER_CLAIMS, validate_reproduction
+
+
+@pytest.fixture(scope="module")
+def results():
+    return validate_reproduction()
+
+
+class TestRegistry:
+    def test_registry_covers_every_evaluation_area(self):
+        keys = {c.key for c in PAPER_CLAIMS}
+        assert any("matmul" in k for k in keys)       # Section 5.1
+        assert any("phoenix" in k for k in keys)      # Section 5.2
+        assert any("retrieval" in k for k in keys)    # Section 5.3
+        assert any("energy" in k for k in keys)       # Section 5.3.5
+        assert len(PAPER_CLAIMS) >= 14
+
+    def test_claims_carry_sources(self):
+        for claim in PAPER_CLAIMS:
+            assert claim.source.startswith(("Section", "Table", "Fig"))
+            assert claim.paper_value > 0
+            assert 0 < claim.rel_tolerance <= 1.0
+
+    def test_keys_unique(self):
+        keys = [c.key for c in PAPER_CLAIMS]
+        assert len(keys) == len(set(keys))
+
+
+class TestEveryClaimHolds:
+    @pytest.mark.parametrize("key", [c.key for c in PAPER_CLAIMS])
+    def test_claim(self, results, key):
+        result = results[key]
+        assert result.holds, (
+            f"{key}: paper {result.claim.paper_value}, "
+            f"measured {result.measured:.4g} "
+            f"({result.relative_error * 100:+.1f}% vs tolerance "
+            f"{result.claim.rel_tolerance * 100:.0f}%)"
+        )
+
+    def test_signed_errors_not_all_one_sided(self, results):
+        """The reproduction is not a uniform rescaling of the paper:
+        some quantities land above, some below."""
+        signs = {result.relative_error > 0 for result in results.values()}
+        assert signs == {True, False}
