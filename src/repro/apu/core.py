@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.estimator import LatencyEstimator
 from ..core.params import APUParams, DEFAULT_PARAMS
+from ..obs import collector as _trace_collector
 from .memory import MemoryError_, Scratchpad, VMRFile
 
 __all__ = ["APUCore", "NUM_MARKERS"]
@@ -50,7 +51,7 @@ class APUCore:
         self.device = device
         self.functional = functional
         self.core_id = core_id
-        self.trace = LatencyEstimator(params)
+        self.trace = LatencyEstimator(params, core_id=core_id)
         self.vrs: List[Optional[np.ndarray]] = [None] * params.num_vrs
         self.markers: Dict[int, Optional[np.ndarray]] = {
             i: None for i in range(NUM_MARKERS)
@@ -70,18 +71,20 @@ class APUCore:
     # Cycle accounting
     # ------------------------------------------------------------------
     def charge_command(self, name: str, cycles: float, count: int = 1,
-                       micro_ops: int = 1) -> None:
+                       micro_ops: int = 1, nbytes: int = 0) -> None:
         """Charge a vector command issued through the CP/VCU.
 
         Adds the simulator-only VCU decode/issue overhead per command.
+        ``nbytes`` (bytes moved per execution) feeds the trace events.
         """
         issue = self.params.effects.vcu_issue_cycles
-        self.trace.record(name, cycles + issue, count)
+        self.trace.record(name, cycles + issue, count, bytes_moved=nbytes)
         self.micro_instructions += micro_ops * count
 
-    def charge_raw(self, name: str, cycles: float, count: int = 1) -> None:
+    def charge_raw(self, name: str, cycles: float, count: int = 1,
+                   nbytes: int = 0) -> None:
         """Charge cycles with no issue overhead (DMA engine internals)."""
-        self.trace.record(name, cycles, count)
+        self.trace.record(name, cycles, count, bytes_moved=nbytes)
 
     @property
     def cycles(self) -> float:
@@ -135,6 +138,12 @@ class APUCore:
                 f"got {arr.shape}"
             )
         self.vrs[vr] = arr.copy()
+        collector = (self.trace.collector if self.trace.collector is not None
+                     else _trace_collector.ACTIVE)
+        if collector is not None and collector.enabled:
+            collector.note_vr_occupancy(
+                sum(1 for data in self.vrs if data is not None)
+            )
 
     def marker_read(self, marker: int) -> np.ndarray:
         """Functional read of a marker register as a boolean vector."""

@@ -50,10 +50,14 @@ class APUDevice:
         Architecture parameters (evolve a copy for DSE).
     functional:
         Functional (NumPy data + cycles) vs timing-only execution.
+    collector:
+        Optional :class:`repro.obs.TraceCollector` that receives this
+        device's trace events regardless of the globally active one;
+        ``None`` (default) defers to ``repro.obs.collecting()``.
     """
 
     def __init__(self, params: APUParams = DEFAULT_PARAMS,
-                 functional: bool = True):
+                 functional: bool = True, collector=None):
         self.params = params
         self.functional = functional
         self.l4 = DeviceDRAM(params.l4_bytes)
@@ -62,6 +66,13 @@ class APUDevice:
             APUCore(params, device=self, functional=functional, core_id=i)
             for i in range(params.num_cores)
         ]
+        if collector is not None:
+            self.attach_collector(collector)
+
+    def attach_collector(self, collector) -> None:
+        """Route every core's trace events to ``collector``."""
+        for core in self.cores:
+            core.trace.collector = collector
 
     @property
     def core(self) -> APUCore:

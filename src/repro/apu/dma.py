@@ -54,7 +54,7 @@ class DMAController:
         if nbytes <= 0:
             raise MemoryError_("DMA size must be positive")
         cost = self._l4_cost(self.params.movement.dma_l4_l2(nbytes), nbytes)
-        self.core.charge_raw("dma_l4_l2", cost, count)
+        self.core.charge_raw("dma_l4_l2", cost, count, nbytes=nbytes)
         if self.core.functional:
             data = self.core.l4.read(src, nbytes)
             self.core.l2.write(l2_offset, data)
@@ -65,7 +65,7 @@ class DMAController:
         if nbytes <= 0:
             raise MemoryError_("DMA size must be positive")
         cost = self._l4_cost(self.params.movement.dma_l4_l2(nbytes), nbytes)
-        self.core.charge_raw("dma_l2_l4", cost, count)
+        self.core.charge_raw("dma_l2_l4", cost, count, nbytes=nbytes)
         if self.core.functional:
             data = self.core.l2.read(l2_offset, nbytes)
             self.core.l4.write(dst, data)
@@ -88,7 +88,7 @@ class DMAController:
         base = self.params.movement.dma_l4_l2(total)
         chained = self.params.movement.dma_chained_init * (n_elements - 1)
         self.core.charge_raw("dma_l4_l2", self._l4_cost(base + chained, total),
-                             count)
+                             count, nbytes=total)
         if self.core.functional:
             if src is None:
                 raise MemoryError_("functional mode needs a source handle")
@@ -111,7 +111,8 @@ class DMAController:
         base = self.params.movement.dma_l4_l2(dest_bytes)
         chained = self.params.movement.dma_chained_init * (repeats - 1)
         self.core.charge_raw(
-            "dma_l4_l2", self._l4_cost(base + chained, dest_bytes), count
+            "dma_l4_l2", self._l4_cost(base + chained, dest_bytes), count,
+            nbytes=dest_bytes,
         )
         if self.core.functional:
             if src is None:
@@ -126,7 +127,7 @@ class DMAController:
         if nbytes <= 0:
             raise MemoryError_("DMA size must be positive")
         cost = self._l4_cost(self.params.movement.dma_l4_l3(nbytes), nbytes)
-        self.core.charge_raw("dma_l4_l3", cost, count)
+        self.core.charge_raw("dma_l4_l3", cost, count, nbytes=nbytes)
         if self.core.functional:
             data = self.core.l4.read(src, nbytes)
             self.core.l3.write(l3_offset, data)
@@ -136,14 +137,16 @@ class DMAController:
     # ------------------------------------------------------------------
     def l2_to_l1(self, vmr_slot: int, count: int = 1) -> None:
         """Move the full vector staged in L2 into an L1 VMR."""
-        self.core.charge_raw("dma_l2_l1", self.params.movement.dma_l2_l1, count)
+        self.core.charge_raw("dma_l2_l1", self.params.movement.dma_l2_l1, count,
+                             nbytes=self.params.vr_bytes)
         if self.core.functional:
             vector = self.core.l2.read(0, self.params.vr_bytes, np.uint16)
             self.core.l1.store(vmr_slot, vector)
 
     def l1_to_l2(self, vmr_slot: int, count: int = 1) -> None:
         """Move a full vector from an L1 VMR into L2."""
-        self.core.charge_raw("dma_l1_l2", self.params.movement.dma_l2_l1, count)
+        self.core.charge_raw("dma_l1_l2", self.params.movement.dma_l2_l1, count,
+                             nbytes=self.params.vr_bytes)
         if self.core.functional:
             self.core.l2.write(0, self.core.l1.load(vmr_slot))
 
@@ -152,7 +155,7 @@ class DMAController:
         """Direct DMA of one full vector, device DRAM -> L1 VMR."""
         nbytes = self.params.vr_bytes
         cost = self._l4_cost(self.params.movement.dma_l4_l1, nbytes)
-        self.core.charge_raw("dma_l4_l1", cost, count)
+        self.core.charge_raw("dma_l4_l1", cost, count, nbytes=nbytes)
         if self.core.functional:
             if src is None:
                 raise MemoryError_("functional mode needs a source handle")
@@ -163,7 +166,7 @@ class DMAController:
         """Direct DMA of one full vector, L1 VMR -> device DRAM."""
         nbytes = self.params.vr_bytes
         cost = self._l4_cost(self.params.movement.dma_l1_l4, nbytes)
-        self.core.charge_raw("dma_l1_l4", cost, count)
+        self.core.charge_raw("dma_l1_l4", cost, count, nbytes=nbytes)
         if self.core.functional:
             if dst is None:
                 raise MemoryError_("functional mode needs a destination handle")
@@ -185,7 +188,8 @@ class DMAController:
         if n_elements is None or n_elements < 0:
             raise MemoryError_("pio_ld needs element positions or a count")
         self.core.charge_raw(
-            "pio_ld", self.params.movement.pio_ld(n_elements), count
+            "pio_ld", self.params.movement.pio_ld(n_elements), count,
+            nbytes=2 * n_elements,
         )
         if self.core.functional and elements is not None:
             if src is None:
@@ -203,7 +207,8 @@ class DMAController:
         if n_elements is None or n_elements < 0:
             raise MemoryError_("pio_st needs element positions or a count")
         self.core.charge_raw(
-            "pio_st", self.params.movement.pio_st(n_elements), count
+            "pio_st", self.params.movement.pio_st(n_elements), count,
+            nbytes=2 * n_elements,
         )
         if self.core.functional and elements is not None:
             if dst is None:
@@ -231,7 +236,7 @@ class DMAController:
             )
         base = self.params.movement.lookup(table_entries)
         cost = base * (1.0 + self.params.effects.lookup_cache_factor)
-        self.core.charge_raw("lookup", cost, count)
+        self.core.charge_raw("lookup", cost, count, nbytes=2 * table_entries)
         if self.core.functional:
             if index_vr is None:
                 raise MemoryError_("functional lookup needs an index VR")

@@ -89,13 +89,15 @@ class GVML:
     # ------------------------------------------------------------------
     def load_16(self, vr: int, vmr_slot: int, count: int = 1) -> None:
         """Load a full 16-bit vector from an L1 VMR into a VR."""
-        self.core.charge_command("load", self.params.movement.vr_load, count)
+        self.core.charge_command("load", self.params.movement.vr_load, count,
+                                 nbytes=self.params.vr_bytes)
         if self._functional:
             self.core.vr_write(vr, self.core.l1.load(vmr_slot))
 
     def store_16(self, vmr_slot: int, vr: int, count: int = 1) -> None:
         """Store a VR into an L1 VMR."""
-        self.core.charge_command("store", self.params.movement.vr_store, count)
+        self.core.charge_command("store", self.params.movement.vr_store, count,
+                                 nbytes=self.params.vr_bytes)
         if self._functional:
             self.core.l1.store(vmr_slot, self.core.vr_read(vr))
 
@@ -486,7 +488,7 @@ class GVML:
     def get_element(self, vr: int, index: int, count: int = 1) -> Optional[int]:
         """Serial retrieval of one VR element through the RSP FIFO."""
         self.core.charge_command(
-            "rsp_get", self.params.movement.pio_st_per_elem, count
+            "rsp_get", self.params.movement.pio_st_per_elem, count, nbytes=2
         )
         if self._functional:
             if not 0 <= index < self.params.vr_length:
@@ -497,7 +499,7 @@ class GVML:
     def set_element(self, vr: int, index: int, value: int, count: int = 1) -> None:
         """Parallel insertion of one element into a VR via the RSP FIFO."""
         self.core.charge_command(
-            "rsp_set", self.params.movement.pio_ld_per_elem, count
+            "rsp_set", self.params.movement.pio_ld_per_elem, count, nbytes=2
         )
         if self._functional:
             if not 0 <= index < self.params.vr_length:

@@ -19,7 +19,7 @@ tests verify.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +41,8 @@ def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
 class DeviceProfiler:
     """Derive framework parameters by microbenchmarking a device."""
 
-    def __init__(self, device_factory: Callable[[], APUDevice] = None):
+    def __init__(self,
+                 device_factory: Optional[Callable[[], APUDevice]] = None):
         self.device_factory = device_factory or (
             lambda: APUDevice(DEFAULT_PARAMS, functional=False)
         )

@@ -10,6 +10,16 @@ without going through pytest:
     python -m repro.cli fig12 --m 512 --n 512 --k 512
     python -m repro.cli fig14
     python -m repro.cli all
+
+plus the observability entry point: ``trace <workload>`` runs one
+workload under the event-trace collector, prints the per-lane text
+timeline, and exports a Chrome ``trace_event`` JSON for Perfetto:
+
+.. code-block:: bash
+
+    python -m repro.cli trace histogram
+    python -m repro.cli trace rag --trace-out rag.json
+    python -m repro.cli trace workloads   # list traceable workloads
 """
 
 from __future__ import annotations
@@ -144,6 +154,73 @@ def _run_claims(args) -> None:
               f"{status}")
 
 
+def _trace_runners() -> Dict[str, Callable]:
+    """Traceable workloads: name -> runner returning the device's total
+    cycles (``None`` when the workload builds its device internally)."""
+    from .apu.device import APUDevice
+    from .core.params import DEFAULT_PARAMS
+    from .obs.micro import run_table4_micro, run_table5_micro
+    from .phoenix.base import ALL_OPTS
+    from .phoenix.suite import PhoenixSuite
+
+    runners: Dict[str, Callable] = {}
+
+    for name, app in PhoenixSuite().apps.items():
+        def run_phoenix(app=app):
+            device = APUDevice(DEFAULT_PARAMS, functional=False)
+            app._latency_program(device, ALL_OPTS)
+            return device.total_cycles
+        runners[name] = run_phoenix
+
+    def run_rag():
+        from .rag.corpus import MiniCorpus
+        from .rag.retrieval import APURetriever
+
+        corpus = MiniCorpus(n_chunks=512, dim=64, seed=0)
+        APURetriever(optimized=True).retrieve(
+            corpus, corpus.sample_query(), k=5)
+        return None
+
+    runners["rag"] = run_rag
+    runners["table4"] = lambda: run_table4_micro().total_cycles
+    runners["table5"] = lambda: run_table5_micro().total_cycles
+    return runners
+
+
+def _run_trace(args) -> None:
+    from .core.params import DEFAULT_PARAMS
+    from .obs import LANE_HBM, collecting, render_timeline, write_chrome_trace
+
+    workload = args.workload or "histogram"
+    runners = _trace_runners()
+    if workload == "workloads":
+        for name in sorted(runners):
+            print(name)
+        return
+    if workload not in runners:
+        raise SystemExit(
+            f"unknown trace workload {workload!r}; "
+            "run 'trace workloads' to list them")
+    if args.trace_events <= 0:
+        raise SystemExit("--trace-events must be positive")
+    with collecting(capacity=args.trace_events) as trace:
+        expected = runners[workload]()
+
+    print(f"trace of {workload!r}:")
+    print(render_timeline(trace, clock_hz=DEFAULT_PARAMS.clock_hz))
+    if expected is not None:
+        core_cycles = sum(cycles for lane, cycles
+                          in trace.cycles_by_lane.items() if lane != LANE_HBM)
+        ok = abs(core_cycles - expected) <= 1e-6 * max(1.0, expected)
+        print(f"conservation: per-lane sum {core_cycles:.0f} vs device total "
+              f"{expected:.0f} cycles -> {'OK' if ok else 'MISMATCH'}")
+    out = args.trace_out or f"trace_{workload}.json"
+    path = write_chrome_trace(out, trace, clock_hz=DEFAULT_PARAMS.clock_hz,
+                              metadata={"workload": workload})
+    print(f"chrome trace written to {path} "
+          "(open in Perfetto or chrome://tracing)")
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "claims": _run_claims,
     "table1": _run_table1,
@@ -167,9 +244,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all"],
-        help="which experiment to run",
+        choices=sorted(EXPERIMENTS) + ["list", "all", "trace"],
+        help="which experiment to run ('trace' runs a workload under "
+             "the event-trace collector)",
     )
+    parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="trace only: workload to trace (a Phoenix app, 'rag', "
+             "'table4', 'table5'; 'workloads' lists them)",
+    )
+    parser.add_argument("--trace-out", default=None,
+                        help="trace only: Chrome trace JSON output path "
+                             "(default trace_<workload>.json)")
+    parser.add_argument("--trace-events", type=int, default=65536,
+                        help="trace only: ring-buffer capacity in events")
     parser.add_argument("--m", type=int, default=1024,
                         help="matmul M dimension (fig2/fig12)")
     parser.add_argument("--n", type=int, default=1024,
@@ -187,6 +275,9 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
+        return 0
+    if args.experiment == "trace":
+        _run_trace(args)
         return 0
     if args.experiment == "all":
         for name, runner in EXPERIMENTS.items():

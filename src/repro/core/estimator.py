@@ -29,6 +29,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from ..obs import collector as _trace_collector
+from ..obs.events import TraceEvent, lane_for_op
 from .params import APUParams, DEFAULT_PARAMS
 
 __all__ = ["OpRecord", "LatencyEstimator", "current_estimator"]
@@ -42,6 +44,12 @@ class OpRecord:
     cycles: float
     count: int = 1
     section: str = ""
+    #: Engine lane occupied (VCU/DMA/PIO/HBM).  Left empty on the hot
+    #: path and classified lazily from the name (``lane_for_op``) when a
+    #: trace collector or a lane breakdown needs it.
+    lane: str = ""
+    #: Bytes moved per execution (data-movement ops only).
+    bytes_moved: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -98,11 +106,18 @@ class LatencyEstimator:
 
     _active = threading.local()
 
-    def __init__(self, params: APUParams = DEFAULT_PARAMS):
+    def __init__(self, params: APUParams = DEFAULT_PARAMS, core_id: int = 0,
+                 collector=None):
         self.params = params
+        self.core_id = core_id
+        #: Explicit event sink; when ``None`` the globally active
+        #: :class:`repro.obs.TraceCollector` (if any) receives events.
+        self.collector = collector
         self.records: List[OpRecord] = []
         self._section_stack: List[str] = []
         self._redirect_stack: List[List[OpRecord]] = []
+        #: Committed-cycle cursor: the start cycle of the next commit.
+        self._cursor = 0.0
 
     # ------------------------------------------------------------------
     # Context management
@@ -146,14 +161,21 @@ class LatencyEstimator:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def record(self, name: str, cycles: float, count: int = 1) -> OpRecord:
-        """Record ``count`` executions of an operation costing ``cycles`` each."""
+    def record(self, name: str, cycles: float, count: int = 1,
+               lane: str = "", bytes_moved: int = 0) -> OpRecord:
+        """Record ``count`` executions of an operation costing ``cycles`` each.
+
+        ``lane`` and ``bytes_moved`` feed the observability layer; the
+        lane is classified from the op name when not given explicitly.
+        """
         if cycles < 0:
             raise ValueError(f"negative cycle cost for {name!r}: {cycles}")
         if count < 0:
             raise ValueError(f"negative repeat count for {name!r}: {count}")
         section = self._section_stack[-1] if self._section_stack else ""
-        record = OpRecord(name=name, cycles=cycles, count=count, section=section)
+        record = OpRecord(name=name, cycles=cycles, count=count,
+                          section=section, lane=lane,
+                          bytes_moved=bytes_moved)
         if self._redirect_stack:
             self._redirect_stack[-1].append(record)
         else:
@@ -162,6 +184,21 @@ class LatencyEstimator:
 
     def _commit(self, record: OpRecord) -> None:
         self.records.append(record)
+        start = self._cursor
+        self._cursor = start + record.cycles * record.count
+        collector = (self.collector if self.collector is not None
+                     else _trace_collector.ACTIVE)
+        if collector is not None and collector.enabled:
+            collector.emit(TraceEvent(
+                name=record.name,
+                lane=record.lane or lane_for_op(record.name),
+                start_cycle=start,
+                cycles=record.cycles,
+                count=record.count,
+                section=record.section,
+                bytes_moved=record.bytes_moved,
+                core_id=self.core_id,
+            ))
 
     # ------------------------------------------------------------------
     # Reporting
@@ -197,9 +234,18 @@ class LatencyEstimator:
         """Total number of recorded operation executions."""
         return sum(record.count for record in self.records)
 
+    def breakdown_by_lane(self) -> Dict[str, float]:
+        """Cycles per engine lane (VCU/DMA/PIO/HBM)."""
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            lane = record.lane or lane_for_op(record.name)
+            totals[lane] = totals.get(lane, 0.0) + record.total_cycles
+        return totals
+
     def reset(self) -> None:
         """Discard all recorded operations."""
         self.records.clear()
+        self._cursor = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -8,9 +8,10 @@ dependencies; everything renders in a terminal or a monospace block.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-__all__ = ["format_table", "format_bars", "format_stacked_breakdown"]
+__all__ = ["format_table", "format_bars", "format_stacked_breakdown",
+           "format_spans"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -52,6 +53,34 @@ def format_bars(values: Mapping[str, float], width: int = 40,
                         round(value / peak * width))
         suffix = f" {value:.2f}{unit}"
         lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}|{suffix}")
+    return "\n".join(lines)
+
+
+def format_spans(spans: Sequence[Tuple[str, float, float]],
+                 total: float = 0.0, width: int = 60,
+                 unit: str = "cyc") -> str:
+    """A Gantt-style chart: one ``(label, start, duration)`` row per span.
+
+    Every row is positioned and scaled against the common ``total``
+    extent (defaults to the furthest span end), which is how the trace
+    timeline renders per-op events against the core's cycle axis.
+    """
+    if not spans:
+        return "(empty)"
+    extent = total or max(start + duration for _, start, duration in spans)
+    if extent <= 0:
+        extent = 1.0
+    label_width = max(len(label) for label, _, _ in spans)
+    lines = []
+    for label, start, duration in spans:
+        lead = min(width, round(start / extent * width))
+        body = max(1 if duration > 0 else 0,
+                   round(duration / extent * width))
+        bar = (" " * lead + "=" * body)[:width]
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{start:.0f}+{duration:.0f} {unit}"
+        )
     return "\n".join(lines)
 
 

@@ -21,6 +21,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import collector as _trace_collector
+from ..obs.events import LANE_HBM, TraceEvent
+
 __all__ = ["DRAMOrganization", "DRAMTiming", "DRAMModel", "AccessPattern"]
 
 #: Valid access-pattern labels.
@@ -77,15 +80,20 @@ class DRAMModel:
     """Timing + traffic accounting for one memory system."""
 
     def __init__(self, organization: DRAMOrganization, timing: DRAMTiming,
-                 name: str = "dram"):
+                 name: str = "dram", collector=None):
         self.org = organization
         self.timing = timing
         self.name = name
+        #: Optional explicit trace sink; ``None`` defers to the global
+        #: ``repro.obs`` collector.  HBM events are in *controller*
+        #: cycles (``timing.clock_hz``), on their own lane.
+        self.collector = collector
         #: Cumulative counters for the power model.
         self.total_bytes = 0
         self.total_activates = 0
         self.total_bursts = 0
         self.total_seconds = 0.0
+        self._trace_cursor = 0.0
 
     # ------------------------------------------------------------------
     # Derived rates
@@ -146,6 +154,18 @@ class DRAMModel:
         self.total_bytes += int(nbytes)
         self.total_bursts += int(bursts * org.channels)
         self.total_seconds += seconds
+        collector = (self.collector if self.collector is not None
+                     else _trace_collector.ACTIVE)
+        if collector is not None and collector.enabled:
+            collector.emit(TraceEvent(
+                name=f"{self.name}_{pattern}",
+                lane=LANE_HBM,
+                start_cycle=self._trace_cursor,
+                cycles=busy_cycles,
+                count=1,
+                bytes_moved=int(nbytes),
+            ))
+        self._trace_cursor += busy_cycles
         return seconds
 
     def effective_bandwidth(self, nbytes: float,
@@ -159,3 +179,4 @@ class DRAMModel:
         self.total_activates = 0
         self.total_bursts = 0
         self.total_seconds = 0.0
+        self._trace_cursor = 0.0

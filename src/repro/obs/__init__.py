@@ -1,0 +1,67 @@
+"""Structured event-trace observability for the simulator and framework.
+
+``repro.obs`` turns the cycle-charging funnels into a typed event
+stream: every charged operation becomes a
+:class:`~repro.obs.events.TraceEvent` (op name, engine lane, start/end
+cycle, folded count, section path, bytes moved) delivered to a bounded
+:class:`~repro.obs.collector.TraceCollector`.  On top of the stream:
+
+* exact aggregate counters -- cycles by lane/section, DMA bytes, the
+  VR-occupancy high-water mark;
+* Chrome ``trace_event`` JSON export (:mod:`repro.obs.export`),
+  viewable in Perfetto;
+* a plain-text timeline renderer (:mod:`repro.obs.timeline`);
+* golden-trace serialization and diffing (:mod:`repro.obs.golden`) for
+  the regression harness under ``tests/goldens/``.
+
+Collection is off by default; activate it around any workload::
+
+    from repro.obs import collecting, render_timeline
+
+    with collecting() as trace:
+        app.measured_latency_ms()
+    print(render_timeline(trace))
+"""
+
+# Leaf modules (events, collector) must load before the renderers so the
+# estimator's import of this package never recurses through repro.core.
+from .events import (
+    LANE_DMA,
+    LANE_HBM,
+    LANE_PIO,
+    LANE_VCU,
+    LANES,
+    TraceEvent,
+    lane_for_op,
+)
+from .collector import (
+    TraceCollector,
+    active_collector,
+    collecting,
+    set_collector,
+)
+from .export import chrome_trace, chrome_trace_json, write_chrome_trace
+from .golden import golden_diff, render_cost_golden, render_trace_golden
+from .timeline import render_lane_summary, render_timeline
+
+__all__ = [
+    "LANE_DMA",
+    "LANE_HBM",
+    "LANE_PIO",
+    "LANE_VCU",
+    "LANES",
+    "TraceCollector",
+    "TraceEvent",
+    "active_collector",
+    "chrome_trace",
+    "chrome_trace_json",
+    "collecting",
+    "golden_diff",
+    "lane_for_op",
+    "render_cost_golden",
+    "render_lane_summary",
+    "render_timeline",
+    "render_trace_golden",
+    "set_collector",
+    "write_chrome_trace",
+]

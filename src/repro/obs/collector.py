@@ -1,0 +1,181 @@
+"""Bounded event collection with always-on aggregate counters.
+
+A :class:`TraceCollector` receives :class:`~repro.obs.events.TraceEvent`
+objects from the recording funnels (``LatencyEstimator._commit`` and
+``DRAMModel.transfer_seconds``).  Raw events go into a bounded ring
+buffer -- paper-scale programs can emit arbitrarily many, so the ring
+keeps memory flat and counts what it drops -- while the aggregate
+counters (cycles by lane and section, bytes by lane, per-op totals, the
+VR-occupancy high-water mark) are exact over the *whole* run regardless
+of ring capacity.  Golden traces and the conservation tests are built on
+the aggregates; timeline rendering uses the ring.
+
+Collection is **disabled by default**: no collector is installed unless
+:func:`collecting` / :func:`set_collector` activates one, and the hot
+paths reduce to a single ``None`` check, so paper-scale timing runs pay
+no measurable overhead.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import deque
+from typing import Dict, Iterator, Optional, Tuple
+
+from .events import TraceEvent
+
+__all__ = [
+    "TraceCollector",
+    "active_collector",
+    "set_collector",
+    "collecting",
+]
+
+#: Default ring-buffer capacity (events retained for timeline views).
+DEFAULT_CAPACITY = 65536
+
+
+class TraceCollector:
+    """Ring-buffered event sink with exact aggregate counters."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, enabled: bool = True):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        #: Events evicted from the ring (aggregates still include them).
+        self.dropped = 0
+        self.total_events = 0
+        self.cycles_by_lane: Dict[str, float] = {}
+        self.cycles_by_section: Dict[str, float] = {}
+        self.bytes_by_lane: Dict[str, int] = {}
+        #: (op name, lane) -> [executions, cycles, bytes].
+        self.op_totals: Dict[Tuple[str, str], list] = {}
+        #: Most computation-enabled VRs simultaneously live (functional runs).
+        self.vr_high_water = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+        self.total_events += 1
+        cycles = event.total_cycles
+        nbytes = event.total_bytes
+        self.cycles_by_lane[event.lane] = (
+            self.cycles_by_lane.get(event.lane, 0.0) + cycles
+        )
+        self.cycles_by_section[event.section] = (
+            self.cycles_by_section.get(event.section, 0.0) + cycles
+        )
+        if nbytes:
+            self.bytes_by_lane[event.lane] = (
+                self.bytes_by_lane.get(event.lane, 0) + nbytes
+            )
+        totals = self.op_totals.get((event.name, event.lane))
+        if totals is None:
+            self.op_totals[(event.name, event.lane)] = [
+                event.count, cycles, nbytes,
+            ]
+        else:
+            totals[0] += event.count
+            totals[1] += cycles
+            totals[2] += nbytes
+
+    def note_vr_occupancy(self, live_vrs: int) -> None:
+        """Update the VR-occupancy high-water mark (no-op while disabled)."""
+        if self.enabled and live_vrs > self.vr_high_water:
+            self.vr_high_water = live_vrs
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        """Cycles across every lane (exact, ring-independent)."""
+        return sum(self.cycles_by_lane.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved across every lane (exact, ring-independent)."""
+        return sum(self.bytes_by_lane.values())
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate view used by reporting and tests."""
+        return {
+            "total_events": self.total_events,
+            "dropped": self.dropped,
+            "total_cycles": self.total_cycles,
+            "total_bytes": self.total_bytes,
+            "cycles_by_lane": dict(self.cycles_by_lane),
+            "cycles_by_section": dict(self.cycles_by_section),
+            "bytes_by_lane": dict(self.bytes_by_lane),
+            "vr_high_water": self.vr_high_water,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all events and zero every counter."""
+        self.events.clear()
+        self.dropped = 0
+        self.total_events = 0
+        self.cycles_by_lane.clear()
+        self.cycles_by_section.clear()
+        self.bytes_by_lane.clear()
+        self.op_totals.clear()
+        self.vr_high_water = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceCollector(events={self.total_events}, "
+            f"cycles={self.total_cycles:.0f}, dropped={self.dropped})"
+        )
+
+
+#: The globally active collector; ``None`` means tracing is off.  Read
+#: directly (``collector.ACTIVE``) by the recording hot paths so the
+#: disabled case costs one attribute load and a ``None`` check.
+ACTIVE: Optional[TraceCollector] = None
+
+
+def active_collector() -> Optional[TraceCollector]:
+    """The collector currently receiving events, or ``None``."""
+    return ACTIVE
+
+
+def set_collector(collector: Optional[TraceCollector]) -> Optional[TraceCollector]:
+    """Install (or with ``None``, remove) the active collector.
+
+    Returns the previously active collector so callers can restore it.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = collector
+    return previous
+
+
+@contextlib.contextmanager
+def collecting(collector: Optional[TraceCollector] = None,
+               capacity: int = DEFAULT_CAPACITY) -> Iterator[TraceCollector]:
+    """Activate a collector for the enclosed block.
+
+    ::
+
+        with collecting() as trace:
+            app.measured_latency_ms()
+        print(trace.cycles_by_lane)
+    """
+    own = collector if collector is not None else TraceCollector(capacity)
+    previous = set_collector(own)
+    try:
+        yield own
+    finally:
+        set_collector(previous)

@@ -1,0 +1,112 @@
+"""Typed trace events and the engine-lane taxonomy.
+
+Every charged operation in the simulator (and in the closed-form
+framework, which shares the :class:`~repro.core.estimator.LatencyEstimator`
+recording funnel) can be materialized as a :class:`TraceEvent`: the op
+name, the engine lane it occupied, its start/end cycle on that core's
+timeline, the folded repeat count, the ``section()`` attribution path,
+and the bytes it moved.  Lanes follow the paper's Fig. 3 engine split:
+
+* ``VCU`` -- vector commands issued through the control processor
+  (every GVML call, including the L1<->VR loads/stores of Table 4);
+* ``DMA`` -- the two per-core DMA engines (``dma_*`` ops);
+* ``PIO`` -- programmed I/O through the response FIFO (``pio_*``,
+  ``rsp_*``) and the L3 indexed ``lookup``;
+* ``HBM`` -- the simulated off-chip memory system (controller cycles,
+  emitted by :class:`repro.hbm.dram.DRAMModel`).
+
+This module is dependency-free so that the recording hot paths can
+import it without touching the rest of the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LANE_VCU",
+    "LANE_DMA",
+    "LANE_PIO",
+    "LANE_HBM",
+    "LANES",
+    "lane_for_op",
+    "TraceEvent",
+]
+
+#: Vector commands issued through the CP/VCU.
+LANE_VCU = "VCU"
+#: The per-core DMA engines.
+LANE_DMA = "DMA"
+#: Programmed I/O through the RSP FIFO, plus L3 indexed lookup.
+LANE_PIO = "PIO"
+#: The off-chip memory system (controller clock domain).
+LANE_HBM = "HBM"
+
+#: Every known lane, in display order.
+LANES = (LANE_VCU, LANE_DMA, LANE_PIO, LANE_HBM)
+
+#: Op names charged outside the ``dma_`` / ``pio_`` prefixes that still
+#: occupy the PIO path (element traffic through the response FIFO).
+_PIO_OPS = frozenset({"lookup", "rsp_get", "rsp_set"})
+
+
+#: Memoized name -> lane classifications.  The op vocabulary is small
+#: and fixed, and ``lane_for_op`` sits on the cycle-charging hot path,
+#: so repeat classifications must cost one dict hit.
+_LANE_CACHE: dict = {}
+
+
+def lane_for_op(name: str) -> str:
+    """Classify an op name onto its engine lane.
+
+    The charge sites use stable prefixes (``dma_l4_l2``, ``pio_st``,
+    ``hbm2e_sequential``) so classification never needs a registry; any
+    unrecognized name is a vector command and lands on the VCU lane.
+    """
+    lane = _LANE_CACHE.get(name)
+    if lane is None:
+        if name.startswith("dma_"):
+            lane = LANE_DMA
+        elif name.startswith("pio_") or name in _PIO_OPS:
+            lane = LANE_PIO
+        elif name.startswith(("hbm", "ddr", "dram")):
+            lane = LANE_HBM
+        else:
+            lane = LANE_VCU
+        _LANE_CACHE[name] = lane
+    return lane
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One charged operation on a core (or memory-system) timeline.
+
+    ``cycles`` and ``bytes_moved`` are per execution; a folded loop of
+    ``count`` identical commands contributes ``total_cycles`` /
+    ``total_bytes`` to the lane totals, exactly matching the
+    ``count=`` convention of the cost-charging APIs.
+    """
+
+    name: str
+    lane: str
+    start_cycle: float
+    cycles: float
+    count: int = 1
+    section: str = ""
+    bytes_moved: int = 0
+    core_id: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        """Cycles contributed by all repetitions of this event."""
+        return self.cycles * self.count
+
+    @property
+    def end_cycle(self) -> float:
+        """Cycle at which the folded command sequence retires."""
+        return self.start_cycle + self.total_cycles
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved by all repetitions of this event."""
+        return self.bytes_moved * self.count

@@ -1,0 +1,112 @@
+"""Chrome ``trace_event`` JSON export (viewable in Perfetto / chrome://tracing).
+
+Converts a collector's ring buffer into the JSON Object Format of the
+Trace Event specification: complete ("ph": "X") duration events with
+microsecond timestamps, one process row per APU core and one thread row
+per engine lane, plus "M" metadata events so the viewer labels the rows.
+The exported dict round-trips through ``json`` and loads directly in
+Perfetto's "Open trace file".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .collector import TraceCollector
+from .events import LANES, TraceEvent
+
+__all__ = ["chrome_trace", "chrome_trace_json", "write_chrome_trace"]
+
+#: Default clock for cycle -> microsecond conversion (GSI Leda-E, 500 MHz).
+DEFAULT_CLOCK_HZ = 500e6
+
+#: Stable thread ids per lane (Perfetto sorts rows by tid).
+_LANE_TIDS: Dict[str, int] = {lane: index for index, lane in enumerate(LANES)}
+
+
+def _lane_tid(lane: str) -> int:
+    """Thread id for a lane (unknown lanes sort after the known four)."""
+    return _LANE_TIDS.get(lane, len(_LANE_TIDS))
+
+
+def chrome_trace(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
+                 metadata: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Build the Chrome trace dict for a collector (or event iterable).
+
+    Cycle timestamps are converted to microseconds at ``clock_hz``;
+    HBM-lane events are emitted on the same timebase (their cycles are
+    controller cycles -- the ``args.cycles`` field keeps the raw value).
+    """
+    if isinstance(collector_or_events, TraceCollector):
+        events: Iterable[TraceEvent] = collector_or_events.events
+        extra = {"dropped_events": collector_or_events.dropped,
+                 "total_events": collector_or_events.total_events,
+                 "vr_high_water": collector_or_events.vr_high_water}
+    else:
+        events = list(collector_or_events)
+        extra = {}
+
+    us_per_cycle = 1e6 / clock_hz
+    trace_events: List[Dict[str, object]] = []
+    seen_rows = set()
+    for event in events:
+        pid, tid = event.core_id, _lane_tid(event.lane)
+        if (pid, None) not in seen_rows:
+            seen_rows.add((pid, None))
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"APU core {pid}"},
+            })
+        if (pid, tid) not in seen_rows:
+            seen_rows.add((pid, tid))
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": event.lane},
+            })
+        args: Dict[str, object] = {
+            "count": event.count,
+            "cycles": event.total_cycles,
+        }
+        if event.section:
+            args["section"] = event.section
+        if event.bytes_moved:
+            args["bytes"] = event.total_bytes
+        trace_events.append({
+            "name": event.name,
+            "cat": event.lane,
+            "ph": "X",
+            "ts": event.start_cycle * us_per_cycle,
+            "dur": event.total_cycles * us_per_cycle,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+
+    other: Dict[str, object] = {"clock_hz": clock_hz}
+    other.update(extra)
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def chrome_trace_json(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
+                      metadata: Optional[Dict[str, object]] = None,
+                      indent: Optional[int] = None) -> str:
+    """The Chrome trace serialized to a JSON string."""
+    return json.dumps(chrome_trace(collector_or_events, clock_hz, metadata),
+                      indent=indent)
+
+
+def write_chrome_trace(path, collector_or_events,
+                       clock_hz: float = DEFAULT_CLOCK_HZ,
+                       metadata: Optional[Dict[str, object]] = None) -> str:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    text = chrome_trace_json(collector_or_events, clock_hz, metadata, indent=1)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return str(path)

@@ -1,0 +1,92 @@
+"""Golden-trace serialization and human-readable diffing.
+
+The regression harness pins canonical traces (Table 4/5 microbenchmarks,
+Phoenix latency programs, the RAG pipeline) as plain-text goldens under
+``tests/goldens/``.  The renderers here are deliberately built on the
+collector's *aggregate* counters -- per-lane, per-section and per-op
+totals -- so a golden is deterministic regardless of ring-buffer
+capacity, yet still shifts whenever any Table 4/5 cost constant (or the
+structure of a program) changes.  ``golden_diff`` turns a mismatch into
+a unified diff so a failing test reads like a code review, not a hash
+mismatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+from typing import Optional
+
+from .collector import TraceCollector
+from .events import LANES
+
+__all__ = [
+    "render_trace_golden",
+    "render_cost_golden",
+    "golden_diff",
+]
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision cycle formatting (stable across platforms)."""
+    return f"{value:.3f}"
+
+
+def render_trace_golden(collector: TraceCollector, title: str = "trace") -> str:
+    """Serialize a collected trace as deterministic golden text.
+
+    One line per aggregate: total cycles, per-lane cycles/bytes,
+    per-section cycles, and per-(op, lane) execution counts and cycle
+    totals (sorted), with the VR high-water mark when tracked.
+    """
+    lines = [f"# golden trace: {title}"]
+    lines.append(f"total_cycles {_fmt(collector.total_cycles)}")
+    lines.append(f"total_events {collector.total_events}")
+    if collector.vr_high_water:
+        lines.append(f"vr_high_water {collector.vr_high_water}")
+    known = [lane for lane in LANES if lane in collector.cycles_by_lane]
+    extra = sorted(set(collector.cycles_by_lane) - set(known))
+    for lane in known + extra:
+        lines.append(
+            f"lane {lane} cycles={_fmt(collector.cycles_by_lane[lane])} "
+            f"bytes={collector.bytes_by_lane.get(lane, 0)}"
+        )
+    for section in sorted(collector.cycles_by_section):
+        lines.append(
+            f"section {section or '(unattributed)'} "
+            f"cycles={_fmt(collector.cycles_by_section[section])}"
+        )
+    for (name, lane) in sorted(collector.op_totals):
+        count, cycles, nbytes = collector.op_totals[(name, lane)]
+        line = f"op {name} lane={lane} count={count} cycles={_fmt(cycles)}"
+        if nbytes:
+            line += f" bytes={nbytes}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def render_cost_golden(costs, title: str) -> str:
+    """Serialize a cost-table dataclass (Table 4 or 5) field by field.
+
+    Pins every constant so an edit fails the golden with a one-line
+    diff naming the changed field, instead of silently shifting every
+    downstream figure.
+    """
+    lines = [f"# golden costs: {title}"]
+    for field in dataclasses.fields(costs):
+        lines.append(f"{field.name} {_fmt(getattr(costs, field.name))}")
+    return "\n".join(lines) + "\n"
+
+
+def golden_diff(expected: str, actual: str,
+                name: str = "golden") -> Optional[str]:
+    """Unified diff between golden and actual text; ``None`` if equal."""
+    if expected == actual:
+        return None
+    diff = difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile=f"{name} (golden)",
+        tofile=f"{name} (actual)",
+    )
+    return "".join(diff)

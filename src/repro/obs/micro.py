@@ -1,0 +1,94 @@
+"""Canonical Table 4/5 microbenchmark programs for tracing and goldens.
+
+One timing-only program per cost table, touching every operation once
+inside labeled sections.  The CLI ``trace table4`` / ``trace table5``
+workloads and the golden-trace regression tests share these, so the
+goldens pin exactly the op set a reader sees in the paper's tables: any
+edit to a :class:`~repro.core.params.DataMovementCosts` /
+:class:`~repro.core.params.ComputeCosts` constant shifts the serialized
+trace and fails the golden with a field-level diff.
+
+This module deliberately is not imported by ``repro.obs.__init__``: it
+pulls in the simulator, and the observability leaf modules must stay
+importable from inside ``repro.core.estimator``.
+"""
+
+from __future__ import annotations
+
+from ..apu.device import APUDevice
+from ..core.params import APUParams, DEFAULT_PARAMS
+
+__all__ = ["TABLE5_OPS", "run_table4_micro", "run_table5_micro"]
+
+#: Every Table 5 op as a (gvml method, args) pair -- mirrors the
+#: ``bench_table5_compute`` case list.
+TABLE5_OPS = (
+    ("and_16", (2, 0, 1)),
+    ("or_16", (2, 0, 1)),
+    ("not_16", (2, 0)),
+    ("xor_16", (2, 0, 1)),
+    ("sr_imm_16", (2, 0, 3)),
+    ("add_u16", (2, 0, 1)),
+    ("add_s16", (2, 0, 1)),
+    ("sub_u16", (2, 0, 1)),
+    ("sub_s16", (2, 0, 1)),
+    ("popcnt_16", (2, 0)),
+    ("mul_u16", (2, 0, 1)),
+    ("mul_s16", (2, 0, 1)),
+    ("mul_f16", (2, 0, 1)),
+    ("div_u16", (2, 0, 1)),
+    ("div_s16", (2, 0, 1)),
+    ("eq_16", (0, 0, 1)),
+    ("gt_u16", (0, 0, 1)),
+    ("lt_u16", (0, 0, 1)),
+    ("lt_gf16", (0, 0, 1)),
+    ("ge_u16", (0, 0, 1)),
+    ("le_u16", (0, 0, 1)),
+    ("recip_u16", (2, 0)),
+    ("exp_f16", (2, 0)),
+    ("sin_fx", (2, 0)),
+    ("cos_fx", (2, 0)),
+    ("count_m", (0,)),
+)
+
+
+def run_table4_micro(params: APUParams = DEFAULT_PARAMS) -> APUDevice:
+    """Charge every Table 4 data-movement op once; returns the device."""
+    device = APUDevice(params, functional=False)
+    core = device.core
+    with core.section("dma"):
+        core.dma.l4_to_l2(None, 4096)
+        core.dma.l2_to_l4(None, 4096)
+        core.dma.l4_to_l3(None, 65536)
+        core.dma.l4_to_l2_strided(None, 512, 1024, 8)
+        core.dma.l4_to_l2_duplicated(None, 512, 4)
+        core.dma.l2_to_l1(0)
+        core.dma.l1_to_l2(0)
+        core.dma.l4_to_l1_32k(0)
+        core.dma.l1_to_l4_32k(None, 0)
+    with core.section("pio"):
+        core.dma.pio_ld(0, n=64)
+        core.dma.pio_st(None, 0, n=64)
+        core.dma.lookup_16(0, None, 1024)
+    with core.section("vr"):
+        gvml = core.gvml
+        gvml.load_16(0, 0)
+        gvml.store_16(0, 0)
+        gvml.cpy_16(1, 0)
+        gvml.cpy_imm_16(0, 7)
+        gvml.cpy_subgrp_16_grp(1, 0, 1024)
+        gvml.shift_e(0, 5)
+        gvml.shift_e4(0, 4)
+    return device
+
+
+def run_table5_micro(params: APUParams = DEFAULT_PARAMS) -> APUDevice:
+    """Charge every Table 5 compute op once; returns the device."""
+    device = APUDevice(params, functional=False)
+    core = device.core
+    with core.section("compute"):
+        for method, args in TABLE5_OPS:
+            getattr(core.gvml, method)(*args)
+    with core.section("reduction"):
+        core.gvml.add_subgrp_s16(1, 0, 1024, 1)
+    return device

@@ -1,0 +1,99 @@
+"""Plain-text rendering of a collected trace.
+
+Builds terminal views from a :class:`~repro.obs.collector.TraceCollector`
+using the same :mod:`repro.core.reporting` primitives as the CLI tables:
+a per-lane/per-section summary (exact aggregates) and a Gantt-style
+event timeline from the ring buffer.  Everything is monospace text; no
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.reporting import format_spans, format_table
+from .collector import TraceCollector
+from .events import LANES
+
+__all__ = ["render_lane_summary", "render_timeline"]
+
+
+def render_lane_summary(collector: TraceCollector,
+                        clock_hz: Optional[float] = None) -> str:
+    """Aligned table of cycles (and bytes) per engine lane."""
+    total = collector.total_cycles or 1.0
+    known = [lane for lane in LANES if lane in collector.cycles_by_lane]
+    extra = sorted(set(collector.cycles_by_lane) - set(known))
+    rows = []
+    for lane in known + extra:
+        cycles = collector.cycles_by_lane[lane]
+        row = [lane, cycles, 100.0 * cycles / total,
+               collector.bytes_by_lane.get(lane, 0)]
+        if clock_hz is not None:
+            row.append(cycles * 1e3 / clock_hz)
+        rows.append(row)
+    headers = ["lane", "cycles", "share%", "bytes"]
+    if clock_hz is not None:
+        headers.append("ms")
+    return format_table(headers, rows)
+
+
+def _section_rows(collector: TraceCollector) -> List[List[object]]:
+    total = collector.total_cycles or 1.0
+    rows = []
+    for section in sorted(collector.cycles_by_section):
+        cycles = collector.cycles_by_section[section]
+        rows.append([section or "(unattributed)", cycles,
+                     100.0 * cycles / total])
+    return rows
+
+
+def render_timeline(collector: TraceCollector, width: int = 60,
+                    max_events: int = 40,
+                    clock_hz: Optional[float] = None) -> str:
+    """The full text view: totals, lane/section tables, event Gantt.
+
+    The Gantt rows come from the bounded ring buffer (the first
+    ``max_events`` retained events); the summary tables are exact even
+    when the ring dropped events.
+    """
+    parts: List[str] = []
+    header = (f"trace: {collector.total_events} events, "
+              f"{collector.total_cycles:.0f} cycles, "
+              f"{collector.total_bytes} bytes moved")
+    if collector.dropped:
+        header += f" ({collector.dropped} events evicted from ring)"
+    parts.append(header)
+    if collector.vr_high_water:
+        parts.append(f"VR occupancy high-water mark: "
+                     f"{collector.vr_high_water} registers")
+
+    if collector.cycles_by_lane:
+        parts.append("")
+        parts.append("cycles by lane:")
+        parts.append(render_lane_summary(collector, clock_hz))
+
+    section_rows = _section_rows(collector)
+    if section_rows and not (len(section_rows) == 1
+                             and section_rows[0][0] == "(unattributed)"):
+        parts.append("")
+        parts.append("cycles by section:")
+        parts.append(format_table(["section", "cycles", "share%"],
+                                  section_rows))
+
+    events = list(collector.events)[:max_events]
+    if events:
+        spans: List[Tuple[str, float, float]] = [
+            (f"[{event.lane}] {event.name}"
+             + (f" x{event.count}" if event.count != 1 else ""),
+             event.start_cycle, event.total_cycles)
+            for event in events
+        ]
+        extent = max(event.end_cycle for event in events)
+        parts.append("")
+        shown = ("timeline:" if len(events) == len(collector.events)
+                 else f"timeline (first {len(events)} of "
+                      f"{len(collector.events)} retained events):")
+        parts.append(shown)
+        parts.append(format_spans(spans, total=extent, width=width))
+    return "\n".join(parts)

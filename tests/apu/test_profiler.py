@@ -6,6 +6,24 @@ from repro.apu.profiler import DeviceProfiler, linear_fit
 from repro.core.params import DEFAULT_PARAMS
 
 
+class TestDefaultFactory:
+    def test_default_factory_builds_timing_only_device(self):
+        """No-arg construction must produce a working timing device."""
+        from repro.apu.device import APUDevice
+
+        profiler = DeviceProfiler()
+        device = profiler.device_factory()
+        assert isinstance(device, APUDevice)
+        assert device.functional is False
+        device.core.gvml.add_u16(2, 0, 1)
+        assert device.core.cycles > 0
+
+    def test_explicit_factory_is_kept(self):
+        sentinel = object()
+        profiler = DeviceProfiler(device_factory=lambda: sentinel)
+        assert profiler.device_factory() is sentinel
+
+
 class TestLinearFit:
     def test_exact_line_recovered(self):
         xs = [1, 2, 3, 4]

@@ -1,0 +1,53 @@
+"""Shared pytest plumbing: the golden-file comparison fixture.
+
+Golden tests call ``golden(name, text)``.  The fixture compares the
+rendered text against ``tests/goldens/<name>`` and fails with a unified
+diff when they differ; running ``pytest --update-goldens`` rewrites the
+files instead, so a deliberate cost-model change is a two-step review:
+eyeball the diff in the failure, then regenerate and commit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/* from the current run instead of "
+             "comparing against them",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare text against a golden file (or rewrite it)."""
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, actual: str) -> None:
+        from repro.obs.golden import golden_diff
+
+        path = GOLDENS_DIR / name
+        if update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(actual)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden file {path} is missing; run "
+                f"'pytest --update-goldens' to create it", pytrace=False,
+            )
+        expected = path.read_text()
+        diff = golden_diff(expected, actual, name)
+        if diff is not None:
+            pytest.fail(
+                f"golden mismatch for {name} (run 'pytest --update-goldens' "
+                f"if the change is intended):\n{diff}", pytrace=False,
+            )
+
+    return check

@@ -7,6 +7,8 @@ from repro.opt.matmul import STAGE_ORDER, run_all_stages
 from repro.opt.planner import OptimizationPlanner
 from repro.opt.reduction import MatmulCostModel, MatmulShape
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def ladder():

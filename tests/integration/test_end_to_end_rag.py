@@ -17,6 +17,8 @@ from repro.rag import (
     apu_retrieval_energy,
 )
 
+pytestmark = pytest.mark.slow
+
 
 class TestFunctionalPipeline:
     @pytest.fixture(scope="class")

@@ -12,6 +12,8 @@ from repro.apu.device import APUDevice
 from repro.core import LatencyEstimator, api
 from repro.core.params import DEFAULT_PARAMS, SecondOrderEffects
 
+pytestmark = pytest.mark.slow
+
 ZERO_FX = DEFAULT_PARAMS.evolve(
     effects=SecondOrderEffects(0.0, 0.0, 0.0, 0.0)
 )

@@ -15,6 +15,9 @@ from hypothesis import strategies as st
 from repro.apu.device import APUDevice
 from repro.core import LatencyEstimator, api
 from repro.core.params import DEFAULT_PARAMS, SecondOrderEffects
+from repro.obs import LANES, collecting
+
+pytestmark = pytest.mark.slow
 
 ZERO_FX = DEFAULT_PARAMS.evolve(effects=SecondOrderEffects(0, 0, 0, 0))
 
@@ -128,3 +131,49 @@ class TestRandomProgramEquivalence:
         once = run_framework(program, DEFAULT_PARAMS)
         twice = run_framework(program + program, DEFAULT_PARAMS)
         assert twice == pytest.approx(2 * once, rel=1e-9)
+
+
+class TestTraceConservation:
+    """Event traces are an exact decomposition of charged cycles.
+
+    For any program, the cycles in the emitted trace events must sum --
+    per lane and per section -- to exactly what the estimator reports,
+    and the grand total must equal the core's cycle count.  No charge
+    may escape the trace and no event may double-charge.
+    """
+
+    @given(program=program_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_events_conserve_simulator_cycles(self, program):
+        device = APUDevice(DEFAULT_PARAMS, functional=False)
+        with collecting() as trace:
+            for name, size, count in program:
+                OPS[name][1](device.core, size, count)
+
+        assert set(trace.cycles_by_lane) <= set(LANES)
+        assert sum(trace.cycles_by_lane.values()) == pytest.approx(
+            device.core.cycles, rel=1e-12)
+
+        estimator = device.core.trace
+        by_lane = estimator.breakdown_by_lane()
+        assert set(trace.cycles_by_lane) == set(by_lane)
+        for lane, cycles in by_lane.items():
+            assert trace.cycles_by_lane[lane] == pytest.approx(
+                cycles, rel=1e-12)
+        by_section = estimator.breakdown_by_section()
+        assert set(trace.cycles_by_section) == set(by_section)
+        for section, cycles in by_section.items():
+            assert trace.cycles_by_section[section] == pytest.approx(
+                cycles, rel=1e-12)
+
+    @given(program=program_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_events_conserve_framework_cycles(self, program):
+        est = LatencyEstimator(DEFAULT_PARAMS)
+        with collecting() as trace:
+            with est.ctx():
+                for name, size, count in program:
+                    OPS[name][0](size, count)
+        assert trace.total_cycles == pytest.approx(
+            est.total_cycles, rel=1e-12)
+        assert trace.total_events == len(est.records)

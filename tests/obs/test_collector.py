@@ -1,0 +1,168 @@
+"""TraceCollector unit tests: ring bounding, aggregates, activation."""
+
+import pytest
+
+from repro.obs import (
+    LANE_DMA,
+    LANE_HBM,
+    LANE_PIO,
+    LANE_VCU,
+    TraceCollector,
+    TraceEvent,
+    active_collector,
+    collecting,
+    lane_for_op,
+    set_collector,
+)
+
+
+def _event(name="add_u16", lane=LANE_VCU, start=0.0, cycles=10.0,
+           count=1, section="", nbytes=0):
+    return TraceEvent(name=name, lane=lane, start_cycle=start, cycles=cycles,
+                      count=count, section=section, bytes_moved=nbytes)
+
+
+class TestLaneClassification:
+    def test_dma_prefix(self):
+        assert lane_for_op("dma_l4_l2") == LANE_DMA
+
+    def test_pio_ops(self):
+        assert lane_for_op("pio_ld") == LANE_PIO
+        assert lane_for_op("lookup") == LANE_PIO
+        assert lane_for_op("rsp_get") == LANE_PIO
+
+    def test_hbm(self):
+        assert lane_for_op("hbm_sequential") == LANE_HBM
+
+    def test_default_vcu(self):
+        assert lane_for_op("add_u16") == LANE_VCU
+        assert lane_for_op("count_m") == LANE_VCU
+
+
+class TestEventArithmetic:
+    def test_total_cycles_scales_with_count(self):
+        event = _event(cycles=10.0, count=4)
+        assert event.total_cycles == 40.0
+        assert event.end_cycle == 40.0
+
+    def test_total_bytes_scales_with_count(self):
+        event = _event(count=3, nbytes=128)
+        assert event.total_bytes == 384
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            _event().cycles = 1.0
+
+
+class TestRingBounding:
+    def test_ring_keeps_last_capacity_events(self):
+        coll = TraceCollector(capacity=4)
+        for i in range(10):
+            coll.emit(_event(name=f"op{i}"))
+        assert len(coll.events) == 4
+        assert [e.name for e in coll.events] == ["op6", "op7", "op8", "op9"]
+        assert coll.dropped == 6
+        assert coll.total_events == 10
+
+    def test_aggregates_survive_eviction(self):
+        coll = TraceCollector(capacity=2)
+        for _ in range(100):
+            coll.emit(_event(cycles=1.0, nbytes=8))
+        assert coll.total_cycles == 100.0
+        assert coll.total_bytes == 800
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCollector(capacity=0)
+
+
+class TestAggregates:
+    def test_cycles_by_lane_and_section(self):
+        coll = TraceCollector()
+        coll.emit(_event(lane=LANE_VCU, cycles=10.0, section="LD"))
+        coll.emit(_event(name="dma_l4_l2", lane=LANE_DMA, cycles=5.0,
+                         section="LD", nbytes=64))
+        coll.emit(_event(lane=LANE_VCU, cycles=2.0, section="ST"))
+        assert coll.cycles_by_lane == {LANE_VCU: 12.0, LANE_DMA: 5.0}
+        assert coll.cycles_by_section == {"LD": 15.0, "ST": 2.0}
+        assert coll.bytes_by_lane == {LANE_DMA: 64}
+        assert coll.total_cycles == 17.0
+
+    def test_op_totals_fold_repeats(self):
+        coll = TraceCollector()
+        coll.emit(_event(cycles=10.0, count=2))
+        coll.emit(_event(cycles=10.0, count=3))
+        count, cycles, nbytes = coll.op_totals[("add_u16", LANE_VCU)]
+        assert count == 5
+        assert cycles == 50.0
+        assert nbytes == 0
+
+    def test_vr_high_water_is_monotonic(self):
+        coll = TraceCollector()
+        coll.note_vr_occupancy(3)
+        coll.note_vr_occupancy(1)
+        assert coll.vr_high_water == 3
+
+    def test_summary_matches_counters(self):
+        coll = TraceCollector()
+        coll.emit(_event(cycles=7.0))
+        summary = coll.summary()
+        assert summary["total_cycles"] == 7.0
+        assert summary["total_events"] == 1
+        assert summary["dropped"] == 0
+
+    def test_clear_resets_everything(self):
+        coll = TraceCollector(capacity=1)
+        coll.emit(_event())
+        coll.emit(_event())
+        coll.note_vr_occupancy(5)
+        coll.clear()
+        assert coll.total_events == 0
+        assert coll.dropped == 0
+        assert not coll.events
+        assert coll.total_cycles == 0.0
+        assert coll.vr_high_water == 0
+
+
+class TestDisabled:
+    def test_disabled_collector_records_nothing(self):
+        coll = TraceCollector(enabled=False)
+        coll.emit(_event())
+        coll.note_vr_occupancy(4)
+        assert coll.total_events == 0
+        assert coll.vr_high_water == 0
+
+
+class TestActivation:
+    def test_no_collector_by_default(self):
+        assert active_collector() is None
+
+    def test_set_collector_returns_previous(self):
+        first = TraceCollector()
+        assert set_collector(first) is None
+        second = TraceCollector()
+        assert set_collector(second) is first
+        assert set_collector(None) is second
+        assert active_collector() is None
+
+    def test_collecting_restores_previous(self):
+        outer = TraceCollector()
+        set_collector(outer)
+        try:
+            with collecting() as inner:
+                assert active_collector() is inner
+                assert inner is not outer
+            assert active_collector() is outer
+        finally:
+            set_collector(None)
+
+    def test_collecting_accepts_explicit_collector(self):
+        mine = TraceCollector(capacity=8)
+        with collecting(mine) as trace:
+            assert trace is mine
+
+    def test_collecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert active_collector() is None

@@ -1,0 +1,124 @@
+"""Chrome trace_event export: schema, round-trip, edge cases."""
+
+import json
+
+from repro.obs import (
+    LANE_DMA,
+    LANE_VCU,
+    LANES,
+    TraceCollector,
+    TraceEvent,
+    chrome_trace,
+    chrome_trace_json,
+    write_chrome_trace,
+)
+from repro.obs.export import DEFAULT_CLOCK_HZ
+
+
+def _collector_with(*events):
+    coll = TraceCollector()
+    for event in events:
+        coll.emit(event)
+    return coll
+
+
+def _sample():
+    return _collector_with(
+        TraceEvent(name="dma_l4_l2", lane=LANE_DMA, start_cycle=0.0,
+                   cycles=100.0, count=2, section="LD", bytes_moved=4096),
+        TraceEvent(name="add_u16", lane=LANE_VCU, start_cycle=200.0,
+                   cycles=50.0, section="Compute"),
+    )
+
+
+class TestSchema:
+    def test_complete_events_have_required_fields(self):
+        trace = chrome_trace(_sample())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        for row in xs:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+                assert key in row
+
+    def test_timestamps_in_microseconds(self):
+        trace = chrome_trace(_sample(), clock_hz=500e6)
+        add = next(e for e in trace["traceEvents"] if e["name"] == "add_u16")
+        # 200 cycles at 500 MHz = 0.4 us; 50 cycles = 0.1 us.
+        assert add["ts"] == 200.0 * 1e6 / 500e6
+        assert add["dur"] == 50.0 * 1e6 / 500e6
+
+    def test_count_folds_into_duration(self):
+        trace = chrome_trace(_sample(), clock_hz=DEFAULT_CLOCK_HZ)
+        dma = next(e for e in trace["traceEvents"]
+                   if e["name"] == "dma_l4_l2")
+        assert dma["dur"] == 200.0 * 1e6 / DEFAULT_CLOCK_HZ
+        assert dma["args"]["count"] == 2
+        assert dma["args"]["bytes"] == 8192
+        assert dma["args"]["section"] == "LD"
+
+    def test_metadata_rows_name_process_and_threads(self):
+        trace = chrome_trace(_sample())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert names == {"process_name", "thread_name"}
+        thread_labels = {e["args"]["name"] for e in meta
+                         if e["name"] == "thread_name"}
+        assert thread_labels == {LANE_DMA, LANE_VCU}
+
+    def test_lane_tids_are_stable(self):
+        trace = chrome_trace(_sample())
+        xs = {e["name"]: e["tid"] for e in trace["traceEvents"]
+              if e["ph"] == "X"}
+        assert xs["dma_l4_l2"] == LANES.index(LANE_DMA)
+        assert xs["add_u16"] == LANES.index(LANE_VCU)
+
+    def test_other_data_carries_collector_stats_and_metadata(self):
+        trace = chrome_trace(_sample(), metadata={"workload": "unit"})
+        other = trace["otherData"]
+        assert other["total_events"] == 2
+        assert other["dropped_events"] == 0
+        assert other["clock_hz"] == DEFAULT_CLOCK_HZ
+        assert other["workload"] == "unit"
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        text = chrome_trace_json(_sample(), indent=2)
+        parsed = json.loads(text)
+        assert parsed == chrome_trace(_sample())
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        returned = write_chrome_trace(path, _sample())
+        assert returned == str(path)
+        parsed = json.loads(path.read_text())
+        assert parsed["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in parsed["traceEvents"])
+
+
+class TestEdgeCases:
+    def test_empty_collector_exports_empty_trace(self):
+        trace = chrome_trace(TraceCollector())
+        assert trace["traceEvents"] == []
+        assert trace["otherData"]["total_events"] == 0
+
+    def test_disabled_collector_exports_empty_trace(self):
+        coll = TraceCollector(enabled=False)
+        coll.emit(TraceEvent(name="add_u16", lane=LANE_VCU,
+                             start_cycle=0.0, cycles=1.0))
+        assert chrome_trace(coll)["traceEvents"] == []
+
+    def test_accepts_bare_event_iterable(self):
+        events = [TraceEvent(name="add_u16", lane=LANE_VCU,
+                             start_cycle=0.0, cycles=1.0)]
+        trace = chrome_trace(events)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 1
+        assert "total_events" not in trace["otherData"]
+
+    def test_unknown_lane_gets_overflow_tid(self):
+        events = [TraceEvent(name="mystery", lane="XPU",
+                             start_cycle=0.0, cycles=1.0)]
+        trace = chrome_trace(events)
+        row = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        assert row["tid"] == len(LANES)

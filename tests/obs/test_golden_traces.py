@@ -1,0 +1,135 @@
+"""Golden-trace regression tests.
+
+Each canonical workload runs under a fresh collector; the serialized
+aggregate trace is pinned as plain text under ``tests/goldens/``.  Any
+change to a Table 4/5 cost constant, a second-order effect, or the
+structure of a program shifts the serialization and fails here with a
+unified diff; run ``pytest --update-goldens`` after reviewing to accept.
+
+Cost-table goldens pin the raw Table 4 (data movement) and Table 5
+(compute) constants field by field, so a diff names the edited field
+directly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.obs import (
+    LANE_HBM,
+    collecting,
+    golden_diff,
+    render_cost_golden,
+    render_trace_golden,
+)
+from repro.obs.micro import run_table4_micro, run_table5_micro
+
+PHOENIX_APPS = (
+    "histogram",
+    "linear_regression",
+    "string_match",
+    "word_count",
+    "reverse_index",
+    "matrix_multiply",
+    "kmeans",
+    "pca",
+)
+
+
+def _assert_conserved(trace, device):
+    """Per-lane event cycles (sans HBM) must sum to the core total."""
+    core_cycles = sum(cycles for lane, cycles in trace.cycles_by_lane.items()
+                      if lane != LANE_HBM)
+    assert core_cycles == pytest.approx(device.total_cycles, rel=1e-12)
+
+
+class TestMicroGoldens:
+    def test_table4_movement_trace(self, golden):
+        with collecting() as trace:
+            device = run_table4_micro()
+        _assert_conserved(trace, device)
+        golden("trace_table4.txt", render_trace_golden(trace, "table4"))
+
+    def test_table5_compute_trace(self, golden):
+        with collecting() as trace:
+            device = run_table5_micro()
+        _assert_conserved(trace, device)
+        golden("trace_table5.txt", render_trace_golden(trace, "table5"))
+
+
+class TestPhoenixGoldens:
+    @pytest.mark.parametrize("app_name", PHOENIX_APPS)
+    def test_phoenix_trace(self, golden, app_name):
+        from repro.apu.device import APUDevice
+        from repro.phoenix.base import ALL_OPTS
+        from repro.phoenix.suite import PhoenixSuite
+
+        app = PhoenixSuite().apps[app_name]
+        device = APUDevice(DEFAULT_PARAMS, functional=False)
+        with collecting() as trace:
+            app._latency_program(device, ALL_OPTS)
+        _assert_conserved(trace, device)
+        golden(f"trace_phoenix_{app_name}.txt",
+               render_trace_golden(trace, f"phoenix {app_name}"))
+
+
+class TestRAGGolden:
+    def test_rag_retrieval_trace(self, golden):
+        from repro.rag.corpus import MiniCorpus
+        from repro.rag.retrieval import APURetriever
+
+        corpus = MiniCorpus(n_chunks=512, dim=64, seed=0)
+        query = corpus.sample_query()
+        with collecting() as trace:
+            APURetriever(optimized=True).retrieve(corpus, query, k=5)
+        assert trace.total_events > 0
+        golden("trace_rag.txt", render_trace_golden(trace, "rag retrieval"))
+
+
+class TestCostGoldens:
+    def test_table4_movement_costs(self, golden):
+        golden("costs_table4.txt",
+               render_cost_golden(DEFAULT_PARAMS.movement,
+                                  "Table 4 data movement"))
+
+    def test_table5_compute_costs(self, golden):
+        golden("costs_table5.txt",
+               render_cost_golden(DEFAULT_PARAMS.compute, "Table 5 compute"))
+
+
+class TestGoldenMechanics:
+    def test_perturbed_cost_produces_named_diff(self):
+        """A cost edit must surface as a one-line field diff."""
+        baseline = render_cost_golden(DEFAULT_PARAMS.compute, "Table 5")
+        perturbed_costs = dataclasses.replace(
+            DEFAULT_PARAMS.compute,
+            add_u16=DEFAULT_PARAMS.compute.add_u16 + 1.0)
+        perturbed = render_cost_golden(perturbed_costs, "Table 5")
+        diff = golden_diff(baseline, perturbed, "costs_table5.txt")
+        assert diff is not None
+        assert "add_u16" in diff
+        assert "+++" in diff and "---" in diff
+
+    def test_perturbed_trace_fails_golden(self):
+        """Changing a cost shifts the serialized micro trace."""
+        with collecting() as base_trace:
+            run_table4_micro()
+        baseline = render_trace_golden(base_trace, "table4")
+
+        bumped = DEFAULT_PARAMS.evolve(
+            movement=dataclasses.replace(DEFAULT_PARAMS.movement,
+                                         dma_l2_l1=999.0))
+        with collecting() as new_trace:
+            run_table4_micro(bumped)
+        perturbed = render_trace_golden(new_trace, "table4")
+
+        diff = golden_diff(baseline, perturbed, "trace_table4.txt")
+        assert diff is not None
+        assert "dma_l2_l1" in diff
+
+    def test_identical_traces_have_no_diff(self):
+        with collecting() as trace:
+            run_table5_micro()
+        text = render_trace_golden(trace, "table5")
+        assert golden_diff(text, text) is None

@@ -1,0 +1,78 @@
+"""Text timeline / lane summary rendering."""
+
+from repro.obs import (
+    LANE_DMA,
+    LANE_VCU,
+    TraceCollector,
+    TraceEvent,
+    render_lane_summary,
+    render_timeline,
+)
+
+
+def _collector():
+    coll = TraceCollector()
+    coll.emit(TraceEvent(name="dma_l4_l2", lane=LANE_DMA, start_cycle=0.0,
+                         cycles=300.0, section="LD", bytes_moved=4096))
+    coll.emit(TraceEvent(name="add_u16", lane=LANE_VCU, start_cycle=300.0,
+                         cycles=100.0, count=4, section="Compute"))
+    return coll
+
+
+class TestLaneSummary:
+    def test_lists_lanes_with_shares(self):
+        text = render_lane_summary(_collector())
+        assert LANE_DMA in text
+        assert LANE_VCU in text
+        # 300 of 700 total cycles on DMA, 400 on VCU.
+        assert "42.86" in text
+        assert "57.14" in text
+
+    def test_clock_adds_ms_column(self):
+        text = render_lane_summary(_collector(), clock_hz=500e6)
+        assert "ms" in text.splitlines()[0]
+
+    def test_empty_collector(self):
+        text = render_lane_summary(TraceCollector())
+        assert "lane" in text
+
+
+class TestTimeline:
+    def test_header_totals(self):
+        text = render_timeline(_collector())
+        assert "2 events" in text
+        assert "700 cycles" in text
+        assert "4096 bytes" in text
+
+    def test_sections_and_gantt(self):
+        text = render_timeline(_collector())
+        assert "cycles by section:" in text
+        assert "LD" in text and "Compute" in text
+        assert "[DMA] dma_l4_l2" in text
+        assert "[VCU] add_u16 x4" in text
+        assert "=" in text  # Gantt bars
+
+    def test_vr_high_water_line(self):
+        coll = _collector()
+        coll.note_vr_occupancy(7)
+        assert "high-water mark: 7 registers" in render_timeline(coll)
+
+    def test_eviction_noted(self):
+        coll = TraceCollector(capacity=1)
+        coll.emit(TraceEvent(name="a", lane=LANE_VCU, start_cycle=0.0,
+                             cycles=1.0))
+        coll.emit(TraceEvent(name="b", lane=LANE_VCU, start_cycle=1.0,
+                             cycles=1.0))
+        assert "1 events evicted" in render_timeline(coll)
+
+    def test_max_events_truncates_gantt(self):
+        coll = TraceCollector()
+        for i in range(6):
+            coll.emit(TraceEvent(name=f"op{i}", lane=LANE_VCU,
+                                 start_cycle=float(i), cycles=1.0))
+        text = render_timeline(coll, max_events=3)
+        assert "first 3 of 6 retained events" in text
+
+    def test_empty_collector_renders(self):
+        text = render_timeline(TraceCollector())
+        assert "0 events" in text
