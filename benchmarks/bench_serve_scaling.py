@@ -1,0 +1,56 @@
+"""Shard-scaling sweep for the serving simulator (extension).
+
+Drives the 200 GB corpus at a saturating offered load across 1/2/4/8
+shard devices and reports sustained throughput, tail latency, and
+utilization.  Every request fans out to all shards (scatter-gather), so
+capacity is set by the per-shard batch rate: smaller shards finish
+batches faster, giving near-linear throughput scaling until the fixed
+per-batch costs (query staging, per-shard top-k, return) and the host
+merge stop shrinking.
+"""
+
+from repro.rag import PAPER_CORPORA
+from repro.serve import BatchPolicy, ServeConfig, ServingSimulator
+
+SHARD_COUNTS = (1, 2, 4, 8)
+OFFERED_QPS = 1200.0  # above even the 8-shard capacity -> saturation
+N_REQUESTS = 256
+
+
+def _run_sweep():
+    reports = {}
+    for n_shards in SHARD_COUNTS:
+        config = ServeConfig(
+            spec=PAPER_CORPORA["200GB"],
+            n_shards=n_shards,
+            batch=BatchPolicy(max_batch=16, max_wait_s=2e-3),
+            qps=OFFERED_QPS,
+            n_requests=N_REQUESTS,
+            seed=0,
+            slo_s=5.0,
+        )
+        reports[n_shards] = ServingSimulator(config).run()
+    return reports
+
+
+def test_serve_shard_scaling(benchmark, report):
+    reports = benchmark(_run_sweep)
+
+    report(f"Serving shard scaling: 200GB corpus, {OFFERED_QPS:g} qps "
+           f"offered, {N_REQUESTS} requests")
+    report(f"  {'shards':>6s} {'qps':>8s} {'p50 ms':>9s} {'p99 ms':>9s} "
+           f"{'util%':>6s} {'batches':>8s}")
+    for n_shards, rep in reports.items():
+        util = sum(rep.shard_utilization) / len(rep.shard_utilization)
+        report(f"  {n_shards:6d} {rep.throughput_qps:8.1f} "
+               f"{rep.tti.p50_s * 1e3:9.2f} {rep.tti.p99_s * 1e3:9.2f} "
+               f"{util * 100:6.1f} {rep.n_batches:8d}")
+
+    # Acceptance: throughput grows monotonically with the shard count.
+    qps = [reports[n].throughput_qps for n in SHARD_COUNTS]
+    assert all(b > a for a, b in zip(qps, qps[1:])), qps
+    # Under saturation every shard stays busy nearly the whole run.
+    for rep in reports.values():
+        assert min(rep.shard_utilization) > 0.5
+    # Sharding cuts the tail: p99 TTI strictly improves 1 -> 4 shards.
+    assert reports[4].tti.p99_s < reports[1].tti.p99_s

@@ -17,7 +17,7 @@ from ..core.params import APUParams, DEFAULT_PARAMS
 from .core import APUCore
 from .memory import CPCache, DeviceDRAM, MemHandle
 
-__all__ = ["APUDevice", "TaskResult"]
+__all__ = ["APUDevice", "APUDevicePool", "TaskResult"]
 
 
 class TaskResult:
@@ -54,16 +54,23 @@ class APUDevice:
         Optional :class:`repro.obs.TraceCollector` that receives this
         device's trace events regardless of the globally active one;
         ``None`` (default) defers to ``repro.obs.collecting()``.
+    core_id_base:
+        Offset added to every core id, so that trace events from a pool
+        of devices (one per corpus shard) land on distinct Perfetto
+        process rows instead of colliding on cores 0..3.
     """
 
     def __init__(self, params: APUParams = DEFAULT_PARAMS,
-                 functional: bool = True, collector=None):
+                 functional: bool = True, collector=None,
+                 core_id_base: int = 0):
         self.params = params
         self.functional = functional
+        self.core_id_base = core_id_base
         self.l4 = DeviceDRAM(params.l4_bytes)
         self.l3 = CPCache(params)
         self.cores: List[APUCore] = [
-            APUCore(params, device=self, functional=functional, core_id=i)
+            APUCore(params, device=self, functional=functional,
+                    core_id=core_id_base + i)
             for i in range(params.num_cores)
         ]
         if collector is not None:
@@ -138,3 +145,48 @@ class APUDevice:
         """Zero every core's cycle trace and instruction counter."""
         for core in self.cores:
             core.reset_trace()
+
+
+class APUDevicePool:
+    """A rack of independent simulated APUs, one per corpus shard.
+
+    Each device gets a disjoint ``core_id`` range
+    (``device_id * num_cores + core``), so a shared collector separates
+    the devices into distinct Perfetto process rows -- the multi-device
+    analogue of the single-device core split.
+    """
+
+    def __init__(self, n_devices: int, params: APUParams = DEFAULT_PARAMS,
+                 functional: bool = True, collector=None):
+        if not isinstance(n_devices, int) or isinstance(n_devices, bool) \
+                or n_devices < 1:
+            raise ValueError(
+                f"device pool needs an integer n_devices >= 1, "
+                f"got {n_devices!r}")
+        self.params = params
+        self.devices: List[APUDevice] = [
+            APUDevice(params, functional=functional, collector=collector,
+                      core_id_base=i * params.num_cores)
+            for i in range(n_devices)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, device_id: int) -> APUDevice:
+        return self.devices[device_id]
+
+    def attach_collector(self, collector) -> None:
+        """Route every device's trace events to ``collector``."""
+        for device in self.devices:
+            device.attach_collector(collector)
+
+    @property
+    def makespan_cycles(self) -> float:
+        """Busiest device's makespan (devices run in parallel)."""
+        return max(device.makespan_cycles for device in self.devices)
+
+    @property
+    def total_cycles(self) -> float:
+        """Sum of all devices' core cycles."""
+        return sum(device.total_cycles for device in self.devices)

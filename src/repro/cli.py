@@ -9,6 +9,7 @@ without going through pytest:
     python -m repro.cli table7
     python -m repro.cli fig12 --m 512 --n 512 --k 512
     python -m repro.cli fig14
+    python -m repro.cli serve --shards 4 --qps 200
     python -m repro.cli all
 
 plus the observability entry point: ``trace <workload>`` runs one
@@ -154,6 +155,24 @@ def _run_claims(args) -> None:
               f"{status}")
 
 
+def _run_serve(args) -> None:
+    from .rag import PAPER_CORPORA
+    from .serve import BatchPolicy, ServeConfig, ServingSimulator
+
+    config = ServeConfig(
+        spec=PAPER_CORPORA[args.corpus],
+        n_shards=args.shards,
+        batch=BatchPolicy(max_batch=args.max_batch,
+                          max_wait_s=args.max_wait_ms * 1e-3),
+        k=args.topk,
+        qps=args.qps,
+        n_requests=args.requests,
+        seed=args.seed,
+        slo_s=args.slo_ms * 1e-3,
+    )
+    print(ServingSimulator(config).run().format())
+
+
 def _trace_runners() -> Dict[str, Callable]:
     """Traceable workloads: name -> runner returning the device's total
     cycles (``None`` when the workload builds its device internally)."""
@@ -181,7 +200,14 @@ def _trace_runners() -> Dict[str, Callable]:
             corpus, corpus.sample_query(), k=5)
         return None
 
+    def run_serve():
+        from .serve import ServingSimulator, golden_serve_config
+
+        ServingSimulator(golden_serve_config()).run()
+        return None
+
     runners["rag"] = run_rag
+    runners["serve"] = run_serve
     runners["table4"] = lambda: run_table4_micro().total_cycles
     runners["table5"] = lambda: run_table5_micro().total_cycles
     return runners
@@ -214,9 +240,17 @@ def _run_trace(args) -> None:
         ok = abs(core_cycles - expected) <= 1e-6 * max(1.0, expected)
         print(f"conservation: per-lane sum {core_cycles:.0f} vs device total "
               f"{expected:.0f} cycles -> {'OK' if ok else 'MISMATCH'}")
+    process_names = None
+    if workload == "serve":
+        from .serve import golden_serve_config
+
+        shards = golden_serve_config().n_shards
+        process_names = {i: f"shard {i}" for i in range(shards)}
+        process_names[shards] = "host merge"
     out = args.trace_out or f"trace_{workload}.json"
     path = write_chrome_trace(out, trace, clock_hz=DEFAULT_PARAMS.clock_hz,
-                              metadata={"workload": workload})
+                              metadata={"workload": workload},
+                              process_names=process_names)
     print(f"chrome trace written to {path} "
           "(open in Perfetto or chrome://tracing)")
 
@@ -233,6 +267,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig14": _run_fig14,
     "fig15": _run_fig15,
     "batching": _run_batching,
+    "serve": _run_serve,
 }
 
 
@@ -251,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "workload", nargs="?", default=None,
         help="trace only: workload to trace (a Phoenix app, 'rag', "
-             "'table4', 'table5'; 'workloads' lists them)",
+             "'serve', 'table4', 'table5'; 'workloads' lists them)",
     )
     parser.add_argument("--trace-out", default=None,
                         help="trace only: Chrome trace JSON output path "
@@ -265,7 +300,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--k", type=int, default=1024,
                         help="matmul K dimension in bits (fig2/fig12)")
     parser.add_argument("--corpus", choices=["10GB", "50GB", "200GB"],
-                        default="200GB", help="corpus scale (batching)")
+                        default="200GB", help="corpus scale (batching/serve)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="serve only: number of simulated APU shards")
+    parser.add_argument("--qps", type=float, default=100.0,
+                        help="serve only: offered Poisson request rate")
+    parser.add_argument("--requests", type=int, default=256,
+                        help="serve only: number of requests to simulate")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="serve only: dynamic-batch size cap per shard")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="serve only: max batch-formation wait (ms)")
+    parser.add_argument("--topk", type=int, default=5,
+                        help="serve only: results merged per query")
+    parser.add_argument("--slo-ms", type=float, default=1000.0,
+                        help="serve only: time-to-interactive SLO (ms)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="serve only: arrival-process seed")
     return parser
 
 

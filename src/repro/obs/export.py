@@ -31,12 +31,17 @@ def _lane_tid(lane: str) -> int:
 
 
 def chrome_trace(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
-                 metadata: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+                 metadata: Optional[Dict[str, object]] = None,
+                 process_names: Optional[Dict[int, str]] = None,
+                 ) -> Dict[str, object]:
     """Build the Chrome trace dict for a collector (or event iterable).
 
     Cycle timestamps are converted to microseconds at ``clock_hz``;
     HBM-lane events are emitted on the same timebase (their cycles are
     controller cycles -- the ``args.cycles`` field keeps the raw value).
+    ``process_names`` overrides the default ``"APU core <id>"`` label
+    per ``core_id`` -- the serving simulator uses it to label one
+    Perfetto process row per shard device.
     """
     if isinstance(collector_or_events, TraceCollector):
         events: Iterable[TraceEvent] = collector_or_events.events
@@ -54,9 +59,10 @@ def chrome_trace(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
         pid, tid = event.core_id, _lane_tid(event.lane)
         if (pid, None) not in seen_rows:
             seen_rows.add((pid, None))
+            label = (process_names or {}).get(pid, f"APU core {pid}")
             trace_events.append({
                 "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-                "args": {"name": f"APU core {pid}"},
+                "args": {"name": label},
             })
         if (pid, tid) not in seen_rows:
             seen_rows.add((pid, tid))
@@ -96,17 +102,21 @@ def chrome_trace(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
 
 def chrome_trace_json(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
                       metadata: Optional[Dict[str, object]] = None,
-                      indent: Optional[int] = None) -> str:
+                      indent: Optional[int] = None,
+                      process_names: Optional[Dict[int, str]] = None) -> str:
     """The Chrome trace serialized to a JSON string."""
-    return json.dumps(chrome_trace(collector_or_events, clock_hz, metadata),
+    return json.dumps(chrome_trace(collector_or_events, clock_hz, metadata,
+                                   process_names),
                       indent=indent)
 
 
 def write_chrome_trace(path, collector_or_events,
                        clock_hz: float = DEFAULT_CLOCK_HZ,
-                       metadata: Optional[Dict[str, object]] = None) -> str:
+                       metadata: Optional[Dict[str, object]] = None,
+                       process_names: Optional[Dict[int, str]] = None) -> str:
     """Write the Chrome trace JSON to ``path``; returns the path."""
-    text = chrome_trace_json(collector_or_events, clock_hz, metadata, indent=1)
+    text = chrome_trace_json(collector_or_events, clock_hz, metadata,
+                             indent=1, process_names=process_names)
     with open(path, "w") as handle:
         handle.write(text)
     return str(path)

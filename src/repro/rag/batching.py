@@ -60,8 +60,10 @@ class BatchedAPURetrieval:
         The embedding stream and the per-vector DMA are paid once; the
         query staging, MAC chain and top-k replicate per query.
         """
-        if batch_size <= 0:
-            raise ValueError("batch size must be positive")
+        if not isinstance(batch_size, (int, np.integer)) \
+                or isinstance(batch_size, bool) or batch_size < 1:
+            raise ValueError(
+                f"batch size must be an integer >= 1, got {batch_size!r}")
         single = self.retriever.latency_breakdown(corpus, k)
         cyc = 1.0 / self.params.clock_hz
         comp, mv = self.params.compute, self.params.movement

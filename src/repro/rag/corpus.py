@@ -75,6 +75,25 @@ class MiniCorpus:
         self._rng = rng
 
     @classmethod
+    def from_embeddings(cls, embeddings: np.ndarray,
+                        seed: int = 0) -> "MiniCorpus":
+        """Wrap an already-quantized embedding matrix (e.g. one shard).
+
+        The matrix is used as-is (no re-quantization); rows index the
+        corpus chunks.  Used by corpus sharding, where each shard is a
+        row subset of a parent corpus.
+        """
+        if embeddings.ndim != 2 or embeddings.shape[0] == 0 \
+                or embeddings.shape[1] == 0:
+            raise ValueError("embeddings must be a non-empty 2-D matrix")
+        corpus = cls.__new__(cls)
+        corpus.n_chunks, corpus.dim = embeddings.shape
+        corpus.seed = seed
+        corpus.embeddings = embeddings
+        corpus._rng = np.random.default_rng(seed)
+        return corpus
+
+    @classmethod
     def _quantize(cls, unit_vectors: np.ndarray) -> np.ndarray:
         """Map unit-norm floats onto the [0, 15] integer grid."""
         scaled = (unit_vectors + 1.0) / 2.0 * (cls.QUANT_LEVELS - 1)

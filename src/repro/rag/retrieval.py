@@ -97,7 +97,7 @@ class APURetriever:
     # Functional path
     # ------------------------------------------------------------------
     def retrieve(self, corpus: MiniCorpus, query: np.ndarray,
-                 k: int = 5) -> List[int]:
+                 k: int = 5, device: Optional[APUDevice] = None) -> List[int]:
         """Run the retrieval pipeline on the simulator; exact top-k.
 
         The functional kernel mirrors the latency model's structure:
@@ -106,15 +106,28 @@ class APURetriever:
         unoptimized one the chunk-major spatial mapping with intra-VR
         subgroup reductions.
         """
-        device = APUDevice(self.params)
+        return [index for index, _
+                in self.retrieve_with_scores(corpus, query, k, device)]
+
+    def retrieve_with_scores(self, corpus: MiniCorpus, query: np.ndarray,
+                             k: int = 5,
+                             device: Optional[APUDevice] = None,
+                             ) -> List[tuple]:
+        """Exact top-k as ``(chunk_index, score)`` pairs, best first.
+
+        ``device`` lets callers (the sharded retriever, device pools)
+        run the kernel on a particular simulated APU; by default a fresh
+        device is created per query.
+        """
+        if device is None:
+            device = APUDevice(self.params)
         if self.optimized:
             score_vrs, valid_counts = self._distances_dim_major(
                 device, corpus, query)
         else:
             score_vrs, valid_counts = self._distances_chunk_major(
                 device, corpus, query)
-        winners = apu_topk(device, score_vrs, k, valid_counts)
-        return [index for index, _ in winners]
+        return apu_topk(device, score_vrs, k, valid_counts)
 
     def _distances_dim_major(self, device: APUDevice, corpus: MiniCorpus,
                              query: np.ndarray):
@@ -210,11 +223,8 @@ class APURetriever:
             hi = min(lo + shard, corpus.n_chunks)
             if lo >= hi:
                 break
-            sub = MiniCorpus.__new__(MiniCorpus)
-            sub.n_chunks = hi - lo
-            sub.dim = corpus.dim
-            sub.seed = corpus.seed
-            sub.embeddings = corpus.embeddings[lo:hi]
+            sub = MiniCorpus.from_embeddings(corpus.embeddings[lo:hi],
+                                             seed=corpus.seed)
             shard_retriever = APURetriever(self.optimized, self.params)
             local = shard_retriever.retrieve(sub, query, min(k, hi - lo))
             scores = sub.scores(query)

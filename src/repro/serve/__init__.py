@@ -1,0 +1,71 @@
+"""Sharded multi-APU serving simulation (beyond-the-paper extension).
+
+The paper measures one device answering one offline query at a time;
+``repro.serve`` models the production deployment the ROADMAP targets:
+the corpus sharded across ``N`` simulated APU devices
+(:mod:`~repro.serve.sharding`), a request stream admitted by a
+deterministic discrete-event scheduler with per-shard dynamic batching
+(:mod:`~repro.serve.scheduler`), exact scatter-gather top-k merge
+(:class:`~repro.serve.retriever.ShardedAPURetriever`), and tail-latency
+/ SLO reporting (:mod:`~repro.serve.metrics`,
+:class:`~repro.serve.simulator.ServingSimulator`).
+"""
+
+from .metrics import LatencyStats, nearest_rank_percentile, slo_attainment, utilization
+from .retriever import ShardedAPURetriever
+from .scheduler import (
+    BatchPolicy,
+    DiscreteEventScheduler,
+    ExecutedBatch,
+    RequestRecord,
+    ScheduleResult,
+)
+from .sharding import (
+    SHARD_POLICIES,
+    CorpusShard,
+    merge_cycles,
+    merge_seconds,
+    merge_topk,
+    shard_chunk_counts,
+    shard_corpus,
+    shard_global_indices,
+    shard_specs,
+)
+from .simulator import (
+    ServeConfig,
+    ServeReport,
+    ServingSimulator,
+    ShardServiceModel,
+    golden_serve_config,
+)
+from .workload import Request, poisson_arrivals, trace_arrivals
+
+__all__ = [
+    "BatchPolicy",
+    "CorpusShard",
+    "DiscreteEventScheduler",
+    "ExecutedBatch",
+    "LatencyStats",
+    "Request",
+    "RequestRecord",
+    "SHARD_POLICIES",
+    "ScheduleResult",
+    "ServeConfig",
+    "ServeReport",
+    "ServingSimulator",
+    "ShardServiceModel",
+    "ShardedAPURetriever",
+    "golden_serve_config",
+    "merge_cycles",
+    "merge_seconds",
+    "merge_topk",
+    "nearest_rank_percentile",
+    "poisson_arrivals",
+    "shard_chunk_counts",
+    "shard_corpus",
+    "shard_global_indices",
+    "shard_specs",
+    "slo_attainment",
+    "trace_arrivals",
+    "utilization",
+]

@@ -1,0 +1,78 @@
+"""Serving metrics: latency percentiles, SLO attainment, utilization.
+
+Percentiles use the nearest-rank definition (ceil(p/100 * n)-th order
+statistic), which is deterministic, interpolation-free, and exactly
+reproducible in golden traces and cross-platform CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["nearest_rank_percentile", "LatencyStats", "slo_attainment",
+           "utilization"]
+
+
+def nearest_rank_percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an unsorted sample."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 < pct <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {pct!r}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of one latency sample (seconds)."""
+
+    n: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if not samples:
+            raise ValueError("latency stats need at least one sample")
+        return cls(
+            n=len(samples),
+            mean_s=sum(samples) / len(samples),
+            p50_s=nearest_rank_percentile(samples, 50),
+            p95_s=nearest_rank_percentile(samples, 95),
+            p99_s=nearest_rank_percentile(samples, 99),
+            max_s=max(samples),
+        )
+
+    def as_ms(self) -> Dict[str, float]:
+        """The stats in milliseconds, for reports."""
+        return {
+            "mean": self.mean_s * 1e3,
+            "p50": self.p50_s * 1e3,
+            "p95": self.p95_s * 1e3,
+            "p99": self.p99_s * 1e3,
+            "max": self.max_s * 1e3,
+        }
+
+
+def slo_attainment(latencies_s: Sequence[float], slo_s: float) -> float:
+    """Fraction of requests at or under the latency SLO."""
+    if slo_s <= 0:
+        raise ValueError(f"SLO must be positive, got {slo_s!r}")
+    if not latencies_s:
+        raise ValueError("SLO attainment of an empty sample")
+    return sum(1 for lat in latencies_s if lat <= slo_s) / len(latencies_s)
+
+
+def utilization(busy_seconds: Sequence[float],
+                horizon_s: float) -> List[float]:
+    """Per-shard busy fraction of the simulated horizon."""
+    if horizon_s <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_s!r}")
+    return [min(1.0, busy / horizon_s) for busy in busy_seconds]

@@ -1,0 +1,121 @@
+"""Scatter-gather retrieval over a pool of simulated APU devices.
+
+:class:`ShardedAPURetriever` is the multi-device analogue of
+:class:`repro.rag.retrieval.APURetriever`: the corpus is sharded across
+``N`` devices (see :mod:`repro.serve.sharding`), every query runs the
+single-device kernel on each shard's device, and the host merges the
+per-shard top-k exactly.  Functional runs execute genuinely on an
+:class:`repro.apu.device.APUDevicePool`; paper-scale latency is the
+slowest shard (devices scan in parallel) plus the host merge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..apu.device import APUDevicePool
+from ..core.params import APUParams, DEFAULT_PARAMS
+from ..rag.corpus import CorpusSpec, MiniCorpus
+from ..rag.retrieval import APURetriever, RetrievalBreakdown
+from .sharding import (
+    SHARD_POLICIES,
+    merge_seconds,
+    merge_topk,
+    shard_corpus,
+    shard_specs,
+)
+
+__all__ = ["ShardedAPURetriever"]
+
+
+class ShardedAPURetriever:
+    """Exact retrieval over ``n_shards`` simulated APU devices.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of devices the corpus is partitioned across.
+    policy:
+        Chunk placement, ``"round_robin"`` or ``"range"``.
+    optimized:
+        Per-device kernel variant (same meaning as
+        :class:`~repro.rag.retrieval.APURetriever`).
+    """
+
+    def __init__(self, n_shards: int, policy: str = "round_robin",
+                 optimized: bool = True,
+                 params: APUParams = DEFAULT_PARAMS):
+        if not isinstance(n_shards, (int, np.integer)) \
+                or isinstance(n_shards, bool) or n_shards < 1:
+            raise ValueError(
+                f"shards must be an integer >= 1, got {n_shards!r}")
+        if policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"unknown shard policy {policy!r}; "
+                f"choose from {SHARD_POLICIES}")
+        self.n_shards = int(n_shards)
+        self.policy = policy
+        self.optimized = optimized
+        self.params = params
+        self._device_retriever = APURetriever(optimized=optimized,
+                                              params=params)
+
+    # ------------------------------------------------------------------
+    # Functional path
+    # ------------------------------------------------------------------
+    def retrieve_with_scores(self, corpus: MiniCorpus, query: np.ndarray,
+                             k: int = 5,
+                             pool: Optional[APUDevicePool] = None,
+                             ) -> List[Tuple[int, int]]:
+        """Exact global top-k as ``(chunk_index, score)``, best first.
+
+        Each non-empty shard runs the single-device kernel on its own
+        device from ``pool`` (created on demand); local winners are
+        lifted to global chunk indices and merged on the host.
+        """
+        shards = shard_corpus(corpus, self.n_shards, self.policy)
+        if pool is None:
+            pool = APUDevicePool(len(shards), self.params)
+        elif len(pool) < len(shards):
+            raise ValueError(
+                f"device pool has {len(pool)} devices for "
+                f"{len(shards)} non-empty shards")
+        candidates: List[Tuple[int, int]] = []
+        for device, shard in zip(pool.devices, shards):
+            local = self._device_retriever.retrieve_with_scores(
+                shard.corpus, query, min(k, shard.n_chunks), device)
+            candidates.extend(
+                (int(shard.global_indices[index]), score)
+                for index, score in local
+            )
+        return merge_topk(candidates, k)
+
+    def retrieve(self, corpus: MiniCorpus, query: np.ndarray,
+                 k: int = 5,
+                 pool: Optional[APUDevicePool] = None) -> List[int]:
+        """Exact global top-k chunk indices, best first."""
+        return [index for index, _
+                in self.retrieve_with_scores(corpus, query, k, pool)]
+
+    # ------------------------------------------------------------------
+    # Paper-scale latency
+    # ------------------------------------------------------------------
+    def shard_breakdowns(self, spec: CorpusSpec,
+                         k: int = 5) -> List[RetrievalBreakdown]:
+        """Per-shard single-device stage breakdowns (Table 8 columns)."""
+        return [
+            self._device_retriever.latency_breakdown(shard_spec, k)
+            for shard_spec in shard_specs(spec, self.n_shards)
+            if shard_spec.n_chunks > 0
+        ]
+
+    def retrieval_seconds(self, spec: CorpusSpec, k: int = 5) -> float:
+        """Scatter-gather retrieval latency: slowest shard + host merge.
+
+        With one shard this is *exactly* the single-device
+        ``APURetriever.retrieval_seconds`` (the merge costs nothing).
+        """
+        slowest = max(b.total for b in self.shard_breakdowns(spec, k))
+        return slowest + merge_seconds(self.n_shards, k, self.params)

@@ -1,0 +1,251 @@
+"""Deterministic discrete-event scheduler for sharded scatter-gather serving.
+
+Every admitted request fans out to all ``N`` shards (each device scans
+its slice of the corpus); per shard, sub-queries queue FIFO and are
+formed into dynamic batches under a **max batch size + max wait**
+policy:
+
+* a batch launches immediately once ``max_batch`` sub-queries are
+  waiting (or, if the device is busy, as soon as it frees up);
+* an under-full batch launches when its oldest sub-query has waited
+  ``max_wait_s`` on an idle device.
+
+The event loop is a plain binary heap ordered by ``(time, sequence)``;
+the sequence number makes simultaneous events process in insertion
+order, so the whole simulation is bit-deterministic for a fixed
+request stream and service model.  A request's retrieval completes when
+its slowest shard finishes; downstream costs (top-k merge, generator
+prefill) are applied by the simulator on top of the scheduler output.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .workload import Request
+
+__all__ = [
+    "BatchPolicy",
+    "ExecutedBatch",
+    "RequestRecord",
+    "ScheduleResult",
+    "DiscreteEventScheduler",
+]
+
+_ARRIVE, _TIMER, _DONE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Dynamic-batching knobs shared by every shard."""
+
+    max_batch: int = 8
+    max_wait_s: float = 2e-3
+
+    def __post_init__(self):
+        if not isinstance(self.max_batch, (int, np.integer)) \
+                or isinstance(self.max_batch, bool) or self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be an integer >= 1, got {self.max_batch!r}")
+        if not np.isfinite(self.max_wait_s) or self.max_wait_s < 0:
+            raise ValueError(
+                f"max_wait_s must be >= 0, got {self.max_wait_s!r}")
+
+
+@dataclass(frozen=True)
+class ExecutedBatch:
+    """One batch executed on one shard's device."""
+
+    shard_id: int
+    seq: int
+    dispatch_s: float
+    service_s: float
+    request_ids: Tuple[int, ...]
+    head_enqueue_s: float
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.request_ids)
+
+    @property
+    def complete_s(self) -> float:
+        """Time the device frees up again."""
+        return self.dispatch_s + self.service_s
+
+
+@dataclass
+class RequestRecord:
+    """Per-request scatter-gather progress."""
+
+    req_id: int
+    arrival_s: float
+    shard_done_s: Dict[int, float] = field(default_factory=dict)
+    #: Slowest shard's completion; ``None`` until all shards finish.
+    retrieval_done_s: float = None
+
+    @property
+    def retrieval_latency_s(self) -> float:
+        """Arrival -> last shard completion (queueing included)."""
+        return self.retrieval_done_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Everything the simulation produced, in deterministic order."""
+
+    n_shards: int
+    policy: BatchPolicy
+    batches: Tuple[ExecutedBatch, ...]
+    records: Tuple[RequestRecord, ...]
+    busy_seconds: Tuple[float, ...]
+
+    @property
+    def horizon_s(self) -> float:
+        """Last retrieval completion (the simulated makespan)."""
+        return max(r.retrieval_done_s for r in self.records)
+
+
+class _ShardState:
+    """Mutable per-shard queue/device state during a run."""
+
+    __slots__ = ("queue", "busy", "busy_s", "gen", "timer_armed_gen",
+                 "batch_seq")
+
+    def __init__(self):
+        self.queue: "deque[Tuple[int, float]]" = deque()  # (req_id, enqueue)
+        self.busy = False
+        self.busy_s = 0.0
+        self.gen = 0
+        self.timer_armed_gen = -1
+        self.batch_seq = 0
+
+
+class DiscreteEventScheduler:
+    """Simulate scatter-gather serving over ``n_shards`` devices.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shard devices (each with its own FIFO + batcher).
+    policy:
+        Dynamic-batching policy applied identically on every shard.
+    service_time:
+        ``service_time(shard_id, batch_size) -> seconds`` cost model for
+        one batch on one shard's device (e.g. the amortized
+        ``BatchedAPURetrieval`` model over that shard's corpus slice).
+    """
+
+    def __init__(self, n_shards: int, policy: BatchPolicy,
+                 service_time: Callable[[int, int], float]):
+        if not isinstance(n_shards, (int, np.integer)) \
+                or isinstance(n_shards, bool) or n_shards < 1:
+            raise ValueError(
+                f"shards must be an integer >= 1, got {n_shards!r}")
+        self.n_shards = int(n_shards)
+        self.policy = policy
+        self.service_time = service_time
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> ScheduleResult:
+        """Run the simulation to completion (no open requests remain)."""
+        if not requests:
+            raise ValueError("at least one request is required")
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+
+        heap: List[tuple] = []
+        push_seq = 0
+
+        def push(time_s: float, kind: int, payload) -> None:
+            nonlocal push_seq
+            heapq.heappush(heap, (time_s, push_seq, kind, payload))
+            push_seq += 1
+
+        shards = [_ShardState() for _ in range(self.n_shards)]
+        records: Dict[int, RequestRecord] = {}
+        batches: List[ExecutedBatch] = []
+
+        for request in ordered:
+            if request.req_id in records:
+                raise ValueError(f"duplicate req_id {request.req_id}")
+            records[request.req_id] = RequestRecord(
+                req_id=request.req_id, arrival_s=request.arrival_s)
+            push(request.arrival_s, _ARRIVE, request.req_id)
+
+        def dispatch(shard_id: int, now: float) -> None:
+            state = shards[shard_id]
+            take = min(self.policy.max_batch, len(state.queue))
+            head_enqueue = state.queue[0][1]
+            ids = tuple(state.queue.popleft()[0] for _ in range(take))
+            service = float(self.service_time(shard_id, take))
+            if not np.isfinite(service) or service <= 0:
+                raise ValueError(
+                    f"service_time must be positive and finite, got "
+                    f"{service!r} for shard {shard_id} batch {take}")
+            batch = ExecutedBatch(
+                shard_id=shard_id, seq=state.batch_seq, dispatch_s=now,
+                service_s=service, request_ids=ids,
+                head_enqueue_s=head_enqueue)
+            state.batch_seq += 1
+            state.busy = True
+            state.gen += 1  # stale any armed max-wait timer
+            batches.append(batch)
+            push(batch.complete_s, _DONE, batch)
+
+        def maybe_dispatch(shard_id: int, now: float) -> None:
+            state = shards[shard_id]
+            if state.busy or not state.queue:
+                return
+            if len(state.queue) >= self.policy.max_batch:
+                dispatch(shard_id, now)
+                return
+            deadline = state.queue[0][1] + self.policy.max_wait_s
+            if now >= deadline:
+                dispatch(shard_id, now)
+            elif state.timer_armed_gen != state.gen:
+                state.timer_armed_gen = state.gen
+                push(deadline, _TIMER, (shard_id, state.gen))
+
+        while heap:
+            now, _, kind, payload = heapq.heappop(heap)
+            if kind == _ARRIVE:
+                for shard_id, state in enumerate(shards):
+                    state.queue.append((payload, now))
+                    maybe_dispatch(shard_id, now)
+            elif kind == _TIMER:
+                shard_id, gen = payload
+                if shards[shard_id].gen == gen:
+                    maybe_dispatch(shard_id, now)
+            else:  # _DONE
+                batch = payload
+                state = shards[batch.shard_id]
+                state.busy = False
+                state.busy_s += batch.service_s
+                for req_id in batch.request_ids:
+                    record = records[req_id]
+                    if batch.shard_id in record.shard_done_s:
+                        raise RuntimeError(
+                            f"request {req_id} served twice on shard "
+                            f"{batch.shard_id}")
+                    record.shard_done_s[batch.shard_id] = now
+                    if len(record.shard_done_s) == self.n_shards:
+                        record.retrieval_done_s = now
+                maybe_dispatch(batch.shard_id, now)
+
+        incomplete = [r.req_id for r in records.values()
+                      if r.retrieval_done_s is None]
+        if incomplete:  # pragma: no cover - guarded by construction
+            raise RuntimeError(f"requests never completed: {incomplete}")
+        ordered_records = tuple(records[req_id]
+                                for req_id in sorted(records))
+        return ScheduleResult(
+            n_shards=self.n_shards,
+            policy=self.policy,
+            batches=tuple(batches),
+            records=ordered_records,
+            busy_seconds=tuple(state.busy_s for state in shards),
+        )

@@ -1,0 +1,174 @@
+"""Corpus sharding across simulated APU devices, with exact top-k merge.
+
+A serving deployment splits the embedding corpus across ``N`` devices so
+each holds (and scans) ``1/N`` of the chunks; every query fans out to
+all shards and the per-shard top-k candidates are merged on the host.
+Two placement policies:
+
+* ``round_robin`` -- chunk ``i`` lives on shard ``i % N`` (the layout
+  the related read-mapping work uses to balance skewed reference bins);
+* ``range`` -- contiguous chunk ranges, balanced to within one chunk
+  (natural when the corpus is ingested shard by shard).
+
+Both policies preserve the *relative global order* of chunks inside a
+shard, which is what makes the scatter-gather merge exact: the global
+order (score descending, chunk index ascending) restricted to a shard
+is the shard's local order, so each shard's local top-k is a superset
+of its contribution to the global top-k.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from ..rag.corpus import CorpusSpec, MiniCorpus
+
+__all__ = [
+    "SHARD_POLICIES",
+    "CorpusShard",
+    "shard_chunk_counts",
+    "shard_global_indices",
+    "shard_corpus",
+    "shard_specs",
+    "merge_topk",
+    "merge_cycles",
+    "merge_seconds",
+]
+
+#: Supported chunk-placement policies.
+SHARD_POLICIES = ("round_robin", "range")
+
+
+def _validate_n_shards(n_shards) -> None:
+    if not isinstance(n_shards, (int, np.integer)) \
+            or isinstance(n_shards, bool) or n_shards < 1:
+        raise ValueError(f"shards must be an integer >= 1, got {n_shards!r}")
+
+
+def _validate_policy(policy: str) -> None:
+    if policy not in SHARD_POLICIES:
+        raise ValueError(
+            f"unknown shard policy {policy!r}; choose from {SHARD_POLICIES}")
+
+
+@dataclass(frozen=True)
+class CorpusShard:
+    """One shard of a functional corpus.
+
+    ``corpus`` is a :class:`MiniCorpus` over the shard's rows;
+    ``global_indices[j]`` is the parent-corpus chunk index of the
+    shard's local chunk ``j`` (strictly increasing for both policies).
+    """
+
+    shard_id: int
+    n_shards: int
+    policy: str
+    corpus: MiniCorpus
+    global_indices: np.ndarray
+
+    @property
+    def n_chunks(self) -> int:
+        """Chunks resident on this shard."""
+        return self.corpus.n_chunks
+
+
+def shard_chunk_counts(n_chunks: int, n_shards: int) -> List[int]:
+    """Balanced per-shard chunk counts (first shards take the remainder).
+
+    Both policies produce this distribution; shards beyond ``n_chunks``
+    get zero chunks.
+    """
+    _validate_n_shards(n_shards)
+    if n_chunks < 0:
+        raise ValueError("n_chunks must be non-negative")
+    base, extra = divmod(n_chunks, n_shards)
+    return [base + (1 if i < extra else 0) for i in range(n_shards)]
+
+
+def shard_global_indices(n_chunks: int, n_shards: int,
+                         policy: str = "round_robin") -> List[np.ndarray]:
+    """Per-shard global chunk indices under a placement policy."""
+    _validate_n_shards(n_shards)
+    _validate_policy(policy)
+    if policy == "round_robin":
+        return [np.arange(i, n_chunks, n_shards) for i in range(n_shards)]
+    counts = shard_chunk_counts(n_chunks, n_shards)
+    bounds = np.cumsum([0] + counts)
+    return [np.arange(bounds[i], bounds[i + 1]) for i in range(n_shards)]
+
+
+def shard_corpus(corpus: MiniCorpus, n_shards: int,
+                 policy: str = "round_robin") -> List[CorpusShard]:
+    """Split a functional corpus into shards (empty shards are dropped)."""
+    shards: List[CorpusShard] = []
+    for shard_id, indices in enumerate(
+            shard_global_indices(corpus.n_chunks, n_shards, policy)):
+        if len(indices) == 0:
+            continue
+        sub = MiniCorpus.from_embeddings(corpus.embeddings[indices],
+                                         seed=corpus.seed)
+        shards.append(CorpusShard(shard_id=shard_id, n_shards=n_shards,
+                                  policy=policy, corpus=sub,
+                                  global_indices=indices))
+    return shards
+
+
+def shard_specs(spec: CorpusSpec, n_shards: int) -> List[CorpusSpec]:
+    """Paper-scale per-shard corpus specs (balanced chunk split).
+
+    The placement policy does not affect paper-scale latency -- only
+    the per-shard chunk count does -- so one spec list serves both.
+    """
+    counts = shard_chunk_counts(spec.n_chunks, n_shards)
+    return [
+        CorpusSpec(
+            label=f"{spec.label}/shard{i}of{n_shards}",
+            corpus_bytes=spec.corpus_bytes * count / max(1, spec.n_chunks),
+            n_chunks=count,
+            dim=spec.dim,
+            bytes_per_value=spec.bytes_per_value,
+        )
+        for i, count in enumerate(counts)
+    ]
+
+
+def merge_topk(candidates: Iterable[Tuple[int, int]],
+               k: int) -> List[Tuple[int, int]]:
+    """Exact host-side merge of per-shard ``(global_index, score)`` lists.
+
+    Orders by score descending, global chunk index ascending on ties --
+    the same total order as the single-device top-k and the reference
+    lexsort -- and returns the best ``k``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    pool = sorted(candidates, key=lambda pair: (-pair[1], pair[0]))
+    return pool[:k]
+
+
+def merge_cycles(n_shards: int, k: int,
+                 params: APUParams = DEFAULT_PARAMS) -> float:
+    """Cycle cost of merging ``n_shards`` sorted k-lists on the host CP.
+
+    A single shard needs no merge.  Otherwise the CP runs a tournament
+    over the shard heads -- ``k`` pops, each costing one compare/copy
+    chain over ``ceil(log2(n_shards))`` levels -- and stages the final
+    ``k`` winners out through PIO.
+    """
+    _validate_n_shards(n_shards)
+    if n_shards == 1:
+        return 0.0
+    levels = max(1, math.ceil(math.log2(n_shards)))
+    per_pop = (params.compute.gt_u16 + params.movement.cpy) * levels
+    return k * per_pop + k * params.movement.pio_st_per_elem
+
+
+def merge_seconds(n_shards: int, k: int,
+                  params: APUParams = DEFAULT_PARAMS) -> float:
+    """Host merge latency in seconds."""
+    return merge_cycles(n_shards, k, params) / params.clock_hz

@@ -1,0 +1,261 @@
+"""The sharded serving simulator: corpus -> shards -> scheduler -> report.
+
+:class:`ServingSimulator` runs a request stream against ``N`` simulated
+APU shard devices.  Per-shard batch service times come from the
+:class:`repro.rag.batching.BatchedAPURetrieval` cost model, *anchored*
+so that a batch of one costs exactly the single-device Table 8 latency
+(``APURetriever.latency_breakdown(...).total``) and each extra query in
+a batch adds the model's amortized per-query increment.  Completed
+requests pay the host top-k merge plus the generator prefill, giving a
+**time-to-interactive** distribution; with one shard and batches of one
+the simulated TTI is cycle-identical to
+``RAGPipeline.time_to_interactive``.
+
+When a :mod:`repro.obs` collector is active, every executed batch and
+host merge is emitted as a shard-tagged
+:class:`~repro.obs.events.TraceEvent` (``core_id`` = shard id), so the
+Chrome-trace export shows one Perfetto lane per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from ..obs import collector as _trace_collector
+from ..obs.events import LANE_VCU, TraceEvent
+from ..rag.batching import BatchedAPURetrieval
+from ..rag.corpus import CorpusSpec, PAPER_CORPORA
+from ..rag.generation import GenerationModel
+from ..rag.retrieval import APURetriever
+from .metrics import LatencyStats, slo_attainment, utilization
+from .scheduler import BatchPolicy, DiscreteEventScheduler, ScheduleResult
+from .sharding import merge_cycles, merge_seconds, shard_specs
+from .workload import Request, poisson_arrivals
+
+__all__ = [
+    "ServeConfig",
+    "ShardServiceModel",
+    "ServeReport",
+    "ServingSimulator",
+    "golden_serve_config",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One serving deployment + workload configuration."""
+
+    spec: CorpusSpec
+    n_shards: int = 4
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    k: int = 5
+    qps: float = 100.0
+    n_requests: int = 256
+    seed: int = 0
+    #: Time-to-interactive SLO for attainment accounting.
+    slo_s: float = 1.0
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k!r}")
+        if self.slo_s <= 0:
+            raise ValueError(f"slo_s must be positive, got {self.slo_s!r}")
+        if self.n_shards > self.spec.n_chunks:
+            raise ValueError(
+                f"{self.n_shards} shards for {self.spec.n_chunks} chunks "
+                f"would leave shards empty")
+
+
+class ShardServiceModel:
+    """Per-shard dynamic-batch service times, anchored at Table 8.
+
+    ``batch_seconds(shard, 1)`` is exactly the single-device latency of
+    that shard's corpus slice; each additional query adds the
+    ``BatchedAPURetrieval`` amortized per-query increment (query
+    staging + MAC chain + top-k + return, the embedding stream shared).
+    """
+
+    def __init__(self, spec: CorpusSpec, n_shards: int, k: int = 5,
+                 params: APUParams = DEFAULT_PARAMS):
+        retriever = APURetriever(optimized=True, params=params)
+        batched = BatchedAPURetrieval(params)
+        self.shard_specs = shard_specs(spec, n_shards)
+        self._single: List[float] = []
+        self._increment: List[float] = []
+        # Calibration replays the closed-form breakdowns; those are not
+        # part of the simulated serving timeline, so keep their HBM/DMA
+        # events out of any active trace collector.
+        previous = _trace_collector.set_collector(None)
+        try:
+            for shard_spec in self.shard_specs:
+                if shard_spec.n_chunks == 0:
+                    raise ValueError(
+                        f"shard {shard_spec.label} is empty; "
+                        f"use fewer shards")
+                self._single.append(
+                    retriever.latency_breakdown(shard_spec, k).total)
+                pair = [batched.batch_latency(shard_spec, b, k).batch_seconds
+                        for b in (1, 2)]
+                self._increment.append(pair[1] - pair[0])
+        finally:
+            _trace_collector.set_collector(previous)
+
+    def batch_seconds(self, shard_id: int, batch_size: int) -> float:
+        """Service time of one batch on one shard's device."""
+        return (self._single[shard_id]
+                + (batch_size - 1) * self._increment[shard_id])
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything one simulation run produced."""
+
+    config: ServeConfig
+    n_completed: int
+    #: Last request's full completion (retrieval + merge + prefill).
+    makespan_s: float
+    throughput_qps: float
+    #: Arrival -> merged top-k (queueing + batches + host merge).
+    retrieval: LatencyStats
+    #: Arrival -> first generated token.
+    tti: LatencyStats
+    slo_attainment: float
+    shard_utilization: Tuple[float, ...]
+    n_batches: int
+    mean_batch_size: float
+
+    def format(self) -> str:
+        """Human-readable report block for the CLI."""
+        cfg = self.config
+        lines = [
+            f"serving {cfg.spec.label} over {cfg.n_shards} shard(s), "
+            f"{cfg.qps:g} qps offered, {cfg.n_requests} requests "
+            f"(seed {cfg.seed})",
+            f"  batching: max {cfg.batch.max_batch}/batch, "
+            f"max wait {cfg.batch.max_wait_s * 1e3:g} ms "
+            f"-> {self.n_batches} batches, "
+            f"mean size {self.mean_batch_size:.2f}",
+            f"  throughput: {self.throughput_qps:8.1f} qps sustained "
+            f"({self.n_completed} completed in {self.makespan_s:.3f} s)",
+        ]
+        retrieval, tti = self.retrieval.as_ms(), self.tti.as_ms()
+        lines.append(
+            "  retrieval ms: "
+            + "  ".join(f"{name} {retrieval[name]:8.2f}"
+                        for name in ("p50", "p95", "p99", "max")))
+        lines.append(
+            "  tti       ms: "
+            + "  ".join(f"{name} {tti[name]:8.2f}"
+                        for name in ("p50", "p95", "p99", "max")))
+        lines.append(
+            f"  SLO {cfg.slo_s * 1e3:g} ms: "
+            f"{self.slo_attainment * 100:.1f}% attained")
+        lines.append(
+            "  utilization: "
+            + "  ".join(f"shard{i} {u * 100:5.1f}%"
+                        for i, u in enumerate(self.shard_utilization)))
+        return "\n".join(lines)
+
+
+class ServingSimulator:
+    """Drive a request stream through the sharded serving stack."""
+
+    def __init__(self, config: ServeConfig,
+                 params: APUParams = DEFAULT_PARAMS,
+                 generator: Optional[GenerationModel] = None):
+        self.config = config
+        self.params = params
+        self.generator = generator or GenerationModel()
+        self.service_model = ShardServiceModel(
+            config.spec, config.n_shards, config.k, params)
+        self.merge_s = merge_seconds(config.n_shards, config.k, params)
+        self.prefill_s = self.generator.prefill_seconds()
+        self.scheduler = DiscreteEventScheduler(
+            config.n_shards, config.batch, self.service_model.batch_seconds)
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Optional[Sequence[Request]] = None) -> ServeReport:
+        """Simulate the configured (or a supplied) request stream."""
+        cfg = self.config
+        if requests is None:
+            requests = poisson_arrivals(cfg.qps, cfg.n_requests, cfg.seed)
+        result = self.scheduler.run(requests)
+        self._emit_trace(result)
+
+        retrieval_lat = [r.retrieval_latency_s + self.merge_s
+                         for r in result.records]
+        tti_lat = [lat + self.prefill_s for lat in retrieval_lat]
+        makespan = max(r.retrieval_done_s for r in result.records) \
+            + self.merge_s + self.prefill_s
+        sizes = [batch.batch_size for batch in result.batches]
+        return ServeReport(
+            config=cfg,
+            n_completed=len(result.records),
+            makespan_s=makespan,
+            throughput_qps=len(result.records) / makespan,
+            retrieval=LatencyStats.from_samples(retrieval_lat),
+            tti=LatencyStats.from_samples(tti_lat),
+            slo_attainment=slo_attainment(tti_lat, cfg.slo_s),
+            shard_utilization=tuple(
+                utilization(result.busy_seconds, result.horizon_s)),
+            n_batches=len(result.batches),
+            mean_batch_size=sum(sizes) / len(sizes),
+        )
+
+    # ------------------------------------------------------------------
+    def _emit_trace(self, result: ScheduleResult) -> None:
+        """Shard-tagged trace events (one Perfetto lane per device)."""
+        trace = _trace_collector.ACTIVE
+        if trace is None or not trace.enabled:
+            return
+        clock = self.params.clock_hz
+        for batch in result.batches:
+            shard_bytes = int(
+                self.service_model.shard_specs[batch.shard_id].embedding_bytes)
+            wait = batch.dispatch_s - batch.head_enqueue_s
+            if wait > 0:
+                trace.emit(TraceEvent(
+                    name="serve_queue_wait", lane=LANE_VCU,
+                    start_cycle=batch.head_enqueue_s * clock,
+                    cycles=wait * clock,
+                    section=f"serve/shard{batch.shard_id}",
+                    core_id=batch.shard_id))
+            trace.emit(TraceEvent(
+                name="serve_batch", lane=LANE_VCU,
+                start_cycle=batch.dispatch_s * clock,
+                cycles=batch.service_s * clock,
+                count=1,
+                section=f"serve/shard{batch.shard_id}",
+                bytes_moved=shard_bytes,
+                core_id=batch.shard_id))
+        cycles_per_merge = merge_cycles(self.config.n_shards, self.config.k,
+                                        self.params)
+        if cycles_per_merge > 0:
+            for record in result.records:
+                trace.emit(TraceEvent(
+                    name="serve_merge", lane=LANE_VCU,
+                    start_cycle=record.retrieval_done_s * clock,
+                    cycles=cycles_per_merge,
+                    section="serve/merge",
+                    core_id=self.config.n_shards))
+
+
+def golden_serve_config() -> ServeConfig:
+    """The canonical serving workload pinned by the golden trace.
+
+    Small enough to simulate in milliseconds, busy enough (offered load
+    near one shard-batch per max-wait window) to exercise queueing,
+    under-full timers, and full batches.
+    """
+    return ServeConfig(
+        spec=PAPER_CORPORA["10GB"],
+        n_shards=4,
+        batch=BatchPolicy(max_batch=8, max_wait_s=2e-3),
+        k=5,
+        qps=400.0,
+        n_requests=64,
+        seed=0,
+        slo_s=1.0,
+    )

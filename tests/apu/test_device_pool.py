@@ -1,0 +1,55 @@
+"""Tests for the multi-device pool and shard-tagged core ids."""
+
+import pytest
+
+from repro.apu.device import APUDevice, APUDevicePool
+from repro.core.params import DEFAULT_PARAMS
+from repro.obs import collecting
+
+
+class TestCoreIdBase:
+    def test_default_core_ids(self):
+        device = APUDevice()
+        assert [core.core_id for core in device.cores] \
+            == list(range(DEFAULT_PARAMS.num_cores))
+
+    def test_offset_core_ids(self):
+        device = APUDevice(core_id_base=8)
+        assert [core.core_id for core in device.cores] \
+            == [8 + i for i in range(DEFAULT_PARAMS.num_cores)]
+
+
+class TestDevicePool:
+    def test_disjoint_core_id_ranges(self):
+        pool = APUDevicePool(3)
+        seen = [core.core_id for device in pool.devices
+                for core in device.cores]
+        assert seen == sorted(set(seen))
+        assert len(seen) == 3 * DEFAULT_PARAMS.num_cores
+
+    def test_events_tagged_per_device(self):
+        pool = APUDevicePool(2)
+        with collecting() as trace:
+            for device in pool.devices:
+                device.core.gvml.cpy_imm_16(0, 1)
+        core_ids = {event.core_id for event in trace.events}
+        assert core_ids == {0, DEFAULT_PARAMS.num_cores}
+
+    def test_len_and_getitem(self):
+        pool = APUDevicePool(2)
+        assert len(pool) == 2
+        assert pool[1] is pool.devices[1]
+
+    def test_parallel_makespan(self):
+        pool = APUDevicePool(2)
+        pool[0].core.gvml.cpy_imm_16(0, 1)
+        pool[0].core.gvml.cpy_imm_16(1, 2)
+        pool[1].core.gvml.cpy_imm_16(0, 3)
+        assert pool.makespan_cycles == pool[0].makespan_cycles
+        assert pool.total_cycles \
+            == pool[0].total_cycles + pool[1].total_cycles
+
+    def test_invalid_pool_size_rejected(self):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ValueError):
+                APUDevicePool(bad)

@@ -87,7 +87,18 @@ class TestRAGGolden:
         golden("trace_rag.txt", render_trace_golden(trace, "rag retrieval"))
 
 
-class TestCostGoldens:
+class TestServeGolden:
+    def test_serve_workload_trace(self, golden):
+        """Pins the canonical sharded-serving workload (the same config
+        ``repro trace serve`` runs): per-shard batch/wait/merge events,
+        lane cycles, and bytes streamed per shard."""
+        from repro.serve import ServingSimulator, golden_serve_config
+
+        with collecting() as trace:
+            ServingSimulator(golden_serve_config()).run()
+        assert trace.total_events > 0
+        golden("trace_serve.txt",
+               render_trace_golden(trace, "sharded serving"))
     def test_table4_movement_costs(self, golden):
         golden("costs_table4.txt",
                render_cost_golden(DEFAULT_PARAMS.movement,

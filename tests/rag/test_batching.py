@@ -43,8 +43,18 @@ class TestLatencyModel:
         assert late_gain < early_gain / 3
 
     def test_invalid_batch_rejected(self, batched):
-        with pytest.raises(ValueError):
-            batched.batch_latency(PAPER_CORPORA["10GB"], 0)
+        spec = PAPER_CORPORA["10GB"]
+        for bad in (0, -4, 2.5, True, "8", float("nan")):
+            with pytest.raises(ValueError):
+                batched.batch_latency(spec, bad)
+
+    def test_numpy_integer_batch_accepted(self, batched):
+        import numpy as np
+
+        spec = PAPER_CORPORA["10GB"]
+        point = batched.batch_latency(spec, np.int64(4))
+        assert point.batch_size == 4
+        assert point.batch_seconds == batched.batch_latency(spec, 4).batch_seconds
 
     def test_batch_seconds_monotone_in_batch(self, batched):
         spec = PAPER_CORPORA["10GB"]

@@ -1,0 +1,106 @@
+"""Differential tests: sharded serving vs the single-device baseline.
+
+Two exactness claims back the serving subsystem:
+
+1. **Retrieval is exact under sharding.**  For random corpora, shard
+   counts 1..8, both placement policies, and any k, the scatter-gather
+   retriever returns *exactly* the same top-k chunk indices and scores
+   as the unsharded ``APURetriever`` (both run genuinely on the
+   functional simulator).
+2. **One shard costs nothing extra.**  Single-shard paper-scale
+   retrieval, and single-shard/batch-of-one serving, reproduce the
+   single-device latency and ``time_to_interactive`` to the cycle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.rag.corpus import MiniCorpus, PAPER_CORPORA
+from repro.rag.pipeline import RAGPipeline
+from repro.rag.retrieval import APURetriever
+from repro.serve import (
+    BatchPolicy,
+    ServeConfig,
+    ServingSimulator,
+    ShardedAPURetriever,
+    trace_arrivals,
+)
+from repro.serve.sharding import SHARD_POLICIES
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    n_chunks=st.integers(min_value=2, max_value=90),
+    dim=st.sampled_from([16, 32, 64]),
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_shards=st.integers(min_value=1, max_value=8),
+    k=st.integers(min_value=1, max_value=8),
+    policy=st.sampled_from(SHARD_POLICIES),
+)
+def test_sharded_retrieval_is_exact(n_chunks, dim, seed, n_shards, k,
+                                    policy):
+    corpus = MiniCorpus(n_chunks=n_chunks, dim=dim, seed=seed)
+    query = corpus.sample_query()
+    # The on-device top-k assumes strictly positive scores (padding is
+    # masked to zero); all-but-degenerate random corpora satisfy it.
+    scores = corpus.scores(query)
+    assume(int(scores.max()) < (1 << 16) and int(scores.min()) > 0)
+    k = min(k, n_chunks)
+
+    baseline = APURetriever(optimized=True).retrieve_with_scores(
+        corpus, query, k)
+    sharded = ShardedAPURetriever(n_shards, policy).retrieve_with_scores(
+        corpus, query, k)
+
+    assert [(int(i), int(s)) for i, s in sharded] \
+        == [(int(i), int(s)) for i, s in baseline]
+    for index, score in sharded:
+        assert int(score) == int(scores[index])
+
+
+def test_sharded_matches_unoptimized_kernel_too():
+    corpus = MiniCorpus(n_chunks=60, dim=32, seed=5)
+    query = corpus.sample_query()
+    baseline = APURetriever(optimized=False).retrieve(corpus, query, 6)
+    sharded = ShardedAPURetriever(3, "range", optimized=False).retrieve(
+        corpus, query, 6)
+    assert sharded == baseline
+
+
+class TestOneShardLatencyAnchor:
+    @pytest.mark.parametrize("label", sorted(PAPER_CORPORA))
+    @pytest.mark.parametrize("k", [1, 5, 10])
+    def test_one_shard_retrieval_seconds_is_single_device(self, label, k):
+        spec = PAPER_CORPORA[label]
+        single = APURetriever(optimized=True).retrieval_seconds(spec, k)
+        sharded = ShardedAPURetriever(1).retrieval_seconds(spec, k)
+        assert sharded == single
+
+    @pytest.mark.parametrize("label", sorted(PAPER_CORPORA))
+    def test_one_shard_serving_tti_matches_pipeline_to_the_cycle(self, label):
+        """A lone request on a 1-shard deployment with batches of one
+        reproduces the offline ``time_to_interactive`` exactly."""
+        spec = PAPER_CORPORA[label]
+        config = ServeConfig(
+            spec=spec, n_shards=1,
+            batch=BatchPolicy(max_batch=1, max_wait_s=1.0),
+            k=5, qps=1.0, n_requests=1, seed=0, slo_s=10.0,
+        )
+        simulator = ServingSimulator(config)
+        report = simulator.run(trace_arrivals([0.0]))
+
+        pipeline = RAGPipeline(APURetriever(optimized=True))
+        expected = pipeline.time_to_interactive(spec, k=5)
+        cycle_s = 1.0 / DEFAULT_PARAMS.clock_hz
+        assert abs(report.tti.max_s - expected) < cycle_s
+        assert report.tti.p50_s == report.tti.max_s
+
+    def test_multi_shard_latency_beats_single_device(self):
+        spec = PAPER_CORPORA["200GB"]
+        single = APURetriever(optimized=True).retrieval_seconds(spec, 5)
+        for n_shards in (2, 4, 8):
+            assert ShardedAPURetriever(n_shards).retrieval_seconds(
+                spec, 5) < single

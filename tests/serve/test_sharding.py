@@ -1,0 +1,125 @@
+"""Unit tests for corpus sharding and the exact top-k merge."""
+
+import numpy as np
+import pytest
+
+from repro.rag.corpus import CorpusSpec, MiniCorpus, PAPER_CORPORA
+from repro.serve.sharding import (
+    SHARD_POLICIES,
+    merge_cycles,
+    merge_seconds,
+    merge_topk,
+    shard_chunk_counts,
+    shard_corpus,
+    shard_global_indices,
+    shard_specs,
+)
+
+
+class TestChunkCounts:
+    def test_balanced_split(self):
+        assert shard_chunk_counts(10, 4) == [3, 3, 2, 2]
+        assert shard_chunk_counts(8, 4) == [2, 2, 2, 2]
+        assert shard_chunk_counts(3, 8) == [1, 1, 1, 0, 0, 0, 0, 0]
+
+    def test_counts_sum_to_total(self):
+        for n_chunks in (1, 7, 64, 163_840):
+            for n_shards in (1, 2, 3, 8):
+                assert sum(shard_chunk_counts(n_chunks, n_shards)) == n_chunks
+
+    def test_invalid_shards_rejected(self):
+        for bad in (0, -1, 2.5, True, "4"):
+            with pytest.raises(ValueError):
+                shard_chunk_counts(16, bad)
+
+
+class TestGlobalIndices:
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    def test_partition_is_exact(self, policy):
+        indices = shard_global_indices(37, 5, policy)
+        merged = np.concatenate(indices)
+        assert sorted(merged.tolist()) == list(range(37))
+
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    def test_indices_increase_within_shard(self, policy):
+        for shard in shard_global_indices(41, 6, policy):
+            assert all(b > a for a, b in zip(shard, shard[1:]))
+
+    def test_round_robin_stride(self):
+        shards = shard_global_indices(12, 4, "round_robin")
+        assert shards[1].tolist() == [1, 5, 9]
+
+    def test_range_contiguous(self):
+        shards = shard_global_indices(10, 3, "range")
+        assert [s.tolist() for s in shards] == [[0, 1, 2, 3], [4, 5, 6],
+                                               [7, 8, 9]]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            shard_global_indices(10, 2, "hash")
+
+
+class TestShardCorpus:
+    def test_shards_cover_corpus(self):
+        corpus = MiniCorpus(n_chunks=50, dim=16, seed=1)
+        for policy in SHARD_POLICIES:
+            shards = shard_corpus(corpus, 4, policy)
+            seen = np.concatenate([s.global_indices for s in shards])
+            assert sorted(seen.tolist()) == list(range(50))
+            for shard in shards:
+                np.testing.assert_array_equal(
+                    shard.corpus.embeddings,
+                    corpus.embeddings[shard.global_indices])
+
+    def test_empty_shards_dropped(self):
+        corpus = MiniCorpus(n_chunks=3, dim=16, seed=0)
+        shards = shard_corpus(corpus, 8)
+        assert len(shards) == 3
+        assert all(s.n_chunks == 1 for s in shards)
+
+
+class TestShardSpecs:
+    def test_chunks_and_bytes_partition(self):
+        spec = PAPER_CORPORA["50GB"]
+        shards = shard_specs(spec, 4)
+        assert sum(s.n_chunks for s in shards) == spec.n_chunks
+        assert sum(s.embedding_bytes for s in shards) == spec.embedding_bytes
+        assert all(s.dim == spec.dim for s in shards)
+
+    def test_single_shard_is_whole_corpus(self):
+        spec = PAPER_CORPORA["10GB"]
+        (shard,) = shard_specs(spec, 1)
+        assert shard.n_chunks == spec.n_chunks
+        assert shard.embedding_bytes == spec.embedding_bytes
+
+
+class TestMerge:
+    def test_merge_matches_reference_lexsort(self):
+        rng = np.random.default_rng(7)
+        scores = rng.integers(0, 50, size=40)
+        candidates = [(int(i), int(s)) for i, s in enumerate(scores)]
+        merged = merge_topk(candidates, 10)
+        order = np.lexsort((np.arange(len(scores)), -scores))
+        assert [i for i, _ in merged] == [int(i) for i in order[:10]]
+
+    def test_ties_break_by_lower_global_index(self):
+        merged = merge_topk([(9, 5), (2, 5), (4, 7)], 3)
+        assert merged == [(4, 7), (2, 5), (9, 5)]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            merge_topk([(0, 1)], 0)
+
+
+class TestMergeCost:
+    def test_single_shard_merge_is_free(self):
+        assert merge_cycles(1, 5) == 0.0
+        assert merge_seconds(1, 5) == 0.0
+
+    def test_merge_cost_grows_with_shards_and_k(self):
+        assert merge_cycles(4, 5) > merge_cycles(2, 5) > 0
+        assert merge_cycles(4, 10) > merge_cycles(4, 5)
+
+    def test_merge_is_cheap_relative_to_retrieval(self):
+        """Host merge stays microseconds even at eight shards."""
+        assert merge_seconds(8, 10) < 1e-4

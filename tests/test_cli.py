@@ -49,3 +49,40 @@ class TestExecution:
     def test_batching_corpus_flag(self, capsys):
         assert main(["batching", "--corpus", "10GB"]) == 0
         assert "qps" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_defaults(self, capsys):
+        assert main(["serve", "--requests", "32", "--corpus", "10GB"]) == 0
+        out = capsys.readouterr().out
+        assert "qps sustained" in out
+        assert "shard0" in out and "shard3" in out
+
+    def test_serve_flags(self, capsys):
+        assert main(["serve", "--shards", "2", "--qps", "50",
+                     "--requests", "16", "--max-batch", "4",
+                     "--corpus", "10GB", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "over 2 shard(s)" in out
+        assert "50 qps offered" in out
+
+    def test_serve_rejects_bad_shards(self):
+        with pytest.raises(ValueError):
+            main(["serve", "--shards", "0", "--requests", "8",
+                  "--corpus", "10GB"])
+
+    def test_trace_workloads_lists_serve(self, capsys):
+        assert main(["trace", "workloads"]) == 0
+        assert "serve" in capsys.readouterr().out.split()
+
+    def test_trace_serve_writes_shard_lanes(self, tmp_path, capsys):
+        out_path = tmp_path / "serve.json"
+        assert main(["trace", "serve", "--trace-out", str(out_path)]) == 0
+        assert "serve/shard0" in capsys.readouterr().out
+
+        import json
+
+        payload = json.loads(out_path.read_text())
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"shard 0", "shard 3", "host merge"} <= names
