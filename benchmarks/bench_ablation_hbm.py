@@ -5,8 +5,6 @@ The paper replaces the Leda-E's 23.8 GB/s DDR with simulated HBM2e
 that substitution's effect on RAG retrieval.
 """
 
-import pytest
-
 from repro.hbm import make_ddr4, make_hbm2e
 from repro.rag import APURetriever, PAPER_CORPORA
 

@@ -1,0 +1,132 @@
+"""Graceful-degradation sweep: outage fraction vs serving quality.
+
+Kills ``0 .. N/2`` of the 8 shard devices mid-run (hard outage at a
+fixed instant) and measures what survives under each failover policy:
+sustained throughput, p99 time-to-interactive, and the exact corpus
+coverage (= expected recall@k under round-robin placement) of the
+answers.  ``reroute`` trades latency for coverage -- survivors re-scan
+the orphaned slices, so post-death requests regain full recall at
+higher per-batch cost; ``degraded`` trades coverage for latency -- the
+dead slices stay dark and every later answer is a partial top-k.
+
+Same dual entry points as ``bench_serve_scaling``: a pytest-benchmark
+``test_`` and ``python benchmarks/bench_fault_degradation.py --json``
+for the CI regression gate.
+"""
+
+import argparse
+import json
+
+from repro.faults import FaultPlan, OutageFault
+from repro.rag import PAPER_CORPORA
+from repro.serve import BatchPolicy, RetryPolicy, ServeConfig, \
+    ServingSimulator
+
+N_SHARDS = 8
+DEAD_SHARD_COUNTS = (0, 1, 2, 4)
+FAILOVER_MODES = ("reroute", "degraded")
+OFFERED_QPS = 1200.0
+N_REQUESTS = 256
+OUTAGE_AT_S = 0.05  # mid-run: arrivals span ~0.21 s at 1200 qps
+
+
+def _config(n_dead: int, failover: str) -> ServeConfig:
+    outages = tuple(OutageFault(shard_id=shard_id, start_s=OUTAGE_AT_S)
+                    for shard_id in range(n_dead))
+    return ServeConfig(
+        spec=PAPER_CORPORA["200GB"],
+        n_shards=N_SHARDS,
+        batch=BatchPolicy(max_batch=16, max_wait_s=2e-3),
+        qps=OFFERED_QPS,
+        n_requests=N_REQUESTS,
+        seed=0,
+        slo_s=5.0,
+        faults=FaultPlan(outages=outages),
+        retry=RetryPolicy(timeout_s=0.05, max_retries=2,
+                          backoff_base_s=1e-3, backoff_cap_s=8e-3),
+        failover=failover,
+    )
+
+
+def _run_sweep():
+    reports = {}
+    for failover in FAILOVER_MODES:
+        for n_dead in DEAD_SHARD_COUNTS:
+            reports[(failover, n_dead)] = ServingSimulator(
+                _config(n_dead, failover)).run()
+    return reports
+
+
+def collect_metrics():
+    """Deterministic scalar metrics keyed for the CI regression gate."""
+    metrics = {}
+    for (failover, n_dead), rep in _run_sweep().items():
+        metrics[f"{failover}/dead{n_dead}"] = {
+            "throughput_qps": rep.throughput_qps,
+            "tti_p99_ms": rep.tti.p99_s * 1e3,
+            "mean_coverage": rep.mean_coverage,
+            "min_coverage": rep.min_coverage,
+            "degraded_requests": rep.degraded_requests,
+            "n_shard_failures": rep.n_shard_failures,
+        }
+    return {"fault_degradation": metrics}
+
+
+def test_fault_degradation_sweep(benchmark, report):
+    reports = benchmark(_run_sweep)
+
+    report(f"Fault degradation: 200GB corpus, {N_SHARDS} shards, "
+           f"outage at {OUTAGE_AT_S * 1e3:g} ms, {OFFERED_QPS:g} qps "
+           f"offered")
+    report(f"  {'mode':>9s} {'dead':>4s} {'qps':>8s} {'p99 ms':>9s} "
+           f"{'cover%':>7s} {'min%':>6s} {'degraded':>8s}")
+    for (failover, n_dead), rep in reports.items():
+        report(f"  {failover:>9s} {n_dead:4d} {rep.throughput_qps:8.1f} "
+               f"{rep.tti.p99_s * 1e3:9.2f} {rep.mean_coverage * 100:7.2f} "
+               f"{rep.min_coverage * 100:6.2f} {rep.degraded_requests:8d}")
+
+    fault_free = {f: reports[(f, 0)] for f in FAILOVER_MODES}
+    for failover, rep in fault_free.items():
+        # Zero dead shards: full coverage, nothing degraded, and both
+        # modes identical to each other (the policy never engages).
+        assert rep.mean_coverage == 1.0 and rep.degraded_requests == 0
+        assert rep.throughput_qps == fault_free["reroute"].throughput_qps
+    for failover in FAILOVER_MODES:
+        covers = [reports[(failover, n)].mean_coverage
+                  for n in DEAD_SHARD_COUNTS]
+        # Coverage decays monotonically with the outage fraction...
+        assert all(b < a or (a == b == 1.0)
+                   for a, b in zip(covers, covers[1:])), (failover, covers)
+        for n_dead in DEAD_SHARD_COUNTS:
+            rep = reports[(failover, n_dead)]
+            # ...but the deployment never stops answering.
+            assert rep.n_completed == N_REQUESTS
+            assert rep.n_shard_failures == n_dead
+            # Degraded mode can never beat the live-shard fraction.
+            if failover == "degraded" and n_dead:
+                assert rep.mean_coverage < 1.0
+                assert rep.min_coverage >= 0.0
+    for n_dead in DEAD_SHARD_COUNTS[1:]:
+        # Reroute recovers coverage that degraded mode forfeits.
+        assert reports[("reroute", n_dead)].mean_coverage \
+            > reports[("degraded", n_dead)].mean_coverage
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true",
+                        help="emit metrics as JSON on stdout")
+    args = parser.parse_args(argv)
+    metrics = collect_metrics()
+    if args.json:
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+    else:
+        for group, rows in metrics.items():
+            print(group)
+            for key, row in rows.items():
+                print(f"  {key}: {row}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

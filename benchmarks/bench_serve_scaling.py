@@ -7,7 +7,15 @@ capacity is set by the per-shard batch rate: smaller shards finish
 batches faster, giving near-linear throughput scaling until the fixed
 per-batch costs (query staging, per-shard top-k, return) and the host
 merge stop shrinking.
+
+Runs two ways: under pytest-benchmark (the ``test_`` entry point,
+paper-style table on the terminal) and as a plain script --
+``python benchmarks/bench_serve_scaling.py --json`` emits the metric
+dict that ``benchmarks/check_bench_regression.py`` gates CI on.
 """
+
+import argparse
+import json
 
 from repro.rag import PAPER_CORPORA
 from repro.serve import BatchPolicy, ServeConfig, ServingSimulator
@@ -33,6 +41,21 @@ def _run_sweep():
     return reports
 
 
+def collect_metrics():
+    """Deterministic scalar metrics keyed for the CI regression gate."""
+    metrics = {}
+    for n_shards, rep in _run_sweep().items():
+        metrics[f"shards{n_shards}"] = {
+            "throughput_qps": rep.throughput_qps,
+            "tti_p50_ms": rep.tti.p50_s * 1e3,
+            "tti_p99_ms": rep.tti.p99_s * 1e3,
+            "mean_utilization": (sum(rep.shard_utilization)
+                                 / len(rep.shard_utilization)),
+            "n_batches": rep.n_batches,
+        }
+    return {"serve_scaling": metrics}
+
+
 def test_serve_shard_scaling(benchmark, report):
     reports = benchmark(_run_sweep)
 
@@ -54,3 +77,23 @@ def test_serve_shard_scaling(benchmark, report):
         assert min(rep.shard_utilization) > 0.5
     # Sharding cuts the tail: p99 TTI strictly improves 1 -> 4 shards.
     assert reports[4].tti.p99_s < reports[1].tti.p99_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true",
+                        help="emit metrics as JSON on stdout")
+    args = parser.parse_args(argv)
+    metrics = collect_metrics()
+    if args.json:
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+    else:
+        for group, rows in metrics.items():
+            print(group)
+            for key, row in rows.items():
+                print(f"  {key}: {row}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

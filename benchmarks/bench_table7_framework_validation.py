@@ -5,6 +5,8 @@ Paper anchors: per-app error between +2.3% and -6.2%, mean accuracy
 effects on), "predicted" the closed-form framework (effects off).
 """
 
+from repro.phoenix import PhoenixSuite
+
 PAPER_ROWS = {
     "histogram": (1644.8, +0.32),
     "linear_regression": (92.3, +2.3),
@@ -14,8 +16,6 @@ PAPER_ROWS = {
     "string_match": (90.9, +1.8),
     "word_count": (3.2, -3.1),
 }
-
-from repro.phoenix import PhoenixSuite
 
 
 def test_table7_validation(benchmark, report):

@@ -1,0 +1,140 @@
+"""CI benchmark-regression gate for the serving benchmarks.
+
+Collects the deterministic metric dicts from ``bench_serve_scaling``
+and ``bench_fault_degradation`` and enforces two properties against
+the committed baseline (``benchmarks/BENCH_serve.json``):
+
+* **Determinism** -- every metric collected twice in the same process
+  must be *bit-identical* (the simulators are seeded discrete-event
+  models; any drift is a bug, not noise).
+* **No regression** -- throughput-like metrics (``*_qps``) must not
+  fall more than ``--tolerance`` (default 10%) below the baseline, and
+  latency-like metrics (``*_ms``) must not rise more than the same
+  fraction above it.  Exact metrics (coverage, counts) must match the
+  baseline bit-for-bit -- they are model outputs, not timings.
+
+Refresh the baseline after a reviewed model change with::
+
+    python benchmarks/check_bench_regression.py --update
+
+which is what the CI ``update-bench`` label path runs.
+"""
+
+import argparse
+import importlib
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+BASELINE_PATH = BENCH_DIR / "BENCH_serve.json"
+BENCH_MODULES = ("bench_serve_scaling", "bench_fault_degradation")
+#: Metric-name suffixes gated with relative tolerance (timing-like).
+HIGHER_IS_BETTER = ("_qps",)
+LOWER_IS_BETTER = ("_ms",)
+
+
+def collect_all():
+    """Metric dict {bench: {row: {metric: value}}} from every module."""
+    if str(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCH_DIR))
+    merged = {}
+    for name in BENCH_MODULES:
+        module = importlib.import_module(name)
+        metrics = module.collect_metrics()
+        overlap = set(metrics) & set(merged)
+        if overlap:
+            raise RuntimeError(f"duplicate metric groups: {sorted(overlap)}")
+        merged.update(metrics)
+    return merged
+
+
+def flatten(metrics):
+    """{"group/row/metric": value} for uniform comparison."""
+    flat = {}
+    for group, rows in metrics.items():
+        for row, values in rows.items():
+            for metric, value in values.items():
+                flat[f"{group}/{row}/{metric}"] = value
+    return flat
+
+
+def check_determinism(first, second):
+    """Bit-identical replay or a list of drifting keys."""
+    drifted = [key for key in sorted(set(first) | set(second))
+               if first.get(key) != second.get(key)]
+    return [f"DETERMINISM DRIFT {key}: {first.get(key)!r} != "
+            f"{second.get(key)!r}" for key in drifted]
+
+
+def check_regressions(baseline, current, tolerance):
+    failures = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in current:
+            failures.append(f"MISSING metric {key} (baseline {base!r})")
+            continue
+        value = current[key]
+        if key.endswith(HIGHER_IS_BETTER):
+            floor = base * (1.0 - tolerance)
+            if value < floor:
+                failures.append(
+                    f"REGRESSION {key}: {value:.3f} < {floor:.3f} "
+                    f"(baseline {base:.3f}, tolerance {tolerance:.0%})")
+        elif key.endswith(LOWER_IS_BETTER):
+            ceiling = base * (1.0 + tolerance)
+            if value > ceiling:
+                failures.append(
+                    f"REGRESSION {key}: {value:.3f} > {ceiling:.3f} "
+                    f"(baseline {base:.3f}, tolerance {tolerance:.0%})")
+        elif value != base:
+            failures.append(
+                f"EXACT-METRIC DRIFT {key}: {value!r} != baseline {base!r}")
+    for key in sorted(set(current) - set(baseline)):
+        failures.append(
+            f"NEW metric {key} not in baseline (run with --update)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from the "
+                             "current metrics")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help="baseline JSON path")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative tolerance for *_qps / *_ms metrics")
+    args = parser.parse_args(argv)
+
+    first = flatten(collect_all())
+    second = flatten(collect_all())
+    failures = check_determinism(first, second)
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)} determinism failure(s)")
+        return 1
+
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(first, indent=2, sort_keys=True) + "\n")
+        print(f"baseline refreshed: {args.baseline} "
+              f"({len(first)} metrics)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update")
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    failures = check_regressions(baseline, first, args.tolerance)
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)} benchmark gate failure(s)")
+        return 1
+    print(f"benchmark gate OK: {len(baseline)} metrics within "
+          f"{args.tolerance:.0%} of baseline, replay bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

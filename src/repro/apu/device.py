@@ -17,7 +17,18 @@ from ..core.params import APUParams, DEFAULT_PARAMS
 from .core import APUCore
 from .memory import CPCache, DeviceDRAM, MemHandle
 
-__all__ = ["APUDevice", "APUDevicePool", "TaskResult"]
+__all__ = ["APUDevice", "APUDevicePool", "DeviceUnavailableError",
+           "TaskResult"]
+
+
+class DeviceUnavailableError(RuntimeError):
+    """Raised when a task is invoked on a device marked unhealthy.
+
+    The fault-injection layer (:mod:`repro.faults`) marks simulated
+    devices down during scripted outages; host code that bypasses the
+    serving scheduler's failover sees the failure it would see from a
+    real dark device: the task never runs.
+    """
 
 
 class TaskResult:
@@ -73,8 +84,26 @@ class APUDevice:
                     core_id=core_id_base + i)
             for i in range(params.num_cores)
         ]
+        #: Health flag used by the fault-injection layer: ``run_task``
+        #: refuses to execute on an unhealthy device, and scatter-gather
+        #: retrievers skip it (degraded mode).
+        self.healthy = True
+        self.failure_reason = ""
         if collector is not None:
             self.attach_collector(collector)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail(self, reason: str = "injected fault") -> None:
+        """Mark the device dark (scripted outage / hard failure)."""
+        self.healthy = False
+        self.failure_reason = reason
+
+    def restore(self) -> None:
+        """Bring the device back after a transient outage."""
+        self.healthy = True
+        self.failure_reason = ""
 
     def attach_collector(self, collector) -> None:
         """Route every core's trace events to ``collector``."""
@@ -113,6 +142,9 @@ class APUDevice:
         is the *increase* in per-core cycles during the task; the
         makespan assumes cores execute independent work in parallel.
         """
+        if not self.healthy:
+            raise DeviceUnavailableError(
+                f"device is down ({self.failure_reason or 'unknown'})")
         before = [core.cycles for core in self.cores]
         value = task(self, *args, **kwargs)
         deltas = [core.cycles - start for core, start in zip(self.cores, before)]
@@ -180,6 +212,22 @@ class APUDevicePool:
         """Route every device's trace events to ``collector``."""
         for device in self.devices:
             device.attach_collector(collector)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def mark_down(self, device_id: int,
+                  reason: str = "injected fault") -> None:
+        """Take one device out of service."""
+        self.devices[device_id].fail(reason)
+
+    def mark_up(self, device_id: int) -> None:
+        """Return a failed device to service."""
+        self.devices[device_id].restore()
+
+    def live_ids(self) -> List[int]:
+        """Indices of the devices currently in service."""
+        return [i for i, device in enumerate(self.devices) if device.healthy]
 
     @property
     def makespan_cycles(self) -> float:

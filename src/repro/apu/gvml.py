@@ -31,7 +31,6 @@ from .dtypes import (
     u16_to_s16,
     s16_to_u16,
 )
-from .memory import MemoryError_
 
 __all__ = ["GVML", "GVMLError"]
 

@@ -10,6 +10,8 @@ without going through pytest:
     python -m repro.cli fig12 --m 512 --n 512 --k 512
     python -m repro.cli fig14
     python -m repro.cli serve --shards 4 --qps 200
+    python -m repro.cli serve --corpus 10GB --fault-plan \\
+        examples/fault_plan.json --timeout-ms 8 --failover degraded
     python -m repro.cli all
 
 plus the observability entry point: ``trace <workload>`` runs one
@@ -156,9 +158,22 @@ def _run_claims(args) -> None:
 
 
 def _run_serve(args) -> None:
-    from .rag import PAPER_CORPORA
-    from .serve import BatchPolicy, ServeConfig, ServingSimulator
+    import math
 
+    from .faults import FaultPlan
+    from .rag import PAPER_CORPORA
+    from .serve import BatchPolicy, RetryPolicy, ServeConfig, ServingSimulator
+
+    faults = FaultPlan()
+    if args.fault_plan:
+        faults = FaultPlan.load(args.fault_plan)
+    retry = RetryPolicy(
+        timeout_s=math.inf if args.timeout_ms is None
+        else args.timeout_ms * 1e-3,
+        max_retries=args.max_retries,
+        backoff_base_s=args.backoff_ms * 1e-3,
+        backoff_cap_s=args.backoff_cap_ms * 1e-3,
+    )
     config = ServeConfig(
         spec=PAPER_CORPORA[args.corpus],
         n_shards=args.shards,
@@ -169,6 +184,9 @@ def _run_serve(args) -> None:
         n_requests=args.requests,
         seed=args.seed,
         slo_s=args.slo_ms * 1e-3,
+        faults=faults,
+        retry=retry,
+        failover=args.failover,
     )
     print(ServingSimulator(config).run().format())
 
@@ -206,8 +224,15 @@ def _trace_runners() -> Dict[str, Callable]:
         ServingSimulator(golden_serve_config()).run()
         return None
 
+    def run_serve_faults():
+        from .serve import ServingSimulator, golden_fault_config
+
+        ServingSimulator(golden_fault_config()).run()
+        return None
+
     runners["rag"] = run_rag
     runners["serve"] = run_serve
+    runners["serve_faults"] = run_serve_faults
     runners["table4"] = lambda: run_table4_micro().total_cycles
     runners["table5"] = lambda: run_table5_micro().total_cycles
     return runners
@@ -241,7 +266,7 @@ def _run_trace(args) -> None:
         print(f"conservation: per-lane sum {core_cycles:.0f} vs device total "
               f"{expected:.0f} cycles -> {'OK' if ok else 'MISMATCH'}")
     process_names = None
-    if workload == "serve":
+    if workload in ("serve", "serve_faults"):
         from .serve import golden_serve_config
 
         shards = golden_serve_config().n_shards
@@ -317,6 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="serve only: time-to-interactive SLO (ms)")
     parser.add_argument("--seed", type=int, default=0,
                         help="serve only: arrival-process seed")
+    parser.add_argument("--fault-plan", default=None,
+                        help="serve only: JSON fault plan for a scripted "
+                             "chaos run (see repro.faults.FaultPlan)")
+    parser.add_argument("--failover", choices=["reroute", "degraded"],
+                        default="reroute",
+                        help="serve only: response to a shard death")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        help="serve only: per-batch timeout (default: none)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="serve only: consecutive failed attempts "
+                             "before a shard is declared dead")
+    parser.add_argument("--backoff-ms", type=float, default=1.0,
+                        help="serve only: base retry backoff (doubles per "
+                             "consecutive failure)")
+    parser.add_argument("--backoff-cap-ms", type=float, default=8.0,
+                        help="serve only: retry backoff cap")
     return parser
 
 

@@ -26,8 +26,8 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
 
 from ..obs import collector as _trace_collector
 from ..obs.events import TraceEvent, lane_for_op

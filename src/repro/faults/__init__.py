@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the sharded serving stack.
+
+``repro.faults`` scripts device misbehavior -- transient stalls, hard
+and transient shard outages, slow-start recovery -- as pure data
+(:class:`~repro.faults.plan.FaultPlan`) and answers runtime fault-state
+queries through :class:`~repro.faults.injector.FaultInjector`.  The
+serving scheduler (:mod:`repro.serve.scheduler`) consumes the injector
+to drive per-batch timeouts, capped-exponential-backoff retries, and
+shard failover; everything is a pure function of the plan and the
+request seed, so chaos runs replay bit-identically and a zero-fault
+plan is indistinguishable from no plan at all.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultLogEntry, FaultPlan, OutageFault, StallFault
+
+__all__ = [
+    "FaultInjector",
+    "FaultLogEntry",
+    "FaultPlan",
+    "OutageFault",
+    "StallFault",
+]

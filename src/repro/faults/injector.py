@@ -1,0 +1,119 @@
+"""Deterministic fault-state queries over a :class:`FaultPlan`.
+
+The :class:`FaultInjector` is the runtime face of a plan: the scheduler
+asks it three questions -- *is this shard reachable now*, *how much
+slower is a batch dispatched now*, and *when does the next outage begin*
+-- and every answer is a pure function of the plan, so a replay with the
+same plan and request stream is bit-identical.
+
+Per-shard outage windows are merged into disjoint sorted intervals at
+construction, so overlapping scripted outages behave as their union and
+the event-loop queries are simple scans over a handful of windows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from .plan import FaultPlan, OutageFault, StallFault
+
+__all__ = ["FaultInjector"]
+
+
+def _merged_windows(outages: Tuple[OutageFault, ...]
+                    ) -> List[Tuple[float, float]]:
+    """Disjoint, sorted ``[start, end)`` union of the outage windows."""
+    spans = sorted((o.start_s, o.end_s) for o in outages)
+    merged: List[Tuple[float, float]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+class FaultInjector:
+    """Answer fault-state queries for an ``n_shards`` deployment."""
+
+    def __init__(self, plan: FaultPlan, n_shards: int):
+        plan.validate_for(n_shards)
+        self.plan = plan
+        self.n_shards = n_shards
+        self._stalls: Dict[int, List[StallFault]] = {}
+        self._recoveries: Dict[int, List[OutageFault]] = {}
+        self._windows: Dict[int, List[Tuple[float, float]]] = {}
+        for stall in plan.stalls:
+            self._stalls.setdefault(stall.shard_id, []).append(stall)
+        for outage in plan.outages:
+            if outage.recovery_s > 0:
+                self._recoveries.setdefault(outage.shard_id,
+                                            []).append(outage)
+        for shard_id in range(n_shards):
+            shard_outages = tuple(o for o in plan.outages
+                                  if o.shard_id == shard_id)
+            if shard_outages:
+                self._windows[shard_id] = _merged_windows(shard_outages)
+        for stalls in self._stalls.values():
+            stalls.sort(key=lambda f: (f.start_s, f.end_s))
+        for recoveries in self._recoveries.values():
+            recoveries.sort(key=lambda f: (f.start_s, f.end_s))
+
+    def __bool__(self) -> bool:
+        return bool(self.plan)
+
+    # ------------------------------------------------------------------
+    # Availability
+    # ------------------------------------------------------------------
+    def is_down(self, shard_id: int, t_s: float) -> bool:
+        """Whether the shard's device is unreachable at ``t_s``."""
+        return any(start <= t_s < end
+                   for start, end in self._windows.get(shard_id, ()))
+
+    def next_up(self, shard_id: int, t_s: float) -> float:
+        """Earliest time ``>= t_s`` the device is reachable.
+
+        ``inf`` when the covering outage (or an overlapping chain of
+        outages) is permanent.
+        """
+        for start, end in self._windows.get(shard_id, ()):
+            if start <= t_s < end:
+                return end
+        return t_s
+
+    def next_outage_start(self, shard_id: int, t_s: float) -> float:
+        """Start of the first outage strictly after ``t_s`` (or ``inf``)."""
+        for start, _ in self._windows.get(shard_id, ()):
+            if start > t_s:
+                return start
+        return math.inf
+
+    def permanently_down_from(self, shard_id: int) -> float:
+        """Time the shard goes dark forever (``inf`` if it never does)."""
+        windows = self._windows.get(shard_id, ())
+        if windows and math.isinf(windows[-1][1]):
+            return windows[-1][0]
+        return math.inf
+
+    # ------------------------------------------------------------------
+    # Service-time degradation
+    # ------------------------------------------------------------------
+    def multiplier(self, shard_id: int, t_s: float) -> float:
+        """Service-time multiplier for a batch dispatched at ``t_s``.
+
+        The product of every open stall window's slowdown and every
+        active slow-start recovery factor; recovery decays linearly
+        from ``recovery_slowdown`` to one over the recovery window.
+        Always ``>= 1``; exactly ``1.0`` when no fault is active.
+        """
+        factor = 1.0
+        for stall in self._stalls.get(shard_id, ()):
+            if stall.start_s <= t_s < stall.end_s:
+                factor *= stall.slowdown
+        for outage in self._recoveries.get(shard_id, ()):
+            if outage.end_s <= t_s < outage.end_s + outage.recovery_s:
+                progress = (t_s - outage.end_s) / outage.recovery_s
+                factor *= (outage.recovery_slowdown
+                           - (outage.recovery_slowdown - 1.0) * progress)
+        return factor

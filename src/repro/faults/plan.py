@@ -1,0 +1,294 @@
+"""Declarative fault plans for the sharded serving stack.
+
+A :class:`FaultPlan` is a frozen, JSON-serializable description of
+*when* and *where* the simulated deployment misbehaves.  Two fault
+models cover the failure modes a compute-in-SRAM serving rack actually
+exhibits:
+
+* :class:`StallFault` -- a transient device stall: every batch
+  dispatched on the shard inside the window takes ``slowdown`` times
+  its normal service time (DRAM-refresh storms and DMA retry loops,
+  the Section 2 pathologies, seen from the host).
+* :class:`OutageFault` -- the shard's device goes dark at ``start_s``.
+  A finite ``duration_s`` models a crash-and-restart; an infinite one
+  a hard failure.  After a finite outage the device may *slow-start*:
+  for ``recovery_s`` seconds service times carry a multiplier that
+  decays linearly from ``recovery_slowdown`` back to one (cold L1/L2,
+  re-warming the embedding stream).
+
+Plans are pure data: the same plan and request seed always replay to
+bit-identical schedules.  :meth:`FaultPlan.random` derives a scripted
+chaos plan deterministically from a seed, so randomized chaos runs are
+exactly reproducible too.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "StallFault",
+    "OutageFault",
+    "FaultPlan",
+    "FaultLogEntry",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _check_shard_id(shard_id: object) -> None:
+    _require(
+        isinstance(shard_id, (int, np.integer))
+        and not isinstance(shard_id, bool) and shard_id >= 0,
+        f"shard_id must be an integer >= 0, got {shard_id!r}")
+
+
+@dataclass(frozen=True)
+class StallFault:
+    """Transient slowdown window on one shard's device."""
+
+    shard_id: int
+    start_s: float
+    duration_s: float
+    #: Service-time multiplier while the window is open (>= 1).
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        _check_shard_id(self.shard_id)
+        _require(math.isfinite(self.start_s) and self.start_s >= 0,
+                 f"start_s must be >= 0 and finite, got {self.start_s!r}")
+        _require(math.isfinite(self.duration_s) and self.duration_s > 0,
+                 f"duration_s must be positive and finite, "
+                 f"got {self.duration_s!r}")
+        _require(math.isfinite(self.slowdown) and self.slowdown >= 1.0,
+                 f"slowdown must be >= 1, got {self.slowdown!r}")
+
+    @property
+    def end_s(self) -> float:
+        """First instant the stall no longer applies."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class OutageFault:
+    """The shard's device is unreachable in ``[start_s, end_s)``."""
+
+    shard_id: int
+    start_s: float
+    #: ``inf`` (the default) is a hard failure with no restart.
+    duration_s: float = math.inf
+    #: Slow-start window after a finite outage ends.
+    recovery_s: float = 0.0
+    #: Initial service-time multiplier at the moment of recovery; decays
+    #: linearly back to one over ``recovery_s``.
+    recovery_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_shard_id(self.shard_id)
+        _require(math.isfinite(self.start_s) and self.start_s >= 0,
+                 f"start_s must be >= 0 and finite, got {self.start_s!r}")
+        _require(self.duration_s > 0,
+                 f"duration_s must be positive, got {self.duration_s!r}")
+        _require(math.isfinite(self.recovery_s) and self.recovery_s >= 0,
+                 f"recovery_s must be >= 0 and finite, "
+                 f"got {self.recovery_s!r}")
+        _require(
+            math.isfinite(self.recovery_slowdown)
+            and self.recovery_slowdown >= 1.0,
+            f"recovery_slowdown must be >= 1, "
+            f"got {self.recovery_slowdown!r}")
+        if self.permanent:
+            _require(self.recovery_s == 0.0,
+                     "a permanent outage cannot have a recovery window")
+
+    @property
+    def permanent(self) -> bool:
+        """Hard failure: the device never comes back."""
+        return math.isinf(self.duration_s)
+
+    @property
+    def end_s(self) -> float:
+        """First instant the device is reachable again (``inf`` if never)."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One dynamic fault-handling action taken during a run.
+
+    ``kind`` is one of ``"timeout"`` (a batch hit the per-batch
+    timeout), ``"interrupted"`` (an outage began under an in-flight
+    batch), ``"backoff"`` (the shard is gated for ``duration_s`` before
+    the next retry), or ``"dead"`` (retries exhausted or hard failure:
+    the shard was declared dead and failed over).
+    """
+
+    kind: str
+    shard_id: int
+    t_s: float
+    duration_s: float = 0.0
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic script of faults for one simulation run."""
+
+    stalls: Tuple[StallFault, ...] = ()
+    outages: Tuple[OutageFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any iterable but store hashable tuples.
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "outages", tuple(self.outages))
+
+    def __bool__(self) -> bool:
+        return bool(self.stalls or self.outages)
+
+    @property
+    def n_faults(self) -> int:
+        """Total scripted faults across both models."""
+        return len(self.stalls) + len(self.outages)
+
+    def shard_ids(self) -> Tuple[int, ...]:
+        """Sorted distinct shard ids the plan touches."""
+        return tuple(sorted({f.shard_id for f in self.stalls}
+                            | {f.shard_id for f in self.outages}))
+
+    def validate_for(self, n_shards: int) -> None:
+        """Reject plans that reference shards outside ``0..n_shards-1``."""
+        bad = [shard_id for shard_id in self.shard_ids()
+               if shard_id >= n_shards]
+        if bad:
+            raise ValueError(
+                f"fault plan references shard ids {bad} but the "
+                f"deployment has only {n_shards} shard(s)")
+
+    def for_shard(self, shard_id: int) -> "FaultPlan":
+        """The sub-plan touching one shard."""
+        return FaultPlan(
+            stalls=tuple(f for f in self.stalls if f.shard_id == shard_id),
+            outages=tuple(f for f in self.outages if f.shard_id == shard_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (``repro serve --fault-plan plan.json``)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, List[Dict[str, object]]]:
+        """Plain-data form (JSON-ready; infinite durations become null)."""
+        stalls = [
+            {"shard_id": f.shard_id, "start_s": f.start_s,
+             "duration_s": f.duration_s, "slowdown": f.slowdown}
+            for f in self.stalls
+        ]
+        outages = [
+            {"shard_id": f.shard_id, "start_s": f.start_s,
+             "duration_s": None if f.permanent else f.duration_s,
+             "recovery_s": f.recovery_s,
+             "recovery_slowdown": f.recovery_slowdown}
+            for f in self.outages
+        ]
+        return {"stalls": stalls, "outages": outages}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (null duration = permanent)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, "
+                             f"got {type(data).__name__}")
+        unknown = set(data) - {"stalls", "outages"}
+        if unknown:
+            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
+
+        def _dur(raw: object) -> float:
+            return math.inf if raw is None else float(raw)  # type: ignore[arg-type]
+
+        stalls = tuple(
+            StallFault(shard_id=int(entry["shard_id"]),
+                       start_s=float(entry["start_s"]),
+                       duration_s=float(entry["duration_s"]),
+                       slowdown=float(entry["slowdown"]))
+            for entry in data.get("stalls", ())  # type: ignore[union-attr]
+        )
+        outages = tuple(
+            OutageFault(shard_id=int(entry["shard_id"]),
+                        start_s=float(entry["start_s"]),
+                        duration_s=_dur(entry.get("duration_s")),
+                        recovery_s=float(entry.get("recovery_s", 0.0)),
+                        recovery_slowdown=float(
+                            entry.get("recovery_slowdown", 1.0)))
+            for entry in data.get("outages", ())  # type: ignore[union-attr]
+        )
+        return cls(stalls=stalls, outages=outages)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The plan as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a JSON fault plan."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: object) -> str:
+        """Write the JSON plan to ``path``; returns the path."""
+        with open(path, "w") as handle:  # type: ignore[arg-type]
+            handle.write(self.to_json() + "\n")
+        return str(path)
+
+    @classmethod
+    def load(cls, path: object) -> "FaultPlan":
+        """Read a JSON plan from ``path``."""
+        with open(path) as handle:  # type: ignore[arg-type]
+            return cls.from_json(handle.read())
+
+    # ------------------------------------------------------------------
+    # Seeded chaos generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, seed: int, n_shards: int, horizon_s: float,
+               stall_rate: float = 1.0, outage_rate: float = 0.5,
+               permanent_fraction: float = 0.25,
+               max_slowdown: float = 8.0) -> "FaultPlan":
+        """A deterministic chaos plan drawn from a seeded generator.
+
+        ``stall_rate`` / ``outage_rate`` are expected fault counts per
+        shard over the horizon; ``permanent_fraction`` of outages are
+        hard failures.  The same arguments always produce the same
+        plan, so chaos runs replay bit-identically.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        if not (math.isfinite(horizon_s) and horizon_s > 0):
+            raise ValueError(f"horizon_s must be positive and finite, "
+                             f"got {horizon_s!r}")
+        rng = np.random.default_rng(seed)
+        stalls: List[StallFault] = []
+        outages: List[OutageFault] = []
+        for shard_id in range(n_shards):
+            for _ in range(rng.poisson(stall_rate)):
+                start = float(rng.uniform(0.0, horizon_s))
+                stalls.append(StallFault(
+                    shard_id=shard_id, start_s=start,
+                    duration_s=float(rng.uniform(0.05, 0.3) * horizon_s),
+                    slowdown=float(rng.uniform(1.5, max_slowdown))))
+            for _ in range(rng.poisson(outage_rate)):
+                start = float(rng.uniform(0.0, horizon_s))
+                if rng.uniform() < permanent_fraction:
+                    outages.append(OutageFault(shard_id=shard_id,
+                                               start_s=start))
+                else:
+                    outages.append(OutageFault(
+                        shard_id=shard_id, start_s=start,
+                        duration_s=float(rng.uniform(0.05, 0.2) * horizon_s),
+                        recovery_s=float(rng.uniform(0.0, 0.1) * horizon_s),
+                        recovery_slowdown=float(rng.uniform(1.0, 4.0))))
+        return cls(stalls=tuple(stalls), outages=tuple(outages))

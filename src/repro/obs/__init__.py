@@ -27,6 +27,7 @@ Collection is off by default; activate it around any workload::
 # estimator's import of this package never recurses through repro.core.
 from .events import (
     LANE_DMA,
+    LANE_FAULT,
     LANE_HBM,
     LANE_PIO,
     LANE_VCU,
@@ -46,6 +47,7 @@ from .timeline import render_lane_summary, render_timeline
 
 __all__ = [
     "LANE_DMA",
+    "LANE_FAULT",
     "LANE_HBM",
     "LANE_PIO",
     "LANE_VCU",

@@ -13,7 +13,11 @@ and the bytes it moved.  Lanes follow the paper's Fig. 3 engine split:
 * ``PIO`` -- programmed I/O through the response FIFO (``pio_*``,
   ``rsp_*``) and the L3 indexed ``lookup``;
 * ``HBM`` -- the simulated off-chip memory system (controller cycles,
-  emitted by :class:`repro.hbm.dram.DRAMModel`).
+  emitted by :class:`repro.hbm.dram.DRAMModel`);
+* ``FAULT`` -- injected faults and the serving stack's reactions
+  (stalls, outages, timeouts, retries, failover), emitted by
+  :class:`repro.serve.simulator.ServingSimulator` so Perfetto shows
+  outages alongside the work they disrupted.
 
 This module is dependency-free so that the recording hot paths can
 import it without touching the rest of the package.
@@ -28,6 +32,7 @@ __all__ = [
     "LANE_DMA",
     "LANE_PIO",
     "LANE_HBM",
+    "LANE_FAULT",
     "LANES",
     "lane_for_op",
     "TraceEvent",
@@ -41,9 +46,11 @@ LANE_DMA = "DMA"
 LANE_PIO = "PIO"
 #: The off-chip memory system (controller clock domain).
 LANE_HBM = "HBM"
+#: Injected faults and the serving stack's reactions to them.
+LANE_FAULT = "FAULT"
 
 #: Every known lane, in display order.
-LANES = (LANE_VCU, LANE_DMA, LANE_PIO, LANE_HBM)
+LANES = (LANE_VCU, LANE_DMA, LANE_PIO, LANE_HBM, LANE_FAULT)
 
 #: Op names charged outside the ``dma_`` / ``pio_`` prefixes that still
 #: occupy the PIO path (element traffic through the response FIFO).
@@ -71,6 +78,8 @@ def lane_for_op(name: str) -> str:
             lane = LANE_PIO
         elif name.startswith(("hbm", "ddr", "dram")):
             lane = LANE_HBM
+        elif name.startswith("fault_"):
+            lane = LANE_FAULT
         else:
             lane = LANE_VCU
         _LANE_CACHE[name] = lane

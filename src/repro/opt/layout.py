@@ -16,7 +16,7 @@ that shrinks the window from ``rows x row_stride`` to ``rows`` (the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

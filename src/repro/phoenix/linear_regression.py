@@ -87,7 +87,6 @@ class LinearRegression(PhoenixApp):
     def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
         per_core = self.TOTAL_BYTES // self.params.num_cores
         vectors = -(-per_core // self.params.vr_bytes)  # 1953 per core
-        mv = self.params.movement
 
         for core in device.cores:
             g = core.gvml

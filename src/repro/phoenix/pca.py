@@ -78,7 +78,6 @@ class PCA(PhoenixApp):
     def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
         core = device.core
         g = core.gvml
-        mv = self.params.movement
         vlen = self.params.vr_length
         rows_per_vr = vlen // self.ROWS if self.ROWS <= vlen else 1
         del rows_per_vr

@@ -83,7 +83,6 @@ class ReverseIndex(PhoenixApp):
     def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
         core = device.core
         g = core.gvml
-        mv = self.params.movement
         vectors = -(-self.TOTAL_BYTES // self.params.vr_bytes)  # 1600
         signature = len(_ANCHOR)
 

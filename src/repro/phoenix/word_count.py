@@ -89,7 +89,6 @@ class WordCount(PhoenixApp):
     def _latency_program(self, device: APUDevice, opts: OptFlags) -> None:
         per_core = self.TOTAL_BYTES // self.params.num_cores
         vectors = -(-per_core // self.params.vr_bytes)  # 40 per core
-        mv = self.params.movement
         words_per_vector = 220  # distinct boundary extractions per chunk
 
         for core in device.cores:

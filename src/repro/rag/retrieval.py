@@ -19,7 +19,6 @@ Distance, Top-K Aggregation, Return Top-K.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 

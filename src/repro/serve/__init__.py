@@ -11,6 +11,8 @@ deterministic discrete-event scheduler with per-shard dynamic batching
 :class:`~repro.serve.simulator.ServingSimulator`).
 """
 
+from .degraded import chunk_owners, measured_degraded_recall, \
+    oracle_live_recall
 from .metrics import LatencyStats, nearest_rank_percentile, slo_attainment, utilization
 from .retriever import ShardedAPURetriever
 from .scheduler import (
@@ -18,6 +20,7 @@ from .scheduler import (
     DiscreteEventScheduler,
     ExecutedBatch,
     RequestRecord,
+    RetryPolicy,
     ScheduleResult,
 )
 from .sharding import (
@@ -32,10 +35,12 @@ from .sharding import (
     shard_specs,
 )
 from .simulator import (
+    FAILOVER_POLICIES,
     ServeConfig,
     ServeReport,
     ServingSimulator,
     ShardServiceModel,
+    golden_fault_config,
     golden_serve_config,
 )
 from .workload import Request, poisson_arrivals, trace_arrivals
@@ -45,9 +50,11 @@ __all__ = [
     "CorpusShard",
     "DiscreteEventScheduler",
     "ExecutedBatch",
+    "FAILOVER_POLICIES",
     "LatencyStats",
     "Request",
     "RequestRecord",
+    "RetryPolicy",
     "SHARD_POLICIES",
     "ScheduleResult",
     "ServeConfig",
@@ -55,7 +62,11 @@ __all__ = [
     "ServingSimulator",
     "ShardServiceModel",
     "ShardedAPURetriever",
+    "chunk_owners",
+    "golden_fault_config",
     "golden_serve_config",
+    "measured_degraded_recall",
+    "oracle_live_recall",
     "merge_cycles",
     "merge_seconds",
     "merge_topk",

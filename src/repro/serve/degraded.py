@@ -1,0 +1,80 @@
+"""Exact recall accounting for degraded (partial-coverage) serving.
+
+When a shard dies and the deployment keeps answering from the
+survivors (:class:`~repro.serve.simulator.ServingSimulator` with
+``failover="degraded"``), each answer is the partial top-k over the
+live corpus slices.  Because every placement policy preserves relative
+global order inside a shard and the merge uses the same total order as
+the unsharded oracle (score descending, chunk index ascending), the
+degraded answer contains *exactly* the oracle's top-k items that live
+on surviving shards -- no more, no fewer.  So the recall loss is not a
+statistical estimate: it equals the fraction of oracle hits resident
+on dead shards, computable without running retrieval at all.
+
+This module provides both sides of that identity, reusing the PR 2
+differential machinery (:class:`~repro.rag.corpus.MiniCorpus` ground
+truth and :class:`~repro.serve.retriever.ShardedAPURetriever`):
+measured recall from a genuinely degraded functional run, and the
+analytic live-shard fraction it must equal.  The property tests in
+``tests/serve/test_faults.py`` pin the identity for arbitrary seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from ..apu.device import APUDevicePool
+from ..core.params import APUParams, DEFAULT_PARAMS
+from ..rag.corpus import MiniCorpus
+from .retriever import ShardedAPURetriever
+from .sharding import shard_global_indices
+
+__all__ = [
+    "chunk_owners",
+    "oracle_live_recall",
+    "measured_degraded_recall",
+]
+
+
+def chunk_owners(n_chunks: int, n_shards: int,
+                 policy: str = "round_robin") -> np.ndarray:
+    """``owner[i]`` = shard id holding global chunk ``i``."""
+    owners = np.empty(n_chunks, dtype=np.int64)
+    for shard_id, indices in enumerate(
+            shard_global_indices(n_chunks, n_shards, policy)):
+        owners[indices] = shard_id
+    return owners
+
+
+def oracle_live_recall(corpus: MiniCorpus, query: np.ndarray, k: int,
+                       live_shards: Iterable[int], n_shards: int,
+                       policy: str = "round_robin") -> float:
+    """Analytic recall@k: fraction of oracle hits on live shards.
+
+    No retrieval runs; this is the exact value a degraded scatter-gather
+    over ``live_shards`` must achieve (see the module docstring).
+    """
+    live: Set[int] = set(live_shards)
+    oracle = corpus.exact_topk(query, k)
+    owners = chunk_owners(corpus.n_chunks, n_shards, policy)
+    return sum(1 for index in oracle if int(owners[index]) in live) / k
+
+
+def measured_degraded_recall(corpus: MiniCorpus, query: np.ndarray, k: int,
+                             live_shards: Iterable[int], n_shards: int,
+                             policy: str = "round_robin",
+                             params: APUParams = DEFAULT_PARAMS,
+                             pool: Optional[APUDevicePool] = None) -> float:
+    """Recall@k of a real degraded run vs the unsharded oracle.
+
+    Executes the functional scatter-gather kernel on the live shards
+    only and scores the merged partial top-k against
+    :meth:`MiniCorpus.exact_topk`.
+    """
+    retriever = ShardedAPURetriever(n_shards, policy, params=params)
+    got = retriever.retrieve(corpus, query, k, pool,
+                             live_shards=set(live_shards))
+    oracle = set(int(i) for i in corpus.exact_topk(query, k))
+    return sum(1 for index in got if index in oracle) / k

@@ -11,7 +11,7 @@ slowest shard (devices scan in parallel) plus the host merge.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,12 +68,22 @@ class ShardedAPURetriever:
     def retrieve_with_scores(self, corpus: MiniCorpus, query: np.ndarray,
                              k: int = 5,
                              pool: Optional[APUDevicePool] = None,
+                             live_shards: Optional[Iterable[int]] = None,
                              ) -> List[Tuple[int, int]]:
         """Exact global top-k as ``(chunk_index, score)``, best first.
 
         Each non-empty shard runs the single-device kernel on its own
         device from ``pool`` (created on demand); local winners are
         lifted to global chunk indices and merged on the host.
+
+        Degraded mode: pass ``live_shards`` to restrict the scatter to
+        a subset of shard ids, and/or mark pool devices down
+        (:meth:`~repro.apu.device.APUDevicePool.mark_down`) -- unhealthy
+        devices are skipped, so the merge returns the *partial* top-k
+        over the surviving slices (possibly fewer than ``k`` items, or
+        none when every shard is dark).  The merge stays exact on
+        whatever was scanned: every returned item that lives on a live
+        shard matches the unsharded oracle's order.
         """
         shards = shard_corpus(corpus, self.n_shards, self.policy)
         if pool is None:
@@ -82,8 +92,13 @@ class ShardedAPURetriever:
             raise ValueError(
                 f"device pool has {len(pool)} devices for "
                 f"{len(shards)} non-empty shards")
+        live = None if live_shards is None else set(live_shards)
         candidates: List[Tuple[int, int]] = []
         for device, shard in zip(pool.devices, shards):
+            if live is not None and shard.shard_id not in live:
+                continue
+            if not device.healthy:
+                continue
             local = self._device_retriever.retrieve_with_scores(
                 shard.corpus, query, min(k, shard.n_chunks), device)
             candidates.extend(
@@ -94,10 +109,12 @@ class ShardedAPURetriever:
 
     def retrieve(self, corpus: MiniCorpus, query: np.ndarray,
                  k: int = 5,
-                 pool: Optional[APUDevicePool] = None) -> List[int]:
+                 pool: Optional[APUDevicePool] = None,
+                 live_shards: Optional[Iterable[int]] = None) -> List[int]:
         """Exact global top-k chunk indices, best first."""
         return [index for index, _
-                in self.retrieve_with_scores(corpus, query, k, pool)]
+                in self.retrieve_with_scores(corpus, query, k, pool,
+                                             live_shards)]
 
     # ------------------------------------------------------------------
     # Paper-scale latency

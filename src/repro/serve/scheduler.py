@@ -1,8 +1,8 @@
 """Deterministic discrete-event scheduler for sharded scatter-gather serving.
 
-Every admitted request fans out to all ``N`` shards (each device scans
-its slice of the corpus); per shard, sub-queries queue FIFO and are
-formed into dynamic batches under a **max batch size + max wait**
+Every admitted request fans out to all ``N`` live shards (each device
+scans its slice of the corpus); per shard, sub-queries queue FIFO and
+are formed into dynamic batches under a **max batch size + max wait**
 policy:
 
 * a batch launches immediately once ``max_batch`` sub-queries are
@@ -10,34 +10,63 @@ policy:
 * an under-full batch launches when its oldest sub-query has waited
   ``max_wait_s`` on an idle device.
 
+With a :class:`~repro.faults.FaultInjector` attached, the scheduler
+also models the unhappy paths:
+
+* batches dispatched during a stall window run ``slowdown`` times
+  longer (evaluated at dispatch, like a real host observing a slow
+  device);
+* a batch whose service time exceeds :attr:`RetryPolicy.timeout_s` is
+  aborted at the deadline and its sub-queries retried; so is a batch a
+  scripted outage interrupts mid-flight;
+* consecutive failures on a shard gate it behind capped exponential
+  backoff, and once :attr:`RetryPolicy.max_retries` consecutive
+  failures are exhausted (or a hard outage is reached) the shard is
+  **declared dead**: its queue drains, pending requests record the
+  shard as failed, and the ``on_death`` hook lets the simulator apply
+  its failover policy;
+* a shard that is merely down (transient outage) holds its queue and
+  resumes -- through the slow-start multiplier -- when the outage ends.
+
 The event loop is a plain binary heap ordered by ``(time, sequence)``;
 the sequence number makes simultaneous events process in insertion
 order, so the whole simulation is bit-deterministic for a fixed
-request stream and service model.  A request's retrieval completes when
-its slowest shard finishes; downstream costs (top-k merge, generator
-prefill) are applied by the simulator on top of the scheduler output.
+request stream, fault plan, and service model -- and with no injector
+the fault paths are never entered, so the schedule is bit-identical to
+the fault-free scheduler.  A request's retrieval completes when every
+shard it was fanned out to has either finished or been declared dead;
+downstream costs (top-k merge, generator prefill) are applied by the
+simulator on top of the scheduler output.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..faults import FaultInjector, FaultLogEntry
 from .workload import Request
 
 __all__ = [
     "BatchPolicy",
+    "RetryPolicy",
     "ExecutedBatch",
     "RequestRecord",
     "ScheduleResult",
     "DiscreteEventScheduler",
 ]
 
-_ARRIVE, _TIMER, _DONE = 0, 1, 2
+_ARRIVE, _TIMER, _DONE, _FAIL, _WAKE = 0, 1, 2, 3, 4
+
+#: Batch outcomes (dispatch decides them deterministically).
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_INTERRUPTED = "interrupted"
 
 
 @dataclass(frozen=True)
@@ -58,8 +87,56 @@ class BatchPolicy:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Per-batch timeout and bounded retries with capped backoff.
+
+    ``timeout_s`` defaults to infinity (no timeout), which keeps the
+    fault-free scheduler's behavior bit-identical; ``max_retries`` is
+    the number of *consecutive* failed attempts a shard may accumulate
+    before it is declared dead and failed over.  Retry ``i`` (0-based)
+    waits ``min(backoff_cap_s, backoff_base_s * 2**i)``.
+    """
+
+    timeout_s: float = math.inf
+    max_retries: int = 2
+    backoff_base_s: float = 1e-3
+    backoff_cap_s: float = 8e-3
+
+    def __post_init__(self):
+        if math.isnan(self.timeout_s) or self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be positive, got {self.timeout_s!r}")
+        if not isinstance(self.max_retries, (int, np.integer)) \
+                or isinstance(self.max_retries, bool) or self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be an integer >= 0, "
+                f"got {self.max_retries!r}")
+        if not math.isfinite(self.backoff_base_s) or self.backoff_base_s <= 0:
+            raise ValueError(
+                f"backoff_base_s must be positive and finite, "
+                f"got {self.backoff_base_s!r}")
+        if not math.isfinite(self.backoff_cap_s) \
+                or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s must be finite and >= backoff_base_s, "
+                f"got {self.backoff_cap_s!r}")
+
+    def backoff_s(self, consecutive_failures: int) -> float:
+        """Backoff after the ``consecutive_failures``-th failure (1-based)."""
+        if consecutive_failures < 1:
+            raise ValueError("backoff_s expects a failure count >= 1")
+        exponent = min(consecutive_failures - 1, 62)  # avoid overflow
+        return min(self.backoff_cap_s, self.backoff_base_s * 2 ** exponent)
+
+
+@dataclass(frozen=True)
 class ExecutedBatch:
-    """One batch executed on one shard's device."""
+    """One batch attempt executed on one shard's device.
+
+    ``service_s`` is the time the device was *occupied*: the full
+    service time for a successful attempt, the truncated window for an
+    attempt that timed out or was interrupted by an outage.
+    """
 
     shard_id: int
     seq: int
@@ -67,6 +144,11 @@ class ExecutedBatch:
     service_s: float
     request_ids: Tuple[int, ...]
     head_enqueue_s: float
+    #: Consecutive-failure count on the shard when this attempt launched.
+    attempt: int = 0
+    #: Fault-injected service-time multiplier applied at dispatch.
+    multiplier: float = 1.0
+    outcome: str = OUTCOME_OK
 
     @property
     def batch_size(self) -> int:
@@ -77,6 +159,10 @@ class ExecutedBatch:
         """Time the device frees up again."""
         return self.dispatch_s + self.service_s
 
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome == OUTCOME_OK
+
 
 @dataclass
 class RequestRecord:
@@ -85,13 +171,26 @@ class RequestRecord:
     req_id: int
     arrival_s: float
     shard_done_s: Dict[int, float] = field(default_factory=dict)
-    #: Slowest shard's completion; ``None`` until all shards finish.
-    retrieval_done_s: float = None
+    #: Shards declared dead before answering this request.
+    failed_shards: Set[int] = field(default_factory=set)
+    #: Shards the request fanned out to (live shards at arrival).
+    n_required: int = 0
+    #: Time every required shard had answered or failed; ``None`` until
+    #: the scatter-gather resolves.
+    retrieval_done_s: Optional[float] = None
 
     @property
     def retrieval_latency_s(self) -> float:
-        """Arrival -> last shard completion (queueing included)."""
+        """Arrival -> scatter-gather resolution (queueing included)."""
+        if self.retrieval_done_s is None:
+            raise RuntimeError(
+                f"request {self.req_id} has not completed retrieval")
         return self.retrieval_done_s - self.arrival_s
+
+    @property
+    def fully_served(self) -> bool:
+        """Every required shard answered (no failover losses)."""
+        return not self.failed_shards
 
 
 @dataclass(frozen=True)
@@ -103,18 +202,40 @@ class ScheduleResult:
     batches: Tuple[ExecutedBatch, ...]
     records: Tuple[RequestRecord, ...]
     busy_seconds: Tuple[float, ...]
+    #: Dynamic fault-handling actions, in event order.
+    fault_log: Tuple[FaultLogEntry, ...] = ()
+    #: Shard id -> time it was declared dead.
+    death_times: Dict[int, float] = field(default_factory=dict)
 
     @property
     def horizon_s(self) -> float:
         """Last retrieval completion (the simulated makespan)."""
-        return max(r.retrieval_done_s for r in self.records)
+        return max(r.retrieval_done_s for r in self.records
+                   if r.retrieval_done_s is not None)
+
+    @property
+    def n_timeouts(self) -> int:
+        """Batch attempts aborted at the per-batch timeout."""
+        return sum(1 for b in self.batches if b.outcome == OUTCOME_TIMEOUT)
+
+    @property
+    def n_interrupted(self) -> int:
+        """Batch attempts cut short by an outage."""
+        return sum(1 for b in self.batches
+                   if b.outcome == OUTCOME_INTERRUPTED)
+
+    @property
+    def n_retries(self) -> int:
+        """Backoff-gated retry rounds across all shards."""
+        return sum(1 for entry in self.fault_log if entry.kind == "backoff")
 
 
 class _ShardState:
     """Mutable per-shard queue/device state during a run."""
 
     __slots__ = ("queue", "busy", "busy_s", "gen", "timer_armed_gen",
-                 "batch_seq")
+                 "batch_seq", "failures", "blocked_until", "wake_at",
+                 "dead")
 
     def __init__(self):
         self.queue: "deque[Tuple[int, float]]" = deque()  # (req_id, enqueue)
@@ -123,6 +244,14 @@ class _ShardState:
         self.gen = 0
         self.timer_armed_gen = -1
         self.batch_seq = 0
+        #: Consecutive failed attempts (resets on success).
+        self.failures = 0
+        #: Backoff gate: no dispatch before this time.
+        self.blocked_until = 0.0
+        #: Earliest pending wake event (dedupes wake arming).
+        self.wake_at = math.inf
+        #: Declared dead: failed over, never dispatches again.
+        self.dead = False
 
 
 class DiscreteEventScheduler:
@@ -138,10 +267,24 @@ class DiscreteEventScheduler:
         ``service_time(shard_id, batch_size) -> seconds`` cost model for
         one batch on one shard's device (e.g. the amortized
         ``BatchedAPURetrieval`` model over that shard's corpus slice).
+        Consulted at every dispatch, so a failover policy may update it
+        mid-run (corpus takeover after a shard death).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; ``None`` (the
+        default) disables every fault path and reproduces the fault-free
+        schedule bit-for-bit.
+    retry:
+        Timeout/backoff policy; the default has no timeout.
+    on_death:
+        Optional ``on_death(shard_id, t_s)`` hook invoked exactly once
+        when a shard is declared dead, after its queue has drained.
     """
 
     def __init__(self, n_shards: int, policy: BatchPolicy,
-                 service_time: Callable[[int, int], float]):
+                 service_time: Callable[[int, int], float],
+                 injector: Optional[FaultInjector] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 on_death: Optional[Callable[[int, float], None]] = None):
         if not isinstance(n_shards, (int, np.integer)) \
                 or isinstance(n_shards, bool) or n_shards < 1:
             raise ValueError(
@@ -149,6 +292,13 @@ class DiscreteEventScheduler:
         self.n_shards = int(n_shards)
         self.policy = policy
         self.service_time = service_time
+        self.injector = injector
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.on_death = on_death
+        if injector is not None and injector.n_shards != self.n_shards:
+            raise ValueError(
+                f"injector covers {injector.n_shards} shard(s), "
+                f"scheduler has {self.n_shards}")
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[Request]) -> ScheduleResult:
@@ -168,6 +318,11 @@ class DiscreteEventScheduler:
         shards = [_ShardState() for _ in range(self.n_shards)]
         records: Dict[int, RequestRecord] = {}
         batches: List[ExecutedBatch] = []
+        fault_log: List[FaultLogEntry] = []
+        death_times: Dict[int, float] = {}
+        #: (shard_id, seq) -> popped (req_id, enqueue_s) pairs of a
+        #: batch attempt that will fail, for FIFO-preserving re-enqueue.
+        pending_retry: Dict[Tuple[int, int], List[Tuple[int, float]]] = {}
 
         for request in ordered:
             if request.req_id in records:
@@ -176,29 +331,96 @@ class DiscreteEventScheduler:
                 req_id=request.req_id, arrival_s=request.arrival_s)
             push(request.arrival_s, _ARRIVE, request.req_id)
 
+        def check_resolved(record: RequestRecord, now: float) -> None:
+            if record.retrieval_done_s is not None:
+                return
+            if len(record.shard_done_s) + len(record.failed_shards) \
+                    >= record.n_required:
+                record.retrieval_done_s = now
+
+        def arm_wake(shard_id: int, at_s: float) -> None:
+            state = shards[shard_id]
+            if at_s < state.wake_at:
+                state.wake_at = at_s
+                push(at_s, _WAKE, shard_id)
+
+        def declare_dead(shard_id: int, now: float) -> None:
+            state = shards[shard_id]
+            if state.dead:
+                return
+            state.dead = True
+            state.gen += 1  # stale any armed timer
+            death_times[shard_id] = now
+            fault_log.append(FaultLogEntry(
+                kind="dead", shard_id=shard_id, t_s=now,
+                attempt=state.failures))
+            for req_id, _enqueue in state.queue:
+                record = records[req_id]
+                record.failed_shards.add(shard_id)
+                check_resolved(record, now)
+            state.queue.clear()
+            if self.on_death is not None:
+                self.on_death(shard_id, now)
+
         def dispatch(shard_id: int, now: float) -> None:
             state = shards[shard_id]
             take = min(self.policy.max_batch, len(state.queue))
             head_enqueue = state.queue[0][1]
-            ids = tuple(state.queue.popleft()[0] for _ in range(take))
-            service = float(self.service_time(shard_id, take))
-            if not np.isfinite(service) or service <= 0:
+            taken = [state.queue.popleft() for _ in range(take)]
+            ids = tuple(req_id for req_id, _ in taken)
+            base = float(self.service_time(shard_id, take))
+            if not np.isfinite(base) or base <= 0:
                 raise ValueError(
                     f"service_time must be positive and finite, got "
-                    f"{service!r} for shard {shard_id} batch {take}")
+                    f"{base!r} for shard {shard_id} batch {take}")
+            if self.injector is None:
+                service = base
+                multiplier = 1.0
+                outcome = OUTCOME_OK
+                occupied = service
+            else:
+                multiplier = self.injector.multiplier(shard_id, now)
+                service = base * multiplier
+                outcome = OUTCOME_OK
+                fail_at = math.inf
+                if self.retry.timeout_s < service:
+                    fail_at = now + self.retry.timeout_s
+                    outcome = OUTCOME_TIMEOUT
+                next_outage = self.injector.next_outage_start(shard_id, now)
+                if next_outage < min(now + service, fail_at):
+                    fail_at = next_outage
+                    outcome = OUTCOME_INTERRUPTED
+                occupied = service if outcome == OUTCOME_OK \
+                    else fail_at - now
             batch = ExecutedBatch(
                 shard_id=shard_id, seq=state.batch_seq, dispatch_s=now,
-                service_s=service, request_ids=ids,
-                head_enqueue_s=head_enqueue)
+                service_s=occupied, request_ids=ids,
+                head_enqueue_s=head_enqueue, attempt=state.failures,
+                multiplier=multiplier, outcome=outcome)
             state.batch_seq += 1
             state.busy = True
             state.gen += 1  # stale any armed max-wait timer
             batches.append(batch)
-            push(batch.complete_s, _DONE, batch)
+            if outcome == OUTCOME_OK:
+                push(batch.complete_s, _DONE, batch)
+            else:
+                pending_retry[(shard_id, batch.seq)] = taken
+                push(batch.complete_s, _FAIL, batch)
 
         def maybe_dispatch(shard_id: int, now: float) -> None:
             state = shards[shard_id]
-            if state.busy or not state.queue:
+            if state.dead or state.busy or not state.queue:
+                return
+            if self.injector is not None \
+                    and self.injector.is_down(shard_id, now):
+                up_at = self.injector.next_up(shard_id, now)
+                if math.isinf(up_at):
+                    declare_dead(shard_id, now)
+                else:
+                    arm_wake(shard_id, up_at)
+                return
+            if now < state.blocked_until:
+                arm_wake(shard_id, state.blocked_until)
                 return
             if len(state.queue) >= self.policy.max_batch:
                 dispatch(shard_id, now)
@@ -210,21 +432,58 @@ class DiscreteEventScheduler:
                 state.timer_armed_gen = state.gen
                 push(deadline, _TIMER, (shard_id, state.gen))
 
+        def handle_failure(batch: ExecutedBatch, now: float) -> None:
+            state = shards[batch.shard_id]
+            state.busy = False
+            state.busy_s += batch.service_s  # wasted work still occupies
+            state.failures += 1
+            fault_log.append(FaultLogEntry(
+                kind=batch.outcome, shard_id=batch.shard_id,
+                t_s=batch.dispatch_s, duration_s=batch.service_s,
+                attempt=state.failures))
+            # FIFO-preserving re-enqueue at the queue head.
+            taken = pending_retry.pop((batch.shard_id, batch.seq))
+            for pair in reversed(taken):
+                state.queue.appendleft(pair)
+            if state.failures > self.retry.max_retries:
+                declare_dead(batch.shard_id, now)
+                return
+            backoff = self.retry.backoff_s(state.failures)
+            state.blocked_until = now + backoff
+            fault_log.append(FaultLogEntry(
+                kind="backoff", shard_id=batch.shard_id, t_s=now,
+                duration_s=backoff, attempt=state.failures))
+            maybe_dispatch(batch.shard_id, now)
+
         while heap:
             now, _, kind, payload = heapq.heappop(heap)
             if kind == _ARRIVE:
-                for shard_id, state in enumerate(shards):
-                    state.queue.append((payload, now))
+                record = records[payload]
+                live = [shard_id for shard_id, state in enumerate(shards)
+                        if not state.dead]
+                record.n_required = len(live)
+                if not live:
+                    # Nothing left to serve from: resolve empty-handed.
+                    record.retrieval_done_s = now
+                    continue
+                for shard_id in live:
+                    shards[shard_id].queue.append((payload, now))
                     maybe_dispatch(shard_id, now)
             elif kind == _TIMER:
                 shard_id, gen = payload
                 if shards[shard_id].gen == gen:
                     maybe_dispatch(shard_id, now)
+            elif kind == _WAKE:
+                shards[payload].wake_at = math.inf
+                maybe_dispatch(payload, now)
+            elif kind == _FAIL:
+                handle_failure(payload, now)
             else:  # _DONE
                 batch = payload
                 state = shards[batch.shard_id]
                 state.busy = False
                 state.busy_s += batch.service_s
+                state.failures = 0
                 for req_id in batch.request_ids:
                     record = records[req_id]
                     if batch.shard_id in record.shard_done_s:
@@ -232,8 +491,7 @@ class DiscreteEventScheduler:
                             f"request {req_id} served twice on shard "
                             f"{batch.shard_id}")
                     record.shard_done_s[batch.shard_id] = now
-                    if len(record.shard_done_s) == self.n_shards:
-                        record.retrieval_done_s = now
+                    check_resolved(record, now)
                 maybe_dispatch(batch.shard_id, now)
 
         incomplete = [r.req_id for r in records.values()
@@ -248,4 +506,6 @@ class DiscreteEventScheduler:
             batches=tuple(batches),
             records=ordered_records,
             busy_seconds=tuple(state.busy_s for state in shards),
+            fault_log=tuple(fault_log),
+            death_times=death_times,
         )

@@ -11,10 +11,31 @@ requests pay the host top-k merge plus the generator prefill, giving a
 the simulated TTI is cycle-identical to
 ``RAGPipeline.time_to_interactive``.
 
+A :class:`~repro.faults.FaultPlan` in the config turns the run into a
+scripted chaos experiment: the scheduler gets a
+:class:`~repro.faults.FaultInjector` plus the config's
+:class:`~repro.serve.scheduler.RetryPolicy`, and when a shard is
+declared dead the simulator applies its **failover policy**:
+
+* ``"reroute"`` -- survivors take over the dead shard's chunk slice
+  (service times are re-anchored on the enlarged slices), so requests
+  arriving after the death regain full corpus coverage;
+* ``"degraded"`` -- the dead slice is dropped and later requests merge
+  partial top-k from the live shards only.
+
+Either way, requests in flight at the death lose the dead shard's
+slice; the report's **coverage** numbers are the exact fraction of
+corpus chunks scanned per request, which for round-robin placement is
+also the expected recall@k against the unsharded oracle (exactly --
+see :mod:`repro.serve.degraded`).  An empty fault plan takes none of
+these paths and reproduces the fault-free simulation bit-for-bit.
+
 When a :mod:`repro.obs` collector is active, every executed batch and
 host merge is emitted as a shard-tagged
 :class:`~repro.obs.events.TraceEvent` (``core_id`` = shard id), so the
-Chrome-trace export shows one Perfetto lane per device.
+Chrome-trace export shows one Perfetto lane per device; faults and the
+stack's reactions (stalls, outages, timeouts, backoff, failover) land
+on the dedicated ``FAULT`` lane.
 """
 
 from __future__ import annotations
@@ -23,24 +44,37 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.params import APUParams, DEFAULT_PARAMS
+from ..faults import FaultInjector, FaultPlan, OutageFault, StallFault
 from ..obs import collector as _trace_collector
-from ..obs.events import LANE_VCU, TraceEvent
+from ..obs.events import LANE_FAULT, LANE_VCU, TraceEvent
 from ..rag.batching import BatchedAPURetrieval
 from ..rag.corpus import CorpusSpec, PAPER_CORPORA
 from ..rag.generation import GenerationModel
 from ..rag.retrieval import APURetriever
 from .metrics import LatencyStats, slo_attainment, utilization
-from .scheduler import BatchPolicy, DiscreteEventScheduler, ScheduleResult
-from .sharding import merge_cycles, merge_seconds, shard_specs
+from .scheduler import (
+    BatchPolicy,
+    DiscreteEventScheduler,
+    RequestRecord,
+    RetryPolicy,
+    ScheduleResult,
+)
+from .sharding import merge_cycles, merge_seconds, shard_chunk_counts, \
+    shard_specs
 from .workload import Request, poisson_arrivals
 
 __all__ = [
+    "FAILOVER_POLICIES",
     "ServeConfig",
     "ShardServiceModel",
     "ServeReport",
     "ServingSimulator",
     "golden_serve_config",
+    "golden_fault_config",
 ]
+
+#: Supported responses to a shard death.
+FAILOVER_POLICIES = ("reroute", "degraded")
 
 
 @dataclass(frozen=True)
@@ -56,6 +90,14 @@ class ServeConfig:
     seed: int = 0
     #: Time-to-interactive SLO for attainment accounting.
     slo_s: float = 1.0
+    #: Scripted faults; the empty default plan is bit-identical to a
+    #: fault-free run.
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: Per-batch timeout + bounded-retry policy (consulted only when
+    #: the fault plan is non-empty).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: What to do when a shard dies: ``"reroute"`` or ``"degraded"``.
+    failover: str = "reroute"
 
     def __post_init__(self):
         if self.k < 1:
@@ -66,6 +108,19 @@ class ServeConfig:
             raise ValueError(
                 f"{self.n_shards} shards for {self.spec.n_chunks} chunks "
                 f"would leave shards empty")
+        if not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                f"faults must be a FaultPlan, "
+                f"got {type(self.faults).__name__}")
+        self.faults.validate_for(self.n_shards)
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(
+                f"retry must be a RetryPolicy, "
+                f"got {type(self.retry).__name__}")
+        if self.failover not in FAILOVER_POLICIES:
+            raise ValueError(
+                f"unknown failover policy {self.failover!r}; "
+                f"choose from {FAILOVER_POLICIES}")
 
 
 class ShardServiceModel:
@@ -75,13 +130,24 @@ class ShardServiceModel:
     that shard's corpus slice; each additional query adds the
     ``BatchedAPURetrieval`` amortized per-query increment (query
     staging + MAC chain + top-k + return, the embedding stream shared).
+
+    The model is mutable under failover: :meth:`apply_takeover`
+    redistributes a dead shard's chunks over the survivors and
+    re-anchors their service times on the enlarged slices, and
+    :meth:`reset` restores the original placement (so one simulator can
+    replay runs).
     """
 
     def __init__(self, spec: CorpusSpec, n_shards: int, k: int = 5,
                  params: APUParams = DEFAULT_PARAMS):
-        retriever = APURetriever(optimized=True, params=params)
-        batched = BatchedAPURetrieval(params)
+        self.spec = spec
+        self.n_shards = n_shards
+        self.k = k
+        self._retriever = APURetriever(optimized=True, params=params)
+        self._batched = BatchedAPURetrieval(params)
         self.shard_specs = shard_specs(spec, n_shards)
+        self.chunk_counts: List[int] = shard_chunk_counts(
+            spec.n_chunks, n_shards)
         self._single: List[float] = []
         self._increment: List[float] = []
         # Calibration replays the closed-form breakdowns; those are not
@@ -94,18 +160,71 @@ class ShardServiceModel:
                     raise ValueError(
                         f"shard {shard_spec.label} is empty; "
                         f"use fewer shards")
-                self._single.append(
-                    retriever.latency_breakdown(shard_spec, k).total)
-                pair = [batched.batch_latency(shard_spec, b, k).batch_seconds
-                        for b in (1, 2)]
-                self._increment.append(pair[1] - pair[0])
+                single, increment = self._anchor(shard_spec)
+                self._single.append(single)
+                self._increment.append(increment)
         finally:
             _trace_collector.set_collector(previous)
+        self._orig = (tuple(self.shard_specs), tuple(self.chunk_counts),
+                      tuple(self._single), tuple(self._increment))
+
+    def _anchor(self, shard_spec: CorpusSpec) -> Tuple[float, float]:
+        """(single-query latency, amortized per-query increment)."""
+        single = self._retriever.latency_breakdown(shard_spec, self.k).total
+        pair = [self._batched.batch_latency(shard_spec, b, self.k)
+                .batch_seconds for b in (1, 2)]
+        return single, pair[1] - pair[0]
 
     def batch_seconds(self, shard_id: int, batch_size: int) -> float:
         """Service time of one batch on one shard's device."""
         return (self._single[shard_id]
                 + (batch_size - 1) * self._increment[shard_id])
+
+    def reset(self) -> None:
+        """Undo every takeover (back to the calibrated placement)."""
+        specs, counts, single, increment = self._orig
+        self.shard_specs = list(specs)
+        self.chunk_counts = list(counts)
+        self._single = list(single)
+        self._increment = list(increment)
+
+    def apply_takeover(self, dead_id: int, live_ids: Sequence[int]) -> None:
+        """Redistribute ``dead_id``'s chunks over ``live_ids``.
+
+        The orphaned slice splits as evenly as chunks allow (earlier
+        survivors take the remainder); each survivor's service times are
+        re-anchored on its enlarged corpus slice, so post-failover
+        batches cost what scanning the larger slice costs.
+        """
+        if not live_ids:
+            raise ValueError("takeover needs at least one live shard")
+        orphaned = self.chunk_counts[dead_id]
+        self.chunk_counts[dead_id] = 0
+        if orphaned == 0:
+            return
+        extra = shard_chunk_counts(orphaned, len(live_ids))
+        previous = _trace_collector.set_collector(None)
+        try:
+            for live_id, gained in zip(live_ids, extra):
+                if gained == 0:
+                    continue
+                count = self.chunk_counts[live_id] + gained
+                self.chunk_counts[live_id] = count
+                enlarged = CorpusSpec(
+                    label=f"{self.spec.label}/shard{live_id}"
+                          f"+takeover{dead_id}",
+                    corpus_bytes=self.spec.corpus_bytes * count
+                    / max(1, self.spec.n_chunks),
+                    n_chunks=count,
+                    dim=self.spec.dim,
+                    bytes_per_value=self.spec.bytes_per_value,
+                )
+                self.shard_specs[live_id] = enlarged
+                single, increment = self._anchor(enlarged)
+                self._single[live_id] = single
+                self._increment[live_id] = increment
+        finally:
+            _trace_collector.set_collector(previous)
 
 
 @dataclass(frozen=True)
@@ -125,6 +244,19 @@ class ServeReport:
     shard_utilization: Tuple[float, ...]
     n_batches: int
     mean_batch_size: float
+    #: Batch attempts aborted at the per-batch timeout.
+    n_timeouts: int = 0
+    #: Backoff-gated retry rounds.
+    n_retries: int = 0
+    #: Shards declared dead during the run.
+    n_shard_failures: int = 0
+    #: Requests answered with less than full corpus coverage.
+    degraded_requests: int = 0
+    #: Mean/min fraction of corpus chunks scanned per request; under
+    #: round-robin placement this is the exact expected recall@k vs the
+    #: unsharded oracle.
+    mean_coverage: float = 1.0
+    min_coverage: float = 1.0
 
     def format(self) -> str:
         """Human-readable report block for the CLI."""
@@ -156,6 +288,17 @@ class ServeReport:
             "  utilization: "
             + "  ".join(f"shard{i} {u * 100:5.1f}%"
                         for i, u in enumerate(self.shard_utilization)))
+        if cfg.faults:
+            lines.append(
+                f"  faults: {cfg.faults.n_faults} scripted "
+                f"({cfg.failover} failover) -> {self.n_timeouts} timeouts, "
+                f"{self.n_retries} retries, "
+                f"{self.n_shard_failures} shard death(s)")
+            lines.append(
+                f"  coverage: mean {self.mean_coverage * 100:.2f}%  "
+                f"min {self.min_coverage * 100:.2f}%  "
+                f"(expected recall; {self.degraded_requests} degraded "
+                f"request(s))")
         return "\n".join(lines)
 
 
@@ -172,8 +315,50 @@ class ServingSimulator:
             config.spec, config.n_shards, config.k, params)
         self.merge_s = merge_seconds(config.n_shards, config.k, params)
         self.prefill_s = self.generator.prefill_seconds()
+        self.injector = (FaultInjector(config.faults, config.n_shards)
+                         if config.faults else None)
+        #: Shard id -> chunks that went dark with it (its slice at death).
+        self._chunks_lost_at_death: Dict[int, int] = {}
+        #: Deaths nobody took over (degraded mode, or no survivors):
+        #: these chunks stay missing for every later arrival.
+        self._permanent_loss: Dict[int, int] = {}
+        self._dead_shards: set = set()
         self.scheduler = DiscreteEventScheduler(
-            config.n_shards, config.batch, self.service_model.batch_seconds)
+            config.n_shards, config.batch, self.service_model.batch_seconds,
+            injector=self.injector, retry=config.retry,
+            on_death=self._on_shard_death
+            if self.injector is not None else None)
+
+    # ------------------------------------------------------------------
+    def _on_shard_death(self, shard_id: int, t_s: float) -> None:
+        """Failover hook: apply the configured policy to a shard death."""
+        self._dead_shards.add(shard_id)
+        lost = self.service_model.chunk_counts[shard_id]
+        self._chunks_lost_at_death[shard_id] = lost
+        live = [i for i in range(self.config.n_shards)
+                if i not in self._dead_shards]
+        if self.config.failover == "reroute" and live:
+            self.service_model.apply_takeover(shard_id, live)
+        else:
+            self.service_model.chunk_counts[shard_id] = 0
+            self._permanent_loss[shard_id] = lost
+
+    def _coverage(self, record: RequestRecord,
+                  death_times: Dict[int, float]) -> float:
+        """Fraction of corpus chunks that served this request.
+
+        In-flight failures lose the dead shard's slice at death;
+        permanent losses (degraded mode, or a death with no survivors)
+        stay missing for every later arrival.  Overlapping multi-death
+        windows clamp at zero rather than double-count.
+        """
+        total = self.config.spec.n_chunks
+        missing = sum(self._chunks_lost_at_death[d]
+                      for d in record.failed_shards)
+        missing += sum(lost for d, lost in self._permanent_loss.items()
+                       if death_times[d] <= record.arrival_s
+                       and d not in record.failed_shards)
+        return max(0.0, 1.0 - min(missing, total) / total)
 
     # ------------------------------------------------------------------
     def run(self, requests: Optional[Sequence[Request]] = None) -> ServeReport:
@@ -181,15 +366,25 @@ class ServingSimulator:
         cfg = self.config
         if requests is None:
             requests = poisson_arrivals(cfg.qps, cfg.n_requests, cfg.seed)
+        if self.injector is not None:
+            # Replays must start from the calibrated placement.
+            self.service_model.reset()
+            self._chunks_lost_at_death.clear()
+            self._permanent_loss.clear()
+            self._dead_shards.clear()
         result = self.scheduler.run(requests)
         self._emit_trace(result)
 
         retrieval_lat = [r.retrieval_latency_s + self.merge_s
                          for r in result.records]
         tti_lat = [lat + self.prefill_s for lat in retrieval_lat]
-        makespan = max(r.retrieval_done_s for r in result.records) \
-            + self.merge_s + self.prefill_s
+        makespan = result.horizon_s + self.merge_s + self.prefill_s
         sizes = [batch.batch_size for batch in result.batches]
+        if self.injector is None:
+            coverages = None
+        else:
+            coverages = [self._coverage(r, result.death_times)
+                         for r in result.records]
         return ServeReport(
             config=cfg,
             n_completed=len(result.records),
@@ -201,7 +396,15 @@ class ServingSimulator:
             shard_utilization=tuple(
                 utilization(result.busy_seconds, result.horizon_s)),
             n_batches=len(result.batches),
-            mean_batch_size=sum(sizes) / len(sizes),
+            mean_batch_size=sum(sizes) / len(sizes) if sizes else 0.0,
+            n_timeouts=result.n_timeouts,
+            n_retries=result.n_retries,
+            n_shard_failures=len(result.death_times),
+            degraded_requests=0 if coverages is None
+            else sum(1 for c in coverages if c < 1.0),
+            mean_coverage=1.0 if coverages is None
+            else sum(coverages) / len(coverages),
+            min_coverage=1.0 if coverages is None else min(coverages),
         )
 
     # ------------------------------------------------------------------
@@ -234,12 +437,66 @@ class ServingSimulator:
                                         self.params)
         if cycles_per_merge > 0:
             for record in result.records:
+                if record.retrieval_done_s is None:  # pragma: no cover
+                    continue
                 trace.emit(TraceEvent(
                     name="serve_merge", lane=LANE_VCU,
                     start_cycle=record.retrieval_done_s * clock,
                     cycles=cycles_per_merge,
                     section="serve/merge",
                     core_id=self.config.n_shards))
+        if self.injector is not None:
+            self._emit_fault_trace(trace, result, clock)
+
+    def _emit_fault_trace(self, trace, result: ScheduleResult,
+                          clock: float) -> None:
+        """FAULT-lane events: the script plus the stack's reactions."""
+        horizon = result.horizon_s
+        plan = self.config.faults
+
+        def clamped(start_s: float, end_s: float) -> Optional[float]:
+            """Duration of ``[start, end)`` visible inside the horizon."""
+            if start_s >= horizon:
+                return None
+            return min(end_s, horizon) - start_s
+
+        for stall in plan.stalls:
+            span = clamped(stall.start_s, stall.end_s)
+            if span is None:
+                continue
+            trace.emit(TraceEvent(
+                name="fault_stall", lane=LANE_FAULT,
+                start_cycle=stall.start_s * clock, cycles=span * clock,
+                section=f"fault/shard{stall.shard_id}",
+                core_id=stall.shard_id))
+        for outage in plan.outages:
+            span = clamped(outage.start_s, outage.end_s)
+            if span is None:
+                continue
+            trace.emit(TraceEvent(
+                name="fault_outage", lane=LANE_FAULT,
+                start_cycle=outage.start_s * clock, cycles=span * clock,
+                section=f"fault/shard{outage.shard_id}",
+                core_id=outage.shard_id))
+            if not outage.permanent and outage.recovery_s > 0:
+                span = clamped(outage.end_s,
+                               outage.end_s + outage.recovery_s)
+                if span is not None:
+                    trace.emit(TraceEvent(
+                        name="fault_recovery", lane=LANE_FAULT,
+                        start_cycle=outage.end_s * clock,
+                        cycles=span * clock,
+                        section=f"fault/shard{outage.shard_id}",
+                        core_id=outage.shard_id))
+        for entry in result.fault_log:
+            trace.emit(TraceEvent(
+                name=f"fault_{entry.kind}" if entry.kind != "dead"
+                else "fault_failover",
+                lane=LANE_FAULT,
+                start_cycle=entry.t_s * clock,
+                cycles=entry.duration_s * clock,
+                section=f"fault/shard{entry.shard_id}",
+                core_id=entry.shard_id))
 
 
 def golden_serve_config() -> ServeConfig:
@@ -258,4 +515,39 @@ def golden_serve_config() -> ServeConfig:
         n_requests=64,
         seed=0,
         slo_s=1.0,
+    )
+
+
+def golden_fault_config() -> ServeConfig:
+    """The canonical chaos workload pinned by the fault golden trace.
+
+    The golden serving workload plus one of each fault model: an early
+    stall on shard 1 severe enough that the per-batch timeout trips
+    the circuit breaker (timeouts -> backoff retries -> declared
+    dead), a crash-and-restart with slow-start on shard 2 (interrupted
+    batch, then recovery), and a permanent failure of shard 3 mid-run;
+    both deaths reroute onto the survivors.  Exercises every
+    FAULT-lane event kind in one sub-second run.
+    """
+    return ServeConfig(
+        spec=PAPER_CORPORA["10GB"],
+        n_shards=4,
+        batch=BatchPolicy(max_batch=8, max_wait_s=2e-3),
+        k=5,
+        qps=400.0,
+        n_requests=64,
+        seed=0,
+        slo_s=1.0,
+        faults=FaultPlan(
+            stalls=(StallFault(shard_id=1, start_s=0.010, duration_s=0.040,
+                               slowdown=6.0),),
+            outages=(
+                OutageFault(shard_id=2, start_s=0.040, duration_s=0.030,
+                            recovery_s=0.020, recovery_slowdown=2.0),
+                OutageFault(shard_id=3, start_s=0.080),
+            ),
+        ),
+        retry=RetryPolicy(timeout_s=0.008, max_retries=2,
+                          backoff_base_s=1e-3, backoff_cap_s=8e-3),
+        failover="reroute",
     )

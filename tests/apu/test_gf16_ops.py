@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apu.device import APUDevice
-from repro.apu.dtypes import bits_to_f16, f16_to_bits, float_to_gf16, gf16_to_float
+from repro.apu.dtypes import f16_to_bits, float_to_gf16, gf16_to_float
 from repro.core.params import DEFAULT_PARAMS
 
 VLEN = DEFAULT_PARAMS.vr_length

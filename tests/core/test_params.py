@@ -1,11 +1,8 @@
 """Unit tests for the architecture parameter bundle and cost tables."""
 
-import math
-
 import pytest
 
 from repro.core.params import (
-    APUParams,
     ComputeCosts,
     DataMovementCosts,
     DEFAULT_PARAMS,

@@ -1,7 +1,5 @@
 """Tests for Eq. 1 reduction-model fitting, including hypothesis properties."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

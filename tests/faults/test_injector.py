@@ -1,0 +1,94 @@
+"""FaultInjector: availability windows, slowdown multipliers."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, OutageFault, StallFault
+
+
+def make_injector():
+    plan = FaultPlan(
+        stalls=(
+            StallFault(shard_id=0, start_s=1.0, duration_s=1.0,
+                       slowdown=3.0),
+            StallFault(shard_id=0, start_s=1.5, duration_s=1.0,
+                       slowdown=2.0),
+        ),
+        outages=(
+            OutageFault(shard_id=1, start_s=2.0, duration_s=1.0,
+                        recovery_s=0.5, recovery_slowdown=2.0),
+            OutageFault(shard_id=1, start_s=2.5, duration_s=1.0),
+            OutageFault(shard_id=2, start_s=4.0),
+        ),
+    )
+    return FaultInjector(plan, n_shards=4)
+
+
+class TestConstruction:
+    def test_rejects_plan_exceeding_shards(self):
+        plan = FaultPlan(outages=(OutageFault(shard_id=5, start_s=0.0),))
+        with pytest.raises(ValueError, match="shard ids"):
+            FaultInjector(plan, n_shards=4)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultInjector(FaultPlan(), n_shards=2)
+        assert make_injector()
+
+
+class TestAvailability:
+    def test_overlapping_outages_merge(self):
+        inj = make_injector()
+        # Two outages [2, 3) and [2.5, 3.5) behave as their union.
+        assert not inj.is_down(1, 1.99)
+        assert inj.is_down(1, 2.0)
+        assert inj.is_down(1, 3.2)
+        assert not inj.is_down(1, 3.5)
+        assert inj.next_up(1, 2.7) == 3.5
+
+    def test_next_up_identity_when_up(self):
+        inj = make_injector()
+        assert inj.next_up(1, 1.0) == 1.0
+        assert inj.next_up(3, 100.0) == 100.0
+
+    def test_permanent_outage(self):
+        inj = make_injector()
+        assert inj.is_down(2, 4.0)
+        assert inj.is_down(2, 1e9)
+        assert math.isinf(inj.next_up(2, 5.0))
+        assert inj.permanently_down_from(2) == 4.0
+        assert math.isinf(inj.permanently_down_from(1))
+
+    def test_next_outage_start_is_strictly_after(self):
+        inj = make_injector()
+        assert inj.next_outage_start(1, 0.0) == 2.0
+        assert inj.next_outage_start(1, 2.0) == math.inf  # inside window
+        assert inj.next_outage_start(2, 3.9) == 4.0
+        assert inj.next_outage_start(0, 0.0) == math.inf  # no outages
+
+
+class TestMultiplier:
+    def test_one_outside_every_window(self):
+        inj = make_injector()
+        assert inj.multiplier(0, 0.5) == 1.0
+        assert inj.multiplier(0, 2.5) == 1.0
+        assert inj.multiplier(3, 10.0) == 1.0
+
+    def test_single_and_stacked_stalls(self):
+        inj = make_injector()
+        assert inj.multiplier(0, 1.2) == 3.0          # first stall only
+        assert inj.multiplier(0, 1.75) == 6.0         # overlap: 3 * 2
+        assert inj.multiplier(0, 2.2) == 2.0          # second stall only
+
+    def test_recovery_decays_linearly(self):
+        inj = make_injector()
+        # Shard 1's merged outage ends at 3.5 but the *scripted* recovery
+        # window belongs to the first outage, [3.0, 3.5): halfway through
+        # the multiplier is halfway from 2.0 to 1.0.
+        assert inj.multiplier(1, 3.25) == pytest.approx(1.5)
+        assert inj.multiplier(1, 3.5) == 1.0
+
+    def test_boundaries_are_half_open(self):
+        inj = make_injector()
+        assert inj.multiplier(0, 1.0) == 3.0   # start inclusive
+        assert inj.multiplier(0, 2.5) == 1.0   # end exclusive

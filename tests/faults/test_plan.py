@@ -1,0 +1,140 @@
+"""Fault-plan data model: validation, serialization, seeded chaos."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultPlan, OutageFault, StallFault
+
+
+class TestStallFault:
+    def test_end_time(self):
+        stall = StallFault(shard_id=0, start_s=1.0, duration_s=0.5,
+                           slowdown=2.0)
+        assert stall.end_s == 1.5
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(shard_id=-1, start_s=0.0, duration_s=1.0, slowdown=2.0),
+        dict(shard_id=0.5, start_s=0.0, duration_s=1.0, slowdown=2.0),
+        dict(shard_id=True, start_s=0.0, duration_s=1.0, slowdown=2.0),
+        dict(shard_id=0, start_s=-1.0, duration_s=1.0, slowdown=2.0),
+        dict(shard_id=0, start_s=math.inf, duration_s=1.0, slowdown=2.0),
+        dict(shard_id=0, start_s=0.0, duration_s=0.0, slowdown=2.0),
+        dict(shard_id=0, start_s=0.0, duration_s=math.inf, slowdown=2.0),
+        dict(shard_id=0, start_s=0.0, duration_s=1.0, slowdown=0.5),
+        dict(shard_id=0, start_s=0.0, duration_s=1.0, slowdown=math.nan),
+    ])
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            StallFault(**kwargs)
+
+
+class TestOutageFault:
+    def test_defaults_to_permanent(self):
+        outage = OutageFault(shard_id=1, start_s=2.0)
+        assert outage.permanent
+        assert math.isinf(outage.end_s)
+
+    def test_transient_end(self):
+        outage = OutageFault(shard_id=1, start_s=2.0, duration_s=1.0)
+        assert not outage.permanent
+        assert outage.end_s == 3.0
+
+    def test_permanent_outage_rejects_recovery_window(self):
+        with pytest.raises(ValueError, match="recovery"):
+            OutageFault(shard_id=0, start_s=0.0, recovery_s=1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(shard_id=-2, start_s=0.0),
+        dict(shard_id=0, start_s=-0.1),
+        dict(shard_id=0, start_s=0.0, duration_s=-1.0),
+        dict(shard_id=0, start_s=0.0, duration_s=1.0, recovery_s=-1.0),
+        dict(shard_id=0, start_s=0.0, duration_s=1.0,
+             recovery_slowdown=0.9),
+    ])
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            OutageFault(**kwargs)
+
+
+class TestFaultPlan:
+    def make_plan(self):
+        return FaultPlan(
+            stalls=(StallFault(shard_id=1, start_s=0.1, duration_s=0.2,
+                               slowdown=3.0),),
+            outages=(OutageFault(shard_id=3, start_s=0.5, duration_s=0.1,
+                                 recovery_s=0.05, recovery_slowdown=2.0),
+                     OutageFault(shard_id=0, start_s=1.0)),
+        )
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan().n_faults == 0
+        assert self.make_plan()
+        assert self.make_plan().n_faults == 3
+
+    def test_shard_ids_sorted_distinct(self):
+        assert self.make_plan().shard_ids() == (0, 1, 3)
+
+    def test_validate_for_rejects_out_of_range_shards(self):
+        plan = self.make_plan()
+        plan.validate_for(4)  # ok
+        with pytest.raises(ValueError, match=r"shard ids \[3\]"):
+            plan.validate_for(3)
+        with pytest.raises(ValueError, match="1 shard"):
+            plan.validate_for(1)
+
+    def test_for_shard_filters(self):
+        sub = self.make_plan().for_shard(3)
+        assert sub.shard_ids() == (3,)
+        assert len(sub.outages) == 1 and not sub.stalls
+
+    def test_json_round_trip(self):
+        plan = self.make_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_permanent_outage_serializes_as_null(self):
+        plan = self.make_plan()
+        assert '"duration_s": null' in plan.to_json()
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.outages[1].permanent
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.make_plan()
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_dict({"stalls": [], "chaos": []})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ValueError, match="object"):
+            FaultPlan.from_dict([1, 2, 3])
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(seed=7, n_shards=4, horizon_s=1.0)
+        b = FaultPlan.random(seed=7, n_shards=4, horizon_s=1.0)
+        assert a == b
+
+    def test_different_seeds_eventually_differ(self):
+        plans = {FaultPlan.random(seed=s, n_shards=4, horizon_s=1.0)
+                 for s in range(5)}
+        assert len(plans) > 1
+
+    def test_faults_stay_in_range(self):
+        plan = FaultPlan.random(seed=3, n_shards=3, horizon_s=2.0,
+                                stall_rate=4.0, outage_rate=4.0)
+        plan.validate_for(3)
+        for stall in plan.stalls:
+            assert 0.0 <= stall.start_s < 2.0
+        for outage in plan.outages:
+            assert 0.0 <= outage.start_s < 2.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(seed=0, n_shards=0, horizon_s=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.random(seed=0, n_shards=2, horizon_s=0.0)

@@ -5,7 +5,6 @@ import pytest
 from repro.hbm import (
     DRAMModel,
     DRAMOrganization,
-    DRAMTiming,
     make_ddr4,
     make_hbm2e,
 )

@@ -99,6 +99,21 @@ class TestServeGolden:
         assert trace.total_events > 0
         golden("trace_serve.txt",
                render_trace_golden(trace, "sharded serving"))
+
+    def test_serve_fault_workload_trace(self, golden):
+        """Pins the canonical chaos workload (``repro trace
+        serve_faults``): the scripted stall/outage/recovery windows and
+        every dynamic reaction (timeouts, backoff, interruption,
+        failover) on the FAULT lane, alongside the disrupted batches."""
+        from repro.obs.events import LANE_FAULT
+        from repro.serve import ServingSimulator, golden_fault_config
+
+        with collecting() as trace:
+            ServingSimulator(golden_fault_config()).run()
+        assert trace.cycles_by_lane.get(LANE_FAULT, 0.0) > 0
+        golden("trace_serve_faults.txt",
+               render_trace_golden(trace, "sharded serving under faults"))
+
     def test_table4_movement_costs(self, golden):
         golden("costs_table4.txt",
                render_cost_golden(DEFAULT_PARAMS.movement,

@@ -110,7 +110,9 @@ class TestAPUTopK:
 class TestTopKLatencyModel:
     def test_matches_table8_magnitudes(self):
         # Paper: 69 us / 325 us / 1.30 ms across the three corpora.
-        us = lambda chunks: topk_aggregation_cycles(chunks) / 500e6 * 1e6
+        def us(chunks):
+            return topk_aggregation_cycles(chunks) / 500e6 * 1e6
+
         assert us(163_840) == pytest.approx(69, rel=0.6)
         assert us(819_200) == pytest.approx(325, rel=0.3)
         assert us(3_276_800) == pytest.approx(1300, rel=0.3)

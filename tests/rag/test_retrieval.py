@@ -1,6 +1,5 @@
 """Tests for the three retrieval engines and Table 8 reproduction."""
 
-import numpy as np
 import pytest
 
 from repro.rag.corpus import MiniCorpus, PAPER_CORPORA

@@ -12,7 +12,6 @@ Two exactness claims back the serving subsystem:
    single-device latency and ``time_to_interactive`` to the cycle.
 """
 
-import numpy as np
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st

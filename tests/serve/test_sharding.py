@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rag.corpus import CorpusSpec, MiniCorpus, PAPER_CORPORA
+from repro.rag.corpus import MiniCorpus, PAPER_CORPORA
 from repro.serve.sharding import (
     SHARD_POLICIES,
     merge_cycles,

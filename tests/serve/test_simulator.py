@@ -5,7 +5,6 @@ import pytest
 from repro.obs import LANE_HBM, collecting
 from repro.rag.corpus import PAPER_CORPORA
 from repro.serve import (
-    BatchPolicy,
     ServeConfig,
     ServingSimulator,
     ShardServiceModel,
