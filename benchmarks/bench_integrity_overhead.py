@@ -1,0 +1,202 @@
+"""SDC sweep: detection coverage vs escape rate vs protection cost.
+
+Drives the functional retrieval kernel under a
+:class:`repro.integrity.MemoryFaultInjector` at several memory-upset
+rates, with and without ABFT protection, and measures the three numbers
+that justify the integrity layer:
+
+* **Detection coverage** -- with protection on, every run's top-k must
+  be bit-identical to the fault-free baseline (bounded recomputes are
+  the allowed cost; an :class:`~repro.integrity.IntegrityError`
+  escalation counts separately as a give-up, never as silent error).
+* **Escape rate** -- the same injector with protection off measurably
+  corrupts answers: mismatched top-k and lost recall.
+* **Throughput cost** -- at the serving layer, the verify/scrub cycles
+  charged through the latency model shave sustained qps; the sweep
+  reports protected vs unprotected throughput on the golden serve
+  deployment.
+
+Same dual entry points as the other serving benchmarks: a
+pytest-benchmark ``test_`` (marked ``integrity``, so it runs in the
+slow CI job) and ``python benchmarks/bench_integrity_overhead.py
+--json`` for the CI regression gate.
+"""
+
+import argparse
+import dataclasses
+import json
+
+import pytest
+
+from repro.apu.device import APUDevice
+from repro.integrity import (
+    IntegrityConfig,
+    IntegrityError,
+    MemoryFaultInjector,
+    ProtectedAPURetriever,
+)
+from repro.rag.corpus import MiniCorpus
+from repro.rag.retrieval import APURetriever
+from repro.serve import ServingSimulator, golden_integrity_config
+
+# Upsets strike uniformly across the 32K-element VR, so the corpus
+# fills the whole vector -- with a short corpus most flips would land
+# in masked padding and the unprotected arm would look spuriously safe.
+UPSET_RATES = (0.0, 2e-3, 1e-2, 4e-2)
+N_QUERIES = 6
+CORPUS_CHUNKS = 32768
+CORPUS_DIM = 8
+CORPUS_SEED = 7
+K = 5
+
+
+def _recall(result, baseline):
+    """Fraction of the fault-free top-k ids the run still returned."""
+    want = {index for index, _ in baseline}
+    got = {index for index, _ in result}
+    return len(want & got) / len(want)
+
+
+def _run_sweep():
+    """{rate: row} over the upset-rate grid, protected and not."""
+    corpus = MiniCorpus(n_chunks=CORPUS_CHUNKS, dim=CORPUS_DIM,
+                        seed=CORPUS_SEED)
+    queries = [corpus.sample_query() for _ in range(N_QUERIES)]
+    plain = APURetriever(optimized=True)
+    baselines = [plain.retrieve_with_scores(corpus, q, K) for q in queries]
+
+    rows = {}
+    for rate in UPSET_RATES:
+        protected = ProtectedAPURetriever()
+        row = {"injected_protected": 0, "injected_unprotected": 0,
+               "detections": 0, "recomputes": 0, "protected_escapes": 0,
+               "protected_giveups": 0, "unprotected_mismatches": 0,
+               "unprotected_recall": 0.0}
+        recalls = []
+        for q, (query, baseline) in enumerate(zip(queries, baselines)):
+            seed = 1000 * q + 1  # distinct, fixed draw stream per query
+
+            device = APUDevice()
+            injector = MemoryFaultInjector(upset_rate=rate, seed=seed)
+            device.attach_sdc(injector)
+            protected.stats.reset()
+            try:
+                result = protected.retrieve_with_scores(
+                    corpus, query, K, device)
+            except IntegrityError:
+                row["protected_giveups"] += 1
+            else:
+                if result != baseline:
+                    row["protected_escapes"] += 1
+            row["injected_protected"] += injector.n_corruptions
+            row["detections"] += protected.stats.n_detected
+            row["recomputes"] += protected.stats.n_recomputes
+
+            device = APUDevice()
+            injector = MemoryFaultInjector(upset_rate=rate, seed=seed)
+            device.attach_sdc(injector)
+            result = plain.retrieve_with_scores(corpus, query, K, device)
+            row["injected_unprotected"] += injector.n_corruptions
+            if result != baseline:
+                row["unprotected_mismatches"] += 1
+            recalls.append(_recall(result, baseline))
+
+        row["unprotected_recall"] = sum(recalls) / len(recalls)
+        rows[rate] = row
+    return rows
+
+
+def _run_serve_pair():
+    """Golden SDC deployment, protected vs unprotected reports."""
+    protected_cfg = golden_integrity_config()
+    unprotected_cfg = dataclasses.replace(protected_cfg,
+                                          integrity=IntegrityConfig())
+    return (ServingSimulator(protected_cfg).run(),
+            ServingSimulator(unprotected_cfg).run())
+
+
+def collect_metrics():
+    """Deterministic scalar metrics keyed for the CI regression gate."""
+    metrics = {}
+    for rate, row in _run_sweep().items():
+        metrics[f"rate{rate:g}"] = dict(row)
+    protected, unprotected = _run_serve_pair()
+    metrics["serve"] = {
+        "protected_qps": protected.throughput_qps,
+        "unprotected_qps": unprotected.throughput_qps,
+        "protected_tti_p99_ms": protected.tti.p99_s * 1e3,
+        "detected": protected.n_corruptions_detected,
+        "recomputed": protected.n_recomputes,
+        "protected_sdc": protected.n_sdc_escapes,
+        "unprotected_sdc": unprotected.n_sdc_escapes,
+        "protected_intact": protected.mean_intact_coverage,
+        "unprotected_intact": unprotected.mean_intact_coverage,
+    }
+    return {"integrity_overhead": metrics}
+
+
+@pytest.mark.integrity
+def test_integrity_overhead_sweep(benchmark, report):
+    rows = benchmark(_run_sweep)
+    protected, unprotected = _run_serve_pair()
+
+    report(f"SDC sweep: {CORPUS_CHUNKS}-chunk corpus, {N_QUERIES} queries "
+           f"per upset rate, top-{K}")
+    report(f"  {'rate':>8s} {'injected':>8s} {'detect':>6s} {'recomp':>6s} "
+           f"{'escape':>6s} {'giveup':>6s} {'sdc':>4s} {'recall%':>8s}")
+    for rate, row in rows.items():
+        report(f"  {rate:8g} {row['injected_protected']:8d} "
+               f"{row['detections']:6d} {row['recomputes']:6d} "
+               f"{row['protected_escapes']:6d} {row['protected_giveups']:6d} "
+               f"{row['unprotected_mismatches']:4d} "
+               f"{row['unprotected_recall'] * 100:8.2f}")
+    report(f"  serve: protected {protected.throughput_qps:.1f} qps vs "
+           f"unprotected {unprotected.throughput_qps:.1f} qps; "
+           f"intact {protected.mean_intact_coverage * 100:.2f}% vs "
+           f"{unprotected.mean_intact_coverage * 100:.2f}%")
+
+    clean = rows[0.0]
+    # Zero upsets: nothing injected, nothing detected, nothing recomputed.
+    assert clean["injected_protected"] == 0 and clean["detections"] == 0
+    assert clean["recomputes"] == 0 and clean["unprotected_mismatches"] == 0
+    assert clean["unprotected_recall"] == 1.0
+    injected_any = False
+    for rate, row in rows.items():
+        # Protection never lets a corrupted answer through: every run is
+        # bit-identical to the baseline or an explicit escalation.
+        assert row["protected_escapes"] == 0, (rate, row)
+        # Every injected corruption the checked state absorbed shows up.
+        if row["injected_protected"]:
+            assert row["detections"] >= 1, (rate, row)
+        injected_any |= bool(row["injected_unprotected"])
+    assert injected_any, "sweep rates too low to inject anything"
+    top = rows[max(UPSET_RATES)]
+    # The same fault pressure without protection measurably corrupts.
+    assert top["unprotected_mismatches"] > 0
+    assert top["unprotected_recall"] < 1.0
+    # Serving layer: detection is complete and recovery keeps answers
+    # intact, at a visible (charged-through) throughput cost.
+    assert protected.n_sdc_escapes == 0 < unprotected.n_sdc_escapes
+    assert protected.n_corruptions_detected > 0
+    assert protected.mean_intact_coverage > unprotected.mean_intact_coverage
+    assert protected.throughput_qps < unprotected.throughput_qps
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true",
+                        help="emit metrics as JSON on stdout")
+    args = parser.parse_args(argv)
+    metrics = collect_metrics()
+    if args.json:
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+    else:
+        for group, rows in metrics.items():
+            print(group)
+            for key, row in rows.items():
+                print(f"  {key}: {row}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

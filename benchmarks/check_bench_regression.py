@@ -1,8 +1,8 @@
 """CI benchmark-regression gate for the serving benchmarks.
 
-Collects the deterministic metric dicts from ``bench_serve_scaling``
-and ``bench_fault_degradation`` and enforces two properties against
-the committed baseline (``benchmarks/BENCH_serve.json``):
+Collects the deterministic metric dicts from the registered benchmark
+suites and enforces two properties against each suite's committed
+baseline:
 
 * **Determinism** -- every metric collected twice in the same process
   must be *bit-identical* (the simulators are seeded discrete-event
@@ -13,7 +13,14 @@ the committed baseline (``benchmarks/BENCH_serve.json``):
   fraction above it.  Exact metrics (coverage, counts) must match the
   baseline bit-for-bit -- they are model outputs, not timings.
 
-Refresh the baseline after a reviewed model change with::
+Suites (``--suite`` restricts to one; default is all):
+
+* ``serve`` -- ``BENCH_serve.json`` from ``bench_serve_scaling`` +
+  ``bench_fault_degradation``.
+* ``integrity`` -- ``BENCH_integrity.json`` from
+  ``bench_integrity_overhead`` (the SDC sweep).
+
+Refresh a baseline after a reviewed model change with::
 
     python benchmarks/check_bench_regression.py --update
 
@@ -27,19 +34,24 @@ import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
-BASELINE_PATH = BENCH_DIR / "BENCH_serve.json"
-BENCH_MODULES = ("bench_serve_scaling", "bench_fault_degradation")
+#: suite name -> (baseline file, benchmark modules feeding it)
+SUITES = {
+    "serve": ("BENCH_serve.json",
+              ("bench_serve_scaling", "bench_fault_degradation")),
+    "integrity": ("BENCH_integrity.json",
+                  ("bench_integrity_overhead",)),
+}
 #: Metric-name suffixes gated with relative tolerance (timing-like).
 HIGHER_IS_BETTER = ("_qps",)
 LOWER_IS_BETTER = ("_ms",)
 
 
-def collect_all():
-    """Metric dict {bench: {row: {metric: value}}} from every module."""
+def collect_suite(modules):
+    """Metric dict {bench: {row: {metric: value}}} from the modules."""
     if str(BENCH_DIR) not in sys.path:
         sys.path.insert(0, str(BENCH_DIR))
     merged = {}
-    for name in BENCH_MODULES:
+    for name in modules:
         module = importlib.import_module(name)
         metrics = module.collect_metrics()
         overlap = set(metrics) & set(merged)
@@ -96,44 +108,54 @@ def check_regressions(baseline, current, tolerance):
     return failures
 
 
+def run_suite(suite, args) -> int:
+    """Gate (or refresh) one suite; returns a process exit code."""
+    baseline_name, modules = SUITES[suite]
+    baseline_path = BENCH_DIR / baseline_name
+
+    first = flatten(collect_suite(modules))
+    second = flatten(collect_suite(modules))
+    failures = check_determinism(first, second)
+    if failures:
+        print("\n".join(failures))
+        print(f"\n[{suite}] {len(failures)} determinism failure(s)")
+        return 1
+
+    if args.update:
+        baseline_path.write_text(
+            json.dumps(first, indent=2, sort_keys=True) + "\n")
+        print(f"[{suite}] baseline refreshed: {baseline_path} "
+              f"({len(first)} metrics)")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"[{suite}] no baseline at {baseline_path}; "
+              f"run with --update")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    failures = check_regressions(baseline, first, args.tolerance)
+    if failures:
+        print("\n".join(failures))
+        print(f"\n[{suite}] {len(failures)} benchmark gate failure(s)")
+        return 1
+    print(f"[{suite}] benchmark gate OK: {len(baseline)} metrics within "
+          f"{args.tolerance:.0%} of baseline, replay bit-identical")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--update", action="store_true",
-                        help="rewrite the committed baseline from the "
+                        help="rewrite the committed baseline(s) from the "
                              "current metrics")
-    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
-                        help="baseline JSON path")
+    parser.add_argument("--suite", choices=sorted(SUITES), default=None,
+                        help="gate only one suite (default: all)")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="relative tolerance for *_qps / *_ms metrics")
     args = parser.parse_args(argv)
 
-    first = flatten(collect_all())
-    second = flatten(collect_all())
-    failures = check_determinism(first, second)
-    if failures:
-        print("\n".join(failures))
-        print(f"\n{len(failures)} determinism failure(s)")
-        return 1
-
-    if args.update:
-        args.baseline.write_text(
-            json.dumps(first, indent=2, sort_keys=True) + "\n")
-        print(f"baseline refreshed: {args.baseline} "
-              f"({len(first)} metrics)")
-        return 0
-
-    if not args.baseline.exists():
-        print(f"no baseline at {args.baseline}; run with --update")
-        return 1
-    baseline = json.loads(args.baseline.read_text())
-    failures = check_regressions(baseline, first, args.tolerance)
-    if failures:
-        print("\n".join(failures))
-        print(f"\n{len(failures)} benchmark gate failure(s)")
-        return 1
-    print(f"benchmark gate OK: {len(baseline)} metrics within "
-          f"{args.tolerance:.0%} of baseline, replay bit-identical")
-    return 0
+    suites = [args.suite] if args.suite else sorted(SUITES)
+    return max(run_suite(suite, args) for suite in suites)
 
 
 if __name__ == "__main__":

@@ -210,6 +210,26 @@ class BitProcessorArray:
         self.micro_ops += 1
 
     # ------------------------------------------------------------------
+    # Fault injection (not microcode; single-event-upset backdoor)
+    # ------------------------------------------------------------------
+    def flip_cell(self, vr: int, bit_slice: int, column: int) -> None:
+        """Invert one SRAM cell: bit ``bit_slice`` of element ``column``.
+
+        Models a single-event upset striking one bit-processor cell; at
+        the element level this is a ``+/- 2**bit_slice`` perturbation of
+        ``read_u16(vr)[column]``, which is what the ABFT checksums of
+        :mod:`repro.integrity` are built to catch.
+        """
+        self._check_vr(vr)
+        if not 0 <= bit_slice < self.element_bits:
+            raise MicrocodeError(
+                f"bit-slice {bit_slice} out of range 0..{self.element_bits - 1}")
+        if not 0 <= column < self.columns:
+            raise MicrocodeError(
+                f"column {column} out of range 0..{self.columns - 1}")
+        self.cells[vr, bit_slice, column] = ~self.cells[vr, bit_slice, column]
+
+    # ------------------------------------------------------------------
     # Test / host access helpers (not microcode; PIO-style backdoor)
     # ------------------------------------------------------------------
     def load_u16(self, vr: int, values: np.ndarray) -> None:

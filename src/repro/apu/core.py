@@ -66,6 +66,11 @@ class APUCore:
         self.dma = DMAController(self)
         #: Estimated microcode instruction count (Table 6 statistics).
         self.micro_instructions = 0
+        #: Optional silent-data-corruption engine
+        #: (:class:`repro.integrity.inject.MemoryFaultInjector`); when
+        #: attached, every functional VR write and DMA payload passes
+        #: through it.  ``None`` leaves all data paths untouched.
+        self.sdc = None
 
     # ------------------------------------------------------------------
     # Cycle accounting
@@ -138,6 +143,8 @@ class APUCore:
                 f"got {arr.shape}"
             )
         self.vrs[vr] = arr.copy()
+        if self.sdc is not None:
+            self.sdc.corrupt_vr_write(vr, self.vrs[vr])
         collector = (self.trace.collector if self.trace.collector is not None
                      else _trace_collector.ACTIVE)
         if collector is not None and collector.enabled:

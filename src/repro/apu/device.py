@@ -110,6 +110,17 @@ class APUDevice:
         for core in self.cores:
             core.trace.collector = collector
 
+    def attach_sdc(self, injector) -> None:
+        """Route every core's functional data paths through ``injector``.
+
+        ``injector`` is a
+        :class:`repro.integrity.inject.MemoryFaultInjector` (or ``None``
+        to detach): once attached, VR writes and DMA payloads on every
+        core are subject to its scripted bit flips and stuck-at cells.
+        """
+        for core in self.cores:
+            core.sdc = injector
+
     @property
     def core(self) -> APUCore:
         """Core 0, for single-core kernels."""

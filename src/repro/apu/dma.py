@@ -35,6 +35,16 @@ class DMAController:
         self.params = core.params
 
     # ------------------------------------------------------------------
+    # Functional payload (silent-data-corruption hook)
+    # ------------------------------------------------------------------
+    def _payload(self, data: np.ndarray) -> np.ndarray:
+        """Pass transferred data through the attached SDC engine, if any."""
+        sdc = self.core.sdc
+        if sdc is not None:
+            return sdc.corrupt_dma_payload(data)
+        return data
+
+    # ------------------------------------------------------------------
     # Cost helpers
     # ------------------------------------------------------------------
     def _l4_cost(self, base_cycles: float, nbytes: int) -> float:
@@ -56,7 +66,7 @@ class DMAController:
         cost = self._l4_cost(self.params.movement.dma_l4_l2(nbytes), nbytes)
         self.core.charge_raw("dma_l4_l2", cost, count, nbytes=nbytes)
         if self.core.functional:
-            data = self.core.l4.read(src, nbytes)
+            data = self._payload(self.core.l4.read(src, nbytes))
             self.core.l2.write(l2_offset, data)
 
     def l2_to_l4(self, dst: MemHandle, nbytes: int, l2_offset: int = 0,
@@ -129,7 +139,7 @@ class DMAController:
         cost = self._l4_cost(self.params.movement.dma_l4_l3(nbytes), nbytes)
         self.core.charge_raw("dma_l4_l3", cost, count, nbytes=nbytes)
         if self.core.functional:
-            data = self.core.l4.read(src, nbytes)
+            data = self._payload(self.core.l4.read(src, nbytes))
             self.core.l3.write(l3_offset, data)
 
     # ------------------------------------------------------------------
@@ -140,7 +150,8 @@ class DMAController:
         self.core.charge_raw("dma_l2_l1", self.params.movement.dma_l2_l1, count,
                              nbytes=self.params.vr_bytes)
         if self.core.functional:
-            vector = self.core.l2.read(0, self.params.vr_bytes, np.uint16)
+            vector = self._payload(
+                self.core.l2.read(0, self.params.vr_bytes, np.uint16))
             self.core.l1.store(vmr_slot, vector)
 
     def l1_to_l2(self, vmr_slot: int, count: int = 1) -> None:
@@ -159,7 +170,9 @@ class DMAController:
         if self.core.functional:
             if src is None:
                 raise MemoryError_("functional mode needs a source handle")
-            self.core.l1.store(vmr_slot, self.core.l4.read(src, nbytes, np.uint16))
+            self.core.l1.store(
+                vmr_slot,
+                self._payload(self.core.l4.read(src, nbytes, np.uint16)))
 
     def l1_to_l4_32k(self, dst: Optional[MemHandle], vmr_slot: int,
                      count: int = 1) -> None:
@@ -194,7 +207,8 @@ class DMAController:
         if self.core.functional and elements is not None:
             if src is None:
                 raise MemoryError_("functional mode needs a source handle")
-            data = self.core.l4.read(src, 2 * n_elements, np.uint16)
+            data = self._payload(
+                self.core.l4.read(src, 2 * n_elements, np.uint16))
             vector = self.core.vr_read(vr)
             vector[np.asarray(elements, dtype=np.int64)] = data
             self.core.vr_write(vr, vector)

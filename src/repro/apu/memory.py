@@ -219,6 +219,25 @@ class VMRFile:
         self._slots[slot] = arr.copy()
         self.accesses += 1
 
+    def corrupt(self, slot: int, element: int, bit: int) -> None:
+        """Flip one stored bit in place (single-event upset backdoor).
+
+        A no-op on a never-written slot: there is no charge to disturb.
+        Used by :mod:`repro.integrity` to model upsets striking data at
+        rest in the background vector registers, the case the periodic
+        scrub pass exists for.
+        """
+        self._check(slot)
+        if not 0 <= element < self.vector_length:
+            raise MemoryError_(
+                f"element {element} out of range 0..{self.vector_length - 1}")
+        if not 0 <= bit < 16:
+            raise MemoryError_(f"bit {bit} out of range 0..15")
+        vector = self._slots[slot]
+        if vector is None:
+            return
+        vector[element] ^= np.uint16(1 << bit)
+
     def load(self, slot: int) -> np.ndarray:
         """Read one full vector from a VMR slot (zeros if never written)."""
         self._check(slot)

@@ -161,12 +161,24 @@ def _run_serve(args) -> None:
     import math
 
     from .faults import FaultPlan
+    from .integrity import IntegrityConfig
     from .rag import PAPER_CORPORA
     from .serve import BatchPolicy, RetryPolicy, ServeConfig, ServingSimulator
 
     faults = FaultPlan()
     if args.fault_plan:
         faults = FaultPlan.load(args.fault_plan)
+    if args.bit_flip_plan:
+        faults = faults.merged_with(FaultPlan.load(args.bit_flip_plan))
+    integrity = IntegrityConfig()
+    if args.integrity:
+        integrity = IntegrityConfig(
+            enabled=True,
+            max_recomputes=args.max_recomputes,
+            scrub_interval_s=args.scrub_interval_ms * 1e-3,
+        )
+    elif args.scrub_interval_ms:
+        raise SystemExit("--scrub-interval-ms requires --integrity")
     retry = RetryPolicy(
         timeout_s=math.inf if args.timeout_ms is None
         else args.timeout_ms * 1e-3,
@@ -187,6 +199,7 @@ def _run_serve(args) -> None:
         faults=faults,
         retry=retry,
         failover=args.failover,
+        integrity=integrity,
     )
     print(ServingSimulator(config).run().format())
 
@@ -230,9 +243,16 @@ def _trace_runners() -> Dict[str, Callable]:
         ServingSimulator(golden_fault_config()).run()
         return None
 
+    def run_serve_integrity():
+        from .serve import ServingSimulator, golden_integrity_config
+
+        ServingSimulator(golden_integrity_config()).run()
+        return None
+
     runners["rag"] = run_rag
     runners["serve"] = run_serve
     runners["serve_faults"] = run_serve_faults
+    runners["serve_integrity"] = run_serve_integrity
     runners["table4"] = lambda: run_table4_micro().total_cycles
     runners["table5"] = lambda: run_table5_micro().total_cycles
     return runners
@@ -266,7 +286,7 @@ def _run_trace(args) -> None:
         print(f"conservation: per-lane sum {core_cycles:.0f} vs device total "
               f"{expected:.0f} cycles -> {'OK' if ok else 'MISMATCH'}")
     process_names = None
-    if workload in ("serve", "serve_faults"):
+    if workload in ("serve", "serve_faults", "serve_integrity"):
         from .serve import golden_serve_config
 
         shards = golden_serve_config().n_shards
@@ -345,6 +365,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fault-plan", default=None,
                         help="serve only: JSON fault plan for a scripted "
                              "chaos run (see repro.faults.FaultPlan)")
+    parser.add_argument("--bit-flip-plan", default=None,
+                        help="serve only: JSON fault plan of bit_flips to "
+                             "merge into the chaos run (silent data "
+                             "corruption)")
+    parser.add_argument("--integrity", action="store_true",
+                        help="serve only: enable ABFT protection (detect "
+                             "and recompute corrupted batches)")
+    parser.add_argument("--max-recomputes", type=int, default=3,
+                        help="serve only: recompute budget per detection "
+                             "before the shard fails over")
+    parser.add_argument("--scrub-interval-ms", type=float, default=0.0,
+                        help="serve only: periodic memory-scrub interval "
+                             "(0 disables; requires --integrity)")
     parser.add_argument("--failover", choices=["reroute", "degraded"],
                         default="reroute",
                         help="serve only: response to a shard death")

@@ -9,6 +9,15 @@ same plan and request stream is bit-identical.
 Per-shard outage windows are merged into disjoint sorted intervals at
 construction, so overlapping scripted outages behave as their union and
 the event-loop queries are simple scans over a handful of windows.
+(Contradictory overlaps -- a restart after a permanent failure, or a
+recovery ramp inside another outage -- are rejected by
+:class:`~repro.faults.plan.FaultPlan` itself, so the union is always
+well defined here.)
+
+Bit-flip faults add two more queries: *which transient upsets strike
+this shard inside a window* (:meth:`FaultInjector.flips_in`, consumed
+once per batch dispatch) and *which stuck-at cells are wedged now*
+(:meth:`FaultInjector.stuck_active`).
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Tuple
 
-from .plan import FaultPlan, OutageFault, StallFault
+from .plan import BitFlipFault, FaultPlan, OutageFault, StallFault
 
 __all__ = ["FaultInjector"]
 
@@ -44,6 +53,11 @@ class FaultInjector:
         self._stalls: Dict[int, List[StallFault]] = {}
         self._recoveries: Dict[int, List[OutageFault]] = {}
         self._windows: Dict[int, List[Tuple[float, float]]] = {}
+        self._flips: Dict[int, List[BitFlipFault]] = {}
+        self._stuck: Dict[int, List[BitFlipFault]] = {}
+        for flip in plan.bit_flips:
+            bucket = self._stuck if flip.persistent else self._flips
+            bucket.setdefault(flip.shard_id, []).append(flip)
         for stall in plan.stalls:
             self._stalls.setdefault(stall.shard_id, []).append(stall)
         for outage in plan.outages:
@@ -59,6 +73,10 @@ class FaultInjector:
             stalls.sort(key=lambda f: (f.start_s, f.end_s))
         for recoveries in self._recoveries.values():
             recoveries.sort(key=lambda f: (f.start_s, f.end_s))
+        for flips in self._flips.values():
+            flips.sort(key=lambda f: f.t_s)
+        for stuck in self._stuck.values():
+            stuck.sort(key=lambda f: f.t_s)
 
     def __bool__(self) -> bool:
         return bool(self.plan)
@@ -95,6 +113,41 @@ class FaultInjector:
         if windows and math.isinf(windows[-1][1]):
             return windows[-1][0]
         return math.inf
+
+    # ------------------------------------------------------------------
+    # Silent data corruption
+    # ------------------------------------------------------------------
+    def flips_in(self, shard_id: int, t0_s: float,
+                 t1_s: float) -> Tuple[BitFlipFault, ...]:
+        """Transient upsets striking the shard with ``t0_s <= t_s < t1_s``.
+
+        A pure time-window query (no consumption state); stuck-at
+        faults are excluded -- they persist and are reported by
+        :meth:`stuck_active` instead.
+        """
+        return tuple(f for f in self._flips.get(shard_id, ())
+                     if t0_s <= f.t_s < t1_s)
+
+    def transient_flips(self, shard_id: int) -> Tuple[BitFlipFault, ...]:
+        """All scripted transient upsets for a shard, sorted by onset.
+
+        The scheduler walks this list with a consume-once cursor: a
+        flip corrupts the first completing batch whose service window
+        *ends* after the flip landed (corrupted data stays resident
+        until the next batch reloads it), and never corrupts a second
+        one.
+        """
+        return tuple(self._flips.get(shard_id, ()))
+
+    def stuck_active(self, shard_id: int, t_s: float
+                     ) -> Tuple[BitFlipFault, ...]:
+        """Stuck-at faults wedged on the shard at ``t_s`` (onset passed)."""
+        return tuple(f for f in self._stuck.get(shard_id, ())
+                     if f.t_s <= t_s)
+
+    def has_bit_flips(self, shard_id: int) -> bool:
+        """Whether the plan scripts any corruption for this shard."""
+        return (shard_id in self._flips) or (shard_id in self._stuck)
 
     # ------------------------------------------------------------------
     # Service-time degradation

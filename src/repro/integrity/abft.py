@@ -1,0 +1,218 @@
+"""Algorithm-based fault tolerance primitives for the GVML kernels.
+
+Three checker families, matched to the three corruption channels of
+:class:`~repro.integrity.inject.MemoryFaultInjector`:
+
+* **Modular column checksums** (:func:`vr_checksum` /
+  :func:`host_checksum`).  Addition and multiplication on the device
+  wrap modulo ``2**16``, and ``x -> x mod 2**16`` is a ring
+  homomorphism, so the host can predict the full-VR sum of a MAC
+  accumulator from column sums of the operand block.  Any single-bit
+  upset in an accumulator write perturbs the sum by ``+/- 2**b != 0
+  (mod 2**16)`` -- always detected.
+* **Parity tags** (:func:`parity_tag` / :func:`vr_parity` /
+  :func:`protected_cpy_16`) for VR moves and copies, where the data
+  should arrive bit-identical: a single XOR-reduced word catches any
+  odd-weight corruption.
+* **CRC-16 descriptors** (:func:`crc16` / :func:`checked_l4_to_l1`) for
+  DMA transfers, where burst errors flip short *runs* of bits that a
+  single parity word could miss.
+
+:func:`scrub_pass` sweeps resident VMR slots against recorded CRCs,
+catching upsets in data at rest before the next query consumes them.
+All checker work is charged through the core's
+:class:`~repro.core.estimator.LatencyEstimator` under ``integrity_*`` /
+``scrub*`` op names, which the observability layer routes to the
+dedicated INTEGRITY trace lane.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+import numpy as np
+
+from ..apu.core import APUCore
+from ..apu.memory import MemHandle
+from .config import get_cost_model
+
+__all__ = [
+    "IntegrityError",
+    "checked_l4_to_l1",
+    "crc16",
+    "host_checksum",
+    "parity_tag",
+    "protected_cpy_16",
+    "scrub_pass",
+    "vr_checksum",
+    "vr_parity",
+]
+
+
+class IntegrityError(RuntimeError):
+    """Raised when corruption persists past the bounded-retry budget.
+
+    This is the integrity layer's "give up" signal: a transient flip
+    would have been healed by recomputation, so a persistent mismatch
+    means a stuck-at fault -- the caller should fail the shard over, not
+    keep retrying.
+    """
+
+
+# ----------------------------------------------------------------------
+# Host-side checker arithmetic
+# ----------------------------------------------------------------------
+def _build_crc_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint16)
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021) if crc & 0x8000 else (crc << 1)
+            crc &= 0xFFFF
+        table[byte] = np.uint16(crc)
+    return table
+
+
+_CRC_TABLE = _build_crc_table()
+
+
+def crc16(data: np.ndarray) -> int:
+    """CRC-16/CCITT-FALSE over the raw bytes of ``data``."""
+    raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    crc = 0xFFFF
+    for byte in raw.tolist():
+        crc = ((crc << 8) & 0xFFFF) ^ int(_CRC_TABLE[((crc >> 8) ^ byte) & 0xFF])
+    return crc
+
+
+def parity_tag(values: np.ndarray) -> int:
+    """XOR of all 16-bit elements: the tag a copy must preserve."""
+    arr = np.asarray(values, dtype=np.uint16)
+    if arr.size == 0:
+        return 0
+    return int(np.bitwise_xor.reduce(arr))
+
+
+def host_checksum(values: np.ndarray) -> int:
+    """Element sum modulo ``2**16`` (signed/unsigned agree mod 2**16)."""
+    return int(np.asarray(values, dtype=np.uint64).sum() % 65536)
+
+
+# ----------------------------------------------------------------------
+# Device-side checker kernels (real GVML ops, real cycle charges)
+# ----------------------------------------------------------------------
+def vr_checksum(core: APUCore, vr: int, scratch: int) -> Optional[int]:
+    """Full-VR modular sum computed *on the device*.
+
+    One staged ``add_subgrp_s16`` reduction (group = whole vector,
+    subgroup = 1) leaves the wrapped sum in element 0 of ``scratch``;
+    a serial FIFO ``get_element`` returns it.  ``None`` in timing-only
+    mode (cycles are still charged).
+    """
+    g = core.gvml
+    g.add_subgrp_s16(scratch, vr, core.params.vr_length, 1)
+    return g.get_element(scratch, 0)
+
+
+def vr_parity(core: APUCore, vr: int, scratch_a: int,
+              scratch_b: int) -> Optional[int]:
+    """Full-VR XOR reduction computed on the device.
+
+    A ``log2(length)`` shift/XOR folding ladder: each stage XORs the
+    vector with itself shifted toward the head by half the remaining
+    span, leaving the reduction in element 0.
+    """
+    g = core.gvml
+    g.cpy_16(scratch_a, vr)
+    span = core.params.vr_length // 2
+    while span >= 1:
+        g.cpy_16(scratch_b, scratch_a)
+        g.shift_e(scratch_b, span, toward="head")
+        g.xor_16(scratch_a, scratch_a, scratch_b)
+        span //= 2
+    return g.get_element(scratch_a, 0)
+
+
+# ----------------------------------------------------------------------
+# Protected data movement
+# ----------------------------------------------------------------------
+def protected_cpy_16(core: APUCore, dst: int, src: int,
+                     max_retries: int = 3) -> int:
+    """Parity-tag-checked VR copy; returns the number of attempts.
+
+    The tag is computed from the source before the move and re-checked
+    on the destination after; a mismatch re-issues the copy up to
+    ``max_retries`` extra times before raising :class:`IntegrityError`.
+    The tag check is charged as ``integrity_parity`` (descriptor-side
+    hardware, priced like the CRC engine).
+    """
+    costs = get_cost_model(core.params)
+    check_cycles = costs.crc_cycles(core.params.vr_bytes)
+    if not core.functional:
+        core.gvml.cpy_16(dst, src)
+        core.charge_raw("integrity_parity", check_cycles,
+                        nbytes=core.params.vr_bytes)
+        return 1
+    expected = parity_tag(core.vr_read(src))
+    for attempt in range(1, max_retries + 2):
+        core.gvml.cpy_16(dst, src)
+        core.charge_raw("integrity_parity", check_cycles,
+                        nbytes=core.params.vr_bytes)
+        if parity_tag(core.vr_read(dst)) == expected:
+            return attempt
+        core.charge_raw("integrity_detect", 0.0)
+    raise IntegrityError(
+        f"VR copy {src} -> {dst} still corrupt after "
+        f"{max_retries} retries (stuck-at fault?)")
+
+
+def checked_l4_to_l1(core: APUCore, vmr_slot: int, src: MemHandle,
+                     max_retries: int = 3) -> int:
+    """CRC-checked full-vector DMA; returns the number of attempts.
+
+    The descriptor carries a CRC-16 of the source region; after the
+    transfer the landed vector is re-CRC'd and compared.  Burst errors
+    injected into the payload force a re-transfer (the retry reads the
+    same clean source), bounded by ``max_retries``.
+    """
+    costs = get_cost_model(core.params)
+    nbytes = core.params.vr_bytes
+    check_cycles = costs.crc_cycles(nbytes)
+    if not core.functional:
+        core.dma.l4_to_l1_32k(vmr_slot, src)
+        core.charge_raw("integrity_crc", check_cycles, nbytes=nbytes)
+        return 1
+    expected = crc16(core.l4.read(src, nbytes, np.uint16))
+    for attempt in range(1, max_retries + 2):
+        core.dma.l4_to_l1_32k(vmr_slot, src)
+        core.charge_raw("integrity_crc", check_cycles, nbytes=nbytes)
+        if crc16(core.l1.load(vmr_slot)) == expected:
+            return attempt
+        core.charge_raw("integrity_detect", 0.0)
+    raise IntegrityError(
+        f"DMA into VMR slot {vmr_slot} still corrupt after "
+        f"{max_retries} retries (stuck-at fault?)")
+
+
+# ----------------------------------------------------------------------
+# Background scrubbing
+# ----------------------------------------------------------------------
+def scrub_pass(core: APUCore, slot_crcs: Mapping[int, int]) -> List[int]:
+    """Re-CRC resident VMR slots against recorded values.
+
+    Returns the slots whose stored data no longer matches -- upsets that
+    hit data *at rest*, which no in-flight checker can see.  Each slot
+    check is charged as ``scrub_check``; repair is the caller's job
+    (typically :func:`checked_l4_to_l1` from the L4 master copy).
+    """
+    costs = get_cost_model(core.params)
+    check_cycles = costs.crc_cycles(core.params.vr_bytes)
+    failing: List[int] = []
+    for slot, expected in sorted(slot_crcs.items()):
+        core.charge_raw("scrub_check", check_cycles,
+                        nbytes=core.params.vr_bytes)
+        if not core.functional:
+            continue
+        if crc16(core.l1.load(slot)) != expected:
+            failing.append(slot)
+    return failing

@@ -29,6 +29,7 @@ from .events import (
     LANE_DMA,
     LANE_FAULT,
     LANE_HBM,
+    LANE_INTEGRITY,
     LANE_PIO,
     LANE_VCU,
     LANES,
@@ -49,6 +50,7 @@ __all__ = [
     "LANE_DMA",
     "LANE_FAULT",
     "LANE_HBM",
+    "LANE_INTEGRITY",
     "LANE_PIO",
     "LANE_VCU",
     "LANES",

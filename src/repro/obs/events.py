@@ -17,7 +17,11 @@ and the bytes it moved.  Lanes follow the paper's Fig. 3 engine split:
 * ``FAULT`` -- injected faults and the serving stack's reactions
   (stalls, outages, timeouts, retries, failover), emitted by
   :class:`repro.serve.simulator.ServingSimulator` so Perfetto shows
-  outages alongside the work they disrupted.
+  outages alongside the work they disrupted;
+* ``INTEGRITY`` -- silent-data-corruption events and the defenses
+  (bit flips, detections, recomputes, scrub passes, undetected
+  escapes), emitted by the :mod:`repro.integrity` subsystem and the
+  serving simulator.
 
 This module is dependency-free so that the recording hot paths can
 import it without touching the rest of the package.
@@ -33,6 +37,7 @@ __all__ = [
     "LANE_PIO",
     "LANE_HBM",
     "LANE_FAULT",
+    "LANE_INTEGRITY",
     "LANES",
     "lane_for_op",
     "TraceEvent",
@@ -48,9 +53,12 @@ LANE_PIO = "PIO"
 LANE_HBM = "HBM"
 #: Injected faults and the serving stack's reactions to them.
 LANE_FAULT = "FAULT"
+#: Silent data corruption and the integrity defenses.
+LANE_INTEGRITY = "INTEGRITY"
 
 #: Every known lane, in display order.
-LANES = (LANE_VCU, LANE_DMA, LANE_PIO, LANE_HBM, LANE_FAULT)
+LANES = (LANE_VCU, LANE_DMA, LANE_PIO, LANE_HBM, LANE_FAULT,
+         LANE_INTEGRITY)
 
 #: Op names charged outside the ``dma_`` / ``pio_`` prefixes that still
 #: occupy the PIO path (element traffic through the response FIFO).
@@ -78,6 +86,8 @@ def lane_for_op(name: str) -> str:
             lane = LANE_PIO
         elif name.startswith(("hbm", "ddr", "dram")):
             lane = LANE_HBM
+        elif name.startswith(("integrity_", "scrub")):
+            lane = LANE_INTEGRITY
         elif name.startswith("fault_"):
             lane = LANE_FAULT
         else:

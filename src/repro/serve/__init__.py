@@ -16,6 +16,7 @@ from .degraded import chunk_owners, measured_degraded_recall, \
 from .metrics import LatencyStats, nearest_rank_percentile, slo_attainment, utilization
 from .retriever import ShardedAPURetriever
 from .scheduler import (
+    OUTCOME_CORRUPTED,
     BatchPolicy,
     DiscreteEventScheduler,
     ExecutedBatch,
@@ -41,6 +42,7 @@ from .simulator import (
     ServingSimulator,
     ShardServiceModel,
     golden_fault_config,
+    golden_integrity_config,
     golden_serve_config,
 )
 from .workload import Request, poisson_arrivals, trace_arrivals
@@ -52,6 +54,7 @@ __all__ = [
     "ExecutedBatch",
     "FAILOVER_POLICIES",
     "LatencyStats",
+    "OUTCOME_CORRUPTED",
     "Request",
     "RequestRecord",
     "RetryPolicy",
@@ -64,6 +67,7 @@ __all__ = [
     "ShardedAPURetriever",
     "chunk_owners",
     "golden_fault_config",
+    "golden_integrity_config",
     "golden_serve_config",
     "measured_degraded_recall",
     "oracle_live_recall",

@@ -7,6 +7,12 @@ single-device kernel on each shard's device, and the host merges the
 per-shard top-k exactly.  Functional runs execute genuinely on an
 :class:`repro.apu.device.APUDevicePool`; paper-scale latency is the
 slowest shard (devices scan in parallel) plus the host merge.
+
+With ``protected=True`` each shard runs the ABFT-verified kernel
+(:class:`repro.integrity.ProtectedAPURetriever`) instead, so the merged
+top-k stays bit-identical to a fault-free run even when shard devices
+carry a :class:`~repro.integrity.MemoryFaultInjector` flipping bits
+under the scan.
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ import numpy as np
 
 from ..apu.device import APUDevicePool
 from ..core.params import APUParams, DEFAULT_PARAMS
+from ..integrity.config import IntegrityConfig
+from ..integrity.protected import IntegrityStats, ProtectedAPURetriever
 from ..rag.corpus import CorpusSpec, MiniCorpus
 from ..rag.retrieval import APURetriever, RetrievalBreakdown
 from .sharding import (
@@ -42,11 +50,17 @@ class ShardedAPURetriever:
     optimized:
         Per-device kernel variant (same meaning as
         :class:`~repro.rag.retrieval.APURetriever`).
+    protected:
+        Run each shard through the ABFT-verified kernel
+        (:class:`~repro.integrity.ProtectedAPURetriever`); implies the
+        optimized variant.  ``integrity`` tunes the recompute budget.
     """
 
     def __init__(self, n_shards: int, policy: str = "round_robin",
                  optimized: bool = True,
-                 params: APUParams = DEFAULT_PARAMS):
+                 params: APUParams = DEFAULT_PARAMS,
+                 protected: bool = False,
+                 integrity: Optional[IntegrityConfig] = None):
         if not isinstance(n_shards, (int, np.integer)) \
                 or isinstance(n_shards, bool) or n_shards < 1:
             raise ValueError(
@@ -55,12 +69,29 @@ class ShardedAPURetriever:
             raise ValueError(
                 f"unknown shard policy {policy!r}; "
                 f"choose from {SHARD_POLICIES}")
+        if integrity is not None and not protected:
+            raise ValueError(
+                "an IntegrityConfig without protected=True does nothing")
         self.n_shards = int(n_shards)
         self.policy = policy
         self.optimized = optimized
         self.params = params
-        self._device_retriever = APURetriever(optimized=optimized,
-                                              params=params)
+        self.protected = bool(protected)
+        if self.protected:
+            config = integrity if integrity is not None \
+                else IntegrityConfig(enabled=True)
+            self._device_retriever: APURetriever = ProtectedAPURetriever(
+                params=params, config=config)
+        else:
+            self._device_retriever = APURetriever(optimized=optimized,
+                                                  params=params)
+
+    @property
+    def integrity_stats(self) -> Optional[IntegrityStats]:
+        """Checker activity totals when ``protected``, else ``None``."""
+        if isinstance(self._device_retriever, ProtectedAPURetriever):
+            return self._device_retriever.stats
+        return None
 
     # ------------------------------------------------------------------
     # Functional path

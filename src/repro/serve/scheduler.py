@@ -28,6 +28,18 @@ also models the unhappy paths:
 * a shard that is merely down (transient outage) holds its queue and
   resumes -- through the slow-start multiplier -- when the outage ends.
 
+Bit-flip faults in the plan add a *data* dimension on top of the timing
+one: a batch whose service window covers a transient flip (or runs
+under an active stuck-at cell) computes a **corrupted** result.  With
+``protected=True`` (the serving layer's ABFT verification) the
+corruption is detected at completion and the batch fails with outcome
+``"corrupted"``, riding the existing retry/backoff machinery as a
+bounded recompute -- so transient flips cost latency but never answers,
+while a stuck-at cell burns the retry budget and escalates to shard
+death/failover.  Unprotected, the batch "succeeds" and the corruption
+escapes silently: the affected requests record the shard in
+``corrupted_shards`` and the log gains an ``"sdc"`` entry.
+
 The event loop is a plain binary heap ordered by ``(time, sequence)``;
 the sequence number makes simultaneous events process in insertion
 order, so the whole simulation is bit-deterministic for a fixed
@@ -67,6 +79,9 @@ _ARRIVE, _TIMER, _DONE, _FAIL, _WAKE = 0, 1, 2, 3, 4
 OUTCOME_OK = "ok"
 OUTCOME_TIMEOUT = "timeout"
 OUTCOME_INTERRUPTED = "interrupted"
+#: Completed, but integrity verification rejected the result (the
+#: protected scheduler treats this as a failure and recomputes).
+OUTCOME_CORRUPTED = "corrupted"
 
 
 @dataclass(frozen=True)
@@ -149,6 +164,9 @@ class ExecutedBatch:
     #: Fault-injected service-time multiplier applied at dispatch.
     multiplier: float = 1.0
     outcome: str = OUTCOME_OK
+    #: A bit flip landed in this attempt's service window (the result
+    #: data is wrong, whatever the outcome says about timing).
+    corrupted: bool = False
 
     @property
     def batch_size(self) -> int:
@@ -173,6 +191,9 @@ class RequestRecord:
     shard_done_s: Dict[int, float] = field(default_factory=dict)
     #: Shards declared dead before answering this request.
     failed_shards: Set[int] = field(default_factory=set)
+    #: Shards that answered with silently corrupted data (unprotected
+    #: runs only; protection converts these into recomputes).
+    corrupted_shards: Set[int] = field(default_factory=set)
     #: Shards the request fanned out to (live shards at arrival).
     n_required: int = 0
     #: Time every required shard had answered or failed; ``None`` until
@@ -191,6 +212,11 @@ class RequestRecord:
     def fully_served(self) -> bool:
         """Every required shard answered (no failover losses)."""
         return not self.failed_shards
+
+    @property
+    def fully_intact(self) -> bool:
+        """Every shard answered *and* no answer carried silent corruption."""
+        return not self.failed_shards and not self.corrupted_shards
 
 
 @dataclass(frozen=True)
@@ -229,13 +255,30 @@ class ScheduleResult:
         """Backoff-gated retry rounds across all shards."""
         return sum(1 for entry in self.fault_log if entry.kind == "backoff")
 
+    @property
+    def n_corruptions_detected(self) -> int:
+        """Batch attempts rejected by integrity verification."""
+        return sum(1 for entry in self.fault_log
+                   if entry.kind == "corrupted")
+
+    @property
+    def n_sdc(self) -> int:
+        """Silent-data-corruption escapes (unprotected corrupted batches)."""
+        return sum(1 for entry in self.fault_log if entry.kind == "sdc")
+
+    @property
+    def n_recomputes(self) -> int:
+        """Recompute attempts dispatched after a detected corruption."""
+        return sum(1 for entry in self.fault_log
+                   if entry.kind == "recompute")
+
 
 class _ShardState:
     """Mutable per-shard queue/device state during a run."""
 
     __slots__ = ("queue", "busy", "busy_s", "gen", "timer_armed_gen",
                  "batch_seq", "failures", "blocked_until", "wake_at",
-                 "dead")
+                 "dead", "last_corrupted", "flip_cursor")
 
     def __init__(self):
         self.queue: "deque[Tuple[int, float]]" = deque()  # (req_id, enqueue)
@@ -252,6 +295,12 @@ class _ShardState:
         self.wake_at = math.inf
         #: Declared dead: failed over, never dispatches again.
         self.dead = False
+        #: Last failure was a detected corruption (the next dispatch is
+        #: a recompute, logged as such).
+        self.last_corrupted = False
+        #: Consume-once cursor into the shard's scripted transient
+        #: flips: each flip corrupts exactly one completing batch.
+        self.flip_cursor = 0
 
 
 class DiscreteEventScheduler:
@@ -278,13 +327,21 @@ class DiscreteEventScheduler:
     on_death:
         Optional ``on_death(shard_id, t_s)`` hook invoked exactly once
         when a shard is declared dead, after its queue has drained.
+    protected:
+        ``True`` models ABFT-verified serving: a batch whose service
+        window a bit flip corrupts fails with outcome ``"corrupted"``
+        and is recomputed through the retry machinery.  ``False`` lets
+        the corruption escape silently (``"sdc"`` log entries,
+        ``corrupted_shards`` on the affected requests).  Irrelevant
+        when the plan has no bit flips.
     """
 
     def __init__(self, n_shards: int, policy: BatchPolicy,
                  service_time: Callable[[int, int], float],
                  injector: Optional[FaultInjector] = None,
                  retry: Optional[RetryPolicy] = None,
-                 on_death: Optional[Callable[[int, float], None]] = None):
+                 on_death: Optional[Callable[[int, float], None]] = None,
+                 protected: bool = False):
         if not isinstance(n_shards, (int, np.integer)) \
                 or isinstance(n_shards, bool) or n_shards < 1:
             raise ValueError(
@@ -295,6 +352,7 @@ class DiscreteEventScheduler:
         self.injector = injector
         self.retry = retry if retry is not None else RetryPolicy()
         self.on_death = on_death
+        self.protected = bool(protected)
         if injector is not None and injector.n_shards != self.n_shards:
             raise ValueError(
                 f"injector covers {injector.n_shards} shard(s), "
@@ -378,6 +436,7 @@ class DiscreteEventScheduler:
                 multiplier = 1.0
                 outcome = OUTCOME_OK
                 occupied = service
+                corrupted = False
             else:
                 multiplier = self.injector.multiplier(shard_id, now)
                 service = base * multiplier
@@ -390,13 +449,44 @@ class DiscreteEventScheduler:
                 if next_outage < min(now + service, fail_at):
                     fail_at = next_outage
                     outcome = OUTCOME_INTERRUPTED
-                occupied = service if outcome == OUTCOME_OK \
+                corrupted = False
+                if outcome == OUTCOME_OK \
+                        and self.injector.has_bit_flips(shard_id):
+                    # An attempt that completes computes on whatever the
+                    # memory held: the first batch to finish after a
+                    # transient flip lands consumes the corrupted data
+                    # (even if the flip struck while the device idled),
+                    # and any stuck-at cell active by completion
+                    # corrupts every attempt.
+                    flips = self.injector.transient_flips(shard_id)
+                    cursor = state.flip_cursor
+                    while cursor < len(flips) \
+                            and flips[cursor].t_s < now + service:
+                        cursor += 1
+                    corrupted = cursor > state.flip_cursor or bool(
+                        self.injector.stuck_active(shard_id,
+                                                   now + service))
+                    state.flip_cursor = cursor
+                    if corrupted and self.protected:
+                        outcome = OUTCOME_CORRUPTED
+                    if self.protected and state.last_corrupted:
+                        # This dispatch re-runs work a verification
+                        # rejected: the recompute leg of detect/heal.
+                        state.last_corrupted = False
+                        fault_log.append(FaultLogEntry(
+                            kind="recompute", shard_id=shard_id, t_s=now,
+                            duration_s=service, attempt=state.failures))
+                # A corrupted attempt still runs to completion -- the
+                # verification that rejects it happens at the end.
+                occupied = service \
+                    if outcome in (OUTCOME_OK, OUTCOME_CORRUPTED) \
                     else fail_at - now
             batch = ExecutedBatch(
                 shard_id=shard_id, seq=state.batch_seq, dispatch_s=now,
                 service_s=occupied, request_ids=ids,
                 head_enqueue_s=head_enqueue, attempt=state.failures,
-                multiplier=multiplier, outcome=outcome)
+                multiplier=multiplier, outcome=outcome,
+                corrupted=corrupted)
             state.batch_seq += 1
             state.busy = True
             state.gen += 1  # stale any armed max-wait timer
@@ -437,6 +527,7 @@ class DiscreteEventScheduler:
             state.busy = False
             state.busy_s += batch.service_s  # wasted work still occupies
             state.failures += 1
+            state.last_corrupted = batch.outcome == OUTCOME_CORRUPTED
             fault_log.append(FaultLogEntry(
                 kind=batch.outcome, shard_id=batch.shard_id,
                 t_s=batch.dispatch_s, duration_s=batch.service_s,
@@ -484,6 +575,11 @@ class DiscreteEventScheduler:
                 state.busy = False
                 state.busy_s += batch.service_s
                 state.failures = 0
+                if batch.corrupted:
+                    # Unprotected serving: the corrupted answer ships.
+                    fault_log.append(FaultLogEntry(
+                        kind="sdc", shard_id=batch.shard_id,
+                        t_s=batch.dispatch_s, duration_s=batch.service_s))
                 for req_id in batch.request_ids:
                     record = records[req_id]
                     if batch.shard_id in record.shard_done_s:
@@ -491,6 +587,8 @@ class DiscreteEventScheduler:
                             f"request {req_id} served twice on shard "
                             f"{batch.shard_id}")
                     record.shard_done_s[batch.shard_id] = now
+                    if batch.corrupted:
+                        record.corrupted_shards.add(batch.shard_id)
                     check_resolved(record, now)
                 maybe_dispatch(batch.shard_id, now)
 

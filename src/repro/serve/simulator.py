@@ -30,12 +30,25 @@ also the expected recall@k against the unsharded oracle (exactly --
 see :mod:`repro.serve.degraded`).  An empty fault plan takes none of
 these paths and reproduces the fault-free simulation bit-for-bit.
 
+Bit-flip faults in the plan add the silent-data-corruption dimension.
+With :attr:`ServeConfig.integrity` enabled the scheduler runs
+*protected*: corrupted batches are detected at completion and recomputed
+through the retry machinery (so answers stay bit-identical to the
+fault-free baseline, at a latency/throughput cost charged through the
+calibrated :class:`~repro.integrity.IntegrityCostModel` -- per-query
+checksum verification plus the periodic scrub duty cycle).  Disabled,
+the same plan ships corrupted answers: the report counts the escapes
+(``n_sdc_escapes``) and the **intact coverage** -- the fraction of each
+request's shard answers that were neither lost nor corrupted.
+
 When a :mod:`repro.obs` collector is active, every executed batch and
 host merge is emitted as a shard-tagged
 :class:`~repro.obs.events.TraceEvent` (``core_id`` = shard id), so the
 Chrome-trace export shows one Perfetto lane per device; faults and the
 stack's reactions (stalls, outages, timeouts, backoff, failover) land
-on the dedicated ``FAULT`` lane.
+on the dedicated ``FAULT`` lane, and the corruption story (scripted
+flips, detections, recomputes, scrub passes, SDC escapes) on the
+``INTEGRITY`` lane.
 """
 
 from __future__ import annotations
@@ -44,9 +57,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.params import APUParams, DEFAULT_PARAMS
-from ..faults import FaultInjector, FaultPlan, OutageFault, StallFault
+from ..faults import BitFlipFault, FaultInjector, FaultPlan, OutageFault, \
+    StallFault
+from ..integrity.config import IntegrityConfig, get_cost_model
 from ..obs import collector as _trace_collector
-from ..obs.events import LANE_FAULT, LANE_VCU, TraceEvent
+from ..obs.events import LANE_FAULT, LANE_INTEGRITY, LANE_VCU, TraceEvent
 from ..rag.batching import BatchedAPURetrieval
 from ..rag.corpus import CorpusSpec, PAPER_CORPORA
 from ..rag.generation import GenerationModel
@@ -71,6 +86,7 @@ __all__ = [
     "ServingSimulator",
     "golden_serve_config",
     "golden_fault_config",
+    "golden_integrity_config",
 ]
 
 #: Supported responses to a shard death.
@@ -98,6 +114,11 @@ class ServeConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: What to do when a shard dies: ``"reroute"`` or ``"degraded"``.
     failover: str = "reroute"
+    #: ABFT protection knobs.  Disabled (the default) keeps every code
+    #: path bit-identical to the pre-integrity simulator; enabled, the
+    #: scheduler detects and recomputes corrupted batches and the
+    #: service model charges the verification + scrub overhead.
+    integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
 
     def __post_init__(self):
         if self.k < 1:
@@ -121,6 +142,10 @@ class ServeConfig:
             raise ValueError(
                 f"unknown failover policy {self.failover!r}; "
                 f"choose from {FAILOVER_POLICIES}")
+        if not isinstance(self.integrity, IntegrityConfig):
+            raise ValueError(
+                f"integrity must be an IntegrityConfig, "
+                f"got {type(self.integrity).__name__}")
 
 
 class ShardServiceModel:
@@ -136,13 +161,26 @@ class ShardServiceModel:
     re-anchors their service times on the enlarged slices, and
     :meth:`reset` restores the original placement (so one simulator can
     replay runs).
+
+    An enabled ``integrity`` config adds the protection overhead on top
+    of the anchored times: each query in a batch pays the calibrated
+    column-checksum verification for its shard's MAC blocks plus the
+    top-k result check, and an active scrub schedule stretches service
+    by its duty factor (the device spends that fraction of its time
+    re-checksumming resident vectors instead of serving).
     """
 
     def __init__(self, spec: CorpusSpec, n_shards: int, k: int = 5,
-                 params: APUParams = DEFAULT_PARAMS):
+                 params: APUParams = DEFAULT_PARAMS,
+                 integrity: Optional[IntegrityConfig] = None):
         self.spec = spec
         self.n_shards = n_shards
         self.k = k
+        self.params = params
+        self.integrity = integrity if integrity is not None \
+            else IntegrityConfig()
+        self._costs = get_cost_model(params) if self.integrity.enabled \
+            else None
         self._retriever = APURetriever(optimized=True, params=params)
         self._batched = BatchedAPURetrieval(params)
         self.shard_specs = shard_specs(spec, n_shards)
@@ -177,8 +215,34 @@ class ShardServiceModel:
 
     def batch_seconds(self, shard_id: int, batch_size: int) -> float:
         """Service time of one batch on one shard's device."""
-        return (self._single[shard_id]
+        base = (self._single[shard_id]
                 + (batch_size - 1) * self._increment[shard_id])
+        if self._costs is None:
+            return base
+        base += batch_size * self.verify_seconds(self.chunk_counts[shard_id])
+        return base * self.scrub_duty_factor
+
+    def verify_seconds(self, chunk_count: int) -> float:
+        """Per-query ABFT verification cost over a ``chunk_count`` slice.
+
+        One column-checksum check per resident MAC block (a block spans
+        ``vr_length`` chunks on each of the cores) plus the top-k result
+        comparison, all from the calibrated cost model.
+        """
+        if self._costs is None:
+            return 0.0
+        per_core = self.params.vr_length * self.params.num_cores
+        blocks = -(-max(1, chunk_count) // per_core)
+        topk_check = self._costs.crc_cycles(4 * self.k) / self.params.clock_hz
+        return blocks * self._costs.checksum_seconds() + topk_check
+
+    @property
+    def scrub_duty_factor(self) -> float:
+        """Service-time stretch from the background scrub schedule."""
+        if self._costs is None or not self.integrity.scrubbing:
+            return 1.0
+        scrub = self._costs.scrub_pass_seconds(self.integrity.scrub_vrs)
+        return 1.0 + scrub / self.integrity.scrub_interval_s
 
     def reset(self) -> None:
         """Undo every takeover (back to the calibrated placement)."""
@@ -257,6 +321,16 @@ class ServeReport:
     #: unsharded oracle.
     mean_coverage: float = 1.0
     min_coverage: float = 1.0
+    #: Corrupted batch attempts caught by ABFT verification.
+    n_corruptions_detected: int = 0
+    #: Corrupted batches that shipped undetected (unprotected runs).
+    n_sdc_escapes: int = 0
+    #: Recompute attempts dispatched to heal detections.
+    n_recomputes: int = 0
+    #: Mean fraction of each request's shard answers that were neither
+    #: lost to failover nor silently corrupted (1.0 = every answer
+    #: trustworthy).
+    mean_intact_coverage: float = 1.0
 
     def format(self) -> str:
         """Human-readable report block for the CLI."""
@@ -299,6 +373,15 @@ class ServeReport:
                 f"min {self.min_coverage * 100:.2f}%  "
                 f"(expected recall; {self.degraded_requests} degraded "
                 f"request(s))")
+        if cfg.faults.bit_flips or cfg.integrity.enabled:
+            mode = "protected" if cfg.integrity.enabled else "UNPROTECTED"
+            lines.append(
+                f"  integrity ({mode}): "
+                f"{len(cfg.faults.bit_flips)} scripted flip(s) -> "
+                f"{self.n_corruptions_detected} detected, "
+                f"{self.n_recomputes} recomputed, "
+                f"{self.n_sdc_escapes} escaped; "
+                f"intact coverage {self.mean_intact_coverage * 100:.2f}%")
         return "\n".join(lines)
 
 
@@ -312,7 +395,8 @@ class ServingSimulator:
         self.params = params
         self.generator = generator or GenerationModel()
         self.service_model = ShardServiceModel(
-            config.spec, config.n_shards, config.k, params)
+            config.spec, config.n_shards, config.k, params,
+            integrity=config.integrity)
         self.merge_s = merge_seconds(config.n_shards, config.k, params)
         self.prefill_s = self.generator.prefill_seconds()
         self.injector = (FaultInjector(config.faults, config.n_shards)
@@ -327,7 +411,8 @@ class ServingSimulator:
             config.n_shards, config.batch, self.service_model.batch_seconds,
             injector=self.injector, retry=config.retry,
             on_death=self._on_shard_death
-            if self.injector is not None else None)
+            if self.injector is not None else None,
+            protected=config.integrity.enabled)
 
     # ------------------------------------------------------------------
     def _on_shard_death(self, shard_id: int, t_s: float) -> None:
@@ -382,9 +467,14 @@ class ServingSimulator:
         sizes = [batch.batch_size for batch in result.batches]
         if self.injector is None:
             coverages = None
+            intact = None
         else:
             coverages = [self._coverage(r, result.death_times)
                          for r in result.records]
+            intact = [
+                max(0, r.n_required - len(r.failed_shards)
+                    - len(r.corrupted_shards)) / r.n_required
+                for r in result.records if r.n_required > 0]
         return ServeReport(
             config=cfg,
             n_completed=len(result.records),
@@ -405,6 +495,11 @@ class ServingSimulator:
             mean_coverage=1.0 if coverages is None
             else sum(coverages) / len(coverages),
             min_coverage=1.0 if coverages is None else min(coverages),
+            n_corruptions_detected=result.n_corruptions_detected,
+            n_sdc_escapes=result.n_sdc,
+            n_recomputes=result.n_recomputes,
+            mean_intact_coverage=1.0 if not intact
+            else sum(intact) / len(intact),
         )
 
     # ------------------------------------------------------------------
@@ -488,15 +583,60 @@ class ServingSimulator:
                         cycles=span * clock,
                         section=f"fault/shard{outage.shard_id}",
                         core_id=outage.shard_id))
+        #: Corruption kinds belong to the INTEGRITY lane; everything
+        #: else stays on FAULT.
+        integrity_names = {"corrupted": "integrity_detect",
+                           "sdc": "integrity_sdc",
+                           "recompute": "integrity_recompute"}
         for entry in result.fault_log:
+            name = integrity_names.get(entry.kind)
+            if name is None:
+                name = (f"fault_{entry.kind}" if entry.kind != "dead"
+                        else "fault_failover")
+                lane = LANE_FAULT
+                section = f"fault/shard{entry.shard_id}"
+            else:
+                lane = LANE_INTEGRITY
+                section = f"integrity/shard{entry.shard_id}"
             trace.emit(TraceEvent(
-                name=f"fault_{entry.kind}" if entry.kind != "dead"
-                else "fault_failover",
-                lane=LANE_FAULT,
+                name=name,
+                lane=lane,
                 start_cycle=entry.t_s * clock,
                 cycles=entry.duration_s * clock,
-                section=f"fault/shard{entry.shard_id}",
+                section=section,
                 core_id=entry.shard_id))
+        self._emit_integrity_trace(trace, result, clock)
+
+    def _emit_integrity_trace(self, trace, result: ScheduleResult,
+                              clock: float) -> None:
+        """INTEGRITY-lane events for the script itself: flips + scrubs."""
+        horizon = result.horizon_s
+        for flip in self.config.faults.bit_flips:
+            if flip.t_s >= horizon:
+                continue
+            trace.emit(TraceEvent(
+                name="integrity_stuck" if flip.persistent
+                else "integrity_flip",
+                lane=LANE_INTEGRITY,
+                start_cycle=flip.t_s * clock,
+                cycles=0.0,
+                section=f"integrity/shard{flip.shard_id}",
+                core_id=flip.shard_id))
+        integrity = self.config.integrity
+        if integrity.scrubbing:
+            scrub_s = get_cost_model(self.params).scrub_pass_seconds(
+                integrity.scrub_vrs)
+            tick = integrity.scrub_interval_s
+            t = tick
+            while t < horizon:
+                trace.emit(TraceEvent(
+                    name="integrity_scrub",
+                    lane=LANE_INTEGRITY,
+                    start_cycle=t * clock,
+                    cycles=scrub_s * clock,
+                    section="integrity/scrub",
+                    core_id=self.config.n_shards))
+                t += tick
 
 
 def golden_serve_config() -> ServeConfig:
@@ -550,4 +690,43 @@ def golden_fault_config() -> ServeConfig:
         retry=RetryPolicy(timeout_s=0.008, max_retries=2,
                           backoff_base_s=1e-3, backoff_cap_s=8e-3),
         failover="reroute",
+    )
+
+
+def golden_integrity_config() -> ServeConfig:
+    """The canonical SDC workload pinned by the integrity golden trace.
+
+    The golden serving workload with protection enabled and one of each
+    bit-flip model: a transient VR upset on shard 1 (one detection, one
+    recompute), a DMA burst error on shard 2 (same dance on the DMA
+    channel), and a stuck-at cell on shard 3 -- whose every batch
+    verifies corrupt, so the recompute budget burns out and the shard
+    fails over to the survivors.  A 50 ms scrub cadence keeps periodic
+    ``integrity_scrub`` events on the lane.  Exercises every
+    INTEGRITY-lane event kind in one sub-second run.
+    """
+    return ServeConfig(
+        spec=PAPER_CORPORA["10GB"],
+        n_shards=4,
+        batch=BatchPolicy(max_batch=8, max_wait_s=2e-3),
+        k=5,
+        qps=400.0,
+        n_requests=64,
+        seed=0,
+        slo_s=1.0,
+        faults=FaultPlan(
+            bit_flips=(
+                BitFlipFault(shard_id=1, t_s=0.020, target="vr",
+                             vr=4, bit=9, element=1234),
+                BitFlipFault(shard_id=2, t_s=0.050, target="dma",
+                             bit=4, element=100, burst_bits=3),
+                BitFlipFault(shard_id=3, t_s=0.080, target="stuck",
+                             vr=5, bit=0, element=7),
+            ),
+        ),
+        retry=RetryPolicy(max_retries=2, backoff_base_s=1e-3,
+                          backoff_cap_s=8e-3),
+        failover="reroute",
+        integrity=IntegrityConfig(enabled=True, max_recomputes=3,
+                                  scrub_interval_s=0.050, scrub_vrs=8),
     )

@@ -1,10 +1,16 @@
-"""FaultInjector: availability windows, slowdown multipliers."""
+"""FaultInjector: availability windows, slowdown multipliers, bit flips."""
 
 import math
 
 import pytest
 
-from repro.faults import FaultInjector, FaultPlan, OutageFault, StallFault
+from repro.faults import (
+    BitFlipFault,
+    FaultInjector,
+    FaultPlan,
+    OutageFault,
+    StallFault,
+)
 
 
 def make_injector():
@@ -16,9 +22,9 @@ def make_injector():
                        slowdown=2.0),
         ),
         outages=(
-            OutageFault(shard_id=1, start_s=2.0, duration_s=1.0,
+            OutageFault(shard_id=1, start_s=2.0, duration_s=1.0),
+            OutageFault(shard_id=1, start_s=2.5, duration_s=1.0,
                         recovery_s=0.5, recovery_slowdown=2.0),
-            OutageFault(shard_id=1, start_s=2.5, duration_s=1.0),
             OutageFault(shard_id=2, start_s=4.0),
         ),
     )
@@ -82,13 +88,48 @@ class TestMultiplier:
 
     def test_recovery_decays_linearly(self):
         inj = make_injector()
-        # Shard 1's merged outage ends at 3.5 but the *scripted* recovery
-        # window belongs to the first outage, [3.0, 3.5): halfway through
-        # the multiplier is halfway from 2.0 to 1.0.
-        assert inj.multiplier(1, 3.25) == pytest.approx(1.5)
-        assert inj.multiplier(1, 3.5) == 1.0
+        # Shard 1's merged outage ends at 3.5 and the second outage's
+        # slow-start ramp covers [3.5, 4.0): halfway through the
+        # multiplier is halfway from 2.0 to 1.0.
+        assert inj.multiplier(1, 3.75) == pytest.approx(1.5)
+        assert inj.multiplier(1, 4.0) == 1.0
 
     def test_boundaries_are_half_open(self):
         inj = make_injector()
         assert inj.multiplier(0, 1.0) == 3.0   # start inclusive
         assert inj.multiplier(0, 2.5) == 1.0   # end exclusive
+
+
+class TestBitFlipQueries:
+    def make_flip_injector(self):
+        plan = FaultPlan(bit_flips=(
+            BitFlipFault(shard_id=0, t_s=1.0, target="vr", vr=4, bit=3),
+            BitFlipFault(shard_id=0, t_s=2.0, target="dma", burst_bits=3),
+            BitFlipFault(shard_id=1, t_s=0.5, target="stuck", vr=5, bit=7),
+        ))
+        return FaultInjector(plan, n_shards=3)
+
+    def test_flips_in_window_is_half_open(self):
+        inj = self.make_flip_injector()
+        assert [f.t_s for f in inj.flips_in(0, 0.0, 3.0)] == [1.0, 2.0]
+        assert [f.t_s for f in inj.flips_in(0, 1.0, 2.0)] == [1.0]
+        assert inj.flips_in(0, 2.5, 9.0) == ()
+        assert inj.flips_in(2, 0.0, 9.0) == ()
+
+    def test_stuck_excluded_from_transient_query(self):
+        inj = self.make_flip_injector()
+        assert inj.flips_in(1, 0.0, 9.0) == ()
+
+    def test_stuck_active_persists_from_onset(self):
+        inj = self.make_flip_injector()
+        assert inj.stuck_active(1, 0.4) == ()
+        assert [f.vr for f in inj.stuck_active(1, 0.5)] == [5]
+        assert [f.vr for f in inj.stuck_active(1, 1e9)] == [5]
+        assert inj.stuck_active(0, 1e9) == ()
+
+    def test_has_bit_flips(self):
+        inj = self.make_flip_injector()
+        assert inj.has_bit_flips(0)
+        assert inj.has_bit_flips(1)
+        assert not inj.has_bit_flips(2)
+        assert not make_injector().has_bit_flips(1)

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.faults import FaultPlan, OutageFault, StallFault
+from repro.faults import BitFlipFault, FaultPlan, OutageFault, StallFault
 
 
 class TestStallFault:
@@ -113,6 +113,137 @@ class TestFaultPlan:
             FaultPlan.from_dict([1, 2, 3])
 
 
+class TestBitFlipFault:
+    def test_defaults_and_persistence(self):
+        flip = BitFlipFault(shard_id=0, t_s=0.5)
+        assert flip.target == "vr" and not flip.persistent
+        assert BitFlipFault(shard_id=0, t_s=0.5, target="stuck").persistent
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(shard_id=-1, t_s=0.0),
+        dict(shard_id=0, t_s=-0.1),
+        dict(shard_id=0, t_s=math.inf),
+        dict(shard_id=0, t_s=0.0, target="rowhammer"),
+        dict(shard_id=0, t_s=0.0, vr=24),
+        dict(shard_id=0, t_s=0.0, vr=-1),
+        dict(shard_id=0, t_s=0.0, bit=16),
+        dict(shard_id=0, t_s=0.0, bit=-1),
+        dict(shard_id=0, t_s=0.0, element=-1),
+        dict(shard_id=0, t_s=0.0, burst_bits=0),
+        dict(shard_id=0, t_s=0.0, burst_bits=17),
+    ])
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            BitFlipFault(**kwargs)
+
+    def test_plan_round_trip_with_flips(self):
+        plan = FaultPlan(bit_flips=(
+            BitFlipFault(shard_id=2, t_s=0.25, target="dma", vr=3, bit=9,
+                         element=100, burst_bits=4),
+            BitFlipFault(shard_id=0, t_s=0.5, target="stuck"),
+        ))
+        assert plan and plan.n_faults == 2
+        assert plan.shard_ids() == (0, 2)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert plan.for_shard(2).bit_flips == plan.bit_flips[:1]
+
+    def test_flip_free_plan_omits_key(self):
+        # Plans without bit flips serialize exactly as before PR 4.
+        assert "bit_flips" not in FaultPlan().to_dict()
+
+    def test_merged_with_unions_all_fault_kinds(self):
+        base = FaultPlan(
+            stalls=(StallFault(shard_id=0, start_s=0.0, duration_s=1.0,
+                               slowdown=2.0),),
+            outages=(OutageFault(shard_id=1, start_s=1.0),))
+        flips = FaultPlan(bit_flips=(BitFlipFault(shard_id=2, t_s=0.5),))
+        merged = base.merged_with(flips)
+        assert merged.n_faults == 3
+        assert merged.shard_ids() == (0, 1, 2)
+
+
+class TestContradictionMatrix:
+    """Rejection matrix for same-shard overlapping fault windows.
+
+    Silently merging contradictory windows was the pre-PR-4 behavior;
+    each LEGAL row pins a combination that must *stay* accepted.
+    """
+
+    def test_legal_transient_transient_overlap(self):
+        FaultPlan(outages=(
+            OutageFault(shard_id=1, start_s=2.0, duration_s=1.0),
+            OutageFault(shard_id=1, start_s=2.5, duration_s=1.0),
+        ))  # union semantics, no contradiction
+
+    def test_legal_stall_overlapping_outage(self):
+        FaultPlan(
+            stalls=(StallFault(shard_id=0, start_s=1.0, duration_s=2.0,
+                               slowdown=2.0),),
+            outages=(OutageFault(shard_id=0, start_s=1.5, duration_s=1.0),))
+
+    def test_legal_permanent_on_different_shard(self):
+        FaultPlan(outages=(
+            OutageFault(shard_id=0, start_s=1.0),
+            OutageFault(shard_id=1, start_s=0.5, duration_s=2.0),
+        ))
+
+    def test_legal_transient_ending_at_permanent_start(self):
+        FaultPlan(outages=(
+            OutageFault(shard_id=0, start_s=1.0, duration_s=1.0),
+            OutageFault(shard_id=0, start_s=2.0),
+        ))  # half-open windows touch but do not overlap
+
+    def test_legal_overlapping_permanents(self):
+        FaultPlan(outages=(
+            OutageFault(shard_id=0, start_s=1.0),
+            OutageFault(shard_id=0, start_s=2.0),
+        ))  # dark from 1.0 either way
+
+    def test_rejects_restart_after_permanent_failure(self):
+        with pytest.raises(ValueError, match="restart"):
+            FaultPlan(outages=(
+                OutageFault(shard_id=0, start_s=1.0),
+                OutageFault(shard_id=0, start_s=1.5, duration_s=1.0),
+            ))
+
+    def test_rejects_transient_straddling_permanent_start(self):
+        with pytest.raises(ValueError, match="restart"):
+            FaultPlan(outages=(
+                OutageFault(shard_id=0, start_s=0.5, duration_s=1.0),
+                OutageFault(shard_id=0, start_s=1.0),
+            ))
+
+    def test_rejects_recovery_ramp_inside_other_outage(self):
+        with pytest.raises(ValueError, match="recovery window"):
+            FaultPlan(outages=(
+                OutageFault(shard_id=1, start_s=2.0, duration_s=1.0,
+                            recovery_s=0.5, recovery_slowdown=2.0),
+                OutageFault(shard_id=1, start_s=2.5, duration_s=1.0),
+            ))
+
+    def test_rejects_recovery_ramp_into_permanent(self):
+        with pytest.raises(ValueError, match="recovery window"):
+            FaultPlan(outages=(
+                OutageFault(shard_id=1, start_s=0.0, duration_s=1.0,
+                            recovery_s=1.0, recovery_slowdown=3.0),
+                OutageFault(shard_id=1, start_s=1.5),
+            ))
+
+    def test_merged_with_re_checks_consistency(self):
+        a = FaultPlan(outages=(OutageFault(shard_id=0, start_s=1.0),))
+        b = FaultPlan(outages=(
+            OutageFault(shard_id=0, start_s=1.5, duration_s=1.0),))
+        with pytest.raises(ValueError, match="contradictory"):
+            a.merged_with(b)
+
+    def test_random_plans_are_always_consistent(self):
+        # The generator drops contradictory draws instead of emitting
+        # plans its own constructor would reject.
+        for seed in range(40):
+            FaultPlan.random(seed=seed, n_shards=3, horizon_s=1.0,
+                             outage_rate=4.0, permanent_fraction=0.5)
+
+
 class TestRandomPlan:
     def test_same_seed_same_plan(self):
         a = FaultPlan.random(seed=7, n_shards=4, horizon_s=1.0)
@@ -138,3 +269,30 @@ class TestRandomPlan:
             FaultPlan.random(seed=0, n_shards=0, horizon_s=1.0)
         with pytest.raises(ValueError):
             FaultPlan.random(seed=0, n_shards=2, horizon_s=0.0)
+
+
+class TestRandomBitFlips:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(seed=11, n_shards=4, horizon_s=1.0, flip_rate=3.0)
+        assert (FaultPlan.random_bit_flips(**kwargs)
+                == FaultPlan.random_bit_flips(**kwargs))
+
+    def test_targets_and_ranges(self):
+        plan = FaultPlan.random_bit_flips(seed=5, n_shards=3, horizon_s=2.0,
+                                          flip_rate=8.0, dma_fraction=0.3,
+                                          stuck_fraction=0.2)
+        plan.validate_for(3)
+        assert plan.bit_flips
+        targets = {f.target for f in plan.bit_flips}
+        assert targets <= {"vr", "dma", "stuck"}
+        for flip in plan.bit_flips:
+            assert 0.0 <= flip.t_s < 2.0
+            if flip.target != "dma":
+                assert flip.burst_bits == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_bit_flips(seed=0, n_shards=0, horizon_s=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.random_bit_flips(seed=0, n_shards=2, horizon_s=1.0,
+                                       dma_fraction=0.8, stuck_fraction=0.8)

@@ -1,0 +1,233 @@
+"""MemoryFaultInjector: deterministic corruption of real device state.
+
+The injector is the functional half of the bit-flip fault model: these
+tests pin its consumption semantics (transient flips fire exactly once,
+stuck-at cells fire on every write), its channel routing (VR writes vs
+DMA payloads), the corruption backdoors on the memory models, and the
+seeded determinism the replay/property suites rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apu.core import APUCore
+from repro.apu.device import APUDevice
+from repro.faults.plan import BitFlipFault
+from repro.integrity import MemoryFaultInjector
+
+VLEN = APUCore().params.vr_length
+
+
+def _vr_flip(vr=3, bit=5, element=17, shard=0):
+    return BitFlipFault(shard_id=shard, t_s=0.0, target="vr", vr=vr,
+                        bit=bit, element=element)
+
+
+def _dma_flip(bit=2, element=9, burst=3, shard=0):
+    return BitFlipFault(shard_id=shard, t_s=0.0, target="dma", bit=bit,
+                        element=element, burst_bits=burst)
+
+
+def _stuck(vr=3, bit=0, element=7, shard=0):
+    return BitFlipFault(shard_id=shard, t_s=0.0, target="stuck", vr=vr,
+                        bit=bit, element=element)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("rate", [-0.1, 1.5, 2.0])
+    def test_rejects_bad_upset_rate(self, rate):
+        with pytest.raises(ValueError, match="probability"):
+            MemoryFaultInjector(upset_rate=rate)
+
+    def test_rejects_stuck_in_flips(self):
+        with pytest.raises(ValueError, match="stuck"):
+            MemoryFaultInjector(flips=(_stuck(),))
+
+    def test_rejects_transient_in_stuck(self):
+        with pytest.raises(ValueError, match="transient"):
+            MemoryFaultInjector(stuck=(_vr_flip(),))
+
+    def test_counters_start_clean(self):
+        injector = MemoryFaultInjector(flips=(_vr_flip(), _dma_flip()))
+        assert injector.n_corruptions == 0
+        assert injector.pending == 2
+
+
+class TestVRChannel:
+    def test_pending_flip_consumed_once(self):
+        injector = MemoryFaultInjector(flips=(_vr_flip(vr=3, bit=5,
+                                                       element=17),))
+        core = APUCore()
+        core.sdc = injector
+        data = np.zeros(VLEN, dtype=np.uint16)
+        core.vr_write(3, data)
+        corrupted = core.vr_read(3)
+        assert corrupted[17] == 1 << 5
+        assert injector.pending == 0 and injector.n_vr_flips == 1
+        # The flip was consumed: the next write lands clean.
+        core.vr_write(3, data)
+        assert int(core.vr_read(3)[17]) == 0
+        assert injector.n_vr_flips == 1
+
+    def test_flip_waits_for_its_target_vr(self):
+        injector = MemoryFaultInjector(flips=(_vr_flip(vr=5),))
+        core = APUCore()
+        core.sdc = injector
+        core.vr_write(4, np.zeros(VLEN, dtype=np.uint16))
+        assert injector.pending == 1 and injector.n_corruptions == 0
+        core.vr_write(5, np.zeros(VLEN, dtype=np.uint16))
+        assert injector.pending == 0 and injector.n_corruptions == 1
+
+    def test_log_records_exact_bit_change(self):
+        injector = MemoryFaultInjector(flips=(_vr_flip(vr=2, bit=11,
+                                                       element=100),))
+        core = APUCore()
+        core.sdc = injector
+        core.vr_write(2, np.full(VLEN, 7, dtype=np.uint16))
+        (record,) = injector.log
+        assert record.site == "vr" and record.vr == 2
+        assert record.element == 100 and record.bit == 11
+        assert record.before ^ record.after == 1 << 11
+
+    def test_element_wraps_into_vector(self):
+        injector = MemoryFaultInjector(
+            flips=(_vr_flip(vr=0, bit=0, element=VLEN + 3),))
+        core = APUCore()
+        core.sdc = injector
+        core.vr_write(0, np.zeros(VLEN, dtype=np.uint16))
+        assert int(core.vr_read(0)[3]) == 1
+
+
+class TestStuckChannel:
+    def test_reapplied_on_every_write(self):
+        injector = MemoryFaultInjector(stuck=(_stuck(vr=1, bit=4,
+                                                     element=7),))
+        core = APUCore()
+        core.sdc = injector
+        for _ in range(3):
+            core.vr_write(1, np.zeros(VLEN, dtype=np.uint16))
+            assert int(core.vr_read(1)[7]) == 1 << 4
+        assert injector.n_stuck_hits == 3
+
+    def test_invisible_when_bit_already_set(self):
+        injector = MemoryFaultInjector(stuck=(_stuck(vr=1, bit=4,
+                                                     element=7),))
+        core = APUCore()
+        core.sdc = injector
+        data = np.zeros(VLEN, dtype=np.uint16)
+        data[7] = 1 << 4
+        core.vr_write(1, data)
+        # The cell already reads 1: the short changes nothing, logs
+        # nothing.
+        assert injector.n_stuck_hits == 0 and injector.n_corruptions == 0
+
+
+class TestDMAChannel:
+    def test_burst_error_on_next_payload(self):
+        injector = MemoryFaultInjector(
+            flips=(_dma_flip(bit=2, element=9, burst=3),))
+        data = np.zeros(64, dtype=np.uint16)
+        out = injector.corrupt_dma_payload(data)
+        assert int(out[9]) == 0b111 << 2
+        assert injector.n_dma_flips == 1
+
+    def test_payload_view_is_not_mutated(self):
+        """``l4.read`` may hand back a view into backing storage; the
+        injector must corrupt a copy, never the master data."""
+        injector = MemoryFaultInjector(flips=(_dma_flip(),))
+        backing = np.zeros(64, dtype=np.uint16)
+        out = injector.corrupt_dma_payload(backing)
+        assert out is not backing
+        assert int(backing.sum()) == 0 and int(out.sum()) != 0
+
+    def test_clean_payload_passes_through_unchanged(self):
+        injector = MemoryFaultInjector()
+        data = np.arange(16, dtype=np.uint16)
+        assert injector.corrupt_dma_payload(data) is data
+
+    def test_burst_clipped_at_word_width(self):
+        injector = MemoryFaultInjector(
+            flips=(_dma_flip(bit=14, element=0, burst=8),))
+        out = injector.corrupt_dma_payload(np.zeros(4, dtype=np.uint16))
+        # Bits 14..15 flip; the burst never spills past the element.
+        assert int(out[0]) == 0b11 << 14
+
+    def test_end_to_end_through_dma_controller(self):
+        core = APUDevice().core
+        handle = core.l4.alloc(core.params.vr_bytes)
+        core.l4.write(handle, np.arange(VLEN, dtype=np.uint16))
+        core.sdc = MemoryFaultInjector(
+            flips=(_dma_flip(bit=0, element=5, burst=1),))
+        core.dma.l4_to_l1_32k(0, handle)
+        landed = core.l1.load(0)
+        clean = np.arange(VLEN, dtype=np.uint16)
+        assert int(landed[5]) == int(clean[5]) ^ 1
+        mismatch = landed != clean
+        assert mismatch.sum() == 1
+        # The L4 master copy stays pristine for the retry to reread.
+        assert np.array_equal(
+            core.l4.read(handle, core.params.vr_bytes, np.uint16), clean)
+
+
+class TestRateMode:
+    def test_fixed_seed_replays_bit_identically(self):
+        def drive(injector):
+            core = APUCore()
+            core.sdc = injector
+            for i in range(200):
+                core.vr_write(i % 8, np.zeros(VLEN, dtype=np.uint16))
+                injector.corrupt_dma_payload(
+                    np.zeros(64, dtype=np.uint16))
+            return injector.log
+
+        first = drive(MemoryFaultInjector(upset_rate=0.05, seed=42))
+        second = drive(MemoryFaultInjector(upset_rate=0.05, seed=42))
+        assert first and first == second
+
+    def test_different_seeds_diverge(self):
+        def drive(seed):
+            injector = MemoryFaultInjector(upset_rate=0.2, seed=seed)
+            core = APUCore()
+            core.sdc = injector
+            for i in range(100):
+                core.vr_write(i % 8, np.zeros(VLEN, dtype=np.uint16))
+            return injector.log
+
+        assert drive(1) != drive(2)
+
+    def test_zero_rate_never_fires(self):
+        injector = MemoryFaultInjector(upset_rate=0.0, seed=0)
+        core = APUCore()
+        core.sdc = injector
+        for i in range(50):
+            core.vr_write(i % 8, np.zeros(VLEN, dtype=np.uint16))
+        assert injector.n_corruptions == 0
+
+
+class TestDeviceHooks:
+    def test_attach_sdc_routes_all_cores(self):
+        device = APUDevice()
+        injector = MemoryFaultInjector()
+        device.attach_sdc(injector)
+        assert all(core.sdc is injector for core in device.cores)
+        device.attach_sdc(None)
+        assert all(core.sdc is None for core in device.cores)
+
+    def test_vmr_corrupt_backdoor(self):
+        core = APUCore()
+        core.l1.store(3, np.zeros(VLEN, dtype=np.uint16))
+        core.l1.corrupt(3, element=10, bit=6)
+        assert int(core.l1.load(3)[10]) == 1 << 6
+        core.l1.corrupt(3, element=10, bit=6)
+        assert int(core.l1.load(3)[10]) == 0
+
+    def test_bitproc_flip_cell_perturbs_element(self):
+        from repro.apu.bitproc import BitProcessorArray
+        from repro.apu.microcode import broadcast_imm
+
+        bank = BitProcessorArray(columns=64)
+        broadcast_imm(bank, 4, 9)
+        bank.flip_cell(4, bit_slice=3, column=21)
+        values = bank.read_u16(4)
+        assert int(values[21]) == 9 ^ (1 << 3)
+        assert int(values[20]) == 9

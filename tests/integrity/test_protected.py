@@ -1,0 +1,182 @@
+"""ProtectedAPURetriever: end-to-end verified, bit-identical results.
+
+The contract under test is the acceptance criterion of the integrity
+layer: with protection on, any bounded number of transient flips leaves
+the returned top-k *bit-identical* to the fault-free baseline (paid for
+in recomputes), persistent faults escalate instead of looping, and the
+identical fault pressure without protection measurably corrupts.  The
+hypothesis suite generalizes the three pinned properties: zero-flip
+identity, single-flip detect-and-heal, and seeded replay determinism.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apu.device import APUDevice, APUDevicePool
+from repro.core.params import DEFAULT_PARAMS
+from repro.faults.plan import BitFlipFault
+from repro.integrity import (
+    IntegrityConfig,
+    IntegrityError,
+    MemoryFaultInjector,
+    ProtectedAPURetriever,
+)
+from repro.rag.corpus import MiniCorpus
+from repro.rag.retrieval import APURetriever
+from repro.serve import ShardedAPURetriever
+
+K = 5
+
+
+def _setup(n_chunks=300, dim=16, seed=1):
+    corpus = MiniCorpus(n_chunks=n_chunks, dim=dim, seed=seed)
+    query = corpus.sample_query()
+    baseline = APURetriever(optimized=True).retrieve_with_scores(
+        corpus, query, K)
+    return corpus, query, baseline
+
+
+def _acc_flip(bit=9, element=123):
+    """A transient upset targeting the MAC accumulator VR (vr 4)."""
+    return BitFlipFault(shard_id=0, t_s=0.0, target="vr", vr=4,
+                        bit=bit, element=element)
+
+
+class TestCleanRuns:
+    def test_zero_flip_identity(self):
+        corpus, query, baseline = _setup()
+        protected = ProtectedAPURetriever()
+        result = protected.retrieve_with_scores(corpus, query, K)
+        assert result == baseline
+        assert protected.stats.n_detected == 0
+        assert protected.stats.n_recomputes == 0
+        assert protected.stats.n_checks > 0
+
+    def test_requires_enabled_config(self):
+        with pytest.raises(ValueError, match="enabled"):
+            ProtectedAPURetriever(config=IntegrityConfig())
+
+
+class TestHealing:
+    def test_accumulator_flip_detected_and_healed(self):
+        corpus, query, baseline = _setup()
+        protected = ProtectedAPURetriever()
+        device = APUDevice()
+        device.attach_sdc(MemoryFaultInjector(flips=(_acc_flip(),)))
+        result = protected.retrieve_with_scores(corpus, query, K, device)
+        assert result == baseline
+        assert protected.stats.n_detected == 1
+        assert protected.stats.n_recomputes == 1
+
+    def test_same_flip_unprotected_corrupts(self):
+        corpus, query, baseline = _setup()
+        device = APUDevice()
+        # element 123 is a valid chunk and bit 15 dominates the score,
+        # so the flip must surface in the unprotected top-k.
+        device.attach_sdc(MemoryFaultInjector(
+            flips=(_acc_flip(bit=15, element=123),)))
+        result = APURetriever(optimized=True).retrieve_with_scores(
+            corpus, query, K, device)
+        assert result != baseline
+
+    def test_stuck_at_escalates_not_loops(self):
+        corpus, query, _ = _setup()
+        protected = ProtectedAPURetriever()
+        device = APUDevice()
+        device.attach_sdc(MemoryFaultInjector(stuck=(
+            BitFlipFault(shard_id=0, t_s=0.0, target="stuck", vr=4,
+                         bit=3, element=50),)))
+        with pytest.raises(IntegrityError, match="recomputes"):
+            protected.retrieve_with_scores(corpus, query, K, device)
+        budget = protected.config.max_recomputes
+        assert protected.stats.n_recomputes == budget
+
+    def test_flip_during_topk_restores_scores(self):
+        """A flip landing in a top-k working VR corrupts the extraction,
+        not the scores; the retry restores the (destroyed) score VRs
+        from verified snapshots and must converge."""
+        corpus, query, baseline = _setup()
+        protected = ProtectedAPURetriever()
+        device = APUDevice()
+        # vr 14 is apu_topk's working copy of the first score block.
+        device.attach_sdc(MemoryFaultInjector(flips=(
+            BitFlipFault(shard_id=0, t_s=0.0, target="vr", vr=14,
+                         bit=15, element=7),)))
+        result = protected.retrieve_with_scores(corpus, query, K, device)
+        assert result == baseline
+
+
+class TestShardedProtected:
+    def test_protected_pool_heals_shard_flip(self):
+        corpus = MiniCorpus(n_chunks=300, dim=16, seed=2)
+        query = corpus.sample_query()
+        baseline = ShardedAPURetriever(4).retrieve_with_scores(
+            corpus, query, k=K)
+        protected = ShardedAPURetriever(4, protected=True)
+        pool = APUDevicePool(4)
+        pool.devices[1].attach_sdc(
+            MemoryFaultInjector(flips=(_acc_flip(),)))
+        result = protected.retrieve_with_scores(corpus, query, k=K,
+                                                pool=pool)
+        assert result == baseline
+        assert protected.integrity_stats.n_detected == 1
+
+    def test_integrity_stats_none_when_unprotected(self):
+        assert ShardedAPURetriever(2).integrity_stats is None
+
+    def test_integrity_config_requires_protected(self):
+        with pytest.raises(ValueError, match="protected"):
+            ShardedAPURetriever(2, integrity=IntegrityConfig(enabled=True))
+
+
+@pytest.mark.integrity
+class TestProperties:
+    """The hypothesis property suite for the SDC defense contract."""
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 2**16))
+    def test_zero_flip_runs_bit_identical(self, seed):
+        """(a) Integrity checking enabled, no faults: bit-identical to
+        the unprotected seed behavior, zero detections."""
+        corpus = MiniCorpus(n_chunks=200, dim=8, seed=seed)
+        query = corpus.sample_query()
+        baseline = APURetriever(optimized=True).retrieve_with_scores(
+            corpus, query, K)
+        protected = ProtectedAPURetriever()
+        assert protected.retrieve_with_scores(corpus, query, K) == baseline
+        assert protected.stats.n_detected == 0
+
+    @settings(deadline=None, max_examples=16)
+    @given(bit=st.integers(0, 15),
+           element=st.integers(0, DEFAULT_PARAMS.vr_length - 1))
+    def test_any_single_bit_flip_detected_and_healed(self, bit, element):
+        """(b) Any single-bit upset in the checksummed accumulator VR:
+        detection fires and recompute restores the exact top-k."""
+        corpus, query, baseline = _setup(n_chunks=200, dim=8, seed=5)
+        protected = ProtectedAPURetriever()
+        device = APUDevice()
+        device.attach_sdc(MemoryFaultInjector(
+            flips=(_acc_flip(bit=bit, element=element),)))
+        result = protected.retrieve_with_scores(corpus, query, K, device)
+        assert result == baseline
+        assert protected.stats.n_detected == 1
+        assert protected.stats.n_recomputes == 1
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 2**16), rate=st.sampled_from([0.01, 0.05]))
+    def test_injection_replay_deterministic(self, seed, rate):
+        """(c) A fixed injector seed replays every corruption -- site,
+        element, bit, data values -- identically across runs."""
+        corpus = MiniCorpus(n_chunks=200, dim=8, seed=3)
+        query = corpus.sample_query()
+
+        def run_once():
+            device = APUDevice()
+            injector = MemoryFaultInjector(upset_rate=rate, seed=seed)
+            device.attach_sdc(injector)
+            result = APURetriever(optimized=True).retrieve_with_scores(
+                corpus, query, K, device)
+            return result, injector.log
+
+        assert run_once() == run_once()

@@ -38,6 +38,17 @@ class TestLaneClassification:
         assert lane_for_op("add_u16") == LANE_VCU
         assert lane_for_op("count_m") == LANE_VCU
 
+    def test_integrity_ops_route_to_integrity_lane(self):
+        from repro.obs.events import LANE_FAULT, LANE_INTEGRITY
+
+        assert lane_for_op("integrity_checksum") == LANE_INTEGRITY
+        assert lane_for_op("integrity_detect") == LANE_INTEGRITY
+        assert lane_for_op("integrity_recompute") == LANE_INTEGRITY
+        assert lane_for_op("scrub_check") == LANE_INTEGRITY
+        # fault_* events keep their own lane; the integrity_ prefix
+        # must win before the fault_ substring check.
+        assert lane_for_op("fault_backoff") == LANE_FAULT
+
 
 class TestEventArithmetic:
     def test_total_cycles_scales_with_count(self):

@@ -114,6 +114,21 @@ class TestServeGolden:
         golden("trace_serve_faults.txt",
                render_trace_golden(trace, "sharded serving under faults"))
 
+    def test_serve_integrity_workload_trace(self, golden):
+        """Pins the canonical SDC workload (``repro trace
+        serve_integrity``): the scripted VR/DMA/stuck-at upsets, every
+        detection/recompute on the INTEGRITY lane, and the periodic
+        scrub ticks, alongside the protected serving timeline."""
+        from repro.obs.events import LANE_INTEGRITY
+        from repro.serve import ServingSimulator, golden_integrity_config
+
+        with collecting() as trace:
+            ServingSimulator(golden_integrity_config()).run()
+        assert trace.cycles_by_lane.get(LANE_INTEGRITY, 0.0) > 0
+        golden("trace_serve_integrity.txt",
+               render_trace_golden(trace,
+                                   "sharded serving under bit flips"))
+
     def test_table4_movement_costs(self, golden):
         golden("costs_table4.txt",
                render_cost_golden(DEFAULT_PARAMS.movement,

@@ -73,7 +73,53 @@ class TestServeCommand:
 
     def test_trace_workloads_lists_serve(self, capsys):
         assert main(["trace", "workloads"]) == 0
-        assert "serve" in capsys.readouterr().out.split()
+        listed = capsys.readouterr().out.split()
+        assert "serve" in listed
+        assert "serve_integrity" in listed
+
+    def test_serve_bit_flip_plan_with_integrity(self, tmp_path, capsys):
+        from repro.faults import FaultPlan
+        from repro.faults.plan import BitFlipFault
+
+        plan_path = tmp_path / "flips.json"
+        FaultPlan(bit_flips=(
+            BitFlipFault(shard_id=1, t_s=0.02, target="vr", vr=4,
+                         bit=9, element=5),
+        )).save(plan_path)
+        assert main(["serve", "--shards", "2", "--qps", "200",
+                     "--requests", "16", "--corpus", "10GB",
+                     "--bit-flip-plan", str(plan_path),
+                     "--integrity", "--scrub-interval-ms", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "integrity (protected)" in out
+
+    def test_serve_bit_flip_plan_unprotected(self, tmp_path, capsys):
+        from repro.faults import FaultPlan
+        from repro.faults.plan import BitFlipFault
+
+        plan_path = tmp_path / "flips.json"
+        FaultPlan(bit_flips=(
+            BitFlipFault(shard_id=1, t_s=0.02, target="vr", vr=4,
+                         bit=9, element=5),
+        )).save(plan_path)
+        assert main(["serve", "--shards", "2", "--qps", "200",
+                     "--requests", "16", "--corpus", "10GB",
+                     "--bit-flip-plan", str(plan_path)]) == 0
+        assert "integrity (UNPROTECTED)" in capsys.readouterr().out
+
+    def test_serve_scrub_requires_integrity(self):
+        with pytest.raises(SystemExit, match="--integrity"):
+            main(["serve", "--requests", "8", "--corpus", "10GB",
+                  "--scrub-interval-ms", "50"])
+
+    def test_trace_serve_integrity_writes_integrity_lane(
+            self, tmp_path, capsys):
+        out_path = tmp_path / "integrity.json"
+        assert main(["trace", "serve_integrity",
+                     "--trace-out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "INTEGRITY" in out
+        assert "integrity/scrub" in out
 
     def test_trace_serve_writes_shard_lanes(self, tmp_path, capsys):
         out_path = tmp_path / "serve.json"
