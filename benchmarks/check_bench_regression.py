@@ -19,6 +19,14 @@ Suites (``--suite`` restricts to one; default is all):
   ``bench_fault_degradation``.
 * ``integrity`` -- ``BENCH_integrity.json`` from
   ``bench_integrity_overhead`` (the SDC sweep).
+* ``telemetry`` -- ``BENCH_telemetry.json`` from
+  ``bench_telemetry_overhead`` (causal-tracing collection cost).
+
+Two wall-clock-derived suffixes get special treatment because they are
+measured, not simulated: ``*_overhead_frac`` is held under an absolute
+ceiling (0.15) rather than compared to the baseline, and ``*_wall_ms``
+is informational only.  Both are exempt from the bit-identical-replay
+determinism check.
 
 Refresh a baseline after a reviewed model change with::
 
@@ -40,10 +48,18 @@ SUITES = {
               ("bench_serve_scaling", "bench_fault_degradation")),
     "integrity": ("BENCH_integrity.json",
                   ("bench_integrity_overhead",)),
+    "telemetry": ("BENCH_telemetry.json",
+                  ("bench_telemetry_overhead",)),
 }
 #: Metric-name suffixes gated with relative tolerance (timing-like).
 HIGHER_IS_BETTER = ("_qps",)
 LOWER_IS_BETTER = ("_ms",)
+#: Wall-clock measurements: nondeterministic by nature, so exempt from
+#: the replay check.  ``*_overhead_frac`` is gated against an absolute
+#: ceiling; ``*_wall_ms`` is recorded for humans but never gated.
+ABSOLUTE_CEILINGS = {"_overhead_frac": 0.15}
+INFORMATIONAL = ("_wall_ms",)
+WALL_CLOCK = tuple(ABSOLUTE_CEILINGS) + INFORMATIONAL
 
 
 def collect_suite(modules):
@@ -74,7 +90,8 @@ def flatten(metrics):
 def check_determinism(first, second):
     """Bit-identical replay or a list of drifting keys."""
     drifted = [key for key in sorted(set(first) | set(second))
-               if first.get(key) != second.get(key)]
+               if not key.endswith(WALL_CLOCK)
+               and first.get(key) != second.get(key)]
     return [f"DETERMINISM DRIFT {key}: {first.get(key)!r} != "
             f"{second.get(key)!r}" for key in drifted]
 
@@ -87,7 +104,17 @@ def check_regressions(baseline, current, tolerance):
             failures.append(f"MISSING metric {key} (baseline {base!r})")
             continue
         value = current[key]
-        if key.endswith(HIGHER_IS_BETTER):
+        ceiling_suffix = next((s for s in ABSOLUTE_CEILINGS
+                               if key.endswith(s)), None)
+        if ceiling_suffix is not None:
+            ceiling = ABSOLUTE_CEILINGS[ceiling_suffix]
+            if value > ceiling:
+                failures.append(
+                    f"REGRESSION {key}: {value:.3f} > absolute ceiling "
+                    f"{ceiling:.3f}")
+        elif key.endswith(INFORMATIONAL):
+            pass  # wall-clock context for humans, never gated
+        elif key.endswith(HIGHER_IS_BETTER):
             floor = base * (1.0 - tolerance)
             if value < floor:
                 failures.append(

@@ -14,7 +14,7 @@ without going through pytest:
         examples/fault_plan.json --timeout-ms 8 --failover degraded
     python -m repro.cli all
 
-plus the observability entry point: ``trace <workload>`` runs one
+plus the observability entry points: ``trace <workload>`` runs one
 workload under the event-trace collector, prints the per-lane text
 timeline, and exports a Chrome ``trace_event`` JSON for Perfetto:
 
@@ -23,6 +23,19 @@ timeline, and exports a Chrome ``trace_event`` JSON for Perfetto:
     python -m repro.cli trace histogram
     python -m repro.cli trace rag --trace-out rag.json
     python -m repro.cli trace workloads   # list traceable workloads
+
+and the request-level telemetry pair: ``spans <workload>`` renders the
+per-query causal span trees with critical-path attribution (plus
+optional flamegraph / Perfetto overlay exports), and ``metrics
+<workload>`` emits the run's deterministic metrics registry as
+Prometheus text or JSON:
+
+.. code-block:: bash
+
+    python -m repro.cli spans serve
+    python -m repro.cli spans serve_faults --query 17 --flame-out f.txt
+    python -m repro.cli metrics serve --format prom
+    python -m repro.cli metrics serve_integrity --format json --out m.json
 """
 
 from __future__ import annotations
@@ -300,6 +313,109 @@ def _run_trace(args) -> None:
           "(open in Perfetto or chrome://tracing)")
 
 
+#: Serving workloads the telemetry commands accept.
+def _telemetry_configs() -> Dict[str, Callable]:
+    from .serve import golden_fault_config, golden_integrity_config, \
+        golden_serve_config
+
+    return {
+        "serve": golden_serve_config,
+        "serve_faults": golden_fault_config,
+        "serve_integrity": golden_integrity_config,
+    }
+
+
+def _telemetry_workload(args):
+    """Resolve (and validate) the telemetry workload argument."""
+    configs = _telemetry_configs()
+    workload = args.workload or "serve"
+    if workload == "workloads":
+        for name in sorted(configs):
+            print(name)
+        return None, None
+    if workload not in configs:
+        raise SystemExit(
+            f"unknown telemetry workload {workload!r}; "
+            f"choose from {', '.join(sorted(configs))}")
+    return workload, configs[workload]()
+
+
+def _run_spans(args) -> None:
+    from .core.params import DEFAULT_PARAMS
+    from .obs import collecting
+    from .serve import ServingSimulator
+    from .telemetry import (
+        reconcile_with_trace,
+        render_attribution,
+        render_critical_path,
+        render_query_trace,
+        render_spans_report,
+        write_flamegraph,
+        write_telemetry_trace,
+    )
+
+    workload, config = _telemetry_workload(args)
+    if workload is None:
+        return
+    if args.trace_events <= 0:
+        raise SystemExit("--trace-events must be positive")
+    clock = DEFAULT_PARAMS.clock_hz
+    with collecting(capacity=args.trace_events) as trace:
+        _report, telemetry = \
+            ServingSimulator(config).run_with_telemetry()
+    if args.query is not None:
+        try:
+            query_trace = telemetry.trace_for(args.query)
+        except KeyError:
+            raise SystemExit(
+                f"no query {args.query} in workload {workload!r} "
+                f"(ids 0..{len(telemetry.traces) - 1})")
+        print(render_query_trace(query_trace))
+        print()
+        print(render_critical_path(telemetry.path_for(args.query), clock))
+    else:
+        limit = None if args.limit == 0 else args.limit
+        print(render_spans_report(telemetry.traces, limit=limit))
+        print()
+        reconcile = reconcile_with_trace(telemetry.traces, trace, clock)
+        print(render_attribution(telemetry.critical_paths, clock,
+                                 reconcile=reconcile))
+    if args.flame_out:
+        path = write_flamegraph(args.flame_out, telemetry.traces, clock)
+        print(f"flamegraph folded stacks written to {path} "
+              "(feed to flamegraph.pl or speedscope)")
+    if args.trace_out:
+        shards = config.n_shards
+        process_names = {i: f"shard {i}" for i in range(shards)}
+        process_names[shards] = "host merge"
+        path = write_telemetry_trace(
+            args.trace_out, trace, telemetry.traces, clock,
+            metadata={"workload": workload},
+            process_names=process_names)
+        print(f"chrome trace with span overlay written to {path} "
+              "(open in Perfetto)")
+
+
+def _run_metrics(args) -> None:
+    from .serve import ServingSimulator
+
+    workload, config = _telemetry_workload(args)
+    if workload is None:
+        return
+    _report, telemetry = ServingSimulator(config).run_with_telemetry()
+    if args.format == "prom":
+        text = telemetry.registry.expose()
+    else:
+        text = telemetry.registry.snapshot_json() + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"{args.format} metrics for {workload!r} "
+              f"written to {args.out}")
+    else:
+        print(text, end="")
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "claims": _run_claims,
     "table1": _run_table1,
@@ -324,15 +440,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list", "all", "trace"],
+        choices=sorted(EXPERIMENTS) + ["list", "all", "trace", "spans",
+                                       "metrics"],
         help="which experiment to run ('trace' runs a workload under "
-             "the event-trace collector)",
+             "the event-trace collector; 'spans' and 'metrics' run a "
+             "serving workload under request-level telemetry)",
     )
     parser.add_argument(
         "workload", nargs="?", default=None,
-        help="trace only: workload to trace (a Phoenix app, 'rag', "
-             "'serve', 'table4', 'table5'; 'workloads' lists them)",
+        help="trace/spans/metrics only: workload to run (for trace: a "
+             "Phoenix app, 'rag', 'serve', 'table4', 'table5'; for "
+             "spans/metrics: 'serve', 'serve_faults', "
+             "'serve_integrity'; 'workloads' lists them)",
     )
+    parser.add_argument("--query", type=int, default=None,
+                        help="spans only: render a single request's "
+                             "span tree and critical path")
+    parser.add_argument("--limit", type=int, default=8,
+                        help="spans only: how many span trees to print "
+                             "(0 = all)")
+    parser.add_argument("--flame-out", default=None,
+                        help="spans only: write folded-stack flamegraph "
+                             "lines to this path")
+    parser.add_argument("--format", choices=["prom", "json"],
+                        default="prom",
+                        help="metrics only: exposition format")
+    parser.add_argument("--out", default=None,
+                        help="metrics only: write the exposition to "
+                             "this path instead of stdout")
     parser.add_argument("--trace-out", default=None,
                         help="trace only: Chrome trace JSON output path "
                              "(default trace_<workload>.json)")
@@ -403,6 +538,12 @@ def main(argv=None) -> int:
         return 0
     if args.experiment == "trace":
         _run_trace(args)
+        return 0
+    if args.experiment == "spans":
+        _run_spans(args)
+        return 0
+    if args.experiment == "metrics":
+        _run_metrics(args)
         return 0
     if args.experiment == "all":
         for name, runner in EXPERIMENTS.items():

@@ -170,3 +170,22 @@ class FaultInjector:
                 factor *= (outage.recovery_slowdown
                            - (outage.recovery_slowdown - 1.0) * progress)
         return factor
+
+    def multiplier_sources(self, shard_id: int, t_s: float
+                           ) -> Tuple[str, ...]:
+        """Which fault kinds inflate the multiplier at ``t_s``.
+
+        Returns any of ``"stall"`` (an open stall window) and
+        ``"recovery"`` (a slow-start ramp after an outage), in that
+        order; empty when :meth:`multiplier` would return exactly 1.
+        The telemetry layer uses this to annotate ``slowdown`` spans
+        with *why* the batch stretched.
+        """
+        sources: List[str] = []
+        if any(stall.start_s <= t_s < stall.end_s
+               for stall in self._stalls.get(shard_id, ())):
+            sources.append("stall")
+        if any(o.end_s <= t_s < o.end_s + o.recovery_s
+               for o in self._recoveries.get(shard_id, ())):
+            sources.append("recovery")
+        return tuple(sources)

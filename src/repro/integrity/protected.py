@@ -67,6 +67,27 @@ class IntegrityStats:
         self.n_detected = 0
         self.n_recomputes = 0
 
+    def export_to(self, registry, shard: Optional[int] = None) -> None:
+        """Accumulate these totals into a telemetry metrics registry.
+
+        ``registry`` is a :class:`repro.telemetry.MetricsRegistry` (duck
+        typed to keep this module import-light); an optional ``shard``
+        labels the samples for per-device attribution.
+        """
+        labels = {} if shard is None else {"shard": str(shard)}
+        registry.counter(
+            "repro_abft_checks_total",
+            "Checksum / top-k verifications performed",
+        ).inc(self.n_checks, **labels)
+        registry.counter(
+            "repro_abft_detected_total",
+            "Verifications that found corrupted state",
+        ).inc(self.n_detected, **labels)
+        registry.counter(
+            "repro_abft_recomputes_total",
+            "Bounded recomputes issued to heal detections",
+        ).inc(self.n_recomputes, **labels)
+
 
 class ProtectedAPURetriever(APURetriever):
     """The optimized APU retriever with ABFT verification wrapped in.

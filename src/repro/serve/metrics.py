@@ -11,14 +11,32 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-__all__ = ["nearest_rank_percentile", "LatencyStats", "slo_attainment",
+__all__ = ["EmptySampleError", "ZeroDurationError",
+           "nearest_rank_percentile", "LatencyStats", "slo_attainment",
            "utilization"]
+
+
+class EmptySampleError(ValueError):
+    """A statistic was asked of zero samples.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working; new callers can catch the typed error to
+    distinguish "no data" from a malformed argument.
+    """
+
+
+class ZeroDurationError(ValueError):
+    """A rate or utilization was asked over a non-positive window.
+
+    Subclasses :class:`ValueError` for the same compatibility reason as
+    :class:`EmptySampleError`.
+    """
 
 
 def nearest_rank_percentile(values: Sequence[float], pct: float) -> float:
     """Nearest-rank percentile of an unsorted sample."""
     if not values:
-        raise ValueError("percentile of an empty sample")
+        raise EmptySampleError("percentile of an empty sample")
     if not 0 < pct <= 100:
         raise ValueError(f"percentile must be in (0, 100], got {pct!r}")
     ordered = sorted(values)
@@ -40,7 +58,7 @@ class LatencyStats:
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
         if not samples:
-            raise ValueError("latency stats need at least one sample")
+            raise EmptySampleError("latency stats need at least one sample")
         return cls(
             n=len(samples),
             mean_s=sum(samples) / len(samples),
@@ -64,15 +82,16 @@ class LatencyStats:
 def slo_attainment(latencies_s: Sequence[float], slo_s: float) -> float:
     """Fraction of requests at or under the latency SLO."""
     if slo_s <= 0:
-        raise ValueError(f"SLO must be positive, got {slo_s!r}")
+        raise ZeroDurationError(f"SLO must be positive, got {slo_s!r}")
     if not latencies_s:
-        raise ValueError("SLO attainment of an empty sample")
+        raise EmptySampleError("SLO attainment of an empty sample")
     return sum(1 for lat in latencies_s if lat <= slo_s) / len(latencies_s)
 
 
 def utilization(busy_seconds: Sequence[float],
                 horizon_s: float) -> List[float]:
     """Per-shard busy fraction of the simulated horizon."""
-    if horizon_s <= 0:
-        raise ValueError(f"horizon must be positive, got {horizon_s!r}")
+    if math.isnan(horizon_s) or horizon_s <= 0:
+        raise ZeroDurationError(
+            f"horizon must be positive, got {horizon_s!r}")
     return [min(1.0, busy / horizon_s) for busy in busy_seconds]

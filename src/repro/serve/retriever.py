@@ -93,6 +93,19 @@ class ShardedAPURetriever:
             return self._device_retriever.stats
         return None
 
+    def export_integrity_metrics(self, registry) -> bool:
+        """Publish the ABFT checker totals into a telemetry registry.
+
+        ``registry`` is a :class:`repro.telemetry.MetricsRegistry`.
+        Returns ``True`` when stats were exported, ``False`` for an
+        unprotected retriever (nothing to publish).
+        """
+        stats = self.integrity_stats
+        if stats is None:
+            return False
+        stats.export_to(registry)
+        return True
+
     # ------------------------------------------------------------------
     # Functional path
     # ------------------------------------------------------------------

@@ -167,6 +167,10 @@ class ExecutedBatch:
     #: A bit flip landed in this attempt's service window (the result
     #: data is wrong, whatever the outcome says about timing).
     corrupted: bool = False
+    #: This attempt re-ran work an integrity verification rejected (the
+    #: recompute leg of detect/heal; mirrors the ``"recompute"`` fault
+    #: log entry so span builders need no log matching).
+    recompute: bool = False
 
     @property
     def batch_size(self) -> int:
@@ -426,6 +430,7 @@ class DiscreteEventScheduler:
             head_enqueue = state.queue[0][1]
             taken = [state.queue.popleft() for _ in range(take)]
             ids = tuple(req_id for req_id, _ in taken)
+            recompute = False
             base = float(self.service_time(shard_id, take))
             if not np.isfinite(base) or base <= 0:
                 raise ValueError(
@@ -473,6 +478,7 @@ class DiscreteEventScheduler:
                         # This dispatch re-runs work a verification
                         # rejected: the recompute leg of detect/heal.
                         state.last_corrupted = False
+                        recompute = True
                         fault_log.append(FaultLogEntry(
                             kind="recompute", shard_id=shard_id, t_s=now,
                             duration_s=service, attempt=state.failures))
@@ -486,7 +492,7 @@ class DiscreteEventScheduler:
                 service_s=occupied, request_ids=ids,
                 head_enqueue_s=head_enqueue, attempt=state.failures,
                 multiplier=multiplier, outcome=outcome,
-                corrupted=corrupted)
+                corrupted=corrupted, recompute=recompute)
             state.batch_seq += 1
             state.busy = True
             state.gen += 1  # stale any armed max-wait timer

@@ -65,7 +65,7 @@ from ..obs.events import LANE_FAULT, LANE_INTEGRITY, LANE_VCU, TraceEvent
 from ..rag.batching import BatchedAPURetrieval
 from ..rag.corpus import CorpusSpec, PAPER_CORPORA
 from ..rag.generation import GenerationModel
-from ..rag.retrieval import APURetriever
+from ..rag.retrieval import APURetriever, RetrievalBreakdown
 from .metrics import LatencyStats, slo_attainment, utilization
 from .scheduler import (
     BatchPolicy,
@@ -188,6 +188,10 @@ class ShardServiceModel:
             spec.n_chunks, n_shards)
         self._single: List[float] = []
         self._increment: List[float] = []
+        self._breakdowns: List[RetrievalBreakdown] = []
+        #: Bumped on every re-anchor; (shard, batch_size, epoch) is a
+        #: sound memoization key for :meth:`stage_seconds`.
+        self.stage_epoch = 0
         # Calibration replays the closed-form breakdowns; those are not
         # part of the simulated serving timeline, so keep their HBM/DMA
         # events out of any active trace collector.
@@ -198,20 +202,23 @@ class ShardServiceModel:
                     raise ValueError(
                         f"shard {shard_spec.label} is empty; "
                         f"use fewer shards")
-                single, increment = self._anchor(shard_spec)
+                single, increment, breakdown = self._anchor(shard_spec)
                 self._single.append(single)
                 self._increment.append(increment)
+                self._breakdowns.append(breakdown)
         finally:
             _trace_collector.set_collector(previous)
         self._orig = (tuple(self.shard_specs), tuple(self.chunk_counts),
-                      tuple(self._single), tuple(self._increment))
+                      tuple(self._single), tuple(self._increment),
+                      tuple(self._breakdowns))
 
-    def _anchor(self, shard_spec: CorpusSpec) -> Tuple[float, float]:
-        """(single-query latency, amortized per-query increment)."""
-        single = self._retriever.latency_breakdown(shard_spec, self.k).total
+    def _anchor(self, shard_spec: CorpusSpec
+                ) -> Tuple[float, float, RetrievalBreakdown]:
+        """(single-query latency, per-query increment, stage breakdown)."""
+        breakdown = self._retriever.latency_breakdown(shard_spec, self.k)
         pair = [self._batched.batch_latency(shard_spec, b, self.k)
                 .batch_seconds for b in (1, 2)]
-        return single, pair[1] - pair[0]
+        return breakdown.total, pair[1] - pair[0], breakdown
 
     def batch_seconds(self, shard_id: int, batch_size: int) -> float:
         """Service time of one batch on one shard's device."""
@@ -244,13 +251,50 @@ class ShardServiceModel:
         scrub = self._costs.scrub_pass_seconds(self.integrity.scrub_vrs)
         return 1.0 + scrub / self.integrity.scrub_interval_s
 
+    def stage_seconds(self, shard_id: int, batch_size: int
+                      ) -> Tuple[Tuple[str, float], ...]:
+        """Decompose one batch's service time into Table 8 stages.
+
+        The anchored single-query breakdown sets the stage *fractions*
+        and the anchored batch time sets the total: ``dma`` (embedding +
+        query staging), ``mac``, and ``topk`` scale by their share of
+        the single-query latency, ``return`` takes the remainder of the
+        un-protected base, then the integrity tax lands explicitly as
+        ``checksum`` (per-query ABFT verification) and ``scrub`` (duty-
+        cycle stretch).  Reflects the model state *now* -- call at
+        dispatch time so takeover re-anchors mid-run are honored.
+        """
+        breakdown = self._breakdowns[shard_id]
+        base = (self._single[shard_id]
+                + (batch_size - 1) * self._increment[shard_id])
+        scale = base / breakdown.total
+        dma = (breakdown.load_embedding + breakdown.load_query) * scale
+        mac = breakdown.calc_distance * scale
+        topk = breakdown.topk_aggregation * scale
+        ret = base - ((dma + mac) + topk)
+        stages = [("dma", dma), ("mac", mac), ("topk", topk),
+                  ("return", ret)]
+        if self._costs is not None:
+            checksum = batch_size * self.verify_seconds(
+                self.chunk_counts[shard_id])
+            stages.append(("checksum", checksum))
+            folded = 0.0
+            for _, seconds in stages:
+                folded += seconds
+            scrub = self.batch_seconds(shard_id, batch_size) - folded
+            if scrub > 0:
+                stages.append(("scrub", scrub))
+        return tuple(stages)
+
     def reset(self) -> None:
         """Undo every takeover (back to the calibrated placement)."""
-        specs, counts, single, increment = self._orig
+        specs, counts, single, increment, breakdowns = self._orig
         self.shard_specs = list(specs)
         self.chunk_counts = list(counts)
         self._single = list(single)
         self._increment = list(increment)
+        self._breakdowns = list(breakdowns)
+        self.stage_epoch += 1
 
     def apply_takeover(self, dead_id: int, live_ids: Sequence[int]) -> None:
         """Redistribute ``dead_id``'s chunks over ``live_ids``.
@@ -284,9 +328,11 @@ class ShardServiceModel:
                     bytes_per_value=self.spec.bytes_per_value,
                 )
                 self.shard_specs[live_id] = enlarged
-                single, increment = self._anchor(enlarged)
+                single, increment, breakdown = self._anchor(enlarged)
                 self._single[live_id] = single
                 self._increment[live_id] = increment
+                self._breakdowns[live_id] = breakdown
+                self.stage_epoch += 1
         finally:
             _trace_collector.set_collector(previous)
 
@@ -448,6 +494,84 @@ class ServingSimulator:
     # ------------------------------------------------------------------
     def run(self, requests: Optional[Sequence[Request]] = None) -> ServeReport:
         """Simulate the configured (or a supplied) request stream."""
+        report, _ = self._simulate(requests)
+        return report
+
+    def run_with_telemetry(self, requests: Optional[Sequence[Request]] = None):
+        """Simulate and derive request-level causal telemetry.
+
+        Returns ``(report, telemetry)`` where the report is **bit-
+        identical** to :meth:`run` on the same stream: the only
+        instrumentation inside the event loop is a pass-through wrapper
+        on the service-time callable that records each dispatch's stage
+        decomposition (one :class:`~repro.telemetry.build.StageTable`
+        per executed batch, captured against the service model's state
+        at that instant, so takeover re-anchors are honored); span
+        trees, critical paths, and the metrics registry are all derived
+        after the run from the scheduler's causal record.
+        """
+        from ..telemetry.build import RunTelemetry, build_run_telemetry
+
+        report, result, tables = self._simulate_capturing(requests)
+        telemetry: RunTelemetry = build_run_telemetry(
+            report, result, self.merge_s, self.prefill_s, tables,
+            self.params.clock_hz)
+        if self.injector is not None:
+            # Annotate slowdown spans with *why* the batch stretched
+            # (stall window vs slow-start recovery), evaluated at the
+            # same dispatch instant the scheduler used.
+            for query_trace in telemetry.traces:
+                for shard_id, leg in query_trace.shard_spans.items():
+                    for span in leg.children:
+                        for child in span.children:
+                            if child.name != "slowdown":
+                                continue
+                            sources = self.injector.multiplier_sources(
+                                shard_id, span.start_s)
+                            child.labels["source"] = \
+                                ",".join(sources) or "unknown"
+        return report, telemetry
+
+    def _simulate_capturing(self, requests: Optional[Sequence[Request]]
+                            = None):
+        """Simulate with the in-loop stage capture (no span build).
+
+        The telemetry *collection* cost lives here: a pass-through
+        wrapper on the service-time callable records one stage table
+        per dispatched batch.  Split out so the overhead benchmark can
+        time collection separately from the post-hoc trace build.
+        """
+        from ..telemetry.build import StageTable
+
+        tables: List[StageTable] = []
+        model = self.service_model
+        orig = self.scheduler.service_time
+        # Stage decompositions only change when a takeover re-anchors a
+        # shard (tracked by stage_epoch), so memoizing keeps the
+        # in-loop collection cost to a dict probe per dispatch.
+        memo: Dict[Tuple[int, int, int], StageTable] = {}
+
+        def recording_service_time(shard_id: int, batch_size: int) -> float:
+            seconds = orig(shard_id, batch_size)
+            key = (shard_id, batch_size, model.stage_epoch)
+            table = memo.get(key)
+            if table is None:
+                table = memo[key] = StageTable(
+                    shard_id=shard_id, batch_size=batch_size,
+                    stages=model.stage_seconds(shard_id, batch_size))
+            tables.append(table)
+            return seconds
+
+        self.scheduler.service_time = recording_service_time
+        try:
+            report, result = self._simulate(requests)
+        finally:
+            self.scheduler.service_time = orig
+        return report, result, tables
+
+    def _simulate(self, requests: Optional[Sequence[Request]] = None
+                  ) -> Tuple[ServeReport, ScheduleResult]:
+        """One full simulation: (report, raw schedule record)."""
         cfg = self.config
         if requests is None:
             requests = poisson_arrivals(cfg.qps, cfg.n_requests, cfg.seed)
@@ -475,7 +599,7 @@ class ServingSimulator:
                 max(0, r.n_required - len(r.failed_shards)
                     - len(r.corrupted_shards)) / r.n_required
                 for r in result.records if r.n_required > 0]
-        return ServeReport(
+        report = ServeReport(
             config=cfg,
             n_completed=len(result.records),
             makespan_s=makespan,
@@ -501,6 +625,7 @@ class ServingSimulator:
             mean_intact_coverage=1.0 if not intact
             else sum(intact) / len(intact),
         )
+        return report, result
 
     # ------------------------------------------------------------------
     def _emit_trace(self, result: ScheduleResult) -> None:

@@ -1,0 +1,116 @@
+"""Chrome-trace span overlay: request rows + flow arrows to devices.
+
+Extends the ``repro.obs`` Chrome export with one Perfetto process named
+``requests`` holding one thread row per query; each span in the query's
+tree becomes a complete ("X") slice on that row, and every ``batch``
+span additionally emits a flow-event pair ("s"/"f") linking the request
+row to the matching ``serve_batch`` slice on the shard-device row -- so
+Perfetto draws an arrow from the request's timeline to the device work
+it blocked on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.export import DEFAULT_CLOCK_HZ, chrome_trace
+from .spans import SPAN_BATCH, SPAN_SHARD, QueryTrace
+
+__all__ = [
+    "REQUESTS_PID",
+    "span_trace_events",
+    "telemetry_chrome_trace",
+    "write_telemetry_trace",
+]
+
+#: Perfetto process id of the synthetic "requests" process (far above
+#: any shard-device core id).
+REQUESTS_PID = 1000
+
+#: Thread id of the VCU lane on device rows (``LANES[0]`` in the obs
+#: export's lane -> tid mapping), where ``serve_batch`` slices live.
+_VCU_TID = 0
+
+
+def span_trace_events(traces: Sequence[QueryTrace],
+                      clock_hz: float = DEFAULT_CLOCK_HZ,
+                      ) -> List[Dict[str, object]]:
+    """Chrome trace events for the span overlay (metadata + X + flows)."""
+    us_per_s = 1e6
+    events: List[Dict[str, object]] = [{
+        "name": "process_name", "ph": "M", "pid": REQUESTS_PID, "tid": 0,
+        "args": {"name": "requests"},
+    }]
+    flow_id = 0
+    for trace in traces:
+        tid = trace.req_id
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": REQUESTS_PID,
+            "tid": tid, "args": {"name": f"query {trace.req_id}"},
+        })
+        for _, span in trace.root.walk():
+            name = span.name
+            if name == SPAN_SHARD and span.shard_id is not None:
+                name = f"shard{span.shard_id}"
+            args: Dict[str, object] = {
+                key: span.labels[key] for key in sorted(span.labels)}
+            if span.shard_id is not None:
+                args["shard"] = span.shard_id
+            events.append({
+                "name": name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.start_s * us_per_s,
+                "dur": span.duration_s * us_per_s,
+                "pid": REQUESTS_PID,
+                "tid": tid,
+                "args": args,
+            })
+            if span.name == SPAN_BATCH and span.shard_id is not None:
+                flow_id += 1
+                ts = span.start_s * us_per_s
+                events.append({
+                    "name": "dispatch", "cat": "flow", "ph": "s",
+                    "id": flow_id, "ts": ts,
+                    "pid": REQUESTS_PID, "tid": tid,
+                })
+                events.append({
+                    "name": "dispatch", "cat": "flow", "ph": "f",
+                    "bp": "e", "id": flow_id, "ts": ts,
+                    "pid": span.shard_id, "tid": _VCU_TID,
+                })
+    return events
+
+
+def telemetry_chrome_trace(collector_or_events,
+                           traces: Sequence[QueryTrace],
+                           clock_hz: float = DEFAULT_CLOCK_HZ,
+                           metadata: Optional[Dict[str, object]] = None,
+                           process_names: Optional[Dict[int, str]] = None,
+                           ) -> Dict[str, object]:
+    """The obs Chrome trace with the request-span overlay merged in."""
+    trace = chrome_trace(collector_or_events, clock_hz, metadata,
+                         process_names)
+    events = list(trace["traceEvents"])  # type: ignore[arg-type]
+    events.extend(span_trace_events(traces, clock_hz))
+    trace["traceEvents"] = events
+    other = trace.get("otherData")
+    if isinstance(other, dict):
+        other["n_query_traces"] = len(traces)
+    return trace
+
+
+def write_telemetry_trace(path, collector_or_events,
+                          traces: Sequence[QueryTrace],
+                          clock_hz: float = DEFAULT_CLOCK_HZ,
+                          metadata: Optional[Dict[str, object]] = None,
+                          process_names: Optional[Dict[int, str]] = None,
+                          ) -> str:
+    """Write the merged trace JSON to ``path``; returns the path."""
+    import json
+
+    trace = telemetry_chrome_trace(collector_or_events, traces, clock_hz,
+                                   metadata, process_names)
+    with open(path, "w") as handle:
+        handle.write(json.dumps(trace, indent=1))
+    return str(path)

@@ -1,0 +1,68 @@
+"""Folded-stack flamegraph export of span trees.
+
+Emits the classic ``stack;frames;leaf <count>`` collapse format that
+``flamegraph.pl``, speedscope, and the pprof web UI all ingest.  Counts
+are **device cycles of self time**: each span contributes its duration
+minus its children's (so stacks sum exactly to the traced wall time),
+rounded to whole cycles.  Output order is sorted, so the export is
+byte-deterministic and golden-pinnable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .spans import SPAN_BATCH, SPAN_SHARD, QueryTrace, Span
+
+__all__ = ["folded_stacks", "write_flamegraph"]
+
+#: Root frame of every stack.
+FLAME_ROOT = "serve"
+
+
+def _frame(span: Span, per_query: bool, req_id: int) -> str:
+    if span.name == SPAN_SHARD and span.shard_id is not None:
+        return f"shard{span.shard_id}"
+    if span.name == SPAN_BATCH:
+        outcome = span.labels.get("outcome", "")
+        return f"batch:{outcome}" if outcome else "batch"
+    if span.name == "query":
+        return f"query{req_id}" if per_query else "query"
+    return span.name
+
+
+def _collect(span: Span, stack: str, counts: Dict[str, int],
+             clock_hz: float, per_query: bool, req_id: int) -> None:
+    frame = _frame(span, per_query, req_id)
+    path = f"{stack};{frame}"
+    child_seconds = 0.0
+    for child in span.children:
+        child_seconds += child.duration_s
+        _collect(child, path, counts, clock_hz, per_query, req_id)
+    self_cycles = int(round((span.duration_s - child_seconds) * clock_hz))
+    if self_cycles > 0:
+        counts[path] = counts.get(path, 0) + self_cycles
+
+
+def folded_stacks(traces: Sequence[QueryTrace], clock_hz: float,
+                  per_query: bool = False) -> List[str]:
+    """The run's span trees as sorted folded-stack lines.
+
+    ``per_query=False`` (the default) merges all queries into one
+    aggregate flamegraph; ``True`` keeps a ``query<id>`` frame so each
+    request gets its own subtree.
+    """
+    counts: Dict[str, int] = {}
+    for trace in traces:
+        _collect(trace.root, FLAME_ROOT, counts, clock_hz, per_query,
+                 trace.req_id)
+    return [f"{stack} {counts[stack]}" for stack in sorted(counts)]
+
+
+def write_flamegraph(path, traces: Sequence[QueryTrace], clock_hz: float,
+                     per_query: bool = False) -> str:
+    """Write the folded stacks to ``path``; returns the path."""
+    lines = folded_stacks(traces, clock_hz, per_query=per_query)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + ("\n" if lines else ""))
+    return str(path)

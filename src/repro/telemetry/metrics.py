@@ -1,0 +1,372 @@
+"""Deterministic metrics: counters, gauges, exact histograms, SLO burn.
+
+A :class:`MetricsRegistry` is the run-scoped sink the telemetry
+pipeline populates.  Everything is exact and bit-deterministic -- the
+simulators are seeded discrete-event models, so metrics are model
+outputs, not samples -- which lets the Prometheus exposition be pinned
+as a golden file.
+
+Histograms use **fixed boundaries** and an exact quantile rule chosen
+to agree with :func:`repro.serve.metrics.nearest_rank_percentile`:
+``quantile(p)`` returns the smallest bucket boundary at or above the
+nearest-rank p-th percentile of the observed samples (``inf`` when it
+falls in the overflow bucket).  That is the tightest statement a
+fixed-boundary histogram can make, and the property suite pins it.
+
+SLO **burn rate** follows the SRE convention: over a window, the
+fraction of requests violating the SLO divided by the error budget
+(``1 - target``).  A burn rate of 1 means the deployment spends budget
+exactly as fast as it accrues; above 1 it is burning toward violation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "BurnWindow",
+    "slo_burn_windows",
+    "DEFAULT_LATENCY_BOUNDS_S",
+]
+
+#: Fixed latency-histogram boundaries (seconds): 1-2-5 ladder from
+#: 100 us to 5 s, wide enough for every paper corpus and fault plan.
+DEFAULT_LATENCY_BOUNDS_S = (
+    1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
+    1e-1, 2e-1, 5e-1, 1.0, 2.0, 5.0,
+)
+
+#: Canonical label-set key: sorted (name, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _fmt_value(value: float) -> str:
+    """Deterministic exposition formatting (ints bare, floats repr)."""
+    if isinstance(value, bool):  # pragma: no cover - never stored
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared name/help plumbing for the three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str):
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+
+    def header_lines(self) -> List[str]:
+        return [f"# HELP {self.name} {self.help_text}",
+                f"# TYPE {self.name} {self.kind}"]
+
+
+class Counter(_Metric):
+    """Monotonically accumulated totals, keyed by label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._samples: Dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: str) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {value!r})")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + value
+
+    def value(self, **labels: str) -> float:
+        return self._samples.get(_label_key(labels), 0.0)
+
+    def expose_lines(self) -> List[str]:
+        lines = self.header_lines()
+        for key in sorted(self._samples):
+            lines.append(f"{self.name}{_fmt_labels(key)} "
+                         f"{_fmt_value(self._samples[key])}")
+        return lines
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [{"labels": dict(key), "value": self._samples[key]}
+                for key in sorted(self._samples)]
+
+
+class Gauge(_Metric):
+    """Last-written point-in-time values, keyed by label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str):
+        super().__init__(name, help_text)
+        self._samples: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._samples[_label_key(labels)] = float(value)
+
+    def value(self, **labels: str) -> Optional[float]:
+        return self._samples.get(_label_key(labels))
+
+    def expose_lines(self) -> List[str]:
+        lines = self.header_lines()
+        for key in sorted(self._samples):
+            lines.append(f"{self.name}{_fmt_labels(key)} "
+                         f"{_fmt_value(self._samples[key])}")
+        return lines
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [{"labels": dict(key), "value": self._samples[key]}
+                for key in sorted(self._samples)]
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets   # per-bucket, not cumulative
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Exact fixed-boundary histogram with nearest-rank quantiles."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 boundaries: Sequence[float] = DEFAULT_LATENCY_BOUNDS_S):
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("histogram needs at least one boundary")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("histogram boundaries must be finite")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"boundaries must be strictly increasing, got {bounds!r}")
+        self.boundaries = bounds
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name}: NaN observation")
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(
+                len(self.boundaries) + 1)
+        index = len(self.boundaries)          # overflow bucket
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                index = i
+                break
+        series.bucket_counts[index] += 1
+        series.total += value
+        series.count += 1
+
+    def count(self, **labels: str) -> int:
+        series = self._series.get(_label_key(labels))
+        return 0 if series is None else series.count
+
+    def quantile(self, pct: float, **labels: str) -> float:
+        """Smallest boundary at/above the nearest-rank percentile.
+
+        ``inf`` when the rank falls in the overflow bucket; raises on
+        an empty series, matching ``nearest_rank_percentile``.
+        """
+        if not 0 < pct <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {pct!r}")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            raise ValueError(
+                f"quantile of empty histogram series {self.name}")
+        rank = max(1, math.ceil(pct / 100.0 * series.count))
+        cumulative = 0
+        for i, bound in enumerate(self.boundaries):
+            cumulative += series.bucket_counts[i]
+            if cumulative >= rank:
+                return bound
+        return math.inf
+
+    def expose_lines(self) -> List[str]:
+        lines = self.header_lines()
+        for key in sorted(self._series):
+            series = self._series[key]
+            cumulative = 0
+            for i, bound in enumerate(self.boundaries):
+                cumulative += series.bucket_counts[i]
+                le_key = key + (("le", _fmt_value(bound)),)
+                lines.append(f"{self.name}_bucket{_fmt_labels(le_key)} "
+                             f"{cumulative}")
+            inf_key = key + (("le", "+Inf"),)
+            lines.append(f"{self.name}_bucket{_fmt_labels(inf_key)} "
+                         f"{series.count}")
+            lines.append(f"{self.name}_sum{_fmt_labels(key)} "
+                         f"{_fmt_value(series.total)}")
+            lines.append(f"{self.name}_count{_fmt_labels(key)} "
+                         f"{series.count}")
+        return lines
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        rows = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            rows.append({
+                "labels": dict(key),
+                "buckets": dict(zip(
+                    [_fmt_value(b) for b in self.boundaries] + ["+Inf"],
+                    series.bucket_counts)),
+                "sum": series.total,
+                "count": series.count,
+            })
+        return rows
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with text + JSON exposition."""
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}")
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        metric = self._register(Counter(name, help_text))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        metric = self._register(Gauge(name, help_text))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, help_text: str = "",
+                  boundaries: Sequence[float] = DEFAULT_LATENCY_BOUNDS_S,
+                  ) -> Histogram:
+        metric = self._register(Histogram(name, help_text, boundaries))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def expose(self) -> str:
+        """Prometheus text exposition format (deterministic order)."""
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            lines.extend(metric.expose_lines())  # type: ignore[attr-defined]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able dict of every metric's samples."""
+        return {
+            name: {"kind": metric.kind,
+                   "help": metric.help_text,
+                   "samples": metric.snapshot()}  # type: ignore[attr-defined]
+            for name, metric in self._metrics.items()
+        }
+
+    def snapshot_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """SLO error-budget burn over one fixed window of simulated time."""
+
+    index: int
+    start_s: float
+    end_s: float
+    n_requests: int
+    n_violations: int
+
+    def error_rate(self) -> float:
+        if self.n_requests == 0:
+            return 0.0
+        return self.n_violations / self.n_requests
+
+    def burn_rate(self, budget: float) -> float:
+        """Error rate over budget (1.0 = burning exactly at budget)."""
+        if budget <= 0:
+            raise ValueError(f"error budget must be positive, "
+                             f"got {budget!r}")
+        return self.error_rate() / budget
+
+
+def slo_burn_windows(arrivals_s: Sequence[float],
+                     latencies_s: Sequence[float],
+                     slo_s: float,
+                     horizon_s: float,
+                     n_windows: int = 4) -> List[BurnWindow]:
+    """Partition the run into fixed windows and count SLO violations.
+
+    Requests are assigned to windows by *arrival* time (the offered
+    load is what burns budget).  A zero-length horizon degenerates to
+    one window holding every request.
+    """
+    if len(arrivals_s) != len(latencies_s):
+        raise ValueError("arrival/latency length mismatch")
+    if slo_s <= 0:
+        raise ValueError(f"SLO must be positive, got {slo_s!r}")
+    if n_windows < 1:
+        raise ValueError(f"need at least one window, got {n_windows!r}")
+    if horizon_s < 0:
+        raise ValueError(f"horizon must be >= 0, got {horizon_s!r}")
+    if horizon_s == 0:
+        windows = [BurnWindow(
+            index=0, start_s=0.0, end_s=0.0,
+            n_requests=len(arrivals_s),
+            n_violations=sum(1 for lat in latencies_s if lat > slo_s))]
+        return windows
+    width = horizon_s / n_windows
+    counts = [0] * n_windows
+    violations = [0] * n_windows
+    for arrival, latency in zip(arrivals_s, latencies_s):
+        index = min(n_windows - 1, max(0, int(arrival / width)))
+        counts[index] += 1
+        if latency > slo_s:
+            violations[index] += 1
+    return [BurnWindow(index=i, start_s=i * width, end_s=(i + 1) * width,
+                       n_requests=counts[i], n_violations=violations[i])
+            for i in range(n_windows)]

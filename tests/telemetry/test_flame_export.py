@@ -1,0 +1,106 @@
+"""Flamegraph folding and Perfetto span-overlay export tests."""
+
+import json
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.obs import collecting
+from repro.serve.simulator import ServingSimulator, golden_serve_config
+from repro.telemetry import (
+    folded_stacks,
+    span_trace_events,
+    telemetry_chrome_trace,
+    write_flamegraph,
+    write_telemetry_trace,
+)
+from repro.telemetry.export import REQUESTS_PID
+
+CLOCK = DEFAULT_PARAMS.clock_hz
+
+
+@pytest.fixture(scope="module")
+def serve_run():
+    with collecting(capacity=65536) as trace:
+        _report, telemetry = \
+            ServingSimulator(golden_serve_config()).run_with_telemetry()
+    return trace, telemetry
+
+
+class TestFoldedStacks:
+    def test_lines_are_stack_then_count(self, serve_run):
+        _trace, telemetry = serve_run
+        lines = folded_stacks(telemetry.traces, CLOCK)
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack.startswith("serve;query")
+            assert int(count) > 0
+
+    def test_counts_match_exclusive_span_time(self, serve_run):
+        """Folded counts equal each span's self time (children deducted)."""
+        _trace, telemetry = serve_run
+        lines = folded_stacks(telemetry.traces, CLOCK)
+        folded_cycles = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        exact_cycles = 0.0
+        n_spans = 0
+        for trace in telemetry.traces:
+            for _depth, span in trace.root.walk():
+                n_spans += 1
+                self_s = span.duration_s \
+                    - sum(c.duration_s for c in span.children)
+                exact_cycles += max(0.0, self_s) * CLOCK
+        assert abs(folded_cycles - exact_cycles) <= n_spans
+
+    def test_per_query_mode_keeps_request_frames(self, serve_run):
+        _trace, telemetry = serve_run
+        lines = folded_stacks(telemetry.traces, CLOCK, per_query=True)
+        assert any(";query0;" in line for line in lines)
+        assert any(";query63;" in line for line in lines)
+
+    def test_write_flamegraph(self, serve_run, tmp_path):
+        _trace, telemetry = serve_run
+        out = tmp_path / "serve.folded"
+        path = write_flamegraph(out, telemetry.traces, CLOCK)
+        assert path == str(out)
+        content = out.read_text().splitlines()
+        assert content == folded_stacks(telemetry.traces, CLOCK)
+
+
+class TestSpanOverlay:
+    def test_requests_process_and_query_threads(self, serve_run):
+        _trace, telemetry = serve_run
+        events = span_trace_events(telemetry.traces, CLOCK)
+        processes = [e for e in events if e["ph"] == "M"
+                     and e["name"] == "process_name"]
+        assert processes[0]["args"]["name"] == "requests"
+        threads = {e["tid"] for e in events if e["ph"] == "M"
+                   and e["name"] == "thread_name"}
+        assert threads == set(range(64))
+
+    def test_flow_events_pair_up_onto_shard_rows(self, serve_run):
+        _trace, telemetry = serve_run
+        events = span_trace_events(telemetry.traces, CLOCK)
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        n_batches = sum(len(t.root.find_all("batch"))
+                        for t in telemetry.traces)
+        assert len(starts) == len(finishes) == n_batches
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+        for finish in finishes:
+            assert finish["pid"] != REQUESTS_PID  # lands on a device row
+
+    def test_merged_trace_keeps_device_events(self, serve_run):
+        trace, telemetry = serve_run
+        merged = telemetry_chrome_trace(trace, telemetry.traces, CLOCK)
+        names = {e["name"] for e in merged["traceEvents"]}
+        assert "serve_batch" in names      # device timeline retained
+        assert "prefill" in names          # span overlay added
+        assert merged["otherData"]["n_query_traces"] == 64
+
+    def test_written_trace_round_trips_json(self, serve_run, tmp_path):
+        trace, telemetry = serve_run
+        out = tmp_path / "overlay.json"
+        write_telemetry_trace(out, trace, telemetry.traces, CLOCK)
+        loaded = json.loads(out.read_text())
+        assert loaded["otherData"]["n_query_traces"] == 64

@@ -1,0 +1,35 @@
+"""Golden-pinned telemetry renderings of the canonical serve workload.
+
+``spans_serve.txt`` pins the full span-tree report plus the run-level
+critical-path attribution; ``metrics_serve.prom`` pins the Prometheus
+exposition of the metrics registry.  Both are byte-deterministic
+functions of the golden serving config, so any cost-model or scheduler
+change that moves a single simulated float shows up as a reviewable
+diff (regenerate deliberately with ``pytest --update-goldens``).
+"""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.serve.simulator import ServingSimulator, golden_serve_config
+from repro.telemetry import render_attribution, render_spans_report
+
+
+@pytest.fixture(scope="module")
+def serve_telemetry():
+    return ServingSimulator(golden_serve_config()).run_with_telemetry()
+
+
+def test_spans_golden(serve_telemetry, golden):
+    _report, telemetry = serve_telemetry
+    text = (render_spans_report(telemetry.traces, limit=8)
+            + "\n\n"
+            + render_attribution(telemetry.critical_paths,
+                                 DEFAULT_PARAMS.clock_hz)
+            + "\n")
+    golden("spans_serve.txt", text)
+
+
+def test_metrics_golden(serve_telemetry, golden):
+    _report, telemetry = serve_telemetry
+    golden("metrics_serve.prom", telemetry.registry.expose())

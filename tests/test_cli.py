@@ -132,3 +132,75 @@ class TestServeCommand:
         names = {e["args"]["name"] for e in payload["traceEvents"]
                  if e["ph"] == "M" and e["name"] == "process_name"}
         assert {"shard 0", "shard 3", "host merge"} <= names
+
+
+class TestSpansCommand:
+    def test_spans_workloads_lists_golden_configs(self, capsys):
+        assert main(["spans", "workloads"]) == 0
+        out = capsys.readouterr().out
+        for workload in ("serve", "serve_faults", "serve_integrity"):
+            assert workload in out
+
+    def test_spans_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit, match="unknown"):
+            main(["spans", "nope"])
+
+    def test_spans_report_with_attribution(self, capsys):
+        assert main(["spans", "serve", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span trees: 64 queries" in out
+        assert "critical-path attribution" in out
+        assert "reconciliation:" in out and "OK" in out
+
+    def test_spans_single_query_shows_critical_path(self, capsys):
+        assert main(["spans", "serve", "--query", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "query 3:" in out
+        assert "cycle error" in out
+
+    def test_spans_unknown_query_rejected(self):
+        with pytest.raises(SystemExit, match="query"):
+            main(["spans", "serve", "--query", "100000"])
+
+    def test_spans_flame_out(self, tmp_path, capsys):
+        out_path = tmp_path / "serve.folded"
+        assert main(["spans", "serve", "--limit", "1",
+                     "--flame-out", str(out_path)]) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines and all(line.rsplit(" ", 1)[1].isdigit()
+                             for line in lines)
+
+    def test_spans_trace_out_overlays_requests(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "overlay.json"
+        assert main(["spans", "serve", "--limit", "1",
+                     "--trace-out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["otherData"]["n_query_traces"] == 64
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert "requests" in names
+
+
+class TestMetricsCommand:
+    def test_metrics_prom_output(self, capsys):
+        assert main(["metrics", "serve"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_requests_total counter" in out
+        assert "repro_requests_total 64" in out
+
+    def test_metrics_json_output(self, capsys):
+        import json
+
+        assert main(["metrics", "serve", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repro_requests_total"]["kind"] == "counter"
+
+    def test_metrics_fault_workload_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "faults.prom"
+        assert main(["metrics", "serve_faults",
+                     "--out", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "repro_shard_deaths_total" in text
+        assert "repro_slo_burn_rate" in text
