@@ -21,12 +21,21 @@ Suites (``--suite`` restricts to one; default is all):
   ``bench_integrity_overhead`` (the SDC sweep).
 * ``telemetry`` -- ``BENCH_telemetry.json`` from
   ``bench_telemetry_overhead`` (causal-tracing collection cost).
+* ``simcore`` -- ``BENCH_simcore.json`` from ``bench_simcore_events``
+  (the vectorized core's million-query event rate).
 
-Two wall-clock-derived suffixes get special treatment because they are
+Wall-clock-derived suffixes get special treatment because they are
 measured, not simulated: ``*_overhead_frac`` is held under an absolute
-ceiling (0.15) rather than compared to the baseline, and ``*_wall_ms``
-is informational only.  Both are exempt from the bit-identical-replay
-determinism check.
+ceiling (0.15) rather than compared to the baseline, ``*_speedup_x``
+is held above an absolute floor (100: the vectorized core's headline
+claim), ``*_events_per_s`` is gated relative to the baseline like a
+throughput but with a widened tolerance (3x the default, so 30%)
+because sub-100ms wall timings on shared runners jitter past 10%
+even with best-of-N sampling, and ``*_wall_ms`` is informational
+only.  All are exempt from the bit-identical-replay determinism
+check.  The *hard* perf gates for the vectorized core are therefore
+``_speedup_x`` -- ambient contention slows both engines, so the ratio
+is stable where the absolute rates are not -- and ``bit_identical``.
 
 Refresh a baseline after a reviewed model change with::
 
@@ -50,16 +59,27 @@ SUITES = {
                   ("bench_integrity_overhead",)),
     "telemetry": ("BENCH_telemetry.json",
                   ("bench_telemetry_overhead",)),
+    "simcore": ("BENCH_simcore.json",
+                ("bench_simcore_events",)),
 }
 #: Metric-name suffixes gated with relative tolerance (timing-like).
-HIGHER_IS_BETTER = ("_qps",)
+HIGHER_IS_BETTER = ("_qps", "_events_per_s")
 LOWER_IS_BETTER = ("_ms",)
 #: Wall-clock measurements: nondeterministic by nature, so exempt from
 #: the replay check.  ``*_overhead_frac`` is gated against an absolute
-#: ceiling; ``*_wall_ms`` is recorded for humans but never gated.
+#: ceiling, ``*_speedup_x`` above an absolute floor; ``*_wall_ms`` is
+#: recorded for humans but never gated; ``*_events_per_s`` is relative-
+#: gated above but still wall-clock-derived, hence replay-exempt.
 ABSOLUTE_CEILINGS = {"_overhead_frac": 0.15}
+ABSOLUTE_FLOORS = {"_speedup_x": 100.0}
 INFORMATIONAL = ("_wall_ms",)
-WALL_CLOCK = tuple(ABSOLUTE_CEILINGS) + INFORMATIONAL
+#: Wall-clock *rates* keep a relative gate but widen the tolerance:
+#: the measured runs are tens of milliseconds, so runner contention
+#: swings them further than deterministic model outputs ever move.
+WALL_CLOCK_RATE = ("_events_per_s",)
+WALL_CLOCK_RATE_MULT = 3.0
+WALL_CLOCK = tuple(ABSOLUTE_CEILINGS) + tuple(ABSOLUTE_FLOORS) \
+    + INFORMATIONAL + ("_events_per_s",)
 
 
 def collect_suite(modules):
@@ -106,20 +126,31 @@ def check_regressions(baseline, current, tolerance):
         value = current[key]
         ceiling_suffix = next((s for s in ABSOLUTE_CEILINGS
                                if key.endswith(s)), None)
+        floor_suffix = next((s for s in ABSOLUTE_FLOORS
+                             if key.endswith(s)), None)
         if ceiling_suffix is not None:
             ceiling = ABSOLUTE_CEILINGS[ceiling_suffix]
             if value > ceiling:
                 failures.append(
                     f"REGRESSION {key}: {value:.3f} > absolute ceiling "
                     f"{ceiling:.3f}")
+        elif floor_suffix is not None:
+            floor = ABSOLUTE_FLOORS[floor_suffix]
+            if value < floor:
+                failures.append(
+                    f"REGRESSION {key}: {value:.3f} < absolute floor "
+                    f"{floor:.3f}")
         elif key.endswith(INFORMATIONAL):
             pass  # wall-clock context for humans, never gated
         elif key.endswith(HIGHER_IS_BETTER):
-            floor = base * (1.0 - tolerance)
+            tol = tolerance
+            if key.endswith(WALL_CLOCK_RATE):
+                tol = tolerance * WALL_CLOCK_RATE_MULT
+            floor = base * (1.0 - tol)
             if value < floor:
                 failures.append(
                     f"REGRESSION {key}: {value:.3f} < {floor:.3f} "
-                    f"(baseline {base:.3f}, tolerance {tolerance:.0%})")
+                    f"(baseline {base:.3f}, tolerance {tol:.0%})")
         elif key.endswith(LOWER_IS_BETTER):
             ceiling = base * (1.0 + tolerance)
             if value > ceiling:

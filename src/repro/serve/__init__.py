@@ -45,7 +45,8 @@ from .simulator import (
     golden_integrity_config,
     golden_serve_config,
 )
-from .workload import Request, poisson_arrivals, trace_arrivals
+from .workload import Request, poisson_arrival_times, poisson_arrivals, \
+    trace_arrivals
 
 __all__ = [
     "BatchPolicy",
@@ -75,6 +76,7 @@ __all__ = [
     "merge_seconds",
     "merge_topk",
     "nearest_rank_percentile",
+    "poisson_arrival_times",
     "poisson_arrivals",
     "shard_chunk_counts",
     "shard_corpus",

@@ -66,6 +66,7 @@ from ..rag.batching import BatchedAPURetrieval
 from ..rag.corpus import CorpusSpec, PAPER_CORPORA
 from ..rag.generation import GenerationModel
 from ..rag.retrieval import APURetriever, RetrievalBreakdown
+from ..simcore.engine import DEFAULT_ENGINE, validate_engine
 from .metrics import LatencyStats, slo_attainment, utilization
 from .scheduler import (
     BatchPolicy,
@@ -119,6 +120,10 @@ class ServeConfig:
     #: scheduler detects and recomputes corrupted batches and the
     #: service model charges the verification + scrub overhead.
     integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
+    #: Execution backend: ``"scalar"`` (the reference event loop) or
+    #: ``"vectorized"`` (the NumPy core, validated bit-identical
+    #: against it by ``tests/simcore``).
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self):
         if self.k < 1:
@@ -146,6 +151,7 @@ class ServeConfig:
             raise ValueError(
                 f"integrity must be an IntegrityConfig, "
                 f"got {type(self.integrity).__name__}")
+        validate_engine(self.engine)
 
 
 class ShardServiceModel:
@@ -453,7 +459,15 @@ class ServingSimulator:
         #: these chunks stay missing for every later arrival.
         self._permanent_loss: Dict[int, int] = {}
         self._dead_shards: set = set()
-        self.scheduler = DiscreteEventScheduler(
+        if config.engine == "vectorized":
+            # Imported lazily to keep repro.serve importable while
+            # repro.simcore (which imports the scalar scheduler) loads.
+            from ..simcore.vectorized import VectorizedScheduler
+
+            scheduler_cls = VectorizedScheduler
+        else:
+            scheduler_cls = DiscreteEventScheduler
+        self.scheduler = scheduler_cls(
             config.n_shards, config.batch, self.service_model.batch_seconds,
             injector=self.injector, retry=config.retry,
             on_death=self._on_shard_death
@@ -545,6 +559,25 @@ class ServingSimulator:
 
         tables: List[StageTable] = []
         model = self.service_model
+
+        if self.config.engine == "vectorized":
+            # The vectorized core memoizes service costs, so a
+            # per-dispatch wrapper would under-count: it exposes a
+            # native capture hook instead, invoked once per (shard,
+            # size) per failover epoch and emitted in global batch
+            # order -- the same tables the wrapper records.
+            def capture(shard_id: int, batch_size: int) -> StageTable:
+                return StageTable(
+                    shard_id=shard_id, batch_size=batch_size,
+                    stages=model.stage_seconds(shard_id, batch_size))
+
+            self.scheduler.capture = capture
+            try:
+                report, result = self._simulate(requests)
+            finally:
+                self.scheduler.capture = None
+            return report, result, list(self.scheduler.captured_tables)
+
         orig = self.scheduler.service_time
         # Stage decompositions only change when a takeover re-anchors a
         # shard (tracked by stage_epoch), so memoizing keeps the

@@ -1,0 +1,1 @@
+"""Tests for the vectorized simulation core (``repro.simcore``)."""

@@ -1,0 +1,55 @@
+"""Paper-anchor regressions pinned under ``engine="vectorized"``.
+
+The scalar scheduler's anchors (Table 8 time-to-interactive to the
+cycle, the 8-shard saturated-throughput figure from the shard-scaling
+benchmark) must survive the engine swap *exactly* -- these pins catch
+any future drift in the vectorized core that the differential suite's
+random sweeps might sample around.
+"""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.rag.corpus import PAPER_CORPORA
+from repro.rag.pipeline import RAGPipeline
+from repro.rag.retrieval import APURetriever
+from repro.serve import BatchPolicy, ServeConfig, ServingSimulator, \
+    trace_arrivals
+
+#: serve_scaling/shards8/throughput_qps in benchmarks/BENCH_serve.json,
+#: produced by the scalar engine and pinned here for the vectorized one.
+SHARDS8_THROUGHPUT_QPS = 311.13738815293414
+
+
+class TestVectorizedAnchors:
+    @pytest.mark.parametrize("label", sorted(PAPER_CORPORA))
+    def test_table8_tti_is_cycle_exact(self, label):
+        """A lone request on a 1-shard vectorized deployment reproduces
+        the offline ``time_to_interactive`` to the cycle (same claim
+        the scalar engine pins in ``tests/serve/test_differential``)."""
+        spec = PAPER_CORPORA[label]
+        config = ServeConfig(
+            spec=spec, n_shards=1,
+            batch=BatchPolicy(max_batch=1, max_wait_s=1.0),
+            k=5, qps=1.0, n_requests=1, seed=0, slo_s=10.0,
+            engine="vectorized",
+        )
+        report = ServingSimulator(config).run(trace_arrivals([0.0]))
+
+        pipeline = RAGPipeline(APURetriever(optimized=True))
+        expected = pipeline.time_to_interactive(spec, k=5)
+        cycle_s = 1.0 / DEFAULT_PARAMS.clock_hz
+        assert abs(report.tti.max_s - expected) < cycle_s
+        assert report.tti.p50_s == report.tti.max_s
+
+    def test_eight_shard_saturated_throughput_figure(self):
+        """The 8-shard scaling-bench cell is bit-exact under the
+        vectorized engine (same floats as BENCH_serve.json)."""
+        config = ServeConfig(
+            spec=PAPER_CORPORA["200GB"], n_shards=8,
+            batch=BatchPolicy(max_batch=16, max_wait_s=2e-3),
+            qps=1200.0, n_requests=256, seed=0, slo_s=5.0,
+            engine="vectorized",
+        )
+        report = ServingSimulator(config).run()
+        assert report.throughput_qps == SHARDS8_THROUGHPUT_QPS

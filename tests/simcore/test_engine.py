@@ -1,0 +1,74 @@
+"""Engine selection and validation (the ``ServeConfig.engine`` knob)."""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.rag.corpus import PAPER_CORPORA
+from repro.serve import ServeConfig
+from repro.simcore import DEFAULT_ENGINE, ENGINES, UnknownEngineError, \
+    validate_engine
+
+
+class TestValidateEngine:
+    def test_known_engines_pass(self):
+        for engine in ENGINES:
+            validate_engine(engine)  # no raise
+
+    def test_scalar_is_the_default(self):
+        assert DEFAULT_ENGINE == "scalar"
+        assert set(ENGINES) == {"scalar", "vectorized"}
+        assert ServeConfig(spec=PAPER_CORPORA["10GB"]).engine == "scalar"
+
+    @pytest.mark.parametrize("bogus", ["warp", "SCALAR", "vectorised", ""])
+    def test_unknown_engine_is_a_typed_error(self, bogus):
+        with pytest.raises(UnknownEngineError) as excinfo:
+            validate_engine(bogus)
+        message = str(excinfo.value)
+        assert repr(bogus) in message
+        # The message tells the user what *would* work.
+        for engine in ENGINES:
+            assert engine in message
+
+    @pytest.mark.parametrize("bogus", [3, None, b"scalar", ["scalar"]])
+    def test_non_string_engine_is_rejected(self, bogus):
+        with pytest.raises(UnknownEngineError):
+            validate_engine(bogus)
+
+    def test_unknown_engine_is_a_value_error(self):
+        """Callers that catch ValueError (the repo-wide validation
+        idiom) keep working."""
+        assert issubclass(UnknownEngineError, ValueError)
+        with pytest.raises(ValueError):
+            validate_engine("warp")
+
+
+class TestServeConfigEngine:
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(UnknownEngineError, match="vectorized"):
+            ServeConfig(spec=PAPER_CORPORA["10GB"], engine="warp")
+
+    def test_config_rejects_non_string_engine(self):
+        with pytest.raises(UnknownEngineError):
+            ServeConfig(spec=PAPER_CORPORA["10GB"], engine=7)
+
+    def test_config_accepts_vectorized(self):
+        config = ServeConfig(spec=PAPER_CORPORA["10GB"],
+                             engine="vectorized")
+        assert config.engine == "vectorized"
+
+
+class TestCliEngineFlag:
+    def test_serve_accepts_both_engines(self):
+        parser = build_parser()
+        for engine in ENGINES:
+            args = parser.parse_args(["serve", "--engine", engine])
+            assert args.engine == engine
+
+    def test_serve_defaults_to_scalar(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.engine == DEFAULT_ENGINE
+
+    def test_serve_rejects_unknown_engine_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--engine", "warp"])
+        assert "vectorized" in capsys.readouterr().err

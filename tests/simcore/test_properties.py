@@ -1,0 +1,149 @@
+"""Property tests for the vectorized core's internal invariants.
+
+Bit-identity against the scalar loop (``test_differential``) is the
+headline guarantee; these properties hold *independently*, so a future
+regression that broke both engines the same way would still be caught:
+
+* global event order is time-monotone;
+* every request completes exactly once on every live shard, FIFO
+  within each shard;
+* repeated runs are bit-identical, including across interpreter
+  processes with different ``PYTHONHASHSEED`` values (nothing in the
+  core may iterate a hash-ordered container into an ordered artifact).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import BatchPolicy, poisson_arrival_times, poisson_arrivals
+from repro.simcore import ArraySchedule, VectorizedScheduler
+
+
+def _service(shard_id: int, batch_size: int) -> float:
+    return (0.7 * (1.0 + 0.13 * shard_id) + 0.11 * (batch_size - 1)) * 1e-3
+
+
+@st.composite
+def runs(draw):
+    n_shards = draw(st.integers(min_value=1, max_value=8))
+    policy = BatchPolicy(
+        max_batch=draw(st.integers(min_value=1, max_value=16)),
+        max_wait_s=draw(st.sampled_from([0.0, 1e-3, 2e-3])),
+    )
+    qps = draw(st.sampled_from([100.0, 600.0, 2500.0]))
+    n_requests = draw(st.integers(min_value=1, max_value=100))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return n_shards, policy, qps, n_requests, seed
+
+
+@settings(deadline=None, max_examples=40)
+@given(run=runs())
+def test_event_order_and_completion_invariants(run):
+    n_shards, policy, qps, n_requests, seed = run
+    requests = poisson_arrivals(qps, n_requests, seed)
+    result = VectorizedScheduler(n_shards, policy, _service).run(requests)
+
+    # Event-time monotonicity: the batch tuple is emitted in global
+    # event order, so dispatch times never step backwards.
+    dispatches = [b.dispatch_s for b in result.batches]
+    assert all(b >= a for a, b in zip(dispatches, dispatches[1:]))
+
+    # Per-shard: dense sequence numbers and FIFO service order.
+    for shard_id in range(n_shards):
+        shard_batches = [b for b in result.batches
+                        if b.shard_id == shard_id]
+        shard_batches.sort(key=lambda b: b.seq)
+        assert [b.seq for b in shard_batches] \
+            == list(range(len(shard_batches)))
+        served = [r for b in shard_batches for r in b.request_ids]
+        assert served == sorted(served)  # FIFO within the shard
+        assert served == [r.req_id for r in requests]  # exactly once
+
+    # Exactly-once completion: every request resolves, after arrival,
+    # with the full scatter-gather fan-out.
+    assert len(result.records) == n_requests
+    assert sorted(r.req_id for r in result.records) \
+        == [r.req_id for r in requests]
+    for record in result.records:
+        assert record.retrieval_done_s is not None
+        assert record.retrieval_done_s >= record.arrival_s
+        assert record.n_required == n_shards
+        assert set(record.shard_done_s) == set(range(n_shards))
+
+
+@settings(deadline=None, max_examples=20)
+@given(run=runs())
+def test_repeated_runs_are_bit_identical(run):
+    n_shards, policy, qps, n_requests, seed = run
+    requests = poisson_arrivals(qps, n_requests, seed)
+    first = VectorizedScheduler(n_shards, policy, _service).run(requests)
+    second = VectorizedScheduler(n_shards, policy, _service).run(requests)
+    assert first == second
+
+
+@settings(deadline=None, max_examples=20)
+@given(run=runs())
+def test_run_arrays_matches_run(run):
+    n_shards, policy, qps, n_requests, seed = run
+    arrivals = poisson_arrival_times(qps, n_requests, seed)
+    sched = VectorizedScheduler(n_shards, policy, _service)
+    arrays = sched.run_arrays(arrivals)
+    assert isinstance(arrays, ArraySchedule)
+    assert arrays.n_requests == n_requests
+    assert np.all(arrays.latency_s() >= 0.0)
+    assert arrays.n_events \
+        == n_requests * n_shards + 2 * arrays.n_batches
+    # The columnar result materializes to exactly what run() produces.
+    reference = VectorizedScheduler(n_shards, policy, _service).run(
+        poisson_arrivals(qps, n_requests, seed))
+    assert arrays.to_schedule_result() == reference
+
+
+_HASHSEED_SCRIPT = """\
+import json
+from repro.serve import BatchPolicy, poisson_arrivals
+from repro.simcore import VectorizedScheduler
+
+def service(shard_id, batch_size):
+    return (0.7 * (1.0 + 0.13 * shard_id)
+            + 0.11 * (batch_size - 1)) * 1e-3
+
+result = VectorizedScheduler(5, BatchPolicy(max_batch=6, max_wait_s=1e-3),
+                             service).run(poisson_arrivals(900.0, 200, 3))
+print(json.dumps({
+    "batches": [[b.shard_id, b.seq, b.dispatch_s.hex(),
+                 b.service_s.hex(), list(b.request_ids)]
+                for b in result.batches],
+    "done": [r.retrieval_done_s.hex() for r in result.records],
+    "busy": [b.hex() for b in result.busy_seconds],
+}, sort_keys=True))
+"""
+
+
+@pytest.mark.simcore
+def test_determinism_across_hash_seeds(tmp_path):
+    """The serialized run is byte-identical under different
+    ``PYTHONHASHSEED`` values (no hash-order leaks into results)."""
+    script = tmp_path / "hashseed_run.py"
+    script.write_text(_HASHSEED_SCRIPT)
+    outputs = []
+    for hash_seed in ("0", "1", "424242"):
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH", "")) if p)
+        proc = subprocess.run(
+            [sys.executable, str(script)], env=env, capture_output=True,
+            text=True, check=True)
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1] == outputs[2]
+    json.loads(outputs[0])  # sanity: it is one valid JSON document
