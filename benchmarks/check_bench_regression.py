@@ -61,6 +61,8 @@ SUITES = {
                   ("bench_telemetry_overhead",)),
     "simcore": ("BENCH_simcore.json",
                 ("bench_simcore_events",)),
+    "scale": ("BENCH_scale.json",
+              ("bench_scale_spike",)),
 }
 #: Metric-name suffixes gated with relative tolerance (timing-like).
 HIGHER_IS_BETTER = ("_qps", "_events_per_s")

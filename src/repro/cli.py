@@ -12,6 +12,9 @@ without going through pytest:
     python -m repro.cli serve --shards 4 --qps 200
     python -m repro.cli serve --corpus 10GB --fault-plan \\
         examples/fault_plan.json --timeout-ms 8 --failover degraded
+    python -m repro.cli serve --autoscale --arrival spike --qps 250 \\
+        --policy examples/autoscale_policy.json \\
+        --priority-map "interactive=0.8,batch=0.2:0.25"
     python -m repro.cli all
 
 plus the observability entry points: ``trace <workload>`` runs one
@@ -170,13 +173,63 @@ def _run_claims(args) -> None:
               f"{status}")
 
 
+def _build_scale_config(args, serve_config):
+    """The elastic (or shaped-arrival) wrapper around one ServeConfig."""
+    from .scale import ScaleConfig, ScalePolicy, ScalePolicyError, \
+        parse_priority_map
+    from .serve import ClosedLoopConfig, bursty_arrival_times, \
+        diurnal_arrival_times, spike_arrival_times
+
+    if not args.autoscale:
+        for flag in ("policy", "priority_map"):
+            if getattr(args, flag):
+                raise SystemExit(
+                    f"--{flag.replace('_', '-')} requires --autoscale")
+        if args.clients:
+            raise SystemExit("--clients requires --autoscale")
+    policy = None
+    if args.autoscale:
+        try:
+            policy = ScalePolicy.load(args.policy) if args.policy \
+                else ScalePolicy()
+            if args.priority_map:
+                import dataclasses
+
+                policy = dataclasses.replace(
+                    policy, priorities=parse_priority_map(args.priority_map))
+        except ScalePolicyError as exc:
+            raise SystemExit(f"bad scale policy: {exc}")
+    arrivals = None
+    if args.arrival != "poisson":
+        generate = {
+            "bursty": bursty_arrival_times,
+            "diurnal": diurnal_arrival_times,
+            "spike": spike_arrival_times,
+        }[args.arrival]
+        arrivals = tuple(float(t) for t in generate(
+            args.qps, args.requests, args.seed))
+    closed_loop = None
+    if args.clients:
+        closed_loop = ClosedLoopConfig(
+            n_clients=args.clients,
+            think_time_s=args.think_ms * 1e-3,
+            n_requests=args.requests,
+            seed=args.seed,
+        )
+    try:
+        return ScaleConfig(serve=serve_config, policy=policy,
+                           arrivals=arrivals, closed_loop=closed_loop)
+    except ValueError as exc:
+        raise SystemExit(f"bad serve configuration: {exc}")
+
+
 def _run_serve(args) -> None:
     import math
 
     from .faults import FaultPlan
     from .integrity import IntegrityConfig
     from .rag import PAPER_CORPORA
-    from .serve import BatchPolicy, RetryPolicy, ServeConfig, ServingSimulator
+    from .serve import BatchPolicy, RetryPolicy, ServeConfig
 
     faults = FaultPlan()
     if args.fault_plan:
@@ -215,7 +268,10 @@ def _run_serve(args) -> None:
         integrity=integrity,
         engine=args.engine,
     )
-    print(ServingSimulator(config).run().format())
+    from .scale import ScaleSimulator
+
+    scale_config = _build_scale_config(args, config)
+    print(ScaleSimulator(scale_config).run().format())
 
 
 def _trace_runners() -> Dict[str, Callable]:
@@ -263,10 +319,17 @@ def _trace_runners() -> Dict[str, Callable]:
         ServingSimulator(golden_integrity_config()).run()
         return None
 
+    def run_serve_autoscale():
+        from .scale import ScaleSimulator, golden_autoscale_config
+
+        ScaleSimulator(golden_autoscale_config()).run()
+        return None
+
     runners["rag"] = run_rag
     runners["serve"] = run_serve
     runners["serve_faults"] = run_serve_faults
     runners["serve_integrity"] = run_serve_integrity
+    runners["serve_autoscale"] = run_serve_autoscale
     runners["table4"] = lambda: run_table4_micro().total_cycles
     runners["table5"] = lambda: run_table5_micro().total_cycles
     return runners
@@ -306,6 +369,12 @@ def _run_trace(args) -> None:
         shards = golden_serve_config().n_shards
         process_names = {i: f"shard {i}" for i in range(shards)}
         process_names[shards] = "host merge"
+    elif workload == "serve_autoscale":
+        from .scale import golden_autoscale_config
+
+        capacity = golden_autoscale_config().policy.autoscale.max_shards
+        process_names = {i: f"device slot {i}" for i in range(capacity)}
+        process_names[capacity] = "host merge + control"
     out = args.trace_out or f"trace_{workload}.json"
     path = write_chrome_trace(out, trace, clock_hz=DEFAULT_PARAMS.clock_hz,
                               metadata={"workload": workload},
@@ -316,6 +385,7 @@ def _run_trace(args) -> None:
 
 #: Serving workloads the telemetry commands accept.
 def _telemetry_configs() -> Dict[str, Callable]:
+    from .scale import golden_autoscale_config
     from .serve import golden_fault_config, golden_integrity_config, \
         golden_serve_config
 
@@ -323,7 +393,29 @@ def _telemetry_configs() -> Dict[str, Callable]:
         "serve": golden_serve_config,
         "serve_faults": golden_fault_config,
         "serve_integrity": golden_integrity_config,
+        "serve_autoscale": golden_autoscale_config,
     }
+
+
+def _telemetry_simulator(config):
+    """The simulator matching a telemetry workload config."""
+    from .scale import ScaleConfig, ScaleSimulator
+    from .serve import ServingSimulator
+
+    if isinstance(config, ScaleConfig):
+        return ScaleSimulator(config)
+    return ServingSimulator(config)
+
+
+def _telemetry_lanes(config) -> int:
+    """Device lanes a telemetry workload's Perfetto export needs."""
+    from .scale import ScaleConfig
+
+    if isinstance(config, ScaleConfig):
+        if config.policy is not None:
+            return config.policy.autoscale.max_shards
+        return config.serve.n_shards
+    return config.n_shards
 
 
 def _telemetry_workload(args):
@@ -344,7 +436,6 @@ def _telemetry_workload(args):
 def _run_spans(args) -> None:
     from .core.params import DEFAULT_PARAMS
     from .obs import collecting
-    from .serve import ServingSimulator
     from .telemetry import (
         reconcile_with_trace,
         render_attribution,
@@ -363,7 +454,7 @@ def _run_spans(args) -> None:
     clock = DEFAULT_PARAMS.clock_hz
     with collecting(capacity=args.trace_events) as trace:
         _report, telemetry = \
-            ServingSimulator(config).run_with_telemetry()
+            _telemetry_simulator(config).run_with_telemetry()
     if args.query is not None:
         try:
             query_trace = telemetry.trace_for(args.query)
@@ -386,7 +477,7 @@ def _run_spans(args) -> None:
         print(f"flamegraph folded stacks written to {path} "
               "(feed to flamegraph.pl or speedscope)")
     if args.trace_out:
-        shards = config.n_shards
+        shards = _telemetry_lanes(config)
         process_names = {i: f"shard {i}" for i in range(shards)}
         process_names[shards] = "host merge"
         path = write_telemetry_trace(
@@ -398,12 +489,10 @@ def _run_spans(args) -> None:
 
 
 def _run_metrics(args) -> None:
-    from .serve import ServingSimulator
-
     workload, config = _telemetry_workload(args)
     if workload is None:
         return
-    _report, telemetry = ServingSimulator(config).run_with_telemetry()
+    _report, telemetry = _telemetry_simulator(config).run_with_telemetry()
     if args.format == "prom":
         text = telemetry.registry.expose()
     else:
@@ -514,6 +603,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scrub-interval-ms", type=float, default=0.0,
                         help="serve only: periodic memory-scrub interval "
                              "(0 disables; requires --integrity)")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="serve only: run the elastic pool with the "
+                             "burn-rate autoscaler and admission control")
+    parser.add_argument("--policy", default=None,
+                        help="serve only: JSON scale-policy bundle "
+                             "(see examples/autoscale_policy.json; "
+                             "requires --autoscale)")
+    parser.add_argument("--priority-map", default=None,
+                        help="serve only: priority classes as "
+                             "'name=share[:weight],...' (requires "
+                             "--autoscale); low-weight classes shed first")
+    parser.add_argument("--arrival",
+                        choices=["poisson", "bursty", "diurnal", "spike"],
+                        default="poisson",
+                        help="serve only: arrival-process shape "
+                             "(non-Poisson shapes modulate --qps)")
+    parser.add_argument("--clients", type=int, default=0,
+                        help="serve only: closed-loop client population "
+                             "(0 = open loop; requires --autoscale)")
+    parser.add_argument("--think-ms", type=float, default=10.0,
+                        help="serve only: mean closed-loop think time (ms)")
     parser.add_argument("--failover", choices=["reroute", "degraded"],
                         default="reroute",
                         help="serve only: response to a shard death")

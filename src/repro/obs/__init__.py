@@ -31,6 +31,7 @@ from .events import (
     LANE_HBM,
     LANE_INTEGRITY,
     LANE_PIO,
+    LANE_SCALE,
     LANE_VCU,
     LANES,
     TraceEvent,
@@ -52,6 +53,7 @@ __all__ = [
     "LANE_HBM",
     "LANE_INTEGRITY",
     "LANE_PIO",
+    "LANE_SCALE",
     "LANE_VCU",
     "LANES",
     "TraceCollector",

@@ -21,7 +21,11 @@ and the bytes it moved.  Lanes follow the paper's Fig. 3 engine split:
 * ``INTEGRITY`` -- silent-data-corruption events and the defenses
   (bit flips, detections, recomputes, scrub passes, undetected
   escapes), emitted by the :mod:`repro.integrity` subsystem and the
-  serving simulator.
+  serving simulator;
+* ``SCALE`` -- the elastic control plane (autoscaler ticks, device
+  attach/warm-up/detach/drain, admission shedding), emitted by
+  :class:`repro.scale.simulator.ScaleSimulator` so Perfetto shows pool
+  motion alongside the serving work that triggered it.
 
 This module is dependency-free so that the recording hot paths can
 import it without touching the rest of the package.
@@ -38,6 +42,7 @@ __all__ = [
     "LANE_HBM",
     "LANE_FAULT",
     "LANE_INTEGRITY",
+    "LANE_SCALE",
     "LANES",
     "lane_for_op",
     "TraceEvent",
@@ -55,10 +60,12 @@ LANE_HBM = "HBM"
 LANE_FAULT = "FAULT"
 #: Silent data corruption and the integrity defenses.
 LANE_INTEGRITY = "INTEGRITY"
+#: The elastic control plane (autoscaling, admission, shedding).
+LANE_SCALE = "SCALE"
 
 #: Every known lane, in display order.
 LANES = (LANE_VCU, LANE_DMA, LANE_PIO, LANE_HBM, LANE_FAULT,
-         LANE_INTEGRITY)
+         LANE_INTEGRITY, LANE_SCALE)
 
 #: Op names charged outside the ``dma_`` / ``pio_`` prefixes that still
 #: occupy the PIO path (element traffic through the response FIFO).
@@ -90,6 +97,8 @@ def lane_for_op(name: str) -> str:
             lane = LANE_INTEGRITY
         elif name.startswith("fault_"):
             lane = LANE_FAULT
+        elif name.startswith("scale_"):
+            lane = LANE_SCALE
         else:
             lane = LANE_VCU
         _LANE_CACHE[name] = lane

@@ -1,0 +1,97 @@
+"""The SLO burn-rate autoscaling controller.
+
+At every control tick the controller measures the trailing window's
+error-budget burn -- the same :class:`~repro.telemetry.metrics.BurnWindow`
+arithmetic the post-run telemetry pipeline reports, evaluated online:
+requests that *completed* in the window count as satisfied or violating
+by their TTI against the SLO, and admitted requests still pending past
+the SLO deadline are counted as violations-in-progress (they cannot
+finish in budget anymore).  Burn at or above ``scale_up_burn`` asks for
+more capacity; burn at or below ``scale_down_burn`` with the pool quiet
+asks for less.  Decisions honor the pool bounds and a cooldown so the
+controller cannot thrash.
+
+The controller is plain sequential state -- a deque of completions and
+a couple of floats -- so the simulation stays bit-deterministic: every
+input it sees is an event-loop timestamp.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..telemetry.metrics import BurnWindow
+from .policy import AutoscalePolicy
+
+__all__ = ["BurnRateController"]
+
+#: Controller verdicts.
+SCALE_UP = "up"
+SCALE_DOWN = "down"
+
+
+class BurnRateController:
+    """Trailing-window burn-rate measurement + attach/detach verdicts."""
+
+    def __init__(self, policy: AutoscalePolicy, slo_s: float):
+        if slo_s <= 0:
+            raise ValueError(f"slo_s must be positive, got {slo_s!r}")
+        self.policy = policy
+        self.slo_s = slo_s
+        #: (completion time, violated) in completion order.
+        self._completions: Deque[Tuple[float, bool]] = deque()
+        self._tick_index = 0
+        self._last_action_s = -float("inf")
+
+    def note_completion(self, done_s: float, tti_latency_s: float) -> None:
+        """Record one resolved request (call in completion order)."""
+        self._completions.append((done_s, tti_latency_s > self.slo_s))
+
+    def window(self, now_s: float, n_overdue_pending: int) -> BurnWindow:
+        """The trailing control window ending at ``now_s``.
+
+        ``n_overdue_pending`` is the number of admitted, unresolved
+        requests already older than the SLO -- each is a violation the
+        window has effectively observed even though it has no
+        completion timestamp yet.
+        """
+        start_s = now_s - self.policy.control_interval_s
+        while self._completions and self._completions[0][0] < start_s:
+            self._completions.popleft()
+        n_done = len(self._completions)
+        n_violations = sum(1 for _, violated in self._completions
+                           if violated)
+        window = BurnWindow(
+            index=self._tick_index,
+            start_s=start_s,
+            end_s=now_s,
+            n_requests=n_done + n_overdue_pending,
+            n_violations=n_violations + n_overdue_pending,
+        )
+        self._tick_index += 1
+        return window
+
+    def burn_rate(self, window: BurnWindow) -> float:
+        return window.burn_rate(self.policy.error_budget)
+
+    def decide(self, now_s: float, burn: float, n_serving: int,
+               n_warming: int) -> Optional[str]:
+        """One scaling verdict for this tick (or ``None`` to hold).
+
+        Scale-up is considered before scale-down, pool bounds count
+        warming slots as already-committed capacity, and the cooldown
+        clock restarts on every verdict.
+        """
+        policy = self.policy
+        if now_s - self._last_action_s < policy.cooldown_s:
+            return None
+        committed = n_serving + n_warming
+        if burn >= policy.scale_up_burn and committed < policy.max_shards:
+            self._last_action_s = now_s
+            return SCALE_UP
+        if burn <= policy.scale_down_burn and n_warming == 0 \
+                and n_serving > policy.min_shards:
+            self._last_action_s = now_s
+            return SCALE_DOWN
+        return None

@@ -1,0 +1,168 @@
+"""The elastic APU device pool: anchored costs for any attached subset.
+
+:class:`ElasticAPUDevicePool` generalizes
+:class:`repro.serve.simulator.ShardServiceModel` from a fixed shard
+count to a pool of ``capacity`` device slots of which any subset may be
+*attached*.  The corpus is statically split ``capacity`` ways (the same
+round-robin :func:`~repro.serve.sharding.shard_chunk_counts` placement
+the static simulator uses); slots that are currently detached have
+their chunks redistributed over the attached slots, so the attached
+set always covers the full corpus -- the same math as the static
+simulator's reroute failover, applied in reverse when the pool grows.
+
+Service times stay anchored at Table 8: a batch of one on a slice of
+``c`` chunks costs exactly the single-device latency of that slice, and
+each extra query adds the :class:`~repro.rag.batching.BatchedAPURetrieval`
+amortized increment.  Anchors are memoized per chunk count, so the
+event loop pays a dict probe per dispatch no matter how often the
+topology changes.
+
+Attaching a cold device is not free: before it can serve, its corpus
+slice must stream from host memory into the accelerator -- the warm-up
+cost is exactly the sequential HBM DMA-in of the slice's embedding
+bytes, priced by the same :func:`~repro.hbm.make_hbm2e` model the
+single-device retrieval breakdown charges for its embedding load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from ..hbm import make_hbm2e
+from ..obs import collector as _trace_collector
+from ..rag.batching import BatchedAPURetrieval
+from ..rag.corpus import CorpusSpec
+from ..rag.retrieval import APURetriever, RetrievalBreakdown
+from ..serve.sharding import shard_chunk_counts
+
+__all__ = ["ElasticAPUDevicePool"]
+
+
+class ElasticAPUDevicePool:
+    """Anchored service/warm-up costs for an elastic shard pool."""
+
+    def __init__(self, spec: CorpusSpec, capacity: int, k: int = 5,
+                 params: APUParams = DEFAULT_PARAMS):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        if capacity > spec.n_chunks:
+            raise ValueError(
+                f"{capacity} device slots for {spec.n_chunks} chunks "
+                f"would leave slots empty")
+        self.spec = spec
+        self.capacity = capacity
+        self.k = k
+        self.params = params
+        #: The static ``capacity``-way placement every topology derives
+        #: from.
+        self.base_counts: Tuple[int, ...] = tuple(
+            shard_chunk_counts(spec.n_chunks, capacity))
+        self._retriever = APURetriever(optimized=True, params=params)
+        self._batched = BatchedAPURetrieval(params)
+        self._hbm = make_hbm2e()
+        #: chunk count -> (single, increment, breakdown) anchor.
+        self._anchors: Dict[
+            int, Tuple[float, float, RetrievalBreakdown]] = {}
+        self._warmups: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def counts_for(self, attached: Sequence[int]) -> Dict[int, int]:
+        """Chunk count per attached slot under this topology.
+
+        Attached slots keep their base slice; the chunks of every
+        detached slot are redistributed over the attached ones in slot
+        order, earlier slots taking the remainder -- the exact
+        arithmetic of the static simulator's takeover path.
+        """
+        slots = sorted(set(attached))
+        if not slots:
+            raise ValueError("topology needs at least one attached slot")
+        if slots[0] < 0 or slots[-1] >= self.capacity:
+            raise ValueError(
+                f"attached slots {slots!r} outside pool of capacity "
+                f"{self.capacity}")
+        counts = {slot: self.base_counts[slot] for slot in slots}
+        orphaned = self.spec.n_chunks - sum(counts.values())
+        if orphaned > 0:
+            extra = shard_chunk_counts(orphaned, len(slots))
+            for slot, gained in zip(slots, extra):
+                counts[slot] += gained
+        return counts
+
+    def slice_spec(self, chunk_count: int) -> CorpusSpec:
+        """The corpus slice a slot holding ``chunk_count`` chunks scans."""
+        if chunk_count < 1:
+            raise ValueError(
+                f"chunk_count must be >= 1, got {chunk_count!r}")
+        return CorpusSpec(
+            label=f"{self.spec.label}/elastic{chunk_count}",
+            corpus_bytes=self.spec.corpus_bytes * chunk_count
+            / max(1, self.spec.n_chunks),
+            n_chunks=chunk_count,
+            dim=self.spec.dim,
+            bytes_per_value=self.spec.bytes_per_value,
+        )
+
+    def _anchor(self, chunk_count: int
+                ) -> Tuple[float, float, RetrievalBreakdown]:
+        anchor = self._anchors.get(chunk_count)
+        if anchor is None:
+            # Calibration replays the closed-form breakdowns; keep their
+            # HBM/DMA events out of any active trace collector (they are
+            # not part of the simulated serving timeline).
+            previous = _trace_collector.set_collector(None)
+            try:
+                slice_spec = self.slice_spec(chunk_count)
+                breakdown = self._retriever.latency_breakdown(
+                    slice_spec, self.k)
+                pair = [self._batched.batch_latency(slice_spec, b, self.k)
+                        .batch_seconds for b in (1, 2)]
+            finally:
+                _trace_collector.set_collector(previous)
+            anchor = (breakdown.total, pair[1] - pair[0], breakdown)
+            self._anchors[chunk_count] = anchor
+        return anchor
+
+    # ------------------------------------------------------------------
+    def service_seconds(self, chunk_count: int, batch_size: int) -> float:
+        """One batch's service time on a slot holding ``chunk_count``."""
+        single, increment, _ = self._anchor(chunk_count)
+        return single + (batch_size - 1) * increment
+
+    def stage_seconds(self, chunk_count: int, batch_size: int
+                      ) -> Tuple[Tuple[str, float], ...]:
+        """Table 8 stage decomposition of one batch (fractions of the
+        anchored single-query breakdown, total pinned to the batch)."""
+        single, increment, breakdown = self._anchor(chunk_count)
+        base = single + (batch_size - 1) * increment
+        scale = base / breakdown.total
+        dma = (breakdown.load_embedding + breakdown.load_query) * scale
+        mac = breakdown.calc_distance * scale
+        topk = breakdown.topk_aggregation * scale
+        ret = base - ((dma + mac) + topk)
+        return (("dma", dma), ("mac", mac), ("topk", topk),
+                ("return", ret))
+
+    def embedding_bytes(self, chunk_count: int) -> int:
+        """Resident embedding bytes of a ``chunk_count`` slice."""
+        return int(chunk_count * self.spec.dim * self.spec.bytes_per_value)
+
+    def warmup_seconds(self, chunk_count: int) -> float:
+        """Corpus DMA-in cost of attaching a cold slot.
+
+        The slice's embedding matrix streams sequentially through the
+        simulated HBM2e system -- the same transfer the single-device
+        breakdown charges as its embedding load, so warm-up and steady
+        -state costs come from one memory model.
+        """
+        cost = self._warmups.get(chunk_count)
+        if cost is None:
+            previous = _trace_collector.set_collector(None)
+            try:
+                cost = self._hbm.transfer_seconds(
+                    float(self.embedding_bytes(chunk_count)), "sequential")
+            finally:
+                _trace_collector.set_collector(previous)
+            self._warmups[chunk_count] = cost
+        return cost

@@ -1,0 +1,851 @@
+"""Closed-loop elastic serving: autoscaling, admission, load shedding.
+
+:class:`ScaleSimulator` drives a request stream through an *elastic*
+pool of simulated APU shard devices.  With no :class:`ScalePolicy` the
+configuration is a plain static deployment and the simulator delegates
+wholesale to :class:`~repro.serve.simulator.ServingSimulator` -- same
+event loop, same engines, same reports, traces, and spans, bit for bit
+(the differential suite in ``tests/scale`` proves it).  With a policy
+attached, the run becomes a closed control loop:
+
+* arrivals carry a **priority class** (assigned by a seeded draw over
+  the policy's class shares) and pass **admission control**: when the
+  pool's queue pressure exceeds the class's shed threshold the request
+  is shed instead of enqueued -- low-weight background traffic sheds
+  first, protecting interactive traffic;
+* a :class:`~repro.scale.controller.BurnRateController` ticks at a
+  fixed cadence, measuring the trailing window's SLO error-budget burn
+  (the :class:`~repro.telemetry.metrics.BurnWindow` arithmetic of the
+  telemetry layer, evaluated online) and attaching or detaching shard
+  devices within the policy's pool bounds;
+* a newly attached device is **cold**: it serves nothing until its
+  corpus slice has streamed in through the simulated HBM (the
+  :meth:`~repro.scale.pool.ElasticAPUDevicePool.warmup_seconds` DMA-in
+  cost), after which the pool re-anchors on the new topology;
+* a detached device **drains**: queued sub-queries finish on its frozen
+  slice (the mirror image of the static simulator's shard-death
+  takeover), while new arrivals fan out to the remaining devices.
+
+The event loop is the same ``(time, sequence)``-ordered binary heap as
+the static scheduler, and every random draw (arrival process, priority
+classes, closed-loop think times) comes from seeded generators, so runs
+are bit-deterministic -- including across processes and
+``PYTHONHASHSEED`` values.  The controller's feedback makes the elastic
+path inherently sequential, so both ``engine`` settings execute this
+one loop (and a differential test asserts they agree bit-for-bit); the
+vectorized fast path applies to the static, open-loop configuration.
+
+Fault plans and ABFT integrity compose with the *static* path only;
+combining them with a policy raises :class:`ScaleConfigError` (the
+fault-tolerant elastic loop is future work, tracked in the ROADMAP).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.params import APUParams, DEFAULT_PARAMS
+from ..obs import collector as _trace_collector
+from ..obs.events import LANE_SCALE, LANE_VCU, TraceEvent
+from ..rag.corpus import PAPER_CORPORA
+from ..rag.generation import GenerationModel
+from ..serve.metrics import LatencyStats, slo_attainment, utilization
+from ..serve.scheduler import (
+    BatchPolicy,
+    ExecutedBatch,
+    RequestRecord,
+    ScheduleResult,
+)
+from ..serve.sharding import merge_cycles, merge_seconds
+from ..serve.simulator import ServeConfig, ServeReport, ServingSimulator
+from ..serve.workload import ClosedLoopConfig, spike_arrival_times, \
+    trace_arrivals
+from .controller import SCALE_DOWN, SCALE_UP, BurnRateController
+from .policy import AutoscalePolicy, PoolBoundsError, ScalePolicy
+from .pool import ElasticAPUDevicePool
+
+__all__ = [
+    "ScaleConfigError",
+    "ScaleConfig",
+    "ScaleAction",
+    "ScaleReport",
+    "ScaleSimulator",
+    "golden_autoscale_config",
+]
+
+_ARRIVE, _TIMER, _DONE, _WARM, _CONTROL, _ISSUE = 0, 1, 2, 3, 4, 5
+
+
+class ScaleConfigError(ValueError):
+    """A ScaleConfig combines features that do not compose."""
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """One elastic serving deployment + workload configuration.
+
+    ``serve`` is the base deployment (its ``n_shards`` is the *initial*
+    pool size); ``policy=None`` makes the configuration static and the
+    simulator a bit-identical front for
+    :class:`~repro.serve.simulator.ServingSimulator`.  ``arrivals``
+    replaces the default Poisson stream with explicit timestamps (the
+    spike/bursty/diurnal generators), and ``closed_loop`` replaces the
+    open-loop stream with a think-time client population (elastic runs
+    only).
+    """
+
+    serve: ServeConfig
+    policy: Optional[ScalePolicy] = None
+    arrivals: Optional[Tuple[float, ...]] = None
+    closed_loop: Optional[ClosedLoopConfig] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.serve, ServeConfig):
+            raise ScaleConfigError(
+                f"serve must be a ServeConfig, "
+                f"got {type(self.serve).__name__}")
+        if self.policy is not None \
+                and not isinstance(self.policy, ScalePolicy):
+            raise ScaleConfigError(
+                f"policy must be a ScalePolicy or None, "
+                f"got {type(self.policy).__name__}")
+        if self.closed_loop is not None \
+                and not isinstance(self.closed_loop, ClosedLoopConfig):
+            raise ScaleConfigError(
+                f"closed_loop must be a ClosedLoopConfig or None, "
+                f"got {type(self.closed_loop).__name__}")
+        if self.arrivals is not None:
+            if self.closed_loop is not None:
+                raise ScaleConfigError(
+                    "arrivals and closed_loop are mutually exclusive")
+            times = tuple(float(t) for t in self.arrivals)
+            if not times:
+                raise ScaleConfigError(
+                    "arrivals must contain at least one timestamp")
+            if any(t < 0 for t in times):
+                raise ScaleConfigError(
+                    "arrival times must be non-negative")
+            if any(b < a for a, b in zip(times, times[1:])):
+                raise ScaleConfigError(
+                    "arrival times must be sorted ascending")
+            object.__setattr__(self, "arrivals", times)
+        if self.policy is None:
+            if self.closed_loop is not None:
+                raise ScaleConfigError(
+                    "closed_loop clients need a ScalePolicy (the static "
+                    "path is open-loop only)")
+            return
+        if self.serve.faults:
+            raise ScaleConfigError(
+                "fault plans compose with the static path only; the "
+                "fault-tolerant elastic loop is future work")
+        if self.serve.integrity.enabled:
+            raise ScaleConfigError(
+                "ABFT integrity composes with the static path only; the "
+                "protected elastic loop is future work")
+        auto = self.policy.autoscale
+        if not auto.min_shards <= self.serve.n_shards <= auto.max_shards:
+            raise PoolBoundsError(
+                f"initial pool size {self.serve.n_shards} outside "
+                f"[{auto.min_shards}, {auto.max_shards}]")
+
+
+@dataclass(frozen=True)
+class ScaleAction:
+    """One autoscaler/admission decision, in event order."""
+
+    kind: str  # "tick" | "attach" | "warm" | "detach" | "drained" | "shed"
+    t_s: float
+    shard_id: int = -1
+    #: Serving devices after the action took effect.
+    pool_size: int = 0
+    burn_rate: float = 0.0
+    #: Warm-up DMA-in duration for ``attach`` actions.
+    duration_s: float = 0.0
+    #: Priority class name for ``shed`` actions.
+    priority: str = ""
+
+
+@dataclass(frozen=True)
+class ScaleReport:
+    """Everything one elastic simulation run produced."""
+
+    config: ScaleConfig
+    n_offered: int
+    n_admitted: int
+    n_shed: int
+    n_completed: int
+    makespan_s: float
+    throughput_qps: float
+    #: Fraction of *offered* requests that completed within the SLO
+    #: (shed and late requests both count against it).
+    goodput: float
+    retrieval: LatencyStats
+    tti: LatencyStats
+    #: SLO attainment among completed requests.
+    slo_attainment: float
+    pool_min: int
+    pool_max: int
+    pool_final: int
+    n_attaches: int
+    n_detaches: int
+    warmup_total_s: float
+    shard_utilization: Tuple[float, ...]
+    n_batches: int
+    mean_batch_size: float
+    peak_burn_rate: float
+    shed_by_class: Tuple[Tuple[str, int], ...]
+    completed_by_class: Tuple[Tuple[str, int], ...]
+    actions: Tuple[ScaleAction, ...] = field(repr=False)
+
+    def format(self) -> str:
+        """Human-readable report block for the CLI."""
+        cfg = self.config.serve
+        policy = self.config.policy
+        assert policy is not None
+        auto = policy.autoscale
+        lines = [
+            f"elastic serving {cfg.spec.label}: pool "
+            f"[{auto.min_shards}, {auto.max_shards}] starting at "
+            f"{cfg.n_shards}, {self.n_offered} offered (seed {cfg.seed})",
+            f"  admission: {self.n_admitted} admitted, {self.n_shed} shed "
+            + " ".join(f"{name}={count}"
+                       for name, count in self.shed_by_class),
+            f"  autoscaler: {self.n_attaches} attach(es) "
+            f"({self.warmup_total_s * 1e3:.3f} ms warm-up DMA-in), "
+            f"{self.n_detaches} detach(es), pool {self.pool_min}"
+            f"->{self.pool_max}, final {self.pool_final}, "
+            f"peak burn {self.peak_burn_rate:.2f}",
+            f"  throughput: {self.throughput_qps:8.1f} qps sustained "
+            f"({self.n_completed} completed in {self.makespan_s:.3f} s), "
+            f"{self.n_batches} batches, "
+            f"mean size {self.mean_batch_size:.2f}",
+        ]
+        retrieval, tti = self.retrieval.as_ms(), self.tti.as_ms()
+        lines.append(
+            "  retrieval ms: "
+            + "  ".join(f"{name} {retrieval[name]:8.2f}"
+                        for name in ("p50", "p95", "p99", "max")))
+        lines.append(
+            "  tti       ms: "
+            + "  ".join(f"{name} {tti[name]:8.2f}"
+                        for name in ("p50", "p95", "p99", "max")))
+        lines.append(
+            f"  SLO {cfg.slo_s * 1e3:g} ms: "
+            f"{self.slo_attainment * 100:.1f}% attained among completed, "
+            f"goodput {self.goodput * 100:.1f}% of offered")
+        lines.append(
+            "  utilization: "
+            + "  ".join(f"slot{i} {u * 100:5.1f}%"
+                        for i, u in enumerate(self.shard_utilization)))
+        return "\n".join(lines)
+
+
+class _Slot:
+    """Mutable per-device state during an elastic run."""
+
+    __slots__ = ("queue", "busy", "busy_s", "gen", "timer_armed_gen",
+                 "batch_seq", "chunk_count", "serving", "warming",
+                 "draining")
+
+    def __init__(self) -> None:
+        self.queue: List[Tuple[int, float]] = []  # (req_id, enqueue_s)
+        self.busy = False
+        self.busy_s = 0.0
+        self.gen = 0
+        self.timer_armed_gen = -1
+        self.batch_seq = 0
+        #: Chunks this device scans per query (frozen while draining).
+        self.chunk_count = 0
+        self.serving = False
+        self.warming = False
+        self.draining = False
+
+
+@dataclass
+class _ElasticRun:
+    """Raw artifacts of one elastic run (for traces + telemetry)."""
+
+    report: ScaleReport
+    result: ScheduleResult
+    priorities: Dict[int, int]
+    stage_tables: List[Any]
+    batch_bytes: List[int]
+    merge_by_required: Dict[int, float]
+
+
+class ScaleSimulator:
+    """Drive a request stream through the elastic serving stack."""
+
+    def __init__(self, config: ScaleConfig,
+                 params: APUParams = DEFAULT_PARAMS,
+                 generator: Optional[GenerationModel] = None):
+        self.config = config
+        self.params = params
+        self.generator = generator or GenerationModel()
+        self._static: Optional[ServingSimulator] = None
+        self._pool: Optional[ElasticAPUDevicePool] = None
+        if config.policy is None:
+            self._static = ServingSimulator(
+                config.serve, params=params, generator=self.generator)
+        else:
+            self._pool = ElasticAPUDevicePool(
+                config.serve.spec, config.policy.autoscale.max_shards,
+                config.serve.k, params)
+        self.prefill_s = self.generator.prefill_seconds()
+        self._merge_memo: Dict[int, float] = {}
+        self._last_run: Optional[_ElasticRun] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_static(self) -> bool:
+        return self._static is not None
+
+    def _merge_for(self, n_required: int) -> float:
+        cost = self._merge_memo.get(n_required)
+        if cost is None:
+            cost = merge_seconds(n_required, self.config.serve.k,
+                                 self.params)
+            self._merge_memo[n_required] = cost
+        return cost
+
+    def _static_requests(self) -> Optional[Sequence[Any]]:
+        if self.config.arrivals is None:
+            return None
+        return trace_arrivals(self.config.arrivals)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Union[ServeReport, ScaleReport]:
+        """Simulate the configured stream.
+
+        Static configurations return the **identical**
+        :class:`~repro.serve.simulator.ServeReport` the static simulator
+        produces (and emit the identical trace events); elastic ones
+        return a :class:`ScaleReport`.
+        """
+        if self._static is not None:
+            return self._static.run(self._static_requests())
+        return self._run_elastic(capture=False).report
+
+    def run_with_telemetry(self) -> Tuple[Any, Any]:
+        """Simulate and derive request-level telemetry.
+
+        Static configurations return the static simulator's
+        ``(ServeReport, RunTelemetry)`` unchanged; elastic ones return
+        ``(ScaleReport, ScaleTelemetry)`` with span trees built per
+        admitted request and a scale-specific metrics registry.
+        """
+        if self._static is not None:
+            return self._static.run_with_telemetry(self._static_requests())
+        from .telemetry import build_scale_telemetry
+
+        run = self._run_elastic(capture=True)
+        return run.report, build_scale_telemetry(
+            run, self.prefill_s, self.params.clock_hz)
+
+    # ------------------------------------------------------------------
+    def _run_elastic(self, capture: bool) -> _ElasticRun:
+        cfg = self.config.serve
+        policy = self.config.policy
+        assert policy is not None and self._pool is not None
+        pool = self._pool
+        auto = policy.autoscale
+        classes = policy.priorities
+        shares = np.asarray(policy.shares, dtype=np.float64)
+        batch_policy: BatchPolicy = cfg.batch
+        controller = BurnRateController(auto, cfg.slo_s)
+
+        if capture:
+            from ..telemetry.build import StageTable
+            stage_memo: Dict[Tuple[int, int], Any] = {}
+
+        heap: List[tuple] = []
+        push_seq = 0
+
+        def push(time_s: float, kind: int, payload: Any) -> None:
+            nonlocal push_seq
+            heapq.heappush(heap, (time_s, push_seq, kind, payload))
+            push_seq += 1
+
+        slots = [_Slot() for _ in range(pool.capacity)]
+        serving: List[int] = list(range(cfg.n_shards))
+        for j, count in pool.counts_for(serving).items():
+            slots[j].serving = True
+            slots[j].chunk_count = count
+        n_warming = 0
+
+        records: Dict[int, RequestRecord] = {}
+        priorities: Dict[int, int] = {}
+        req_client: Dict[int, int] = {}
+        tti_latency: Dict[int, float] = {}
+        batches: List[ExecutedBatch] = []
+        stage_tables: List[Any] = []
+        batch_bytes: List[int] = []
+        actions: List[ScaleAction] = []
+        shed_counts = [0 for _ in classes]
+        n_open = 0
+        n_shed = 0
+        pool_min = pool_max = len(serving)
+        peak_burn = 0.0
+        warmup_total = 0.0
+
+        closed = self.config.closed_loop
+        if closed is None:
+            if self.config.arrivals is not None:
+                times = list(self.config.arrivals)
+            else:
+                rng_arrival = np.random.default_rng(cfg.seed)
+                gaps = rng_arrival.exponential(
+                    1.0 / cfg.qps, size=cfg.n_requests)
+                times = list(np.cumsum(gaps))
+            rng_priority = np.random.default_rng([cfg.seed, 101])
+            assigned = rng_priority.choice(
+                len(classes), size=len(times), p=shares)
+            n_expected = len(times)
+            for req_id, t in enumerate(times):
+                priorities[req_id] = int(assigned[req_id])
+                push(float(t), _ARRIVE, req_id)
+            issues_pending = 0
+            issued = n_expected
+        else:
+            rng_priority = np.random.default_rng([closed.seed, 101])
+            rng_think = np.random.default_rng([closed.seed, 211])
+            n_expected = closed.n_requests
+            issued = 0
+            issues_pending = 0
+            offsets = rng_think.exponential(
+                closed.think_time_s, size=closed.n_clients)
+            for client, offset in enumerate(offsets):
+                push(float(offset), _ISSUE, client)
+                issues_pending += 1
+
+        arrivals_pending = n_expected if closed is None else 0
+
+        def work_remains() -> bool:
+            if n_open > 0 or issues_pending > 0:
+                return True
+            if closed is None:
+                return arrivals_pending > 0
+            return issued < n_expected
+
+        def retopo() -> None:
+            """Re-anchor every serving slot on the current topology."""
+            for j, count in pool.counts_for(serving).items():
+                slots[j].chunk_count = count
+
+        def queue_pressure() -> float:
+            queued = sum(len(slots[j].queue) for j in serving)
+            return queued / (len(serving) * batch_policy.max_batch)
+
+        def next_think(after_s: float) -> None:
+            nonlocal issues_pending
+            assert closed is not None
+            if issued >= n_expected:
+                return
+            think = float(rng_think.exponential(closed.think_time_s))
+            push(after_s + think, _ISSUE, -1)
+            issues_pending += 1
+
+        def check_resolved(record: RequestRecord, now: float) -> None:
+            nonlocal n_open
+            if record.retrieval_done_s is not None:
+                return
+            if len(record.shard_done_s) >= record.n_required:
+                record.retrieval_done_s = now
+                n_open -= 1
+                merge = self._merge_for(record.n_required)
+                lat = (now - record.arrival_s) + merge + self.prefill_s
+                tti_latency[record.req_id] = lat
+                controller.note_completion(now, lat)
+                if closed is not None:
+                    next_think(now + merge + self.prefill_s)
+
+        def dispatch(shard_id: int, now: float) -> None:
+            state = slots[shard_id]
+            take = min(batch_policy.max_batch, len(state.queue))
+            head_enqueue = state.queue[0][1]
+            taken = state.queue[:take]
+            del state.queue[:take]
+            service = pool.service_seconds(state.chunk_count, take)
+            batch = ExecutedBatch(
+                shard_id=shard_id, seq=state.batch_seq, dispatch_s=now,
+                service_s=service,
+                request_ids=tuple(req_id for req_id, _ in taken),
+                head_enqueue_s=head_enqueue)
+            state.batch_seq += 1
+            state.busy = True
+            state.gen += 1  # stale any armed max-wait timer
+            batches.append(batch)
+            batch_bytes.append(pool.embedding_bytes(state.chunk_count))
+            if capture:
+                key = (state.chunk_count, take)
+                table = stage_memo.get(key)
+                if table is None:
+                    table = stage_memo[key] = StageTable(
+                        shard_id=shard_id, batch_size=take,
+                        stages=pool.stage_seconds(state.chunk_count, take))
+                if table.shard_id == shard_id:
+                    stage_tables.append(table)
+                else:
+                    stage_tables.append(StageTable(
+                        shard_id=shard_id, batch_size=take,
+                        stages=table.stages))
+            push(batch.complete_s, _DONE, batch)
+
+        def maybe_dispatch(shard_id: int, now: float) -> None:
+            state = slots[shard_id]
+            if state.busy or not state.queue:
+                return
+            if len(state.queue) >= batch_policy.max_batch:
+                dispatch(shard_id, now)
+                return
+            deadline = state.queue[0][1] + batch_policy.max_wait_s
+            if now >= deadline:
+                dispatch(shard_id, now)
+            elif state.timer_armed_gen != state.gen:
+                state.timer_armed_gen = state.gen
+                push(deadline, _TIMER, (shard_id, state.gen))
+
+        def handle_arrival(req_id: int, now: float, prio: int) -> None:
+            nonlocal n_open, n_shed
+            threshold = policy.admission.shed_queue_batches \
+                * classes[prio].weight
+            if queue_pressure() >= threshold:
+                n_shed += 1
+                shed_counts[prio] += 1
+                actions.append(ScaleAction(
+                    kind="shed", t_s=now, pool_size=len(serving),
+                    priority=classes[prio].name))
+                if closed is not None:
+                    next_think(now)
+                return
+            record = RequestRecord(req_id=req_id, arrival_s=now,
+                                   n_required=len(serving))
+            records[req_id] = record
+            n_open += 1
+            for shard_id in serving:
+                slots[shard_id].queue.append((req_id, now))
+                maybe_dispatch(shard_id, now)
+
+        def note_pool_size() -> None:
+            nonlocal pool_min, pool_max
+            pool_min = min(pool_min, len(serving))
+            pool_max = max(pool_max, len(serving))
+
+        def scale_up(now: float, burn: float) -> None:
+            nonlocal n_warming, warmup_total
+            room = auto.max_shards - (len(serving) + n_warming)
+            candidates = [j for j in range(pool.capacity)
+                          if not (slots[j].serving or slots[j].warming
+                                  or slots[j].draining)]
+            committed = serving + [j for j in range(pool.capacity)
+                                   if slots[j].warming]
+            for j in candidates[:min(auto.scale_up_step, room)]:
+                committed = sorted(committed + [j])
+                count = pool.counts_for(committed)[j]
+                warm_s = pool.warmup_seconds(count)
+                slots[j].warming = True
+                n_warming += 1
+                warmup_total += warm_s
+                push(now + warm_s, _WARM, j)
+                actions.append(ScaleAction(
+                    kind="attach", t_s=now, shard_id=j,
+                    pool_size=len(serving), burn_rate=burn,
+                    duration_s=warm_s))
+
+        def scale_down(now: float, burn: float) -> None:
+            j = serving[-1]
+            serving.remove(j)
+            state = slots[j]
+            state.serving = False
+            state.draining = True
+            retopo()
+            note_pool_size()
+            actions.append(ScaleAction(
+                kind="detach", t_s=now, shard_id=j,
+                pool_size=len(serving), burn_rate=burn))
+            if not state.queue and not state.busy:
+                state.draining = False
+                actions.append(ScaleAction(
+                    kind="drained", t_s=now, shard_id=j,
+                    pool_size=len(serving)))
+
+        push(auto.control_interval_s, _CONTROL, None)
+
+        while heap:
+            now, _, kind, payload = heapq.heappop(heap)
+            if kind == _ARRIVE:
+                arrivals_pending -= 1
+                handle_arrival(payload, now, priorities[payload])
+            elif kind == _TIMER:
+                shard_id, gen = payload
+                if slots[shard_id].gen == gen:
+                    maybe_dispatch(shard_id, now)
+            elif kind == _DONE:
+                batch = payload
+                state = slots[batch.shard_id]
+                state.busy = False
+                state.busy_s += batch.service_s
+                for req_id in batch.request_ids:
+                    record = records[req_id]
+                    if batch.shard_id in record.shard_done_s:
+                        raise RuntimeError(
+                            f"request {req_id} served twice on shard "
+                            f"{batch.shard_id}")
+                    record.shard_done_s[batch.shard_id] = now
+                    check_resolved(record, now)
+                maybe_dispatch(batch.shard_id, now)
+                if state.draining and not state.queue and not state.busy:
+                    state.draining = False
+                    actions.append(ScaleAction(
+                        kind="drained", t_s=now, shard_id=batch.shard_id,
+                        pool_size=len(serving)))
+            elif kind == _WARM:
+                state = slots[payload]
+                state.warming = False
+                state.serving = True
+                n_warming -= 1
+                serving.append(payload)
+                serving.sort()
+                retopo()
+                note_pool_size()
+                actions.append(ScaleAction(
+                    kind="warm", t_s=now, shard_id=payload,
+                    pool_size=len(serving)))
+            elif kind == _ISSUE:
+                issues_pending -= 1
+                if issued >= n_expected:
+                    continue
+                req_id = issued
+                issued += 1
+                prio = int(rng_priority.choice(len(classes), p=shares))
+                priorities[req_id] = prio
+                req_client[req_id] = payload
+                handle_arrival(req_id, now, prio)
+            else:  # _CONTROL
+                n_overdue = sum(
+                    1 for record in records.values()
+                    if record.retrieval_done_s is None
+                    and now - record.arrival_s > cfg.slo_s)
+                window = controller.window(now, n_overdue)
+                burn = controller.burn_rate(window)
+                peak_burn = max(peak_burn, burn)
+                actions.append(ScaleAction(
+                    kind="tick", t_s=now, pool_size=len(serving),
+                    burn_rate=burn))
+                verdict = controller.decide(now, burn, len(serving),
+                                            n_warming)
+                if verdict == SCALE_UP:
+                    scale_up(now, burn)
+                elif verdict == SCALE_DOWN:
+                    scale_down(now, burn)
+                if work_remains():
+                    push(now + auto.control_interval_s, _CONTROL, None)
+
+        if not records:  # pragma: no cover - first arrival always admits
+            raise RuntimeError("every offered request was shed")
+        incomplete = [r.req_id for r in records.values()
+                      if r.retrieval_done_s is None]
+        if incomplete:  # pragma: no cover - guarded by construction
+            raise RuntimeError(f"requests never completed: {incomplete}")
+
+        result = ScheduleResult(
+            n_shards=pool.capacity,
+            policy=batch_policy,
+            batches=tuple(batches),
+            records=tuple(records[req_id] for req_id in sorted(records)),
+            busy_seconds=tuple(state.busy_s for state in slots),
+        )
+        run = self._build_report(result, priorities, tti_latency,
+                                 shed_counts, actions, pool_min, pool_max,
+                                 len(serving), peak_burn, warmup_total,
+                                 stage_tables, batch_bytes)
+        self._emit_trace(run)
+        self._last_run = run
+        return run
+
+    # ------------------------------------------------------------------
+    def _build_report(self, result: ScheduleResult,
+                      priorities: Dict[int, int],
+                      tti_latency: Dict[int, float],
+                      shed_counts: List[int],
+                      actions: List[ScaleAction],
+                      pool_min: int, pool_max: int, pool_final: int,
+                      peak_burn: float, warmup_total: float,
+                      stage_tables: List[Any],
+                      batch_bytes: List[int]) -> _ElasticRun:
+        cfg = self.config.serve
+        policy = self.config.policy
+        assert policy is not None
+        classes = policy.priorities
+        merge_by_required = dict(self._merge_memo)
+
+        retrieval_lat = [r.retrieval_latency_s
+                         + self._merge_for(r.n_required)
+                         for r in result.records]
+        tti_lat = [tti_latency[r.req_id] for r in result.records]
+        makespan = max(r.retrieval_done_s + self._merge_for(r.n_required)
+                       for r in result.records
+                       if r.retrieval_done_s is not None) + self.prefill_s
+        sizes = [batch.batch_size for batch in result.batches]
+        n_admitted = len(result.records)
+        n_shed = sum(shed_counts)
+        n_offered = n_admitted + n_shed
+        n_good = sum(1 for lat in tti_lat if lat <= cfg.slo_s)
+        completed_by_class = [0 for _ in classes]
+        for record in result.records:
+            completed_by_class[priorities[record.req_id]] += 1
+        report = ScaleReport(
+            config=self.config,
+            n_offered=n_offered,
+            n_admitted=n_admitted,
+            n_shed=n_shed,
+            n_completed=n_admitted,
+            makespan_s=makespan,
+            throughput_qps=n_admitted / makespan,
+            goodput=n_good / n_offered,
+            retrieval=LatencyStats.from_samples(retrieval_lat),
+            tti=LatencyStats.from_samples(tti_lat),
+            slo_attainment=slo_attainment(tti_lat, cfg.slo_s),
+            pool_min=pool_min,
+            pool_max=pool_max,
+            pool_final=pool_final,
+            n_attaches=sum(1 for a in actions if a.kind == "attach"),
+            n_detaches=sum(1 for a in actions if a.kind == "detach"),
+            warmup_total_s=warmup_total,
+            shard_utilization=tuple(
+                utilization(result.busy_seconds, result.horizon_s)),
+            n_batches=len(result.batches),
+            mean_batch_size=sum(sizes) / len(sizes) if sizes else 0.0,
+            peak_burn_rate=peak_burn,
+            shed_by_class=tuple(
+                (cls.name, shed_counts[i])
+                for i, cls in enumerate(classes)),
+            completed_by_class=tuple(
+                (cls.name, completed_by_class[i])
+                for i, cls in enumerate(classes)),
+            actions=tuple(actions),
+        )
+        return _ElasticRun(
+            report=report, result=result, priorities=dict(priorities),
+            stage_tables=stage_tables, batch_bytes=batch_bytes,
+            merge_by_required=merge_by_required)
+
+    # ------------------------------------------------------------------
+    def _emit_trace(self, run: _ElasticRun) -> None:
+        """Serve-lane batches/merges plus the SCALE decision lane."""
+        trace = _trace_collector.ACTIVE
+        if trace is None or not trace.enabled:
+            return
+        clock = self.params.clock_hz
+        result = run.result
+        for batch, nbytes in zip(result.batches, run.batch_bytes):
+            wait = batch.dispatch_s - batch.head_enqueue_s
+            if wait > 0:
+                trace.emit(TraceEvent(
+                    name="serve_queue_wait", lane=LANE_VCU,
+                    start_cycle=batch.head_enqueue_s * clock,
+                    cycles=wait * clock,
+                    section=f"serve/shard{batch.shard_id}",
+                    core_id=batch.shard_id))
+            trace.emit(TraceEvent(
+                name="serve_batch", lane=LANE_VCU,
+                start_cycle=batch.dispatch_s * clock,
+                cycles=batch.service_s * clock,
+                count=1,
+                section=f"serve/shard{batch.shard_id}",
+                bytes_moved=nbytes,
+                core_id=batch.shard_id))
+        capacity = result.n_shards
+        for record in result.records:
+            if record.retrieval_done_s is None:  # pragma: no cover
+                continue
+            cycles = merge_cycles(record.n_required,
+                                  self.config.serve.k, self.params)
+            if cycles <= 0:  # pragma: no cover - k >= 1 merges cost > 0
+                continue
+            trace.emit(TraceEvent(
+                name="serve_merge", lane=LANE_VCU,
+                start_cycle=record.retrieval_done_s * clock,
+                cycles=cycles,
+                section="serve/merge",
+                core_id=capacity))
+        pool = self._pool
+        assert pool is not None
+        for action in run.report.actions:
+            if action.kind == "tick":
+                trace.emit(TraceEvent(
+                    name="scale_tick", lane=LANE_SCALE,
+                    start_cycle=action.t_s * clock, cycles=0.0,
+                    section="scale/controller", core_id=capacity))
+            elif action.kind == "attach":
+                trace.emit(TraceEvent(
+                    name="scale_attach", lane=LANE_SCALE,
+                    start_cycle=action.t_s * clock, cycles=0.0,
+                    section="scale/controller", core_id=capacity))
+                trace.emit(TraceEvent(
+                    name="scale_warmup", lane=LANE_SCALE,
+                    start_cycle=action.t_s * clock,
+                    cycles=action.duration_s * clock,
+                    section=f"scale/shard{action.shard_id}",
+                    bytes_moved=pool.embedding_bytes(
+                        pool.base_counts[action.shard_id]),
+                    core_id=action.shard_id))
+            elif action.kind == "detach":
+                trace.emit(TraceEvent(
+                    name="scale_detach", lane=LANE_SCALE,
+                    start_cycle=action.t_s * clock, cycles=0.0,
+                    section=f"scale/shard{action.shard_id}",
+                    core_id=action.shard_id))
+            elif action.kind == "drained":
+                trace.emit(TraceEvent(
+                    name="scale_drained", lane=LANE_SCALE,
+                    start_cycle=action.t_s * clock, cycles=0.0,
+                    section=f"scale/shard{action.shard_id}",
+                    core_id=action.shard_id))
+            elif action.kind == "shed":
+                trace.emit(TraceEvent(
+                    name="scale_shed", lane=LANE_SCALE,
+                    start_cycle=action.t_s * clock, cycles=0.0,
+                    section="scale/admission", core_id=capacity))
+
+
+def golden_autoscale_config() -> ScaleConfig:
+    """The canonical autoscaling workload pinned by the golden traces.
+
+    A two-device pool (bounds [2, 6]) serving the 10 GB corpus at a
+    150 qps floor, hit by a 10x spike 50 ms in: the burn-rate
+    controller rides through attach -> warm-up -> serve -> drain-down,
+    and admission control sheds a handful of background-class requests
+    at the spike's crest -- every SCALE-lane event kind in one
+    sub-second run.
+    """
+    qps = 250.0
+    n_requests = 512
+    seed = 0
+    return ScaleConfig(
+        serve=ServeConfig(
+            spec=PAPER_CORPORA["10GB"],
+            n_shards=2,
+            batch=BatchPolicy(max_batch=8, max_wait_s=2e-3),
+            k=5,
+            qps=qps,
+            n_requests=n_requests,
+            seed=seed,
+            # TTI = retrieval + merge + prefill; prefill alone is
+            # ~501.6 ms, so the budget leaves ~10 ms for queueing.
+            slo_s=0.512,
+        ),
+        policy=ScalePolicy(
+            autoscale=AutoscalePolicy(min_shards=2, max_shards=6)),
+        arrivals=tuple(
+            float(t) for t in spike_arrival_times(
+                qps, n_requests, seed,
+                spike_start_s=0.050, spike_duration_s=0.150,
+                spike_multiplier=10.0)),
+    )

@@ -1,0 +1,271 @@
+"""Span trees and metrics for elastic serving runs.
+
+The static telemetry builder (:mod:`repro.telemetry.build`) assumes one
+merge cost for every request -- correct when the pool size never
+changes.  Under autoscaling a request's scatter-gather width is the
+pool size *at its admission*, so the merge cost varies per request:
+:func:`build_scale_traces` rebuilds the span trees with each record's
+own ``n_required`` merge, reusing the static builder's shard-chain and
+stage-table machinery so a fixed-size elastic run degenerates to the
+static trees exactly.
+
+Everything here is derivational (post-run, from the synthesized
+:class:`~repro.serve.scheduler.ScheduleResult` and the action log), so
+telemetry-on and telemetry-off elastic runs stay bit-identical -- the
+same property the static pipeline pins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..telemetry.build import (
+    BATCH_SIZE_BOUNDS,
+    RunTelemetry,
+    StageTable,
+    _shard_chain,
+)
+from ..telemetry.critical import (
+    CriticalPath,
+    critical_path,
+    stage_attribution,
+)
+from ..telemetry.metrics import (
+    DEFAULT_LATENCY_BOUNDS_S,
+    MetricsRegistry,
+    slo_burn_windows,
+)
+from ..telemetry.spans import (
+    SPAN_MERGE,
+    SPAN_PREFILL,
+    SPAN_QUERY,
+    SPAN_QUEUE_WAIT,
+    QueryTrace,
+    Span,
+)
+
+__all__ = [
+    "build_scale_traces",
+    "build_scale_metrics",
+    "build_scale_telemetry",
+]
+
+
+def build_scale_traces(result: Any,
+                       merge_by_required: Mapping[int, float],
+                       prefill_s: float,
+                       stage_tables: Optional[Sequence[StageTable]] = None,
+                       ) -> List[QueryTrace]:
+    """One :class:`QueryTrace` per admitted request, in req-id order.
+
+    ``merge_by_required`` maps a record's scatter-gather width to its
+    top-k merge cost (the simulator's memo) -- the only place the
+    elastic trees diverge from the static builder's single scalar.
+    """
+    tables: Dict[Tuple[int, int], StageTable] = {}
+    if stage_tables is not None:
+        if len(stage_tables) != len(result.batches):
+            raise ValueError(
+                f"{len(stage_tables)} stage tables for "
+                f"{len(result.batches)} executed batches")
+        for batch, table in zip(result.batches, stage_tables):
+            if table.shard_id != batch.shard_id \
+                    or table.batch_size != batch.batch_size:
+                raise ValueError(
+                    f"stage table ({table.shard_id}, {table.batch_size}) "
+                    f"does not match batch ({batch.shard_id}, "
+                    f"{batch.batch_size})")
+            tables[(batch.shard_id, batch.seq)] = table
+
+    by_request: Dict[int, Dict[int, List[Any]]] = {}
+    for batch in result.batches:
+        for req_id in batch.request_ids:
+            by_request.setdefault(req_id, {}).setdefault(
+                batch.shard_id, []).append(batch)
+
+    traces: List[QueryTrace] = []
+    for record in result.records:
+        done = record.retrieval_done_s
+        if done is None:  # pragma: no cover - simulator invariant
+            raise ValueError(f"request {record.req_id} never resolved")
+        merge_s = merge_by_required[record.n_required]
+        tti_end = (done + merge_s) + prefill_s
+        root = Span(name=SPAN_QUERY, start_s=record.arrival_s,
+                    end_s=tti_end,
+                    labels={"n_required": str(record.n_required)})
+        shard_ids = sorted(record.shard_done_s)
+        leg_ends: Dict[int, float] = {}
+        for shard_id in shard_ids:
+            attempts = sorted(
+                by_request.get(record.req_id, {}).get(shard_id, []),
+                key=lambda b: b.dispatch_s)
+            leg = _shard_chain(record, shard_id, attempts, tables, None)
+            leg_ends[shard_id] = leg.end_s
+            root.children.append(leg)
+        determining: Optional[int] = None
+        for shard_id in shard_ids:
+            if leg_ends[shard_id] == done:
+                determining = shard_id
+                break
+        if determining is None:  # pragma: no cover - resolution is a
+            raise ValueError(  # shard completion event by construction
+                f"request {record.req_id}: no shard leg ends at the "
+                f"recorded resolution time {done!r}")
+        merge_end = done + merge_s
+        root.children.append(Span(name=SPAN_MERGE, start_s=done,
+                                  end_s=merge_end))
+        root.children.append(Span(name=SPAN_PREFILL, start_s=merge_end,
+                                  end_s=merge_end + prefill_s))
+        traces.append(QueryTrace(
+            req_id=record.req_id,
+            arrival_s=record.arrival_s,
+            retrieval_done_s=done,
+            merge_s=merge_s,
+            prefill_s=prefill_s,
+            root=root,
+            determining_shard=determining,
+            n_required=record.n_required,
+            failed_shards=(),
+            corrupted_shards=(),
+        ))
+    return traces
+
+
+def build_scale_metrics(report: Any, result: Any,
+                        paths: Sequence[CriticalPath],
+                        traces: Sequence[QueryTrace],
+                        priorities: Mapping[int, int],
+                        n_burn_windows: int = 4) -> MetricsRegistry:
+    """Populate a registry from one elastic run.
+
+    The serve-level series keep their static names (throughput,
+    attainment, latency histograms, burn windows) so dashboards span
+    both modes; the elastic control plane adds ``repro_scale_*``
+    series for admission, shedding, pool motion, and warm-up cost.
+    """
+    registry = MetricsRegistry()
+    cfg = report.config.serve
+    policy = report.config.policy
+    classes = policy.priorities
+
+    offered = registry.counter(
+        "repro_scale_offered_total", "Requests offered to admission")
+    offered.inc(report.n_offered)
+    admitted = registry.counter(
+        "repro_scale_admitted_total", "Requests admitted, by class")
+    for cls_name, count in report.completed_by_class:
+        admitted.inc(count, **{"class": cls_name})
+    shed = registry.counter(
+        "repro_scale_shed_total", "Requests shed at admission, by class")
+    for cls_name, count in report.shed_by_class:
+        shed.inc(count, **{"class": cls_name})
+
+    attaches = registry.counter(
+        "repro_scale_attaches_total", "Autoscaler attach decisions")
+    attaches.inc(report.n_attaches)
+    detaches = registry.counter(
+        "repro_scale_detaches_total", "Autoscaler detach decisions")
+    detaches.inc(report.n_detaches)
+    warmup = registry.counter(
+        "repro_scale_warmup_seconds_total",
+        "Corpus DMA-in seconds charged to cold attaches")
+    warmup.inc(report.warmup_total_s)
+    pool = registry.gauge(
+        "repro_scale_pool_size", "Serving devices over the run")
+    pool.set(report.pool_min, bound="min")
+    pool.set(report.pool_max, bound="max")
+    pool.set(report.pool_final, bound="final")
+    peak_burn = registry.gauge(
+        "repro_scale_peak_burn_rate",
+        "Highest burn rate any control tick observed")
+    peak_burn.set(report.peak_burn_rate)
+    goodput = registry.gauge(
+        "repro_scale_goodput_ratio",
+        "Offered requests completed within the SLO")
+    goodput.set(report.goodput)
+
+    batches = registry.counter(
+        "repro_batches_total", "Executed batch attempts by outcome")
+    for batch in result.batches:
+        batches.inc(shard=str(batch.shard_id), outcome=batch.outcome)
+
+    critical = registry.counter(
+        "repro_critical_path_seconds_total",
+        "Critical-path seconds attributed per stage")
+    for stage, seconds in sorted(stage_attribution(paths).items()):
+        critical.inc(seconds, stage=stage)
+
+    throughput = registry.gauge(
+        "repro_throughput_qps", "Sustained queries per second")
+    throughput.set(report.throughput_qps)
+    makespan = registry.gauge(
+        "repro_makespan_seconds", "Simulated makespan")
+    makespan.set(report.makespan_s)
+    attainment = registry.gauge(
+        "repro_slo_attainment_ratio",
+        "Fraction of completed requests at or under the TTI SLO")
+    attainment.set(report.slo_attainment)
+    util = registry.gauge(
+        "repro_shard_utilization_ratio",
+        "Per-slot busy fraction of the simulated horizon")
+    for slot_id, value in enumerate(report.shard_utilization):
+        util.set(value, shard=str(slot_id))
+
+    tti_hist = registry.histogram(
+        "repro_tti_seconds",
+        "Time-to-interactive distribution, by priority class",
+        DEFAULT_LATENCY_BOUNDS_S)
+    retrieval_hist = registry.histogram(
+        "repro_retrieval_seconds",
+        "Arrival-to-merged-top-k latency distribution",
+        DEFAULT_LATENCY_BOUNDS_S)
+    queue_hist = registry.histogram(
+        "repro_queue_wait_seconds",
+        "Per-request queue-wait on the critical path",
+        DEFAULT_LATENCY_BOUNDS_S)
+    size_hist = registry.histogram(
+        "repro_batch_size", "Executed batch sizes", BATCH_SIZE_BOUNDS)
+    for trace in traces:
+        cls_name = classes[priorities[trace.req_id]].name
+        tti_hist.observe(trace.tti_s, **{"class": cls_name})
+        retrieval_hist.observe(trace.retrieval_latency_s + trace.merge_s)
+    for path in paths:
+        waited = path.stage_totals().get(SPAN_QUEUE_WAIT, 0.0)
+        queue_hist.observe(waited)
+    for batch in result.batches:
+        size_hist.observe(batch.batch_size, shard=str(batch.shard_id))
+
+    burn = registry.gauge(
+        "repro_slo_burn_rate",
+        f"SLO error-budget burn rate per window "
+        f"(target {policy.autoscale.slo_target:g})")
+    budget = policy.autoscale.error_budget
+    windows = slo_burn_windows(
+        [t.arrival_s for t in traces], [t.tti_s for t in traces],
+        cfg.slo_s, report.makespan_s, n_burn_windows)
+    for window in windows:
+        burn.set(window.burn_rate(budget), window=str(window.index))
+    return registry
+
+
+def build_scale_telemetry(run: Any, prefill_s: float,
+                          clock_hz: float) -> RunTelemetry:
+    """Derive the full telemetry bundle from one elastic run.
+
+    ``run`` is the simulator's internal ``_ElasticRun`` artifact; the
+    result is the same :class:`~repro.telemetry.build.RunTelemetry`
+    bundle the static pipeline produces, so every downstream renderer
+    (span reports, attribution, flamegraphs, Perfetto export) works
+    unchanged.
+    """
+    traces = build_scale_traces(run.result, run.merge_by_required,
+                                prefill_s, run.stage_tables)
+    paths = tuple(critical_path(trace) for trace in traces)
+    registry = build_scale_metrics(run.report, run.result, paths, traces,
+                                   run.priorities)
+    return RunTelemetry(
+        traces=tuple(traces),
+        critical_paths=paths,
+        registry=registry,
+        clock_hz=clock_hz,
+    )

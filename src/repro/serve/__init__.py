@@ -45,11 +45,22 @@ from .simulator import (
     golden_integrity_config,
     golden_serve_config,
 )
-from .workload import Request, poisson_arrival_times, poisson_arrivals, \
-    trace_arrivals
+from .workload import (
+    ClosedLoopConfig,
+    Request,
+    ThinkTimeError,
+    WorkloadConfigError,
+    bursty_arrival_times,
+    diurnal_arrival_times,
+    poisson_arrival_times,
+    poisson_arrivals,
+    spike_arrival_times,
+    trace_arrivals,
+)
 
 __all__ = [
     "BatchPolicy",
+    "ClosedLoopConfig",
     "CorpusShard",
     "DiscreteEventScheduler",
     "ExecutedBatch",
@@ -66,7 +77,11 @@ __all__ = [
     "ServingSimulator",
     "ShardServiceModel",
     "ShardedAPURetriever",
+    "ThinkTimeError",
+    "WorkloadConfigError",
+    "bursty_arrival_times",
     "chunk_owners",
+    "diurnal_arrival_times",
     "golden_fault_config",
     "golden_integrity_config",
     "golden_serve_config",
@@ -83,6 +98,7 @@ __all__ = [
     "shard_global_indices",
     "shard_specs",
     "slo_attainment",
+    "spike_arrival_times",
     "trace_arrivals",
     "utilization",
 ]

@@ -1,0 +1,73 @@
+"""Differential proof: autoscaler-off runs ARE the static simulator.
+
+``ScaleSimulator`` with no policy must be a zero-cost wrapper -- every
+observable artifact (report, trace events, span renderings, metrics
+exposition) byte-identical to ``ServingSimulator`` on the same config,
+for both engines and including the fault-plan and integrity variants.
+This is what lets the elastic path land without re-golden-ing anything.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.obs import collecting
+from repro.scale import ScaleConfig, ScaleSimulator
+from repro.serve.simulator import ServingSimulator, golden_fault_config, \
+    golden_integrity_config, golden_serve_config
+from repro.telemetry import render_attribution, render_spans_report
+
+pytestmark = pytest.mark.scale
+
+CONFIGS = {
+    "serve": golden_serve_config,
+    "faults": golden_fault_config,
+    "integrity": golden_integrity_config,
+}
+ENGINES = ("scalar", "vectorized")
+
+
+def _pair(name, engine):
+    serve = dataclasses.replace(CONFIGS[name](), engine=engine)
+    return ServingSimulator(serve), ScaleSimulator(ScaleConfig(serve=serve))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_reports_bit_identical(name, engine):
+    static, wrapped = _pair(name, engine)
+    assert wrapped.run() == static.run()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_trace_events_bit_identical(name, engine):
+    static, wrapped = _pair(name, engine)
+    with collecting() as expected:
+        static.run()
+    with collecting() as actual:
+        wrapped.run()
+    assert len(actual.events) == len(expected.events) > 0
+    assert actual.events == expected.events
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_telemetry_bit_identical(name, engine):
+    static, wrapped = _pair(name, engine)
+    expected_report, expected = static.run_with_telemetry()
+    actual_report, actual = wrapped.run_with_telemetry()
+    assert actual_report == expected_report
+    assert actual.traces == expected.traces
+    assert actual.critical_paths == expected.critical_paths
+
+    def spans_text(telemetry):
+        return (render_spans_report(telemetry.traces, limit=8)
+                + "\n\n"
+                + render_attribution(telemetry.critical_paths,
+                                     DEFAULT_PARAMS.clock_hz)
+                + "\n")
+
+    assert spans_text(actual) == spans_text(expected)
+    assert actual.registry.expose() == expected.registry.expose()

@@ -1,0 +1,48 @@
+"""Golden-pinned artifacts of the canonical autoscale workload.
+
+``trace_serve_autoscale.txt`` pins the aggregate lane/section/op trace
+(including the SCALE control-plane lane); ``spans_serve_autoscale.txt``
+pins the span-tree + critical-path report; ``metrics_serve_autoscale.prom``
+pins the Prometheus exposition.  All three are byte-deterministic
+functions of ``golden_autoscale_config()``, so any change to the
+controller arithmetic, warm-up model, or admission gate shows up as a
+reviewable diff (regenerate deliberately with ``pytest
+--update-goldens``).
+"""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.obs import LANE_SCALE, LANE_VCU, collecting, render_trace_golden
+from repro.scale import ScaleSimulator, golden_autoscale_config
+from repro.telemetry import render_attribution, render_spans_report
+
+
+@pytest.fixture(scope="module")
+def autoscale_telemetry():
+    simulator = ScaleSimulator(golden_autoscale_config())
+    return simulator.run_with_telemetry()
+
+
+def test_trace_golden(golden):
+    with collecting() as trace:
+        ScaleSimulator(golden_autoscale_config()).run()
+    assert trace.cycles_by_lane.get(LANE_VCU, 0.0) > 0
+    assert trace.cycles_by_lane.get(LANE_SCALE, 0.0) > 0
+    golden("trace_serve_autoscale.txt",
+           render_trace_golden(trace, "serve_autoscale"))
+
+
+def test_spans_golden(autoscale_telemetry, golden):
+    _report, telemetry = autoscale_telemetry
+    text = (render_spans_report(telemetry.traces, limit=8)
+            + "\n\n"
+            + render_attribution(telemetry.critical_paths,
+                                 DEFAULT_PARAMS.clock_hz)
+            + "\n")
+    golden("spans_serve_autoscale.txt", text)
+
+
+def test_metrics_golden(autoscale_telemetry, golden):
+    _report, telemetry = autoscale_telemetry
+    golden("metrics_serve_autoscale.prom", telemetry.registry.expose())

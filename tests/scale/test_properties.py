@@ -1,0 +1,186 @@
+"""Property suites for the elastic control loop.
+
+The differential layer (``test_differential``) proves the autoscaler-off
+path is the static simulator; these properties pin what must hold when
+the control loop is *on*, over randomized policies and workloads:
+
+* repeated runs are bit-identical under a fixed seed, including across
+  interpreter processes with different ``PYTHONHASHSEED`` values;
+* the pool never leaves ``[min_shards, max_shards]``;
+* work conservation -- with the shed threshold effectively infinite, no
+  request is ever dropped and every one completes exactly once;
+* exactly-once completion across scale transitions: each admitted
+  request is served once per device in its fan-out set, with no
+  duplicates, even when the set changes mid-flight.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rag.corpus import PAPER_CORPORA
+from repro.scale import (
+    AdmissionPolicy,
+    AutoscalePolicy,
+    ScaleConfig,
+    ScalePolicy,
+    ScaleSimulator,
+)
+from repro.serve import BatchPolicy, ClosedLoopConfig
+from repro.serve.simulator import golden_serve_config
+
+pytestmark = pytest.mark.scale
+
+
+@st.composite
+def elastic_configs(draw):
+    min_shards = draw(st.integers(min_value=1, max_value=3))
+    max_shards = draw(st.integers(min_value=min_shards + 1, max_value=6))
+    initial = draw(st.integers(min_value=min_shards, max_value=max_shards))
+    policy = ScalePolicy(
+        autoscale=AutoscalePolicy(
+            min_shards=min_shards,
+            max_shards=max_shards,
+            control_interval_s=draw(st.sampled_from([5e-3, 10e-3])),
+            scale_up_step=draw(st.integers(min_value=1, max_value=2)),
+            cooldown_s=draw(st.sampled_from([0.0, 20e-3])),
+        ),
+        admission=AdmissionPolicy(
+            shed_queue_batches=draw(st.sampled_from([2.0, 4.0, 16.0]))),
+    )
+    serve = dataclasses.replace(
+        golden_serve_config(),
+        spec=PAPER_CORPORA["10GB"],
+        n_shards=initial,
+        batch=BatchPolicy(max_batch=draw(st.integers(min_value=1,
+                                                     max_value=8)),
+                          max_wait_s=draw(st.sampled_from([0.0, 2e-3]))),
+        qps=draw(st.sampled_from([200.0, 1000.0, 3000.0])),
+        n_requests=draw(st.integers(min_value=4, max_value=64)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        slo_s=draw(st.sampled_from([0.505, 0.512, 0.600])),
+    )
+    if draw(st.booleans()):
+        n_clients = min(draw(st.integers(min_value=1, max_value=8)),
+                        serve.n_requests)
+        closed = ClosedLoopConfig(n_clients=n_clients,
+                                  think_time_s=draw(
+                                      st.sampled_from([1e-3, 10e-3])),
+                                  n_requests=serve.n_requests,
+                                  seed=serve.seed)
+    else:
+        closed = None
+    return ScaleConfig(serve=serve, policy=policy, closed_loop=closed)
+
+
+@settings(deadline=None, max_examples=25)
+@given(config=elastic_configs())
+def test_fixed_seed_runs_are_bit_identical(config):
+    first = ScaleSimulator(config).run()
+    second = ScaleSimulator(config).run()
+    assert first == second
+    assert first.actions == second.actions
+
+
+@settings(deadline=None, max_examples=25)
+@given(config=elastic_configs())
+def test_pool_never_leaves_its_bounds(config):
+    auto = config.policy.autoscale
+    report = ScaleSimulator(config).run()
+    assert auto.min_shards <= report.pool_min
+    assert report.pool_max <= auto.max_shards
+    assert report.pool_min <= report.pool_final <= report.pool_max
+    for action in report.actions:
+        assert auto.min_shards <= action.pool_size <= auto.max_shards
+
+
+@settings(deadline=None, max_examples=20)
+@given(config=elastic_configs())
+def test_work_conservation_without_shedding(config):
+    """No query may be dropped while the queue is below the shed
+    threshold; with the threshold effectively infinite, the admission
+    gate must never fire and every offered request must complete."""
+    generous = dataclasses.replace(
+        config,
+        policy=dataclasses.replace(
+            config.policy,
+            admission=AdmissionPolicy(shed_queue_batches=1e9)))
+    report = ScaleSimulator(generous).run()
+    assert report.n_shed == 0
+    assert report.n_completed == report.n_admitted == report.n_offered
+    assert report.goodput == report.slo_attainment
+
+
+@settings(deadline=None, max_examples=20)
+@given(config=elastic_configs())
+def test_exactly_once_across_scale_transitions(config):
+    simulator = ScaleSimulator(config)
+    report = simulator.run()
+    result = simulator._last_run.result
+    assert report.n_offered == report.n_admitted + report.n_shed
+    assert len(result.records) == report.n_admitted
+    served = {}
+    for batch in result.batches:
+        for req_id in batch.request_ids:
+            served.setdefault(req_id, []).append(batch.shard_id)
+    for record in result.records:
+        assert record.retrieval_done_s is not None
+        assert record.retrieval_done_s >= record.arrival_s
+        assert len(record.shard_done_s) == record.n_required
+        shards = served[record.req_id]
+        assert sorted(shards) == sorted(set(shards))  # no duplicates
+        assert set(shards) == set(record.shard_done_s)
+    dispatches = [batch.dispatch_s for batch in result.batches]
+    assert all(b >= a for a, b in zip(dispatches, dispatches[1:]))
+
+
+_HASHSEED_SCRIPT = """\
+import json
+from repro.scale import ScaleSimulator, golden_autoscale_config
+
+report = ScaleSimulator(golden_autoscale_config()).run()
+print(json.dumps({
+    "offered": report.n_offered,
+    "admitted": report.n_admitted,
+    "shed": list(report.shed_by_class),
+    "completed": list(report.completed_by_class),
+    "makespan": report.makespan_s.hex(),
+    "throughput": report.throughput_qps.hex(),
+    "goodput": report.goodput.hex(),
+    "peak_burn": report.peak_burn_rate.hex(),
+    "warmup": report.warmup_total_s.hex(),
+    "pool": [report.pool_min, report.pool_max, report.pool_final],
+    "utilization": [u.hex() for u in report.shard_utilization],
+    "actions": [[a.kind, a.t_s.hex(), a.shard_id, a.pool_size,
+                 a.burn_rate.hex(), a.duration_s.hex(), a.priority]
+                for a in report.actions],
+}, sort_keys=True))
+"""
+
+
+def test_controller_determinism_across_hash_seeds(tmp_path):
+    """The full elastic run -- burn-rate ticks, attach/detach schedule,
+    shed decisions -- serializes byte-identically under different
+    ``PYTHONHASHSEED`` values (no hash-order leaks into control flow)."""
+    script = tmp_path / "hashseed_scale.py"
+    script.write_text(_HASHSEED_SCRIPT)
+    outputs = []
+    for hash_seed in ("0", "1", "424242"):
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH", "")) if p)
+        proc = subprocess.run(
+            [sys.executable, str(script)], env=env, capture_output=True,
+            text=True, check=True)
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1] == outputs[2]
+    json.loads(outputs[0])  # sanity: it is one valid JSON document

@@ -1,0 +1,309 @@
+"""Elastic-simulator invariants on the canonical autoscale workload."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import LANE_SCALE, collecting
+from repro.rag.corpus import PAPER_CORPORA
+from repro.scale import (
+    AutoscalePolicy,
+    BurnRateController,
+    ElasticAPUDevicePool,
+    PoolBoundsError,
+    ScaleConfig,
+    ScaleConfigError,
+    ScalePolicy,
+    ScaleReport,
+    ScaleSimulator,
+    golden_autoscale_config,
+)
+from repro.serve import ClosedLoopConfig, ServeReport
+from repro.serve.simulator import golden_fault_config, \
+    golden_integrity_config, golden_serve_config
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    config = golden_autoscale_config()
+    simulator = ScaleSimulator(config)
+    report = simulator.run()
+    return config, simulator, report
+
+
+class TestElasticRun:
+    def test_accounting_closes(self, golden_run):
+        _, _, report = golden_run
+        assert isinstance(report, ScaleReport)
+        assert report.n_offered == report.n_admitted + report.n_shed
+        assert report.n_completed == report.n_admitted
+        assert sum(n for _, n in report.shed_by_class) == report.n_shed
+        assert sum(n for _, n in report.completed_by_class) \
+            == report.n_completed
+        assert 0.0 <= report.goodput <= 1.0
+        assert 0.0 <= report.slo_attainment <= 1.0
+
+    def test_pool_stays_within_bounds(self, golden_run):
+        config, _, report = golden_run
+        auto = config.policy.autoscale
+        assert auto.min_shards <= report.pool_min
+        assert report.pool_min <= report.pool_max <= auto.max_shards
+        assert report.pool_min <= report.pool_final <= report.pool_max
+        for action in report.actions:
+            assert auto.min_shards <= action.pool_size <= auto.max_shards
+
+    def test_autoscaler_reacted_to_the_spike(self, golden_run):
+        _, _, report = golden_run
+        assert report.n_attaches > 0
+        assert report.n_detaches > 0
+        assert report.n_shed > 0
+        assert report.pool_max > report.pool_min
+        assert report.warmup_total_s > 0
+        assert report.peak_burn_rate >= 1.0
+
+    def test_action_log_is_consistent(self, golden_run):
+        _, _, report = golden_run
+        kinds = {}
+        for action in report.actions:
+            kinds[action.kind] = kinds.get(action.kind, 0) + 1
+        assert kinds.get("attach", 0) == kinds.get("warm", 0) \
+            == report.n_attaches
+        assert kinds.get("detach", 0) == kinds.get("drained", 0) \
+            == report.n_detaches
+        assert kinds.get("shed", 0) == report.n_shed
+        times = [action.t_s for action in report.actions]
+        assert times == sorted(times)
+        for action in report.actions:
+            if action.kind == "attach":
+                assert action.duration_s > 0  # warm-up DMA-in is charged
+            if action.kind == "shed":
+                assert action.priority  # shed actions carry their class
+
+    def test_low_weight_class_sheds_first(self, golden_run):
+        config, _, report = golden_run
+        by_name = dict(report.shed_by_class)
+        assert by_name["batch"] > 0
+        assert by_name["interactive"] == 0
+        weights = {cls.name: cls.weight
+                   for cls in config.policy.priorities}
+        assert weights["batch"] < weights["interactive"]
+
+    def test_exactly_once_across_scale_transitions(self, golden_run):
+        _, simulator, report = golden_run
+        result = simulator._last_run.result
+        assert len(result.records) == report.n_admitted
+        served = {}
+        for batch in result.batches:
+            for req_id in batch.request_ids:
+                served.setdefault(req_id, []).append(batch.shard_id)
+        for record in result.records:
+            assert record.retrieval_done_s is not None
+            assert record.retrieval_done_s >= record.arrival_s
+            # One completion per fanned-out device, no duplicates --
+            # including requests admitted mid-attach or mid-drain.
+            assert len(record.shard_done_s) == record.n_required
+            shards = served[record.req_id]
+            assert sorted(shards) == sorted(set(shards))
+            assert set(shards) == set(record.shard_done_s)
+
+    def test_fanout_tracks_pool_size(self, golden_run):
+        _, simulator, report = golden_run
+        result = simulator._last_run.result
+        widths = {record.n_required for record in result.records}
+        assert min(widths) >= report.pool_min
+        assert max(widths) == report.pool_max
+
+    def test_report_format_mentions_the_control_plane(self, golden_run):
+        _, _, report = golden_run
+        text = report.format()
+        assert "attach(es)" in text
+        assert "shed" in text
+        assert "warm-up DMA-in" in text
+        assert "goodput" in text
+
+
+class TestDeterminismAndParity:
+    def test_repeated_runs_bit_identical(self, golden_run):
+        config, _, report = golden_run
+        again = ScaleSimulator(config).run()
+        assert again == report
+
+    def test_engine_flag_does_not_change_the_elastic_loop(self, golden_run):
+        config, _, report = golden_run
+        vec = dataclasses.replace(
+            config, serve=dataclasses.replace(config.serve,
+                                              engine="vectorized"))
+        other = ScaleSimulator(vec).run()
+        for field in dataclasses.fields(report):
+            if field.name == "config":
+                continue
+            assert getattr(other, field.name) \
+                == getattr(report, field.name), field.name
+
+    def test_telemetry_does_not_perturb_the_run(self, golden_run):
+        config, _, report = golden_run
+        with_tel, telemetry = ScaleSimulator(config).run_with_telemetry()
+        assert with_tel == report
+        assert len(telemetry.traces) == report.n_admitted
+        # Per-request merge cost is keyed by the fan-out width.
+        merges = {t.n_required: t.merge_s for t in telemetry.traces}
+        assert len(merges) > 1
+        assert all(merge_s > 0 for merge_s in merges.values())
+        assert merges[min(merges)] <= merges[max(merges)]
+
+    def test_trace_emission_only_under_a_collector(self, golden_run):
+        config, _, report = golden_run
+        with collecting() as trace:
+            traced = ScaleSimulator(config).run()
+        assert traced == report
+        assert trace.cycles_by_lane.get(LANE_SCALE, 0.0) > 0
+        names = {event.name for event in trace.events}
+        assert {"scale_tick", "scale_attach", "scale_warmup",
+                "scale_detach", "scale_drained",
+                "scale_shed"} <= names
+
+
+class TestClosedLoop:
+    def test_closed_loop_completes_all_issues(self):
+        config = ScaleConfig(
+            serve=dataclasses.replace(golden_serve_config(),
+                                      spec=PAPER_CORPORA["10GB"],
+                                      n_shards=2, slo_s=0.520),
+            policy=ScalePolicy(
+                autoscale=AutoscalePolicy(min_shards=2, max_shards=4)),
+            closed_loop=ClosedLoopConfig(n_clients=8, think_time_s=5e-3,
+                                         n_requests=48, seed=0),
+        )
+        report = ScaleSimulator(config).run()
+        assert report.n_offered == 48
+        assert report.n_completed + report.n_shed == 48
+        again = ScaleSimulator(config).run()
+        assert again == report
+
+
+class TestStaticDelegation:
+    def test_plain_config_returns_the_serve_report(self):
+        config = ScaleConfig(serve=golden_serve_config())
+        report = ScaleSimulator(config).run()
+        assert isinstance(report, ServeReport)
+
+
+class TestConfigValidation:
+    def test_faults_do_not_compose_with_a_policy(self):
+        with pytest.raises(ScaleConfigError):
+            ScaleConfig(serve=golden_fault_config(), policy=ScalePolicy())
+
+    def test_integrity_does_not_compose_with_a_policy(self):
+        with pytest.raises(ScaleConfigError):
+            ScaleConfig(serve=golden_integrity_config(),
+                        policy=ScalePolicy())
+
+    def test_initial_pool_outside_bounds_rejected(self):
+        serve = dataclasses.replace(golden_serve_config(), n_shards=1)
+        with pytest.raises(PoolBoundsError):
+            ScaleConfig(serve=serve, policy=ScalePolicy())
+
+    def test_closed_loop_requires_a_policy(self):
+        with pytest.raises(ScaleConfigError):
+            ScaleConfig(serve=golden_serve_config(),
+                        closed_loop=ClosedLoopConfig())
+
+    def test_arrivals_and_closed_loop_are_exclusive(self):
+        with pytest.raises(ScaleConfigError):
+            ScaleConfig(serve=golden_serve_config(), policy=ScalePolicy(),
+                        arrivals=(0.0, 1e-3),
+                        closed_loop=ClosedLoopConfig())
+
+    @pytest.mark.parametrize("arrivals", [
+        (), (-1.0, 0.0), (2e-3, 1e-3),
+    ])
+    def test_malformed_arrival_traces_rejected(self, arrivals):
+        with pytest.raises(ScaleConfigError):
+            ScaleConfig(serve=golden_serve_config(), arrivals=arrivals)
+
+
+class TestPoolModel:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        return ElasticAPUDevicePool(PAPER_CORPORA["10GB"], capacity=6)
+
+    @pytest.mark.parametrize("attached", [
+        [0, 1], [0, 1, 2], [2, 4, 5], list(range(6)),
+    ])
+    def test_every_topology_covers_the_corpus(self, pool, attached):
+        counts = pool.counts_for(attached)
+        assert set(counts) == set(attached)
+        assert sum(counts.values()) == pool.spec.n_chunks
+        assert all(count >= 1 for count in counts.values())
+
+    def test_full_pool_matches_the_static_placement(self, pool):
+        counts = pool.counts_for(range(6))
+        assert tuple(counts[i] for i in range(6)) == pool.base_counts
+
+    def test_topology_errors(self, pool):
+        with pytest.raises(ValueError):
+            pool.counts_for([])
+        with pytest.raises(ValueError):
+            pool.counts_for([0, 6])
+
+    def test_service_time_scales_with_slice_and_batch(self, pool):
+        small = pool.counts_for(range(6))[0]
+        large = pool.counts_for([0, 1])[0]
+        assert pool.service_seconds(large, 1) \
+            > pool.service_seconds(small, 1)
+        assert pool.service_seconds(small, 8) \
+            > pool.service_seconds(small, 1)
+        stages = pool.stage_seconds(small, 4)
+        assert [name for name, _ in stages] \
+            == ["dma", "mac", "topk", "return"]
+        assert sum(seconds for _, seconds in stages) \
+            == pytest.approx(pool.service_seconds(small, 4), rel=1e-12)
+
+    def test_warmup_is_the_slice_dma_in(self, pool):
+        small = pool.counts_for(range(6))[0]
+        large = pool.counts_for([0, 1])[0]
+        assert 0 < pool.warmup_seconds(small) < pool.warmup_seconds(large)
+
+    def test_capacity_validation(self):
+        spec = PAPER_CORPORA["10GB"]
+        with pytest.raises(ValueError):
+            ElasticAPUDevicePool(spec, capacity=0)
+        with pytest.raises(ValueError):
+            ElasticAPUDevicePool(spec, capacity=spec.n_chunks + 1)
+
+
+class TestController:
+    def test_window_only_counts_the_trailing_interval(self):
+        controller = BurnRateController(
+            AutoscalePolicy(control_interval_s=0.010), slo_s=0.1)
+        controller.note_completion(0.001, tti_latency_s=0.2)  # violation
+        controller.note_completion(0.009, tti_latency_s=0.05)
+        window = controller.window(0.010, n_overdue_pending=0)
+        assert window.n_requests == 2
+        assert window.n_violations == 1
+        # The next window starts at 0.010; both completions age out.
+        window = controller.window(0.020, n_overdue_pending=3)
+        assert window.n_requests == 3
+        assert window.n_violations == 3
+        assert window.index == 1
+
+    def test_decisions_respect_bounds_and_cooldown(self):
+        policy = AutoscalePolicy(min_shards=2, max_shards=4,
+                                 cooldown_s=0.020)
+        controller = BurnRateController(policy, slo_s=0.1)
+        assert controller.decide(0.01, burn=5.0, n_serving=4,
+                                 n_warming=0) is None  # at max
+        assert controller.decide(0.01, burn=5.0, n_serving=3,
+                                 n_warming=1) is None  # warming counts
+        assert controller.decide(0.01, burn=5.0, n_serving=2,
+                                 n_warming=0) == "up"
+        assert controller.decide(0.02, burn=5.0, n_serving=2,
+                                 n_warming=0) is None  # cooling down
+        assert controller.decide(0.04, burn=0.0, n_serving=2,
+                                 n_warming=0) is None  # at min
+        assert controller.decide(0.04, burn=0.0, n_serving=3,
+                                 n_warming=0) == "down"
+
+    def test_slo_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BurnRateController(AutoscalePolicy(), slo_s=0.0)

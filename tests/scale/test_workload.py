@@ -1,0 +1,107 @@
+"""Workload-generator tests: shapes, determinism, typed validation."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ClosedLoopConfig,
+    ThinkTimeError,
+    WorkloadConfigError,
+    bursty_arrival_times,
+    diurnal_arrival_times,
+    poisson_arrival_times,
+    spike_arrival_times,
+)
+
+
+class TestGeneratorShapes:
+    @pytest.mark.parametrize("generate", [
+        bursty_arrival_times, diurnal_arrival_times, spike_arrival_times,
+    ])
+    def test_sorted_non_negative_exact_count(self, generate):
+        times = generate(200.0, 64, seed=3)
+        assert times.shape == (64,)
+        assert np.all(times >= 0)
+        assert np.all(np.diff(times) >= 0)
+
+    @pytest.mark.parametrize("generate", [
+        bursty_arrival_times, diurnal_arrival_times, spike_arrival_times,
+    ])
+    def test_bit_deterministic(self, generate):
+        a = generate(300.0, 128, seed=7)
+        b = generate(300.0, 128, seed=7)
+        assert a.tobytes() == b.tobytes()
+        c = generate(300.0, 128, seed=8)
+        assert a.tobytes() != c.tobytes()
+
+    def test_spike_compresses_gaps_inside_window(self):
+        times = spike_arrival_times(
+            100.0, 256, seed=0, spike_start_s=0.5, spike_duration_s=1.0,
+            spike_multiplier=10.0)
+        gaps = np.diff(times)
+        inside = gaps[(times[:-1] >= 0.5) & (times[1:] <= 1.5)]
+        outside = gaps[(times[1:] <= 0.5) | (times[:-1] >= 1.5)]
+        assert inside.size and outside.size
+        assert inside.mean() < outside.mean() / 3
+
+    def test_bursty_mean_rate_matches_offered_qps(self):
+        qps = 400.0
+        times = bursty_arrival_times(qps, 2048, seed=1)
+        achieved = len(times) / times[-1]
+        assert achieved == pytest.approx(qps, rel=0.15)
+
+    def test_diurnal_modulates_around_base_rate(self):
+        times = diurnal_arrival_times(500.0, 1024, seed=2,
+                                      period_s=1.0, amplitude=0.8)
+        achieved = len(times) / times[-1]
+        assert achieved == pytest.approx(500.0, rel=0.2)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("generate", [
+        poisson_arrival_times, bursty_arrival_times,
+        diurnal_arrival_times, spike_arrival_times,
+    ])
+    @pytest.mark.parametrize("qps", [0.0, -5.0, float("nan")])
+    def test_non_positive_qps_rejected(self, generate, qps):
+        with pytest.raises(ValueError):
+            generate(qps, 16)
+
+    @pytest.mark.parametrize("generate", [
+        poisson_arrival_times, bursty_arrival_times,
+        diurnal_arrival_times, spike_arrival_times,
+    ])
+    def test_non_positive_count_rejected(self, generate):
+        with pytest.raises(ValueError):
+            generate(100.0, 0)
+
+    def test_generator_errors_are_typed(self):
+        with pytest.raises(WorkloadConfigError):
+            bursty_arrival_times(100.0, 8, burst_multiplier=0.5)
+        with pytest.raises(WorkloadConfigError):
+            spike_arrival_times(100.0, 8, spike_multiplier=0.0)
+        with pytest.raises(WorkloadConfigError):
+            diurnal_arrival_times(100.0, 8, amplitude=1.5)
+
+
+class TestClosedLoopConfig:
+    def test_defaults_validate(self):
+        cfg = ClosedLoopConfig()
+        assert cfg.n_clients >= 1
+        assert cfg.think_time_s > 0
+
+    @pytest.mark.parametrize("think", [0.0, -1e-3, float("nan"),
+                                       float("inf")])
+    def test_non_positive_think_time_rejected(self, think):
+        with pytest.raises(ThinkTimeError):
+            ClosedLoopConfig(think_time_s=think)
+
+    def test_think_time_error_is_a_workload_error(self):
+        assert issubclass(ThinkTimeError, WorkloadConfigError)
+        assert issubclass(WorkloadConfigError, ValueError)
+
+    def test_client_and_request_bounds(self):
+        with pytest.raises(WorkloadConfigError):
+            ClosedLoopConfig(n_clients=0)
+        with pytest.raises(WorkloadConfigError):
+            ClosedLoopConfig(n_clients=8, n_requests=4)
