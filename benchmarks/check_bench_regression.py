@@ -13,7 +13,10 @@ baseline:
   fraction above it.  Exact metrics (coverage, counts) must match the
   baseline bit-for-bit -- they are model outputs, not timings.
 
-Suites (``--suite`` restricts to one; default is all):
+Suites (``--suite`` restricts to one; default is all).  A suite is a
+list of ``(baseline file, benchmark modules)`` pairs, each gated
+independently so a new benchmark lands with its own baseline file
+instead of invalidating an existing one:
 
 * ``serve`` -- ``BENCH_serve.json`` from ``bench_serve_scaling`` +
   ``bench_fault_degradation``.
@@ -23,6 +26,14 @@ Suites (``--suite`` restricts to one; default is all):
   ``bench_telemetry_overhead`` (causal-tracing collection cost).
 * ``simcore`` -- ``BENCH_simcore.json`` from ``bench_simcore_events``
   (the vectorized core's million-query event rate).
+* ``scale`` -- ``BENCH_scale.json`` from ``bench_scale_spike`` (the
+  10x load spike) and ``BENCH_scale_faults.json`` from
+  ``bench_scale_faults`` (spike + shard deaths + SDC upsets).
+
+When ``$GITHUB_STEP_SUMMARY`` is set (any GitHub Actions job), every
+gated baseline also appends a per-metric delta table (baseline vs
+current, % change) to the job summary, so reviewers see *how far*
+each metric moved, not just pass/fail.
 
 Wall-clock-derived suffixes get special treatment because they are
 measured, not simulated: ``*_overhead_frac`` is held under an absolute
@@ -47,22 +58,25 @@ which is what the CI ``update-bench`` label path runs.
 import argparse
 import importlib
 import json
+import os
 import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
-#: suite name -> (baseline file, benchmark modules feeding it)
+#: suite name -> ((baseline file, benchmark modules feeding it), ...)
 SUITES = {
-    "serve": ("BENCH_serve.json",
-              ("bench_serve_scaling", "bench_fault_degradation")),
-    "integrity": ("BENCH_integrity.json",
-                  ("bench_integrity_overhead",)),
-    "telemetry": ("BENCH_telemetry.json",
-                  ("bench_telemetry_overhead",)),
-    "simcore": ("BENCH_simcore.json",
-                ("bench_simcore_events",)),
-    "scale": ("BENCH_scale.json",
-              ("bench_scale_spike",)),
+    "serve": (("BENCH_serve.json",
+               ("bench_serve_scaling", "bench_fault_degradation")),),
+    "integrity": (("BENCH_integrity.json",
+                   ("bench_integrity_overhead",)),),
+    "telemetry": (("BENCH_telemetry.json",
+                   ("bench_telemetry_overhead",)),),
+    "simcore": (("BENCH_simcore.json",
+                 ("bench_simcore_events",)),),
+    "scale": (("BENCH_scale.json",
+               ("bench_scale_spike",)),
+              ("BENCH_scale_faults.json",
+               ("bench_scale_faults",))),
 }
 #: Metric-name suffixes gated with relative tolerance (timing-like).
 HIGHER_IS_BETTER = ("_qps", "_events_per_s")
@@ -168,9 +182,42 @@ def check_regressions(baseline, current, tolerance):
     return failures
 
 
-def run_suite(suite, args) -> int:
-    """Gate (or refresh) one suite; returns a process exit code."""
-    baseline_name, modules = SUITES[suite]
+def delta_table(title, baseline, current):
+    """GitHub-flavored markdown delta table for one gated baseline."""
+    lines = [f"### Benchmark deltas: `{title}`", "",
+             "| metric | baseline | current | change |",
+             "| --- | ---: | ---: | ---: |"]
+    for key in sorted(set(baseline) | set(current)):
+        base = baseline.get(key)
+        value = current.get(key)
+        if base is None:
+            change = "new"
+        elif value is None:
+            change = "missing"
+        elif base == value:
+            change = "="
+        elif isinstance(base, (int, float)) and base != 0:
+            change = f"{(value - base) / base:+.2%}"
+        else:
+            change = "changed"
+        fmt = lambda v: "--" if v is None else (
+            f"{v:.4g}" if isinstance(v, float) else str(v))
+        lines.append(f"| `{key}` | {fmt(base)} | {fmt(value)} | {change} |")
+    lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(text):
+    """Append to the GitHub Actions job summary when running in CI."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as handle:
+        handle.write(text)
+
+
+def run_baseline(suite, baseline_name, modules, args) -> int:
+    """Gate (or refresh) one baseline file; returns an exit code."""
     baseline_path = BENCH_DIR / baseline_name
 
     first = flatten(collect_suite(modules))
@@ -193,14 +240,23 @@ def run_suite(suite, args) -> int:
               f"run with --update")
         return 1
     baseline = json.loads(baseline_path.read_text())
+    write_step_summary(delta_table(
+        f"{suite}: {baseline_name}", baseline, first))
     failures = check_regressions(baseline, first, args.tolerance)
     if failures:
         print("\n".join(failures))
-        print(f"\n[{suite}] {len(failures)} benchmark gate failure(s)")
+        print(f"\n[{suite}] {len(failures)} benchmark gate failure(s) "
+              f"against {baseline_name}")
         return 1
     print(f"[{suite}] benchmark gate OK: {len(baseline)} metrics within "
-          f"{args.tolerance:.0%} of baseline, replay bit-identical")
+          f"{args.tolerance:.0%} of {baseline_name}, replay bit-identical")
     return 0
+
+
+def run_suite(suite, args) -> int:
+    """Gate (or refresh) every baseline in one suite."""
+    return max(run_baseline(suite, baseline_name, modules, args)
+               for baseline_name, modules in SUITES[suite])
 
 
 def main(argv=None) -> int:

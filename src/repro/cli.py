@@ -325,11 +325,18 @@ def _trace_runners() -> Dict[str, Callable]:
         ScaleSimulator(golden_autoscale_config()).run()
         return None
 
+    def run_serve_autoscale_faults():
+        from .scale import ScaleSimulator, golden_autoscale_fault_config
+
+        ScaleSimulator(golden_autoscale_fault_config()).run()
+        return None
+
     runners["rag"] = run_rag
     runners["serve"] = run_serve
     runners["serve_faults"] = run_serve_faults
     runners["serve_integrity"] = run_serve_integrity
     runners["serve_autoscale"] = run_serve_autoscale
+    runners["serve_autoscale_faults"] = run_serve_autoscale_faults
     runners["table4"] = lambda: run_table4_micro().total_cycles
     runners["table5"] = lambda: run_table5_micro().total_cycles
     return runners
@@ -369,7 +376,7 @@ def _run_trace(args) -> None:
         shards = golden_serve_config().n_shards
         process_names = {i: f"shard {i}" for i in range(shards)}
         process_names[shards] = "host merge"
-    elif workload == "serve_autoscale":
+    elif workload in ("serve_autoscale", "serve_autoscale_faults"):
         from .scale import golden_autoscale_config
 
         capacity = golden_autoscale_config().policy.autoscale.max_shards
@@ -385,7 +392,7 @@ def _run_trace(args) -> None:
 
 #: Serving workloads the telemetry commands accept.
 def _telemetry_configs() -> Dict[str, Callable]:
-    from .scale import golden_autoscale_config
+    from .scale import golden_autoscale_config, golden_autoscale_fault_config
     from .serve import golden_fault_config, golden_integrity_config, \
         golden_serve_config
 
@@ -394,6 +401,7 @@ def _telemetry_configs() -> Dict[str, Callable]:
         "serve_faults": golden_fault_config,
         "serve_integrity": golden_integrity_config,
         "serve_autoscale": golden_autoscale_config,
+        "serve_autoscale_faults": golden_autoscale_fault_config,
     }
 
 
@@ -540,8 +548,9 @@ def build_parser() -> argparse.ArgumentParser:
         "workload", nargs="?", default=None,
         help="trace/spans/metrics only: workload to run (for trace: a "
              "Phoenix app, 'rag', 'serve', 'table4', 'table5'; for "
-             "spans/metrics: 'serve', 'serve_faults', "
-             "'serve_integrity'; 'workloads' lists them)",
+             "spans/metrics: 'serve', 'serve_faults', 'serve_integrity', "
+             "'serve_autoscale', 'serve_autoscale_faults'; "
+             "'workloads' lists them)",
     )
     parser.add_argument("--query", type=int, default=None,
                         help="spans only: render a single request's "

@@ -23,6 +23,7 @@ from .policy import (
     AdmissionPolicy,
     AdmissionPolicyError,
     AutoscalePolicy,
+    ElasticPoolError,
     PoolBoundsError,
     PriorityClass,
     PriorityMapError,
@@ -38,6 +39,7 @@ from .simulator import (
     ScaleReport,
     ScaleSimulator,
     golden_autoscale_config,
+    golden_autoscale_fault_config,
 )
 from .telemetry import (
     build_scale_metrics,
@@ -52,6 +54,7 @@ __all__ = [
     "BurnRateController",
     "DEFAULT_PRIORITY_CLASSES",
     "ElasticAPUDevicePool",
+    "ElasticPoolError",
     "PoolBoundsError",
     "PriorityClass",
     "PriorityMapError",
@@ -68,5 +71,6 @@ __all__ = [
     "build_scale_telemetry",
     "build_scale_traces",
     "golden_autoscale_config",
+    "golden_autoscale_fault_config",
     "parse_priority_map",
 ]

@@ -11,7 +11,18 @@ more capacity; burn at or below ``scale_down_burn`` with the pool quiet
 asks for less.  Decisions honor the pool bounds and a cooldown so the
 controller cannot thrash.
 
-The controller is plain sequential state -- a deque of completions and
+The controller tracks one burn window **per priority class**
+(:meth:`class_windows`) and the elastic loop scales on the *worst*
+class, so a starving background class asks for capacity even while the
+interactive class is green.  Fault events (shard deaths, sustained
+stalls) feed in through :meth:`note_fault` as violation pressure: a
+non-zero ``fault_pressure`` at :meth:`decide` forces the scale-up
+branch and vetoes scale-down, and :meth:`decide_failover` answers a
+shard death immediately -- failover replacement bypasses the cooldown,
+because waiting out a thrash guard while capacity is already gone only
+deepens the burn.
+
+The controller is plain sequential state -- deques of completions and
 a couple of floats -- so the simulation stays bit-deterministic: every
 input it sees is an event-loop timestamp.
 """
@@ -19,7 +30,7 @@ input it sees is an event-loop timestamp.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from ..telemetry.metrics import BurnWindow
 from .policy import AutoscalePolicy
@@ -34,64 +45,143 @@ SCALE_DOWN = "down"
 class BurnRateController:
     """Trailing-window burn-rate measurement + attach/detach verdicts."""
 
-    def __init__(self, policy: AutoscalePolicy, slo_s: float):
+    def __init__(self, policy: AutoscalePolicy, slo_s: float,
+                 n_classes: int = 1):
         if slo_s <= 0:
             raise ValueError(f"slo_s must be positive, got {slo_s!r}")
+        if n_classes < 1:
+            raise ValueError(
+                f"n_classes must be >= 1, got {n_classes!r}")
         self.policy = policy
         self.slo_s = slo_s
-        #: (completion time, violated) in completion order.
-        self._completions: Deque[Tuple[float, bool]] = deque()
+        self.n_classes = n_classes
+        #: Per-class (completion time, violated) in completion order.
+        self._completions: List[Deque[Tuple[float, bool]]] = [
+            deque() for _ in range(n_classes)]
+        #: Fault-event timestamps (deaths, stall onsets) in event order.
+        self._faults: Deque[float] = deque()
         self._tick_index = 0
         self._last_action_s = -float("inf")
 
-    def note_completion(self, done_s: float, tti_latency_s: float) -> None:
+    def note_completion(self, done_s: float, tti_latency_s: float,
+                        priority: int = 0) -> None:
         """Record one resolved request (call in completion order)."""
-        self._completions.append((done_s, tti_latency_s > self.slo_s))
+        self._completions[priority].append(
+            (done_s, tti_latency_s > self.slo_s))
 
-    def window(self, now_s: float, n_overdue_pending: int) -> BurnWindow:
-        """The trailing control window ending at ``now_s``.
+    def note_fault(self, t_s: float) -> None:
+        """Record one fault event (call in event order).
 
-        ``n_overdue_pending`` is the number of admitted, unresolved
-        requests already older than the SLO -- each is a violation the
-        window has effectively observed even though it has no
-        completion timestamp yet.
+        Shard deaths and stall onsets land here; each contributes
+        violation pressure for one trailing window, forcing the
+        scale-up branch at the next tick even before queue growth has
+        shown up as SLO burn.
+        """
+        self._faults.append(t_s)
+
+    def _advance(self, start_s: float) -> None:
+        for completions in self._completions:
+            while completions and completions[0][0] < start_s:
+                completions.popleft()
+        while self._faults and self._faults[0] < start_s:
+            self._faults.popleft()
+
+    def recent_faults(self) -> int:
+        """Fault events still inside the last-advanced window."""
+        return len(self._faults)
+
+    def class_windows(self, now_s: float,
+                      overdue_by_class: Sequence[int]
+                      ) -> Tuple[BurnWindow, ...]:
+        """One trailing control window per priority class.
+
+        ``overdue_by_class[i]`` is class ``i``'s count of admitted,
+        unresolved requests already older than the SLO -- each is a
+        violation the window has effectively observed even though it
+        has no completion timestamp yet.  All class windows of one tick
+        share one index.
         """
         start_s = now_s - self.policy.control_interval_s
-        while self._completions and self._completions[0][0] < start_s:
-            self._completions.popleft()
-        n_done = len(self._completions)
-        n_violations = sum(1 for _, violated in self._completions
-                           if violated)
-        window = BurnWindow(
-            index=self._tick_index,
-            start_s=start_s,
-            end_s=now_s,
-            n_requests=n_done + n_overdue_pending,
-            n_violations=n_violations + n_overdue_pending,
-        )
+        self._advance(start_s)
+        index = self._tick_index
         self._tick_index += 1
-        return window
+        windows = []
+        for cls, completions in enumerate(self._completions):
+            n_done = len(completions)
+            n_violations = sum(1 for _, violated in completions
+                               if violated)
+            overdue = int(overdue_by_class[cls])
+            windows.append(BurnWindow(
+                index=index,
+                start_s=start_s,
+                end_s=now_s,
+                n_requests=n_done + overdue,
+                n_violations=n_violations + overdue,
+            ))
+        return tuple(windows)
+
+    def window(self, now_s: float, n_overdue_pending: int) -> BurnWindow:
+        """The aggregate trailing control window ending at ``now_s``.
+
+        The single-SLO view: every class's counts folded into one
+        window, with the overdue backlog attributed globally.  Kept as
+        the one-class fast path and for callers that predate per-class
+        tracking.
+        """
+        overdue = [0] * self.n_classes
+        overdue[0] = n_overdue_pending
+        windows = self.class_windows(now_s, overdue)
+        if len(windows) == 1:
+            return windows[0]
+        return BurnWindow(
+            index=windows[0].index,
+            start_s=windows[0].start_s,
+            end_s=now_s,
+            n_requests=sum(w.n_requests for w in windows),
+            n_violations=sum(w.n_violations for w in windows),
+        )
 
     def burn_rate(self, window: BurnWindow) -> float:
         return window.burn_rate(self.policy.error_budget)
 
     def decide(self, now_s: float, burn: float, n_serving: int,
-               n_warming: int) -> Optional[str]:
+               n_warming: int, fault_pressure: int = 0) -> Optional[str]:
         """One scaling verdict for this tick (or ``None`` to hold).
 
         Scale-up is considered before scale-down, pool bounds count
         warming slots as already-committed capacity, and the cooldown
-        clock restarts on every verdict.
+        clock restarts on every verdict.  ``fault_pressure`` (recent
+        fault events plus currently-degraded devices) forces the
+        scale-up branch and vetoes scale-down: a stalling pool must not
+        shrink, however green the trailing burn looks.
         """
         policy = self.policy
         if now_s - self._last_action_s < policy.cooldown_s:
             return None
         committed = n_serving + n_warming
-        if burn >= policy.scale_up_burn and committed < policy.max_shards:
+        if (burn >= policy.scale_up_burn or fault_pressure > 0) \
+                and committed < policy.max_shards:
             self._last_action_s = now_s
             return SCALE_UP
         if burn <= policy.scale_down_burn and n_warming == 0 \
-                and n_serving > policy.min_shards:
+                and n_serving > policy.min_shards \
+                and fault_pressure == 0:
             self._last_action_s = now_s
             return SCALE_DOWN
         return None
+
+    def decide_failover(self, now_s: float, n_serving: int,
+                        n_warming: int) -> bool:
+        """Whether a shard death should trigger an immediate attach.
+
+        Failover replacement **bypasses the cooldown**: the death just
+        removed real capacity, so waiting out the thrash guard only
+        converts the loss into SLO burn.  The verdict still counts as
+        an action (the cooldown clock restarts) so the tick loop does
+        not pile a second attach on top of the replacement.
+        """
+        committed = n_serving + n_warming
+        if committed < self.policy.max_shards:
+            self._last_action_s = now_s
+            return True
+        return False

@@ -28,6 +28,7 @@ __all__ = [
     "PoolBoundsError",
     "PriorityMapError",
     "AdmissionPolicyError",
+    "ElasticPoolError",
     "AutoscalePolicy",
     "AdmissionPolicy",
     "PriorityClass",
@@ -51,6 +52,10 @@ class PriorityMapError(ScalePolicyError):
 
 class AdmissionPolicyError(ScalePolicyError):
     """An admission-control parameter is out of its domain."""
+
+
+class ElasticPoolError(ScalePolicyError):
+    """An elastic-pool topology or sizing request is invalid."""
 
 
 @dataclass(frozen=True)

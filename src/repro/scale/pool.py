@@ -26,34 +26,52 @@ single-device retrieval breakdown charges for its embedding load.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.params import APUParams, DEFAULT_PARAMS
 from ..hbm import make_hbm2e
+from ..integrity.config import IntegrityConfig, get_cost_model
 from ..obs import collector as _trace_collector
 from ..rag.batching import BatchedAPURetrieval
 from ..rag.corpus import CorpusSpec
 from ..rag.retrieval import APURetriever, RetrievalBreakdown
 from ..serve.sharding import shard_chunk_counts
+from .policy import ElasticPoolError
 
 __all__ = ["ElasticAPUDevicePool"]
 
 
 class ElasticAPUDevicePool:
-    """Anchored service/warm-up costs for an elastic shard pool."""
+    """Anchored service/warm-up costs for an elastic shard pool.
+
+    An enabled ``integrity`` config layers the ABFT protection tax on
+    top of the anchored times -- the identical per-query checksum
+    verification and scrub duty factor
+    :class:`~repro.serve.simulator.ShardServiceModel` charges, so a
+    protected elastic run and a protected static run price the same
+    batch the same way.
+    """
 
     def __init__(self, spec: CorpusSpec, capacity: int, k: int = 5,
-                 params: APUParams = DEFAULT_PARAMS):
+                 params: APUParams = DEFAULT_PARAMS,
+                 integrity: Optional[IntegrityConfig] = None):
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+            raise ElasticPoolError(
+                f"pool capacity must be >= 1 device slot, got "
+                f"{capacity!r}; raise the policy's max_shards")
         if capacity > spec.n_chunks:
-            raise ValueError(
-                f"{capacity} device slots for {spec.n_chunks} chunks "
-                f"would leave slots empty")
+            raise ElasticPoolError(
+                f"{capacity} device slots for {spec.n_chunks} corpus "
+                f"chunks would leave slots empty; lower the policy's "
+                f"max_shards to at most {spec.n_chunks}")
         self.spec = spec
         self.capacity = capacity
         self.k = k
         self.params = params
+        self.integrity = integrity if integrity is not None \
+            else IntegrityConfig()
+        self._costs = get_cost_model(params) if self.integrity.enabled \
+            else None
         #: The static ``capacity``-way placement every topology derives
         #: from.
         self.base_counts: Tuple[int, ...] = tuple(
@@ -77,11 +95,14 @@ class ElasticAPUDevicePool:
         """
         slots = sorted(set(attached))
         if not slots:
-            raise ValueError("topology needs at least one attached slot")
+            raise ElasticPoolError(
+                "topology needs at least one attached slot; the pool "
+                "cannot serve the corpus with every device detached")
         if slots[0] < 0 or slots[-1] >= self.capacity:
-            raise ValueError(
+            raise ElasticPoolError(
                 f"attached slots {slots!r} outside pool of capacity "
-                f"{self.capacity}")
+                f"{self.capacity}; slot ids must be in "
+                f"[0, {self.capacity - 1}]")
         counts = {slot: self.base_counts[slot] for slot in slots}
         orphaned = self.spec.n_chunks - sum(counts.values())
         if orphaned > 0:
@@ -93,8 +114,9 @@ class ElasticAPUDevicePool:
     def slice_spec(self, chunk_count: int) -> CorpusSpec:
         """The corpus slice a slot holding ``chunk_count`` chunks scans."""
         if chunk_count < 1:
-            raise ValueError(
-                f"chunk_count must be >= 1, got {chunk_count!r}")
+            raise ElasticPoolError(
+                f"chunk_count must be >= 1, got {chunk_count!r}; an "
+                f"attached slot always holds a non-empty corpus slice")
         return CorpusSpec(
             label=f"{self.spec.label}/elastic{chunk_count}",
             corpus_bytes=self.spec.corpus_bytes * chunk_count
@@ -125,10 +147,37 @@ class ElasticAPUDevicePool:
         return anchor
 
     # ------------------------------------------------------------------
+    def verify_seconds(self, chunk_count: int) -> float:
+        """Per-query ABFT verification cost over a ``chunk_count`` slice.
+
+        The same arithmetic as
+        :meth:`~repro.serve.simulator.ShardServiceModel.verify_seconds`:
+        one column-checksum check per resident MAC block plus the top-k
+        result comparison, from the calibrated cost model.
+        """
+        if self._costs is None:
+            return 0.0
+        per_core = self.params.vr_length * self.params.num_cores
+        blocks = -(-max(1, chunk_count) // per_core)
+        topk_check = self._costs.crc_cycles(4 * self.k) / self.params.clock_hz
+        return blocks * self._costs.checksum_seconds() + topk_check
+
+    @property
+    def scrub_duty_factor(self) -> float:
+        """Service-time stretch from the background scrub schedule."""
+        if self._costs is None or not self.integrity.scrubbing:
+            return 1.0
+        scrub = self._costs.scrub_pass_seconds(self.integrity.scrub_vrs)
+        return 1.0 + scrub / self.integrity.scrub_interval_s
+
     def service_seconds(self, chunk_count: int, batch_size: int) -> float:
         """One batch's service time on a slot holding ``chunk_count``."""
         single, increment, _ = self._anchor(chunk_count)
-        return single + (batch_size - 1) * increment
+        base = single + (batch_size - 1) * increment
+        if self._costs is None:
+            return base
+        base += batch_size * self.verify_seconds(chunk_count)
+        return base * self.scrub_duty_factor
 
     def stage_seconds(self, chunk_count: int, batch_size: int
                       ) -> Tuple[Tuple[str, float], ...]:
@@ -141,8 +190,18 @@ class ElasticAPUDevicePool:
         mac = breakdown.calc_distance * scale
         topk = breakdown.topk_aggregation * scale
         ret = base - ((dma + mac) + topk)
-        return (("dma", dma), ("mac", mac), ("topk", topk),
-                ("return", ret))
+        stages = [("dma", dma), ("mac", mac), ("topk", topk),
+                  ("return", ret)]
+        if self._costs is not None:
+            checksum = batch_size * self.verify_seconds(chunk_count)
+            stages.append(("checksum", checksum))
+            folded = 0.0
+            for _, seconds in stages:
+                folded += seconds
+            scrub = self.service_seconds(chunk_count, batch_size) - folded
+            if scrub > 0:
+                stages.append(("scrub", scrub))
+        return tuple(stages)
 
     def embedding_bytes(self, chunk_count: int) -> int:
         """Resident embedding bytes of a ``chunk_count`` slice."""

@@ -32,12 +32,34 @@ classes, closed-loop think times) comes from seeded generators, so runs
 are bit-deterministic -- including across processes and
 ``PYTHONHASHSEED`` values.  The controller's feedback makes the elastic
 path inherently sequential, so both ``engine`` settings execute this
-one loop (and a differential test asserts they agree bit-for-bit); the
-vectorized fast path applies to the static, open-loop configuration.
+one control loop -- but under ``engine="vectorized"`` the loop sheds
+its per-event overheads: open-loop arrivals are pointer-merged against
+the heap instead of heap-pushed at setup, admission runs in bulk while
+every serving device is busy, and the per-tick overdue scan becomes the
+amortized-O(1) :class:`~repro.simcore.elastic.OverdueTracker`.  All
+three shortcuts replay the identical comparisons on the identical
+floats, and the differential suite in ``tests/scale`` proves the two
+engines bit-identical across plain, fault, and integrity variants.
 
-Fault plans and ABFT integrity compose with the *static* path only;
-combining them with a policy raises :class:`ScaleConfigError` (the
-fault-tolerant elastic loop is future work, tracked in the ROADMAP).
+**Fault plans and ABFT integrity compose with the elastic loop.**  The
+loop embeds the static scheduler's fault machinery verbatim (timeouts,
+outage interrupts, backoff retries, corruption detection + recompute,
+death on retry-budget exhaustion), then closes the control loop over
+it:
+
+* each :class:`PriorityClass` carries its own trailing burn window and
+  the controller scales on the **worst** class, so a starving
+  background class asks for capacity even while interactive is green;
+* shard deaths and sustained stalls feed the controller as *violation
+  pressure* -- pressure forces the scale-up branch and vetoes
+  scale-down;
+* a shard death triggers an immediate **failover attach** (bypassing
+  the cooldown): the dead slice is redistributed over the survivors
+  exactly as the static reroute, and a cold spare streams its corpus
+  slice in through the HBM model before joining;
+* a stuck-at cell under protection burns the retry budget and
+  escalates to the same replace-and-drain, so integrity faults cost
+  latency, not permanent capacity.
 """
 
 from __future__ import annotations
@@ -50,23 +72,34 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.params import APUParams, DEFAULT_PARAMS
+from ..faults import BitFlipFault, FaultInjector, FaultLogEntry, \
+    FaultPlan, OutageFault, StallFault
+from ..integrity.config import IntegrityConfig
 from ..obs import collector as _trace_collector
 from ..obs.events import LANE_SCALE, LANE_VCU, TraceEvent
 from ..rag.corpus import PAPER_CORPORA
 from ..rag.generation import GenerationModel
 from ..serve.metrics import LatencyStats, slo_attainment, utilization
 from ..serve.scheduler import (
+    OUTCOME_CORRUPTED,
+    OUTCOME_INTERRUPTED,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
     BatchPolicy,
     ExecutedBatch,
     RequestRecord,
+    RetryPolicy,
     ScheduleResult,
 )
 from ..serve.sharding import merge_cycles, merge_seconds
-from ..serve.simulator import ServeConfig, ServeReport, ServingSimulator
+from ..serve.simulator import ServeConfig, ServeReport, \
+    ServingSimulator, emit_fault_trace, emit_integrity_trace
 from ..serve.workload import ClosedLoopConfig, spike_arrival_times, \
     trace_arrivals
+from ..simcore.elastic import OverdueTracker
 from .controller import SCALE_DOWN, SCALE_UP, BurnRateController
-from .policy import AutoscalePolicy, PoolBoundsError, ScalePolicy
+from .policy import AutoscalePolicy, PoolBoundsError, ScalePolicy, \
+    ScalePolicyError
 from .pool import ElasticAPUDevicePool
 
 __all__ = [
@@ -76,13 +109,19 @@ __all__ = [
     "ScaleReport",
     "ScaleSimulator",
     "golden_autoscale_config",
+    "golden_autoscale_fault_config",
 ]
 
-_ARRIVE, _TIMER, _DONE, _WARM, _CONTROL, _ISSUE = 0, 1, 2, 3, 4, 5
+_ARRIVE, _TIMER, _DONE, _WARM, _CONTROL, _ISSUE, _FAIL, _WAKE = \
+    0, 1, 2, 3, 4, 5, 6, 7
 
 
-class ScaleConfigError(ValueError):
-    """A ScaleConfig combines features that do not compose."""
+class ScaleConfigError(ScalePolicyError):
+    """A ScaleConfig combines features that do not compose.
+
+    Part of the typed :class:`~repro.scale.policy.ScalePolicyError`
+    hierarchy (itself a ``ValueError``), so callers can catch scale
+    misconfiguration separately from generic value errors."""
 
 
 @dataclass(frozen=True)
@@ -140,14 +179,6 @@ class ScaleConfig:
                     "closed_loop clients need a ScalePolicy (the static "
                     "path is open-loop only)")
             return
-        if self.serve.faults:
-            raise ScaleConfigError(
-                "fault plans compose with the static path only; the "
-                "fault-tolerant elastic loop is future work")
-        if self.serve.integrity.enabled:
-            raise ScaleConfigError(
-                "ABFT integrity composes with the static path only; the "
-                "protected elastic loop is future work")
         auto = self.policy.autoscale
         if not auto.min_shards <= self.serve.n_shards <= auto.max_shards:
             raise PoolBoundsError(
@@ -159,7 +190,8 @@ class ScaleConfig:
 class ScaleAction:
     """One autoscaler/admission decision, in event order."""
 
-    kind: str  # "tick" | "attach" | "warm" | "detach" | "drained" | "shed"
+    # "tick" | "attach" | "warm" | "detach" | "drained" | "shed" | "dead"
+    kind: str
     t_s: float
     shard_id: int = -1
     #: Serving devices after the action took effect.
@@ -169,6 +201,9 @@ class ScaleAction:
     duration_s: float = 0.0
     #: Priority class name for ``shed`` actions.
     priority: str = ""
+    #: Why the action fired: ``"failover"`` marks an attach that
+    #: replaces a dead device (cooldown-bypassing), empty otherwise.
+    reason: str = ""
 
 
 @dataclass(frozen=True)
@@ -202,6 +237,26 @@ class ScaleReport:
     shed_by_class: Tuple[Tuple[str, int], ...]
     completed_by_class: Tuple[Tuple[str, int], ...]
     actions: Tuple[ScaleAction, ...] = field(repr=False)
+    #: Per-class peak burn rate over the run, in class order.
+    class_burn_peaks: Tuple[Tuple[str, float], ...] = ()
+    #: Shards declared dead during the run.
+    n_shard_failures: int = 0
+    #: Cooldown-bypassing replacement attaches answering a death.
+    n_failovers: int = 0
+    #: Batch attempts aborted at the per-batch timeout.
+    n_timeouts: int = 0
+    #: Batch attempts cut short by an outage.
+    n_interrupted: int = 0
+    #: Backoff-gated retry rounds.
+    n_retries: int = 0
+    #: Corrupted batch attempts caught by ABFT verification.
+    n_corruptions_detected: int = 0
+    #: Corrupted batches that shipped undetected (unprotected runs).
+    n_sdc_escapes: int = 0
+    #: Recompute attempts dispatched to heal detections.
+    n_recomputes: int = 0
+    #: Requests that lost at least one shard answer to a death.
+    degraded_requests: int = 0
 
     def format(self) -> str:
         """Human-readable report block for the CLI."""
@@ -243,6 +298,27 @@ class ScaleReport:
             "  utilization: "
             + "  ".join(f"slot{i} {u * 100:5.1f}%"
                         for i, u in enumerate(self.shard_utilization)))
+        if self.class_burn_peaks:
+            lines.append(
+                "  class burn peaks: "
+                + "  ".join(f"{name} {peak:.2f}"
+                            for name, peak in self.class_burn_peaks))
+        if cfg.faults:
+            lines.append(
+                f"  faults: {cfg.faults.n_faults} scripted -> "
+                f"{self.n_timeouts} timeouts, {self.n_interrupted} "
+                f"interrupted, {self.n_retries} retries, "
+                f"{self.n_shard_failures} death(s), "
+                f"{self.n_failovers} failover attach(es), "
+                f"{self.degraded_requests} degraded request(s)")
+        if cfg.faults.bit_flips or cfg.integrity.enabled:
+            mode = "protected" if cfg.integrity.enabled else "UNPROTECTED"
+            lines.append(
+                f"  integrity ({mode}): "
+                f"{len(cfg.faults.bit_flips)} scripted flip(s) -> "
+                f"{self.n_corruptions_detected} detected, "
+                f"{self.n_recomputes} recomputed, "
+                f"{self.n_sdc_escapes} escaped")
         return "\n".join(lines)
 
 
@@ -251,7 +327,8 @@ class _Slot:
 
     __slots__ = ("queue", "busy", "busy_s", "gen", "timer_armed_gen",
                  "batch_seq", "chunk_count", "serving", "warming",
-                 "draining")
+                 "draining", "failures", "blocked_until", "wake_at",
+                 "dead", "last_corrupted", "flip_cursor")
 
     def __init__(self) -> None:
         self.queue: List[Tuple[int, float]] = []  # (req_id, enqueue_s)
@@ -265,6 +342,19 @@ class _Slot:
         self.serving = False
         self.warming = False
         self.draining = False
+        #: Consecutive failed attempts (resets on success).
+        self.failures = 0
+        #: Backoff gate: no dispatch before this time.
+        self.blocked_until = 0.0
+        #: Earliest pending wake event (dedupes wake arming).
+        self.wake_at = math.inf
+        #: Declared dead: failed over, never dispatches again.
+        self.dead = False
+        #: Last failure was a detected corruption (the next dispatch is
+        #: a recompute, logged as such).
+        self.last_corrupted = False
+        #: Consume-once cursor into the slot's scripted transient flips.
+        self.flip_cursor = 0
 
 
 @dataclass
@@ -290,13 +380,22 @@ class ScaleSimulator:
         self.generator = generator or GenerationModel()
         self._static: Optional[ServingSimulator] = None
         self._pool: Optional[ElasticAPUDevicePool] = None
+        self._injector: Optional[FaultInjector] = None
         if config.policy is None:
             self._static = ServingSimulator(
                 config.serve, params=params, generator=self.generator)
         else:
             self._pool = ElasticAPUDevicePool(
                 config.serve.spec, config.policy.autoscale.max_shards,
-                config.serve.k, params)
+                config.serve.k, params,
+                integrity=config.serve.integrity)
+            if config.serve.faults:
+                # The plan is validated against the initial pool size
+                # (ServeConfig already did), so scripted faults only
+                # ever strike the devices present at t=0; spare slots
+                # attached later are clean hardware.
+                self._injector = FaultInjector(
+                    config.serve.faults, self._pool.capacity)
         self.prefill_s = self.generator.prefill_seconds()
         self._merge_memo: Dict[int, float] = {}
         self._last_run: Optional[_ElasticRun] = None
@@ -309,8 +408,10 @@ class ScaleSimulator:
     def _merge_for(self, n_required: int) -> float:
         cost = self._merge_memo.get(n_required)
         if cost is None:
-            cost = merge_seconds(n_required, self.config.serve.k,
-                                 self.params)
+            # A zero-width request (admitted while every device was
+            # dead) resolves empty-handed and merges nothing.
+            cost = 0.0 if n_required <= 0 else merge_seconds(
+                n_required, self.config.serve.k, self.params)
             self._merge_memo[n_required] = cost
         return cost
 
@@ -358,7 +459,12 @@ class ScaleSimulator:
         classes = policy.priorities
         shares = np.asarray(policy.shares, dtype=np.float64)
         batch_policy: BatchPolicy = cfg.batch
-        controller = BurnRateController(auto, cfg.slo_s)
+        controller = BurnRateController(auto, cfg.slo_s,
+                                        n_classes=len(classes))
+        injector = self._injector
+        protected = cfg.integrity.enabled
+        retry = cfg.retry
+        vector = cfg.engine == "vectorized"
 
         if capture:
             from ..telemetry.build import StageTable
@@ -387,14 +493,24 @@ class ScaleSimulator:
         stage_tables: List[Any] = []
         batch_bytes: List[int] = []
         actions: List[ScaleAction] = []
+        fault_log: List[FaultLogEntry] = []
+        death_times: Dict[int, float] = {}
+        #: (shard_id, seq) -> popped (req_id, enqueue_s) pairs of a
+        #: batch attempt that will fail, for FIFO-preserving re-enqueue.
+        pending_retry: Dict[Tuple[int, int], List[Tuple[int, float]]] = {}
         shed_counts = [0 for _ in classes]
+        class_burn_peaks = [0.0 for _ in classes]
         n_open = 0
         n_shed = 0
         pool_min = pool_max = len(serving)
         peak_burn = 0.0
         warmup_total = 0.0
+        overdue = OverdueTracker(cfg.slo_s, len(classes)) if vector \
+            else None
 
         closed = self.config.closed_loop
+        arr_times: List[float] = []
+        arr_ptr = 0
         if closed is None:
             if self.config.arrivals is not None:
                 times = list(self.config.arrivals)
@@ -407,9 +523,19 @@ class ScaleSimulator:
             assigned = rng_priority.choice(
                 len(classes), size=len(times), p=shares)
             n_expected = len(times)
-            for req_id, t in enumerate(times):
+            for req_id in range(n_expected):
                 priorities[req_id] = int(assigned[req_id])
-                push(float(t), _ARRIVE, req_id)
+            if vector:
+                # Pointer-merged arrivals: never heap-pushed.  Dynamic
+                # events start at sequence ``n_expected`` -- exactly
+                # where they would after ``n_expected`` setup pushes --
+                # so every (time, seq) heap comparison matches the
+                # scalar engine's and the merged order is identical.
+                arr_times = [float(t) for t in times]
+                push_seq = n_expected
+            else:
+                for req_id, t in enumerate(times):
+                    push(float(t), _ARRIVE, req_id)
             issues_pending = 0
             issued = n_expected
         else:
@@ -455,15 +581,62 @@ class ScaleSimulator:
             nonlocal n_open
             if record.retrieval_done_s is not None:
                 return
-            if len(record.shard_done_s) >= record.n_required:
+            if len(record.shard_done_s) + len(record.failed_shards) \
+                    >= record.n_required:
                 record.retrieval_done_s = now
                 n_open -= 1
+                if overdue is not None:
+                    overdue.resolve(record.req_id)
                 merge = self._merge_for(record.n_required)
                 lat = (now - record.arrival_s) + merge + self.prefill_s
                 tti_latency[record.req_id] = lat
-                controller.note_completion(now, lat)
+                controller.note_completion(now, lat,
+                                           priorities[record.req_id])
                 if closed is not None:
                     next_think(now + merge + self.prefill_s)
+
+        def arm_wake(shard_id: int, at_s: float) -> None:
+            state = slots[shard_id]
+            if at_s < state.wake_at:
+                state.wake_at = at_s
+                push(at_s, _WAKE, shard_id)
+
+        def declare_dead(shard_id: int, now: float) -> None:
+            """The static scheduler's death path, then the elastic
+            reaction: drop the slot from the topology, feed the
+            controller fault pressure, and failover-attach a spare."""
+            state = slots[shard_id]
+            if state.dead:
+                return
+            state.dead = True
+            state.gen += 1  # stale any armed timer
+            death_times[shard_id] = now
+            fault_log.append(FaultLogEntry(
+                kind="dead", shard_id=shard_id, t_s=now,
+                attempt=state.failures))
+            for req_id, _enqueue in state.queue:
+                record = records[req_id]
+                record.failed_shards.add(shard_id)
+                check_resolved(record, now)
+            state.queue.clear()
+            was_serving = state.serving
+            state.serving = False
+            state.draining = False
+            if was_serving:
+                serving.remove(shard_id)
+                if serving:
+                    # Survivors take over the dead slice -- the same
+                    # redistribution as the static reroute failover.
+                    retopo()
+                note_pool_size()
+            actions.append(ScaleAction(
+                kind="dead", t_s=now, shard_id=shard_id,
+                pool_size=len(serving)))
+            if was_serving:
+                controller.note_fault(now)
+                if controller.decide_failover(now, len(serving),
+                                              n_warming):
+                    attach_slots(now, 0.0, 1, reason="failover")
 
         def dispatch(shard_id: int, now: float) -> None:
             state = slots[shard_id]
@@ -471,12 +644,56 @@ class ScaleSimulator:
             head_enqueue = state.queue[0][1]
             taken = state.queue[:take]
             del state.queue[:take]
-            service = pool.service_seconds(state.chunk_count, take)
+            recompute = False
+            base = pool.service_seconds(state.chunk_count, take)
+            if injector is None:
+                service = base
+                multiplier = 1.0
+                outcome = OUTCOME_OK
+                occupied = service
+                corrupted = False
+            else:
+                multiplier = injector.multiplier(shard_id, now)
+                service = base * multiplier
+                outcome = OUTCOME_OK
+                fail_at = math.inf
+                if retry.timeout_s < service:
+                    fail_at = now + retry.timeout_s
+                    outcome = OUTCOME_TIMEOUT
+                next_outage = injector.next_outage_start(shard_id, now)
+                if next_outage < min(now + service, fail_at):
+                    fail_at = next_outage
+                    outcome = OUTCOME_INTERRUPTED
+                corrupted = False
+                if outcome == OUTCOME_OK \
+                        and injector.has_bit_flips(shard_id):
+                    flips = injector.transient_flips(shard_id)
+                    cursor = state.flip_cursor
+                    while cursor < len(flips) \
+                            and flips[cursor].t_s < now + service:
+                        cursor += 1
+                    corrupted = cursor > state.flip_cursor or bool(
+                        injector.stuck_active(shard_id, now + service))
+                    state.flip_cursor = cursor
+                    if corrupted and protected:
+                        outcome = OUTCOME_CORRUPTED
+                    if protected and state.last_corrupted:
+                        state.last_corrupted = False
+                        recompute = True
+                        fault_log.append(FaultLogEntry(
+                            kind="recompute", shard_id=shard_id,
+                            t_s=now, duration_s=service,
+                            attempt=state.failures))
+                occupied = service \
+                    if outcome in (OUTCOME_OK, OUTCOME_CORRUPTED) \
+                    else fail_at - now
             batch = ExecutedBatch(
                 shard_id=shard_id, seq=state.batch_seq, dispatch_s=now,
-                service_s=service,
+                service_s=occupied,
                 request_ids=tuple(req_id for req_id, _ in taken),
-                head_enqueue_s=head_enqueue)
+                head_enqueue_s=head_enqueue, attempt=state.failures,
+                multiplier=multiplier, outcome=outcome,
+                corrupted=corrupted, recompute=recompute)
             state.batch_seq += 1
             state.busy = True
             state.gen += 1  # stale any armed max-wait timer
@@ -495,11 +712,25 @@ class ScaleSimulator:
                     stage_tables.append(StageTable(
                         shard_id=shard_id, batch_size=take,
                         stages=table.stages))
-            push(batch.complete_s, _DONE, batch)
+            if outcome == OUTCOME_OK:
+                push(batch.complete_s, _DONE, batch)
+            else:
+                pending_retry[(shard_id, batch.seq)] = taken
+                push(batch.complete_s, _FAIL, batch)
 
         def maybe_dispatch(shard_id: int, now: float) -> None:
             state = slots[shard_id]
-            if state.busy or not state.queue:
+            if state.dead or state.busy or not state.queue:
+                return
+            if injector is not None and injector.is_down(shard_id, now):
+                up_at = injector.next_up(shard_id, now)
+                if math.isinf(up_at):
+                    declare_dead(shard_id, now)
+                else:
+                    arm_wake(shard_id, up_at)
+                return
+            if now < state.blocked_until:
+                arm_wake(shard_id, state.blocked_until)
                 return
             if len(state.queue) >= batch_policy.max_batch:
                 dispatch(shard_id, now)
@@ -511,8 +742,44 @@ class ScaleSimulator:
                 state.timer_armed_gen = state.gen
                 push(deadline, _TIMER, (shard_id, state.gen))
 
+        def handle_failure(batch: ExecutedBatch, now: float) -> None:
+            state = slots[batch.shard_id]
+            state.busy = False
+            state.busy_s += batch.service_s  # wasted work still occupies
+            state.failures += 1
+            state.last_corrupted = batch.outcome == OUTCOME_CORRUPTED
+            fault_log.append(FaultLogEntry(
+                kind=batch.outcome, shard_id=batch.shard_id,
+                t_s=batch.dispatch_s, duration_s=batch.service_s,
+                attempt=state.failures))
+            # FIFO-preserving re-enqueue at the queue head.
+            taken = pending_retry.pop((batch.shard_id, batch.seq))
+            state.queue[0:0] = taken
+            if state.failures > retry.max_retries:
+                declare_dead(batch.shard_id, now)
+                return
+            backoff = retry.backoff_s(state.failures)
+            state.blocked_until = now + backoff
+            fault_log.append(FaultLogEntry(
+                kind="backoff", shard_id=batch.shard_id, t_s=now,
+                duration_s=backoff, attempt=state.failures))
+            maybe_dispatch(batch.shard_id, now)
+
         def handle_arrival(req_id: int, now: float, prio: int) -> None:
             nonlocal n_open, n_shed
+            if not serving:
+                # Every device is dead, draining, or still warming:
+                # the request resolves empty-handed (the static
+                # scheduler's no-live-shards arrival), still counted
+                # against goodput.
+                record = RequestRecord(req_id=req_id, arrival_s=now,
+                                       n_required=0)
+                records[req_id] = record
+                n_open += 1
+                if overdue is not None:
+                    overdue.admit(req_id, now, prio)
+                check_resolved(record, now)
+                return
             threshold = policy.admission.shed_queue_batches \
                 * classes[prio].weight
             if queue_pressure() >= threshold:
@@ -528,7 +795,13 @@ class ScaleSimulator:
                                    n_required=len(serving))
             records[req_id] = record
             n_open += 1
-            for shard_id in serving:
+            if overdue is not None:
+                overdue.admit(req_id, now, prio)
+            # Snapshot: maybe_dispatch can declare the shard dead
+            # (permanent outage discovered at dispatch), and
+            # declare_dead edits ``serving`` -- iterating the live
+            # list would silently skip the next member.
+            for shard_id in list(serving):
                 slots[shard_id].queue.append((req_id, now))
                 maybe_dispatch(shard_id, now)
 
@@ -537,15 +810,15 @@ class ScaleSimulator:
             pool_min = min(pool_min, len(serving))
             pool_max = max(pool_max, len(serving))
 
-        def scale_up(now: float, burn: float) -> None:
+        def attach_slots(now: float, burn: float, want: int,
+                         reason: str = "") -> None:
             nonlocal n_warming, warmup_total
-            room = auto.max_shards - (len(serving) + n_warming)
             candidates = [j for j in range(pool.capacity)
                           if not (slots[j].serving or slots[j].warming
-                                  or slots[j].draining)]
+                                  or slots[j].draining or slots[j].dead)]
             committed = serving + [j for j in range(pool.capacity)
                                    if slots[j].warming]
-            for j in candidates[:min(auto.scale_up_step, room)]:
+            for j in candidates[:want]:
                 committed = sorted(committed + [j])
                 count = pool.counts_for(committed)[j]
                 warm_s = pool.warmup_seconds(count)
@@ -556,7 +829,11 @@ class ScaleSimulator:
                 actions.append(ScaleAction(
                     kind="attach", t_s=now, shard_id=j,
                     pool_size=len(serving), burn_rate=burn,
-                    duration_s=warm_s))
+                    duration_s=warm_s, reason=reason))
+
+        def scale_up(now: float, burn: float) -> None:
+            room = auto.max_shards - (len(serving) + n_warming)
+            attach_slots(now, burn, min(auto.scale_up_step, room))
 
         def scale_down(now: float, burn: float) -> None:
             j = serving[-1]
@@ -577,7 +854,59 @@ class ScaleSimulator:
 
         push(auto.control_interval_s, _CONTROL, None)
 
-        while heap:
+        while heap or arr_ptr < len(arr_times):
+            if arr_ptr < len(arr_times) \
+                    and (not heap or arr_times[arr_ptr] <= heap[0][0]):
+                # Pointer-merged arrival(s), vectorized engine only.
+                # Setup-pushed arrivals carry sequences 0..n-1, below
+                # every dynamic event, so at equal timestamps the
+                # scalar engine pops the arrival first -- merging on
+                # ``<=`` replays exactly that order.
+                if serving and all(slots[j].busy for j in serving):
+                    # Bulk admission: while every serving device is
+                    # busy, an admitted arrival only appends to queues
+                    # (each maybe_dispatch is a busy no-op), so the
+                    # queue-pressure shed test is the whole decision.
+                    # The incremental counter reproduces the identical
+                    # integer sum -- hence the identical float
+                    # division -- the scalar loop computes per arrival.
+                    horizon = heap[0][0] if heap else math.inf
+                    queued = sum(len(slots[j].queue) for j in serving)
+                    denom = len(serving) * batch_policy.max_batch
+                    width = len(serving)
+                    while arr_ptr < len(arr_times) \
+                            and arr_times[arr_ptr] <= horizon:
+                        now = arr_times[arr_ptr]
+                        req_id = arr_ptr
+                        arr_ptr += 1
+                        arrivals_pending -= 1
+                        prio = priorities[req_id]
+                        threshold = policy.admission.shed_queue_batches \
+                            * classes[prio].weight
+                        if queued / denom >= threshold:
+                            n_shed += 1
+                            shed_counts[prio] += 1
+                            actions.append(ScaleAction(
+                                kind="shed", t_s=now, pool_size=width,
+                                priority=classes[prio].name))
+                            continue
+                        record = RequestRecord(
+                            req_id=req_id, arrival_s=now,
+                            n_required=width)
+                        records[req_id] = record
+                        n_open += 1
+                        if overdue is not None:
+                            overdue.admit(req_id, now, prio)
+                        for shard_id in serving:
+                            slots[shard_id].queue.append((req_id, now))
+                        queued += width
+                else:
+                    now = arr_times[arr_ptr]
+                    req_id = arr_ptr
+                    arr_ptr += 1
+                    arrivals_pending -= 1
+                    handle_arrival(req_id, now, priorities[req_id])
+                continue
             now, _, kind, payload = heapq.heappop(heap)
             if kind == _ARRIVE:
                 arrivals_pending -= 1
@@ -591,6 +920,13 @@ class ScaleSimulator:
                 state = slots[batch.shard_id]
                 state.busy = False
                 state.busy_s += batch.service_s
+                state.failures = 0
+                if batch.corrupted:
+                    # Undetected corruption shipped (unprotected run).
+                    fault_log.append(FaultLogEntry(
+                        kind="sdc", shard_id=batch.shard_id,
+                        t_s=batch.dispatch_s,
+                        duration_s=batch.service_s))
                 for req_id in batch.request_ids:
                     record = records[req_id]
                     if batch.shard_id in record.shard_done_s:
@@ -598,6 +934,8 @@ class ScaleSimulator:
                             f"request {req_id} served twice on shard "
                             f"{batch.shard_id}")
                     record.shard_done_s[batch.shard_id] = now
+                    if batch.corrupted:
+                        record.corrupted_shards.add(batch.shard_id)
                     check_resolved(record, now)
                 maybe_dispatch(batch.shard_id, now)
                 if state.draining and not state.queue and not state.busy:
@@ -605,6 +943,11 @@ class ScaleSimulator:
                     actions.append(ScaleAction(
                         kind="drained", t_s=now, shard_id=batch.shard_id,
                         pool_size=len(serving)))
+            elif kind == _FAIL:
+                handle_failure(payload, now)
+            elif kind == _WAKE:
+                slots[payload].wake_at = math.inf
+                maybe_dispatch(payload, now)
             elif kind == _WARM:
                 state = slots[payload]
                 state.warming = False
@@ -628,18 +971,39 @@ class ScaleSimulator:
                 req_client[req_id] = payload
                 handle_arrival(req_id, now, prio)
             else:  # _CONTROL
-                n_overdue = sum(
-                    1 for record in records.values()
-                    if record.retrieval_done_s is None
-                    and now - record.arrival_s > cfg.slo_s)
-                window = controller.window(now, n_overdue)
-                burn = controller.burn_rate(window)
+                if overdue is not None:
+                    overdue_by_class = overdue.counts(now)
+                else:
+                    overdue_by_class = [0 for _ in classes]
+                    for record in records.values():
+                        if record.retrieval_done_s is None \
+                                and now - record.arrival_s > cfg.slo_s:
+                            overdue_by_class[
+                                priorities[record.req_id]] += 1
+                windows = controller.class_windows(now, overdue_by_class)
+                burn = 0.0
+                for i, window in enumerate(windows):
+                    class_burn = controller.burn_rate(window)
+                    if class_burn > class_burn_peaks[i]:
+                        class_burn_peaks[i] = class_burn
+                    if class_burn > burn:
+                        burn = class_burn
                 peak_burn = max(peak_burn, burn)
                 actions.append(ScaleAction(
                     kind="tick", t_s=now, pool_size=len(serving),
                     burn_rate=burn))
+                pressure = 0
+                if injector is not None:
+                    # Fault pressure: deaths/stall onsets noted inside
+                    # the trailing window plus devices currently
+                    # running degraded.  Forces the scale-up branch
+                    # and vetoes scale-down at the controller.
+                    pressure = controller.recent_faults()
+                    for j in serving:
+                        if injector.multiplier(j, now) > 1.0:
+                            pressure += 1
                 verdict = controller.decide(now, burn, len(serving),
-                                            n_warming)
+                                            n_warming, pressure)
                 if verdict == SCALE_UP:
                     scale_up(now, burn)
                 elif verdict == SCALE_DOWN:
@@ -660,11 +1024,14 @@ class ScaleSimulator:
             batches=tuple(batches),
             records=tuple(records[req_id] for req_id in sorted(records)),
             busy_seconds=tuple(state.busy_s for state in slots),
+            fault_log=tuple(fault_log),
+            death_times=death_times,
         )
         run = self._build_report(result, priorities, tti_latency,
                                  shed_counts, actions, pool_min, pool_max,
                                  len(serving), peak_burn, warmup_total,
-                                 stage_tables, batch_bytes)
+                                 class_burn_peaks, stage_tables,
+                                 batch_bytes)
         self._emit_trace(run)
         self._last_run = run
         return run
@@ -677,6 +1044,7 @@ class ScaleSimulator:
                       actions: List[ScaleAction],
                       pool_min: int, pool_max: int, pool_final: int,
                       peak_burn: float, warmup_total: float,
+                      class_burn_peaks: List[float],
                       stage_tables: List[Any],
                       batch_bytes: List[int]) -> _ElasticRun:
         cfg = self.config.serve
@@ -730,6 +1098,20 @@ class ScaleSimulator:
                 (cls.name, completed_by_class[i])
                 for i, cls in enumerate(classes)),
             actions=tuple(actions),
+            class_burn_peaks=tuple(
+                (cls.name, class_burn_peaks[i])
+                for i, cls in enumerate(classes)),
+            n_shard_failures=len(result.death_times),
+            n_failovers=sum(1 for a in actions if a.kind == "attach"
+                            and a.reason == "failover"),
+            n_timeouts=result.n_timeouts,
+            n_interrupted=result.n_interrupted,
+            n_retries=result.n_retries,
+            n_corruptions_detected=result.n_corruptions_detected,
+            n_sdc_escapes=result.n_sdc,
+            n_recomputes=result.n_recomputes,
+            degraded_requests=sum(
+                1 for r in result.records if r.failed_shards),
         )
         return _ElasticRun(
             report=report, result=result, priorities=dict(priorities),
@@ -765,6 +1147,9 @@ class ScaleSimulator:
         for record in result.records:
             if record.retrieval_done_s is None:  # pragma: no cover
                 continue
+            if record.n_required <= 0:
+                # Admitted while every device was dead: nothing merged.
+                continue
             cycles = merge_cycles(record.n_required,
                                   self.config.serve.k, self.params)
             if cycles <= 0:  # pragma: no cover - k >= 1 merges cost > 0
@@ -784,8 +1169,10 @@ class ScaleSimulator:
                     start_cycle=action.t_s * clock, cycles=0.0,
                     section="scale/controller", core_id=capacity))
             elif action.kind == "attach":
+                name = "scale_failover" if action.reason == "failover" \
+                    else "scale_attach"
                 trace.emit(TraceEvent(
-                    name="scale_attach", lane=LANE_SCALE,
+                    name=name, lane=LANE_SCALE,
                     start_cycle=action.t_s * clock, cycles=0.0,
                     section="scale/controller", core_id=capacity))
                 trace.emit(TraceEvent(
@@ -813,6 +1200,18 @@ class ScaleSimulator:
                     name="scale_shed", lane=LANE_SCALE,
                     start_cycle=action.t_s * clock, cycles=0.0,
                     section="scale/admission", core_id=capacity))
+            elif action.kind == "dead":
+                trace.emit(TraceEvent(
+                    name="scale_dead", lane=LANE_SCALE,
+                    start_cycle=action.t_s * clock, cycles=0.0,
+                    section=f"scale/shard{action.shard_id}",
+                    core_id=action.shard_id))
+        if self._injector is not None:
+            cfg = self.config.serve
+            emit_fault_trace(trace, result, clock, cfg.faults)
+            emit_integrity_trace(trace, result, clock, cfg.faults,
+                                 cfg.integrity, self.params,
+                                 pool.capacity)
 
 
 def golden_autoscale_config() -> ScaleConfig:
@@ -848,4 +1247,56 @@ def golden_autoscale_config() -> ScaleConfig:
                 qps, n_requests, seed,
                 spike_start_s=0.050, spike_duration_s=0.150,
                 spike_multiplier=10.0)),
+    )
+
+
+def golden_autoscale_fault_config() -> ScaleConfig:
+    """The canonical fault-under-autoscaling workload (golden traces).
+
+    The :func:`golden_autoscale_config` spike, with the two initial
+    devices scripted through every fault model while the controller
+    rides the storm: device 1 stalls under the spike, is interrupted
+    by a finite outage, then takes transient and stuck-at bit flips
+    under ABFT protection; device 0 hard-fails mid-run, forcing a
+    death, a reroute onto the survivor, and a cooldown-bypassing
+    failover attach.  Fault plans validate against the *initial* pool,
+    so only shards {0, 1} may be scripted.
+    """
+    base = golden_autoscale_config()
+    return ScaleConfig(
+        serve=ServeConfig(
+            spec=base.serve.spec,
+            n_shards=base.serve.n_shards,
+            batch=base.serve.batch,
+            k=base.serve.k,
+            qps=base.serve.qps,
+            n_requests=base.serve.n_requests,
+            seed=base.serve.seed,
+            slo_s=base.serve.slo_s,
+            faults=FaultPlan(
+                stalls=(
+                    StallFault(shard_id=1, start_s=0.020,
+                               duration_s=0.060, slowdown=1.5),
+                ),
+                outages=(
+                    OutageFault(shard_id=0, start_s=0.120),
+                    OutageFault(shard_id=1, start_s=0.090,
+                                duration_s=0.015, recovery_s=0.010,
+                                recovery_slowdown=2.0),
+                ),
+                bit_flips=(
+                    BitFlipFault(shard_id=1, t_s=0.150, target="vr",
+                                 vr=4, bit=9, element=1234),
+                    BitFlipFault(shard_id=1, t_s=0.200, target="stuck",
+                                 vr=5, bit=0, element=7),
+                ),
+            ),
+            retry=RetryPolicy(timeout_s=0.012, max_retries=2,
+                              backoff_base_s=1e-3, backoff_cap_s=8e-3),
+            integrity=IntegrityConfig(enabled=True, max_recomputes=3,
+                                      scrub_interval_s=0.050,
+                                      scrub_vrs=8),
+        ),
+        policy=base.policy,
+        arrivals=base.arrivals,
     )

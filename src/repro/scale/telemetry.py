@@ -93,13 +93,15 @@ def build_scale_traces(result: Any,
         root = Span(name=SPAN_QUERY, start_s=record.arrival_s,
                     end_s=tti_end,
                     labels={"n_required": str(record.n_required)})
-        shard_ids = sorted(record.shard_done_s)
+        shard_ids = sorted(set(record.shard_done_s)
+                           | set(record.failed_shards))
         leg_ends: Dict[int, float] = {}
         for shard_id in shard_ids:
             attempts = sorted(
                 by_request.get(record.req_id, {}).get(shard_id, []),
                 key=lambda b: b.dispatch_s)
-            leg = _shard_chain(record, shard_id, attempts, tables, None)
+            leg = _shard_chain(record, shard_id, attempts, tables,
+                               result.death_times.get(shard_id))
             leg_ends[shard_id] = leg.end_s
             root.children.append(leg)
         determining: Optional[int] = None
@@ -107,8 +109,9 @@ def build_scale_traces(result: Any,
             if leg_ends[shard_id] == done:
                 determining = shard_id
                 break
-        if determining is None:  # pragma: no cover - resolution is a
-            raise ValueError(  # shard completion event by construction
+        if determining is None and shard_ids:
+            # pragma: no cover - resolution is a shard event
+            raise ValueError(
                 f"request {record.req_id}: no shard leg ends at the "
                 f"recorded resolution time {done!r}")
         merge_end = done + merge_s
@@ -125,8 +128,8 @@ def build_scale_traces(result: Any,
             root=root,
             determining_shard=determining,
             n_required=record.n_required,
-            failed_shards=(),
-            corrupted_shards=(),
+            failed_shards=tuple(sorted(record.failed_shards)),
+            corrupted_shards=tuple(sorted(record.corrupted_shards)),
         ))
     return traces
 
@@ -179,6 +182,29 @@ def build_scale_metrics(report: Any, result: Any,
         "repro_scale_peak_burn_rate",
         "Highest burn rate any control tick observed")
     peak_burn.set(report.peak_burn_rate)
+    class_burn = registry.gauge(
+        "repro_scale_class_burn_peak",
+        "Highest per-class burn rate any control tick observed")
+    for cls_name, peak in report.class_burn_peaks:
+        class_burn.set(peak, **{"class": cls_name})
+    if result.fault_log or result.death_times:
+        fault_events = registry.counter(
+            "repro_scale_fault_events_total",
+            "Dynamic fault-handling actions, by kind")
+        for entry in result.fault_log:
+            fault_events.inc(kind=entry.kind, shard=str(entry.shard_id))
+        deaths = registry.counter(
+            "repro_scale_shard_deaths_total",
+            "Devices declared dead and removed from the pool")
+        deaths.inc(report.n_shard_failures)
+        failovers = registry.counter(
+            "repro_scale_failover_attaches_total",
+            "Cooldown-bypassing replacement attaches after a death")
+        failovers.inc(report.n_failovers)
+        degraded = registry.counter(
+            "repro_scale_degraded_total",
+            "Requests that lost at least one shard answer to a death")
+        degraded.inc(report.degraded_requests)
     goodput = registry.gauge(
         "repro_scale_goodput_ratio",
         "Offered requests completed within the SLO")

@@ -85,6 +85,8 @@ __all__ = [
     "ShardServiceModel",
     "ServeReport",
     "ServingSimulator",
+    "emit_fault_trace",
+    "emit_integrity_trace",
     "golden_serve_config",
     "golden_fault_config",
     "golden_integrity_config",
@@ -704,97 +706,113 @@ class ServingSimulator:
     def _emit_fault_trace(self, trace, result: ScheduleResult,
                           clock: float) -> None:
         """FAULT-lane events: the script plus the stack's reactions."""
-        horizon = result.horizon_s
-        plan = self.config.faults
+        emit_fault_trace(trace, result, clock, self.config.faults)
+        emit_integrity_trace(trace, result, clock, self.config.faults,
+                             self.config.integrity, self.params,
+                             self.config.n_shards)
 
-        def clamped(start_s: float, end_s: float) -> Optional[float]:
-            """Duration of ``[start, end)`` visible inside the horizon."""
-            if start_s >= horizon:
-                return None
-            return min(end_s, horizon) - start_s
 
-        for stall in plan.stalls:
-            span = clamped(stall.start_s, stall.end_s)
-            if span is None:
-                continue
-            trace.emit(TraceEvent(
-                name="fault_stall", lane=LANE_FAULT,
-                start_cycle=stall.start_s * clock, cycles=span * clock,
-                section=f"fault/shard{stall.shard_id}",
-                core_id=stall.shard_id))
-        for outage in plan.outages:
-            span = clamped(outage.start_s, outage.end_s)
-            if span is None:
-                continue
-            trace.emit(TraceEvent(
-                name="fault_outage", lane=LANE_FAULT,
-                start_cycle=outage.start_s * clock, cycles=span * clock,
-                section=f"fault/shard{outage.shard_id}",
-                core_id=outage.shard_id))
-            if not outage.permanent and outage.recovery_s > 0:
-                span = clamped(outage.end_s,
-                               outage.end_s + outage.recovery_s)
-                if span is not None:
-                    trace.emit(TraceEvent(
-                        name="fault_recovery", lane=LANE_FAULT,
-                        start_cycle=outage.end_s * clock,
-                        cycles=span * clock,
-                        section=f"fault/shard{outage.shard_id}",
-                        core_id=outage.shard_id))
-        #: Corruption kinds belong to the INTEGRITY lane; everything
-        #: else stays on FAULT.
-        integrity_names = {"corrupted": "integrity_detect",
-                           "sdc": "integrity_sdc",
-                           "recompute": "integrity_recompute"}
-        for entry in result.fault_log:
-            name = integrity_names.get(entry.kind)
-            if name is None:
-                name = (f"fault_{entry.kind}" if entry.kind != "dead"
-                        else "fault_failover")
-                lane = LANE_FAULT
-                section = f"fault/shard{entry.shard_id}"
-            else:
-                lane = LANE_INTEGRITY
-                section = f"integrity/shard{entry.shard_id}"
-            trace.emit(TraceEvent(
-                name=name,
-                lane=lane,
-                start_cycle=entry.t_s * clock,
-                cycles=entry.duration_s * clock,
-                section=section,
-                core_id=entry.shard_id))
-        self._emit_integrity_trace(trace, result, clock)
+def emit_fault_trace(trace, result: ScheduleResult, clock: float,
+                     plan: FaultPlan) -> None:
+    """FAULT-lane events: the scripted plan plus the stack's reactions.
 
-    def _emit_integrity_trace(self, trace, result: ScheduleResult,
-                              clock: float) -> None:
-        """INTEGRITY-lane events for the script itself: flips + scrubs."""
-        horizon = result.horizon_s
-        for flip in self.config.faults.bit_flips:
-            if flip.t_s >= horizon:
-                continue
-            trace.emit(TraceEvent(
-                name="integrity_stuck" if flip.persistent
-                else "integrity_flip",
-                lane=LANE_INTEGRITY,
-                start_cycle=flip.t_s * clock,
-                cycles=0.0,
-                section=f"integrity/shard{flip.shard_id}",
-                core_id=flip.shard_id))
-        integrity = self.config.integrity
-        if integrity.scrubbing:
-            scrub_s = get_cost_model(self.params).scrub_pass_seconds(
-                integrity.scrub_vrs)
-            tick = integrity.scrub_interval_s
-            t = tick
-            while t < horizon:
+    Shared between the static and elastic simulators so the one fault
+    story renders identically on both paths (``core_id`` is always the
+    shard/slot id, so the Perfetto lanes line up with the serve lanes).
+    """
+    horizon = result.horizon_s
+
+    def clamped(start_s: float, end_s: float) -> Optional[float]:
+        """Duration of ``[start, end)`` visible inside the horizon."""
+        if start_s >= horizon:
+            return None
+        return min(end_s, horizon) - start_s
+
+    for stall in plan.stalls:
+        span = clamped(stall.start_s, stall.end_s)
+        if span is None:
+            continue
+        trace.emit(TraceEvent(
+            name="fault_stall", lane=LANE_FAULT,
+            start_cycle=stall.start_s * clock, cycles=span * clock,
+            section=f"fault/shard{stall.shard_id}",
+            core_id=stall.shard_id))
+    for outage in plan.outages:
+        span = clamped(outage.start_s, outage.end_s)
+        if span is None:
+            continue
+        trace.emit(TraceEvent(
+            name="fault_outage", lane=LANE_FAULT,
+            start_cycle=outage.start_s * clock, cycles=span * clock,
+            section=f"fault/shard{outage.shard_id}",
+            core_id=outage.shard_id))
+        if not outage.permanent and outage.recovery_s > 0:
+            span = clamped(outage.end_s,
+                           outage.end_s + outage.recovery_s)
+            if span is not None:
                 trace.emit(TraceEvent(
-                    name="integrity_scrub",
-                    lane=LANE_INTEGRITY,
-                    start_cycle=t * clock,
-                    cycles=scrub_s * clock,
-                    section="integrity/scrub",
-                    core_id=self.config.n_shards))
-                t += tick
+                    name="fault_recovery", lane=LANE_FAULT,
+                    start_cycle=outage.end_s * clock,
+                    cycles=span * clock,
+                    section=f"fault/shard{outage.shard_id}",
+                    core_id=outage.shard_id))
+    #: Corruption kinds belong to the INTEGRITY lane; everything
+    #: else stays on FAULT.
+    integrity_names = {"corrupted": "integrity_detect",
+                       "sdc": "integrity_sdc",
+                       "recompute": "integrity_recompute"}
+    for entry in result.fault_log:
+        name = integrity_names.get(entry.kind)
+        if name is None:
+            name = (f"fault_{entry.kind}" if entry.kind != "dead"
+                    else "fault_failover")
+            lane = LANE_FAULT
+            section = f"fault/shard{entry.shard_id}"
+        else:
+            lane = LANE_INTEGRITY
+            section = f"integrity/shard{entry.shard_id}"
+        trace.emit(TraceEvent(
+            name=name,
+            lane=lane,
+            start_cycle=entry.t_s * clock,
+            cycles=entry.duration_s * clock,
+            section=section,
+            core_id=entry.shard_id))
+
+
+def emit_integrity_trace(trace, result: ScheduleResult, clock: float,
+                         plan: FaultPlan, integrity: IntegrityConfig,
+                         params: APUParams, scrub_core_id: int) -> None:
+    """INTEGRITY-lane events for the script itself: flips + scrubs.
+
+    ``scrub_core_id`` is the host lane id (the static simulator uses
+    ``n_shards``, the elastic one its pool capacity)."""
+    horizon = result.horizon_s
+    for flip in plan.bit_flips:
+        if flip.t_s >= horizon:
+            continue
+        trace.emit(TraceEvent(
+            name="integrity_stuck" if flip.persistent
+            else "integrity_flip",
+            lane=LANE_INTEGRITY,
+            start_cycle=flip.t_s * clock,
+            cycles=0.0,
+            section=f"integrity/shard{flip.shard_id}",
+            core_id=flip.shard_id))
+    if integrity.scrubbing:
+        scrub_s = get_cost_model(params).scrub_pass_seconds(
+            integrity.scrub_vrs)
+        tick = integrity.scrub_interval_s
+        t = tick
+        while t < horizon:
+            trace.emit(TraceEvent(
+                name="integrity_scrub",
+                lane=LANE_INTEGRITY,
+                start_cycle=t * clock,
+                cycles=scrub_s * clock,
+                section="integrity/scrub",
+                core_id=scrub_core_id))
+            t += tick
 
 
 def golden_serve_config() -> ServeConfig:

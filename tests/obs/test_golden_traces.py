@@ -25,6 +25,10 @@ from repro.obs import (
 )
 from repro.obs.micro import run_table4_micro, run_table5_micro
 
+#: The golden-freshness CI job regenerates every ``-m golden`` test;
+#: new golden modules are picked up by the marker, not a file list.
+pytestmark = pytest.mark.golden
+
 PHOENIX_APPS = (
     "histogram",
     "linear_regression",

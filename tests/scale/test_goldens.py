@@ -14,8 +14,16 @@ import pytest
 
 from repro.core.params import DEFAULT_PARAMS
 from repro.obs import LANE_SCALE, LANE_VCU, collecting, render_trace_golden
-from repro.scale import ScaleSimulator, golden_autoscale_config
+from repro.scale import (
+    ScaleSimulator,
+    golden_autoscale_config,
+    golden_autoscale_fault_config,
+)
 from repro.telemetry import render_attribution, render_spans_report
+
+#: The golden-freshness CI job regenerates every ``-m golden`` test;
+#: new golden modules are picked up by the marker, not a file list.
+pytestmark = pytest.mark.golden
 
 
 @pytest.fixture(scope="module")
@@ -46,3 +54,38 @@ def test_spans_golden(autoscale_telemetry, golden):
 def test_metrics_golden(autoscale_telemetry, golden):
     _report, telemetry = autoscale_telemetry
     golden("metrics_serve_autoscale.prom", telemetry.registry.expose())
+
+
+@pytest.fixture(scope="module")
+def autoscale_fault_telemetry():
+    simulator = ScaleSimulator(golden_autoscale_fault_config())
+    return simulator.run_with_telemetry()
+
+
+def test_fault_trace_golden(golden):
+    with collecting() as trace:
+        ScaleSimulator(golden_autoscale_fault_config()).run()
+    assert trace.cycles_by_lane.get(LANE_SCALE, 0.0) > 0
+    names = {event.name for event in trace.events}
+    assert "scale_dead" in names
+    assert "scale_failover" in names
+    golden("trace_serve_autoscale_faults.txt",
+           render_trace_golden(trace, "serve_autoscale_faults"))
+
+
+def test_fault_spans_golden(autoscale_fault_telemetry, golden):
+    _report, telemetry = autoscale_fault_telemetry
+    text = (render_spans_report(telemetry.traces, limit=8)
+            + "\n\n"
+            + render_attribution(telemetry.critical_paths,
+                                 DEFAULT_PARAMS.clock_hz)
+            + "\n")
+    golden("spans_serve_autoscale_faults.txt", text)
+
+
+def test_fault_metrics_golden(autoscale_fault_telemetry, golden):
+    _report, telemetry = autoscale_fault_telemetry
+    exposition = telemetry.registry.expose()
+    assert "repro_scale_shard_deaths_total 2" in exposition
+    assert "repro_scale_failover_attaches_total 1" in exposition
+    golden("metrics_serve_autoscale_faults.prom", exposition)

@@ -189,14 +189,20 @@ class TestStaticDelegation:
 
 
 class TestConfigValidation:
-    def test_faults_do_not_compose_with_a_policy(self):
-        with pytest.raises(ScaleConfigError):
-            ScaleConfig(serve=golden_fault_config(), policy=ScalePolicy())
+    def test_faults_compose_with_a_policy(self):
+        config = ScaleConfig(serve=golden_fault_config(),
+                             policy=ScalePolicy())
+        simulator = ScaleSimulator(config)
+        assert not simulator.is_static
+        assert simulator._injector is not None
 
-    def test_integrity_does_not_compose_with_a_policy(self):
-        with pytest.raises(ScaleConfigError):
-            ScaleConfig(serve=golden_integrity_config(),
-                        policy=ScalePolicy())
+    def test_integrity_composes_with_a_policy(self):
+        config = ScaleConfig(serve=golden_integrity_config(),
+                             policy=ScalePolicy())
+        simulator = ScaleSimulator(config)
+        assert not simulator.is_static
+        assert simulator._pool is not None
+        assert simulator._pool.integrity.enabled
 
     def test_initial_pool_outside_bounds_rejected(self):
         serve = dataclasses.replace(golden_serve_config(), n_shards=1)

@@ -14,6 +14,10 @@ from repro.core.params import DEFAULT_PARAMS
 from repro.serve.simulator import ServingSimulator, golden_serve_config
 from repro.telemetry import render_attribution, render_spans_report
 
+#: The golden-freshness CI job regenerates every ``-m golden`` test;
+#: new golden modules are picked up by the marker, not a file list.
+pytestmark = pytest.mark.golden
+
 
 @pytest.fixture(scope="module")
 def serve_telemetry():
