@@ -29,6 +29,9 @@ instead of invalidating an existing one:
 * ``scale`` -- ``BENCH_scale.json`` from ``bench_scale_spike`` (the
   10x load spike) and ``BENCH_scale_faults.json`` from
   ``bench_scale_faults`` (spike + shard deaths + SDC upsets).
+* ``ecc`` -- ``BENCH_ecc.json`` from ``bench_ecc_dse`` (the
+  protection-tier capability grid, charged decode costs, and the
+  clock design-space sweep).
 
 When ``$GITHUB_STEP_SUMMARY`` is set (any GitHub Actions job), every
 gated baseline also appends a per-metric delta table (baseline vs
@@ -77,6 +80,8 @@ SUITES = {
                ("bench_scale_spike",)),
               ("BENCH_scale_faults.json",
                ("bench_scale_faults",))),
+    "ecc": (("BENCH_ecc.json",
+             ("bench_ecc_dse",)),),
 }
 #: Metric-name suffixes gated with relative tolerance (timing-like).
 HIGHER_IS_BETTER = ("_qps", "_events_per_s")

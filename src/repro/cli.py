@@ -226,6 +226,7 @@ def _build_scale_config(args, serve_config):
 def _run_serve(args) -> None:
     import math
 
+    from .ecc import ECCConfig, ECCConfigError
     from .faults import FaultPlan
     from .integrity import IntegrityConfig
     from .rag import PAPER_CORPORA
@@ -245,6 +246,20 @@ def _run_serve(args) -> None:
         )
     elif args.scrub_interval_ms:
         raise SystemExit("--scrub-interval-ms requires --integrity")
+    ecc = ECCConfig()
+    if args.ecc:
+        try:
+            ecc = ECCConfig(
+                enabled=True,
+                tier=args.ecc_tier if args.ecc_tier is not None
+                else "secded",
+                data_bits=args.ecc_data_bits,
+                t=args.ecc_t,
+            )
+        except ECCConfigError as exc:
+            raise SystemExit(f"bad ECC configuration: {exc}")
+    elif args.ecc_tier is not None:
+        raise SystemExit("--ecc-tier requires --ecc")
     retry = RetryPolicy(
         timeout_s=math.inf if args.timeout_ms is None
         else args.timeout_ms * 1e-3,
@@ -266,6 +281,7 @@ def _run_serve(args) -> None:
         retry=retry,
         failover=args.failover,
         integrity=integrity,
+        ecc=ecc,
         engine=args.engine,
     )
     from .scale import ScaleSimulator
@@ -319,6 +335,12 @@ def _trace_runners() -> Dict[str, Callable]:
         ServingSimulator(golden_integrity_config()).run()
         return None
 
+    def run_serve_ecc():
+        from .serve import ServingSimulator, golden_ecc_config
+
+        ServingSimulator(golden_ecc_config()).run()
+        return None
+
     def run_serve_autoscale():
         from .scale import ScaleSimulator, golden_autoscale_config
 
@@ -335,6 +357,7 @@ def _trace_runners() -> Dict[str, Callable]:
     runners["serve"] = run_serve
     runners["serve_faults"] = run_serve_faults
     runners["serve_integrity"] = run_serve_integrity
+    runners["serve_ecc"] = run_serve_ecc
     runners["serve_autoscale"] = run_serve_autoscale
     runners["serve_autoscale_faults"] = run_serve_autoscale_faults
     runners["table4"] = lambda: run_table4_micro().total_cycles
@@ -370,7 +393,8 @@ def _run_trace(args) -> None:
         print(f"conservation: per-lane sum {core_cycles:.0f} vs device total "
               f"{expected:.0f} cycles -> {'OK' if ok else 'MISMATCH'}")
     process_names = None
-    if workload in ("serve", "serve_faults", "serve_integrity"):
+    if workload in ("serve", "serve_faults", "serve_integrity",
+                    "serve_ecc"):
         from .serve import golden_serve_config
 
         shards = golden_serve_config().n_shards
@@ -393,13 +417,14 @@ def _run_trace(args) -> None:
 #: Serving workloads the telemetry commands accept.
 def _telemetry_configs() -> Dict[str, Callable]:
     from .scale import golden_autoscale_config, golden_autoscale_fault_config
-    from .serve import golden_fault_config, golden_integrity_config, \
-        golden_serve_config
+    from .serve import golden_ecc_config, golden_fault_config, \
+        golden_integrity_config, golden_serve_config
 
     return {
         "serve": golden_serve_config,
         "serve_faults": golden_fault_config,
         "serve_integrity": golden_integrity_config,
+        "serve_ecc": golden_ecc_config,
         "serve_autoscale": golden_autoscale_config,
         "serve_autoscale_faults": golden_autoscale_fault_config,
     }
@@ -549,7 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace/spans/metrics only: workload to run (for trace: a "
              "Phoenix app, 'rag', 'serve', 'table4', 'table5'; for "
              "spans/metrics: 'serve', 'serve_faults', 'serve_integrity', "
-             "'serve_autoscale', 'serve_autoscale_faults'; "
+             "'serve_ecc', 'serve_autoscale', 'serve_autoscale_faults'; "
              "'workloads' lists them)",
     )
     parser.add_argument("--query", type=int, default=None,
@@ -612,6 +637,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scrub-interval-ms", type=float, default=0.0,
                         help="serve only: periodic memory-scrub interval "
                              "(0 disables; requires --integrity)")
+    parser.add_argument("--ecc", action="store_true",
+                        help="serve only: enable code-based memory "
+                             "protection (upsets land in codewords; "
+                             "storage and decode costs are charged)")
+    parser.add_argument("--ecc-tier", default=None,
+                        help="serve only: protection tier, 'secded' "
+                             "(the default) or 'bch' (requires --ecc)")
+    parser.add_argument("--ecc-t", type=int, default=2,
+                        help="serve only: BCH correction strength "
+                             "(bits per codeword; ignored by secded)")
+    parser.add_argument("--ecc-data-bits", type=int, default=64,
+                        help="serve only: codeword payload width in bits "
+                             "(a multiple of the 16-bit VR word)")
     parser.add_argument("--autoscale", action="store_true",
                         help="serve only: run the elastic pool with the "
                              "burn-rate autoscaler and admission control")

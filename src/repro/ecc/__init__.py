@@ -1,0 +1,48 @@
+"""Code-based memory protection for the simulated memories.
+
+Bit-accurate SEC-DED Hamming and binary BCH codecs
+(:mod:`repro.ecc.codecs`), a declarative :class:`ECCConfig` with typed
+validation errors, the charged storage/decode cost model, and the
+serving-layer :class:`ECCModel` judge that classifies injected faults
+into corrected / detected-uncorrectable / silently-miscorrected
+outcomes.  See the README "Memory protection (ECC)" section.
+"""
+
+from .codecs import (
+    BCHCodec,
+    SECDEDCodec,
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_DETECTED,
+    VERDICT_CORRECTED,
+    VERDICT_DETECTED,
+    VERDICT_MISCORRECT,
+)
+from .config import ECC_TIERS, ECCConfig, ECCCostModel, make_codec
+from .errors import (
+    ECCConfigError,
+    ECCGeometryError,
+    ECCStrengthError,
+    ECCTierError,
+)
+from .model import ECCModel
+
+__all__ = [
+    "BCHCodec",
+    "SECDEDCodec",
+    "STATUS_CLEAN",
+    "STATUS_CORRECTED",
+    "STATUS_DETECTED",
+    "VERDICT_CORRECTED",
+    "VERDICT_DETECTED",
+    "VERDICT_MISCORRECT",
+    "ECC_TIERS",
+    "ECCConfig",
+    "ECCCostModel",
+    "make_codec",
+    "ECCConfigError",
+    "ECCGeometryError",
+    "ECCStrengthError",
+    "ECCTierError",
+    "ECCModel",
+]

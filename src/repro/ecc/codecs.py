@@ -1,0 +1,395 @@
+"""Bit-accurate SEC-DED Hamming and binary BCH block codecs.
+
+Both codecs operate on integer codewords (bit ``i`` of the int is
+coefficient/position ``i``) so encode/decode are exact over arbitrary
+widths, and both are *linear*: the decode outcome of a corrupted word
+depends only on the error pattern, never on the stored data.  That is
+what :meth:`_BlockCodec.classify` exploits — applying an error mask to
+the all-zero codeword (which is a valid codeword of every linear code)
+and decoding tells us exactly whether a real read would have been
+corrected, detected, or silently miscorrected, without materialising
+the data.  The serving-layer judge uses that for timing-only runs; the
+functional injector path uses the full ``encode``/``decode`` pair on
+real values.
+
+SEC-DED is the classic extended Hamming construction (e.g. (72,64) for
+64 data bits): ``r`` parity bits at power-of-two positions with
+``2^r >= k + r + 1`` plus one overall-parity bit, correcting any
+single-bit error and detecting any double-bit error.  Beyond two bits
+the syndrome can alias onto a valid column — that miscorrection path
+is modelled, not hidden.
+
+BCH is a shortened binary BCH code over GF(2^m): log/antilog tables
+from a primitive polynomial, generator polynomial as the LCM of the
+minimal polynomials of ``alpha^1 .. alpha^2t``, syndrome computation,
+Berlekamp–Massey, and a Chien search restricted to the unshortened
+positions.  It corrects any error of weight ``<= t``; heavier errors
+are either flagged (locator degree too high, root count mismatch, or a
+root in the shortened region) or land on a neighbouring codeword — a
+genuine miscorrection, again modelled exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .errors import ECCGeometryError, ECCStrengthError
+
+__all__ = [
+    "STATUS_CLEAN",
+    "STATUS_CORRECTED",
+    "STATUS_DETECTED",
+    "VERDICT_CORRECTED",
+    "VERDICT_DETECTED",
+    "VERDICT_MISCORRECT",
+    "SECDEDCodec",
+    "BCHCodec",
+]
+
+#: Decode statuses returned by :meth:`_BlockCodec.decode`.
+STATUS_CLEAN = "clean"
+STATUS_CORRECTED = "corrected"
+STATUS_DETECTED = "detected"
+
+#: Classification verdicts (also the fault-log entry kinds).
+VERDICT_CORRECTED = "ecc_corrected"
+VERDICT_DETECTED = "ecc_detected"
+VERDICT_MISCORRECT = "ecc_miscorrect"
+
+
+class _BlockCodec:
+    """Shared interface: geometry, classification, storage overhead."""
+
+    tier: str = ""
+    data_bits: int = 0
+    check_bits: int = 0
+    n: int = 0
+    t: int = 0
+
+    @property
+    def storage_overhead(self) -> float:
+        """Stored-bits per data-bit (``n/k``); >= 1.0."""
+        return self.n / self.data_bits
+
+    def encode(self, data: int) -> int:
+        raise NotImplementedError
+
+    def decode(self, code: int) -> Tuple[int, str]:
+        raise NotImplementedError
+
+    def data_position(self, index: int) -> int:
+        """Codeword bit position of data bit ``index``."""
+        raise NotImplementedError
+
+    def _check_data(self, data: int) -> None:
+        if data < 0 or data >> self.data_bits:
+            raise ECCGeometryError(
+                f"data value does not fit in {self.data_bits} bits")
+
+    def classify(self, data_bit_indices: Iterable[int]) -> Optional[str]:
+        """Verdict for an upset hitting the given *data* bit indices.
+
+        Returns ``None`` for an empty pattern, otherwise one of the
+        ``VERDICT_*`` kinds.  A pattern whose decode restores all-zero
+        data did no damage (``corrected`` covers both true correction
+        and residual check-bit-only noise); a ``detected`` status is a
+        flagged uncorrectable; anything else silently delivered wrong
+        data (``miscorrect``).
+        """
+        mask = 0
+        for index in set(data_bit_indices):
+            if not 0 <= index < self.data_bits:
+                raise ECCGeometryError(
+                    f"data bit {index} outside 0..{self.data_bits - 1}")
+            mask |= 1 << self.data_position(index)
+        if mask == 0:
+            return None
+        data, status = self.decode(mask)
+        if status == STATUS_DETECTED:
+            return VERDICT_DETECTED
+        if data == 0:
+            return VERDICT_CORRECTED
+        return VERDICT_MISCORRECT
+
+
+class SECDEDCodec(_BlockCodec):
+    """Extended Hamming SEC-DED over ``data_bits`` (default (72,64))."""
+
+    tier = "secded"
+    t = 1
+
+    def __init__(self, data_bits: int = 64) -> None:
+        if data_bits < 4:
+            raise ECCGeometryError(
+                f"SEC-DED needs at least 4 data bits, got {data_bits}")
+        r = 0
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        self.data_bits = data_bits
+        #: Highest Hamming position; positions 1.._m carry the payload,
+        #: position 0 is the overall-parity bit of the extended code.
+        self._m = data_bits + r
+        self.check_bits = r + 1
+        self.n = data_bits + r + 1
+        self._data_pos: Tuple[int, ...] = tuple(
+            p for p in range(1, self._m + 1) if p & (p - 1))
+        self._parity_pos: Tuple[int, ...] = tuple(1 << j for j in range(r))
+
+    def data_position(self, index: int) -> int:
+        return self._data_pos[index]
+
+    def _syndrome(self, code: int) -> int:
+        syndrome = 0
+        bits = code >> 1
+        pos = 1
+        while bits:
+            if bits & 1:
+                syndrome ^= pos
+            bits >>= 1
+            pos += 1
+        return syndrome
+
+    def encode(self, data: int) -> int:
+        self._check_data(data)
+        code = 0
+        for i, pos in enumerate(self._data_pos):
+            if (data >> i) & 1:
+                code |= 1 << pos
+        # Setting parity bit 2^j toggles exactly bit j of the syndrome,
+        # so the data syndrome *is* the parity-bit pattern to store.
+        syndrome = self._syndrome(code)
+        for p in self._parity_pos:
+            if syndrome & p:
+                code |= 1 << p
+        if bin(code).count("1") & 1:
+            code |= 1  # overall parity: make total weight even
+        return code
+
+    def decode(self, code: int) -> Tuple[int, str]:
+        syndrome = self._syndrome(code)
+        overall = bin(code).count("1") & 1
+        status = STATUS_CLEAN
+        if syndrome == 0 and overall == 0:
+            pass
+        elif overall:
+            # Odd total weight: a single-bit error (or an odd-weight
+            # heavier upset aliasing onto one — the miscorrection path).
+            if syndrome == 0:
+                code ^= 1  # the overall-parity bit itself flipped
+            elif syndrome <= self._m:
+                code ^= 1 << syndrome
+            else:
+                # Syndrome points past the code: >=3 bits, flagged.
+                return self._extract(code), STATUS_DETECTED
+            status = STATUS_CORRECTED
+        else:
+            # Even weight, nonzero syndrome: the double-bit detect case.
+            return self._extract(code), STATUS_DETECTED
+        return self._extract(code), status
+
+    def _extract(self, code: int) -> int:
+        data = 0
+        for i, pos in enumerate(self._data_pos):
+            if (code >> pos) & 1:
+                data |= 1 << i
+        return data
+
+
+#: Primitive polynomials for GF(2^m), bit i = coefficient of x^i.
+_PRIMITIVE_POLY: Dict[int, int] = {
+    4: 0b10011,          # x^4 + x + 1
+    5: 0b100101,         # x^5 + x^2 + 1
+    6: 0b1000011,        # x^6 + x + 1
+    7: 0b10001001,       # x^7 + x^3 + 1
+    8: 0b100011101,      # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,     # x^9 + x^4 + 1
+    10: 0b10000001001,   # x^10 + x^3 + 1
+}
+
+
+class BCHCodec(_BlockCodec):
+    """Shortened binary BCH code correcting up to ``t`` bit errors."""
+
+    tier = "bch"
+
+    def __init__(self, data_bits: int = 64, t: int = 2) -> None:
+        if t < 1:
+            raise ECCStrengthError(f"BCH needs t >= 1, got {t}")
+        if data_bits < 1:
+            raise ECCGeometryError(
+                f"BCH needs at least 1 data bit, got {data_bits}")
+        self.data_bits = data_bits
+        self.t = t
+        m = next((cand for cand in sorted(_PRIMITIVE_POLY)
+                  if (1 << cand) - 1 >= data_bits + cand * t), None)
+        if m is None:
+            raise ECCGeometryError(
+                f"no GF(2^m) field up to m=10 fits {data_bits} data bits "
+                f"at t={t}")
+        self.m = m
+        self.n_field = (1 << m) - 1
+        self._build_field(_PRIMITIVE_POLY[m])
+        self._g = self._generator()
+        self.check_bits = self._g.bit_length() - 1
+        self.n = data_bits + self.check_bits
+        assert self.n <= self.n_field
+
+    # -- GF(2^m) arithmetic -------------------------------------------
+
+    def _build_field(self, prim: int) -> None:
+        exp = [0] * (2 * self.n_field)
+        log = [0] * (self.n_field + 1)
+        x = 1
+        for i in range(self.n_field):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x >> self.m:
+                x ^= prim
+        for i in range(self.n_field, 2 * self.n_field):
+            exp[i] = exp[i - self.n_field]
+        self._exp = exp
+        self._log = log
+
+    def _mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def _inv(self, a: int) -> int:
+        return self._exp[self.n_field - self._log[a]]
+
+    # -- generator polynomial -----------------------------------------
+
+    def _generator(self) -> int:
+        """LCM of the minimal polynomials of alpha^1 .. alpha^2t."""
+        covered: set = set()
+        g: List[int] = [1]  # over GF(2^m); g[i] = coefficient of x^i
+        for i in range(1, 2 * self.t + 1):
+            if i in covered:
+                continue
+            coset = set()
+            j = i
+            while j not in coset:
+                coset.add(j)
+                j = (j * 2) % self.n_field
+            covered |= coset
+            for j in coset:
+                root = self._exp[j]
+                widened = [0] * (len(g) + 1)
+                for degree, coeff in enumerate(g):
+                    widened[degree + 1] ^= coeff
+                    widened[degree] ^= self._mul(coeff, root)
+                g = widened
+        mask = 0
+        for degree, coeff in enumerate(g):
+            # Conjugate-closed cosets guarantee binary coefficients.
+            assert coeff in (0, 1)
+            if coeff:
+                mask |= 1 << degree
+        return mask
+
+    # -- encode / decode ----------------------------------------------
+
+    def data_position(self, index: int) -> int:
+        return self.check_bits + index
+
+    def _mod_g(self, value: int) -> int:
+        g = self._g
+        deg_g = self.check_bits
+        while value.bit_length() > deg_g:
+            value ^= g << (value.bit_length() - 1 - deg_g)
+        return value
+
+    def encode(self, data: int) -> int:
+        self._check_data(data)
+        shifted = data << self.check_bits
+        return shifted | self._mod_g(shifted)
+
+    def _syndromes(self, code: int) -> List[int]:
+        bits = []
+        rest = code
+        j = 0
+        while rest:
+            if rest & 1:
+                bits.append(j)
+            rest >>= 1
+            j += 1
+        syndromes = []
+        for i in range(1, 2 * self.t + 1):
+            s = 0
+            for j in bits:
+                s ^= self._exp[(i * j) % self.n_field]
+            syndromes.append(s)
+        return syndromes
+
+    def _berlekamp_massey(self, syn: List[int]) -> Tuple[List[int], int]:
+        sigma = [1]
+        prev = [1]
+        length = 0
+        shift = 1
+        prev_disc = 1
+        for n, s in enumerate(syn):
+            disc = s
+            for i in range(1, length + 1):
+                if i < len(sigma) and sigma[i]:
+                    disc ^= self._mul(sigma[i], syn[n - i])
+            if disc == 0:
+                shift += 1
+                continue
+            scale = self._mul(disc, self._inv(prev_disc))
+            update = [0] * shift + [self._mul(c, scale) for c in prev]
+            width = max(len(sigma), len(update))
+            merged = [0] * width
+            for i in range(width):
+                coeff = sigma[i] if i < len(sigma) else 0
+                if i < len(update):
+                    coeff ^= update[i]
+                merged[i] = coeff
+            if 2 * length <= n:
+                prev = list(sigma)
+                prev_disc = disc
+                length = n + 1 - length
+                shift = 1
+            else:
+                shift += 1
+            sigma = merged
+        while len(sigma) > 1 and sigma[-1] == 0:
+            sigma.pop()
+        return sigma, length
+
+    def _chien(self, sigma: List[int]) -> Optional[List[int]]:
+        """Error positions, or None when a root lies in the shortened
+        (always-zero) region — a provably-impossible location, so the
+        decoder flags instead of correcting."""
+        positions = []
+        for j in range(self.n_field):
+            x = self._exp[(self.n_field - j) % self.n_field]
+            acc = 0
+            power = 1
+            for coeff in sigma:
+                if coeff:
+                    acc ^= self._mul(coeff, power)
+                power = self._mul(power, x)
+            if acc == 0:
+                if j >= self.n:
+                    return None
+                positions.append(j)
+        return positions
+
+    def decode(self, code: int) -> Tuple[int, str]:
+        syndromes = self._syndromes(code)
+        if not any(syndromes):
+            return self._extract(code), STATUS_CLEAN
+        sigma, length = self._berlekamp_massey(syndromes)
+        if length > self.t or length != len(sigma) - 1 or length == 0:
+            return self._extract(code), STATUS_DETECTED
+        positions = self._chien(sigma)
+        if positions is None or len(positions) != length:
+            return self._extract(code), STATUS_DETECTED
+        for p in positions:
+            code ^= 1 << p
+        return self._extract(code), STATUS_CORRECTED
+
+    def _extract(self, code: int) -> int:
+        return code >> self.check_bits

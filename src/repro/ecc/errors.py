@@ -1,0 +1,29 @@
+"""Typed configuration errors for the ECC layer.
+
+Every invalid protection setup raises a subclass of
+:class:`ECCConfigError`, so the CLI can catch one exception type and
+exit cleanly while tests can pin the specific failure mode.
+"""
+
+__all__ = [
+    "ECCConfigError",
+    "ECCTierError",
+    "ECCGeometryError",
+    "ECCStrengthError",
+]
+
+
+class ECCConfigError(ValueError):
+    """Base class for invalid ECC configurations."""
+
+
+class ECCTierError(ECCConfigError):
+    """Unknown protection tier name."""
+
+
+class ECCGeometryError(ECCConfigError):
+    """Codeword geometry that cannot be realised over the VR layout."""
+
+
+class ECCStrengthError(ECCConfigError):
+    """Correction strength (``t``) outside the codec's valid range."""

@@ -1,0 +1,98 @@
+"""Serving-layer ECC judge: exact decode verdicts without the data.
+
+The discrete-event schedulers are timing-only — no corpus values flow
+through them — yet the decode outcome of a linear block code depends
+only on the *error pattern* (see :mod:`repro.ecc.codecs`).  The judge
+therefore maps every fault the injector charged to a batch window onto
+codeword bit positions, groups them per codeword, and classifies each
+group by decoding the pattern against the all-zero codeword.  The
+verdicts are exact: the same faults replayed through the functional
+:class:`~repro.integrity.MemoryFaultInjector` with real values reach
+the same corrected/detected/miscorrected outcomes.
+
+Codeword geometry over the simulated memories: VRs hold 16-bit words,
+a codeword spans ``data_bits // 16`` consecutive elements, so word
+``element`` bit ``bit`` is data bit ``(element % wpc) * 16 + bit`` of
+codeword ``element // wpc``.  DMA burst faults spread across the
+contiguous bits of one word; stuck-at cells group per codeword so two
+stuck cells in one SEC-DED codeword become a *persistent* detected-
+uncorrectable — the escalation path into shard death and the elastic
+control plane's replace-and-drain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.faults.plan import BitFlipFault
+
+from .codecs import (
+    BCHCodec,
+    SECDEDCodec,
+    VERDICT_DETECTED,
+    VERDICT_MISCORRECT,
+)
+from .config import ECCConfig, make_codec
+
+__all__ = ["ECCModel"]
+
+#: One codeword's worth of upset: (target, vr, codeword index) -> bits.
+_GroupKey = Tuple[str, int, int]
+
+
+class ECCModel:
+    """Classifies injected faults through a configured codec."""
+
+    def __init__(self, config: ECCConfig) -> None:
+        if not config.enabled:
+            raise ValueError("ECCModel requires an enabled ECCConfig")
+        self.config = config
+        self.codec: Union[SECDEDCodec, BCHCodec] = make_codec(config)
+        self.words_per_codeword = config.words_per_codeword
+
+    def _groups(self, flips: Iterable[BitFlipFault],
+                stuck: Iterable[BitFlipFault]) -> Dict[_GroupKey, set]:
+        wpc = self.words_per_codeword
+        groups: Dict[_GroupKey, set] = {}
+        for fault in flips:
+            key = (fault.target, fault.vr, fault.element // wpc)
+            base = (fault.element % wpc) * 16
+            bits = groups.setdefault(key, set())
+            if fault.target == "dma":
+                stop = min(fault.bit + fault.burst_bits, 16)
+                bits.update(base + b for b in range(fault.bit, stop))
+            else:
+                bits.add(base + fault.bit)
+        for fault in stuck:
+            key = ("stuck", fault.vr, fault.element // wpc)
+            bits = groups.setdefault(key, set())
+            bits.add((fault.element % wpc) * 16 + fault.bit)
+        return groups
+
+    def judge(self, flips: Iterable[BitFlipFault],
+              stuck: Iterable[BitFlipFault]
+              ) -> Tuple[bool, bool, List[str]]:
+        """Classify one batch window's upsets.
+
+        Returns ``(corrupted, detected, kinds)``: ``corrupted`` is True
+        when any codeword delivered damaged data (detected *or*
+        miscorrected — a fully corrected window is clean), ``detected``
+        is True when the decoder itself flagged an uncorrectable, and
+        ``kinds`` lists one fault-log kind per struck codeword in
+        deterministic (sorted codeword) order.
+        """
+        corrupted = False
+        detected = False
+        kinds: List[str] = []
+        groups = self._groups(flips, stuck)
+        for key in sorted(groups):
+            verdict = self.codec.classify(groups[key])
+            if verdict is None:
+                continue
+            kinds.append(verdict)
+            if verdict == VERDICT_DETECTED:
+                corrupted = True
+                detected = True
+            elif verdict == VERDICT_MISCORRECT:
+                corrupted = True
+        return corrupted, detected, kinds

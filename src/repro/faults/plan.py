@@ -287,6 +287,22 @@ class FaultPlan:
         object.__setattr__(self, "outages", tuple(self.outages))
         object.__setattr__(self, "bit_flips", tuple(self.bit_flips))
         check_outage_consistency(self.outages)
+        # One physical SRAM cell can only stick once: a duplicate
+        # stuck-at draw silently collapses to a single cell (the OR
+        # mask is idempotent), which would make a plan that *looks*
+        # like a multi-cell uncorrectable behave as a correctable
+        # single-cell fault under ECC.  Reject it up front.
+        seen_cells = set()
+        for fault in self.bit_flips:
+            if not fault.persistent:
+                continue
+            cell = (fault.shard_id, fault.vr, fault.element, fault.bit)
+            if cell in seen_cells:
+                raise ValueError(
+                    f"duplicate stuck-at cell in fault plan: shard "
+                    f"{fault.shard_id} vr {fault.vr} element "
+                    f"{fault.element} bit {fault.bit} is wedged twice")
+            seen_cells.add(cell)
 
     def __bool__(self) -> bool:
         return bool(self.stalls or self.outages or self.bit_flips)
@@ -487,7 +503,11 @@ class FaultPlan:
         the horizon; ``dma_fraction`` / ``stuck_fraction`` apportion
         them to DMA bursts and stuck-at cells, the rest being single
         VR-bit flips.  Combine with :meth:`random` output through
-        :meth:`merged_with`.
+        :meth:`merged_with`.  A stuck-at draw that lands on an
+        already-wedged cell is dropped in draw order (the same idiom
+        :meth:`random` uses for contradictory outages), keeping the
+        generator deterministic while the plan stays valid under the
+        duplicate-cell check.
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
@@ -499,6 +519,7 @@ class FaultPlan:
                              f"[0, 1], got {dma_fraction + stuck_fraction!r}")
         rng = np.random.default_rng(seed)
         flips: List[BitFlipFault] = []
+        wedged = set()
         for shard_id in range(n_shards):
             for _ in range(rng.poisson(flip_rate)):
                 t_s = float(rng.uniform(0.0, horizon_s))
@@ -509,11 +530,18 @@ class FaultPlan:
                     target = "dma"
                 else:
                     target = "vr"
+                vr = int(rng.integers(0, n_vrs))
+                bit = int(rng.integers(0, 16))
+                element = int(rng.integers(0, n_elements))
+                burst_bits = int(rng.integers(1, 5)) \
+                    if target == "dma" else 1
+                if target == "stuck":
+                    cell = (shard_id, vr, element, bit)
+                    if cell in wedged:
+                        continue
+                    wedged.add(cell)
                 flips.append(BitFlipFault(
                     shard_id=shard_id, t_s=t_s, target=target,
-                    vr=int(rng.integers(0, n_vrs)),
-                    bit=int(rng.integers(0, 16)),
-                    element=int(rng.integers(0, n_elements)),
-                    burst_bits=int(rng.integers(1, 5))
-                    if target == "dma" else 1))
+                    vr=vr, bit=bit, element=element,
+                    burst_bits=burst_bits))
         return cls(bit_flips=tuple(flips))

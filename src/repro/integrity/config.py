@@ -75,6 +75,13 @@ class IntegrityConfig:
                 or isinstance(self.scrub_vrs, bool) or self.scrub_vrs < 1:
             raise ValueError(
                 f"scrub_vrs must be an integer >= 1, got {self.scrub_vrs!r}")
+        # The device exposes VRs 0..23 (the same bound BitFlipFault
+        # enforces on its ``vr`` field); a scrub pass cannot re-checksum
+        # more registers than exist.
+        if self.scrub_vrs > 24:
+            raise ValueError(
+                f"scrub_vrs must be at most the 24 architectural VRs, "
+                f"got {self.scrub_vrs!r}")
 
     @property
     def scrubbing(self) -> bool:

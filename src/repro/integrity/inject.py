@@ -25,10 +25,18 @@ against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..ecc import (
+    ECCConfig,
+    STATUS_DETECTED,
+    VERDICT_CORRECTED,
+    VERDICT_DETECTED,
+    VERDICT_MISCORRECT,
+    make_codec,
+)
 from ..faults.plan import BitFlipFault
 
 __all__ = ["FlipRecord", "MemoryFaultInjector"]
@@ -71,11 +79,23 @@ class MemoryFaultInjector:
         bit-identical for a fixed ``seed``.
     seed:
         Seed for the rate-mode generator.
+    ecc:
+        Optional enabled :class:`~repro.ecc.ECCConfig`.  When set,
+        every corrupted write/transfer is post-processed through the
+        configured codec: the affected codewords are re-encoded from
+        their pre-upset data, the actual error pattern is applied, and
+        the decoder's verdict takes effect on the stored bits --
+        corrected codewords are restored, detected-uncorrectable ones
+        keep the raw damage (the controller flags them), and
+        beyond-capability miscorrections overwrite the word with the
+        decoder's *wrong* correction.  Verdicts are counted and logged
+        in :attr:`ecc_events`.
     """
 
     def __init__(self, flips: Iterable[BitFlipFault] = (),
                  stuck: Iterable[BitFlipFault] = (),
-                 upset_rate: float = 0.0, seed: int = 0):
+                 upset_rate: float = 0.0, seed: int = 0,
+                 ecc: Optional[ECCConfig] = None):
         if not 0.0 <= upset_rate <= 1.0:
             raise ValueError(
                 f"upset_rate must be a probability in [0, 1], "
@@ -98,11 +118,23 @@ class MemoryFaultInjector:
             self._stuck.append(fault)
         self.upset_rate = float(upset_rate)
         self._rng = np.random.default_rng(seed)
+        if ecc is not None and not ecc.enabled:
+            raise ValueError(
+                "pass ecc=None to disable protection; a disabled "
+                "ECCConfig here is almost certainly a mistake")
+        self.ecc = ecc
+        self._codec = make_codec(ecc) if ecc is not None else None
         #: Every corruption that changed data, in the order it happened.
         self.log: List[FlipRecord] = []
+        #: ECC decode verdicts: ``(site, codeword_index, verdict)`` per
+        #: struck codeword, in the order the decoder saw them.
+        self.ecc_events: List[Tuple[str, int, str]] = []
         self.n_vr_flips = 0
         self.n_dma_flips = 0
         self.n_stuck_hits = 0
+        self.n_ecc_corrected = 0
+        self.n_ecc_detected = 0
+        self.n_ecc_miscorrected = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -122,6 +154,7 @@ class MemoryFaultInjector:
     # ------------------------------------------------------------------
     def corrupt_vr_write(self, vr: int, arr: np.ndarray) -> None:
         """Corrupt a VR write in place (``arr`` is the core's own copy)."""
+        orig = arr.copy() if self._codec is not None else None
         consumed: Optional[int] = None
         for i, fault in enumerate(self._pending_vr):
             if fault.vr == vr:
@@ -150,6 +183,8 @@ class MemoryFaultInjector:
             self.log.append(FlipRecord(
                 site="stuck", vr=vr, element=element, bit=fault.bit,
                 before=before, after=int(arr[element])))
+        if orig is not None:
+            self._ecc_pass("vr", orig, arr)
 
     def corrupt_dma_payload(self, data: np.ndarray) -> np.ndarray:
         """Return ``data`` with any pending DMA burst error applied.
@@ -179,11 +214,58 @@ class MemoryFaultInjector:
             bit = int(self._rng.integers(0, width))
             self._flip(out, element, bit, 1, site="dma", vr=-1)
             self.n_dma_flips += 1
+        if self._codec is not None:
+            self._ecc_pass("dma", data, out)
         return out
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _ecc_pass(self, site: str, orig: np.ndarray,
+                  arr: np.ndarray) -> None:
+        """Run the codec over every codeword an upset actually struck.
+
+        ``orig`` is the pre-upset payload (the encode-side data),
+        ``arr`` the damaged one.  The decoder's verdict lands on the
+        stored bits: corrected codewords restore the original words,
+        detected-uncorrectable ones keep the raw damage, and
+        miscorrections overwrite with the decoder's wrong data.
+        """
+        assert self._codec is not None and self.ecc is not None
+        codec = self._codec
+        width = arr.dtype.itemsize * 8
+        words = self.ecc.data_bits // width
+        changed = np.nonzero(orig != arr)[0]
+        struck = sorted({int(e) // words for e in changed})
+        for cw in struck:
+            lo = cw * words
+            hi = min(lo + words, arr.size)
+            data = 0
+            error = 0
+            for j in range(lo, hi):
+                data |= int(orig[j]) << ((j - lo) * width)
+                error |= (int(orig[j]) ^ int(arr[j])) << ((j - lo) * width)
+            code = codec.encode(data)
+            for b in range(self.ecc.data_bits):
+                if error >> b & 1:
+                    code ^= 1 << codec.data_position(b)
+            decoded, status = codec.decode(code)
+            if status == STATUS_DETECTED:
+                verdict = VERDICT_DETECTED
+                self.n_ecc_detected += 1
+            elif decoded == data:
+                verdict = VERDICT_CORRECTED
+                self.n_ecc_corrected += 1
+                for j in range(lo, hi):
+                    arr[j] = orig[j]
+            else:
+                verdict = VERDICT_MISCORRECT
+                self.n_ecc_miscorrected += 1
+                for j in range(lo, hi):
+                    arr[j] = arr.dtype.type(
+                        decoded >> ((j - lo) * width) & ((1 << width) - 1))
+            self.ecc_events.append((site, cw, verdict))
+
     def _flip(self, arr: np.ndarray, element: int, bit: int, n_bits: int,
               site: str, vr: int) -> None:
         mask = 0

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.params import APUParams, DEFAULT_PARAMS
+from ..ecc import ECCConfig, ECCCostModel, make_codec
 from ..hbm import make_hbm2e
 from ..integrity.config import IntegrityConfig, get_cost_model
 from ..obs import collector as _trace_collector
@@ -49,12 +50,17 @@ class ElasticAPUDevicePool:
     verification and scrub duty factor
     :class:`~repro.serve.simulator.ShardServiceModel` charges, so a
     protected elastic run and a protected static run price the same
-    batch the same way.
+    batch the same way.  An enabled ``ecc`` config likewise mirrors
+    the static model's code-based protection tax: check-bit storage
+    inflation on every anchored slice (and on the warm-up DMA stream,
+    which also pays the one-time encode of the slice it writes) plus
+    the per-query codec time at the memory interface.
     """
 
     def __init__(self, spec: CorpusSpec, capacity: int, k: int = 5,
                  params: APUParams = DEFAULT_PARAMS,
-                 integrity: Optional[IntegrityConfig] = None):
+                 integrity: Optional[IntegrityConfig] = None,
+                 ecc: Optional[ECCConfig] = None):
         if capacity < 1:
             raise ElasticPoolError(
                 f"pool capacity must be >= 1 device slot, got "
@@ -72,6 +78,10 @@ class ElasticAPUDevicePool:
             else IntegrityConfig()
         self._costs = get_cost_model(params) if self.integrity.enabled \
             else None
+        self.ecc = ecc if ecc is not None else ECCConfig()
+        self._ecc_costs = (ECCCostModel(make_codec(self.ecc),
+                                        params.clock_hz)
+                          if self.ecc.enabled else None)
         #: The static ``capacity``-way placement every topology derives
         #: from.
         self.base_counts: Tuple[int, ...] = tuple(
@@ -136,6 +146,16 @@ class ElasticAPUDevicePool:
             previous = _trace_collector.set_collector(None)
             try:
                 slice_spec = self.slice_spec(chunk_count)
+                if self._ecc_costs is not None:
+                    # Check-bit inflation: the anchored slice is coded.
+                    factor = self._ecc_costs.storage_factor
+                    slice_spec = CorpusSpec(
+                        label=f"{slice_spec.label}+ecc",
+                        corpus_bytes=slice_spec.corpus_bytes * factor,
+                        n_chunks=slice_spec.n_chunks,
+                        dim=slice_spec.dim,
+                        bytes_per_value=slice_spec.bytes_per_value,
+                    )
                 breakdown = self._retriever.latency_breakdown(
                     slice_spec, self.k)
                 pair = [self._batched.batch_latency(slice_spec, b, self.k)
@@ -170,10 +190,28 @@ class ElasticAPUDevicePool:
         scrub = self._costs.scrub_pass_seconds(self.integrity.scrub_vrs)
         return 1.0 + scrub / self.integrity.scrub_interval_s
 
+    def ecc_seconds(self, batch_size: int) -> float:
+        """Per-batch ECC codec time at the memory interface.
+
+        The same arithmetic as
+        :meth:`~repro.serve.simulator.ShardServiceModel.ecc_seconds`:
+        each query pays the encode of its staged embedding plus the
+        decode of its 4-byte-per-entry top-k readout.
+        """
+        if self._ecc_costs is None:
+            return 0.0
+        query_bytes = float(self.spec.dim * self.spec.bytes_per_value)
+        topk_bytes = 4.0 * self.k
+        per_query = (self._ecc_costs.encode_seconds(query_bytes)
+                     + self._ecc_costs.decode_seconds(topk_bytes))
+        return batch_size * per_query
+
     def service_seconds(self, chunk_count: int, batch_size: int) -> float:
         """One batch's service time on a slot holding ``chunk_count``."""
         single, increment, _ = self._anchor(chunk_count)
         base = single + (batch_size - 1) * increment
+        if self._ecc_costs is not None:
+            base += self.ecc_seconds(batch_size)
         if self._costs is None:
             return base
         base += batch_size * self.verify_seconds(chunk_count)
@@ -192,6 +230,8 @@ class ElasticAPUDevicePool:
         ret = base - ((dma + mac) + topk)
         stages = [("dma", dma), ("mac", mac), ("topk", topk),
                   ("return", ret)]
+        if self._ecc_costs is not None:
+            stages.append(("ecc", self.ecc_seconds(batch_size)))
         if self._costs is not None:
             checksum = batch_size * self.verify_seconds(chunk_count)
             stages.append(("checksum", checksum))
@@ -217,10 +257,19 @@ class ElasticAPUDevicePool:
         """
         cost = self._warmups.get(chunk_count)
         if cost is None:
+            raw_bytes = float(self.embedding_bytes(chunk_count))
+            stream_bytes = raw_bytes
             previous = _trace_collector.set_collector(None)
             try:
+                if self._ecc_costs is not None:
+                    # The resident slice is stored coded: the warm-up
+                    # stream carries the check bits and the write side
+                    # pays the one-time encode of the raw payload.
+                    stream_bytes *= self._ecc_costs.storage_factor
                 cost = self._hbm.transfer_seconds(
-                    float(self.embedding_bytes(chunk_count)), "sequential")
+                    stream_bytes, "sequential")
+                if self._ecc_costs is not None:
+                    cost += self._ecc_costs.encode_seconds(raw_bytes)
             finally:
                 _trace_collector.set_collector(previous)
             self._warmups[chunk_count] = cost

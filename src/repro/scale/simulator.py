@@ -72,6 +72,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core.params import APUParams, DEFAULT_PARAMS
+from ..ecc import ECCModel
 from ..faults import BitFlipFault, FaultInjector, FaultLogEntry, \
     FaultPlan, OutageFault, StallFault
 from ..integrity.config import IntegrityConfig
@@ -255,6 +256,12 @@ class ScaleReport:
     n_sdc_escapes: int = 0
     #: Recompute attempts dispatched to heal detections.
     n_recomputes: int = 0
+    #: Codewords the ECC decoder corrected in place (clean batches).
+    n_ecc_corrected: int = 0
+    #: Codewords the ECC decoder flagged detected-uncorrectable.
+    n_ecc_detected: int = 0
+    #: Codewords the ECC decoder silently miscorrected.
+    n_ecc_miscorrections: int = 0
     #: Requests that lost at least one shard answer to a death.
     degraded_requests: int = 0
 
@@ -319,6 +326,15 @@ class ScaleReport:
                 f"{self.n_corruptions_detected} detected, "
                 f"{self.n_recomputes} recomputed, "
                 f"{self.n_sdc_escapes} escaped")
+        if cfg.ecc.enabled:
+            tier = cfg.ecc.tier
+            if tier == "bch":
+                tier = f"bch t={cfg.ecc.t}"
+            lines.append(
+                f"  ecc ({tier}, {cfg.ecc.data_bits}b codewords): "
+                f"{self.n_ecc_corrected} corrected, "
+                f"{self.n_ecc_detected} detected-uncorrectable, "
+                f"{self.n_ecc_miscorrections} miscorrected")
         return "\n".join(lines)
 
 
@@ -388,7 +404,8 @@ class ScaleSimulator:
             self._pool = ElasticAPUDevicePool(
                 config.serve.spec, config.policy.autoscale.max_shards,
                 config.serve.k, params,
-                integrity=config.serve.integrity)
+                integrity=config.serve.integrity,
+                ecc=config.serve.ecc)
             if config.serve.faults:
                 # The plan is validated against the initial pool size
                 # (ServeConfig already did), so scripted faults only
@@ -463,6 +480,7 @@ class ScaleSimulator:
                                         n_classes=len(classes))
         injector = self._injector
         protected = cfg.integrity.enabled
+        ecc = ECCModel(cfg.ecc) if cfg.ecc.enabled else None
         retry = cfg.retry
         vector = cfg.engine == "vectorized"
 
@@ -672,12 +690,27 @@ class ScaleSimulator:
                     while cursor < len(flips) \
                             and flips[cursor].t_s < now + service:
                         cursor += 1
-                    corrupted = cursor > state.flip_cursor or bool(
-                        injector.stuck_active(shard_id, now + service))
+                    consumed_flips = flips[state.flip_cursor:cursor]
+                    stuck = injector.stuck_active(shard_id, now + service)
                     state.flip_cursor = cursor
-                    if corrupted and protected:
+                    detected = False
+                    if ecc is None:
+                        corrupted = bool(consumed_flips) or bool(stuck)
+                    elif consumed_flips or stuck:
+                        # Mirrors the static scheduler's ECC
+                        # classification: corrected windows stay clean,
+                        # decoder-flagged uncorrectables fail even
+                        # unprotected, miscorrections ride the sdc
+                        # path unless ABFT is also on.
+                        corrupted, detected, ecc_kinds = \
+                            ecc.judge(consumed_flips, stuck)
+                        for ecc_kind in ecc_kinds:
+                            fault_log.append(FaultLogEntry(
+                                kind=ecc_kind, shard_id=shard_id,
+                                t_s=now, attempt=state.failures))
+                    if corrupted and (protected or detected):
                         outcome = OUTCOME_CORRUPTED
-                    if protected and state.last_corrupted:
+                    if state.last_corrupted:
                         state.last_corrupted = False
                         recompute = True
                         fault_log.append(FaultLogEntry(
@@ -1110,6 +1143,9 @@ class ScaleSimulator:
             n_corruptions_detected=result.n_corruptions_detected,
             n_sdc_escapes=result.n_sdc,
             n_recomputes=result.n_recomputes,
+            n_ecc_corrected=result.n_ecc_corrected,
+            n_ecc_detected=result.n_ecc_detected,
+            n_ecc_miscorrections=result.n_ecc_miscorrections,
             degraded_requests=sum(
                 1 for r in result.records if r.failed_shards),
         )

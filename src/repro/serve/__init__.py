@@ -41,6 +41,7 @@ from .simulator import (
     ServeReport,
     ServingSimulator,
     ShardServiceModel,
+    golden_ecc_config,
     golden_fault_config,
     golden_integrity_config,
     golden_serve_config,
@@ -82,6 +83,7 @@ __all__ = [
     "bursty_arrival_times",
     "chunk_owners",
     "diurnal_arrival_times",
+    "golden_ecc_config",
     "golden_fault_config",
     "golden_integrity_config",
     "golden_serve_config",

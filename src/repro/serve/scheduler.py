@@ -61,6 +61,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..ecc import ECCModel
 from ..faults import FaultInjector, FaultLogEntry
 from .workload import Request
 
@@ -276,6 +277,24 @@ class ScheduleResult:
         return sum(1 for entry in self.fault_log
                    if entry.kind == "recompute")
 
+    @property
+    def n_ecc_corrected(self) -> int:
+        """Codewords the ECC decoder corrected in place."""
+        return sum(1 for entry in self.fault_log
+                   if entry.kind == "ecc_corrected")
+
+    @property
+    def n_ecc_detected(self) -> int:
+        """Codewords the ECC decoder flagged as uncorrectable."""
+        return sum(1 for entry in self.fault_log
+                   if entry.kind == "ecc_detected")
+
+    @property
+    def n_ecc_miscorrections(self) -> int:
+        """Beyond-capability upsets the decoder silently miscorrected."""
+        return sum(1 for entry in self.fault_log
+                   if entry.kind == "ecc_miscorrect")
+
 
 class _ShardState:
     """Mutable per-shard queue/device state during a run."""
@@ -338,6 +357,16 @@ class DiscreteEventScheduler:
         the corruption escape silently (``"sdc"`` log entries,
         ``corrupted_shards`` on the affected requests).  Irrelevant
         when the plan has no bit flips.
+    ecc:
+        Optional :class:`~repro.ecc.ECCModel`.  When set, injected
+        upsets land in codewords instead of raw words: corrected
+        codewords leave the batch clean (an ``"ecc_corrected"`` log
+        entry is the only trace), decoder-flagged uncorrectables fail
+        the attempt with outcome ``"corrupted"`` even without ABFT
+        (the memory controller reports them), and beyond-capability
+        miscorrections deliver silently wrong data that only ABFT
+        (``protected=True``) can still catch.  ``None`` (the default)
+        reproduces the unprotected raw-word behavior bit-for-bit.
     """
 
     def __init__(self, n_shards: int, policy: BatchPolicy,
@@ -345,7 +374,8 @@ class DiscreteEventScheduler:
                  injector: Optional[FaultInjector] = None,
                  retry: Optional[RetryPolicy] = None,
                  on_death: Optional[Callable[[int, float], None]] = None,
-                 protected: bool = False):
+                 protected: bool = False,
+                 ecc: Optional[ECCModel] = None):
         if not isinstance(n_shards, (int, np.integer)) \
                 or isinstance(n_shards, bool) or n_shards < 1:
             raise ValueError(
@@ -357,6 +387,7 @@ class DiscreteEventScheduler:
         self.retry = retry if retry is not None else RetryPolicy()
         self.on_death = on_death
         self.protected = bool(protected)
+        self.ecc = ecc
         if injector is not None and injector.n_shards != self.n_shards:
             raise ValueError(
                 f"injector covers {injector.n_shards} shard(s), "
@@ -468,13 +499,29 @@ class DiscreteEventScheduler:
                     while cursor < len(flips) \
                             and flips[cursor].t_s < now + service:
                         cursor += 1
-                    corrupted = cursor > state.flip_cursor or bool(
-                        self.injector.stuck_active(shard_id,
-                                                   now + service))
+                    consumed = flips[state.flip_cursor:cursor]
+                    stuck = self.injector.stuck_active(shard_id,
+                                                       now + service)
                     state.flip_cursor = cursor
-                    if corrupted and self.protected:
+                    detected = False
+                    if self.ecc is None:
+                        corrupted = bool(consumed) or bool(stuck)
+                    elif consumed or stuck:
+                        # ECC sits between the memory and the batch:
+                        # corrected codewords leave the data clean, a
+                        # decoder-flagged uncorrectable fails the
+                        # attempt even without ABFT, and a silent
+                        # miscorrection rides the sdc path unless
+                        # ABFT is also on.
+                        corrupted, detected, ecc_kinds = \
+                            self.ecc.judge(consumed, stuck)
+                        for ecc_kind in ecc_kinds:
+                            fault_log.append(FaultLogEntry(
+                                kind=ecc_kind, shard_id=shard_id,
+                                t_s=now, attempt=state.failures))
+                    if corrupted and (self.protected or detected):
                         outcome = OUTCOME_CORRUPTED
-                    if self.protected and state.last_corrupted:
+                    if state.last_corrupted:
                         # This dispatch re-runs work a verification
                         # rejected: the recompute leg of detect/heal.
                         state.last_corrupted = False

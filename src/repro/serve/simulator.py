@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.params import APUParams, DEFAULT_PARAMS
+from ..ecc import ECCConfig, ECCCostModel, ECCModel, make_codec
 from ..faults import BitFlipFault, FaultInjector, FaultPlan, OutageFault, \
     StallFault
 from ..integrity.config import IntegrityConfig, get_cost_model
@@ -90,6 +91,7 @@ __all__ = [
     "golden_serve_config",
     "golden_fault_config",
     "golden_integrity_config",
+    "golden_ecc_config",
 ]
 
 #: Supported responses to a shard death.
@@ -122,6 +124,13 @@ class ServeConfig:
     #: scheduler detects and recomputes corrupted batches and the
     #: service model charges the verification + scrub overhead.
     integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
+    #: Code-based memory protection.  Disabled (the default) keeps every
+    #: code path bit-identical to the pre-ECC simulator; enabled,
+    #: injected upsets land in codewords (corrected / detected /
+    #: miscorrected by the configured codec) and the service model
+    #: charges the check-bit storage inflation plus the per-query
+    #: encode/decode cycles.
+    ecc: ECCConfig = field(default_factory=ECCConfig)
     #: Execution backend: ``"scalar"`` (the reference event loop) or
     #: ``"vectorized"`` (the NumPy core, validated bit-identical
     #: against it by ``tests/simcore``).
@@ -153,6 +162,10 @@ class ServeConfig:
             raise ValueError(
                 f"integrity must be an IntegrityConfig, "
                 f"got {type(self.integrity).__name__}")
+        if not isinstance(self.ecc, ECCConfig):
+            raise ValueError(
+                f"ecc must be an ECCConfig, "
+                f"got {type(self.ecc).__name__}")
         validate_engine(self.engine)
 
 
@@ -176,19 +189,33 @@ class ShardServiceModel:
     top-k result check, and an active scrub schedule stretches service
     by its duty factor (the device spends that fraction of its time
     re-checksumming resident vectors instead of serving).
+
+    An enabled ``ecc`` config charges the code-based protection tax:
+    every protected byte inflates by the codec's ``n/k`` check-bit
+    overhead (applied to the shard corpus footprint at anchor time, so
+    the HBM embedding stream and the per-batch DMA both pay it -- and a
+    takeover re-anchor keeps paying it on the enlarged slice), and each
+    query pays the memory-interface encode of its staged vector plus
+    the decode of its top-k readout.  The in-SRAM scan itself reads raw
+    bits; only traffic crossing the memory interface is coded.
     """
 
     def __init__(self, spec: CorpusSpec, n_shards: int, k: int = 5,
                  params: APUParams = DEFAULT_PARAMS,
-                 integrity: Optional[IntegrityConfig] = None):
+                 integrity: Optional[IntegrityConfig] = None,
+                 ecc: Optional[ECCConfig] = None):
         self.spec = spec
         self.n_shards = n_shards
         self.k = k
         self.params = params
         self.integrity = integrity if integrity is not None \
             else IntegrityConfig()
+        self.ecc = ecc if ecc is not None else ECCConfig()
         self._costs = get_cost_model(params) if self.integrity.enabled \
             else None
+        self._ecc_costs = (ECCCostModel(make_codec(self.ecc),
+                                        params.clock_hz)
+                          if self.ecc.enabled else None)
         self._retriever = APURetriever(optimized=True, params=params)
         self._batched = BatchedAPURetrieval(params)
         self.shard_specs = shard_specs(spec, n_shards)
@@ -222,7 +249,24 @@ class ShardServiceModel:
 
     def _anchor(self, shard_spec: CorpusSpec
                 ) -> Tuple[float, float, RetrievalBreakdown]:
-        """(single-query latency, per-query increment, stage breakdown)."""
+        """(single-query latency, per-query increment, stage breakdown).
+
+        With ECC enabled the anchor runs against a check-bit-inflated
+        spec: every resident embedding byte and every corpus byte grows
+        by the codec's ``n/k``, so the warm-up stream, per-batch DMA,
+        and effective capacity all carry the storage tax.  Living here
+        (rather than in ``__init__``) means :meth:`apply_takeover`
+        re-anchors keep the inflation on the enlarged slices.
+        """
+        if self._ecc_costs is not None:
+            factor = self._ecc_costs.storage_factor
+            shard_spec = CorpusSpec(
+                label=f"{shard_spec.label}+ecc",
+                corpus_bytes=shard_spec.corpus_bytes * factor,
+                n_chunks=shard_spec.n_chunks,
+                dim=shard_spec.dim,
+                bytes_per_value=shard_spec.bytes_per_value,
+            )
         breakdown = self._retriever.latency_breakdown(shard_spec, self.k)
         pair = [self._batched.batch_latency(shard_spec, b, self.k)
                 .batch_seconds for b in (1, 2)]
@@ -232,10 +276,30 @@ class ShardServiceModel:
         """Service time of one batch on one shard's device."""
         base = (self._single[shard_id]
                 + (batch_size - 1) * self._increment[shard_id])
+        if self._ecc_costs is not None:
+            base += self.ecc_seconds(batch_size)
         if self._costs is None:
             return base
         base += batch_size * self.verify_seconds(self.chunk_counts[shard_id])
         return base * self.scrub_duty_factor
+
+    def ecc_seconds(self, batch_size: int) -> float:
+        """Per-batch ECC codec time at the memory interface.
+
+        Each query pays the encode of its staged embedding (written
+        into protected VRs) plus the decode/correction pass over its
+        4-byte-per-entry top-k readout.  The resident corpus stream is
+        *not* re-decoded per scan -- the in-SRAM compute reads raw
+        bits; its protection cost is the storage inflation charged at
+        anchor time.
+        """
+        if self._ecc_costs is None:
+            return 0.0
+        query_bytes = float(self.spec.dim * self.spec.bytes_per_value)
+        topk_bytes = 4.0 * self.k
+        per_query = (self._ecc_costs.encode_seconds(query_bytes)
+                     + self._ecc_costs.decode_seconds(topk_bytes))
+        return batch_size * per_query
 
     def verify_seconds(self, chunk_count: int) -> float:
         """Per-query ABFT verification cost over a ``chunk_count`` slice.
@@ -267,7 +331,8 @@ class ShardServiceModel:
         and the anchored batch time sets the total: ``dma`` (embedding +
         query staging), ``mac``, and ``topk`` scale by their share of
         the single-query latency, ``return`` takes the remainder of the
-        un-protected base, then the integrity tax lands explicitly as
+        un-protected base, then the protection taxes land explicitly as
+        ``ecc`` (per-query codec time at the memory interface),
         ``checksum`` (per-query ABFT verification) and ``scrub`` (duty-
         cycle stretch).  Reflects the model state *now* -- call at
         dispatch time so takeover re-anchors mid-run are honored.
@@ -282,6 +347,8 @@ class ShardServiceModel:
         ret = base - ((dma + mac) + topk)
         stages = [("dma", dma), ("mac", mac), ("topk", topk),
                   ("return", ret)]
+        if self._ecc_costs is not None:
+            stages.append(("ecc", self.ecc_seconds(batch_size)))
         if self._costs is not None:
             checksum = batch_size * self.verify_seconds(
                 self.chunk_counts[shard_id])
@@ -381,6 +448,14 @@ class ServeReport:
     n_sdc_escapes: int = 0
     #: Recompute attempts dispatched to heal detections.
     n_recomputes: int = 0
+    #: Codewords the ECC decoder corrected in place (clean batches).
+    n_ecc_corrected: int = 0
+    #: Codewords the ECC decoder flagged detected-uncorrectable.
+    n_ecc_detected: int = 0
+    #: Codewords the ECC decoder silently miscorrected (beyond-
+    #: capability upsets that landed within distance t of a wrong
+    #: codeword).
+    n_ecc_miscorrections: int = 0
     #: Mean fraction of each request's shard answers that were neither
     #: lost to failover nor silently corrupted (1.0 = every answer
     #: trustworthy).
@@ -436,6 +511,15 @@ class ServeReport:
                 f"{self.n_recomputes} recomputed, "
                 f"{self.n_sdc_escapes} escaped; "
                 f"intact coverage {self.mean_intact_coverage * 100:.2f}%")
+        if cfg.ecc.enabled:
+            tier = cfg.ecc.tier
+            if tier == "bch":
+                tier = f"bch t={cfg.ecc.t}"
+            lines.append(
+                f"  ecc ({tier}, {cfg.ecc.data_bits}b codewords): "
+                f"{self.n_ecc_corrected} corrected, "
+                f"{self.n_ecc_detected} detected-uncorrectable, "
+                f"{self.n_ecc_miscorrections} miscorrected")
         return "\n".join(lines)
 
 
@@ -450,7 +534,7 @@ class ServingSimulator:
         self.generator = generator or GenerationModel()
         self.service_model = ShardServiceModel(
             config.spec, config.n_shards, config.k, params,
-            integrity=config.integrity)
+            integrity=config.integrity, ecc=config.ecc)
         self.merge_s = merge_seconds(config.n_shards, config.k, params)
         self.prefill_s = self.generator.prefill_seconds()
         self.injector = (FaultInjector(config.faults, config.n_shards)
@@ -474,7 +558,8 @@ class ServingSimulator:
             injector=self.injector, retry=config.retry,
             on_death=self._on_shard_death
             if self.injector is not None else None,
-            protected=config.integrity.enabled)
+            protected=config.integrity.enabled,
+            ecc=ECCModel(config.ecc) if config.ecc.enabled else None)
 
     # ------------------------------------------------------------------
     def _on_shard_death(self, shard_id: int, t_s: float) -> None:
@@ -657,6 +742,9 @@ class ServingSimulator:
             n_corruptions_detected=result.n_corruptions_detected,
             n_sdc_escapes=result.n_sdc,
             n_recomputes=result.n_recomputes,
+            n_ecc_corrected=result.n_ecc_corrected,
+            n_ecc_detected=result.n_ecc_detected,
+            n_ecc_miscorrections=result.n_ecc_miscorrections,
             mean_intact_coverage=1.0 if not intact
             else sum(intact) / len(intact),
         )
@@ -760,7 +848,10 @@ def emit_fault_trace(trace, result: ScheduleResult, clock: float,
     #: else stays on FAULT.
     integrity_names = {"corrupted": "integrity_detect",
                        "sdc": "integrity_sdc",
-                       "recompute": "integrity_recompute"}
+                       "recompute": "integrity_recompute",
+                       "ecc_corrected": "integrity_ecc_correct",
+                       "ecc_detected": "integrity_ecc_detect",
+                       "ecc_miscorrect": "integrity_ecc_miscorrect"}
     for entry in result.fault_log:
         name = integrity_names.get(entry.kind)
         if name is None:
@@ -905,4 +996,45 @@ def golden_integrity_config() -> ServeConfig:
         failover="reroute",
         integrity=IntegrityConfig(enabled=True, max_recomputes=3,
                                   scrub_interval_s=0.050, scrub_vrs=8),
+    )
+
+
+def golden_ecc_config() -> ServeConfig:
+    """The canonical ECC workload pinned by the ECC golden trace.
+
+    The golden serving workload with SEC-DED (72,64) protection and one
+    upset of each decode class: a single-bit VR flip on shard 1
+    (corrected in place, the batch stays clean), a 3-bit DMA burst on
+    shard 2 (beyond SEC-DED's capability -- the decoder miscorrects,
+    and with ABFT off the damage ships as an SDC), and **two** stuck-at
+    cells in the same 64-bit codeword on shard 3 -- every batch decodes
+    detected-uncorrectable, the retry budget burns out, and the shard
+    escalates to death/failover.  Exercises every ECC event kind plus
+    the escalation path in one sub-second run.
+    """
+    return ServeConfig(
+        spec=PAPER_CORPORA["10GB"],
+        n_shards=4,
+        batch=BatchPolicy(max_batch=8, max_wait_s=2e-3),
+        k=5,
+        qps=400.0,
+        n_requests=64,
+        seed=0,
+        slo_s=1.0,
+        faults=FaultPlan(
+            bit_flips=(
+                BitFlipFault(shard_id=1, t_s=0.020, target="vr",
+                             vr=4, bit=9, element=1234),
+                BitFlipFault(shard_id=2, t_s=0.050, target="dma",
+                             bit=4, element=100, burst_bits=3),
+                BitFlipFault(shard_id=3, t_s=0.080, target="stuck",
+                             vr=5, bit=0, element=7),
+                BitFlipFault(shard_id=3, t_s=0.080, target="stuck",
+                             vr=5, bit=1, element=7),
+            ),
+        ),
+        retry=RetryPolicy(max_retries=2, backoff_base_s=1e-3,
+                          backoff_cap_s=8e-3),
+        failover="reroute",
+        ecc=ECCConfig(enabled=True, tier="secded"),
     )

@@ -55,6 +55,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
 
 import numpy as np
 
+from ..ecc import ECCModel
 from ..faults import FaultInjector, FaultLogEntry
 from ..serve.scheduler import (
     OUTCOME_CORRUPTED,
@@ -355,7 +356,8 @@ class _FaultScan:
     def __init__(self, shard: int, arrivals: np.ndarray,
                  policy: BatchPolicy, retry: RetryPolicy,
                  injector: FaultInjector, protected: bool,
-                 svc: Callable[[int], float]):
+                 svc: Callable[[int], float],
+                 ecc: Optional[ECCModel] = None):
         self.shard = shard
         self.arrivals = arrivals
         self.n = int(arrivals.size)
@@ -365,6 +367,7 @@ class _FaultScan:
         self.injector = injector
         self.protected = protected
         self.svc = svc
+        self.ecc = ecc
 
     # -- idle chain ----------------------------------------------------
     def _next_idle_action(
@@ -482,12 +485,26 @@ class _FaultScan:
             cursor = st.flip_cursor
             while cursor < len(flips) and flips[cursor].t_s < now + service:
                 cursor += 1
-            corrupted = cursor > st.flip_cursor or bool(
-                inj.stuck_active(self.shard, now + service))
+            consumed_flips = flips[st.flip_cursor:cursor]
+            stuck = inj.stuck_active(self.shard, now + service)
             st.flip_cursor = cursor
-            if corrupted and self.protected:
+            detected = False
+            if self.ecc is None:
+                corrupted = bool(consumed_flips) or bool(stuck)
+            elif consumed_flips or stuck:
+                # Mirrors the scalar scheduler's ECC classification:
+                # corrected windows stay clean, decoder-flagged
+                # uncorrectables fail even unprotected, miscorrections
+                # ride the sdc path unless ABFT is also on.
+                corrupted, detected, ecc_kinds = \
+                    self.ecc.judge(consumed_flips, stuck)
+                for ecc_kind in ecc_kinds:
+                    self._log(st, out, trig, FaultLogEntry(
+                        kind=ecc_kind, shard_id=self.shard,
+                        t_s=now, attempt=st.failures))
+            if corrupted and (self.protected or detected):
                 outcome = OUTCOME_CORRUPTED
-            if self.protected and st.last_corrupted:
+            if st.last_corrupted:
                 st.last_corrupted = False
                 recompute = True
                 self._log(st, out, trig, FaultLogEntry(
@@ -619,7 +636,8 @@ class VectorizedScheduler:
                  injector: Optional[FaultInjector] = None,
                  retry: Optional[RetryPolicy] = None,
                  on_death: Optional[Callable[[int, float], None]] = None,
-                 protected: bool = False):
+                 protected: bool = False,
+                 ecc: Optional[ECCModel] = None):
         if not isinstance(n_shards, (int, np.integer)) \
                 or isinstance(n_shards, bool) or n_shards < 1:
             raise ValueError(
@@ -631,6 +649,7 @@ class VectorizedScheduler:
         self.retry = retry if retry is not None else RetryPolicy()
         self.on_death = on_death
         self.protected = bool(protected)
+        self.ecc = ecc
         if injector is not None and injector.n_shards != self.n_shards:
             raise ValueError(
                 f"injector covers {injector.n_shards} shard(s), "
@@ -841,7 +860,8 @@ class VectorizedScheduler:
         scans = [
             _FaultScan(shard, arrivals, self.policy, self.retry,
                        self.injector, self.protected,
-                       lambda m, s=shard: self._svc(s, m))
+                       lambda m, s=shard: self._svc(s, m),
+                       ecc=self.ecc)
             for shard in range(self.n_shards)]
         committed = _ShardOutput()
         tables: List[Tuple[_RowKey, object]] = []

@@ -275,6 +275,20 @@ def build_serve_metrics(report: Any, result: Any,
     escapes = registry.counter(
         "repro_sdc_escapes_total",
         "Corrupted batches shipped undetected")
+    # Registered only when protection is on: a registered counter
+    # exposes HELP/TYPE headers even at zero, and ECC-off runs must
+    # stay byte-identical to the pre-ECC registry.
+    ecc_corrected = ecc_detected = ecc_miscorrected = None
+    if cfg.ecc.enabled:
+        ecc_corrected = registry.counter(
+            "repro_ecc_corrected_total",
+            "Codewords the ECC decoder corrected in place")
+        ecc_detected = registry.counter(
+            "repro_ecc_detected_total",
+            "Codewords the ECC decoder flagged detected-uncorrectable")
+        ecc_miscorrected = registry.counter(
+            "repro_ecc_miscorrections_total",
+            "Codewords the ECC decoder silently miscorrected")
     for batch in result.batches:
         batches.inc(shard=str(batch.shard_id), outcome=batch.outcome)
     for entry in result.fault_log:
@@ -289,6 +303,13 @@ def build_serve_metrics(report: Any, result: Any,
             recomputes.inc(shard=shard)
         elif entry.kind == "sdc":
             escapes.inc(shard=shard)
+        elif entry.kind == "ecc_corrected" and ecc_corrected is not None:
+            ecc_corrected.inc(shard=shard)
+        elif entry.kind == "ecc_detected" and ecc_detected is not None:
+            ecc_detected.inc(shard=shard)
+        elif entry.kind == "ecc_miscorrect" \
+                and ecc_miscorrected is not None:
+            ecc_miscorrected.inc(shard=shard)
 
     critical = registry.counter(
         "repro_critical_path_seconds_total",

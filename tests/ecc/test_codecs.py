@@ -1,0 +1,208 @@
+"""Bit-accurate codec properties: SEC-DED and BCH.
+
+The protection guarantees the serving layer leans on are pinned here
+exactly as stated: SEC-DED corrects *any* single-bit error and detects
+*any* double-bit error (both exhaustively over the (72,64) codeword);
+BCH corrects any error of weight ``<= t``; and anything beyond a
+code's capability is either flagged or delivers provably *wrong* data
+-- never silently "corrected" back to the right word.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    BCHCodec,
+    ECCGeometryError,
+    ECCStrengthError,
+    SECDEDCodec,
+    STATUS_CLEAN,
+    STATUS_CORRECTED,
+    STATUS_DETECTED,
+    VERDICT_CORRECTED,
+    VERDICT_DETECTED,
+    VERDICT_MISCORRECT,
+)
+
+DATA64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestGeometry:
+    def test_secded_72_64(self):
+        codec = SECDEDCodec(64)
+        assert (codec.n, codec.data_bits, codec.check_bits) == (72, 64, 8)
+        assert codec.storage_overhead == pytest.approx(72 / 64)
+
+    @pytest.mark.parametrize("t,n", [(1, 71), (2, 78), (3, 85)])
+    def test_bch_shortened_lengths(self, t, n):
+        codec = BCHCodec(64, t)
+        assert codec.n == n
+        assert codec.check_bits == n - 64
+
+    @pytest.mark.parametrize("codec", [SECDEDCodec(64), BCHCodec(64, 2)])
+    def test_data_positions_distinct_and_in_range(self, codec):
+        positions = [codec.data_position(i) for i in range(codec.data_bits)]
+        assert len(set(positions)) == codec.data_bits
+        assert all(0 <= p < codec.n for p in positions)
+
+    def test_rejects_oversized_data(self):
+        with pytest.raises(ECCGeometryError):
+            SECDEDCodec(64).encode(1 << 64)
+        with pytest.raises(ECCGeometryError):
+            BCHCodec(64, 2).encode(1 << 64)
+
+    def test_bch_rejects_unrealisable_strength(self):
+        with pytest.raises(ECCStrengthError):
+            BCHCodec(64, 0)
+        # No GF(2^m) field up to m=10 fits 1000 data bits at t=10.
+        with pytest.raises(ECCGeometryError):
+            BCHCodec(1000, 10)
+
+
+class TestSECDED:
+    codec = SECDEDCodec(64)
+
+    @given(data=DATA64)
+    @settings(deadline=None, max_examples=50)
+    def test_clean_roundtrip(self, data):
+        decoded, status = self.codec.decode(self.codec.encode(data))
+        assert (decoded, status) == (data, STATUS_CLEAN)
+
+    def test_corrects_every_single_bit_exhaustively(self):
+        data = 0xDEADBEEFCAFEF00D
+        code = self.codec.encode(data)
+        for pos in range(self.codec.n):
+            decoded, status = self.codec.decode(code ^ (1 << pos))
+            assert (decoded, status) == (data, STATUS_CORRECTED)
+
+    @pytest.mark.ecc
+    def test_detects_every_double_bit_exhaustively(self):
+        data = 0x0123456789ABCDEF
+        code = self.codec.encode(data)
+        n = self.codec.n
+        for a in range(n):
+            for b in range(a + 1, n):
+                _, status = self.codec.decode(code ^ (1 << a) ^ (1 << b))
+                assert status == STATUS_DETECTED
+
+    @given(data=DATA64, pos=st.integers(min_value=0, max_value=71))
+    @settings(deadline=None, max_examples=50)
+    def test_single_bit_corrected_for_any_data(self, data, pos):
+        code = self.codec.encode(data)
+        decoded, status = self.codec.decode(code ^ (1 << pos))
+        assert (decoded, status) == (data, STATUS_CORRECTED)
+
+    def test_triple_bit_never_silently_right(self):
+        # Beyond-capability patterns must not masquerade as clean
+        # corrections of the original data.
+        data = 0xFEEDFACE12345678
+        code = self.codec.encode(data)
+        for bits in [(0, 1, 2), (4, 5, 6), (10, 40, 71), (63, 64, 65)]:
+            damaged = code
+            for b in bits:
+                damaged ^= 1 << b
+            decoded, status = self.codec.decode(damaged)
+            assert status == STATUS_DETECTED or decoded != data
+
+
+class TestBCH:
+    @given(data=DATA64)
+    @settings(deadline=None, max_examples=25)
+    def test_clean_roundtrip(self, data):
+        codec = BCHCodec(64, 2)
+        decoded, status = codec.decode(codec.encode(data))
+        assert (decoded, status) == (data, STATUS_CLEAN)
+
+    @pytest.mark.ecc
+    @pytest.mark.parametrize("t", [2, 3])
+    @given(data=DATA64, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(deadline=None, max_examples=40)
+    def test_corrects_any_error_up_to_t(self, t, data, seed):
+        import random
+
+        codec = BCHCodec(64, t)
+        rng = random.Random(seed)
+        weight = rng.randint(1, t)
+        positions = rng.sample(range(codec.n), weight)
+        damaged = codec.encode(data)
+        for pos in positions:
+            damaged ^= 1 << pos
+        decoded, status = codec.decode(damaged)
+        assert (decoded, status) == (data, STATUS_CORRECTED)
+
+    @pytest.mark.ecc
+    @given(data=DATA64, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(deadline=None, max_examples=40)
+    def test_beyond_t_never_silently_right(self, data, seed):
+        import random
+
+        codec = BCHCodec(64, 2)
+        rng = random.Random(seed)
+        positions = rng.sample(range(codec.n), codec.t + 1)
+        damaged = codec.encode(data)
+        for pos in positions:
+            damaged ^= 1 << pos
+        decoded, status = codec.decode(damaged)
+        assert status == STATUS_DETECTED or decoded != data
+
+    def test_t2_corrects_adjacent_burst(self):
+        # The 2-bit DMA burst the SEC-DED tier only *detects*.
+        codec = BCHCodec(64, 2)
+        data = 0xAAAA5555AAAA5555
+        code = codec.encode(data)
+        damaged = code ^ (1 << codec.data_position(4)) \
+            ^ (1 << codec.data_position(5))
+        assert codec.decode(damaged) == (data, STATUS_CORRECTED)
+
+
+class TestClassify:
+    @pytest.mark.parametrize("codec", [SECDEDCodec(64), BCHCodec(64, 2)])
+    def test_empty_pattern_is_none(self, codec):
+        assert codec.classify(()) is None
+
+    @pytest.mark.parametrize("codec", [SECDEDCodec(64), BCHCodec(64, 2)])
+    def test_single_data_bit_corrected(self, codec):
+        for bit in (0, 9, 63):
+            assert codec.classify({bit}) == VERDICT_CORRECTED
+
+    def test_secded_double_detected_bch_corrects_it(self):
+        assert SECDEDCodec(64).classify({9, 25}) == VERDICT_DETECTED
+        assert BCHCodec(64, 2).classify({9, 25}) == VERDICT_CORRECTED
+
+    def test_secded_golden_burst_miscorrects(self):
+        # The 3-bit burst used by golden_ecc_config: a genuine silent
+        # miscorrection under SEC-DED, flagged by BCH t=2.
+        assert SECDEDCodec(64).classify({4, 5, 6}) == VERDICT_MISCORRECT
+
+    @pytest.mark.parametrize("codec", [SECDEDCodec(64), BCHCodec(64, 2)])
+    def test_out_of_range_bit_rejected(self, codec):
+        with pytest.raises(ECCGeometryError):
+            codec.classify({64})
+
+    def test_classification_is_deterministic(self):
+        codec = SECDEDCodec(64)
+        for pattern in [{3}, {3, 17}, {4, 5, 6}, {0, 21, 42, 63}]:
+            assert codec.classify(pattern) == codec.classify(pattern)
+
+    @pytest.mark.ecc
+    @given(data=DATA64,
+           bits=st.sets(st.integers(min_value=0, max_value=63),
+                        min_size=1, max_size=6))
+    @settings(deadline=None, max_examples=60)
+    def test_classify_agrees_with_functional_decode(self, data, bits):
+        # The linearity claim the timing-only judge rests on: the
+        # classify() verdict of an error pattern matches the full
+        # encode/damage/decode outcome on arbitrary real data.
+        codec = SECDEDCodec(64)
+        damaged = codec.encode(data)
+        for b in bits:
+            damaged ^= 1 << codec.data_position(b)
+        decoded, status = codec.decode(damaged)
+        verdict = codec.classify(bits)
+        if status == STATUS_DETECTED:
+            assert verdict == VERDICT_DETECTED
+        elif decoded == data:
+            assert verdict == VERDICT_CORRECTED
+        else:
+            assert verdict == VERDICT_MISCORRECT

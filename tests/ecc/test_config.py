@@ -1,0 +1,104 @@
+"""ECCConfig validation, the typed error hierarchy, and the cost model."""
+
+import pytest
+
+from repro.ecc import (
+    BCHCodec,
+    ECCConfig,
+    ECCConfigError,
+    ECCCostModel,
+    ECCGeometryError,
+    ECCStrengthError,
+    ECCTierError,
+    SECDEDCodec,
+    make_codec,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_subclass_config_error(self):
+        for exc in (ECCTierError, ECCGeometryError, ECCStrengthError):
+            assert issubclass(exc, ECCConfigError)
+
+    def test_config_error_is_a_value_error(self):
+        # SystemExit-free callers (tests, library users) can still
+        # catch the whole family as plain ValueError.
+        assert issubclass(ECCConfigError, ValueError)
+
+
+class TestECCConfig:
+    def test_defaults_disabled_secded(self):
+        cfg = ECCConfig()
+        assert not cfg.enabled
+        assert cfg.tier == "secded"
+        assert cfg.data_bits == 64
+        assert cfg.words_per_codeword == 4
+
+    def test_unknown_tier(self):
+        with pytest.raises(ECCTierError, match="hamming"):
+            ECCConfig(tier="hamming")
+
+    @pytest.mark.parametrize("bits", [0, 15, 63, 100, 528, "64", 64.0, True])
+    def test_bad_data_bits(self, bits):
+        with pytest.raises(ECCGeometryError):
+            ECCConfig(data_bits=bits)
+
+    @pytest.mark.parametrize("t", [0, -1, "2", 2.0, False])
+    def test_bad_strength(self, t):
+        with pytest.raises(ECCStrengthError):
+            ECCConfig(t=t)
+
+    def test_non_bool_enabled(self):
+        with pytest.raises(ECCConfigError):
+            ECCConfig(enabled=1)
+
+    def test_enabled_config_validates_geometry_up_front(self):
+        # 512-bit codewords at t=52 have no realisable field up to
+        # GF(2^10); the config must fail at construction, not
+        # mid-simulation.
+        with pytest.raises(ECCConfigError):
+            ECCConfig(enabled=True, tier="bch", data_bits=512, t=52)
+        # ...but the same geometry left disabled is inert and legal.
+        ECCConfig(enabled=False, tier="bch", data_bits=512, t=52)
+
+    def test_make_codec_dispatch(self):
+        assert isinstance(make_codec(ECCConfig(tier="secded")), SECDEDCodec)
+        bch = make_codec(ECCConfig(tier="bch", t=3))
+        assert isinstance(bch, BCHCodec)
+        assert bch.t == 3
+
+
+class TestECCCostModel:
+    CLOCK = 400e6
+
+    def test_storage_factor_matches_codec(self):
+        codec = SECDEDCodec(64)
+        model = ECCCostModel(codec, self.CLOCK)
+        assert model.storage_factor == codec.storage_overhead
+
+    def test_decode_seconds_linear_in_bytes(self):
+        model = ECCCostModel(SECDEDCodec(64), self.CLOCK)
+        assert model.decode_seconds(0) == 0.0
+        assert model.decode_seconds(128) == pytest.approx(
+            2 * model.decode_seconds(64))
+
+    def test_bch_throughput_derates_with_t(self):
+        secded = ECCCostModel(SECDEDCodec(64), self.CLOCK)
+        bch2 = ECCCostModel(BCHCodec(64, 2), self.CLOCK)
+        bch3 = ECCCostModel(BCHCodec(64, 3), self.CLOCK)
+        nbytes = 4096.0
+        assert bch2.decode_seconds(nbytes) == pytest.approx(
+            2 * secded.decode_seconds(nbytes))
+        assert bch3.decode_seconds(nbytes) == pytest.approx(
+            3 * secded.decode_seconds(nbytes))
+
+    def test_encode_priced_like_decode(self):
+        model = ECCCostModel(BCHCodec(64, 2), self.CLOCK)
+        assert model.encode_seconds(999.0) == model.decode_seconds(999.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ECCGeometryError):
+            ECCCostModel(SECDEDCodec(64), 0.0)
+        model = ECCCostModel(SECDEDCodec(64), self.CLOCK)
+        with pytest.raises(ECCGeometryError):
+            model.decode_seconds(-1.0)

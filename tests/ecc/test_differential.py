@@ -1,0 +1,148 @@
+"""Differential proof obligations of the ECC layer.
+
+Two claims, both strict equality:
+
+1. **ECC off changes nothing.**  With the default (disabled)
+   :class:`~repro.ecc.ECCConfig`, every canonical workload renders the
+   *byte-identical* golden artifact -- trace text, span report, and
+   metrics exposition -- on both the scalar and vectorized engines.
+   This is the contract that lets the protection layer ship inside the
+   serving stack without perturbing a single pre-existing float.
+2. **Both engines agree under ECC.**  The golden ECC workload (and an
+   elastic variant) produce equal reports scalar vs vectorized,
+   including the per-verdict decode counters.
+
+Plus the escalation path: a persistent detected-uncorrectable (two
+stuck cells in one SEC-DED codeword) must walk the full ladder --
+decoder flag, retry exhaustion, shard death, replace-and-drain
+failover attach -- under the elastic control plane.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.ecc import ECCConfig
+from repro.faults import FaultPlan
+from repro.faults.plan import BitFlipFault
+from repro.obs import render_trace_golden
+from repro.obs.collector import collecting
+from repro.serve import (
+    ServingSimulator,
+    golden_ecc_config,
+    golden_integrity_config,
+    golden_serve_config,
+)
+from repro.telemetry import render_attribution, render_spans_report
+
+GOLDENS = Path(__file__).resolve().parents[1] / "goldens"
+
+ENGINES = ("scalar", "vectorized")
+
+
+def _with_engine(config, engine):
+    return dataclasses.replace(config, engine=engine)
+
+
+class TestECCOffByteIdentity:
+    """The differential suite behind the "ECC off is free" claim."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("name,factory,title", [
+        ("trace_serve.txt", golden_serve_config, "sharded serving"),
+        ("trace_serve_integrity.txt", golden_integrity_config,
+         "sharded serving under bit flips"),
+    ])
+    def test_trace_goldens_unchanged(self, engine, name, factory, title):
+        config = _with_engine(factory(), engine)
+        assert not config.ecc.enabled  # the default must stay off
+        with collecting() as trace:
+            ServingSimulator(config).run()
+        assert render_trace_golden(trace, title) \
+            == (GOLDENS / name).read_text()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_spans_and_metrics_goldens_unchanged(self, engine):
+        config = _with_engine(golden_serve_config(), engine)
+        _report, telemetry = ServingSimulator(config).run_with_telemetry()
+        spans = (render_spans_report(telemetry.traces, limit=8)
+                 + "\n\n"
+                 + render_attribution(telemetry.critical_paths,
+                                      DEFAULT_PARAMS.clock_hz)
+                 + "\n")
+        assert spans == (GOLDENS / "spans_serve.txt").read_text()
+        assert telemetry.registry.expose() \
+            == (GOLDENS / "metrics_serve.prom").read_text()
+
+
+@pytest.mark.ecc
+class TestEnginesAgreeUnderECC:
+    def test_reports_identical(self):
+        scalar = ServingSimulator(golden_ecc_config()).run()
+        vec_cfg = _with_engine(golden_ecc_config(), "vectorized")
+        vectorized = ServingSimulator(vec_cfg).run()
+        assert dataclasses.replace(vectorized, config=scalar.config) \
+            == scalar
+        # The workload exercises every verdict at least once.
+        assert scalar.n_ecc_corrected >= 1
+        assert scalar.n_ecc_detected >= 1
+        assert scalar.n_ecc_miscorrections >= 1
+
+    @pytest.mark.parametrize("tier,t", [("secded", 2), ("bch", 2),
+                                        ("bch", 3)])
+    def test_tiers_agree_across_engines(self, tier, t):
+        base = golden_ecc_config()
+        cfg = dataclasses.replace(
+            base, ecc=ECCConfig(enabled=True, tier=tier, t=t))
+        scalar = ServingSimulator(cfg).run()
+        vectorized = ServingSimulator(
+            _with_engine(cfg, "vectorized")).run()
+        assert dataclasses.replace(vectorized, config=scalar.config) \
+            == scalar
+
+
+@pytest.mark.ecc
+class TestElasticEscalation:
+    @staticmethod
+    def _config(engine="scalar"):
+        from repro.scale import golden_autoscale_config
+        from repro.scale.simulator import ScaleConfig
+
+        base = golden_autoscale_config()
+        serve = dataclasses.replace(
+            base.serve,
+            engine=engine,
+            ecc=ECCConfig(enabled=True, tier="secded"),
+            faults=FaultPlan(bit_flips=(
+                # Two stuck cells in one 64-bit codeword: a persistent
+                # detected-uncorrectable on every batch of shard 1.
+                BitFlipFault(shard_id=1, t_s=0.060, target="stuck",
+                             vr=5, bit=0, element=7),
+                BitFlipFault(shard_id=1, t_s=0.060, target="stuck",
+                             vr=5, bit=1, element=7),
+            )),
+        )
+        return ScaleConfig(serve=serve, policy=base.policy,
+                           arrivals=base.arrivals)
+
+    def test_uncorrectable_escalates_to_replace_and_drain(self):
+        from repro.scale import ScaleSimulator
+
+        report = ScaleSimulator(self._config()).run()
+        # Decoder flags -> retries exhaust -> shard death -> the
+        # control plane answers with a cooldown-bypassing replacement.
+        assert report.n_ecc_detected >= 1
+        assert report.n_ecc_miscorrections == 0
+        assert report.n_shard_failures >= 1
+        assert report.n_failovers >= 1
+        assert any(a.kind == "attach" for a in report.actions)
+
+    def test_elastic_engines_agree(self):
+        from repro.scale import ScaleSimulator
+
+        scalar = ScaleSimulator(self._config("scalar")).run()
+        vectorized = ScaleSimulator(self._config("vectorized")).run()
+        assert dataclasses.replace(vectorized, config=scalar.config) \
+            == scalar

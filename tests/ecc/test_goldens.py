@@ -1,0 +1,43 @@
+"""Golden-pinned telemetry renderings of the canonical ECC workload.
+
+``spans_serve_ecc.txt`` pins the span-tree + critical-path report of
+``golden_ecc_config()`` (the per-batch ``ecc`` stage shows up in the
+attribution); ``metrics_serve_ecc.prom`` pins the Prometheus
+exposition, including the three ``repro_ecc_*_total`` verdict counters
+that only exist when protection is on.  Byte-deterministic; regenerate
+deliberately with ``pytest --update-goldens``.
+"""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.serve import ServingSimulator, golden_ecc_config
+from repro.telemetry import render_attribution, render_spans_report
+
+#: The golden-freshness CI job regenerates every ``-m golden`` test;
+#: new golden modules are picked up by the marker, not a file list.
+pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(scope="module")
+def ecc_telemetry():
+    return ServingSimulator(golden_ecc_config()).run_with_telemetry()
+
+
+def test_spans_golden(ecc_telemetry, golden):
+    _report, telemetry = ecc_telemetry
+    text = (render_spans_report(telemetry.traces, limit=8)
+            + "\n\n"
+            + render_attribution(telemetry.critical_paths,
+                                 DEFAULT_PARAMS.clock_hz)
+            + "\n")
+    golden("spans_serve_ecc.txt", text)
+
+
+def test_metrics_golden(ecc_telemetry, golden):
+    _report, telemetry = ecc_telemetry
+    exposition = telemetry.registry.expose()
+    assert "repro_ecc_corrected_total" in exposition
+    assert "repro_ecc_detected_total" in exposition
+    assert "repro_ecc_miscorrections_total" in exposition
+    golden("metrics_serve_ecc.prom", exposition)

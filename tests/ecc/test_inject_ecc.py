@@ -1,0 +1,178 @@
+"""Functional ECC pass inside :class:`MemoryFaultInjector`.
+
+These tests drive real corruption through the injector with a codec
+attached and check the decoder's verdict *lands on the stored bits*:
+corrected words are restored, detected-uncorrectable damage is kept,
+and miscorrections overwrite with the decoder's wrong data.  The
+seeded rate mode is pinned to replay bit-identically, including across
+separate Python processes.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.ecc import (
+    ECCConfig,
+    VERDICT_CORRECTED,
+    VERDICT_DETECTED,
+    VERDICT_MISCORRECT,
+)
+from repro.faults.plan import BitFlipFault
+from repro.integrity import MemoryFaultInjector
+
+SECDED = ECCConfig(enabled=True, tier="secded")
+BCH2 = ECCConfig(enabled=True, tier="bch", t=2)
+
+
+def _vr_flip(vr=3, bit=5, element=17):
+    return BitFlipFault(shard_id=0, t_s=0.0, target="vr", vr=vr,
+                        bit=bit, element=element)
+
+
+def _dma_flip(bit=4, element=9, burst=3):
+    return BitFlipFault(shard_id=0, t_s=0.0, target="dma", bit=bit,
+                        element=element, burst_bits=burst)
+
+
+def _stuck(vr=3, bit=0, element=7):
+    return BitFlipFault(shard_id=0, t_s=0.0, target="stuck", vr=vr,
+                        bit=bit, element=element)
+
+
+class TestConstruction:
+    def test_disabled_config_rejected(self):
+        with pytest.raises(ValueError, match="ecc=None"):
+            MemoryFaultInjector(ecc=ECCConfig(enabled=False))
+
+    def test_none_means_unprotected(self):
+        injector = MemoryFaultInjector(flips=(_vr_flip(),))
+        arr = np.zeros(64, dtype=np.uint16)
+        injector.corrupt_vr_write(3, arr)
+        assert int(arr[17]) == 1 << 5  # damage survives, no decode ran
+        assert injector.ecc_events == []
+
+
+class TestVRPass:
+    def test_single_flip_corrected_and_restored(self):
+        injector = MemoryFaultInjector(flips=(_vr_flip(),), ecc=SECDED)
+        arr = np.arange(64, dtype=np.uint16)
+        injector.corrupt_vr_write(3, arr)
+        assert np.array_equal(arr, np.arange(64, dtype=np.uint16))
+        assert injector.n_ecc_corrected == 1
+        assert injector.ecc_events == [("vr", 17 // 4, VERDICT_CORRECTED)]
+
+    def test_stuck_pair_detected_damage_kept(self):
+        injector = MemoryFaultInjector(
+            stuck=(_stuck(bit=0), _stuck(bit=1)), ecc=SECDED)
+        arr = np.zeros(64, dtype=np.uint16)
+        injector.corrupt_vr_write(3, arr)
+        # Two upsets in one codeword: flagged, raw damage stays.
+        assert int(arr[7]) == 0b11
+        assert injector.n_ecc_detected == 1
+        assert injector.ecc_events == [("vr", 7 // 4, VERDICT_DETECTED)]
+
+    def test_bch_corrects_the_pair_secded_flags(self):
+        injector = MemoryFaultInjector(
+            stuck=(_stuck(bit=0), _stuck(bit=1)), ecc=BCH2)
+        arr = np.zeros(64, dtype=np.uint16)
+        injector.corrupt_vr_write(3, arr)
+        assert int(arr[7]) == 0
+        assert injector.n_ecc_corrected == 1
+
+
+class TestDMAPass:
+    def test_burst_miscorrects_under_secded(self):
+        injector = MemoryFaultInjector(flips=(_dma_flip(),), ecc=SECDED)
+        data = np.zeros(64, dtype=np.uint16)
+        out = injector.corrupt_dma_payload(data)
+        # The decoder "fixed" a 3-bit burst into a different codeword:
+        # the payload is wrong AND differs from the raw damage.
+        assert injector.n_ecc_miscorrected == 1
+        assert not np.array_equal(out, data)
+        assert int(out[9]) != 0b111 << 4
+        assert injector.ecc_events == [("dma", 9 // 4, VERDICT_MISCORRECT)]
+
+    def test_burst_corrected_under_bch(self):
+        injector = MemoryFaultInjector(
+            flips=(_dma_flip(burst=2),), ecc=BCH2)
+        data = np.full(64, 5, dtype=np.uint16)
+        out = injector.corrupt_dma_payload(data)
+        assert np.array_equal(out, data)
+        assert injector.n_ecc_corrected == 1
+
+    def test_uint8_payload_geometry(self):
+        # 64-bit codewords over a byte stream: 8 elements per word.
+        injector = MemoryFaultInjector(
+            flips=(_dma_flip(bit=3, element=12, burst=1),), ecc=SECDED)
+        data = np.arange(64, dtype=np.uint8)
+        out = injector.corrupt_dma_payload(data)
+        assert np.array_equal(out, data)
+        assert injector.ecc_events == [("dma", 12 // 8, VERDICT_CORRECTED)]
+
+
+class TestSeededReplay:
+    N_WRITES = 40
+
+    @staticmethod
+    def _run(seed):
+        injector = MemoryFaultInjector(upset_rate=0.3, seed=seed,
+                                       ecc=SECDED)
+        trail = []
+        for i in range(TestSeededReplay.N_WRITES):
+            arr = np.full(64, i, dtype=np.uint16)
+            injector.corrupt_vr_write(i % 24, arr)
+            trail.append(arr.copy())
+        events = list(injector.ecc_events)
+        log = [(r.site, r.vr, r.element, r.bit, r.before, r.after)
+               for r in injector.log]
+        return trail, events, log
+
+    def test_same_seed_same_world(self):
+        first = self._run(seed=7)
+        second = self._run(seed=7)
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(first[0], second[0]))
+        assert first[1:] == second[1:]
+
+    def test_different_seed_different_world(self):
+        assert self._run(seed=7)[2] != self._run(seed=8)[2]
+
+    @pytest.mark.ecc
+    def test_replay_is_deterministic_cross_process(self, tmp_path):
+        # The property suites replay logged corruption in the same
+        # interpreter; this pins the stronger claim that a seed fully
+        # determines the injected world across *separate* processes
+        # (fresh hash randomization, fresh numpy state).
+        script = tmp_path / "replay.py"
+        script.write_text(
+            "import json, sys\n"
+            "import numpy as np\n"
+            "from repro.ecc import ECCConfig\n"
+            "from repro.integrity import MemoryFaultInjector\n"
+            "inj = MemoryFaultInjector(upset_rate=0.3, seed=7,\n"
+            "    ecc=ECCConfig(enabled=True, tier='secded'))\n"
+            "digest = []\n"
+            "for i in range(40):\n"
+            "    arr = np.full(64, i, dtype=np.uint16)\n"
+            "    inj.corrupt_vr_write(i % 24, arr)\n"
+            "    digest.append(int(arr.sum()))\n"
+            "print(json.dumps([digest, inj.ecc_events,\n"
+            "    [(r.element, r.bit, r.before, r.after)"
+            " for r in inj.log]]))\n")
+        runs = [
+            subprocess.run(
+                [sys.executable, str(script)], capture_output=True,
+                text=True, check=True).stdout
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        # ...and it matches the in-process world too.
+        trail, events, _ = self._run(seed=7)
+        import json
+
+        digest, proc_events, _ = json.loads(runs[0])
+        assert digest == [int(a.sum()) for a in trail]
+        assert [tuple(e) for e in proc_events] == events

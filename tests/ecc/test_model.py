@@ -1,0 +1,94 @@
+"""ECCModel: the timing-only judge over injected fault windows."""
+
+import pytest
+
+from repro.ecc import ECCConfig, ECCModel
+from repro.faults.plan import BitFlipFault
+
+
+def _vr(element, bit, vr=4, shard=1):
+    return BitFlipFault(shard_id=shard, t_s=0.0, target="vr", vr=vr,
+                        bit=bit, element=element)
+
+
+def _dma(element, bit, burst, shard=1):
+    return BitFlipFault(shard_id=shard, t_s=0.0, target="dma", bit=bit,
+                        element=element, burst_bits=burst)
+
+
+def _stuck(element, bit, vr=5, shard=1):
+    return BitFlipFault(shard_id=shard, t_s=0.0, target="stuck", vr=vr,
+                        bit=bit, element=element)
+
+
+SECDED = ECCModel(ECCConfig(enabled=True, tier="secded"))
+BCH2 = ECCModel(ECCConfig(enabled=True, tier="bch", t=2))
+
+
+class TestConstruction:
+    def test_requires_enabled_config(self):
+        with pytest.raises(ValueError, match="enabled"):
+            ECCModel(ECCConfig(enabled=False))
+
+
+class TestJudge:
+    def test_empty_window_is_clean(self):
+        assert SECDED.judge((), ()) == (False, False, [])
+
+    def test_single_flip_corrected(self):
+        corrupted, detected, kinds = SECDED.judge([_vr(1234, 9)], ())
+        assert (corrupted, detected) == (False, False)
+        assert kinds == ["ecc_corrected"]
+
+    def test_two_flips_one_codeword_detected(self):
+        # Elements 4 and 5 share codeword 1 under the 64-bit layout.
+        corrupted, detected, kinds = SECDED.judge(
+            [_vr(4, 3), _vr(5, 3)], ())
+        assert (corrupted, detected) == (True, True)
+        assert kinds == ["ecc_detected"]
+
+    def test_two_flips_different_codewords_both_corrected(self):
+        corrupted, detected, kinds = SECDED.judge(
+            [_vr(0, 3), _vr(4, 3)], ())
+        assert (corrupted, detected) == (False, False)
+        assert kinds == ["ecc_corrected", "ecc_corrected"]
+
+    def test_dma_burst_miscorrects_under_secded(self):
+        corrupted, detected, kinds = SECDED.judge(
+            [_dma(100, 4, burst=3)], ())
+        assert (corrupted, detected) == (True, False)
+        assert kinds == ["ecc_miscorrect"]
+
+    def test_bch_corrects_the_double_secded_detects(self):
+        flips = [_vr(4, 3), _vr(5, 3)]
+        assert SECDED.judge(flips, ())[2] == ["ecc_detected"]
+        assert BCH2.judge(flips, ())[2] == ["ecc_corrected"]
+
+    def test_stuck_pair_in_one_codeword_detected(self):
+        corrupted, detected, kinds = SECDED.judge(
+            (), [_stuck(7, 0), _stuck(7, 1)])
+        assert (corrupted, detected) == (True, True)
+        assert kinds == ["ecc_detected"]
+
+    def test_stuck_and_transient_group_separately(self):
+        # A stuck cell and a transient flip in the "same" codeword
+        # index live on different (target, vr) keys: each is a
+        # single-bit upset the code corrects independently.
+        corrupted, detected, kinds = SECDED.judge(
+            [_vr(7, 3, vr=5)], [_stuck(7, 0, vr=5)])
+        assert (corrupted, detected) == (False, False)
+        assert kinds == ["ecc_corrected", "ecc_corrected"]
+
+    def test_kind_order_is_deterministic(self):
+        flips = [_vr(100, 2), _vr(0, 1), _dma(8, 4, burst=3)]
+        first = SECDED.judge(flips, ())
+        for _ in range(3):
+            assert SECDED.judge(list(reversed(flips)), ()) == first
+
+    def test_dma_burst_clipped_at_word_edge(self):
+        # bit 14, burst 4 -> only bits 14,15 land in the word: a
+        # double, detected by SEC-DED rather than spilling into the
+        # neighbouring element.
+        corrupted, detected, kinds = SECDED.judge(
+            [_dma(0, 14, burst=4)], ())
+        assert kinds == ["ecc_detected"]

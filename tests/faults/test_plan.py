@@ -296,3 +296,54 @@ class TestRandomBitFlips:
         with pytest.raises(ValueError):
             FaultPlan.random_bit_flips(seed=0, n_shards=2, horizon_s=1.0,
                                        dma_fraction=0.8, stuck_fraction=0.8)
+
+
+class TestStuckCellDeduplication:
+    """Regression: a wedged cell is one fault, not a stack of faults.
+
+    Stuck-at corruption is an OR mask, so listing the same cell twice
+    used to be silently idempotent in the functional model while the
+    timing-only ECC judge would have counted two bits in a codeword --
+    a fake detected-uncorrectable.  Duplicates are now a plan error.
+    """
+
+    def test_duplicate_stuck_cell_rejected(self):
+        cell = dict(shard_id=1, target="stuck", vr=5, bit=0, element=7)
+        with pytest.raises(ValueError, match="wedged twice"):
+            FaultPlan(bit_flips=(
+                BitFlipFault(t_s=0.01, **cell),
+                BitFlipFault(t_s=0.25, **cell),
+            ))
+
+    def test_same_cell_different_vr_is_legal(self):
+        FaultPlan(bit_flips=(
+            BitFlipFault(shard_id=1, t_s=0.01, target="stuck", vr=4,
+                         bit=0, element=7),
+            BitFlipFault(shard_id=1, t_s=0.02, target="stuck", vr=5,
+                         bit=0, element=7),
+        ))
+
+    def test_transient_repeats_are_legal(self):
+        # Transients are consumed once each; hitting the same spot
+        # twice is a real double-upset scenario.
+        FaultPlan(bit_flips=(
+            BitFlipFault(shard_id=1, t_s=0.01, target="vr", vr=4,
+                         bit=0, element=7),
+            BitFlipFault(shard_id=1, t_s=0.02, target="vr", vr=4,
+                         bit=0, element=7),
+        ))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_plans_never_duplicate_cells(self, seed):
+        plan = FaultPlan.random_bit_flips(
+            seed=seed, n_shards=2, horizon_s=4.0, flip_rate=40.0,
+            stuck_fraction=0.9, dma_fraction=0.05)
+        cells = [(f.shard_id, f.vr, f.element, f.bit)
+                 for f in plan.bit_flips if f.persistent]
+        assert len(cells) == len(set(cells))
+
+    def test_dedup_preserves_seeded_determinism(self):
+        kwargs = dict(seed=3, n_shards=2, horizon_s=4.0, flip_rate=40.0,
+                      stuck_fraction=0.9, dma_fraction=0.05)
+        assert (FaultPlan.random_bit_flips(**kwargs)
+                == FaultPlan.random_bit_flips(**kwargs))

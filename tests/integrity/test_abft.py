@@ -206,3 +206,14 @@ class TestConfigAndCosts:
             from repro.integrity.config import IntegrityCostModel
             IntegrityCostModel(DEFAULT_PARAMS)
         assert trace.total_events == 0
+
+
+class TestScrubVRBounds:
+    """Regression: scrub_vrs is bounded by the 24 architectural VRs."""
+
+    def test_scrub_vrs_at_architectural_limit_ok(self):
+        assert IntegrityConfig(scrub_vrs=24).scrub_vrs == 24
+
+    def test_scrub_vrs_beyond_vr_file_rejected(self):
+        with pytest.raises(ValueError, match="24 architectural VRs"):
+            IntegrityConfig(scrub_vrs=25)

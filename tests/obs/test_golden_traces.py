@@ -133,6 +133,24 @@ class TestServeGolden:
                render_trace_golden(trace,
                                    "sharded serving under bit flips"))
 
+    def test_serve_ecc_workload_trace(self, golden):
+        """Pins the canonical ECC workload (``repro trace serve_ecc``):
+        SEC-DED protected serving under scripted upsets, with every
+        decode verdict (correct, detect, miscorrect) on the INTEGRITY
+        lane and the detected-uncorrectable escalating through shard
+        death and failover."""
+        from repro.obs.events import LANE_INTEGRITY
+        from repro.serve import ServingSimulator, golden_ecc_config
+
+        with collecting() as trace:
+            ServingSimulator(golden_ecc_config()).run()
+        assert trace.cycles_by_lane.get(LANE_INTEGRITY, 0.0) > 0
+        names = {event.name for event in trace.events}
+        assert {"integrity_ecc_correct", "integrity_ecc_detect",
+                "integrity_ecc_miscorrect"} <= names
+        golden("trace_serve_ecc.txt",
+               render_trace_golden(trace, "sharded serving under ECC"))
+
     def test_table4_movement_costs(self, golden):
         golden("costs_table4.txt",
                render_cost_golden(DEFAULT_PARAMS.movement,

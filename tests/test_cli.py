@@ -204,3 +204,66 @@ class TestMetricsCommand:
         text = out_path.read_text()
         assert "repro_shard_deaths_total" in text
         assert "repro_slo_burn_rate" in text
+
+
+class TestECCFlags:
+    def test_serve_ecc_defaults_to_secded(self, capsys):
+        assert main(["serve", "--requests", "16", "--corpus", "10GB",
+                     "--ecc"]) == 0
+        out = capsys.readouterr().out
+        assert "ecc (secded, 64b codewords)" in out
+
+    def test_serve_ecc_bch_tier(self, capsys):
+        assert main(["serve", "--requests", "16", "--corpus", "10GB",
+                     "--ecc", "--ecc-tier", "bch", "--ecc-t", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ecc (bch t=3, 64b codewords)" in out
+
+    def test_ecc_tier_requires_ecc(self):
+        with pytest.raises(SystemExit, match="--ecc-tier requires --ecc"):
+            main(["serve", "--requests", "8", "--corpus", "10GB",
+                  "--ecc-tier", "bch"])
+
+    def test_bad_tier_exits_cleanly(self):
+        with pytest.raises(SystemExit,
+                           match="bad ECC configuration: unknown ECC tier"):
+            main(["serve", "--requests", "8", "--corpus", "10GB",
+                  "--ecc", "--ecc-tier", "parity"])
+
+    def test_bad_geometry_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="bad ECC configuration"):
+            main(["serve", "--requests", "8", "--corpus", "10GB",
+                  "--ecc", "--ecc-data-bits", "63"])
+
+    def test_bad_strength_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="bad ECC configuration"):
+            main(["serve", "--requests", "8", "--corpus", "10GB",
+                  "--ecc", "--ecc-tier", "bch", "--ecc-t", "0"])
+
+    def test_trace_workloads_lists_serve_ecc(self, capsys):
+        assert main(["trace", "workloads"]) == 0
+        assert "serve_ecc" in capsys.readouterr().out.split()
+
+    def test_trace_serve_ecc_writes_integrity_lane(self, tmp_path,
+                                                   capsys):
+        import json
+
+        out_path = tmp_path / "ecc.json"
+        assert main(["trace", "serve_ecc",
+                     "--trace-out", str(out_path)]) == 0
+        assert "INTEGRITY" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        names = {e.get("name") for e in payload["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert {"integrity_ecc_correct", "integrity_ecc_detect",
+                "integrity_ecc_miscorrect"} <= names
+
+    def test_metrics_serve_ecc_exposes_verdict_counters(self, capsys):
+        assert main(["metrics", "serve_ecc"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_ecc_corrected_total" in out
+        assert "repro_ecc_miscorrections_total" in out
+
+    def test_metrics_serve_omits_ecc_counters_when_off(self, capsys):
+        assert main(["metrics", "serve"]) == 0
+        assert "repro_ecc" not in capsys.readouterr().out
