@@ -32,6 +32,8 @@ instead of invalidating an existing one:
 * ``ecc`` -- ``BENCH_ecc.json`` from ``bench_ecc_dse`` (the
   protection-tier capability grid, charged decode costs, and the
   clock design-space sweep).
+* ``monitor`` -- ``BENCH_monitor.json`` from ``bench_monitor_overhead``
+  (the streaming-sampler build cost on top of a telemetry run).
 
 When ``$GITHUB_STEP_SUMMARY`` is set (any GitHub Actions job), every
 gated baseline also appends a per-metric delta table (baseline vs
@@ -66,6 +68,9 @@ import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
+_SRC_DIR = BENCH_DIR.parent / "src"
+if str(_SRC_DIR) not in sys.path:
+    sys.path.insert(0, str(_SRC_DIR))
 #: suite name -> ((baseline file, benchmark modules feeding it), ...)
 SUITES = {
     "serve": (("BENCH_serve.json",
@@ -82,25 +87,13 @@ SUITES = {
                ("bench_scale_faults",))),
     "ecc": (("BENCH_ecc.json",
              ("bench_ecc_dse",)),),
+    "monitor": (("BENCH_monitor.json",
+                 ("bench_monitor_overhead",)),),
 }
-#: Metric-name suffixes gated with relative tolerance (timing-like).
-HIGHER_IS_BETTER = ("_qps", "_events_per_s")
-LOWER_IS_BETTER = ("_ms",)
-#: Wall-clock measurements: nondeterministic by nature, so exempt from
-#: the replay check.  ``*_overhead_frac`` is gated against an absolute
-#: ceiling, ``*_speedup_x`` above an absolute floor; ``*_wall_ms`` is
-#: recorded for humans but never gated; ``*_events_per_s`` is relative-
-#: gated above but still wall-clock-derived, hence replay-exempt.
-ABSOLUTE_CEILINGS = {"_overhead_frac": 0.15}
-ABSOLUTE_FLOORS = {"_speedup_x": 100.0}
-INFORMATIONAL = ("_wall_ms",)
-#: Wall-clock *rates* keep a relative gate but widen the tolerance:
-#: the measured runs are tens of milliseconds, so runner contention
-#: swings them further than deterministic model outputs ever move.
-WALL_CLOCK_RATE = ("_events_per_s",)
-WALL_CLOCK_RATE_MULT = 3.0
-WALL_CLOCK = tuple(ABSOLUTE_CEILINGS) + tuple(ABSOLUTE_FLOORS) \
-    + INFORMATIONAL + ("_events_per_s",)
+# The tolerance policy (suffix classes, absolute ceilings/floors, the
+# gate itself) lives in ``repro.monitor.tolerance`` so the cross-run
+# differ (``repro diff``) reproduces this gate's verdicts exactly.
+from repro.monitor.tolerance import WALL_CLOCK, gate_failures  # noqa: E402
 
 
 def collect_suite(modules):
@@ -138,53 +131,8 @@ def check_determinism(first, second):
 
 
 def check_regressions(baseline, current, tolerance):
-    failures = []
-    for key in sorted(baseline):
-        base = baseline[key]
-        if key not in current:
-            failures.append(f"MISSING metric {key} (baseline {base!r})")
-            continue
-        value = current[key]
-        ceiling_suffix = next((s for s in ABSOLUTE_CEILINGS
-                               if key.endswith(s)), None)
-        floor_suffix = next((s for s in ABSOLUTE_FLOORS
-                             if key.endswith(s)), None)
-        if ceiling_suffix is not None:
-            ceiling = ABSOLUTE_CEILINGS[ceiling_suffix]
-            if value > ceiling:
-                failures.append(
-                    f"REGRESSION {key}: {value:.3f} > absolute ceiling "
-                    f"{ceiling:.3f}")
-        elif floor_suffix is not None:
-            floor = ABSOLUTE_FLOORS[floor_suffix]
-            if value < floor:
-                failures.append(
-                    f"REGRESSION {key}: {value:.3f} < absolute floor "
-                    f"{floor:.3f}")
-        elif key.endswith(INFORMATIONAL):
-            pass  # wall-clock context for humans, never gated
-        elif key.endswith(HIGHER_IS_BETTER):
-            tol = tolerance
-            if key.endswith(WALL_CLOCK_RATE):
-                tol = tolerance * WALL_CLOCK_RATE_MULT
-            floor = base * (1.0 - tol)
-            if value < floor:
-                failures.append(
-                    f"REGRESSION {key}: {value:.3f} < {floor:.3f} "
-                    f"(baseline {base:.3f}, tolerance {tol:.0%})")
-        elif key.endswith(LOWER_IS_BETTER):
-            ceiling = base * (1.0 + tolerance)
-            if value > ceiling:
-                failures.append(
-                    f"REGRESSION {key}: {value:.3f} > {ceiling:.3f} "
-                    f"(baseline {base:.3f}, tolerance {tolerance:.0%})")
-        elif value != base:
-            failures.append(
-                f"EXACT-METRIC DRIFT {key}: {value!r} != baseline {base!r}")
-    for key in sorted(set(current) - set(baseline)):
-        failures.append(
-            f"NEW metric {key} not in baseline (run with --update)")
-    return failures
+    """The shared gate from ``repro.monitor.tolerance`` (same verdicts)."""
+    return gate_failures(baseline, current, tolerance)
 
 
 def delta_table(title, baseline, current):

@@ -39,6 +39,23 @@ Prometheus text or JSON:
     python -m repro.cli spans serve_faults --query 17 --flame-out f.txt
     python -m repro.cli metrics serve --format prom
     python -m repro.cli metrics serve_integrity --format json --out m.json
+
+and the continuous-monitoring pair: ``monitor <workload>`` samples the
+per-tick metric streams (rolling qps, TTI quantiles, SLO burn, pool /
+queue depths, shed / retry / failover / HBM counters) and exports the
+OpenMetrics scrape text, the static HTML dashboard, the Perfetto
+counter-track trace, and the run bundle the cross-run differ consumes;
+``diff <run-a> <run-b>`` compares two bundles with the benchmark
+gate's tolerance policy and attributes the TTI delta to critical-path
+stages:
+
+.. code-block:: bash
+
+    python -m repro.cli monitor serve_autoscale --monitor-out dash.html
+    python -m repro.cli monitor serve --scrape-out scrape.om \\
+        --bundle-out run_a.json --trace-out counters.json
+    python -m repro.cli serve --autoscale --monitor-out dash.html
+    python -m repro.cli diff run_a.json run_b.json
 """
 
 from __future__ import annotations
@@ -287,7 +304,16 @@ def _run_serve(args) -> None:
     from .scale import ScaleSimulator
 
     scale_config = _build_scale_config(args, config)
-    print(ScaleSimulator(scale_config).run().format())
+    simulator = ScaleSimulator(scale_config)
+    if args.monitor_out or args.scrape_out or args.bundle_out:
+        workload = "serve_autoscale" if args.autoscale else "serve"
+        cadence_s = args.cadence_ms * 1e-3 if args.cadence_ms else None
+        report, telemetry, monitor = simulator.run_with_monitor(
+            cadence_s=cadence_s, workload=workload)
+        print(report.format())
+        _write_monitor_outputs(args, workload, report, telemetry, monitor)
+    else:
+        print(simulator.run().format())
 
 
 def _trace_runners() -> Dict[str, Callable]:
@@ -539,6 +565,80 @@ def _run_metrics(args) -> None:
         print(text, end="")
 
 
+def _write_monitor_outputs(args, workload, report, telemetry,
+                           monitor) -> None:
+    """Write whichever monitor exports the flags asked for."""
+    from .monitor import (
+        bundle_from_run,
+        counter_tracks,
+        openmetrics_text,
+        render_dashboard,
+        write_run_bundle,
+    )
+
+    if args.monitor_out:
+        with open(args.monitor_out, "w") as handle:
+            handle.write(render_dashboard(monitor))
+        print(f"monitor dashboard written to {args.monitor_out} "
+              "(self-contained HTML)")
+    if args.scrape_out:
+        with open(args.scrape_out, "w") as handle:
+            handle.write(openmetrics_text(monitor))
+        print(f"OpenMetrics scrape text written to {args.scrape_out}")
+    if args.bundle_out:
+        bundle = bundle_from_run(workload, report, telemetry, monitor)
+        write_run_bundle(args.bundle_out, bundle)
+        print(f"run bundle written to {args.bundle_out} "
+              "(compare with 'diff <run-a> <run-b>')")
+    if args.experiment == "monitor" and args.trace_out:
+        from .monitor.counters import monitor_process_names
+        from .obs import write_chrome_trace
+
+        tracks = counter_tracks(monitor)
+        path = write_chrome_trace(
+            args.trace_out, [], metadata={"workload": workload},
+            process_names=monitor_process_names(),
+            counters=tracks)
+        print(f"Perfetto counter-track trace written to {path} "
+              "(open in Perfetto)")
+
+
+def _run_monitor(args) -> None:
+    workload, config = _telemetry_workload(args)
+    if workload is None:
+        return
+    cadence_s = args.cadence_ms * 1e-3 if args.cadence_ms else None
+    simulator = _telemetry_simulator(config)
+    report, telemetry, monitor = simulator.run_with_monitor(
+        cadence_s=cadence_s, workload=workload)
+
+    print(f"monitor of {workload!r}: {len(monitor.series)} series x "
+          f"{len(monitor.instants)} samples at "
+          f"{monitor.cadence_s * 1e3:g} ms cadence, "
+          f"horizon {monitor.horizon_s:.4f} s")
+    for s in monitor.series:
+        final = f"{s.final():g}" if s.points else "--"
+        print(f"  {s.kind:7s} {s.key:46s} final {final}")
+    _write_monitor_outputs(args, workload, report, telemetry, monitor)
+
+
+def _run_diff(args) -> int:
+    from .monitor import diff_bundles, format_diff, read_run_bundle
+
+    if not args.workload or not args.workload2:
+        raise SystemExit("diff needs two run-bundle paths: "
+                         "diff <run-a> <run-b>")
+    try:
+        bundle_a = read_run_bundle(args.workload)
+        bundle_b = read_run_bundle(args.workload2)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot load run bundle: {exc}")
+    diff = diff_bundles(bundle_a, bundle_b, tolerance=args.tolerance)
+    print(format_diff(diff, label_a=args.workload,
+                      label_b=args.workload2), end="")
+    return 1 if diff.regressed else 0
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "claims": _run_claims,
     "table1": _run_table1,
@@ -564,18 +664,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["list", "all", "trace", "spans",
-                                       "metrics"],
+                                       "metrics", "monitor", "diff"],
         help="which experiment to run ('trace' runs a workload under "
              "the event-trace collector; 'spans' and 'metrics' run a "
-             "serving workload under request-level telemetry)",
+             "serving workload under request-level telemetry; 'monitor' "
+             "samples the continuous metric streams; 'diff' compares "
+             "two run bundles)",
     )
     parser.add_argument(
         "workload", nargs="?", default=None,
-        help="trace/spans/metrics only: workload to run (for trace: a "
-             "Phoenix app, 'rag', 'serve', 'table4', 'table5'; for "
-             "spans/metrics: 'serve', 'serve_faults', 'serve_integrity', "
-             "'serve_ecc', 'serve_autoscale', 'serve_autoscale_faults'; "
-             "'workloads' lists them)",
+        help="trace/spans/metrics/monitor only: workload to run (for "
+             "trace: a Phoenix app, 'rag', 'serve', 'table4', 'table5'; "
+             "for spans/metrics/monitor: 'serve', 'serve_faults', "
+             "'serve_integrity', 'serve_ecc', 'serve_autoscale', "
+             "'serve_autoscale_faults'; 'workloads' lists them); for "
+             "diff: the baseline run-bundle path",
+    )
+    parser.add_argument(
+        "workload2", nargs="?", default=None,
+        help="diff only: the current run-bundle path",
     )
     parser.add_argument("--query", type=int, default=None,
                         help="spans only: render a single request's "
@@ -593,8 +700,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="metrics only: write the exposition to "
                              "this path instead of stdout")
     parser.add_argument("--trace-out", default=None,
-                        help="trace only: Chrome trace JSON output path "
-                             "(default trace_<workload>.json)")
+                        help="trace/monitor: Chrome trace JSON output "
+                             "path (trace default trace_<workload>.json; "
+                             "for monitor, a counter-track trace)")
+    parser.add_argument("--monitor-out", default=None,
+                        help="monitor/serve: write the self-contained "
+                             "HTML dashboard to this path")
+    parser.add_argument("--scrape-out", default=None,
+                        help="monitor/serve: write the OpenMetrics "
+                             "scrape text to this path")
+    parser.add_argument("--bundle-out", default=None,
+                        help="monitor/serve: write the run bundle (for "
+                             "'diff') to this path")
+    parser.add_argument("--cadence-ms", type=float, default=0.0,
+                        help="monitor/serve: sampling cadence in ms "
+                             "(0 = the workload's default: the control "
+                             "interval for elastic runs, 10 ms static)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="diff only: relative tolerance for "
+                             "*_qps / *_ms metric gates")
     parser.add_argument("--trace-events", type=int, default=65536,
                         help="trace only: ring-buffer capacity in events")
     parser.add_argument("--m", type=int, default=1024,
@@ -710,6 +834,11 @@ def main(argv=None) -> int:
     if args.experiment == "metrics":
         _run_metrics(args)
         return 0
+    if args.experiment == "monitor":
+        _run_monitor(args)
+        return 0
+    if args.experiment == "diff":
+        return _run_diff(args)
     if args.experiment == "all":
         for name, runner in EXPERIMENTS.items():
             print(f"=== {name} ===")

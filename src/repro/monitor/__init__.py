@@ -1,0 +1,76 @@
+"""Continuous time-series observability over the serving simulators.
+
+The telemetry layer (:mod:`repro.telemetry`) answers "*why was this
+request slow*" with end-of-run aggregates; this package answers "*how
+did the run evolve*": a deterministic streaming view sampled on a
+fixed simulated-time cadence (and on every autoscaler control tick)
+recording rolling throughput, TTI quantiles via a mergeable
+:class:`~repro.monitor.sketch.QuantileSketch`, per-class SLO burn,
+pool size, queue depths, shed/retry/failover counters, HBM bytes, and
+integrity/ECC verdict counters.
+
+Everything is **derived post-hoc** from the scheduler's causal record
+(the same pattern as the telemetry pipeline), so monitoring-off runs
+are byte-identical to unmonitored ones and both engines produce
+bit-identical series -- properties the differential suite in
+``tests/monitor`` pins.  The autoscaler's
+:class:`~repro.scale.controller.BurnRateController` reads its trailing
+windows from the same :class:`~repro.monitor.signal.BurnSignal` the
+series builder replays, so the control plane and the observatory
+provably see one signal.
+
+Exports: OpenMetrics-style scrape text (:mod:`.openmetrics`, a strict
+superset of the PR 6 registry exposition), Perfetto counter tracks
+merged into the Chrome-trace export (:mod:`.counters`), a
+self-contained static HTML dashboard (:mod:`.dashboard`), and run
+bundles with a cross-run regression differ (:mod:`.bundle`,
+:mod:`.diff`) sharing the benchmark gate's tolerance policy
+(:mod:`.tolerance`).
+"""
+
+from .build import (
+    DEFAULT_CADENCE_S,
+    MONITOR_PREFIX,
+    build_run_monitor,
+    sample_instants,
+)
+from .bundle import (
+    RunBundle,
+    bundle_from_run,
+    read_run_bundle,
+    report_metrics,
+    write_run_bundle,
+)
+from .counters import counter_tracks
+from .dashboard import render_dashboard
+from .diff import BundleDiff, MetricDelta, diff_bundles, diff_metrics, format_diff
+from .openmetrics import openmetrics_text
+from .series import MonitorError, RunMonitor, Series
+from .signal import BurnSignal
+from .sketch import QuantileSketch, SketchError
+
+__all__ = [
+    "BundleDiff",
+    "BurnSignal",
+    "DEFAULT_CADENCE_S",
+    "MONITOR_PREFIX",
+    "MetricDelta",
+    "MonitorError",
+    "QuantileSketch",
+    "RunBundle",
+    "RunMonitor",
+    "Series",
+    "SketchError",
+    "build_run_monitor",
+    "bundle_from_run",
+    "counter_tracks",
+    "diff_bundles",
+    "diff_metrics",
+    "format_diff",
+    "openmetrics_text",
+    "read_run_bundle",
+    "render_dashboard",
+    "report_metrics",
+    "sample_instants",
+    "write_run_bundle",
+]

@@ -1,0 +1,43 @@
+"""Monitor series as Perfetto counter tracks.
+
+Converts a :class:`~repro.monitor.series.RunMonitor` into the
+``CounterTrack`` tuples :func:`repro.obs.export.chrome_trace` accepts,
+so the qps/burn/pool/queue streams render as continuous counter lanes
+beside the VCU/DMA/HBM/SCALE duration rows in one Perfetto view.  All
+tracks share one dedicated "monitor" process row so they group
+together under the device processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .series import RunMonitor
+
+__all__ = ["MONITOR_PID", "counter_tracks", "monitor_process_names"]
+
+#: Process id for the monitor's counter lanes -- far above any
+#: plausible device core id so the row sorts last.
+MONITOR_PID = 9000
+
+
+def _track_name(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}[{inner}]"
+
+
+def counter_tracks(monitor: RunMonitor, pid: int = MONITOR_PID,
+                   ) -> List[Tuple[str, int, List[Tuple[float, float]]]]:
+    """One counter track per monitor series, timestamps in microseconds."""
+    tracks = []
+    for s in monitor.series:
+        points = [(t * 1e6, value) for t, value in s.points]
+        tracks.append((_track_name(s.name, s.labels), pid, points))
+    return tracks
+
+
+def monitor_process_names(pid: int = MONITOR_PID) -> Dict[int, str]:
+    """Process-name override labeling the counter row ``monitor``."""
+    return {pid: "monitor"}

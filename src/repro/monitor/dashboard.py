@@ -1,0 +1,152 @@
+"""Self-contained static HTML dashboard for a run monitor.
+
+One deterministic HTML file -- no external scripts, stylesheets, or
+fonts -- with an inline-SVG chart per metric name (labeled series of
+the same name share a chart, color-coded by a fixed palette).  Byte
+determinism matters because CI pins the rendered dashboard as a
+golden: every float is formatted with ``repr``-stable ``%g``-style
+formatting, iteration follows the monitor's stored series order, and
+nothing depends on wall-clock time or hash order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .series import Series, RunMonitor
+
+__all__ = ["render_dashboard"]
+
+#: Fixed line-color palette, cycled per labeled series within a chart.
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+            "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f")
+
+_WIDTH = 640
+_HEIGHT = 160
+_PAD_LEFT = 56
+_PAD_RIGHT = 12
+_PAD_TOP = 10
+_PAD_BOTTOM = 22
+
+_STYLE = """\
+body { font-family: monospace; background: #fafafa; color: #222;
+       margin: 1.5em auto; max-width: 720px; }
+h1 { font-size: 1.2em; } h2 { font-size: 1.0em; margin: 1.2em 0 0.2em; }
+.meta { color: #666; font-size: 0.85em; }
+.chart { background: #fff; border: 1px solid #ddd; }
+.legend { font-size: 0.8em; margin: 0.2em 0 0; }
+.legend span { margin-right: 1em; }
+.axis { stroke: #999; stroke-width: 1; }
+.grid { stroke: #eee; stroke-width: 1; }
+.tick { fill: #666; font-size: 9px; }
+.final { font-size: 0.8em; color: #444; }
+"""
+
+
+def _fmt(value: float) -> str:
+    """Deterministic short float formatting (no trailing noise)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _scale(points: Tuple[Tuple[float, float], ...],
+           t_max: float, v_min: float, v_max: float) -> str:
+    """SVG polyline coordinates for one series."""
+    span_t = t_max or 1.0
+    span_v = (v_max - v_min) or 1.0
+    coords = []
+    for t, v in points:
+        x = _PAD_LEFT + (t / span_t) * (_WIDTH - _PAD_LEFT - _PAD_RIGHT)
+        y = (_HEIGHT - _PAD_BOTTOM
+             - ((v - v_min) / span_v) * (_HEIGHT - _PAD_TOP - _PAD_BOTTOM))
+        coords.append(f"{x:.2f},{y:.2f}")
+    return " ".join(coords)
+
+
+def _chart(name: str, group: List[Series], horizon_s: float) -> List[str]:
+    """One SVG chart for all series sharing a metric name."""
+    v_min = min(min(v for _, v in s.points) for s in group)
+    v_max = max(max(v for _, v in s.points) for s in group)
+    if v_min > 0 and v_min <= v_max * 0.25:
+        v_min = 0.0  # anchor near-zero ranges at zero for readability
+    t_max = horizon_s
+
+    kind = group[0].kind
+    lines = [f"<h2>{_escape(name)}</h2>",
+             f'<div class="meta">{_escape(group[0].help_text)} '
+             f"({kind})</div>",
+             f'<svg class="chart" width="{_WIDTH}" height="{_HEIGHT}" '
+             f'viewBox="0 0 {_WIDTH} {_HEIGHT}">']
+    x0, x1 = _PAD_LEFT, _WIDTH - _PAD_RIGHT
+    y0, y1 = _HEIGHT - _PAD_BOTTOM, _PAD_TOP
+    # horizontal gridlines + value ticks at min / mid / max
+    for frac in (0.0, 0.5, 1.0):
+        y = y0 - frac * (y0 - y1)
+        value = v_min + frac * (v_max - v_min)
+        lines.append(f'<line class="grid" x1="{x0}" y1="{y:.2f}" '
+                     f'x2="{x1}" y2="{y:.2f}"/>')
+        lines.append(f'<text class="tick" x="{x0 - 4}" y="{y + 3:.2f}" '
+                     f'text-anchor="end">{_fmt(value)}</text>')
+    lines.append(f'<line class="axis" x1="{x0}" y1="{y0}" '
+                 f'x2="{x1}" y2="{y0}"/>')
+    lines.append(f'<line class="axis" x1="{x0}" y1="{y0}" '
+                 f'x2="{x0}" y2="{y1}"/>')
+    # time ticks at 0 / mid / horizon
+    for frac in (0.0, 0.5, 1.0):
+        x = x0 + frac * (x1 - x0)
+        lines.append(f'<text class="tick" x="{x:.2f}" y="{y0 + 14}" '
+                     f'text-anchor="middle">{_fmt(frac * t_max)}s</text>')
+    for index, s in enumerate(group):
+        color = _PALETTE[index % len(_PALETTE)]
+        coords = _scale(tuple(s.points), t_max, v_min, v_max)
+        lines.append(f'<polyline fill="none" stroke="{color}" '
+                     f'stroke-width="1.2" points="{coords}"/>')
+    lines.append("</svg>")
+
+    legend = []
+    finals = []
+    for index, s in enumerate(group):
+        color = _PALETTE[index % len(_PALETTE)]
+        label = (",".join(f"{k}={v}" for k, v in s.labels)
+                 if s.labels else name)
+        legend.append(f'<span style="color:{color}">&#9644; '
+                      f"{_escape(label)}</span>")
+        finals.append(f"{_escape(label)}={_fmt(s.final())}")
+    if len(group) > 1 or group[0].labels:
+        lines.append(f'<div class="legend">{"".join(legend)}</div>')
+    lines.append(f'<div class="final">final: {", ".join(finals)}</div>')
+    return lines
+
+
+def render_dashboard(monitor: RunMonitor, title: str = "") -> str:
+    """Render the monitor as one self-contained deterministic HTML page."""
+    heading = title or f"repro monitor: {monitor.workload}"
+    grouped: Dict[str, List[Series]] = {}
+    for s in monitor.series:
+        grouped.setdefault(s.name, []).append(s)
+
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        f"<title>{_escape(heading)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{_escape(heading)}</h1>",
+        f'<div class="meta">workload={_escape(monitor.workload)} '
+        f"cadence={_fmt(monitor.cadence_s * 1e3)}ms "
+        f"horizon={_fmt(monitor.horizon_s)}s "
+        f"samples={len(monitor.instants)} "
+        f"series={len(monitor.series)}</div>",
+    ]
+    for name, group in grouped.items():
+        sampled = [s for s in group if s.points]
+        if sampled:
+            parts.extend(_chart(name, sampled, monitor.horizon_s))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

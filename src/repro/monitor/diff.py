@@ -1,0 +1,216 @@
+"""Cross-run regression differ over run bundles.
+
+``repro diff <run-a> <run-b>`` aligns two :class:`~repro.monitor.bundle.RunBundle`
+files and answers three questions:
+
+* **What moved?**  Per-metric deltas over the flattened report
+  metrics, each classified and gated with the *same* tolerance policy
+  as ``check_bench_regression.py`` (:mod:`repro.monitor.tolerance`),
+  so the differ's failure list reproduces the CI gate's verdicts
+  metric-for-metric -- a property the diff tests pin.
+* **Why did TTI move?**  The TTI delta is attributed to critical-path
+  segment classes: per-request stage-total deltas between the two
+  runs' span trees, ranked by magnitude, turning "p99 rose 8%" into
+  "queue-wait seconds grew per request".
+* **What do the series say?**  Final-sample deltas for every monitor
+  series the two runs share, plus the series present in only one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .bundle import RunBundle
+from .series import RunMonitor
+from .tolerance import DEFAULT_TOLERANCE, classify, gate_failures
+
+__all__ = [
+    "BundleDiff",
+    "MetricDelta",
+    "diff_bundles",
+    "diff_metrics",
+    "format_diff",
+]
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two runs."""
+
+    key: str
+    #: Gate class from the shared tolerance policy.
+    gate: str
+    base: Optional[Any]
+    value: Optional[Any]
+    #: Relative change ``(value - base) / base`` when both are numeric
+    #: and the base is non-zero.
+    change_frac: Optional[float]
+    #: "ok" | "fail" | "drift" | "new" | "missing" | "info"
+    verdict: str
+
+
+@dataclass(frozen=True)
+class BundleDiff:
+    """Everything the differ derived from two bundles."""
+
+    label_a: str
+    label_b: str
+    deltas: Tuple[MetricDelta, ...]
+    #: The benchmark gate's failure strings (A as baseline, B current).
+    failures: Tuple[str, ...]
+    #: Per-request critical-path stage deltas, milliseconds, ranked by
+    #: magnitude: where the TTI delta came from.
+    tti_attribution: Tuple[Tuple[str, float], ...]
+    #: Mean TTI delta in milliseconds (B - A).
+    tti_delta_ms: float
+    #: (series key, final A, final B) for series both runs sampled.
+    series_deltas: Tuple[Tuple[str, float, float], ...]
+    #: Series keys present in exactly one run.
+    series_only_a: Tuple[str, ...]
+    series_only_b: Tuple[str, ...]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.failures)
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff_metrics(base: Dict[str, Any], current: Dict[str, Any],
+                 tolerance: float = DEFAULT_TOLERANCE,
+                 ) -> Tuple[List[MetricDelta], List[str]]:
+    """Classify every metric delta and compute the gate's failures.
+
+    The failure list is exactly
+    :func:`repro.monitor.tolerance.gate_failures` on the same inputs
+    (the CI gate's verdicts); the deltas add the per-metric detail the
+    gate only prints for failures.
+    """
+    failures = gate_failures(base, current, tolerance)
+    failed_keys = {line.split()[1].rstrip(":") for line in failures
+                   if line.startswith(("REGRESSION", "EXACT-METRIC"))}
+    # gate_failures prefixes "EXACT-METRIC DRIFT <key>:" -- the key is
+    # the third token there, second otherwise.
+    failed_keys |= {line.split()[2].rstrip(":") for line in failures
+                    if line.startswith("EXACT-METRIC DRIFT")}
+    deltas: List[MetricDelta] = []
+    for key in sorted(set(base) | set(current)):
+        a, b = base.get(key), current.get(key)
+        gate = classify(key)
+        change: Optional[float] = None
+        if _numeric(a) and _numeric(b) and a != 0:
+            change = (b - a) / a
+        if key not in base:
+            verdict = "new"
+        elif key not in current:
+            verdict = "missing"
+        elif gate == "informational":
+            verdict = "info"
+        elif key in failed_keys:
+            verdict = "drift" if gate == "exact" else "fail"
+        else:
+            verdict = "ok"
+        deltas.append(MetricDelta(key=key, gate=gate, base=a, value=b,
+                                  change_frac=change, verdict=verdict))
+    return deltas, failures
+
+
+def _per_request_stage_ms(bundle: RunBundle) -> Dict[str, float]:
+    n = max(1, bundle.n_completed)
+    return {stage: total / n * 1e3
+            for stage, total in bundle.stage_totals.items()}
+
+
+def _series_finals(monitor: RunMonitor) -> Dict[str, float]:
+    return {s.key: s.final() for s in monitor.series if s.points}
+
+
+def diff_bundles(a: RunBundle, b: RunBundle,
+                 tolerance: float = DEFAULT_TOLERANCE) -> BundleDiff:
+    """Diff two run bundles (``a`` as baseline, ``b`` as current)."""
+    deltas, failures = diff_metrics(a.metrics, b.metrics, tolerance)
+
+    stages_a = _per_request_stage_ms(a)
+    stages_b = _per_request_stage_ms(b)
+    attribution = [
+        (stage, stages_b.get(stage, 0.0) - stages_a.get(stage, 0.0))
+        for stage in sorted(set(stages_a) | set(stages_b))]
+    attribution.sort(key=lambda item: (-abs(item[1]), item[0]))
+
+    tti_a = a.metrics.get("tti_mean_ms")
+    tti_b = b.metrics.get("tti_mean_ms")
+    tti_delta = (float(tti_b) - float(tti_a)
+                 if _numeric(tti_a) and _numeric(tti_b) else 0.0)
+
+    finals_a = _series_finals(a.monitor)
+    finals_b = _series_finals(b.monitor)
+    shared = sorted(set(finals_a) & set(finals_b))
+    series_deltas = tuple((key, finals_a[key], finals_b[key])
+                          for key in shared)
+    only_a = tuple(sorted(set(finals_a) - set(finals_b)))
+    only_b = tuple(sorted(set(finals_b) - set(finals_a)))
+
+    return BundleDiff(
+        label_a=a.workload,
+        label_b=b.workload,
+        deltas=tuple(deltas),
+        failures=tuple(failures),
+        tti_attribution=tuple(attribution),
+        tti_delta_ms=tti_delta,
+        series_deltas=series_deltas,
+        series_only_a=only_a,
+        series_only_b=only_b,
+    )
+
+
+def format_diff(diff: BundleDiff, label_a: str = "", label_b: str = "",
+                max_rows: int = 0) -> str:
+    """Deterministic human-readable rendering of a bundle diff."""
+    name_a = label_a or diff.label_a or "run-a"
+    name_b = label_b or diff.label_b or "run-b"
+    lines = [f"run diff: {name_a} -> {name_b}"]
+
+    changed = [d for d in diff.deltas if d.verdict != "ok"]
+    lines.append(f"  metrics: {len(diff.deltas)} compared, "
+                 f"{len(changed)} changed, "
+                 f"{len(diff.failures)} gate failure(s)")
+    rows = changed if max_rows <= 0 else changed[:max_rows]
+    for d in rows:
+        def fmt(v: Any) -> str:
+            if v is None:
+                return "--"
+            if isinstance(v, float):
+                return f"{v:.4g}"
+            return str(v)
+        change = (f"{d.change_frac:+.2%}" if d.change_frac is not None
+                  else "")
+        lines.append(f"    [{d.verdict:<7}] {d.key}: {fmt(d.base)} -> "
+                     f"{fmt(d.value)} {change}".rstrip())
+
+    lines.append(f"  tti: mean {diff.tti_delta_ms:+.3f} ms, attributed "
+                 f"to critical-path stages (ms/request):")
+    for stage, delta_ms in diff.tti_attribution:
+        lines.append(f"    {stage:<16} {delta_ms:+.4f}")
+
+    moved = [(key, fa, fb) for key, fa, fb in diff.series_deltas
+             if fa != fb]
+    lines.append(f"  series: {len(diff.series_deltas)} shared, "
+                 f"{len(moved)} moved (final samples):"
+                 if moved else
+                 f"  series: {len(diff.series_deltas)} shared, "
+                 f"none moved")
+    for key, fa, fb in moved:
+        lines.append(f"    {key}: {fa:g} -> {fb:g}")
+    for key in diff.series_only_a:
+        lines.append(f"    only in {name_a}: {key}")
+    for key in diff.series_only_b:
+        lines.append(f"    only in {name_b}: {key}")
+
+    if diff.failures:
+        lines.append("  gate failures:")
+        for failure in diff.failures:
+            lines.append(f"    {failure}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,64 @@
+"""Timestamped OpenMetrics-style scrape export.
+
+The exposition is a **strict superset of the registry exposition**:
+the text starts with ``monitor.registry_exposition`` verbatim (so any
+consumer of the PR 6 Prometheus text keeps parsing unchanged), then
+appends one timestamped sample block per monitor series.  Sample lines
+follow the Prometheus scrape-series form::
+
+    name{label="value"} value timestamp_ms
+
+using the registry's deterministic value formatting, with the
+timestamp in integer-rounded simulated milliseconds * 1000 precision
+(microsecond-exact, formatted deterministically).  Counters sample
+events at-or-before each instant, so the final sample of every counter
+provably equals the corresponding end-of-run registry value -- a
+property the export tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..telemetry.metrics import _fmt_value
+from .series import RunMonitor, Series
+
+__all__ = ["openmetrics_text"]
+
+
+def _fmt_label_pairs(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _fmt_timestamp_ms(t_s: float) -> str:
+    """Simulated-time timestamp in milliseconds, microsecond-exact."""
+    return _fmt_value(round(t_s * 1e3, 3))
+
+
+def openmetrics_text(monitor: RunMonitor) -> str:
+    """Render the monitor as timestamped scrape-series text."""
+    parts: List[str] = []
+    if monitor.registry_exposition:
+        parts.append(monitor.registry_exposition.rstrip("\n"))
+    by_name: Dict[str, List[Series]] = {}
+    order: List[str] = []
+    for s in monitor.series:
+        if s.name not in by_name:
+            by_name[s.name] = []
+            order.append(s.name)
+        by_name[s.name].append(s)
+    for name in order:
+        group = by_name[name]
+        lines = [f"# HELP {name} {group[0].help_text}",
+                 f"# TYPE {name} {group[0].kind}"]
+        for s in group:
+            label_str = _fmt_label_pairs(s.labels)
+            for t, value in s.points:
+                lines.append(
+                    f"{name}{label_str} {_fmt_value(value)} "
+                    f"{_fmt_timestamp_ms(t)}")
+        parts.append("\n".join(lines))
+    return "\n".join(parts) + "\n"

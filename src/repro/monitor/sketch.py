@@ -1,0 +1,169 @@
+"""Deterministic mergeable quantile sketch.
+
+A fixed-boundary sketch: samples fall into buckets delimited by a
+pre-agreed boundary ladder (defaulting to the registry's latency
+ladder, :data:`repro.telemetry.metrics.DEFAULT_LATENCY_BOUNDS_S`), and
+quantiles are answered with the same smallest-boundary >= nearest-rank
+rule as :meth:`repro.telemetry.metrics.Histogram.quantile`.  Because
+the state is nothing but integer bucket counts, **merge is exact
+integer addition** -- associative and commutative bit-for-bit, with no
+float-summation order sensitivity -- which is what makes per-window
+sketches safe to combine across shards, windows, or runs in any order.
+The hypothesis suite in ``tests/monitor/test_properties.py`` pins
+associativity, the rank-error bound, and cross-process /
+cross-PYTHONHASHSEED determinism.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..telemetry.metrics import DEFAULT_LATENCY_BOUNDS_S
+
+
+class SketchError(ValueError):
+    """Raised for invalid sketch construction, merging, or queries."""
+
+
+class QuantileSketch:
+    """Fixed-boundary bucket sketch with exactly-mergeable counts.
+
+    ``boundaries`` must be strictly increasing and finite.  A sample
+    ``v`` lands in the first bucket whose boundary is ``>= v``; samples
+    above the last boundary land in the overflow bucket, for which
+    :meth:`quantile` answers ``inf`` (mirroring the histogram's
+    ``+Inf`` bucket).
+    """
+
+    __slots__ = ("boundaries", "counts")
+
+    def __init__(
+        self,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BOUNDS_S,
+        counts: Sequence[int] = (),
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise SketchError("sketch needs at least one boundary")
+        for b in bounds:
+            if not math.isfinite(b):
+                raise SketchError(f"non-finite boundary {b!r}")
+        for lo, hi in zip(bounds, bounds[1:]):
+            if not lo < hi:
+                raise SketchError(
+                    f"boundaries must be strictly increasing, got {lo!r} >= {hi!r}"
+                )
+        self.boundaries: Tuple[float, ...] = bounds
+        if counts:
+            if len(counts) != len(bounds) + 1:
+                raise SketchError(
+                    f"expected {len(bounds) + 1} counts, got {len(counts)}"
+                )
+            if any(c < 0 or c != int(c) for c in counts):
+                raise SketchError("counts must be non-negative integers")
+            self.counts: List[int] = [int(c) for c in counts]
+        else:
+            self.counts = [0] * (len(bounds) + 1)
+
+    # -- ingestion -----------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if math.isnan(value):
+            raise SketchError("cannot observe NaN")
+        # First bucket whose boundary is >= value; bisect_left on the
+        # sorted ladder finds it, and len(boundaries) is the overflow.
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    # -- merging -------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Return a new sketch holding both inputs' samples.
+
+        Pure integer addition per bucket: exactly associative and
+        commutative, so any merge tree over the same sample multiset
+        yields bit-identical state.
+        """
+        if other.boundaries != self.boundaries:
+            raise SketchError("cannot merge sketches with different boundaries")
+        merged = QuantileSketch(self.boundaries)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        return merged
+
+    def copy(self) -> "QuantileSketch":
+        return QuantileSketch(self.boundaries, self.counts)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def quantile(self, pct: float) -> float:
+        """Smallest boundary covering the nearest-rank percentile.
+
+        Identical rule to :meth:`repro.telemetry.metrics.Histogram.quantile`:
+        rank ``max(1, ceil(pct/100 * count))``, answered by the first
+        boundary whose cumulative count reaches it; ``inf`` when the
+        rank falls in the overflow bucket.
+        """
+        if not 0.0 < pct <= 100.0:
+            raise SketchError(f"percentile out of range: {pct!r}")
+        total = self.count
+        if total == 0:
+            raise SketchError("quantile of empty sketch")
+        rank = max(1, math.ceil(pct / 100.0 * total))
+        cumulative = 0
+        for bound, n in zip(self.boundaries, self.counts):
+            cumulative += n
+            if cumulative >= rank:
+                return bound
+        return math.inf
+
+    def rank_error_bound(self) -> float:
+        """Largest single-bucket mass fraction: the worst-case rank error.
+
+        The reported quantile's true rank can be off by at most the
+        population of the bucket it lands in, so max bucket mass over
+        total count bounds the rank error of any query.
+        """
+        total = self.count
+        if total == 0:
+            return 0.0
+        return max(self.counts) / total
+
+    # -- serialization / identity -------------------------------------
+
+    def digest(self) -> str:
+        """Deterministic textual fingerprint of the full state."""
+        bounds = ",".join(repr(b) for b in self.boundaries)
+        counts = ",".join(str(c) for c in self.counts)
+        return f"boundaries=[{bounds}] counts=[{counts}]"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QuantileSketch":
+        boundaries = data.get("boundaries")
+        counts = data.get("counts")
+        if not isinstance(boundaries, list) or not isinstance(counts, list):
+            raise SketchError("malformed sketch dict")
+        return cls(boundaries, counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return self.boundaries == other.boundaries and self.counts == other.counts
+
+    def __repr__(self) -> str:
+        return f"QuantileSketch({self.digest()})"

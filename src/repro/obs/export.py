@@ -4,22 +4,29 @@ Converts a collector's ring buffer into the JSON Object Format of the
 Trace Event specification: complete ("ph": "X") duration events with
 microsecond timestamps, one process row per APU core and one thread row
 per engine lane, plus "M" metadata events so the viewer labels the rows.
-The exported dict round-trips through ``json`` and loads directly in
-Perfetto's "Open trace file".
+Optional **counter tracks** ("ph": "C") render continuous series --
+the run monitor's qps/burn/pool streams -- as Perfetto counter lanes
+beside the duration rows.  The exported dict round-trips through
+``json`` and loads directly in Perfetto's "Open trace file".
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .collector import TraceCollector
 from .events import LANES, TraceEvent
 
-__all__ = ["chrome_trace", "chrome_trace_json", "write_chrome_trace"]
+__all__ = ["CounterTrack", "chrome_trace", "chrome_trace_json",
+           "write_chrome_trace"]
 
 #: Default clock for cycle -> microsecond conversion (GSI Leda-E, 500 MHz).
 DEFAULT_CLOCK_HZ = 500e6
+
+#: One Perfetto counter lane: display name, process id, and
+#: ``(timestamp_us, value)`` points in ascending time order.
+CounterTrack = Tuple[str, int, Sequence[Tuple[float, float]]]
 
 #: Stable thread ids per lane (Perfetto sorts rows by tid).
 _LANE_TIDS: Dict[str, int] = {lane: index for index, lane in enumerate(LANES)}
@@ -33,6 +40,7 @@ def _lane_tid(lane: str) -> int:
 def chrome_trace(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
                  metadata: Optional[Dict[str, object]] = None,
                  process_names: Optional[Dict[int, str]] = None,
+                 counters: Optional[Sequence[CounterTrack]] = None,
                  ) -> Dict[str, object]:
     """Build the Chrome trace dict for a collector (or event iterable).
 
@@ -41,7 +49,10 @@ def chrome_trace(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
     controller cycles -- the ``args.cycles`` field keeps the raw value).
     ``process_names`` overrides the default ``"APU core <id>"`` label
     per ``core_id`` -- the serving simulator uses it to label one
-    Perfetto process row per shard device.
+    Perfetto process row per shard device.  ``counters`` appends one
+    "ph": "C" counter lane per track after the duration events; when
+    omitted (the default) the output is byte-identical to the
+    counter-free export.
     """
     if isinstance(collector_or_events, TraceCollector):
         events: Iterable[TraceEvent] = collector_or_events.events
@@ -89,6 +100,24 @@ def chrome_trace(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
             "args": args,
         })
 
+    for name, pid, points in counters or ():
+        if (pid, None) not in seen_rows:
+            seen_rows.add((pid, None))
+            label = (process_names or {}).get(pid, f"APU core {pid}")
+            trace_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": label},
+            })
+        for ts_us, value in points:
+            trace_events.append({
+                "name": name,
+                "ph": "C",
+                "ts": ts_us,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            })
+
     other: Dict[str, object] = {"clock_hz": clock_hz}
     other.update(extra)
     if metadata:
@@ -103,20 +132,23 @@ def chrome_trace(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
 def chrome_trace_json(collector_or_events, clock_hz: float = DEFAULT_CLOCK_HZ,
                       metadata: Optional[Dict[str, object]] = None,
                       indent: Optional[int] = None,
-                      process_names: Optional[Dict[int, str]] = None) -> str:
+                      process_names: Optional[Dict[int, str]] = None,
+                      counters: Optional[Sequence[CounterTrack]] = None) -> str:
     """The Chrome trace serialized to a JSON string."""
     return json.dumps(chrome_trace(collector_or_events, clock_hz, metadata,
-                                   process_names),
+                                   process_names, counters),
                       indent=indent)
 
 
 def write_chrome_trace(path, collector_or_events,
                        clock_hz: float = DEFAULT_CLOCK_HZ,
                        metadata: Optional[Dict[str, object]] = None,
-                       process_names: Optional[Dict[int, str]] = None) -> str:
+                       process_names: Optional[Dict[int, str]] = None,
+                       counters: Optional[Sequence[CounterTrack]] = None) -> str:
     """Write the Chrome trace JSON to ``path``; returns the path."""
     text = chrome_trace_json(collector_or_events, clock_hz, metadata,
-                             indent=1, process_names=process_names)
+                             indent=1, process_names=process_names,
+                             counters=counters)
     with open(path, "w") as handle:
         handle.write(text)
     return str(path)

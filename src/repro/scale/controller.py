@@ -11,6 +11,14 @@ more capacity; burn at or below ``scale_down_burn`` with the pool quiet
 asks for less.  Decisions honor the pool bounds and a cooldown so the
 controller cannot thrash.
 
+The window bookkeeping itself lives in the shared
+:class:`~repro.monitor.signal.BurnSignal`: the controller feeds a live
+instance in event order and the monitor's series builder replays an
+identical one post-hoc, so the autoscaler and the observatory provably
+see one signal (the elastic loop records the per-class burns on every
+tick action, and the differential suite pins the monitor's samples to
+them bit-for-bit).
+
 The controller tracks one burn window **per priority class**
 (:meth:`class_windows`) and the elastic loop scales on the *worst*
 class, so a starving background class asks for capacity even while the
@@ -29,9 +37,9 @@ input it sees is an event-loop timestamp.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from ..monitor.signal import BurnSignal
 from ..telemetry.metrics import BurnWindow
 from .policy import AutoscalePolicy
 
@@ -55,19 +63,16 @@ class BurnRateController:
         self.policy = policy
         self.slo_s = slo_s
         self.n_classes = n_classes
-        #: Per-class (completion time, violated) in completion order.
-        self._completions: List[Deque[Tuple[float, bool]]] = [
-            deque() for _ in range(n_classes)]
-        #: Fault-event timestamps (deaths, stall onsets) in event order.
-        self._faults: Deque[float] = deque()
+        #: The shared trailing-window signal (monitor replays a twin).
+        self.signal = BurnSignal(
+            policy.control_interval_s, slo_s, n_classes)
         self._tick_index = 0
         self._last_action_s = -float("inf")
 
     def note_completion(self, done_s: float, tti_latency_s: float,
                         priority: int = 0) -> None:
         """Record one resolved request (call in completion order)."""
-        self._completions[priority].append(
-            (done_s, tti_latency_s > self.slo_s))
+        self.signal.note_completion(done_s, tti_latency_s, priority)
 
     def note_fault(self, t_s: float) -> None:
         """Record one fault event (call in event order).
@@ -77,18 +82,11 @@ class BurnRateController:
         scale-up branch at the next tick even before queue growth has
         shown up as SLO burn.
         """
-        self._faults.append(t_s)
-
-    def _advance(self, start_s: float) -> None:
-        for completions in self._completions:
-            while completions and completions[0][0] < start_s:
-                completions.popleft()
-        while self._faults and self._faults[0] < start_s:
-            self._faults.popleft()
+        self.signal.note_fault(t_s)
 
     def recent_faults(self) -> int:
         """Fault events still inside the last-advanced window."""
-        return len(self._faults)
+        return self.signal.recent_faults()
 
     def class_windows(self, now_s: float,
                       overdue_by_class: Sequence[int]
@@ -101,24 +99,9 @@ class BurnRateController:
         has no completion timestamp yet.  All class windows of one tick
         share one index.
         """
-        start_s = now_s - self.policy.control_interval_s
-        self._advance(start_s)
         index = self._tick_index
         self._tick_index += 1
-        windows = []
-        for cls, completions in enumerate(self._completions):
-            n_done = len(completions)
-            n_violations = sum(1 for _, violated in completions
-                               if violated)
-            overdue = int(overdue_by_class[cls])
-            windows.append(BurnWindow(
-                index=index,
-                start_s=start_s,
-                end_s=now_s,
-                n_requests=n_done + overdue,
-                n_violations=n_violations + overdue,
-            ))
-        return tuple(windows)
+        return self.signal.class_windows(index, now_s, overdue_by_class)
 
     def window(self, now_s: float, n_overdue_pending: int) -> BurnWindow:
         """The aggregate trailing control window ending at ``now_s``.

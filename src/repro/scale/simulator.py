@@ -205,6 +205,10 @@ class ScaleAction:
     #: Why the action fired: ``"failover"`` marks an attach that
     #: replaces a dead device (cooldown-bypassing), empty otherwise.
     reason: str = ""
+    #: Per-priority-class burn rates at ``tick`` actions -- the
+    #: controller's own window readings, recorded so the monitor's
+    #: burn series provably samples the signal the autoscaler acted on.
+    class_burns: Tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -465,6 +469,60 @@ class ScaleSimulator:
         run = self._run_elastic(capture=True)
         return run.report, build_scale_telemetry(
             run, self.prefill_s, self.params.clock_hz)
+
+    def run_with_monitor(self, *, cadence_s: Optional[float] = None,
+                         workload: str = "serve_autoscale"
+                         ) -> Tuple[Any, Any, Any]:
+        """Simulate, derive telemetry, and sample the monitor series.
+
+        Returns ``(report, telemetry, monitor)``; report and telemetry
+        are bit-identical to :meth:`run_with_telemetry` because the
+        monitor is a pure post-hoc derivation from the same causal
+        record.  Elastic runs default the sampling cadence to the
+        autoscaler's control interval so cadence samples land exactly
+        on tick instants, where the burn series takes the controller's
+        recorded per-class readings (``ScaleAction.class_burns``).
+        """
+        if self._static is not None:
+            return self._static.run_with_monitor(
+                self._static_requests(), cadence_s=cadence_s,
+                workload=workload)
+        from ..monitor import build_run_monitor
+
+        report, telemetry = self.run_with_telemetry()
+        run = self._last_run
+        policy = self.config.policy
+        assert run is not None and policy is not None \
+            and self._pool is not None
+        pool = self._pool
+        cfg = self.config.serve
+        # Bitwise the in-loop completion arithmetic: (now - arrival) +
+        # merge + prefill, with now == retrieval_done_s.
+        tti_by_req = {
+            r.req_id: (r.retrieval_done_s - r.arrival_s)
+            + self._merge_for(r.n_required) + self.prefill_s
+            for r in run.result.records
+            if r.retrieval_done_s is not None}
+        attach_bytes = {
+            j: pool.embedding_bytes(pool.base_counts[j])
+            for j in range(pool.capacity)}
+        monitor = build_run_monitor(
+            workload=workload,
+            result=run.result,
+            slo_s=cfg.slo_s,
+            error_budget=policy.autoscale.error_budget,
+            class_names=tuple(c.name for c in policy.priorities),
+            priorities=run.priorities,
+            tti_by_req=tti_by_req,
+            batch_bytes=run.batch_bytes,
+            pool_initial=cfg.n_shards,
+            registry_exposition=telemetry.registry.expose(),
+            cadence_s=(cadence_s if cadence_s is not None
+                       else policy.autoscale.control_interval_s),
+            actions=report.actions,
+            attach_bytes=attach_bytes,
+        )
+        return report, telemetry, monitor
 
     # ------------------------------------------------------------------
     def _run_elastic(self, capture: bool) -> _ElasticRun:
@@ -1015,8 +1073,10 @@ class ScaleSimulator:
                                 priorities[record.req_id]] += 1
                 windows = controller.class_windows(now, overdue_by_class)
                 burn = 0.0
+                class_burns = []
                 for i, window in enumerate(windows):
                     class_burn = controller.burn_rate(window)
+                    class_burns.append(class_burn)
                     if class_burn > class_burn_peaks[i]:
                         class_burn_peaks[i] = class_burn
                     if class_burn > burn:
@@ -1024,7 +1084,7 @@ class ScaleSimulator:
                 peak_burn = max(peak_burn, burn)
                 actions.append(ScaleAction(
                     kind="tick", t_s=now, pool_size=len(serving),
-                    burn_rate=burn))
+                    burn_rate=burn, class_burns=tuple(class_burns)))
                 pressure = 0
                 if injector is not None:
                     # Fault pressure: deaths/stall onsets noted inside

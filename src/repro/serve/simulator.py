@@ -545,6 +545,8 @@ class ServingSimulator:
         #: these chunks stay missing for every later arrival.
         self._permanent_loss: Dict[int, int] = {}
         self._dead_shards: set = set()
+        #: Causal record of the last telemetry run (monitor input).
+        self._last_result: Optional[ScheduleResult] = None
         if config.engine == "vectorized":
             # Imported lazily to keep repro.serve importable while
             # repro.simcore (which imports the scalar scheduler) loads.
@@ -614,6 +616,7 @@ class ServingSimulator:
         from ..telemetry.build import RunTelemetry, build_run_telemetry
 
         report, result, tables = self._simulate_capturing(requests)
+        self._last_result = result
         telemetry: RunTelemetry = build_run_telemetry(
             report, result, self.merge_s, self.prefill_s, tables,
             self.params.clock_hz)
@@ -632,6 +635,49 @@ class ServingSimulator:
                             child.labels["source"] = \
                                 ",".join(sources) or "unknown"
         return report, telemetry
+
+    def run_with_monitor(self, requests: Optional[Sequence[Request]] = None,
+                         *, cadence_s: Optional[float] = None,
+                         workload: str = "serve"):
+        """Simulate, derive telemetry, and sample the monitor series.
+
+        Returns ``(report, telemetry, monitor)`` where report and
+        telemetry are **bit-identical** to :meth:`run_with_telemetry`
+        on the same stream: the monitor is derived post-hoc from the
+        same causal record, with no extra instrumentation inside the
+        event loop (the differential suite pins monitoring-off
+        byte-identity on both engines).
+        """
+        from ..monitor import DEFAULT_CADENCE_S, build_run_monitor
+
+        report, telemetry = self.run_with_telemetry(requests)
+        result = self._last_result
+        assert result is not None
+        batch_bytes = [
+            int(self.service_model.shard_specs[b.shard_id].embedding_bytes)
+            for b in result.batches]
+        # Bitwise the report's TTI arithmetic: retrieval latency plus
+        # merge, plus prefill.
+        tti_by_req = {
+            r.req_id: (r.retrieval_done_s - r.arrival_s + self.merge_s)
+            + self.prefill_s
+            for r in result.records if r.retrieval_done_s is not None}
+        monitor = build_run_monitor(
+            workload=workload,
+            result=result,
+            slo_s=self.config.slo_s,
+            # The registry's default SLO burn budget (slo_target=0.99).
+            error_budget=1.0 - 0.99,
+            class_names=("all",),
+            priorities={},
+            tti_by_req=tti_by_req,
+            batch_bytes=batch_bytes,
+            pool_initial=self.config.n_shards,
+            registry_exposition=telemetry.registry.expose(),
+            cadence_s=(cadence_s if cadence_s is not None
+                       else DEFAULT_CADENCE_S),
+        )
+        return report, telemetry, monitor
 
     def _simulate_capturing(self, requests: Optional[Sequence[Request]]
                             = None):

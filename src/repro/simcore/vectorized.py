@@ -406,6 +406,24 @@ class _FaultScan:
                 consumed = max(consumed, _searchsorted(arr, t, "right"))
                 continue
             if t < st.blocked_until:
+                # The scalar loop re-evaluates on every arrival inside
+                # the backoff window, and its down-check precedes the
+                # blocked-check: an arrival during a *permanent* outage
+                # declares death at the arrival instant, not at the
+                # backoff wake.  (A finite outage observed mid-backoff
+                # only arms a wake; the chain below already converges
+                # to the same dispatch time.)
+                o = self.injector.next_outage_start(self.shard, t)
+                ja = max(consumed, _searchsorted(arr, max(t, o), "left"))
+                while ja < n and float(arr[ja]) < st.blocked_until:
+                    ta = float(arr[ja])
+                    if self.injector.is_down(self.shard, ta) and \
+                            math.isinf(self.injector.next_up(
+                                self.shard, ta)):
+                        return ("die", ta,
+                                (ta, _TIER_ARRIVAL, float(ja)),
+                                0, ja + 1)
+                    ja += 1
                 trig = (st.blocked_until, _TIER_RUNTIME, trig)  # wake
                 t = st.blocked_until
                 consumed = max(consumed, _searchsorted(arr, t, "right"))

@@ -46,6 +46,7 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricRegistrationError,
     MetricsRegistry,
     slo_burn_windows,
 )
@@ -90,6 +91,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricRegistrationError",
     "MetricsRegistry",
     "BurnWindow",
     "slo_burn_windows",

@@ -30,6 +30,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricRegistrationError",
     "MetricsRegistry",
     "BurnWindow",
     "slo_burn_windows",
@@ -248,6 +249,18 @@ class Histogram(_Metric):
         return rows
 
 
+class MetricRegistrationError(ValueError):
+    """A metric name was re-registered with conflicting identity.
+
+    Raised when one registry sees the same name twice with a different
+    metric kind **or a different non-empty help text**: two call sites
+    silently sharing one counter under divergent descriptions is a
+    telemetry bug, not a merge.  Re-registering with identical kind and
+    help returns the existing metric; an empty help makes no claim (it
+    is a plain lookup, and the first non-empty help backfills it).
+    """
+
+
 class MetricsRegistry:
     """Ordered collection of metrics with text + JSON exposition."""
 
@@ -258,9 +271,17 @@ class MetricsRegistry:
         existing = self._metrics.get(metric.name)
         if existing is not None:
             if type(existing) is not type(metric):
-                raise ValueError(
+                raise MetricRegistrationError(
                     f"metric {metric.name!r} already registered as "
                     f"{existing.kind}")
+            if metric.help_text and existing.help_text \
+                    and existing.help_text != metric.help_text:
+                raise MetricRegistrationError(
+                    f"metric {metric.name!r} already registered with "
+                    f"help {existing.help_text!r}, re-registered with "
+                    f"{metric.help_text!r}")
+            if metric.help_text and not existing.help_text:
+                existing.help_text = metric.help_text
             return existing
         self._metrics[metric.name] = metric
         return metric

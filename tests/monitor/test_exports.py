@@ -1,0 +1,138 @@
+"""The three monitor exports: OpenMetrics text, counter tracks, dashboard."""
+
+import json
+
+import pytest
+
+from repro.monitor import (
+    counter_tracks,
+    openmetrics_text,
+    render_dashboard,
+)
+from repro.monitor.counters import MONITOR_PID, monitor_process_names
+from repro.obs import chrome_trace, collecting
+from repro.scale import ScaleSimulator, golden_autoscale_config
+from repro.serve.simulator import ServingSimulator, golden_serve_config
+
+
+@pytest.fixture(scope="module")
+def serve_run():
+    return ServingSimulator(golden_serve_config()).run_with_monitor()
+
+
+@pytest.fixture(scope="module")
+def autoscale_run():
+    return ScaleSimulator(golden_autoscale_config()).run_with_monitor()
+
+
+# -- OpenMetrics scrape text -------------------------------------------
+
+
+def test_openmetrics_is_registry_superset(serve_run):
+    """The scrape text begins with the PR-6 registry exposition."""
+    _report, telemetry, monitor = serve_run
+    text = openmetrics_text(monitor)
+    assert text.startswith(telemetry.registry.expose().rstrip("\n"))
+
+
+def test_openmetrics_final_samples_equal_registry_values(serve_run):
+    """End-of-run registry counters are provably the last sample."""
+    report, telemetry, monitor = serve_run
+    exposed = telemetry.registry.expose()
+    registry_completed = None
+    for line in exposed.splitlines():
+        if line.startswith("repro_requests_total "):
+            registry_completed = float(line.split()[1])
+    assert registry_completed is not None
+    completed = monitor.get("repro_monitor_completed_total")
+    assert completed.final() == registry_completed == report.n_completed
+
+
+def test_openmetrics_samples_are_timestamped(serve_run):
+    _report, _telemetry, monitor = serve_run
+    text = openmetrics_text(monitor)
+    qps_lines = [line for line in text.splitlines()
+                 if line.startswith("repro_monitor_qps ")
+                 or line.startswith("repro_monitor_qps{")]
+    assert len(qps_lines) == len(monitor.instants)
+    for line, t in zip(qps_lines, monitor.instants):
+        parts = line.split()
+        assert len(parts) == 3  # name value timestamp_ms
+        assert float(parts[2]) == pytest.approx(t * 1e3, rel=1e-9)
+
+
+def test_openmetrics_help_and_type_lines(serve_run):
+    _report, _telemetry, monitor = serve_run
+    text = openmetrics_text(monitor)
+    assert "# HELP repro_monitor_qps" in text
+    assert "# TYPE repro_monitor_qps gauge" in text
+    assert "# TYPE repro_monitor_completed_total counter" in text
+
+
+# -- Perfetto counter tracks -------------------------------------------
+
+
+def test_counter_tracks_shape(autoscale_run):
+    _report, _telemetry, monitor = autoscale_run
+    tracks = counter_tracks(monitor)
+    assert len(tracks) == len(monitor.series)
+    names = [name for name, _pid, _points in tracks]
+    assert "repro_monitor_pool_size" in names
+    assert "repro_monitor_slo_burn[class=interactive]" in names
+    for _name, pid, points in tracks:
+        assert pid == MONITOR_PID
+        assert len(points) == len(monitor.instants)
+        # microsecond timestamps, ascending
+        ts = [t for t, _v in points]
+        assert ts == sorted(ts)
+
+
+def test_chrome_trace_merges_counter_tracks(autoscale_run):
+    _report, _telemetry, monitor = autoscale_run
+    with collecting(capacity=64) as trace:
+        pass
+    doc = chrome_trace(trace, counters=counter_tracks(monitor),
+                       process_names=monitor_process_names())
+    events = doc["traceEvents"]
+    counter_events = [e for e in events if e["ph"] == "C"]
+    assert len(counter_events) == \
+        len(monitor.series) * len(monitor.instants)
+    process_rows = [e for e in events
+                    if e["ph"] == "M" and e["name"] == "process_name"]
+    assert any(e["pid"] == MONITOR_PID
+               and e["args"]["name"] == "monitor" for e in process_rows)
+    json.dumps(doc)  # round-trips
+
+
+def test_chrome_trace_without_counters_byte_identical(autoscale_run):
+    """counters=None leaves the existing export untouched."""
+    with collecting(capacity=64) as trace:
+        pass
+    assert chrome_trace(trace) == chrome_trace(trace, counters=None)
+
+
+# -- dashboard ----------------------------------------------------------
+
+
+def test_dashboard_is_self_contained(autoscale_run):
+    _report, _telemetry, monitor = autoscale_run
+    html = render_dashboard(monitor)
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<script" not in html        # no JS
+    assert "http://" not in html        # no external refs
+    assert "https://" not in html
+    assert "repro_monitor_qps" in html
+    assert "<svg" in html and "<polyline" in html
+
+
+def test_dashboard_deterministic(autoscale_run):
+    _report, _telemetry, monitor = autoscale_run
+    assert render_dashboard(monitor) == render_dashboard(monitor)
+
+
+def test_dashboard_legend_for_labeled_series(autoscale_run):
+    _report, _telemetry, monitor = autoscale_run
+    html = render_dashboard(monitor)
+    assert "class=interactive" in html
+    assert "class=batch" in html
+    assert "q=99" in html

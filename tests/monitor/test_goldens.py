@@ -1,0 +1,60 @@
+"""Golden-pinned monitor exports of the canonical workloads.
+
+``monitor_serve.om`` / ``monitor_serve_autoscale.om`` pin the
+timestamped OpenMetrics scrape text (registry exposition plus every
+per-instant sample row); ``monitor_serve_autoscale.html`` pins the
+self-contained dashboard; ``diff_serve_self.txt`` pins the differ's
+text rendering of a run diffed against itself.  All four are
+byte-deterministic functions of the golden configs, so any sampling
+or cost-model change shows up as a reviewable diff (regenerate
+deliberately with ``pytest --update-goldens``).
+"""
+
+import pytest
+
+from repro.monitor import (
+    bundle_from_run,
+    diff_bundles,
+    format_diff,
+    openmetrics_text,
+    render_dashboard,
+)
+from repro.scale import ScaleSimulator, golden_autoscale_config
+from repro.serve.simulator import ServingSimulator, golden_serve_config
+
+#: Picked up by the golden-freshness CI job via the marker, and by the
+#: slow monitor lane via the monitor marker.
+pytestmark = [pytest.mark.golden, pytest.mark.monitor]
+
+
+@pytest.fixture(scope="module")
+def serve_run():
+    return ServingSimulator(golden_serve_config()).run_with_monitor()
+
+
+@pytest.fixture(scope="module")
+def autoscale_run():
+    return ScaleSimulator(golden_autoscale_config()).run_with_monitor()
+
+
+def test_monitor_scrape_serve_golden(serve_run, golden):
+    _report, _telemetry, monitor = serve_run
+    golden("monitor_serve.om", openmetrics_text(monitor))
+
+
+def test_monitor_scrape_autoscale_golden(autoscale_run, golden):
+    _report, _telemetry, monitor = autoscale_run
+    golden("monitor_serve_autoscale.om", openmetrics_text(monitor))
+
+
+def test_monitor_dashboard_golden(autoscale_run, golden):
+    _report, _telemetry, monitor = autoscale_run
+    golden("monitor_serve_autoscale.html",
+           render_dashboard(monitor, title="serve_autoscale"))
+
+
+def test_diff_self_golden(serve_run, golden):
+    bundle = bundle_from_run("serve", *serve_run)
+    diff = diff_bundles(bundle, bundle)
+    golden("diff_serve_self.txt",
+           format_diff(diff, "serve", "serve") + "\n")

@@ -1,0 +1,88 @@
+"""The shared burn signal: one window engine for controller and monitor."""
+
+import pytest
+
+from repro.monitor import BurnSignal
+from repro.scale import ScalePolicy, ScaleSimulator, golden_autoscale_config
+from repro.scale.controller import BurnRateController
+
+
+def test_controller_is_backed_by_shared_signal():
+    policy = ScalePolicy()
+    controller = BurnRateController(policy.autoscale, slo_s=0.5,
+                                    n_classes=2)
+    assert isinstance(controller.signal, BurnSignal)
+
+
+def test_controller_windows_match_standalone_signal():
+    """The controller's readings are exactly the shared signal's."""
+    policy = ScalePolicy()
+    slo_s = 0.05
+    controller = BurnRateController(policy.autoscale, slo_s=slo_s,
+                                    n_classes=2)
+    twin = BurnSignal(policy.autoscale.control_interval_s, slo_s,
+                      n_classes=2)
+
+    events = [
+        (0.004, 0.010, 0), (0.006, 0.090, 1), (0.012, 0.020, 0),
+        (0.015, 0.300, 1), (0.021, 0.049, 0), (0.028, 0.051, 1),
+    ]
+    ticks = [(0.010, [0, 0]), (0.020, [1, 0]), (0.030, [0, 2])]
+    event_index = 0
+    for tick_index, (now_s, overdue) in enumerate(ticks):
+        while event_index < len(events) and events[event_index][0] <= now_s:
+            done_s, latency_s, cls = events[event_index]
+            controller.note_completion(done_s, latency_s, cls)
+            twin.note_completion(done_s, latency_s, cls)
+            event_index += 1
+        got = controller.class_windows(now_s, overdue)
+        want = twin.class_windows(tick_index, now_s, overdue)
+        assert got == want
+
+
+def test_signal_window_counts():
+    signal = BurnSignal(window_s=0.010, slo_s=0.050, n_classes=1)
+    signal.note_completion(0.001, 0.010)   # within SLO
+    signal.note_completion(0.002, 0.060)   # violation
+    signal.note_completion(0.009, 0.051)   # violation
+    [window] = signal.class_windows(0, 0.010, [3])
+    assert window.n_requests == 3 + 3      # completions + overdue
+    assert window.n_violations == 2 + 3    # violations + overdue
+
+
+def test_signal_advance_drops_old_entries():
+    signal = BurnSignal(window_s=0.010, slo_s=0.050, n_classes=1)
+    signal.note_completion(0.001, 0.060)
+    signal.note_fault(0.001)
+    [window] = signal.class_windows(0, 0.020, [0])
+    assert window.n_requests == 0
+    assert signal.recent_faults() == 0
+
+
+def test_signal_validation():
+    with pytest.raises(ValueError):
+        BurnSignal(window_s=0.0, slo_s=1.0)
+    with pytest.raises(ValueError):
+        BurnSignal(window_s=1.0, slo_s=0.0)
+    with pytest.raises(ValueError):
+        BurnSignal(window_s=1.0, slo_s=1.0, n_classes=0)
+
+
+@pytest.mark.monitor
+def test_monitor_burn_equals_recorded_tick_burns():
+    """At tick instants the burn series is the controller's reading."""
+    _report, _telemetry, monitor = ScaleSimulator(
+        golden_autoscale_config()).run_with_monitor()
+    report = _report
+    class_names = [name for name, _ in report.completed_by_class]
+    ticks = {a.t_s: a.class_burns for a in report.actions
+             if a.kind == "tick" and a.class_burns}
+    assert ticks, "golden autoscale run must record tick burns"
+    checked = 0
+    for cls_index, name in enumerate(class_names):
+        series = monitor.get("repro_monitor_slo_burn", **{"class": name})
+        by_t = dict(series.points)
+        for t_s, burns in ticks.items():
+            assert by_t[t_s] == burns[cls_index]
+            checked += 1
+    assert checked >= len(ticks)

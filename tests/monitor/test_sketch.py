@@ -1,0 +1,117 @@
+"""Unit pins for the deterministic mergeable quantile sketch."""
+
+import math
+
+import pytest
+
+from repro.monitor import QuantileSketch, SketchError
+from repro.telemetry import Histogram
+
+
+def test_empty_sketch_state():
+    s = QuantileSketch()
+    assert s.count == 0
+    assert s.rank_error_bound() == 0.0
+    with pytest.raises(SketchError):
+        s.quantile(50.0)
+
+
+def test_observe_buckets_first_boundary_at_or_above():
+    s = QuantileSketch(boundaries=(1.0, 2.0, 5.0))
+    s.observe(0.5)   # <= 1.0
+    s.observe(1.0)   # boundary hit: still the 1.0 bucket
+    s.observe(1.5)   # <= 2.0
+    s.observe(7.0)   # overflow
+    assert s.counts == [2, 1, 0, 1]
+    assert s.count == 4
+
+
+def test_observe_nan_raises():
+    with pytest.raises(SketchError):
+        QuantileSketch().observe(float("nan"))
+
+
+def test_quantile_nearest_rank_rule():
+    s = QuantileSketch(boundaries=(1.0, 2.0, 5.0))
+    s.observe_many([0.5, 1.5, 1.6, 4.0])
+    assert s.quantile(25.0) == 1.0   # rank 1
+    assert s.quantile(50.0) == 2.0   # rank 2
+    assert s.quantile(75.0) == 2.0   # rank 3
+    assert s.quantile(100.0) == 5.0  # rank 4
+
+
+def test_quantile_overflow_is_inf():
+    s = QuantileSketch(boundaries=(1.0,))
+    s.observe(10.0)
+    assert s.quantile(50.0) == math.inf
+
+
+def test_quantile_out_of_range():
+    s = QuantileSketch()
+    s.observe(0.001)
+    for pct in (0.0, -1.0, 100.5):
+        with pytest.raises(SketchError):
+            s.quantile(pct)
+
+
+def test_quantile_matches_registry_histogram():
+    """Same answer as Histogram.quantile on the same boundary ladder."""
+    hist = Histogram("h", "help")
+    sketch = QuantileSketch()
+    values = [1.3e-4, 5e-4, 5e-4, 0.003, 0.04, 0.09, 0.3, 0.9, 1.7, 9.0]
+    for v in values:
+        hist.observe(v)
+        sketch.observe(v)
+    for pct in (1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+        assert sketch.quantile(pct) == hist.quantile(pct)
+
+
+def test_merge_adds_counts():
+    a = QuantileSketch(boundaries=(1.0, 2.0))
+    b = QuantileSketch(boundaries=(1.0, 2.0))
+    a.observe_many([0.5, 1.5])
+    b.observe_many([0.5, 9.0])
+    merged = a.merge(b)
+    assert merged.counts == [2, 1, 1]
+    # inputs untouched
+    assert a.counts == [1, 1, 0]
+    assert b.counts == [1, 0, 1]
+
+
+def test_merge_boundary_mismatch_raises():
+    with pytest.raises(SketchError):
+        QuantileSketch(boundaries=(1.0,)).merge(
+            QuantileSketch(boundaries=(2.0,)))
+
+
+def test_construction_validation():
+    with pytest.raises(SketchError):
+        QuantileSketch(boundaries=())
+    with pytest.raises(SketchError):
+        QuantileSketch(boundaries=(1.0, 1.0))
+    with pytest.raises(SketchError):
+        QuantileSketch(boundaries=(2.0, 1.0))
+    with pytest.raises(SketchError):
+        QuantileSketch(boundaries=(math.inf,))
+    with pytest.raises(SketchError):
+        QuantileSketch(boundaries=(1.0,), counts=(1,))  # needs 2
+    with pytest.raises(SketchError):
+        QuantileSketch(boundaries=(1.0,), counts=(1, -1))
+
+
+def test_rank_error_bound_is_max_bucket_mass():
+    s = QuantileSketch(boundaries=(1.0, 2.0))
+    s.observe_many([0.5, 0.5, 0.5, 1.5])
+    assert s.rank_error_bound() == 0.75
+
+
+def test_round_trip_and_equality():
+    s = QuantileSketch()
+    s.observe_many([1e-4, 0.03, 7.0])
+    again = QuantileSketch.from_dict(s.to_dict())
+    assert again == s
+    assert again.digest() == s.digest()
+    assert s.copy() == s
+    other = s.copy()
+    other.observe(0.5)
+    assert other != s

@@ -147,6 +147,35 @@ def test_heap_tie_across_unequal_histories():
     _assert_results_equal(res_s, res_v)
 
 
+def test_death_observed_by_arrival_inside_backoff():
+    """A batch is interrupted one ulp *before* a permanent outage
+    opens, so the failure handler arms a retry backoff instead of
+    declaring death; the next arrival then lands inside the backoff
+    window with the shard permanently down.  The scalar loop's
+    down-check precedes its blocked-check, so the shard dies at that
+    arrival's instant -- not at the backoff wake.  Hypothesis-found
+    (fault_seed=1057); exercises the in-backoff arrival scan in the
+    vectorized idle chain."""
+    policy = BatchPolicy(max_batch=3, max_wait_s=5e-4)
+    requests = poisson_arrivals(800.0, 63, 3)
+    horizon = requests[-1].arrival_s + 0.05
+    plan = FaultPlan.random(1057, 1, horizon, stall_rate=1.0,
+                            outage_rate=0.5, permanent_fraction=0.25)
+    retry = RetryPolicy(timeout_s=0.004, max_retries=1,
+                        backoff_base_s=5e-4, backoff_cap_s=4e-3)
+    service = _synthetic_service(base_ms=2.3, inc_ms=0.03)
+    res_s = DiscreteEventScheduler(
+        1, policy, service, injector=FaultInjector(plan, 1),
+        retry=retry).run(requests)
+    res_v = VectorizedScheduler(
+        1, policy, service, injector=FaultInjector(plan, 1),
+        retry=retry).run(requests)
+    _assert_results_equal(res_s, res_v)
+    # the death lands at the in-backoff arrival, not the backoff wake
+    [death_s] = res_s.death_times.values()
+    assert death_s in {r.arrival_s for r in requests}
+
+
 def test_death_barrier_splits_simultaneous_fanout():
     """A permanent outage is observed by the lone request's arrival:
     shards 0 and 1 dispatch inside the same fan-out loop *before*

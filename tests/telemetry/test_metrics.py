@@ -11,6 +11,7 @@ from repro.telemetry import (
     Counter,
     Gauge,
     Histogram,
+    MetricRegistrationError,
     MetricsRegistry,
     slo_burn_windows,
 )
@@ -104,6 +105,32 @@ class TestRegistry:
         registry.counter("repro_a_total", "h")
         with pytest.raises(ValueError, match="already registered"):
             registry.gauge("repro_a_total", "h")
+
+    def test_help_conflict_rejected(self):
+        """Pinned: the same name under divergent help texts is a typed
+        error, never a silent merge."""
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "completed requests")
+        with pytest.raises(MetricRegistrationError,
+                           match="already registered with help"):
+            registry.counter("repro_a_total", "admitted requests")
+        # the error is a ValueError so legacy handlers still catch it
+        assert issubclass(MetricRegistrationError, ValueError)
+
+    def test_help_reregistration_identical_is_lookup(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_a_total", "h")
+        assert registry.counter("repro_a_total", "h") is first
+
+    def test_help_empty_is_no_claim(self):
+        """An empty help is a lookup; the first real help backfills."""
+        registry = MetricsRegistry()
+        first = registry.counter("repro_a_total")
+        assert registry.counter("repro_a_total", "real help") is first
+        assert first.help_text == "real help"
+        assert registry.counter("repro_a_total") is first
+        with pytest.raises(MetricRegistrationError):
+            registry.counter("repro_a_total", "different help")
 
     def test_expose_and_snapshot_round_trip(self):
         registry = MetricsRegistry()
